@@ -1,0 +1,26 @@
+//! Regenerates Fig. 2 and times the crossbar model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vsp_bench::tables;
+use vsp_vlsi::crossbar::CrossbarDesign;
+use vsp_vlsi::tech::DriverSize;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tables::fig2());
+    c.bench_function("fig2/crossbar_model_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ports in [4u32, 8, 16, 32, 64] {
+                for d in DriverSize::ALL {
+                    let x = CrossbarDesign::new(black_box(ports), d);
+                    acc += x.delay_ns() + x.area_mm2();
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 3 and times the register-file model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vsp_bench::tables;
+use vsp_vlsi::regfile::RegFileDesign;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tables::fig3());
+    c.bench_function("fig3/regfile_model_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for regs in [16u32, 32, 64, 128, 256] {
+                for ports in [3u32, 6, 9, 12] {
+                    let rf = RegFileDesign::new(black_box(regs), ports);
+                    acc += rf.delay_ns() + rf.area_mm2();
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

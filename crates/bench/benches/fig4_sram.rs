@@ -1,0 +1,26 @@
+//! Regenerates Fig. 4 and times the SRAM model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vsp_bench::tables;
+use vsp_vlsi::sram::{SramDesign, SramFamily};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tables::fig4());
+    c.bench_function("fig4/sram_model_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bytes in [2u32, 8, 32, 128, 512, 2048, 8192, 32768] {
+                for ports in 1..=5u32 {
+                    let m =
+                        SramDesign::new(black_box(bytes), ports, SramFamily::HighSpeedMultiport);
+                    acc += m.delay_ns() + m.area_mm2();
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

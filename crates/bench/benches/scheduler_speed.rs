@@ -1,0 +1,42 @@
+//! Times the iterative modulo scheduler and the list scheduler on the
+//! unrolled SAD body.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vsp_core::models;
+use vsp_ir::Stmt;
+use vsp_kernels::ir::sad_16x16_kernel;
+use vsp_sched::{list_schedule, lower_body, modulo_schedule, ArrayLayout, VopDeps};
+
+fn bench(c: &mut Criterion) {
+    let machine = models::i4c8s4();
+    let mut k = sad_16x16_kernel().kernel;
+    vsp_ir::transform::fully_unroll_innermost(&mut k);
+    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+    let Stmt::Loop(l) = k
+        .body
+        .iter()
+        .find(|s| matches!(s, Stmt::Loop(_)))
+        .expect("row loop")
+    else {
+        unreachable!()
+    };
+    let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+    let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+    let deps = VopDeps::build(&machine, &body);
+
+    let mut g = c.benchmark_group("scheduler");
+    g.bench_function("modulo/sad_row_body", |b| {
+        b.iter(|| modulo_schedule(&machine, black_box(&body), &deps, 1, 32).unwrap())
+    });
+    g.bench_function("list/sad_row_body", |b| {
+        b.iter(|| list_schedule(&machine, black_box(&body), &deps, 1).unwrap())
+    });
+    g.bench_function("deps/sad_row_body", |b| {
+        b.iter(|| VopDeps::build(&machine, black_box(&body)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

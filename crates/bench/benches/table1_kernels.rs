@@ -1,0 +1,26 @@
+//! Regenerates Table 1 and times the full per-machine recipe pipeline
+//! (transforms, lowering, modulo/list scheduling, frame composition).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vsp_bench::tables;
+use vsp_core::models;
+use vsp_kernels::variants;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tables::table1());
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("full_search_rows/I4C8S4", |b| {
+        let m = models::i4c8s4();
+        b.iter(|| variants::full_search_rows(black_box(&m)))
+    });
+    g.bench_function("vbr_rows/I4C8S4", |b| {
+        let m = models::i4c8s4();
+        b.iter(|| variants::vbr_rows(black_box(&m)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Table 2 (16-bit multiplier ablation) and times the DCT
+//! recipe pipeline on a base and an `M16` machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vsp_bench::tables;
+use vsp_core::models;
+use vsp_kernels::variants;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tables::table2());
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("dct_rowcol_rows/I4C8S5", |b| {
+        let m = models::i4c8s5();
+        b.iter(|| variants::dct_rowcol_rows(black_box(&m)))
+    });
+    g.bench_function("dct_rowcol_rows/I4C8S5M16", |b| {
+        let m = models::i4c8s5m16();
+        b.iter(|| variants::dct_rowcol_rows(black_box(&m)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

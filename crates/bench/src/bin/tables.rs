@@ -1,0 +1,45 @@
+//! Prints the paper's figures and tables.
+//!
+//! ```text
+//! cargo run --release -p vsp-bench --bin tables -- all
+//! cargo run --release -p vsp-bench --bin tables -- table1
+//! cargo run --release -p vsp-bench --bin tables -- fig2 fig3 fig4 fig5
+//! ```
+
+use vsp_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wants = |k: &str| args.is_empty() || args.iter().any(|a| a == k || a == "all");
+
+    if wants("fig2") {
+        println!("{}", tables::fig2());
+    }
+    if wants("fig3") {
+        println!("{}", tables::fig3());
+    }
+    if wants("fig4") {
+        println!("{}", tables::fig4());
+    }
+    if wants("fig5") {
+        println!("{}", tables::fig5());
+    }
+    if wants("table1-header") && !wants("table1") {
+        println!(
+            "{}",
+            tables::table_header(&vsp_core::models::table1_models())
+        );
+    }
+    if wants("table1") {
+        println!("{}", tables::table1());
+    }
+    if wants("table2") {
+        println!("{}", tables::table2());
+    }
+    if wants("ablation-dualport") {
+        println!("{}", tables::ablation_dualport());
+    }
+    if wants("conclusions") {
+        println!("{}", vsp_bench::conclusions::compute());
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness: regenerates every figure and table of the paper.
+//!
+//! The [`tables`] module formats each experiment as plain-text tables
+//! mirroring the paper's layout; the `tables` binary prints them
+//! (`cargo run --release -p vsp-bench --bin tables -- <experiment>`), and
+//! the Criterion benches under `benches/` time the underlying model and
+//! scheduler code while emitting the same rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conclusions;
+pub mod tables;
+
+pub use conclusions::Conclusions;

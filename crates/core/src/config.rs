@@ -1,0 +1,370 @@
+//! The parameterizable machine description.
+//!
+//! §2 of the paper lists the architectural parameters "to be determined by
+//! the results of the VLSI simulations and representative application
+//! analysis": the number of clusters, arithmetic and memory units per
+//! cluster, registers per cluster, register-file ports, local data memory
+//! per cluster, and global crossbar ports per cluster. [`MachineConfig`]
+//! captures exactly that parameter space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vsp_isa::{ClusterId, FuClass, SlotId};
+use vsp_vlsi::arith::MultiplierDesign;
+use vsp_vlsi::crossbar::CrossbarDesign;
+use vsp_vlsi::datapath::{DatapathSpec, PipelineDepth};
+use vsp_vlsi::regfile::RegFileDesign;
+use vsp_vlsi::sram::{SramDesign, SramFamily};
+use vsp_vlsi::tech::DriverSize;
+
+/// A small set of functional-unit classes (which operations an issue slot
+/// may launch).
+///
+/// Hand-rolled instead of pulling in the `bitflags` crate: six variants,
+/// one byte, no external dependency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuSet(u8);
+
+impl FuSet {
+    /// The empty set.
+    pub const EMPTY: FuSet = FuSet(0);
+
+    fn bit(class: FuClass) -> u8 {
+        match class {
+            FuClass::Alu => 1,
+            FuClass::Mul => 2,
+            FuClass::Shift => 4,
+            FuClass::Mem => 8,
+            FuClass::Branch => 16,
+            FuClass::Xfer => 32,
+        }
+    }
+
+    /// Builds a set from a list of classes.
+    pub fn of(classes: &[FuClass]) -> FuSet {
+        let mut s = FuSet::EMPTY;
+        for &c in classes {
+            s = s.with(c);
+        }
+        s
+    }
+
+    /// Returns this set with `class` added.
+    pub fn with(self, class: FuClass) -> FuSet {
+        FuSet(self.0 | Self::bit(class))
+    }
+
+    /// Membership test.
+    pub fn contains(self, class: FuClass) -> bool {
+        self.0 & Self::bit(class) != 0
+    }
+
+    /// Iterates over the classes in the set.
+    pub fn iter(self) -> impl Iterator<Item = FuClass> {
+        FuClass::ALL.into_iter().filter(move |&c| self.contains(c))
+    }
+}
+
+impl fmt::Display for FuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                f.write_str("|")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// Supported addressing modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Addressing {
+    /// Only direct and register-indirect addressing (the 4-stage models;
+    /// address arithmetic needs explicit ALU operations).
+    Simple,
+    /// Additionally base+displacement and indexed (register+register).
+    Complex,
+}
+
+/// Native multiplier width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MulWidth {
+    /// 8×8 multiplier; 16×16 products must be decomposed in software.
+    Eight,
+    /// 16×16 two-stage multiplier (the `M16` machines of Table 2).
+    Sixteen,
+}
+
+/// How memory banks relate to issue slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankBinding {
+    /// Any memory-capable slot reaches any bank.
+    Any,
+    /// Slot *i* reaches only bank *i* — the `I2C16S4` arrangement where
+    /// "each issue slot can ... support a load/store operation to a
+    /// specific one of the local memories".
+    PerSlot,
+}
+
+/// One local data-memory bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemBankConfig {
+    /// Capacity in 16-bit words (the memory is word addressed). Each bank
+    /// is double-buffered: the capacity below is per buffer.
+    pub words: u32,
+    /// Access ports (1 for all paper models; 2 for the dual-ported-memory
+    /// ablation of §3.4.1).
+    pub ports: u32,
+}
+
+impl MemBankConfig {
+    /// A single-ported bank of the given word capacity.
+    pub fn single_ported(words: u32) -> Self {
+        MemBankConfig { words, ports: 1 }
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> u32 {
+        self.words * 2
+    }
+}
+
+/// Configuration of one cluster (all clusters are identical, §2: "To
+/// maintain a consistent programming model, all clusters are identical").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Capability set of each issue slot.
+    pub slots: Vec<FuSet>,
+    /// General registers per cluster.
+    pub registers: u32,
+    /// Predicate registers per cluster.
+    pub pred_regs: u32,
+    /// Local data-memory banks.
+    pub banks: Vec<MemBankConfig>,
+    /// Bank/slot binding rule.
+    pub bank_binding: BankBinding,
+    /// Crossbar ports of this cluster (simultaneous transfer involvements
+    /// per cycle, as source or destination).
+    pub xbar_ports: u32,
+}
+
+impl ClusterConfig {
+    /// Number of issue slots.
+    pub fn slot_count(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Slots able to issue operations of the given class, in slot order.
+    pub fn slots_for(&self, class: FuClass) -> impl Iterator<Item = SlotId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(move |(_, caps)| caps.contains(class))
+            .map(|(i, _)| i as SlotId)
+    }
+
+    /// Number of slots able to issue the given class per cycle.
+    pub fn capacity(&self, class: FuClass) -> u32 {
+        self.slots.iter().filter(|c| c.contains(class)).count() as u32
+    }
+}
+
+/// Pipeline organization and operation timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Number of stages (4 or 5).
+    pub stages: u32,
+    /// Extra cycles between a load and a use of its result (0 for the
+    /// 4-stage pipelines, 1 for the 5-stage ones).
+    pub load_use_delay: u32,
+    /// Multiplier result latency in cycles (1 single-stage, 2 pipelined).
+    pub mul_latency: u32,
+    /// Delay slots after a taken branch.
+    pub branch_delay_slots: u32,
+    /// Crossbar transfer latency in cycles.
+    pub xfer_latency: u32,
+}
+
+/// A complete machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Model name (e.g. `I4C8S4`).
+    pub name: String,
+    /// Number of identical clusters.
+    pub clusters: u32,
+    /// Per-cluster configuration.
+    pub cluster: ClusterConfig,
+    /// Pipeline organization.
+    pub pipeline: PipelineConfig,
+    /// Supported addressing modes.
+    pub addressing: Addressing,
+    /// Native multiplier width.
+    pub mul_width: MulWidth,
+    /// Whether the specialized absolute-difference ALU operator is fitted.
+    pub has_absdiff: bool,
+    /// Instruction-cache capacity in VLIW words ("all critical loops must
+    /// fit into the cache").
+    pub icache_words: u32,
+    /// Demand-refill penalty per missed word, in cycles ("likely to be in
+    /// excess of 100 cycles").
+    pub icache_refill_cycles: u32,
+}
+
+impl MachineConfig {
+    /// The control slot: cluster 0 carries one extra slot, after its
+    /// datapath slots, that only issues branches — the "33rd operation".
+    pub fn branch_slot(&self) -> (ClusterId, SlotId) {
+        (0, self.cluster.slot_count() as SlotId)
+    }
+
+    /// Peak operations per cycle, counting the control slot.
+    pub fn peak_ops_per_cycle(&self) -> u32 {
+        self.clusters * self.cluster.slot_count() + 1
+    }
+
+    /// Total local data memory across the machine, in bytes (per active
+    /// buffer; double buffering doubles the physical storage).
+    pub fn total_mem_bytes(&self) -> u64 {
+        u64::from(self.clusters)
+            * self
+                .cluster
+                .banks
+                .iter()
+                .map(|b| u64::from(b.bytes()))
+                .sum::<u64>()
+    }
+
+    /// Whether an addressing mode is legal on this machine.
+    pub fn supports_addr(&self, addr: vsp_isa::AddrMode) -> bool {
+        self.addressing == Addressing::Complex || !addr.is_complex()
+    }
+
+    /// Load/store units per cluster (memory-capable slots).
+    pub fn lsus_per_cluster(&self) -> u32 {
+        self.cluster.capacity(FuClass::Mem)
+    }
+
+    /// Builds the physical-description twin of this machine for the VLSI
+    /// area and cycle-time models.
+    pub fn datapath_spec(&self) -> DatapathSpec {
+        let slots = self.cluster.slot_count();
+        let multiplier = match (self.mul_width, self.pipeline.mul_latency) {
+            (MulWidth::Eight, 1) => MultiplierDesign::mul8(),
+            (MulWidth::Eight, _) => MultiplierDesign::mul8_pipelined(),
+            (MulWidth::Sixteen, _) => MultiplierDesign::mul16(),
+        };
+        let bank_bytes = self.cluster.banks.first().map(|b| b.bytes()).unwrap_or(2);
+        let mem_ports = self.cluster.banks.first().map(|b| b.ports).unwrap_or(1);
+        let family = if self.clusters > 8 && self.pipeline.stages == 5 && mem_ports == 1 {
+            SramFamily::HighDensityFast
+        } else {
+            SramFamily::HighDensity
+        };
+        let pipeline = if self.pipeline.stages >= 5 {
+            PipelineDepth::Five
+        } else {
+            PipelineDepth::Four
+        };
+        DatapathSpec {
+            name: self.name.clone(),
+            clusters: self.clusters,
+            issue_slots: slots,
+            alus: self.cluster.capacity(FuClass::Alu),
+            absdiff_alu: self.has_absdiff,
+            multiplier: Some(multiplier),
+            shifter: self.cluster.capacity(FuClass::Shift) > 0,
+            lsus: self.lsus_per_cluster(),
+            regfile: RegFileDesign::for_issue_slots(slots, self.cluster.registers),
+            mem_banks: self.cluster.banks.len() as u32,
+            mem: SramDesign::new(bank_bytes, mem_ports, family),
+            pipeline,
+            fused_addr_mem: self.addressing == Addressing::Complex
+                && self.pipeline.stages == 4,
+            crossbar: CrossbarDesign::new(
+                self.clusters * self.cluster.xbar_ports,
+                DriverSize::W5_1,
+            ),
+            xbar_ports_per_cluster: self.cluster.xbar_ports,
+            icache_words: self.icache_words,
+        }
+    }
+
+    /// Relative clock speed of this machine against a baseline, using the
+    /// VLSI cycle-time model (the "Estimated Relative Clock Speed" rows).
+    pub fn relative_clock(&self, base: &MachineConfig) -> f64 {
+        let model = vsp_vlsi::clock::CycleTimeModel::new();
+        let mine = model.estimate(&self.datapath_spec());
+        let theirs = model.estimate(&base.datapath_spec());
+        mine.relative_to(&theirs)
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} clusters x {} slots, {} regs/cluster, {} banks x {} words, {}-stage",
+            self.name,
+            self.clusters,
+            self.cluster.slot_count(),
+            self.cluster.registers,
+            self.cluster.banks.len(),
+            self.cluster.banks.first().map(|b| b.words).unwrap_or(0),
+            self.pipeline.stages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuset_basics() {
+        let s = FuSet::of(&[FuClass::Alu, FuClass::Mem]);
+        assert!(s.contains(FuClass::Alu));
+        assert!(s.contains(FuClass::Mem));
+        assert!(!s.contains(FuClass::Mul));
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!(s.to_string(), "alu|mem");
+        assert_eq!(FuSet::EMPTY.to_string(), "-");
+    }
+
+    #[test]
+    fn fuset_with_is_idempotent() {
+        let s = FuSet::EMPTY.with(FuClass::Alu).with(FuClass::Alu);
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn cluster_capacity_and_slots_for() {
+        let c = ClusterConfig {
+            slots: vec![
+                FuSet::of(&[FuClass::Alu, FuClass::Mul]),
+                FuSet::of(&[FuClass::Alu, FuClass::Shift]),
+                FuSet::of(&[FuClass::Alu, FuClass::Mem]),
+                FuSet::of(&[FuClass::Alu]),
+            ],
+            registers: 128,
+            pred_regs: 8,
+            banks: vec![MemBankConfig::single_ported(16384)],
+            bank_binding: BankBinding::Any,
+            xbar_ports: 4,
+        };
+        assert_eq!(c.capacity(FuClass::Alu), 4);
+        assert_eq!(c.capacity(FuClass::Mem), 1);
+        let mem_slots: Vec<SlotId> = c.slots_for(FuClass::Mem).collect();
+        assert_eq!(mem_slots, vec![2]);
+    }
+
+    #[test]
+    fn bank_bytes() {
+        assert_eq!(MemBankConfig::single_ported(16384).bytes(), 32768);
+    }
+}

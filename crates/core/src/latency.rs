@@ -1,0 +1,118 @@
+//! Operation latencies as a function of the machine's pipeline.
+//!
+//! Latency is the number of cycles between issuing an operation and the
+//! first cycle a dependent operation may issue. All machines are fully
+//! bypassed, so single-cycle operations have latency 1; the 5-stage
+//! pipelines add a 1-cycle load-use delay, pipelined multipliers have a
+//! 1-cycle multiply-use delay, and crossbar transfers take the configured
+//! transfer latency.
+
+use crate::config::MachineConfig;
+use vsp_isa::OpKind;
+
+/// Computes operation latencies for a machine.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel<'m> {
+    machine: &'m MachineConfig,
+}
+
+impl<'m> LatencyModel<'m> {
+    /// Creates the latency model for a machine.
+    pub fn new(machine: &'m MachineConfig) -> Self {
+        LatencyModel { machine }
+    }
+
+    /// Result latency of an operation in cycles.
+    ///
+    /// Stores, branches and control operations have no register result;
+    /// their "latency" is 1 (they occupy their slot for one cycle).
+    pub fn latency(&self, kind: &OpKind) -> u32 {
+        let p = &self.machine.pipeline;
+        match kind {
+            OpKind::Load { .. } => 1 + p.load_use_delay,
+            OpKind::Mul { .. } => p.mul_latency,
+            OpKind::Xfer { .. } => p.xfer_latency,
+            OpKind::AluBin { .. }
+            | OpKind::AluUn { .. }
+            | OpKind::Shift { .. }
+            | OpKind::Cmp { .. }
+            | OpKind::Store { .. }
+            | OpKind::Branch { .. }
+            | OpKind::Jump { .. }
+            | OpKind::Halt
+            | OpKind::MemCtl { .. }
+            | OpKind::Nop => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use vsp_isa::{AddrMode, AluBinOp, MemBank, MulKind, Operand, Reg};
+
+    fn load() -> OpKind {
+        OpKind::Load {
+            dst: Reg(1),
+            addr: AddrMode::Register(Reg(0)),
+            bank: MemBank(0),
+        }
+    }
+
+    fn mul() -> OpKind {
+        OpKind::Mul {
+            kind: MulKind::Mul8SS,
+            dst: Reg(1),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Reg(Reg(2)),
+        }
+    }
+
+    fn add() -> OpKind {
+        OpKind::AluBin {
+            op: AluBinOp::Add,
+            dst: Reg(1),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(1),
+        }
+    }
+
+    #[test]
+    fn four_stage_has_no_load_use_delay() {
+        let m = models::i4c8s4();
+        let lat = LatencyModel::new(&m);
+        assert_eq!(lat.latency(&load()), 1);
+        assert_eq!(lat.latency(&add()), 1);
+        assert_eq!(lat.latency(&mul()), 1);
+    }
+
+    #[test]
+    fn five_stage_load_use_delay() {
+        let m = models::i4c8s5();
+        let lat = LatencyModel::new(&m);
+        assert_eq!(lat.latency(&load()), 2);
+        assert_eq!(lat.latency(&add()), 1);
+    }
+
+    #[test]
+    fn pipelined_multiplier_latency() {
+        let m = models::i2c16s4();
+        assert_eq!(LatencyModel::new(&m).latency(&mul()), 2);
+        let m16 = models::i4c8s5m16();
+        assert_eq!(LatencyModel::new(&m16).latency(&mul()), 2);
+    }
+
+    #[test]
+    fn xfer_latency_is_configured() {
+        let wide = models::i4c8s4();
+        let narrow = models::i2c16s4();
+        let xfer = OpKind::Xfer {
+            dst: Reg(0),
+            from: 1,
+            src: Reg(0),
+        };
+        assert_eq!(LatencyModel::new(&wide).latency(&xfer), 1);
+        assert_eq!(LatencyModel::new(&narrow).latency(&xfer), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Architectural machine models for the cluster-based VLIW video signal
+//! processor — the primary contribution of *"Datapath Design for a VLIW
+//! Video Signal Processor"* (HPCA 1997) packaged as a library.
+//!
+//! A machine is a set of identical functional-unit clusters around a
+//! global crossbar (Fig. 1 of the paper). Each cluster has a local
+//! multi-ported register file, a small predicate file, one or more
+//! double-buffered local data memories, and a mix of functional units
+//! (ALUs, a multiplier, a shifter, load/store units) shared across a few
+//! issue slots. One extra control slot on cluster 0 issues branches — the
+//! paper's "33 operations per cycle".
+//!
+//! * [`config`] — the parameterizable machine description
+//!   ([`MachineConfig`], [`ClusterConfig`], [`PipelineConfig`]);
+//! * [`models`] — the seven candidate datapaths of Tables 1–2
+//!   (`I4C8S4`, `I4C8S4C`, `I4C8S5`, `I2C16S4`, `I2C16S5`, `I4C8S5M16`,
+//!   `I2C16S5M16`) plus the dual-ported-memory ablation of §3.4.1;
+//! * [`latency`] — operation latencies as a function of the pipeline;
+//! * [`resources`] — per-cycle issue/resource accounting used by the
+//!   schedulers;
+//! * [`validate`] — structural validation of a program against a machine.
+//!
+//! # Example
+//!
+//! ```
+//! use vsp_core::models;
+//!
+//! let machine = models::i4c8s4();
+//! assert_eq!(machine.clusters, 8);
+//! assert_eq!(machine.peak_ops_per_cycle(), 33);
+//! let area = machine.datapath_spec().datapath_area().total_mm2();
+//! assert!((area - 181.4).abs() < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod latency;
+pub mod models;
+pub mod resources;
+pub mod validate;
+
+pub use config::{
+    Addressing, BankBinding, ClusterConfig, FuSet, MachineConfig, MemBankConfig, MulWidth,
+    PipelineConfig,
+};
+pub use latency::LatencyModel;
+pub use resources::CycleReservation;
+pub use validate::{validate_program, ValidationError};

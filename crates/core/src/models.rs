@@ -1,0 +1,344 @@
+//! The candidate datapath models of the paper (§3.2, Tables 1–2).
+//!
+//! Naming: `I<slots>C<clusters>S<stages>[C][M16]` — issue slots per
+//! cluster, cluster count, pipeline stages; `C` marks complex addressing
+//! folded into the 4-stage pipeline, `M16` the 16-bit two-stage
+//! multiplier.
+//!
+//! | model        | clusters×slots | regs | memory           | pipeline | addressing | rel. clock |
+//! |--------------|----------------|------|------------------|----------|------------|-----------|
+//! | `I4C8S4`     | 8×4            | 128  | 32 KB            | 4-stage  | simple     | 1.0       |
+//! | `I4C8S4C`    | 8×4            | 128  | 32 KB            | 4-stage  | complex    | 0.6       |
+//! | `I4C8S5`     | 8×4            | 128  | 32 KB            | 5-stage  | complex    | 0.95      |
+//! | `I2C16S4`    | 16×2           | 64   | 2×8 KB per-slot  | 4-stage  | simple     | 1.3       |
+//! | `I2C16S5`    | 16×2           | 64   | 16 KB fast cell  | 5-stage  | complex    | 1.3       |
+//! | `I4C8S5M16`  | 8×4            | 128  | 32 KB            | 5-stage  | complex    | 0.95      |
+//! | `I2C16S5M16` | 16×2           | 64   | 16 KB fast cell  | 5-stage  | complex    | 1.3       |
+
+use crate::config::{
+    Addressing, BankBinding, ClusterConfig, FuSet, MachineConfig, MemBankConfig, MulWidth,
+    PipelineConfig,
+};
+use vsp_isa::FuClass;
+
+/// Instruction-cache refill penalty per word (the paper: "likely to be in
+/// excess of 100 cycles for this type of processor").
+pub const ICACHE_REFILL_CYCLES: u32 = 120;
+
+fn wide_cluster(registers: u32, mem_words: u32) -> ClusterConfig {
+    // Fig. 1 / §3.2: 4 ALUs, one multiplier, one shifter, one load/store
+    // unit, "each set of 3 register-file ports supports one ALU and up to
+    // one alternate function"; one crossbar port per issue slot.
+    let xfer = FuClass::Xfer;
+    ClusterConfig {
+        slots: vec![
+            FuSet::of(&[FuClass::Alu, FuClass::Mul, xfer]),
+            FuSet::of(&[FuClass::Alu, FuClass::Shift, xfer]),
+            FuSet::of(&[FuClass::Alu, FuClass::Mem, xfer]),
+            FuSet::of(&[FuClass::Alu, xfer]),
+        ],
+        registers,
+        pred_regs: 8,
+        banks: vec![MemBankConfig::single_ported(mem_words)],
+        bank_binding: BankBinding::Any,
+        xbar_ports: 4,
+    }
+}
+
+fn narrow_cluster(banks: Vec<MemBankConfig>, binding: BankBinding) -> ClusterConfig {
+    // §3.2: "Each issue slot can now support either an ALU operation or a
+    // load/store operation ... One of the issue slots can alternatively
+    // perform a multiply and the other can perform a shift." One crossbar
+    // port per cluster.
+    let xfer = FuClass::Xfer;
+    ClusterConfig {
+        slots: vec![
+            FuSet::of(&[FuClass::Alu, FuClass::Mem, FuClass::Mul, xfer]),
+            FuSet::of(&[FuClass::Alu, FuClass::Mem, FuClass::Shift, xfer]),
+        ],
+        registers: 64,
+        pred_regs: 8,
+        banks,
+        bank_binding: binding,
+        xbar_ports: 1,
+    }
+}
+
+/// The initial design point: 8 clusters of 4 issue slots, 128 registers,
+/// 32 KB local RAM, 4-stage pipeline, simple addressing, 650 MHz target.
+pub fn i4c8s4() -> MachineConfig {
+    MachineConfig {
+        name: "I4C8S4".into(),
+        clusters: 8,
+        cluster: wide_cluster(128, 16384),
+        pipeline: PipelineConfig {
+            stages: 4,
+            load_use_delay: 0,
+            mul_latency: 1,
+            branch_delay_slots: 1,
+            xfer_latency: 1,
+        },
+        addressing: Addressing::Simple,
+        mul_width: MulWidth::Eight,
+        has_absdiff: false,
+        icache_words: 1024,
+        icache_refill_cycles: ICACHE_REFILL_CYCLES,
+    }
+}
+
+/// `I4C8S4C`: complex addressing folded into the 4-stage pipeline — an
+/// address addition and the memory access share a stage, with "a very
+/// significant impact on cycle time" (relative clock 0.6).
+pub fn i4c8s4c() -> MachineConfig {
+    let mut m = i4c8s4();
+    m.name = "I4C8S4C".into();
+    m.addressing = Addressing::Complex;
+    m
+}
+
+/// `I4C8S5`: complex addressing the realistic way — a 5-stage pipeline
+/// with separate execute and memory stages, a 1-cycle load-use delay and
+/// 4 extra bypass paths.
+pub fn i4c8s5() -> MachineConfig {
+    let mut m = i4c8s4();
+    m.name = "I4C8S5".into();
+    m.addressing = Addressing::Complex;
+    m.pipeline.stages = 5;
+    m.pipeline.load_use_delay = 1;
+    m
+}
+
+/// `I2C16S4`: 16 small clusters of 2 issue slots, 64 registers, two
+/// separate 8 KB memories (each bound to its issue slot), two-stage
+/// multiplier, 16×16 crossbar with one port per cluster — the ~850 MHz
+/// design.
+pub fn i2c16s4() -> MachineConfig {
+    MachineConfig {
+        name: "I2C16S4".into(),
+        clusters: 16,
+        cluster: narrow_cluster(
+            vec![MemBankConfig::single_ported(4096), MemBankConfig::single_ported(4096)],
+            BankBinding::PerSlot,
+        ),
+        pipeline: PipelineConfig {
+            stages: 4,
+            load_use_delay: 0,
+            mul_latency: 2,
+            branch_delay_slots: 1,
+            xfer_latency: 2,
+        },
+        addressing: Addressing::Simple,
+        mul_width: MulWidth::Eight,
+        has_absdiff: false,
+        icache_words: 512,
+        icache_refill_cycles: ICACHE_REFILL_CYCLES,
+    }
+}
+
+/// `I2C16S5`: the 16-cluster machine with a 5-stage pipeline, complex
+/// addressing, and a single 16 KB fast-cell memory per cluster (decode
+/// moved before the stage boundary, "a significant area penalty").
+pub fn i2c16s5() -> MachineConfig {
+    let mut m = i2c16s4();
+    m.name = "I2C16S5".into();
+    m.cluster = narrow_cluster(vec![MemBankConfig::single_ported(8192)], BankBinding::Any);
+    m.pipeline.stages = 5;
+    m.pipeline.load_use_delay = 1;
+    m.addressing = Addressing::Complex;
+    m
+}
+
+/// `I4C8S5M16`: `I4C8S5` with a 16-bit two-stage multiplier (Table 2);
+/// multiply-use delay of 1 cycle, 16 bits of result per operation.
+pub fn i4c8s5m16() -> MachineConfig {
+    let mut m = i4c8s5();
+    m.name = "I4C8S5M16".into();
+    m.mul_width = MulWidth::Sixteen;
+    m.pipeline.mul_latency = 2;
+    m
+}
+
+/// `I2C16S5M16`: `I2C16S5` with 16-bit two-stage multipliers (Table 2).
+pub fn i2c16s5m16() -> MachineConfig {
+    let mut m = i2c16s5();
+    m.name = "I2C16S5M16".into();
+    m.mul_width = MulWidth::Sixteen;
+    m
+}
+
+/// §3.4.1 ablation: `I4C8S4` with two load/store units per cluster and a
+/// dual-ported 32 KB memory ("we evaluated the benefits of including two
+/// load/store units in the I4C8* models using dual-ported memories").
+pub fn i4c8s4_dualport() -> MachineConfig {
+    let mut m = i4c8s4();
+    m.name = "I4C8S4D2".into();
+    m.cluster.slots[3] = m.cluster.slots[3].with(FuClass::Mem);
+    m.cluster.banks[0].ports = 2;
+    m
+}
+
+/// Returns `machine` with the specialized absolute-difference operator
+/// fitted (the "Add spec. op" rows of Table 1).
+pub fn with_absdiff(mut machine: MachineConfig) -> MachineConfig {
+    machine.name = format!("{}+AD", machine.name);
+    machine.has_absdiff = true;
+    machine
+}
+
+/// The five datapath models of Table 1, in column order.
+pub fn table1_models() -> Vec<MachineConfig> {
+    vec![i4c8s4(), i4c8s4c(), i4c8s5(), i2c16s4(), i2c16s5()]
+}
+
+/// The five datapath models of Table 2, in column order.
+pub fn table2_models() -> Vec<MachineConfig> {
+    vec![i4c8s4(), i4c8s5(), i4c8s5m16(), i2c16s5(), i2c16s5m16()]
+}
+
+/// All seven named models.
+pub fn all_models() -> Vec<MachineConfig> {
+    vec![
+        i4c8s4(),
+        i4c8s4c(),
+        i4c8s5(),
+        i2c16s4(),
+        i2c16s5(),
+        i4c8s5m16(),
+        i2c16s5m16(),
+    ]
+}
+
+/// Looks up a model by its paper name (case-insensitive).
+pub fn by_name(name: &str) -> Option<MachineConfig> {
+    all_models()
+        .into_iter()
+        .chain(std::iter::once(i4c8s4_dualport()))
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsp_vlsi::clock::CycleTimeModel;
+
+    #[test]
+    fn headline_parameters() {
+        let m = i4c8s4();
+        assert_eq!(m.clusters, 8);
+        assert_eq!(m.cluster.slot_count(), 4);
+        assert_eq!(m.peak_ops_per_cycle(), 33);
+        assert_eq!(m.cluster.registers, 128);
+        assert_eq!(m.cluster.banks[0].bytes(), 32768);
+        assert_eq!(m.lsus_per_cluster(), 1);
+
+        let n = i2c16s4();
+        assert_eq!(n.clusters, 16);
+        assert_eq!(n.cluster.slot_count(), 2);
+        assert_eq!(n.peak_ops_per_cycle(), 33);
+        assert_eq!(n.cluster.registers, 64);
+        assert_eq!(n.cluster.banks.len(), 2);
+        assert_eq!(n.cluster.banks[0].bytes(), 8192);
+        assert_eq!(n.lsus_per_cluster(), 2);
+    }
+
+    #[test]
+    fn table1_area_estimates_match_paper() {
+        // Paper: 181.4, 181.4, 183.5, 180, 217 mm² — allow ~2.5% slack.
+        let expect = [181.4, 181.4, 183.5, 180.0, 217.0];
+        for (m, e) in table1_models().iter().zip(expect) {
+            let a = m.datapath_spec().datapath_area().total_mm2();
+            assert!(
+                (a - e).abs() / e < 0.025,
+                "{}: expected ~{e}, got {a:.1}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn table2_area_estimates_match_paper() {
+        // Paper: 181.4, 183.5, 199.5, 217, 249 mm².
+        let expect = [181.4, 183.5, 199.5, 217.0, 249.0];
+        for (m, e) in table2_models().iter().zip(expect) {
+            let a = m.datapath_spec().datapath_area().total_mm2();
+            assert!(
+                (a - e).abs() / e < 0.03,
+                "{}: expected ~{e}, got {a:.1}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn table1_relative_clocks_match_paper() {
+        let base = i4c8s4();
+        let expect = [1.0, 0.6, 0.95, 1.3, 1.3];
+        for (m, e) in table1_models().iter().zip(expect) {
+            let r = m.relative_clock(&base);
+            assert!((r - e).abs() < 0.07, "{}: expected ~{e}, got {r:.3}", m.name);
+        }
+    }
+
+    #[test]
+    fn clock_rates_span_650_to_850mhz() {
+        // §4: "an extremely fast (650MHz-850MHz) clock rate".
+        let model = CycleTimeModel::new();
+        let slow = model.estimate(&i4c8s4().datapath_spec()).freq_mhz();
+        let fast = model.estimate(&i2c16s4().datapath_spec()).freq_mhz();
+        assert!((620.0..690.0).contains(&slow), "got {slow}");
+        assert!((800.0..900.0).contains(&fast), "got {fast}");
+    }
+
+    #[test]
+    fn branch_slot_is_the_extra_control_slot() {
+        assert_eq!(i4c8s4().branch_slot(), (0, 4));
+        assert_eq!(i2c16s4().branch_slot(), (0, 2));
+    }
+
+    #[test]
+    fn per_slot_banking_only_on_i2c16s4() {
+        assert_eq!(i2c16s4().cluster.bank_binding, BankBinding::PerSlot);
+        assert_eq!(i2c16s5().cluster.bank_binding, BankBinding::Any);
+        assert_eq!(i4c8s4().cluster.bank_binding, BankBinding::Any);
+    }
+
+    #[test]
+    fn m16_models_differ_only_in_multiplier() {
+        let a = i4c8s5();
+        let b = i4c8s5m16();
+        assert_eq!(b.mul_width, MulWidth::Sixteen);
+        assert_eq!(b.pipeline.mul_latency, 2);
+        assert_eq!(a.cluster, b.cluster);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("i2c16s5m16").is_some());
+        assert!(by_name("I4C8S4D2").is_some());
+        assert!(by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn dualport_ablation_has_two_lsus() {
+        let m = i4c8s4_dualport();
+        assert_eq!(m.lsus_per_cluster(), 2);
+        // Dual-ported memory costs area vs. the base model.
+        let base = i4c8s4().datapath_spec().datapath_area().total_mm2();
+        let dual = m.datapath_spec().datapath_area().total_mm2();
+        assert!(dual > base);
+    }
+
+    #[test]
+    fn absdiff_variant_flags() {
+        let m = with_absdiff(i2c16s4());
+        assert!(m.has_absdiff);
+        assert_eq!(m.name, "I2C16S4+AD");
+    }
+
+    #[test]
+    fn icache_sizes() {
+        assert_eq!(i4c8s4().icache_words, 1024);
+        assert_eq!(i2c16s4().icache_words, 512);
+        assert_eq!(i2c16s5m16().icache_words, 512);
+    }
+}

@@ -1,0 +1,384 @@
+//! Per-cycle issue and resource accounting.
+//!
+//! A [`CycleReservation`] tracks which issue slots, crossbar ports and
+//! memory banks one instruction word (equivalently: one cycle, or one
+//! modulo-schedule row) has consumed. The schedulers reserve resources
+//! through it and the validator replays committed programs against it —
+//! "run-time arbitration for resources is never allowed" (§2), so every
+//! structural constraint is enforced statically here.
+
+use crate::config::{BankBinding, MachineConfig};
+use std::fmt;
+use vsp_isa::{ClusterId, FuClass, OpKind, Operation, SlotId};
+
+/// Why an operation could not be placed in a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReserveError {
+    /// The cluster index exceeds the machine.
+    NoSuchCluster(ClusterId),
+    /// The slot index exceeds the cluster (and is not the control slot).
+    NoSuchSlot(ClusterId, SlotId),
+    /// The slot cannot issue this class of operation.
+    Incapable(ClusterId, SlotId, FuClass),
+    /// The slot is already occupied this cycle.
+    SlotBusy(ClusterId, SlotId),
+    /// Branches may only issue from the control slot of cluster 0.
+    NotControlSlot(ClusterId, SlotId),
+    /// All crossbar ports of a cluster are in use this cycle.
+    XbarPortsExhausted(ClusterId),
+    /// The memory bank does not exist.
+    NoSuchBank(ClusterId, u8),
+    /// Per-slot bank binding violated (slot *i* reaches only bank *i*).
+    BankSlotMismatch(ClusterId, SlotId, u8),
+    /// The memory bank's single port is already in use this cycle.
+    BankBusy(ClusterId, u8),
+}
+
+impl fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReserveError::NoSuchCluster(c) => write!(f, "cluster {c} does not exist"),
+            ReserveError::NoSuchSlot(c, s) => write!(f, "slot c{c}.s{s} does not exist"),
+            ReserveError::Incapable(c, s, class) => {
+                write!(f, "slot c{c}.s{s} cannot issue {class} operations")
+            }
+            ReserveError::SlotBusy(c, s) => write!(f, "slot c{c}.s{s} already issued this cycle"),
+            ReserveError::NotControlSlot(c, s) => {
+                write!(f, "c{c}.s{s} is not the control slot; branches issue from it only")
+            }
+            ReserveError::XbarPortsExhausted(c) => {
+                write!(f, "cluster {c} has no free crossbar port this cycle")
+            }
+            ReserveError::NoSuchBank(c, b) => write!(f, "cluster {c} has no bank m{b}"),
+            ReserveError::BankSlotMismatch(c, s, b) => {
+                write!(f, "slot c{c}.s{s} cannot reach bank m{b} (per-slot binding)")
+            }
+            ReserveError::BankBusy(c, b) => {
+                write!(f, "bank c{c}.m{b} port already used this cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
+/// Resource usage of a single cycle.
+#[derive(Debug, Clone)]
+pub struct CycleReservation {
+    clusters: u32,
+    slots_per_cluster: u32,
+    /// Occupancy per (cluster, slot); the control slot of cluster 0 is the
+    /// extra entry at index `slots_per_cluster`.
+    slot_used: Vec<bool>,
+    xfer_used: Vec<u32>,
+    bank_used: Vec<Vec<u32>>,
+}
+
+impl CycleReservation {
+    /// Creates an empty reservation for one cycle on `machine`.
+    pub fn new(machine: &MachineConfig) -> Self {
+        let clusters = machine.clusters;
+        let slots = machine.cluster.slot_count();
+        CycleReservation {
+            clusters,
+            slots_per_cluster: slots,
+            // +1 row per cluster for the control slot (only cluster 0's is
+            // reachable, but uniform indexing keeps the math simple).
+            slot_used: vec![false; (clusters * (slots + 1)) as usize],
+            xfer_used: vec![0; clusters as usize],
+            bank_used: vec![vec![0; machine.cluster.banks.len()]; clusters as usize],
+        }
+    }
+
+    fn slot_index(&self, cluster: ClusterId, slot: SlotId) -> usize {
+        cluster as usize * (self.slots_per_cluster as usize + 1) + slot as usize
+    }
+
+    /// Whether a slot is already occupied.
+    pub fn slot_busy(&self, cluster: ClusterId, slot: SlotId) -> bool {
+        self.slot_used[self.slot_index(cluster, slot)]
+    }
+
+    /// Crossbar ports still free on a cluster.
+    pub fn xfer_free(&self, machine: &MachineConfig, cluster: ClusterId) -> u32 {
+        machine
+            .cluster
+            .xbar_ports
+            .saturating_sub(self.xfer_used[cluster as usize])
+    }
+
+    /// Checks whether `op` could be reserved without committing it.
+    pub fn can_reserve(&self, machine: &MachineConfig, op: &Operation) -> bool {
+        self.clone().try_reserve(machine, op).is_ok()
+    }
+
+    /// Attempts to reserve the resources for `op` this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReserveError`] describing the first violated
+    /// structural constraint; on error no state is modified for slot and
+    /// bank bookkeeping beyond the failed check.
+    pub fn try_reserve(
+        &mut self,
+        machine: &MachineConfig,
+        op: &Operation,
+    ) -> Result<(), ReserveError> {
+        let cluster = op.cluster;
+        if u32::from(cluster) >= self.clusters {
+            return Err(ReserveError::NoSuchCluster(cluster));
+        }
+        let class = match op.fu_class() {
+            Some(c) => c,
+            None => return Ok(()), // explicit nop consumes nothing
+        };
+        let slot = op.slot;
+        let (bc, bs) = machine.branch_slot();
+
+        if class == FuClass::Branch {
+            if (cluster, slot) != (bc, bs) {
+                return Err(ReserveError::NotControlSlot(cluster, slot));
+            }
+        } else {
+            if u32::from(slot) >= self.slots_per_cluster {
+                return Err(ReserveError::NoSuchSlot(cluster, slot));
+            }
+            let caps = machine.cluster.slots[slot as usize];
+            if !caps.contains(class) {
+                return Err(ReserveError::Incapable(cluster, slot, class));
+            }
+        }
+
+        if self.slot_busy(cluster, slot) {
+            return Err(ReserveError::SlotBusy(cluster, slot));
+        }
+
+        // Class-specific shared resources.
+        match &op.kind {
+            OpKind::Xfer { from, .. } => {
+                if u32::from(*from) >= self.clusters {
+                    return Err(ReserveError::NoSuchCluster(*from));
+                }
+                if self.xfer_free(machine, cluster) == 0 {
+                    return Err(ReserveError::XbarPortsExhausted(cluster));
+                }
+                if *from != cluster && self.xfer_free(machine, *from) == 0 {
+                    return Err(ReserveError::XbarPortsExhausted(*from));
+                }
+                self.xfer_used[cluster as usize] += 1;
+                if *from != cluster {
+                    self.xfer_used[*from as usize] += 1;
+                }
+            }
+            OpKind::Load { bank, .. } | OpKind::Store { bank, .. } | OpKind::MemCtl { bank, .. } => {
+                let b = bank.index();
+                let banks = &mut self.bank_used[cluster as usize];
+                if b >= banks.len() {
+                    return Err(ReserveError::NoSuchBank(cluster, bank.0));
+                }
+                if machine.cluster.bank_binding == BankBinding::PerSlot && bank.0 != slot {
+                    return Err(ReserveError::BankSlotMismatch(cluster, slot, bank.0));
+                }
+                if banks[b] >= machine.cluster.banks[b].ports {
+                    return Err(ReserveError::BankBusy(cluster, bank.0));
+                }
+                banks[b] += 1;
+            }
+            _ => {}
+        }
+
+        let idx = self.slot_index(cluster, slot);
+        self.slot_used[idx] = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use vsp_isa::{AddrMode, AluBinOp, MemBank, Operand, Pred, Reg};
+
+    fn add(cluster: ClusterId, slot: SlotId) -> Operation {
+        Operation::new(
+            cluster,
+            slot,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(1),
+            },
+        )
+    }
+
+    fn ld(cluster: ClusterId, slot: SlotId, bank: u8) -> Operation {
+        Operation::new(
+            cluster,
+            slot,
+            OpKind::Load {
+                dst: Reg(1),
+                addr: AddrMode::Register(Reg(0)),
+                bank: MemBank(bank),
+            },
+        )
+    }
+
+    #[test]
+    fn slot_occupancy() {
+        let m = models::i4c8s4();
+        let mut r = CycleReservation::new(&m);
+        r.try_reserve(&m, &add(0, 0)).unwrap();
+        assert_eq!(
+            r.try_reserve(&m, &add(0, 0)),
+            Err(ReserveError::SlotBusy(0, 0))
+        );
+        r.try_reserve(&m, &add(0, 1)).unwrap();
+    }
+
+    #[test]
+    fn capability_enforced() {
+        let m = models::i4c8s4();
+        let mut r = CycleReservation::new(&m);
+        // Slot 3 of the wide cluster has no Mem capability.
+        assert_eq!(
+            r.try_reserve(&m, &ld(0, 3, 0)),
+            Err(ReserveError::Incapable(0, 3, FuClass::Mem))
+        );
+        r.try_reserve(&m, &ld(0, 2, 0)).unwrap();
+    }
+
+    #[test]
+    fn one_load_per_cycle_on_wide_clusters() {
+        // The Full-Motion-Search bottleneck: "the load/store unit which is
+        // limited to one load per cluster per cycle".
+        let m = models::i4c8s4();
+        let mut r = CycleReservation::new(&m);
+        r.try_reserve(&m, &ld(0, 2, 0)).unwrap();
+        // No other slot can issue memory ops at all.
+        for slot in [0u8, 1, 3] {
+            assert!(r.try_reserve(&m, &ld(0, slot, 0)).is_err());
+        }
+    }
+
+    #[test]
+    fn dualport_ablation_allows_two_loads() {
+        let m = models::i4c8s4_dualport();
+        let mut r = CycleReservation::new(&m);
+        r.try_reserve(&m, &ld(0, 2, 0)).unwrap();
+        // The §3.4.1 ablation's dual-ported memory takes a second access.
+        r.try_reserve(&m, &ld(0, 3, 0)).unwrap();
+        // But not a third (no third LSU slot and no third port).
+        assert!(r.try_reserve(&m, &ld(0, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn per_slot_bank_binding() {
+        let m = models::i2c16s4();
+        let mut r = CycleReservation::new(&m);
+        r.try_reserve(&m, &ld(3, 0, 0)).unwrap();
+        assert_eq!(
+            r.try_reserve(&m, &ld(3, 1, 0)),
+            Err(ReserveError::BankSlotMismatch(3, 1, 0))
+        );
+        r.try_reserve(&m, &ld(3, 1, 1)).unwrap();
+    }
+
+    #[test]
+    fn crossbar_port_limits() {
+        let m = models::i2c16s4(); // 1 port per cluster
+        let mut r = CycleReservation::new(&m);
+        let x = |dst_cluster: ClusterId, slot: SlotId, from: ClusterId| {
+            Operation::new(
+                dst_cluster,
+                slot,
+                OpKind::Xfer {
+                    dst: Reg(1),
+                    from,
+                    src: Reg(2),
+                },
+            )
+        };
+        r.try_reserve(&m, &x(0, 0, 1)).unwrap();
+        // Cluster 1's single port is now consumed as a source.
+        assert_eq!(
+            r.try_reserve(&m, &x(2, 0, 1)),
+            Err(ReserveError::XbarPortsExhausted(1))
+        );
+        // Cluster 0's port is consumed as a destination.
+        assert_eq!(
+            r.try_reserve(&m, &x(0, 1, 3)),
+            Err(ReserveError::XbarPortsExhausted(0))
+        );
+        // Unrelated clusters still transfer freely.
+        r.try_reserve(&m, &x(4, 0, 5)).unwrap();
+    }
+
+    #[test]
+    fn wide_clusters_have_port_per_slot() {
+        let m = models::i4c8s4(); // 4 ports per cluster
+        let mut r = CycleReservation::new(&m);
+        for slot in 0..4u8 {
+            let op = Operation::new(
+                1,
+                slot,
+                OpKind::Xfer {
+                    dst: Reg(slot as u16),
+                    from: 2 + slot,
+                    src: Reg(0),
+                },
+            );
+            r.try_reserve(&m, &op).unwrap();
+        }
+    }
+
+    #[test]
+    fn branch_only_in_control_slot() {
+        let m = models::i4c8s4();
+        let mut r = CycleReservation::new(&m);
+        let br = |c: ClusterId, s: SlotId| {
+            Operation::new(
+                c,
+                s,
+                OpKind::Branch {
+                    pred: Pred(0),
+                    sense: true,
+                    target: 0,
+                },
+            )
+        };
+        assert_eq!(
+            r.try_reserve(&m, &br(0, 0)),
+            Err(ReserveError::NotControlSlot(0, 0))
+        );
+        assert_eq!(
+            r.try_reserve(&m, &br(1, 4)),
+            Err(ReserveError::NotControlSlot(1, 4))
+        );
+        r.try_reserve(&m, &br(0, 4)).unwrap();
+        assert_eq!(r.try_reserve(&m, &br(0, 4)), Err(ReserveError::SlotBusy(0, 4)));
+    }
+
+    #[test]
+    fn out_of_range_indices() {
+        let m = models::i4c8s4();
+        let mut r = CycleReservation::new(&m);
+        assert_eq!(
+            r.try_reserve(&m, &add(8, 0)),
+            Err(ReserveError::NoSuchCluster(8))
+        );
+        assert_eq!(r.try_reserve(&m, &add(0, 4)), Err(ReserveError::NoSuchSlot(0, 4)));
+        assert_eq!(
+            r.try_reserve(&m, &ld(0, 2, 1)),
+            Err(ReserveError::NoSuchBank(0, 1))
+        );
+    }
+
+    #[test]
+    fn nop_consumes_nothing() {
+        let m = models::i4c8s4();
+        let mut r = CycleReservation::new(&m);
+        r.try_reserve(&m, &Operation::new(0, 0, OpKind::Nop)).unwrap();
+        r.try_reserve(&m, &add(0, 0)).unwrap();
+    }
+}

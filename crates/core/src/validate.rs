@@ -1,0 +1,397 @@
+//! Structural validation of programs against a machine.
+//!
+//! A VLIW program is only meaningful for the machine it was scheduled for:
+//! every word must respect slot capabilities, register-file and predicate
+//! bounds, addressing-mode support, multiplier width, crossbar port
+//! limits and memory-bank bindings. This module replays each word through
+//! a [`CycleReservation`] and checks all operand encodings.
+
+use crate::config::MachineConfig;
+use crate::resources::{CycleReservation, ReserveError};
+use std::fmt;
+use vsp_isa::{AddrMode, AluBinOp, MulKind, OpKind, Operand, Program};
+
+/// A structural violation found in a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Instruction-word index.
+    pub word: usize,
+    /// Description of the violation.
+    pub kind: ViolationKind,
+}
+
+/// The kinds of structural violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Resource/placement violation (slot, crossbar, bank).
+    Resource(ReserveError),
+    /// Register index out of range for the cluster register file.
+    RegOutOfRange(u16),
+    /// Predicate index out of range for the cluster predicate file.
+    PredOutOfRange(u8),
+    /// Addressing mode not supported by this machine.
+    UnsupportedAddressing(AddrMode),
+    /// Wide multiply on a machine without the 16-bit multiplier.
+    WideMulUnsupported(MulKind),
+    /// Absolute-difference operation on a machine without the operator.
+    AbsDiffUnsupported,
+    /// Branch or jump target outside the program.
+    BadTarget(usize),
+    /// Program exceeds the instruction cache ("all critical loops must
+    /// fit into the cache"); reported when `require_icache_fit` is set.
+    IcacheOverflow {
+        /// Program length in words.
+        words: usize,
+        /// Cache capacity in words.
+        capacity: u32,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "word {}: ", self.word)?;
+        match &self.kind {
+            ViolationKind::Resource(e) => write!(f, "{e}"),
+            ViolationKind::RegOutOfRange(r) => write!(f, "register r{r} out of range"),
+            ViolationKind::PredOutOfRange(p) => write!(f, "predicate p{p} out of range"),
+            ViolationKind::UnsupportedAddressing(a) => {
+                write!(f, "addressing mode {a} not supported")
+            }
+            ViolationKind::WideMulUnsupported(k) => {
+                write!(f, "{k} requires the 16-bit multiplier")
+            }
+            ViolationKind::AbsDiffUnsupported => {
+                write!(f, "absd requires the absolute-difference operator")
+            }
+            ViolationKind::BadTarget(t) => write!(f, "control target {t} out of range"),
+            ViolationKind::IcacheOverflow { words, capacity } => {
+                write!(f, "program of {words} words exceeds {capacity}-word icache")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Options for [`validate_program`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidateOptions {
+    /// Also require the whole program to fit in the instruction cache.
+    pub require_icache_fit: bool,
+}
+
+/// Validates a program against a machine.
+///
+/// # Errors
+///
+/// Returns every structural violation found (empty `Ok(())` means the
+/// program can execute on the machine).
+pub fn validate_program(
+    machine: &MachineConfig,
+    program: &Program,
+) -> Result<(), Vec<ValidationError>> {
+    validate_program_with(machine, program, ValidateOptions::default())
+}
+
+/// Validates a program with explicit options.
+///
+/// # Errors
+///
+/// Returns every structural violation found.
+pub fn validate_program_with(
+    machine: &MachineConfig,
+    program: &Program,
+    options: ValidateOptions,
+) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    let regs = machine.cluster.registers;
+    let preds = machine.cluster.pred_regs;
+
+    if options.require_icache_fit && program.len() > machine.icache_words as usize {
+        errors.push(ValidationError {
+            word: 0,
+            kind: ViolationKind::IcacheOverflow {
+                words: program.len(),
+                capacity: machine.icache_words,
+            },
+        });
+    }
+
+    for (w, word) in program.iter().enumerate() {
+        let mut cycle = CycleReservation::new(machine);
+        for op in word.iter() {
+            let err = |kind: ViolationKind| ValidationError { word: w, kind };
+
+            if let Err(e) = cycle.try_reserve(machine, op) {
+                errors.push(err(ViolationKind::Resource(e)));
+                continue;
+            }
+
+            let check_reg = |r: u16, errors: &mut Vec<ValidationError>| {
+                if u32::from(r) >= regs {
+                    errors.push(err(ViolationKind::RegOutOfRange(r)));
+                }
+            };
+
+            if let Some(d) = op.kind.def_reg() {
+                check_reg(d.0, &mut errors);
+            }
+            for u in op.kind.use_regs() {
+                check_reg(u.0, &mut errors);
+            }
+            if let OpKind::Xfer { src, .. } = &op.kind {
+                check_reg(src.0, &mut errors);
+            }
+            if let Some(p) = op.kind.def_pred() {
+                if u32::from(p.0) >= preds {
+                    errors.push(err(ViolationKind::PredOutOfRange(p.0)));
+                }
+            }
+            if let Some(g) = &op.guard {
+                if u32::from(g.pred.0) >= preds {
+                    errors.push(err(ViolationKind::PredOutOfRange(g.pred.0)));
+                }
+            }
+
+            match &op.kind {
+                OpKind::Load { addr, .. } | OpKind::Store { addr, .. }
+                    if !machine.supports_addr(*addr) => {
+                        errors.push(err(ViolationKind::UnsupportedAddressing(*addr)));
+                    }
+                OpKind::Mul { kind, .. }
+                    if kind.is_wide() && machine.mul_width == crate::config::MulWidth::Eight => {
+                        errors.push(err(ViolationKind::WideMulUnsupported(*kind)));
+                    }
+                OpKind::AluBin {
+                    op: AluBinOp::AbsDiff,
+                    ..
+                }
+                    if !machine.has_absdiff => {
+                        errors.push(err(ViolationKind::AbsDiffUnsupported));
+                    }
+                OpKind::Branch { pred, sense, target } => {
+                    let _ = (pred, sense);
+                    if *target >= program.len() {
+                        errors.push(err(ViolationKind::BadTarget(*target)));
+                    }
+                }
+                OpKind::Jump { target }
+                    if *target >= program.len() => {
+                        errors.push(err(ViolationKind::BadTarget(*target)));
+                    }
+                OpKind::Cmp { a, b, .. } => {
+                    // operand regs already checked through use_regs
+                    let _ = (a, b);
+                }
+                _ => {}
+            }
+
+            // Immediates are always 16-bit; Operand::Imm cannot overflow by
+            // construction, but register operands inside composite operands
+            // were covered above.
+            let _ = Operand::Imm(0);
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use vsp_isa::{AddrMode, AluBinOp, MemBank, Operand, Operation, Pred, Reg};
+
+    fn program_of(ops: Vec<Operation>) -> Program {
+        let mut p = Program::new("t");
+        p.push_word(ops);
+        p
+    }
+
+    fn add(dst: u16, a: u16) -> Operation {
+        Operation::new(
+            0,
+            0,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(dst),
+                a: Operand::Reg(Reg(a)),
+                b: Operand::Imm(1),
+            },
+        )
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let m = models::i4c8s4();
+        let p = program_of(vec![add(1, 0)]);
+        validate_program(&m, &p).unwrap();
+    }
+
+    #[test]
+    fn register_bounds() {
+        let m = models::i2c16s4(); // 64 registers
+        let p = program_of(vec![add(64, 0)]);
+        let errs = validate_program(&m, &p).unwrap_err();
+        assert!(matches!(errs[0].kind, ViolationKind::RegOutOfRange(64)));
+        // 128 registers on the wide machine: fine.
+        validate_program(&models::i4c8s4(), &p).unwrap();
+    }
+
+    #[test]
+    fn predicate_bounds() {
+        let m = models::i4c8s4();
+        let op = Operation::new(
+            0,
+            0,
+            OpKind::Cmp {
+                op: vsp_isa::CmpOp::Lt,
+                dst: Pred(9),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(0),
+            },
+        );
+        let errs = validate_program(&m, &program_of(vec![op])).unwrap_err();
+        assert!(matches!(errs[0].kind, ViolationKind::PredOutOfRange(9)));
+    }
+
+    #[test]
+    fn addressing_mode_support() {
+        let ld = Operation::new(
+            0,
+            2,
+            OpKind::Load {
+                dst: Reg(1),
+                addr: AddrMode::BaseDisp(Reg(0), 4),
+                bank: MemBank(0),
+            },
+        );
+        let p = program_of(vec![ld]);
+        // Simple-addressing machine rejects base+displacement...
+        let errs = validate_program(&models::i4c8s4(), &p).unwrap_err();
+        assert!(matches!(
+            errs[0].kind,
+            ViolationKind::UnsupportedAddressing(_)
+        ));
+        // ...complex-addressing machines accept it.
+        validate_program(&models::i4c8s4c(), &p).unwrap();
+        validate_program(&models::i4c8s5(), &p).unwrap();
+    }
+
+    #[test]
+    fn wide_multiply_needs_m16() {
+        let mul = Operation::new(
+            0,
+            0,
+            OpKind::Mul {
+                kind: MulKind::Mul16Lo,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Reg(Reg(3)),
+            },
+        );
+        let p = program_of(vec![mul]);
+        let errs = validate_program(&models::i4c8s5(), &p).unwrap_err();
+        assert!(matches!(
+            errs[0].kind,
+            ViolationKind::WideMulUnsupported(MulKind::Mul16Lo)
+        ));
+        validate_program(&models::i4c8s5m16(), &p).unwrap();
+    }
+
+    #[test]
+    fn absdiff_needs_the_operator() {
+        let op = Operation::new(
+            0,
+            0,
+            OpKind::AluBin {
+                op: AluBinOp::AbsDiff,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Reg(Reg(3)),
+            },
+        );
+        let p = program_of(vec![op]);
+        let errs = validate_program(&models::i4c8s4(), &p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, ViolationKind::AbsDiffUnsupported)));
+        validate_program(&models::with_absdiff(models::i4c8s4()), &p).unwrap();
+    }
+
+    #[test]
+    fn bad_targets_detected() {
+        let m = models::i4c8s4();
+        let p = program_of(vec![Operation::new(0, 4, OpKind::Jump { target: 10 })]);
+        let errs = validate_program(&m, &p).unwrap_err();
+        assert!(matches!(errs[0].kind, ViolationKind::BadTarget(10)));
+    }
+
+    #[test]
+    fn icache_fit_option() {
+        let m = models::i2c16s4(); // 512-word icache
+        let mut p = Program::new("big");
+        for _ in 0..600 {
+            p.push_word(vec![add(1, 0)]);
+        }
+        validate_program(&m, &p).unwrap();
+        let errs = validate_program_with(
+            &m,
+            &p,
+            ValidateOptions {
+                require_icache_fit: true,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            errs[0].kind,
+            ViolationKind::IcacheOverflow { words: 600, .. }
+        ));
+    }
+
+    #[test]
+    fn resource_violations_surface() {
+        let m = models::i4c8s4();
+        // Two memory operations in one word on a one-LSU cluster.
+        let ld0 = Operation::new(
+            0,
+            2,
+            OpKind::Load {
+                dst: Reg(1),
+                addr: AddrMode::Absolute(0),
+                bank: MemBank(0),
+            },
+        );
+        let ld1 = Operation::new(
+            0,
+            3,
+            OpKind::Load {
+                dst: Reg(2),
+                addr: AddrMode::Absolute(1),
+                bank: MemBank(0),
+            },
+        );
+        let errs = validate_program(&m, &program_of(vec![ld0, ld1])).unwrap_err();
+        assert!(matches!(errs[0].kind, ViolationKind::Resource(_)));
+    }
+
+    #[test]
+    fn xfer_remote_register_checked() {
+        let m = models::i2c16s4(); // 64 registers
+        let op = Operation::new(
+            0,
+            0,
+            OpKind::Xfer {
+                dst: Reg(1),
+                from: 3,
+                src: Reg(200),
+            },
+        );
+        let errs = validate_program(&m, &program_of(vec![op])).unwrap_err();
+        assert!(matches!(errs[0].kind, ViolationKind::RegOutOfRange(200)));
+    }
+}

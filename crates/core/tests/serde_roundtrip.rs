@@ -1,0 +1,52 @@
+//! Machine configurations serialize and round-trip — the bench harness
+//! persists experiment setups as JSON.
+
+use vsp_core::{models, MachineConfig};
+
+#[test]
+fn all_models_round_trip_through_json() {
+    for m in models::all_models() {
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m, "{}", m.name);
+        // The physical twin derived from the deserialized config is
+        // identical too.
+        assert_eq!(
+            back.datapath_spec().datapath_area().total_mm2(),
+            m.datapath_spec().datapath_area().total_mm2()
+        );
+    }
+}
+
+#[test]
+fn programs_round_trip_through_json() {
+    use vsp_isa::{AluUnOp, OpKind, Operand, Operation, Program, Reg};
+    let mut p = Program::new("roundtrip");
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::AluUn {
+            op: AluUnOp::Mov,
+            dst: Reg(1),
+            a: Operand::Imm(42),
+        },
+    )]);
+    p.set_label("entry", 0);
+    let json = serde_json::to_string(&p).unwrap();
+    let back: Program = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, p);
+    assert_eq!(back.label("entry"), Some(0));
+}
+
+#[test]
+fn variant_rows_serialize_for_the_harness() {
+    // Row borrows its variant names ('static), so it serializes but is
+    // inspected generically on the consumer side.
+    let rows = vsp_kernels::variants::color_rows(&models::i4c8s4());
+    let json = serde_json::to_string(&rows).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let arr = value.as_array().unwrap();
+    assert_eq!(arr.len(), rows.len());
+    assert!(arr[0]["variant"].is_string());
+    assert!(arr[0]["cycles"].is_u64());
+}

@@ -1,0 +1,332 @@
+//! Ergonomic construction of kernels.
+//!
+//! [`KernelBuilder`] keeps a statement stack so loops and conditionals can
+//! be written with closures, reading much like the original C kernels.
+
+use crate::kernel::{
+    ArrayDecl, ArrayId, Expr, Guard, IndexExpr, Kernel, Loop, Rvalue, Stmt, VarId,
+};
+use vsp_isa::{AluBinOp, AluUnOp, CmpOp, ShiftOp};
+
+/// Builder for [`Kernel`]s.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    var_names: Vec<String>,
+    /// Statement stack: the innermost open body is last.
+    frames: Vec<Vec<Stmt>>,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            arrays: Vec::new(),
+            var_names: Vec::new(),
+            frames: vec![Vec::new()],
+        }
+    }
+
+    /// Declares an array of `len` 16-bit words.
+    pub fn array(&mut self, name: impl Into<String>, len: u32) -> ArrayId {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            len,
+        });
+        ArrayId(self.arrays.len() as u32 - 1)
+    }
+
+    /// Declares a scalar variable.
+    pub fn var(&mut self, name: impl Into<String>) -> VarId {
+        self.var_names.push(name.into());
+        VarId(self.var_names.len() as u32 - 1)
+    }
+
+    fn push(&mut self, stmt: Stmt) {
+        self.frames
+            .last_mut()
+            .expect("builder always has an open frame")
+            .push(stmt);
+    }
+
+    /// Emits `dst = expr`.
+    pub fn assign(&mut self, dst: VarId, expr: Expr) {
+        self.push(Stmt::Assign {
+            dst,
+            expr,
+            guard: None,
+        });
+    }
+
+    /// Emits a guarded `dst = expr`.
+    pub fn assign_if(&mut self, guard: Guard, dst: VarId, expr: Expr) {
+        self.push(Stmt::Assign {
+            dst,
+            expr,
+            guard: Some(guard),
+        });
+    }
+
+    /// Emits `dst = constant`.
+    pub fn set(&mut self, dst: VarId, value: i16) {
+        self.assign(dst, Expr::Un(AluUnOp::Mov, Rvalue::Const(value)));
+    }
+
+    /// Emits `dst = src`.
+    pub fn copy(&mut self, dst: VarId, src: impl Into<Rvalue>) {
+        self.assign(dst, Expr::Un(AluUnOp::Mov, src.into()));
+    }
+
+    /// Emits `dst = a <op> b` and returns `dst` for chaining.
+    pub fn bin(
+        &mut self,
+        dst: VarId,
+        op: AluBinOp,
+        a: impl Into<Rvalue>,
+        b: impl Into<Rvalue>,
+    ) -> VarId {
+        self.assign(dst, Expr::Bin(op, a.into(), b.into()));
+        dst
+    }
+
+    /// Declares a fresh variable and assigns `a <op> b` to it.
+    pub fn bin_new(
+        &mut self,
+        name: &str,
+        op: AluBinOp,
+        a: impl Into<Rvalue>,
+        b: impl Into<Rvalue>,
+    ) -> VarId {
+        let v = self.var(name);
+        self.bin(v, op, a, b)
+    }
+
+    /// Declares a fresh variable and assigns a unary op to it.
+    pub fn un_new(&mut self, name: &str, op: AluUnOp, a: impl Into<Rvalue>) -> VarId {
+        let v = self.var(name);
+        self.assign(v, Expr::Un(op, a.into()));
+        v
+    }
+
+    /// Declares a fresh variable and assigns a shift to it.
+    pub fn shift_new(
+        &mut self,
+        name: &str,
+        op: ShiftOp,
+        a: impl Into<Rvalue>,
+        b: impl Into<Rvalue>,
+    ) -> VarId {
+        let v = self.var(name);
+        self.assign(v, Expr::Shift(op, a.into(), b.into()));
+        v
+    }
+
+    /// Declares a fresh variable and assigns a full 16×16 multiply to it.
+    pub fn mul_new(&mut self, name: &str, a: impl Into<Rvalue>, b: impl Into<Rvalue>) -> VarId {
+        let v = self.var(name);
+        self.assign(v, Expr::MulWide(a.into(), b.into()));
+        v
+    }
+
+    /// Declares a fresh predicate variable and assigns a comparison to it.
+    pub fn cmp_new(
+        &mut self,
+        name: &str,
+        op: CmpOp,
+        a: impl Into<Rvalue>,
+        b: impl Into<Rvalue>,
+    ) -> VarId {
+        let v = self.var(name);
+        self.assign(v, Expr::Cmp(op, a.into(), b.into()));
+        v
+    }
+
+    /// Declares a fresh variable loaded from `array[index]`.
+    pub fn load(&mut self, name: &str, array: ArrayId, index: impl Into<IndexExprArg>) -> VarId {
+        let v = self.var(name);
+        self.assign(v, Expr::Load(array, index.into().0));
+        v
+    }
+
+    /// Emits `array[index] = value`.
+    pub fn store(
+        &mut self,
+        array: ArrayId,
+        index: impl Into<IndexExprArg>,
+        value: impl Into<Rvalue>,
+    ) {
+        self.push(Stmt::Store {
+            array,
+            index: index.into().0,
+            value: value.into(),
+            guard: None,
+        });
+    }
+
+    /// Emits a guarded store.
+    pub fn store_if(
+        &mut self,
+        guard: Guard,
+        array: ArrayId,
+        index: impl Into<IndexExprArg>,
+        value: impl Into<Rvalue>,
+    ) {
+        self.push(Stmt::Store {
+            array,
+            index: index.into().0,
+            value: value.into(),
+            guard: Some(guard),
+        });
+    }
+
+    /// Opens a counted loop; the closure receives the builder and the
+    /// induction variable.
+    pub fn count_loop(
+        &mut self,
+        var_name: &str,
+        start: i16,
+        step: i16,
+        trip: u32,
+        f: impl FnOnce(&mut Self, VarId),
+    ) {
+        let var = self.var(var_name);
+        self.frames.push(Vec::new());
+        f(self, var);
+        let body = self.frames.pop().expect("frame pushed above");
+        self.push(Stmt::Loop(Loop {
+            var,
+            start,
+            step,
+            trip,
+            body,
+        }));
+    }
+
+    /// Opens an `if cond { ... } else { ... }` conditional.
+    pub fn if_else(
+        &mut self,
+        cond: VarId,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.frames.push(Vec::new());
+        then_f(self);
+        let then_body = self.frames.pop().expect("frame pushed above");
+        self.frames.push(Vec::new());
+        else_f(self);
+        let else_body = self.frames.pop().expect("frame pushed above");
+        self.push(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        });
+    }
+
+    /// Finishes the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop or conditional body is still open (programming
+    /// error in the builder's user).
+    pub fn finish(mut self) -> Kernel {
+        assert_eq!(self.frames.len(), 1, "unclosed loop or conditional body");
+        Kernel {
+            name: self.name,
+            arrays: self.arrays,
+            var_count: self.var_names.len() as u32,
+            var_names: self.var_names,
+            body: self.frames.pop().expect("single frame checked above"),
+        }
+    }
+}
+
+/// Argument adapter so index positions accept [`IndexExpr`], [`VarId`]
+/// (variable index), or `u16` (constant index) directly.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexExprArg(pub IndexExpr);
+
+impl From<IndexExpr> for IndexExprArg {
+    fn from(i: IndexExpr) -> Self {
+        IndexExprArg(i)
+    }
+}
+
+impl From<VarId> for IndexExprArg {
+    fn from(v: VarId) -> Self {
+        IndexExprArg(IndexExpr::Var(v))
+    }
+}
+
+impl From<u16> for IndexExprArg {
+    fn from(c: u16) -> Self {
+        IndexExprArg(IndexExpr::Const(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.array("a", 16);
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 1, 16, |b, i| {
+            let x = b.load("x", a, i);
+            b.bin(acc, AluBinOp::Add, acc, x);
+        });
+        let k = b.finish();
+        assert_eq!(k.body.len(), 2);
+        assert!(matches!(&k.body[1], Stmt::Loop(l) if l.trip == 16 && l.body.len() == 2));
+        assert_eq!(k.stmt_count(), 3);
+        assert_eq!(k.working_set_words(), 16);
+    }
+
+    #[test]
+    fn if_else_bodies() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let p = b.cmp_new("p", CmpOp::Lt, x, 0i16);
+        b.if_else(
+            p,
+            |b| b.set(x, 1),
+            |b| b.set(x, 2),
+        );
+        let k = b.finish();
+        match &k.body[1] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_adapters() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.array("a", 8);
+        let i = b.var("i");
+        let _x = b.load("x", a, 3u16);
+        let _y = b.load("y", a, i);
+        let _z = b.load("z", a, IndexExpr::Offset(i, 1));
+        let k = b.finish();
+        assert_eq!(k.stmt_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unclosed_frame_panics() {
+        let mut b = KernelBuilder::new("t");
+        b.frames.push(Vec::new());
+        let _ = b.finish();
+    }
+}

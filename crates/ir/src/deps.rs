@@ -1,0 +1,402 @@
+//! Dependence analysis of flat loop bodies.
+//!
+//! After if-conversion and unrolling, a schedulable loop body is a flat
+//! sequence of (possibly guarded) scalar statements. [`DepGraph::build`]
+//! computes the data-dependence graph the list and modulo schedulers
+//! consume:
+//!
+//! * **flow** (`def → use`) — distance 0 within an iteration; distance 1
+//!   when the first use in body order precedes every definition (the value
+//!   flows in from the previous iteration, e.g. an accumulator);
+//! * **anti** (`use → def`) and **output** (`def → def`) — registers are
+//!   mutable, so the schedulers must preserve these unless a renaming
+//!   transform removed them;
+//! * **memory** — conservative: any two accesses to the same array
+//!   dependence-order a store with respect to other accesses, except
+//!   provably distinct indices (distinct constants, or the same variable
+//!   with distinct constant offsets).
+
+use crate::kernel::{Expr, IndexExpr, Stmt};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// True (read-after-write) dependence.
+    Flow,
+    /// Anti (write-after-read) dependence.
+    Anti,
+    /// Output (write-after-write) dependence.
+    Output,
+    /// Memory ordering dependence.
+    Mem,
+}
+
+/// One dependence edge between statements of a flat body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// Source statement index.
+    pub from: usize,
+    /// Destination statement index (must not start before `from`
+    /// completes, adjusted by `distance` iterations).
+    pub to: usize,
+    /// Kind of dependence.
+    pub kind: DepKind,
+    /// Iteration distance: 0 = same iteration, 1 = carried from the
+    /// previous iteration.
+    pub distance: u32,
+}
+
+/// Data-dependence graph of a flat body.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DepGraph {
+    /// Number of statements.
+    pub len: usize,
+    /// All dependence edges.
+    pub edges: Vec<DepEdge>,
+}
+
+impl DepGraph {
+    /// Builds the dependence graph of a flat body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body contains structured control flow (loops or
+    /// conditionals) — flatten with the unroll/if-convert transforms
+    /// first.
+    pub fn build(body: &[Stmt]) -> DepGraph {
+        for s in body {
+            assert!(
+                matches!(s, Stmt::Assign { .. } | Stmt::Store { .. }),
+                "dependence analysis requires a flat body; found {s:?}"
+            );
+        }
+        let mut edges = Vec::new();
+
+        // Scalar dependences.
+        let mut defs: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut uses: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, s) in body.iter().enumerate() {
+            for u in s.uses() {
+                // Flow from the most recent prior def.
+                if let Some(ds) = defs.get(&u.0) {
+                    if let Some(&d) = ds.last() {
+                        edges.push(DepEdge {
+                            from: d,
+                            to: i,
+                            kind: DepKind::Flow,
+                            distance: 0,
+                        });
+                    }
+                }
+                uses.entry(u.0).or_default().push(i);
+            }
+            if let Some(d) = s.def() {
+                // Anti: all prior uses with no intervening def.
+                if let Some(us) = uses.get(&d.0) {
+                    let since = defs.get(&d.0).and_then(|v| v.last().copied());
+                    for &u in us {
+                        if since.is_none_or(|last_def| u > last_def) && u != i {
+                            edges.push(DepEdge {
+                                from: u,
+                                to: i,
+                                kind: DepKind::Anti,
+                                distance: 0,
+                            });
+                        }
+                    }
+                }
+                // Output: previous def of the same var.
+                if let Some(ds) = defs.get(&d.0) {
+                    if let Some(&prev) = ds.last() {
+                        edges.push(DepEdge {
+                            from: prev,
+                            to: i,
+                            kind: DepKind::Output,
+                            distance: 0,
+                        });
+                    }
+                }
+                defs.entry(d.0).or_default().push(i);
+            }
+        }
+
+        // Loop-carried flow: a use at i with no def before it in body
+        // order reads the value produced by the *last* def in the body
+        // (previous iteration).
+        for (var, us) in &uses {
+            if let Some(ds) = defs.get(var) {
+                let first_def = ds[0];
+                let last_def = *ds.last().expect("defs nonempty");
+                for &u in us {
+                    if u <= first_def {
+                        edges.push(DepEdge {
+                            from: last_def,
+                            to: u,
+                            kind: DepKind::Flow,
+                            distance: 1,
+                        });
+                        // And the matching carried anti edge: the next
+                        // iteration's def must wait for this read only
+                        // within the register model; the scheduler uses
+                        // the in-iteration anti edges already emitted.
+                    }
+                }
+            }
+        }
+
+        // Memory dependences.
+        let accesses: Vec<(usize, MemAccess)> = body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| mem_access(s).map(|a| (i, a)))
+            .collect();
+        for (ai, (i, a)) in accesses.iter().enumerate() {
+            for (j, b) in accesses.iter().skip(ai + 1) {
+                if a.array != b.array {
+                    continue;
+                }
+                if !(a.is_store || b.is_store) {
+                    continue;
+                }
+                if provably_distinct(a.index, b.index) {
+                    continue;
+                }
+                edges.push(DepEdge {
+                    from: *i,
+                    to: *j,
+                    kind: DepKind::Mem,
+                    distance: 0,
+                });
+            }
+        }
+
+        DepGraph {
+            len: body.len(),
+            edges,
+        }
+    }
+
+    /// Edges entering statement `i`.
+    pub fn preds(&self, i: usize) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(move |e| e.to == i)
+    }
+
+    /// Edges leaving statement `i`.
+    pub fn succs(&self, i: usize) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(move |e| e.from == i)
+    }
+
+    /// Statements with no incoming distance-0 edges (schedulable first).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len)
+            .filter(|&i| !self.edges.iter().any(|e| e.to == i && e.distance == 0))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemAccess {
+    array: u32,
+    index: IndexExpr,
+    is_store: bool,
+}
+
+fn mem_access(stmt: &Stmt) -> Option<MemAccess> {
+    match stmt {
+        Stmt::Assign {
+            expr: Expr::Load(a, idx),
+            ..
+        } => Some(MemAccess {
+            array: a.0,
+            index: *idx,
+            is_store: false,
+        }),
+        Stmt::Store { array, index, .. } => Some(MemAccess {
+            array: array.0,
+            index: *index,
+            is_store: true,
+        }),
+        _ => None,
+    }
+}
+
+/// Conservative disambiguation: true only when the two indices can never
+/// be equal.
+fn provably_distinct(a: IndexExpr, b: IndexExpr) -> bool {
+    match (a, b) {
+        (IndexExpr::Const(x), IndexExpr::Const(y)) => x != y,
+        (IndexExpr::Offset(v, x), IndexExpr::Offset(w, y)) => v == w && x != y,
+        (IndexExpr::Var(v), IndexExpr::Offset(w, y)) | (IndexExpr::Offset(w, y), IndexExpr::Var(v)) => {
+            v == w && y != 0
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ArrayId, Rvalue, VarId};
+    use vsp_isa::{AluBinOp, AluUnOp};
+
+    fn assign(dst: u32, uses: &[u32]) -> Stmt {
+        let expr = match uses {
+            [] => Expr::Un(AluUnOp::Mov, Rvalue::Const(0)),
+            [a] => Expr::Un(AluUnOp::Mov, Rvalue::Var(VarId(*a))),
+            [a, b, ..] => Expr::Bin(AluBinOp::Add, Rvalue::Var(VarId(*a)), Rvalue::Var(VarId(*b))),
+        };
+        Stmt::Assign {
+            dst: VarId(dst),
+            expr,
+            guard: None,
+        }
+    }
+
+    #[test]
+    fn flow_dependence() {
+        // v1 = 0 ; v2 = v1
+        let body = vec![assign(1, &[]), assign(2, &[1])];
+        let g = DepGraph::build(&body);
+        assert!(g.edges.contains(&DepEdge {
+            from: 0,
+            to: 1,
+            kind: DepKind::Flow,
+            distance: 0
+        }));
+        assert_eq!(g.roots(), vec![0]);
+    }
+
+    #[test]
+    fn accumulator_is_carried() {
+        // acc = acc + x: use of acc precedes its only def -> carried flow.
+        let body = vec![assign(1, &[1, 2])];
+        let g = DepGraph::build(&body);
+        assert!(g.edges.contains(&DepEdge {
+            from: 0,
+            to: 0,
+            kind: DepKind::Flow,
+            distance: 1
+        }));
+    }
+
+    #[test]
+    fn anti_and_output_dependences() {
+        // v2 = v1 ; v1 = 0 (anti), then v1 = 0 again (output).
+        let body = vec![assign(2, &[1]), assign(1, &[]), assign(1, &[])];
+        let g = DepGraph::build(&body);
+        assert!(g.edges.contains(&DepEdge {
+            from: 0,
+            to: 1,
+            kind: DepKind::Anti,
+            distance: 0
+        }));
+        assert!(g.edges.contains(&DepEdge {
+            from: 1,
+            to: 2,
+            kind: DepKind::Output,
+            distance: 0
+        }));
+    }
+
+    #[test]
+    fn memory_dependences_conservative() {
+        let a = ArrayId(0);
+        let idx = VarId(9);
+        let body = vec![
+            Stmt::Store {
+                array: a,
+                index: IndexExpr::Var(idx),
+                value: Rvalue::Const(1),
+                guard: None,
+            },
+            Stmt::Assign {
+                dst: VarId(1),
+                expr: Expr::Load(a, IndexExpr::Var(idx)),
+                guard: None,
+            },
+        ];
+        let g = DepGraph::build(&body);
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::Mem && e.from == 0 && e.to == 1));
+    }
+
+    #[test]
+    fn distinct_offsets_disambiguated() {
+        let a = ArrayId(0);
+        let v = VarId(9);
+        let body = vec![
+            Stmt::Store {
+                array: a,
+                index: IndexExpr::Offset(v, 0),
+                value: Rvalue::Const(1),
+                guard: None,
+            },
+            Stmt::Assign {
+                dst: VarId(1),
+                expr: Expr::Load(a, IndexExpr::Offset(v, 4)),
+                guard: None,
+            },
+        ];
+        let g = DepGraph::build(&body);
+        assert!(!g.edges.iter().any(|e| e.kind == DepKind::Mem));
+    }
+
+    #[test]
+    fn loads_do_not_order_loads() {
+        let a = ArrayId(0);
+        let body = vec![
+            Stmt::Assign {
+                dst: VarId(1),
+                expr: Expr::Load(a, IndexExpr::Const(0)),
+                guard: None,
+            },
+            Stmt::Assign {
+                dst: VarId(2),
+                expr: Expr::Load(a, IndexExpr::Const(0)),
+                guard: None,
+            },
+        ];
+        let g = DepGraph::build(&body);
+        assert!(!g.edges.iter().any(|e| e.kind == DepKind::Mem));
+    }
+
+    #[test]
+    fn guard_reads_create_flow() {
+        // p = 0 ; (p) v1 = 0
+        let body = vec![
+            assign(3, &[]),
+            Stmt::Assign {
+                dst: VarId(1),
+                expr: Expr::Un(AluUnOp::Mov, Rvalue::Const(1)),
+                guard: Some(crate::kernel::Guard {
+                    var: VarId(3),
+                    sense: true,
+                }),
+            },
+        ];
+        let g = DepGraph::build(&body);
+        assert!(g.edges.contains(&DepEdge {
+            from: 0,
+            to: 1,
+            kind: DepKind::Flow,
+            distance: 0
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "flat body")]
+    fn rejects_structured_bodies() {
+        let body = vec![Stmt::Loop(crate::kernel::Loop {
+            var: VarId(0),
+            start: 0,
+            step: 1,
+            trip: 1,
+            body: vec![],
+        })];
+        DepGraph::build(&body);
+    }
+}

@@ -1,0 +1,353 @@
+//! Reference interpreter — the definition of kernel semantics.
+//!
+//! Every transform in [`crate::transform`] must preserve what this
+//! interpreter computes (final array contents and variable values). The
+//! arithmetic delegates to [`vsp_isa::semantics`], so the interpreter, the
+//! cycle-accurate simulator and the scheduled code all share one
+//! definition of each operation.
+
+use crate::kernel::{ArrayId, Expr, Guard, IndexExpr, Kernel, Rvalue, Stmt, VarId};
+use std::fmt;
+use vsp_isa::semantics;
+use vsp_isa::AluUnOp;
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Array access out of bounds.
+    OutOfBounds {
+        /// The array.
+        array: ArrayId,
+        /// The offending index.
+        index: i32,
+        /// Array length.
+        len: u32,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for {array} (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Interpreter state for one kernel.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    kernel: Kernel,
+    vars: Vec<i16>,
+    arrays: Vec<Vec<i16>>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with zeroed variables and arrays.
+    pub fn new(kernel: &Kernel) -> Self {
+        Interpreter {
+            vars: vec![0; kernel.var_count as usize],
+            arrays: kernel.arrays.iter().map(|a| vec![0; a.len as usize]).collect(),
+            kernel: kernel.clone(),
+        }
+    }
+
+    /// Sets an array's initial contents (shorter data is zero-extended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the declared array.
+    pub fn set_array(&mut self, array: ArrayId, data: Vec<i16>) {
+        let slot = &mut self.arrays[array.0 as usize];
+        assert!(data.len() <= slot.len(), "data longer than array");
+        slot[..data.len()].copy_from_slice(&data);
+    }
+
+    /// Sets a variable's initial value (kernel parameter).
+    pub fn set_var(&mut self, var: VarId, value: i16) {
+        self.vars[var.0 as usize] = value;
+    }
+
+    /// Current value of a variable.
+    pub fn var_value(&self, var: VarId) -> i16 {
+        self.vars[var.0 as usize]
+    }
+
+    /// Current contents of an array.
+    pub fn array(&self, array: ArrayId) -> &[i16] {
+        &self.arrays[array.0 as usize]
+    }
+
+    /// Runs the kernel to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::OutOfBounds`] on any out-of-range array
+    /// access.
+    pub fn run(&mut self) -> Result<(), InterpError> {
+        let body = self.kernel.body.clone();
+        self.exec_block(&body)
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<(), InterpError> {
+        for s in stmts {
+            self.exec_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<(), InterpError> {
+        match stmt {
+            Stmt::Assign { dst, expr, guard } => {
+                if self.guard_passes(guard) {
+                    let v = self.eval(expr)?;
+                    self.vars[dst.0 as usize] = v;
+                }
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+                guard,
+            } => {
+                if self.guard_passes(guard) {
+                    let idx = self.eval_index(*index);
+                    let v = self.rvalue(*value);
+                    let arr = &mut self.arrays[array.0 as usize];
+                    let len = arr.len() as u32;
+                    if idx < 0 || idx as usize >= arr.len() {
+                        return Err(InterpError::OutOfBounds {
+                            array: *array,
+                            index: idx,
+                            len,
+                        });
+                    }
+                    arr[idx as usize] = v;
+                }
+            }
+            Stmt::Loop(l) => {
+                let mut iv = l.start;
+                for _ in 0..l.trip {
+                    self.vars[l.var.0 as usize] = iv;
+                    self.exec_block(&l.body)?;
+                    iv = iv.wrapping_add(l.step);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.vars[cond.0 as usize] != 0 {
+                    self.exec_block(then_body)?;
+                } else {
+                    self.exec_block(else_body)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn guard_passes(&self, guard: &Option<Guard>) -> bool {
+        match guard {
+            None => true,
+            Some(g) => (self.vars[g.var.0 as usize] != 0) == g.sense,
+        }
+    }
+
+    fn rvalue(&self, r: Rvalue) -> i16 {
+        match r {
+            Rvalue::Var(v) => self.vars[v.0 as usize],
+            Rvalue::Const(c) => c,
+        }
+    }
+
+    fn eval_index(&self, index: IndexExpr) -> i32 {
+        match index {
+            IndexExpr::Const(c) => i32::from(c),
+            IndexExpr::Var(v) => i32::from(self.vars[v.0 as usize]),
+            IndexExpr::Sum(v, w) => {
+                i32::from(
+                    self.vars[v.0 as usize].wrapping_add(self.vars[w.0 as usize]),
+                )
+            }
+            IndexExpr::Offset(v, c) => i32::from(self.vars[v.0 as usize].wrapping_add(c)),
+        }
+    }
+
+    fn eval(&self, expr: &Expr) -> Result<i16, InterpError> {
+        Ok(match expr {
+            Expr::Bin(op, a, b) => semantics::alu_bin(*op, self.rvalue(*a), self.rvalue(*b)),
+            Expr::Un(op, a) => semantics::alu_un(*op, self.rvalue(*a)),
+            Expr::Shift(op, a, b) => semantics::shift(*op, self.rvalue(*a), self.rvalue(*b)),
+            Expr::MulWide(a, b) => {
+                ((i32::from(self.rvalue(*a)) * i32::from(self.rvalue(*b))) & 0xffff) as u16 as i16
+            }
+            Expr::Mul8(kind, a, b) => semantics::mul(*kind, self.rvalue(*a), self.rvalue(*b)),
+            Expr::Cmp(op, a, b) => {
+                i16::from(semantics::cmp(*op, self.rvalue(*a), self.rvalue(*b)))
+            }
+            Expr::Load(array, index) => {
+                let idx = self.eval_index(*index);
+                let arr = &self.arrays[array.0 as usize];
+                if idx < 0 || idx as usize >= arr.len() {
+                    return Err(InterpError::OutOfBounds {
+                        array: *array,
+                        index: idx,
+                        len: arr.len() as u32,
+                    });
+                }
+                arr[idx as usize]
+            }
+        })
+    }
+}
+
+/// Convenience: runs `kernel` with given array inputs and parameter
+/// values; returns final array states.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn run_kernel(
+    kernel: &Kernel,
+    arrays: &[(ArrayId, Vec<i16>)],
+    params: &[(VarId, i16)],
+) -> Result<Vec<Vec<i16>>, InterpError> {
+    let mut interp = Interpreter::new(kernel);
+    for (a, data) in arrays {
+        interp.set_array(*a, data.clone());
+    }
+    for (v, val) in params {
+        interp.set_var(*v, *val);
+    }
+    interp.run()?;
+    Ok(interp.arrays)
+}
+
+/// Marker re-export so builder docs can reference `Mov` semantics.
+#[doc(hidden)]
+pub fn mov(v: i16) -> i16 {
+    semantics::alu_un(AluUnOp::Mov, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use vsp_isa::{AluBinOp, CmpOp};
+
+    #[test]
+    fn sum_loop() {
+        let mut b = KernelBuilder::new("sum");
+        let a = b.array("a", 8);
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 1, 8, |b, i| {
+            let x = b.load("x", a, i);
+            b.bin(acc, AluBinOp::Add, acc, x);
+        });
+        let k = b.finish();
+        let mut interp = Interpreter::new(&k);
+        interp.set_array(a, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(acc), 36);
+    }
+
+    #[test]
+    fn nested_loops_and_stores() {
+        // b[i] = sum over j of a[i*4 + j]
+        let mut bld = KernelBuilder::new("rowsum");
+        let a = bld.array("a", 16);
+        let out = bld.array("out", 4);
+        let base = bld.var("base");
+        let acc = bld.var("acc");
+        bld.count_loop("i", 0, 1, 4, |bld, i| {
+            bld.assign(
+                base,
+                Expr::Shift(vsp_isa::ShiftOp::Shl, Rvalue::Var(i), Rvalue::Const(2)),
+            );
+            bld.set(acc, 0);
+            bld.count_loop("j", 0, 1, 4, |bld, j| {
+                let addr = bld.bin_new("addr", AluBinOp::Add, base, j);
+                let x = bld.load("x", a, addr);
+                bld.bin(acc, AluBinOp::Add, acc, x);
+            });
+            bld.store(out, i, acc);
+        });
+        let k = bld.finish();
+        let data: Vec<i16> = (0..16).collect();
+        let arrays = run_kernel(&k, &[(a, data)], &[]).unwrap();
+        assert_eq!(arrays[out.0 as usize], vec![6, 22, 38, 54]);
+    }
+
+    #[test]
+    fn conditionals_and_guards() {
+        let mut b = KernelBuilder::new("clip");
+        let x = b.var("x");
+        let y = b.var("y");
+        let p = b.cmp_new("p", CmpOp::Lt, x, 0i16);
+        b.if_else(p, |b| b.set(y, -1), |b| b.set(y, 1));
+        let g = Guard { var: p, sense: true };
+        let z = b.var("z");
+        b.set(z, 0);
+        b.assign_if(g, z, Expr::Un(vsp_isa::AluUnOp::Mov, Rvalue::Const(7)));
+        let k = b.finish();
+
+        let mut interp = Interpreter::new(&k);
+        interp.set_var(x, -5);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(y), -1);
+        assert_eq!(interp.var_value(z), 7);
+
+        let mut interp = Interpreter::new(&k);
+        interp.set_var(x, 5);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(y), 1);
+        assert_eq!(interp.var_value(z), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut b = KernelBuilder::new("oob");
+        let a = b.array("a", 4);
+        let _x = b.load("x", a, 9u16);
+        let k = b.finish();
+        let err = Interpreter::new(&k).run().unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { index: 9, len: 4, .. }));
+    }
+
+    #[test]
+    fn mulwide_truncates_like_hardware() {
+        let mut b = KernelBuilder::new("mul");
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.mul_new("z", x, y);
+        let k = b.finish();
+        let mut interp = Interpreter::new(&k);
+        interp.set_var(x, 1234);
+        interp.set_var(y, -567);
+        interp.run().unwrap();
+        assert_eq!(
+            interp.var_value(z),
+            ((1234i32 * -567i32) & 0xffff) as u16 as i16
+        );
+    }
+
+    #[test]
+    fn loop_with_negative_step() {
+        let mut b = KernelBuilder::new("down");
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 5, -1, 5, |b, i| {
+            b.bin(acc, AluBinOp::Add, acc, i);
+        });
+        let k = b.finish();
+        let mut interp = Interpreter::new(&k);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(acc), 5 + 4 + 3 + 2 + 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Loop-nest intermediate representation for the VSP scheduling study.
+//!
+//! The paper (§3.3) hand-schedules six MPEG kernels, restricting itself to
+//! "techniques that could practically be used by a compiler": loop
+//! unrolling, if-conversion/predication, common-subexpression
+//! elimination, loop-invariant code motion, strength reduction, list
+//! scheduling and software pipelining. This crate provides the program
+//! representation those techniques operate on:
+//!
+//! * [`kernel`] — counted loop nests over 16-bit scalar statements and
+//!   word-addressed local arrays ([`Kernel`], [`Stmt`], [`Expr`]);
+//! * [`builder`] — an ergonomic way to write kernels
+//!   ([`KernelBuilder`]);
+//! * [`interp`] — a reference interpreter defining kernel semantics,
+//!   used to check that every transform is behaviour-preserving;
+//! * [`deps`] — def-use and dependence analysis of flat (straight-line,
+//!   possibly predicated) loop bodies, producing the dependence graph the
+//!   schedulers consume;
+//! * [`transform`] — the compiler transforms themselves.
+//!
+//! # Example
+//!
+//! ```
+//! use vsp_ir::builder::KernelBuilder;
+//! use vsp_ir::interp::Interpreter;
+//! use vsp_isa::AluBinOp;
+//!
+//! // acc = sum of a[i] for i in 0..8
+//! let mut b = KernelBuilder::new("sum");
+//! let a = b.array("a", 8);
+//! let acc = b.var("acc");
+//! b.set(acc, 0);
+//! b.count_loop("i", 0, 1, 8, |b, i| {
+//!     let x = b.load("x", a, i);
+//!     b.bin(acc, AluBinOp::Add, acc, x);
+//! });
+//! let kernel = b.finish();
+//!
+//! let mut interp = Interpreter::new(&kernel);
+//! interp.set_array(a, (1..=8).collect());
+//! interp.run().unwrap();
+//! assert_eq!(interp.var_value(acc), 36);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod deps;
+pub mod interp;
+pub mod kernel;
+pub mod transform;
+
+pub use builder::KernelBuilder;
+pub use deps::{DepEdge, DepGraph, DepKind};
+pub use interp::Interpreter;
+pub use kernel::{ArrayId, Expr, Guard, IndexExpr, Kernel, Loop, Rvalue, Stmt, VarId};

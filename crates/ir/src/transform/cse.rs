@@ -1,0 +1,298 @@
+//! Local common-subexpression elimination.
+//!
+//! §3.3: "we also aggressively applied scalar optimizations such as
+//! common subexpression elimination". This pass value-numbers each
+//! straight-line run of unguarded scalar statements: a pure expression
+//! whose operands carry the same value numbers as an earlier computation
+//! is replaced by a copy of the earlier result. Loads participate too, as
+//! long as no store to the same array intervenes.
+
+use crate::kernel::{Expr, IndexExpr, Kernel, Rvalue, Stmt, VarId};
+use std::collections::HashMap;
+use vsp_isa::AluUnOp;
+
+/// Value-numbered operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Vn {
+    Const(i16),
+    Num(u32),
+}
+
+/// Value-numbered expression key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(vsp_isa::AluBinOp, Vn, Vn),
+    Un(AluUnOp, Vn),
+    Shift(vsp_isa::ShiftOp, Vn, Vn),
+    MulWide(Vn, Vn),
+    Mul8(vsp_isa::MulKind, Vn, Vn),
+    Cmp(vsp_isa::CmpOp, Vn, Vn),
+    Load(u32, IndexVn),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum IndexVn {
+    Const(u16),
+    Var(Vn),
+    Sum(Vn, Vn),
+    Offset(Vn, i16),
+}
+
+/// Runs CSE over every straight-line region of the kernel. Returns the
+/// number of expressions replaced by copies.
+pub fn eliminate_common_subexpressions(kernel: &mut Kernel) -> usize {
+    let mut body = std::mem::take(&mut kernel.body);
+    let n = walk(&mut body);
+    kernel.body = body;
+    n
+}
+
+fn walk(stmts: &mut Vec<Stmt>) -> usize {
+    let mut count = run_block(stmts);
+    for s in stmts {
+        match s {
+            Stmt::Loop(l) => count += walk(&mut l.body),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                count += walk(then_body);
+                count += walk(else_body);
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Value numbering over the top level of one block; structured statements
+/// and guarded statements reset the state (guarded writes make value
+/// tracking path-dependent — keep it simple and sound).
+fn run_block(stmts: &mut [Stmt]) -> usize {
+    let mut replaced = 0;
+    let mut next_num: u32 = 0;
+    let mut var_vn: HashMap<VarId, Vn> = HashMap::new();
+    let mut table: HashMap<Key, VarId> = HashMap::new();
+    let mut load_epoch: HashMap<u32, u32> = HashMap::new();
+
+    let fresh = |var_vn: &mut HashMap<VarId, Vn>, v: VarId, next_num: &mut u32| {
+        *next_num += 1;
+        var_vn.insert(v, Vn::Num(*next_num));
+    };
+
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::Assign {
+                dst,
+                expr,
+                guard: None,
+            } => {
+                let vn_of = |r: &Rvalue, var_vn: &mut HashMap<VarId, Vn>, next: &mut u32| match r {
+                    Rvalue::Const(c) => Vn::Const(*c),
+                    Rvalue::Var(v) => *var_vn.entry(*v).or_insert_with(|| {
+                        *next += 1;
+                        Vn::Num(*next)
+                    }),
+                };
+                let idx_vn = |i: &IndexExpr, var_vn: &mut HashMap<VarId, Vn>, next: &mut u32| {
+                    let vv = |v: &VarId, var_vn: &mut HashMap<VarId, Vn>, next: &mut u32| {
+                        *var_vn.entry(*v).or_insert_with(|| {
+                            *next += 1;
+                            Vn::Num(*next)
+                        })
+                    };
+                    match i {
+                        IndexExpr::Const(c) => IndexVn::Const(*c),
+                        IndexExpr::Var(v) => IndexVn::Var(vv(v, var_vn, next)),
+                        IndexExpr::Sum(v, w) => {
+                            IndexVn::Sum(vv(v, var_vn, next), vv(w, var_vn, next))
+                        }
+                        IndexExpr::Offset(v, c) => IndexVn::Offset(vv(v, var_vn, next), *c),
+                    }
+                };
+                let key = match expr {
+                    Expr::Bin(op, a, b) => Some(Key::Bin(
+                        *op,
+                        vn_of(a, &mut var_vn, &mut next_num),
+                        vn_of(b, &mut var_vn, &mut next_num),
+                    )),
+                    Expr::Shift(op, a, b) => Some(Key::Shift(
+                        *op,
+                        vn_of(a, &mut var_vn, &mut next_num),
+                        vn_of(b, &mut var_vn, &mut next_num),
+                    )),
+                    Expr::MulWide(a, b) => Some(Key::MulWide(
+                        vn_of(a, &mut var_vn, &mut next_num),
+                        vn_of(b, &mut var_vn, &mut next_num),
+                    )),
+                    Expr::Mul8(k, a, b) => Some(Key::Mul8(
+                        *k,
+                        vn_of(a, &mut var_vn, &mut next_num),
+                        vn_of(b, &mut var_vn, &mut next_num),
+                    )),
+                    Expr::Cmp(op, a, b) => Some(Key::Cmp(
+                        *op,
+                        vn_of(a, &mut var_vn, &mut next_num),
+                        vn_of(b, &mut var_vn, &mut next_num),
+                    )),
+                    Expr::Un(op, a) if *op != AluUnOp::Mov => Some(Key::Un(
+                        *op,
+                        vn_of(a, &mut var_vn, &mut next_num),
+                    )),
+                    Expr::Un(AluUnOp::Mov, a) => {
+                        // Copies propagate value numbers.
+                        let vn = vn_of(a, &mut var_vn, &mut next_num);
+                        var_vn.insert(*dst, vn);
+                        continue;
+                    }
+                    Expr::Un(..) => None,
+                    Expr::Load(arr, idx) => {
+                        let epoch = *load_epoch.entry(arr.0).or_insert(0);
+                        let ivn = idx_vn(idx, &mut var_vn, &mut next_num);
+                        // Epoch folds into the array id for the key.
+                        Some(Key::Load(arr.0 ^ (epoch << 16), ivn))
+                    }
+                };
+                match key {
+                    Some(key) => match table.get(&key) {
+                        Some(&prev) if prev != *dst => {
+                            *expr = Expr::Un(AluUnOp::Mov, Rvalue::Var(prev));
+                            let vn = var_vn.get(&prev).copied().unwrap_or_else(|| {
+                                next_num += 1;
+                                Vn::Num(next_num)
+                            });
+                            var_vn.insert(*dst, vn);
+                            replaced += 1;
+                        }
+                        _ => {
+                            fresh(&mut var_vn, *dst, &mut next_num);
+                            table.insert(key, *dst);
+                        }
+                    },
+                    None => fresh(&mut var_vn, *dst, &mut next_num),
+                }
+            }
+            Stmt::Store {
+                array, guard: None, ..
+            } => {
+                *load_epoch.entry(array.0).or_insert(0) += 1;
+            }
+            _ => {
+                // Guarded statements or structured control: conservatively
+                // reset all state.
+                var_vn.clear();
+                table.clear();
+                load_epoch.clear();
+            }
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::interp::Interpreter;
+    use vsp_isa::AluBinOp;
+
+    #[test]
+    fn duplicate_adds_collapse() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let y = b.var("y");
+        let s1 = b.bin_new("s1", AluBinOp::Add, x, y);
+        let s2 = b.bin_new("s2", AluBinOp::Add, x, y);
+        let z = b.bin_new("z", AluBinOp::Add, s1, s2);
+        let mut k = b.finish();
+        assert_eq!(eliminate_common_subexpressions(&mut k), 1);
+        // s2 is now a copy of s1.
+        match &k.body[1] {
+            Stmt::Assign {
+                expr: Expr::Un(AluUnOp::Mov, Rvalue::Var(v)),
+                ..
+            } => assert_eq!(*v, s1),
+            other => panic!("{other:?}"),
+        }
+        let mut interp = Interpreter::new(&k);
+        interp.set_var(x, 3);
+        interp.set_var(y, 4);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(z), 14);
+    }
+
+    #[test]
+    fn redefinition_blocks_reuse() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let s1 = b.bin_new("s1", AluBinOp::Add, x, 1i16);
+        b.set(x, 9); // x changes
+        let s2 = b.bin_new("s2", AluBinOp::Add, x, 1i16);
+        let mut k = b.finish();
+        assert_eq!(eliminate_common_subexpressions(&mut k), 0);
+        let mut interp = Interpreter::new(&k);
+        interp.set_var(x, 1);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(s1), 2);
+        assert_eq!(interp.var_value(s2), 10);
+    }
+
+    #[test]
+    fn loads_cse_until_store() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.array("a", 4);
+        let l1 = b.load("l1", a, 0u16);
+        let l2 = b.load("l2", a, 0u16); // same -> CSE
+        b.store(a, 0u16, 99i16);
+        let l3 = b.load("l3", a, 0u16); // after store -> reload
+        let mut k = b.finish();
+        assert_eq!(eliminate_common_subexpressions(&mut k), 1);
+        let mut interp = Interpreter::new(&k);
+        interp.set_array(a, vec![7, 0, 0, 0]);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(l1), 7);
+        assert_eq!(interp.var_value(l2), 7);
+        assert_eq!(interp.var_value(l3), 99);
+    }
+
+    #[test]
+    fn copies_propagate_value_numbers() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let y = b.var("y");
+        b.copy(y, x);
+        let s1 = b.bin_new("s1", AluBinOp::Add, x, 1i16);
+        let s2 = b.bin_new("s2", AluBinOp::Add, y, 1i16); // same value as s1
+        let mut k = b.finish();
+        assert_eq!(eliminate_common_subexpressions(&mut k), 1);
+        let mut interp = Interpreter::new(&k);
+        interp.set_var(x, 5);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(s1), 6);
+        assert_eq!(interp.var_value(s2), 6);
+    }
+
+    #[test]
+    fn cse_inside_loop_bodies() {
+        let mut b = KernelBuilder::new("t");
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 1, 4, |b, i| {
+            let t1 = b.bin_new("t1", AluBinOp::Add, i, 1i16);
+            let t2 = b.bin_new("t2", AluBinOp::Add, i, 1i16);
+            let s = b.bin_new("s", AluBinOp::Add, t1, t2);
+            b.bin(acc, AluBinOp::Add, acc, s);
+        });
+        let mut k = b.finish();
+        let gold = {
+            let mut i = Interpreter::new(&k);
+            i.run().unwrap();
+            i.var_value(acc)
+        };
+        assert!(eliminate_common_subexpressions(&mut k) >= 1);
+        let mut interp = Interpreter::new(&k);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(acc), gold);
+    }
+}

@@ -1,0 +1,264 @@
+//! If-conversion (predication).
+//!
+//! All of the paper's machines support predicated execution; the
+//! schedules marked "predicated" in Table 1 run conditionals as guarded
+//! straight-line code, "increasing basic block size and exposing more
+//! opportunities for scheduling" (§3.4.5).
+//!
+//! Conversion is bottom-up: a conditional whose arms contain no loops
+//! becomes its arms' statements guarded by the condition (then-arm) and
+//! its negation (else-arm). Statements that already carry a guard get a
+//! fresh combined predicate computed with explicit ALU operations, since
+//! the hardware supports only a single guard per operation.
+
+use crate::kernel::{Expr, Guard, Kernel, Rvalue, Stmt};
+use vsp_isa::{AluBinOp, AluUnOp};
+
+/// If-converts every conditional whose arms are loop-free. Returns the
+/// number of conditionals converted.
+pub fn if_convert(kernel: &mut Kernel) -> usize {
+    let mut body = std::mem::take(&mut kernel.body);
+    let n = walk(&mut body, kernel);
+    kernel.body = body;
+    n
+}
+
+fn walk(stmts: &mut Vec<Stmt>, kernel: &mut Kernel) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < stmts.len() {
+        match &mut stmts[i] {
+            Stmt::Loop(l) => {
+                count += walk(&mut l.body, kernel);
+                i += 1;
+            }
+            Stmt::If { .. } => {
+                // Convert arms first (innermost-out).
+                if let Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } = &mut stmts[i]
+                {
+                    count += walk(then_body, kernel);
+                    count += walk(else_body, kernel);
+                }
+                let converted = {
+                    let Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    } = &stmts[i]
+                    else {
+                        unreachable!()
+                    };
+                    let arms_flat = !then_body.iter().any(Stmt::has_loop)
+                        && !else_body.iter().any(Stmt::has_loop);
+                    if arms_flat {
+                        Some(convert_one(*cond, then_body.clone(), else_body.clone(), kernel))
+                    } else {
+                        None
+                    }
+                };
+                match converted {
+                    Some(flat) => {
+                        let len = flat.len();
+                        stmts.splice(i..=i, flat);
+                        count += 1;
+                        i += len;
+                    }
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    count
+}
+
+fn convert_one(
+    cond: crate::kernel::VarId,
+    then_body: Vec<Stmt>,
+    else_body: Vec<Stmt>,
+    kernel: &mut Kernel,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(then_body.len() + else_body.len());
+    for (body, sense) in [(then_body, true), (else_body, false)] {
+        for mut s in body {
+            let guard = guard_slot(&mut s);
+            if let Some(slot) = guard { match *slot {
+                None => *slot = Some(Guard { var: cond, sense }),
+                Some(existing) => {
+                    // Combine: fresh pred = adj(cond) AND adj(existing),
+                    // where adj flips a false-sense predicate with XOR 1
+                    // (predicate values are 0/1).
+                    let combined = kernel.fresh_var("pand");
+                    let mut pre = Vec::new();
+                    let lhs = adjusted(cond, sense, kernel, &mut pre);
+                    let rhs = adjusted(existing.var, existing.sense, kernel, &mut pre);
+                    pre.push(Stmt::Assign {
+                        dst: combined,
+                        expr: Expr::Bin(AluBinOp::And, Rvalue::Var(lhs), Rvalue::Var(rhs)),
+                        guard: None,
+                    });
+                    *slot = Some(Guard {
+                        var: combined,
+                        sense: true,
+                    });
+                    out.extend(pre);
+                }
+            } }
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Returns a variable holding the sense-adjusted predicate value,
+/// emitting a NOT (XOR 1) when the sense is false.
+fn adjusted(
+    var: crate::kernel::VarId,
+    sense: bool,
+    kernel: &mut Kernel,
+    pre: &mut Vec<Stmt>,
+) -> crate::kernel::VarId {
+    if sense {
+        var
+    } else {
+        let inv = kernel.fresh_var("pnot");
+        pre.push(Stmt::Assign {
+            dst: inv,
+            expr: Expr::Bin(AluBinOp::Xor, Rvalue::Var(var), Rvalue::Const(1)),
+            guard: None,
+        });
+        pre.push(Stmt::Assign {
+            dst: inv,
+            expr: Expr::Un(AluUnOp::Mov, Rvalue::Var(inv)),
+            guard: None,
+        });
+        // The Mov keeps the pattern simple for CSE; it is removed by the
+        // scheduler's copy propagation when trivial.
+        inv
+    }
+}
+
+fn guard_slot(stmt: &mut Stmt) -> Option<&mut Option<Guard>> {
+    match stmt {
+        Stmt::Assign { guard, .. } | Stmt::Store { guard, .. } => Some(guard),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::interp::Interpreter;
+    use vsp_isa::CmpOp;
+
+    #[test]
+    fn simple_if_becomes_guards() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let y = b.var("y");
+        let p = b.cmp_new("p", CmpOp::Lt, x, 0i16);
+        b.if_else(p, |b| b.set(y, -1), |b| b.set(y, 1));
+        let mut k = b.finish();
+        assert_eq!(if_convert(&mut k), 1);
+        assert!(!k.body.iter().any(|s| matches!(s, Stmt::If { .. })));
+
+        for (input, expect) in [(-3, -1), (3, 1)] {
+            let mut interp = Interpreter::new(&k);
+            interp.set_var(x, input);
+            interp.run().unwrap();
+            assert_eq!(interp.var_value(y), expect, "x={input}");
+        }
+    }
+
+    #[test]
+    fn nested_ifs_combine_guards() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let y = b.var("y");
+        b.set(y, 0);
+        let p = b.cmp_new("p", CmpOp::Gt, x, 0i16);
+        let q = b.cmp_new("q", CmpOp::Lt, x, 10i16);
+        b.if_else(
+            p,
+            |b| {
+                b.if_else(q, |b| b.set(y, 1), |b| b.set(y, 2));
+            },
+            |b| b.set(y, 3),
+        );
+        let mut k = b.finish();
+        assert_eq!(if_convert(&mut k), 2);
+        assert!(!k.body.iter().any(|s| matches!(s, Stmt::If { .. })));
+
+        for (input, expect) in [(5i16, 1i16), (20, 2), (-1, 3)] {
+            let mut interp = Interpreter::new(&k);
+            interp.set_var(x, input);
+            interp.run().unwrap();
+            assert_eq!(interp.var_value(y), expect, "x={input}");
+        }
+    }
+
+    #[test]
+    fn loops_in_arms_block_conversion() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let p = b.cmp_new("p", CmpOp::Gt, x, 0i16);
+        b.if_else(
+            p,
+            |b| {
+                b.count_loop("i", 0, 1, 4, |b, _| {
+                    b.set(x, 1);
+                });
+            },
+            |_| {},
+        );
+        let mut k = b.finish();
+        assert_eq!(if_convert(&mut k), 0);
+        assert!(k.body.iter().any(|s| matches!(s, Stmt::If { .. })));
+    }
+
+    #[test]
+    fn conversion_inside_loops() {
+        let mut b = KernelBuilder::new("t");
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 1, 10, |b, i| {
+            let p = b.cmp_new("p", CmpOp::Ge, i, 5i16);
+            b.if_else(
+                p,
+                |b| {
+                    b.bin(acc, vsp_isa::AluBinOp::Add, acc, 1i16);
+                },
+                |_| {},
+            );
+        });
+        let mut k = b.finish();
+        assert_eq!(if_convert(&mut k), 1);
+        let mut interp = Interpreter::new(&k);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(acc), 5);
+    }
+
+    #[test]
+    fn guarded_stores_convert() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.array("a", 4);
+        let x = b.var("x");
+        let p = b.cmp_new("p", CmpOp::Eq, x, 0i16);
+        b.if_else(
+            p,
+            |b| b.store(a, 0u16, 11i16),
+            |b| b.store(a, 0u16, 22i16),
+        );
+        let mut k = b.finish();
+        if_convert(&mut k);
+        let mut interp = Interpreter::new(&k);
+        interp.set_var(x, 0);
+        interp.run().unwrap();
+        assert_eq!(interp.array(a)[0], 11);
+    }
+}

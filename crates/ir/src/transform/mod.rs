@@ -1,0 +1,36 @@
+//! Compiler transforms over kernels.
+//!
+//! These are the techniques §3.3 of the paper allows itself when hand
+//! scheduling ("we tried to use techniques that could practically be used
+//! by a compiler ... loop unrolling, list scheduling and software
+//! pipelining ... common subexpression elimination and strength
+//! reduction"):
+//!
+//! * [`unroll`] — partial and full unrolling of innermost loops, with
+//!   per-copy renaming of temporaries;
+//! * [`ifconvert`] — predication: conditionals become guarded straight-
+//!   line code;
+//! * [`cse`] — local common-subexpression elimination (value numbering);
+//! * [`licm`] — loop-invariant code motion;
+//! * [`strength`] — strength reduction (multiplies by powers of two
+//!   become shifts) and algebraic simplification;
+//! * [`subst`] — the variable/constant substitution machinery shared by
+//!   the transforms.
+//!
+//! Every transform preserves the semantics defined by
+//! [`crate::interp::Interpreter`]; the test suites check this on concrete
+//! kernels and the property tests in the crate's `tests/` directory check
+//! it on randomized inputs.
+
+pub mod cse;
+pub mod ifconvert;
+pub mod licm;
+pub mod strength;
+pub mod subst;
+pub mod unroll;
+
+pub use cse::eliminate_common_subexpressions;
+pub use ifconvert::if_convert;
+pub use licm::hoist_invariants;
+pub use strength::reduce_strength;
+pub use unroll::{fully_unroll_innermost, unroll_innermost};

@@ -1,0 +1,168 @@
+//! Strength reduction and algebraic simplification.
+//!
+//! §3.3: "scalar optimizations such as common subexpression elimination
+//! and strength reduction". This pass rewrites:
+//!
+//! * `x * 2^k` (wide multiply by a power-of-two constant) → `x << k`,
+//!   freeing the scarce multiplier — on the base machines a 16×16
+//!   multiply costs many issue slots, so this matters even more than
+//!   usual;
+//! * `x * 1` → `x`; `x * 0` → `0`;
+//! * `x + 0`, `x - 0`, `x << 0` → `x`.
+
+use crate::kernel::{Expr, Kernel, Rvalue, Stmt};
+use vsp_isa::{AluBinOp, AluUnOp, ShiftOp};
+
+/// Applies strength reduction everywhere. Returns the number of
+/// expressions rewritten.
+pub fn reduce_strength(kernel: &mut Kernel) -> usize {
+    fn walk(stmts: &mut [Stmt]) -> usize {
+        let mut n = 0;
+        for s in stmts {
+            match s {
+                Stmt::Assign { expr, .. } => {
+                    if let Some(better) = rewrite(expr) {
+                        *expr = better;
+                        n += 1;
+                    }
+                }
+                Stmt::Loop(l) => n += walk(&mut l.body),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    n += walk(then_body);
+                    n += walk(else_body);
+                }
+                Stmt::Store { .. } => {}
+            }
+        }
+        n
+    }
+    let mut body = std::mem::take(&mut kernel.body);
+    let n = walk(&mut body);
+    kernel.body = body;
+    n
+}
+
+fn rewrite(expr: &Expr) -> Option<Expr> {
+    match expr {
+        Expr::MulWide(a, b) => {
+            let (value, konst) = match (a, b) {
+                (x, Rvalue::Const(c)) => (*x, *c),
+                (Rvalue::Const(c), x) => (*x, *c),
+                _ => return None,
+            };
+            match konst {
+                0 => Some(Expr::Un(AluUnOp::Mov, Rvalue::Const(0))),
+                1 => Some(Expr::Un(AluUnOp::Mov, value)),
+                c if c > 0 && (c as u16).is_power_of_two() => {
+                    let k = (c as u16).trailing_zeros() as i16;
+                    Some(Expr::Shift(ShiftOp::Shl, value, Rvalue::Const(k)))
+                }
+                _ => None,
+            }
+        }
+        Expr::Bin(AluBinOp::Add, x, Rvalue::Const(0))
+        | Expr::Bin(AluBinOp::Add, Rvalue::Const(0), x)
+        | Expr::Bin(AluBinOp::Sub, x, Rvalue::Const(0))
+        | Expr::Shift(ShiftOp::Shl, x, Rvalue::Const(0))
+        | Expr::Shift(ShiftOp::ShrL, x, Rvalue::Const(0))
+        | Expr::Shift(ShiftOp::ShrA, x, Rvalue::Const(0)) => {
+            Some(Expr::Un(AluUnOp::Mov, *x))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::interp::Interpreter;
+    use crate::kernel::VarId;
+
+    fn check_equivalent(k0: &Kernel, k1: &Kernel, x: VarId, out: VarId, inputs: &[i16]) {
+        for &v in inputs {
+            let mut a = Interpreter::new(k0);
+            a.set_var(x, v);
+            a.run().unwrap();
+            let mut b = Interpreter::new(k1);
+            b.set_var(x, v);
+            b.run().unwrap();
+            assert_eq!(a.var_value(out), b.var_value(out), "input {v}");
+        }
+    }
+
+    #[test]
+    fn power_of_two_multiplies_become_shifts() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let y = b.mul_new("y", x, 8i16);
+        let k0 = b.finish();
+        let mut k1 = k0.clone();
+        assert_eq!(reduce_strength(&mut k1), 1);
+        assert!(matches!(
+            &k1.body[0],
+            Stmt::Assign {
+                expr: Expr::Shift(ShiftOp::Shl, _, Rvalue::Const(3)),
+                ..
+            }
+        ));
+        check_equivalent(&k0, &k1, x, y, &[-100, -1, 0, 1, 77, 4095, i16::MAX]);
+    }
+
+    #[test]
+    fn multiply_by_zero_and_one() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let y0 = b.mul_new("y0", x, 0i16);
+        let y1 = b.mul_new("y1", 1i16, x);
+        let mut k = b.finish();
+        assert_eq!(reduce_strength(&mut k), 2);
+        let mut interp = Interpreter::new(&k);
+        interp.set_var(x, -37);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(y0), 0);
+        assert_eq!(interp.var_value(y1), -37);
+    }
+
+    #[test]
+    fn additive_identities() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let y = b.bin_new("y", AluBinOp::Add, x, 0i16);
+        let z = b.shift_new("z", ShiftOp::Shl, y, 0i16);
+        let k0 = b.finish();
+        let mut k1 = k0.clone();
+        assert_eq!(reduce_strength(&mut k1), 2);
+        check_equivalent(&k0, &k1, x, z, &[-5, 0, 5]);
+    }
+
+    #[test]
+    fn negative_and_non_power_constants_untouched() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.var("x");
+        let _y = b.mul_new("y", x, 6i16);
+        let _z = b.mul_new("z", x, -4i16);
+        let mut k = b.finish();
+        assert_eq!(reduce_strength(&mut k), 0);
+    }
+
+    #[test]
+    fn rewrites_inside_loops() {
+        let mut b = KernelBuilder::new("t");
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 1, 4, |b, i| {
+            let t = b.mul_new("t", i, 4i16);
+            b.bin(acc, AluBinOp::Add, acc, t);
+        });
+        let mut k = b.finish();
+        assert_eq!(reduce_strength(&mut k), 1);
+        let mut interp = Interpreter::new(&k);
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(acc), (4 + 8 + 12));
+    }
+}

@@ -1,0 +1,299 @@
+//! Variable and constant substitution over statement trees.
+
+use crate::kernel::{Expr, IndexExpr, Rvalue, Stmt, VarId};
+use std::collections::HashMap;
+
+/// Replaces variable reads *and* writes according to `map` (variables not
+/// in the map are unchanged).
+pub fn rename_vars(stmts: &mut [Stmt], map: &HashMap<VarId, VarId>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { dst, expr, guard } => {
+                if let Some(n) = map.get(dst) {
+                    *dst = *n;
+                }
+                rename_expr(expr, map);
+                if let Some(g) = guard {
+                    if let Some(n) = map.get(&g.var) {
+                        g.var = *n;
+                    }
+                }
+            }
+            Stmt::Store {
+                index,
+                value,
+                guard,
+                ..
+            } => {
+                rename_index(index, map);
+                rename_rvalue(value, map);
+                if let Some(g) = guard {
+                    if let Some(n) = map.get(&g.var) {
+                        g.var = *n;
+                    }
+                }
+            }
+            Stmt::Loop(l) => {
+                if let Some(n) = map.get(&l.var) {
+                    l.var = *n;
+                }
+                rename_vars(&mut l.body, map);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if let Some(n) = map.get(cond) {
+                    *cond = *n;
+                }
+                rename_vars(then_body, map);
+                rename_vars(else_body, map);
+            }
+        }
+    }
+}
+
+fn rename_rvalue(r: &mut Rvalue, map: &HashMap<VarId, VarId>) {
+    if let Rvalue::Var(v) = r {
+        if let Some(n) = map.get(v) {
+            *v = *n;
+        }
+    }
+}
+
+fn rename_index(i: &mut IndexExpr, map: &HashMap<VarId, VarId>) {
+    match i {
+        IndexExpr::Const(_) => {}
+        IndexExpr::Var(v) | IndexExpr::Offset(v, _) => {
+            if let Some(n) = map.get(v) {
+                *v = *n;
+            }
+        }
+        IndexExpr::Sum(v, w) => {
+            if let Some(n) = map.get(v) {
+                *v = *n;
+            }
+            if let Some(n) = map.get(w) {
+                *w = *n;
+            }
+        }
+    }
+}
+
+fn rename_expr(e: &mut Expr, map: &HashMap<VarId, VarId>) {
+    match e {
+        Expr::Bin(_, a, b)
+        | Expr::Shift(_, a, b)
+        | Expr::MulWide(a, b)
+        | Expr::Mul8(_, a, b)
+        | Expr::Cmp(_, a, b) => {
+            rename_rvalue(a, map);
+            rename_rvalue(b, map);
+        }
+        Expr::Un(_, a) => rename_rvalue(a, map),
+        Expr::Load(_, idx) => rename_index(idx, map),
+    }
+}
+
+/// Replaces reads of `var` with the constant `value`, folding index
+/// expressions where possible. Writes to `var` are untouched (callers
+/// substitute loop variables, which have no in-body writes).
+pub fn substitute_const(stmts: &mut [Stmt], var: VarId, value: i16) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { expr, guard, .. } => {
+                subst_expr(expr, var, value);
+                debug_assert!(
+                    guard.is_none_or(|g| g.var != var),
+                    "loop variables are not predicates"
+                );
+            }
+            Stmt::Store { index, value: v, .. } => {
+                subst_index(index, var, value);
+                subst_rvalue(v, var, value);
+            }
+            Stmt::Loop(l) => substitute_const(&mut l.body, var, value),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                substitute_const(then_body, var, value);
+                substitute_const(else_body, var, value);
+            }
+        }
+    }
+}
+
+fn subst_rvalue(r: &mut Rvalue, var: VarId, value: i16) {
+    if *r == Rvalue::Var(var) {
+        *r = Rvalue::Const(value);
+    }
+}
+
+fn subst_index(i: &mut IndexExpr, var: VarId, value: i16) {
+    *i = match *i {
+        IndexExpr::Var(v) if v == var => IndexExpr::Const(value as u16),
+        IndexExpr::Offset(v, c) if v == var => IndexExpr::Const(value.wrapping_add(c) as u16),
+        IndexExpr::Sum(v, w) if v == var && w == var => {
+            IndexExpr::Const(value.wrapping_add(value) as u16)
+        }
+        IndexExpr::Sum(v, w) if v == var => IndexExpr::Offset(w, value),
+        IndexExpr::Sum(v, w) if w == var => IndexExpr::Offset(v, value),
+        other => other,
+    };
+}
+
+fn subst_expr(e: &mut Expr, var: VarId, value: i16) {
+    match e {
+        Expr::Bin(_, a, b)
+        | Expr::Shift(_, a, b)
+        | Expr::MulWide(a, b)
+        | Expr::Mul8(_, a, b)
+        | Expr::Cmp(_, a, b) => {
+            subst_rvalue(a, var, value);
+            subst_rvalue(b, var, value);
+        }
+        Expr::Un(_, a) => subst_rvalue(a, var, value),
+        Expr::Load(_, idx) => subst_index(idx, var, value),
+    }
+}
+
+/// Variables written anywhere in the statement list (including loop
+/// induction variables).
+pub fn written_vars(stmts: &[Stmt]) -> Vec<VarId> {
+    let mut out = Vec::new();
+    fn walk(stmts: &[Stmt], out: &mut Vec<VarId>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { dst, .. } => out.push(*dst),
+                Stmt::Store { .. } => {}
+                Stmt::Loop(l) => {
+                    out.push(l.var);
+                    walk(&l.body, out);
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    walk(then_body, out);
+                    walk(else_body, out);
+                }
+            }
+        }
+    }
+    walk(stmts, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Variables read in the statement list before any write within it —
+/// live-in values such as accumulators, bases and parameters.
+pub fn live_in_vars(stmts: &[Stmt]) -> Vec<VarId> {
+    let mut written = std::collections::HashSet::new();
+    let mut live = Vec::new();
+    fn walk(
+        stmts: &[Stmt],
+        written: &mut std::collections::HashSet<VarId>,
+        live: &mut Vec<VarId>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Loop(l) => {
+                    written.insert(l.var);
+                    walk(&l.body, written, live);
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    if !written.contains(cond) {
+                        live.push(*cond);
+                    }
+                    // Conservative: branches may or may not write.
+                    walk(then_body, written, live);
+                    walk(else_body, written, live);
+                }
+                _ => {
+                    for u in s.uses() {
+                        if !written.contains(&u) {
+                            live.push(u);
+                        }
+                    }
+                    if let Some(d) = s.def() {
+                        written.insert(d);
+                    }
+                }
+            }
+        }
+    }
+    walk(stmts, &mut written, &mut live);
+    live.sort_unstable();
+    live.dedup();
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use vsp_isa::AluBinOp;
+
+    #[test]
+    fn rename_covers_all_positions() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.array("a", 8);
+        let x = b.var("x");
+        let y = b.var("y");
+        b.bin(y, AluBinOp::Add, x, x);
+        b.store(a, IndexExpr::Offset(x, 1), y);
+        let mut k = b.finish();
+        let z = k.fresh_var("z");
+        let map: HashMap<VarId, VarId> = [(x, z)].into_iter().collect();
+        rename_vars(&mut k.body, &map);
+        assert_eq!(k.body[0].uses(), vec![z, z]);
+        assert_eq!(k.body[1].uses(), vec![z, y]);
+    }
+
+    #[test]
+    fn const_substitution_folds_indices() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.array("a", 64);
+        let i = b.var("i");
+        let base = b.var("base");
+        let _x = b.load("x", a, IndexExpr::Offset(i, 3));
+        let _y = b.load("y", a, IndexExpr::Sum(base, i));
+        let mut k = b.finish();
+        substitute_const(&mut k.body, i, 5);
+        match &k.body[0] {
+            Stmt::Assign {
+                expr: Expr::Load(_, idx),
+                ..
+            } => assert_eq!(*idx, IndexExpr::Const(8)),
+            other => panic!("{other:?}"),
+        }
+        match &k.body[1] {
+            Stmt::Assign {
+                expr: Expr::Load(_, idx),
+                ..
+            } => assert_eq!(*idx, IndexExpr::Offset(base, 5)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn live_in_detects_accumulators() {
+        let mut b = KernelBuilder::new("t");
+        let acc = b.var("acc");
+        let t = b.var("t");
+        b.set(t, 1);
+        b.bin(acc, AluBinOp::Add, acc, t);
+        let k = b.finish();
+        assert_eq!(live_in_vars(&k.body), vec![acc]);
+        assert_eq!(written_vars(&k.body), vec![acc, t]);
+    }
+}

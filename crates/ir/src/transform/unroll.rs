@@ -1,0 +1,302 @@
+//! Loop unrolling.
+//!
+//! §3.3: "unrolling the inner loop ... eliminating many branch operations
+//! and some loop-index and address arithmetic. This represents a fairer
+//! starting point for comparing sequential and parallel code since this
+//! type of unrolling is implicit in the parallel scheduling algorithms we
+//! have used."
+//!
+//! Partial unrolling by a factor `f` replicates the body `f` times within
+//! a loop of `trip/f` iterations; copies `1..f` see the induction value
+//! `var + j·step`, which stays symbolic (folded into `Offset`/`Sum` index
+//! expressions) so complex-addressing machines can absorb it. Full
+//! unrolling substitutes the induction value as a constant, letting the
+//! index arithmetic fold away entirely. Temporaries (variables written
+//! before any read) are renamed per copy to keep copies independent;
+//! live-in variables (accumulators, bases) are shared.
+
+use crate::kernel::{Kernel, Loop, Stmt};
+use crate::transform::subst::{live_in_vars, rename_vars, substitute_const, written_vars};
+use std::collections::HashMap;
+
+/// Unrolls every innermost loop by `factor`. Loops whose trip count is
+/// not a multiple of `factor` (or shorter than it) are left alone.
+/// Returns the number of loops unrolled.
+pub fn unroll_innermost(kernel: &mut Kernel, factor: u32) -> usize {
+    assert!(factor >= 1, "unroll factor must be positive");
+    if factor == 1 {
+        return 0;
+    }
+    let mut body = std::mem::take(&mut kernel.body);
+    let n = walk(&mut body, kernel, Some(factor));
+    kernel.body = body;
+    n
+}
+
+/// Fully unrolls every innermost loop (regardless of trip count).
+/// Returns the number of loops unrolled.
+pub fn fully_unroll_innermost(kernel: &mut Kernel) -> usize {
+    let mut body = std::mem::take(&mut kernel.body);
+    let n = walk(&mut body, kernel, None);
+    kernel.body = body;
+    n
+}
+
+/// Recursively finds innermost loops; `factor` of `None` means full
+/// unroll.
+fn walk(stmts: &mut Vec<Stmt>, kernel: &mut Kernel, factor: Option<u32>) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < stmts.len() {
+        let is_innermost_loop = matches!(
+            &stmts[i],
+            Stmt::Loop(l) if !l.body.iter().any(Stmt::has_loop)
+        );
+        if is_innermost_loop {
+            match factor {
+                None => {
+                    // Take the loop out, splice its expansion in.
+                    let placeholder = Stmt::Store {
+                        array: crate::kernel::ArrayId(u32::MAX),
+                        index: crate::kernel::IndexExpr::Const(0),
+                        value: crate::kernel::Rvalue::Const(0),
+                        guard: None,
+                    };
+                    let Stmt::Loop(l) = std::mem::replace(&mut stmts[i], placeholder) else {
+                        unreachable!("checked to be a loop above");
+                    };
+                    let expanded = full_unroll(l, kernel);
+                    let len = expanded.len();
+                    stmts.splice(i..=i, expanded);
+                    count += 1;
+                    i += len;
+                    continue;
+                }
+                Some(f) => {
+                    let Stmt::Loop(l) = &stmts[i] else {
+                        unreachable!("checked to be a loop above");
+                    };
+                    if l.trip >= f && l.trip % f == 0 {
+                        let unrolled = partial_unroll(l.clone(), f, kernel);
+                        stmts[i] = Stmt::Loop(unrolled);
+                        count += 1;
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        match &mut stmts[i] {
+            Stmt::Loop(l) => {
+                count += walk(&mut l.body, kernel, factor);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                count += walk(then_body, kernel, factor);
+                count += walk(else_body, kernel, factor);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    count
+}
+
+/// Renames per-copy temporaries: variables written in the body that are
+/// not live-in (not accumulators) get fresh names in copies ≥ 1.
+fn rename_temporaries(body: &mut Vec<Stmt>, kernel: &mut Kernel, copy: usize) {
+    if copy == 0 {
+        return;
+    }
+    let live_in = live_in_vars(body);
+    let mut map = HashMap::new();
+    for w in written_vars(body) {
+        if !live_in.contains(&w) {
+            let name = format!("{}_u{}", kernel.var_names[w.0 as usize], copy);
+            map.insert(w, kernel.fresh_var(name));
+        }
+    }
+    rename_vars(body, &map);
+}
+
+fn partial_unroll(l: Loop, factor: u32, kernel: &mut Kernel) -> Loop {
+    let mut new_body = Vec::with_capacity(l.body.len() * factor as usize);
+    for j in 0..factor {
+        let mut copy = l.body.clone();
+        rename_temporaries(&mut copy, kernel, j as usize);
+        if j > 0 {
+            // Copy j sees var + j*step: introduce a shifted induction
+            // variable assigned once at the top of the copy.
+            let shifted = kernel.fresh_var(format!(
+                "{}_p{}",
+                kernel.var_names[l.var.0 as usize], j
+            ));
+            let offset = (l.step as i32 * j as i32) as i16;
+            let map: HashMap<_, _> = [(l.var, shifted)].into_iter().collect();
+            rename_vars(&mut copy, &map);
+            new_body.push(Stmt::Assign {
+                dst: shifted,
+                expr: crate::kernel::Expr::Bin(
+                    vsp_isa::AluBinOp::Add,
+                    crate::kernel::Rvalue::Var(l.var),
+                    crate::kernel::Rvalue::Const(offset),
+                ),
+                guard: None,
+            });
+        }
+        new_body.extend(copy);
+    }
+    Loop {
+        var: l.var,
+        start: l.start,
+        step: l.step.wrapping_mul(factor as i16),
+        trip: l.trip / factor,
+        body: new_body,
+    }
+}
+
+fn full_unroll(l: Loop, kernel: &mut Kernel) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(l.body.len() * l.trip as usize);
+    let mut iv = l.start;
+    for j in 0..l.trip {
+        let mut copy = l.body.clone();
+        rename_temporaries(&mut copy, kernel, j as usize);
+        substitute_const(&mut copy, l.var, iv);
+        out.extend(copy);
+        iv = iv.wrapping_add(l.step);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::interp::Interpreter;
+    use crate::kernel::VarId;
+    use vsp_isa::AluBinOp;
+
+    /// acc = sum(a[0..16]) with explicit address arithmetic.
+    fn sum_kernel() -> (Kernel, crate::kernel::ArrayId, VarId) {
+        let mut b = KernelBuilder::new("sum");
+        let a = b.array("a", 16);
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 1, 16, |b, i| {
+            let x = b.load("x", a, i);
+            b.bin(acc, AluBinOp::Add, acc, x);
+        });
+        (b.finish(), a, acc)
+    }
+
+    fn run_sum(k: &Kernel, a: crate::kernel::ArrayId, acc: VarId) -> i16 {
+        let mut interp = Interpreter::new(k);
+        interp.set_array(a, (1..=16).collect());
+        interp.run().unwrap();
+        interp.var_value(acc)
+    }
+
+    #[test]
+    fn partial_unroll_preserves_semantics() {
+        let (mut k, a, acc) = sum_kernel();
+        let before = run_sum(&k, a, acc);
+        assert_eq!(unroll_innermost(&mut k, 4), 1);
+        match &k.body[1] {
+            Stmt::Loop(l) => {
+                assert_eq!(l.trip, 4);
+                assert_eq!(l.step, 4);
+                assert!(l.body.len() > 2 * 4, "copies plus shift assigns");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(run_sum(&k, a, acc), before);
+    }
+
+    #[test]
+    fn full_unroll_eliminates_loop() {
+        let (mut k, a, acc) = sum_kernel();
+        let before = run_sum(&k, a, acc);
+        assert_eq!(fully_unroll_innermost(&mut k), 1);
+        assert!(!k.body.iter().any(Stmt::has_loop));
+        assert_eq!(run_sum(&k, a, acc), before);
+    }
+
+    #[test]
+    fn non_dividing_factor_skipped() {
+        let (mut k, _, _) = sum_kernel();
+        assert_eq!(unroll_innermost(&mut k, 5), 0);
+        assert_eq!(unroll_innermost(&mut k, 32), 0);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let (mut k, a, acc) = sum_kernel();
+        let before = run_sum(&k, a, acc);
+        assert_eq!(unroll_innermost(&mut k, 1), 0);
+        assert_eq!(run_sum(&k, a, acc), before);
+    }
+
+    #[test]
+    fn nested_loops_unroll_only_innermost() {
+        let mut b = KernelBuilder::new("nest");
+        let a = b.array("a", 64);
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 8, 8, |b, i| {
+            b.count_loop("j", 0, 1, 8, |b, j| {
+                let x = b.load("x", a, crate::kernel::IndexExpr::Sum(i, j));
+                b.bin(acc, AluBinOp::Add, acc, x);
+            });
+        });
+        let mut k = b.finish();
+        let gold = {
+            let mut interp = Interpreter::new(&k);
+            interp.set_array(a, (0..64).collect());
+            interp.run().unwrap();
+            interp.var_value(acc)
+        };
+        assert_eq!(unroll_innermost(&mut k, 8), 1);
+        // Outer loop intact, inner fully replicated within one iteration.
+        match &k.body[1] {
+            Stmt::Loop(outer) => {
+                assert_eq!(outer.trip, 8);
+                match &outer.body[0] {
+                    Stmt::Loop(inner) => assert_eq!(inner.trip, 1),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        let mut interp = Interpreter::new(&k);
+        interp.set_array(a, (0..64).collect());
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(acc), gold);
+    }
+
+    #[test]
+    fn two_level_unroll_via_repeated_calls() {
+        // The paper's "unroll 2 levels": fully unroll the innermost, then
+        // the now-innermost second level.
+        let mut b = KernelBuilder::new("nest");
+        let a = b.array("a", 16);
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 4, 4, |b, i| {
+            b.count_loop("j", 0, 1, 4, |b, j| {
+                let x = b.load("x", a, crate::kernel::IndexExpr::Sum(i, j));
+                b.bin(acc, AluBinOp::Add, acc, x);
+            });
+        });
+        let mut k = b.finish();
+        assert_eq!(fully_unroll_innermost(&mut k), 1);
+        assert_eq!(fully_unroll_innermost(&mut k), 1);
+        assert!(!k.body.iter().any(Stmt::has_loop));
+        let mut interp = Interpreter::new(&k);
+        interp.set_array(a, (0..16).collect());
+        interp.run().unwrap();
+        assert_eq!(interp.var_value(acc), (0..16).sum::<i16>());
+    }
+}

@@ -1,0 +1,536 @@
+//! A human-readable assembly format for VSP programs.
+//!
+//! The format is line-oriented: one VLIW instruction word per line, with
+//! the operations of the word separated by `|`. Each operation names its
+//! cluster and slot explicitly, mirroring the horizontally microcoded
+//! instruction word:
+//!
+//! ```text
+//! ; sum r1 += mem[r2] twice per word on two clusters
+//! top:
+//!   c0.s2: ld.m0 r3, [r2] | c1.s2: ld.m0 r3, [r2]
+//!   c0.s0: add r1, r1, r3 | c1.s0: add r1, r1, r3 | c0.s3: br p0, @top
+//!   c0.s0: halt
+//! ```
+//!
+//! Branch targets may be written `@label` or `@123` (a literal word
+//! index). [`print`] always emits labels when the program defines them.
+//!
+//! The printer and parser round-trip: `parse(&print(p))` reproduces `p`
+//! up to label naming of numeric targets.
+
+use crate::instr::Instruction;
+use crate::op::{OpKind, Operation, PredGuard};
+use crate::opcode::{AluBinOp, AluUnOp, CmpOp, MemCtlOp, MulKind, ShiftOp};
+use crate::operand::{AddrMode, MemBank, Operand};
+use crate::program::Program;
+use crate::reg::{Pred, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Prints a program in the assembly format accepted by [`parse`].
+pub fn print(program: &Program) -> String {
+    let mut by_index: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+    for (name, idx) in program.labels() {
+        by_index.entry(idx).or_default().push(name);
+    }
+    // Synthesize labels for branch targets that have none, so the output
+    // is stable under parse/print round trips.
+    let mut text = String::new();
+    text.push_str(&format!("; program {}\n", program.name));
+    for (i, word) in program.iter().enumerate() {
+        if let Some(names) = by_index.get(&i) {
+            for n in names {
+                text.push_str(n);
+                text.push_str(":\n");
+            }
+        }
+        text.push_str("  ");
+        if word.is_empty() {
+            text.push_str("nop");
+        } else {
+            let mut ops: Vec<&Operation> = word.iter().collect();
+            ops.sort_by_key(|o| (o.cluster, o.slot));
+            for (j, op) in ops.iter().enumerate() {
+                if j > 0 {
+                    text.push_str(" | ");
+                }
+                text.push_str(&op.to_string());
+            }
+        }
+        text.push('\n');
+    }
+    text
+}
+
+/// Parses assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] locating the first malformed line, unknown
+/// mnemonic, bad operand, or undefined label.
+pub fn parse(text: &str) -> Result<Program, AsmError> {
+    let mut name = String::from("asm");
+    let mut words: Vec<(usize, Vec<RawOp>)> = Vec::new();
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("; program ") {
+            name = rest.trim().to_string();
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(AsmError::new(lineno, "malformed label"));
+            }
+            labels.insert(label.to_string(), words.len());
+            continue;
+        }
+        if line == "nop" {
+            words.push((lineno, Vec::new()));
+            continue;
+        }
+        let mut ops = Vec::new();
+        for piece in line.split('|') {
+            ops.push(parse_op(piece.trim(), lineno)?);
+        }
+        words.push((lineno, ops));
+    }
+
+    let mut program = Program::new(name);
+    let word_count = words.len();
+    for (lineno, raw_ops) in words {
+        let mut ops = Vec::with_capacity(raw_ops.len());
+        for raw in raw_ops {
+            let op = raw.resolve(&labels, word_count, lineno)?;
+            ops.push(op);
+        }
+        program.push(Instruction::from_ops(ops));
+    }
+    for (label, idx) in labels {
+        program.set_label(label, idx);
+    }
+    Ok(program)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `; program` headers are handled by the caller before stripping.
+    if line.trim_start().starts_with("; program ") {
+        return line;
+    }
+    match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// An operation whose branch target may still be symbolic.
+#[derive(Debug)]
+struct RawOp {
+    op: Operation,
+    target_label: Option<String>,
+}
+
+impl RawOp {
+    fn resolve(
+        self,
+        labels: &BTreeMap<String, usize>,
+        word_count: usize,
+        lineno: usize,
+    ) -> Result<Operation, AsmError> {
+        let mut op = self.op;
+        if let Some(label) = self.target_label {
+            let target = match label.parse::<usize>() {
+                Ok(i) => i,
+                Err(_) => *labels
+                    .get(&label)
+                    .ok_or_else(|| AsmError::new(lineno, format!("undefined label `{label}`")))?,
+            };
+            if target > word_count {
+                return Err(AsmError::new(lineno, format!("target {target} out of range")));
+            }
+            match &mut op.kind {
+                OpKind::Branch { target: t, .. } | OpKind::Jump { target: t } => *t = target,
+                _ => unreachable!("only control ops carry targets"),
+            }
+        }
+        Ok(op)
+    }
+}
+
+fn parse_op(text: &str, lineno: usize) -> Result<RawOp, AsmError> {
+    let err = |m: &str| AsmError::new(lineno, format!("{m} in `{text}`"));
+
+    // "cN.sM:" prefix
+    let (place, rest) = text
+        .split_once(':')
+        .ok_or_else(|| err("missing `cN.sM:` placement"))?;
+    let place = place.trim();
+    let (c, s) = place
+        .strip_prefix('c')
+        .and_then(|p| p.split_once(".s"))
+        .ok_or_else(|| err("malformed placement"))?;
+    let cluster: u8 = c.parse().map_err(|_| err("bad cluster index"))?;
+    let slot: u8 = s.parse().map_err(|_| err("bad slot index"))?;
+
+    let mut rest = rest.trim();
+
+    // optional guard "(pN)" or "(!pN)"
+    let mut guard = None;
+    if rest.starts_with('(') {
+        let close = rest.find(')').ok_or_else(|| err("unterminated guard"))?;
+        let inner = &rest[1..close];
+        let (sense, preg) = match inner.strip_prefix('!') {
+            Some(p) => (false, p),
+            None => (true, inner),
+        };
+        let idx: u8 = preg
+            .strip_prefix('p')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| err("bad guard predicate"))?;
+        guard = Some(PredGuard {
+            pred: Pred(idx),
+            sense,
+        });
+        rest = rest[close + 1..].trim();
+    }
+
+    let (mnemonic, args_text) = match rest.split_once(' ') {
+        Some((m, a)) => (m.trim(), a.trim()),
+        None => (rest, ""),
+    };
+    let args: Vec<&str> = if args_text.is_empty() {
+        Vec::new()
+    } else {
+        args_text.split(',').map(str::trim).collect()
+    };
+
+    let mut target_label = None;
+    let kind = parse_kind(mnemonic, &args, &mut target_label)
+        .ok_or_else(|| err("unknown mnemonic or bad operands"))?;
+
+    Ok(RawOp {
+        op: Operation {
+            cluster,
+            slot,
+            guard,
+            kind,
+        },
+        target_label,
+    })
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    s.strip_prefix('r').and_then(|n| n.parse().ok()).map(Reg)
+}
+
+fn parse_pred(s: &str) -> Option<Pred> {
+    s.strip_prefix('p').and_then(|n| n.parse().ok()).map(Pred)
+}
+
+fn parse_operand(s: &str) -> Option<Operand> {
+    if let Some(imm) = s.strip_prefix('#') {
+        return imm.parse::<i16>().ok().map(Operand::Imm);
+    }
+    parse_reg(s).map(Operand::Reg)
+}
+
+fn parse_addr(s: &str) -> Option<AddrMode> {
+    let inner = s.strip_prefix('[')?.strip_suffix(']')?;
+    if let Ok(abs) = inner.parse::<u16>() {
+        return Some(AddrMode::Absolute(abs));
+    }
+    if let Some(plus) = inner.find('+') {
+        let (base, rhs) = (&inner[..plus], &inner[plus + 1..]);
+        let base = parse_reg(base)?;
+        if let Some(idx) = parse_reg(rhs) {
+            return Some(AddrMode::Indexed(base, idx));
+        }
+        return rhs.parse::<i16>().ok().map(|d| AddrMode::BaseDisp(base, d));
+    }
+    if let Some(minus) = inner[1..].find('-') {
+        let (base, rhs) = (&inner[..minus + 1], &inner[minus + 1..]);
+        let base = parse_reg(base)?;
+        return rhs.parse::<i16>().ok().map(|d| AddrMode::BaseDisp(base, d));
+    }
+    parse_reg(inner).map(AddrMode::Register)
+}
+
+fn parse_bank(s: &str) -> Option<MemBank> {
+    s.strip_prefix('m').and_then(|n| n.parse().ok()).map(MemBank)
+}
+
+fn parse_kind(mnemonic: &str, args: &[&str], target_label: &mut Option<String>) -> Option<OpKind> {
+    let bin = |op: AluBinOp, args: &[&str]| -> Option<OpKind> {
+        Some(OpKind::AluBin {
+            op,
+            dst: parse_reg(args.first()?)?,
+            a: parse_operand(args.get(1)?)?,
+            b: parse_operand(args.get(2)?)?,
+        })
+    };
+    let un = |op: AluUnOp, args: &[&str]| -> Option<OpKind> {
+        Some(OpKind::AluUn {
+            op,
+            dst: parse_reg(args.first()?)?,
+            a: parse_operand(args.get(1)?)?,
+        })
+    };
+    let sh = |op: ShiftOp, args: &[&str]| -> Option<OpKind> {
+        Some(OpKind::Shift {
+            op,
+            dst: parse_reg(args.first()?)?,
+            a: parse_operand(args.get(1)?)?,
+            b: parse_operand(args.get(2)?)?,
+        })
+    };
+    let ml = |kind: MulKind, args: &[&str]| -> Option<OpKind> {
+        Some(OpKind::Mul {
+            kind,
+            dst: parse_reg(args.first()?)?,
+            a: parse_operand(args.get(1)?)?,
+            b: parse_operand(args.get(2)?)?,
+        })
+    };
+
+    match mnemonic {
+        "add" => bin(AluBinOp::Add, args),
+        "sub" => bin(AluBinOp::Sub, args),
+        "and" => bin(AluBinOp::And, args),
+        "or" => bin(AluBinOp::Or, args),
+        "xor" => bin(AluBinOp::Xor, args),
+        "min" => bin(AluBinOp::Min, args),
+        "max" => bin(AluBinOp::Max, args),
+        "absd" => bin(AluBinOp::AbsDiff, args),
+        "mov" => un(AluUnOp::Mov, args),
+        "abs" => un(AluUnOp::Abs, args),
+        "neg" => un(AluUnOp::Neg, args),
+        "not" => un(AluUnOp::Not, args),
+        "sextb" => un(AluUnOp::SextB, args),
+        "zextb" => un(AluUnOp::ZextB, args),
+        "shl" => sh(ShiftOp::Shl, args),
+        "shrl" => sh(ShiftOp::ShrL, args),
+        "shra" => sh(ShiftOp::ShrA, args),
+        "mul8ss" => ml(MulKind::Mul8SS, args),
+        "mul8uu" => ml(MulKind::Mul8UU, args),
+        "mul8su" => ml(MulKind::Mul8SU, args),
+        "mul16lo" => ml(MulKind::Mul16Lo, args),
+        "mul16hi" => ml(MulKind::Mul16Hi, args),
+        "halt" => Some(OpKind::Halt),
+        "jmp" => {
+            let t = args.first()?.strip_prefix('@')?;
+            *target_label = Some(t.to_string());
+            Some(OpKind::Jump { target: 0 })
+        }
+        "br" => {
+            let (sense, preg) = match args.first()?.strip_prefix('!') {
+                Some(p) => (false, p),
+                None => (true, *args.first()?),
+            };
+            let pred = parse_pred(preg)?;
+            let t = args.get(1)?.strip_prefix('@')?;
+            *target_label = Some(t.to_string());
+            Some(OpKind::Branch {
+                pred,
+                sense,
+                target: 0,
+            })
+        }
+        "xfer" => {
+            let dst = parse_reg(args.first()?)?;
+            let (c, r) = args.get(1)?.split_once('.')?;
+            let from: u8 = c.strip_prefix('c')?.parse().ok()?;
+            let src = parse_reg(r)?;
+            Some(OpKind::Xfer { dst, from, src })
+        }
+        _ => {
+            if let Some(cop) = mnemonic.strip_prefix("cmp.") {
+                let op = match cop {
+                    "eq" => CmpOp::Eq,
+                    "ne" => CmpOp::Ne,
+                    "lt" => CmpOp::Lt,
+                    "le" => CmpOp::Le,
+                    "gt" => CmpOp::Gt,
+                    "ge" => CmpOp::Ge,
+                    _ => return None,
+                };
+                return Some(OpKind::Cmp {
+                    op,
+                    dst: parse_pred(args.first()?)?,
+                    a: parse_operand(args.get(1)?)?,
+                    b: parse_operand(args.get(2)?)?,
+                });
+            }
+            if let Some(bank) = mnemonic.strip_prefix("ld.") {
+                return Some(OpKind::Load {
+                    dst: parse_reg(args.first()?)?,
+                    addr: parse_addr(args.get(1)?)?,
+                    bank: parse_bank(bank)?,
+                });
+            }
+            if let Some(bank) = mnemonic.strip_prefix("st.") {
+                return Some(OpKind::Store {
+                    src: parse_operand(args.first()?)?,
+                    addr: parse_addr(args.get(1)?)?,
+                    bank: parse_bank(bank)?,
+                });
+            }
+            if let Some(bank) = mnemonic.strip_prefix("swapbuf.") {
+                return Some(OpKind::MemCtl {
+                    op: MemCtlOp::SwapBuffers,
+                    bank: parse_bank(bank)?,
+                });
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; program sample
+top:
+  c0.s2: ld.m0 r3, [r2] | c1.s2: ld.m1 r4, [r5+8]
+  c0.s0: (p1) add r1, r1, r3 | c0.s1: shl r6, r1, #2
+  c0.s0: cmp.lt p0, r1, #100 | c1.s0: absd r7, r3, r4
+  c0.s3: br p0, @top
+  c0.s0: xfer r9, c1.r7
+  c0.s0: halt
+";
+
+    #[test]
+    fn parse_sample() {
+        let p = parse(SAMPLE).unwrap();
+        assert_eq!(p.name, "sample");
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.label("top"), Some(0));
+        let br = p.word(3).unwrap().at(0, 3).unwrap();
+        assert!(matches!(
+            br.kind,
+            OpKind::Branch {
+                target: 0,
+                sense: true,
+                ..
+            }
+        ));
+        let guarded = p.word(1).unwrap().at(0, 0).unwrap();
+        assert_eq!(guarded.guard, Some(PredGuard::if_true(Pred(1))));
+    }
+
+    #[test]
+    fn round_trip_print_parse() {
+        let p = parse(SAMPLE).unwrap();
+        let printed = print(&p);
+        let p2 = parse(&printed).unwrap();
+        // Compare instruction words; label set must also survive.
+        assert_eq!(p.len(), p2.len());
+        for i in 0..p.len() {
+            assert_eq!(p.word(i), p2.word(i), "word {i}");
+        }
+        assert_eq!(p2.label("top"), Some(0));
+    }
+
+    #[test]
+    fn addressing_modes_parse() {
+        let p = parse(
+            "  c0.s2: ld.m0 r1, [12]\n  c0.s2: ld.m0 r1, [r2]\n  c0.s2: ld.m0 r1, [r2-4]\n  c0.s2: ld.m0 r1, [r2+r3]\n",
+        )
+        .unwrap();
+        let modes: Vec<AddrMode> = (0..4)
+            .map(|i| match p.word(i).unwrap().at(0, 2).unwrap().kind {
+                OpKind::Load { addr, .. } => addr,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(
+            modes,
+            vec![
+                AddrMode::Absolute(12),
+                AddrMode::Register(Reg(2)),
+                AddrMode::BaseDisp(Reg(2), -4),
+                AddrMode::Indexed(Reg(2), Reg(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_targets_accepted() {
+        let p = parse("  c0.s0: jmp @1\n  c0.s0: halt\n").unwrap();
+        assert!(matches!(
+            p.word(0).unwrap().at(0, 0).unwrap().kind,
+            OpKind::Jump { target: 1 }
+        ));
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let err = parse("  c0.s0: jmp @nowhere\n").unwrap_err();
+        assert!(err.message.contains("undefined label"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let err = parse("  c0.s0: frob r1, r2\n").unwrap_err();
+        assert!(err.message.contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse("\n; hello\n  c0.s0: halt ; trailing\n\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn negated_branch_and_guard() {
+        let p = parse("top:\n  c0.s1: (!p2) mov r1, #3 | c0.s0: br !p0, @top\n").unwrap();
+        let w = p.word(0).unwrap();
+        assert_eq!(w.at(0, 1).unwrap().guard, Some(PredGuard::if_false(Pred(2))));
+        assert!(matches!(
+            w.at(0, 0).unwrap().kind,
+            OpKind::Branch { sense: false, .. }
+        ));
+    }
+
+    #[test]
+    fn nop_line_is_empty_word() {
+        let p = parse("  nop\n  c0.s0: halt\n").unwrap();
+        assert!(p.word(0).unwrap().is_empty());
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! Opcode families and functional-unit classification.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Two-operand ALU operations (single-cycle, executed on an ALU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluBinOp {
+    /// Wrapping 16-bit addition.
+    Add,
+    /// Wrapping 16-bit subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Saturating-free absolute difference `|a - b|` (wrapping subtract,
+    /// then absolute value).
+    ///
+    /// This is the specialized motion-estimation operator of §3.3: it
+    /// replaces a subtract + absolute-value pair at the cost of doubling
+    /// one ALU's area and lengthening its critical path. Only available on
+    /// machines configured with the operator.
+    AbsDiff,
+}
+
+impl fmt::Display for AluBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluBinOp::Add => "add",
+            AluBinOp::Sub => "sub",
+            AluBinOp::And => "and",
+            AluBinOp::Or => "or",
+            AluBinOp::Xor => "xor",
+            AluBinOp::Min => "min",
+            AluBinOp::Max => "max",
+            AluBinOp::AbsDiff => "absd",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One-operand ALU operations (single-cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluUnOp {
+    /// Copy the operand to the destination (also serves as load-immediate).
+    Mov,
+    /// Absolute value (wrapping: `abs(i16::MIN) == i16::MIN`).
+    Abs,
+    /// Two's-complement negation (wrapping).
+    Neg,
+    /// Bitwise NOT.
+    Not,
+    /// Sign-extend the low byte.
+    SextB,
+    /// Zero-extend the low byte.
+    ZextB,
+}
+
+impl fmt::Display for AluUnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluUnOp::Mov => "mov",
+            AluUnOp::Abs => "abs",
+            AluUnOp::Neg => "neg",
+            AluUnOp::Not => "not",
+            AluUnOp::SextB => "sextb",
+            AluUnOp::ZextB => "zextb",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shift operations, executed on the cluster's shifter unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShiftOp {
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    ShrL,
+    /// Arithmetic shift right.
+    ShrA,
+}
+
+impl fmt::Display for ShiftOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::ShrL => "shrl",
+            ShiftOp::ShrA => "shra",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Multiply operation variants, executed on the cluster's multiplier.
+///
+/// The base machines carry only an 8×8 multiplier (§3.2); 16×16 products
+/// must be decomposed into partial products, which is exactly the DCT
+/// bottleneck Table 2 quantifies. The `M16` machines provide a two-stage
+/// pipelined 16×16 multiplier producing 16 result bits per operation
+/// ([`MulKind::Mul16Lo`] / [`MulKind::Mul16Hi`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MulKind {
+    /// Signed 8-bit × signed 8-bit → 16-bit (low bytes of the operands).
+    Mul8SS,
+    /// Unsigned 8-bit × unsigned 8-bit → 16-bit (low bytes).
+    Mul8UU,
+    /// Signed 8-bit × unsigned 8-bit → 16-bit (low byte of `a` signed,
+    /// low byte of `b` unsigned). Needed for exact 16×16 decomposition.
+    Mul8SU,
+    /// Low 16 bits of the signed 16×16 product (`M16` machines only).
+    Mul16Lo,
+    /// High 16 bits of the signed 16×16 product (`M16` machines only).
+    Mul16Hi,
+}
+
+impl MulKind {
+    /// Returns `true` for the 16×16 variants that require the wide
+    /// multiplier of the `M16` machines.
+    pub fn is_wide(self) -> bool {
+        matches!(self, MulKind::Mul16Lo | MulKind::Mul16Hi)
+    }
+}
+
+impl fmt::Display for MulKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MulKind::Mul8SS => "mul8ss",
+            MulKind::Mul8UU => "mul8uu",
+            MulKind::Mul8SU => "mul8su",
+            MulKind::Mul16Lo => "mul16lo",
+            MulKind::Mul16Hi => "mul16hi",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operations; they execute on an ALU and write a predicate
+/// register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// The comparison with operands swapped (`a op b == b op.swapped() a`).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation of the comparison.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory-subsystem control operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemCtlOp {
+    /// Swap the double buffers of a local memory bank: the processing
+    /// buffer becomes the I/O buffer and vice versa (§3.2 footnote 1).
+    SwapBuffers,
+}
+
+impl fmt::Display for MemCtlOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemCtlOp::SwapBuffers => f.write_str("swapbuf"),
+        }
+    }
+}
+
+/// Functional-unit class an operation occupies for one issue slot.
+///
+/// The machine description maps each (cluster, slot) pair to the set of
+/// classes it can issue; a slot issues at most one operation per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Arithmetic-logic unit (also executes compares and moves).
+    Alu,
+    /// Multiplier.
+    Mul,
+    /// Shifter.
+    Shift,
+    /// Load/store unit (local data memory access).
+    Mem,
+    /// Branch unit.
+    Branch,
+    /// Crossbar port (inter-cluster transfer).
+    Xfer,
+}
+
+impl FuClass {
+    /// All functional-unit classes, in a fixed order.
+    pub const ALL: [FuClass; 6] = [
+        FuClass::Alu,
+        FuClass::Mul,
+        FuClass::Shift,
+        FuClass::Mem,
+        FuClass::Branch,
+        FuClass::Xfer,
+    ];
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::Alu => "alu",
+            FuClass::Mul => "mul",
+            FuClass::Shift => "shift",
+            FuClass::Mem => "mem",
+            FuClass::Branch => "branch",
+            FuClass::Xfer => "xfer",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negation_is_involutive() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.swapped().swapped(), op);
+        }
+    }
+
+    #[test]
+    fn wide_multiplies_flagged() {
+        assert!(MulKind::Mul16Lo.is_wide());
+        assert!(MulKind::Mul16Hi.is_wide());
+        assert!(!MulKind::Mul8SS.is_wide());
+        assert!(!MulKind::Mul8UU.is_wide());
+        assert!(!MulKind::Mul8SU.is_wide());
+    }
+
+    #[test]
+    fn display_is_lowercase_mnemonic() {
+        assert_eq!(AluBinOp::AbsDiff.to_string(), "absd");
+        assert_eq!(ShiftOp::ShrA.to_string(), "shra");
+        assert_eq!(MulKind::Mul16Hi.to_string(), "mul16hi");
+        assert_eq!(FuClass::Mem.to_string(), "mem");
+        assert_eq!(MemCtlOp::SwapBuffers.to_string(), "swapbuf");
+    }
+
+    #[test]
+    fn fu_class_all_is_exhaustive_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in FuClass::ALL {
+            assert!(seen.insert(c));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

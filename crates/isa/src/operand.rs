@@ -1,0 +1,172 @@
+//! Operands, addressing modes and memory-bank selectors.
+
+use crate::reg::Reg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A source operand: either a cluster-local register or a 16-bit signed
+/// immediate.
+///
+/// ```
+/// use vsp_isa::{Operand, Reg};
+/// assert_eq!(Operand::Reg(Reg(1)).to_string(), "r1");
+/// assert_eq!(Operand::Imm(-4).to_string(), "#-4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register in the executing cluster's register file.
+    Reg(Reg),
+    /// A signed 16-bit immediate encoded in the operation.
+    Imm(i16),
+}
+
+impl Operand {
+    /// Returns the register if this operand reads one.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Returns `true` if this operand is an immediate.
+    pub fn is_imm(self) -> bool {
+        matches!(self, Operand::Imm(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i16> for Operand {
+    fn from(v: i16) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Addressing mode of a load or store.
+///
+/// The 4-stage models (`I4C8S4`, `I2C16S4`) support only the *simple*
+/// modes — [`AddrMode::Absolute`] and [`AddrMode::Register`]; address
+/// arithmetic must be done with explicit ALU operations. The complex-
+/// addressing models (`I4C8S4C` and all 5-stage models) additionally allow
+/// [`AddrMode::BaseDisp`] and [`AddrMode::Indexed`], folding an address
+/// addition into the memory operation, exactly as §3.2 of the paper
+/// describes.
+///
+/// Addresses are in 16-bit *words* ("the memory is word addressed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddrMode {
+    /// Direct addressing: a constant word address.
+    Absolute(u16),
+    /// Register-indirect addressing: the word address is in a register.
+    Register(Reg),
+    /// Base + displacement (complex): `base` register plus a signed word
+    /// offset.
+    BaseDisp(Reg, i16),
+    /// Indexed (complex): sum of two registers.
+    Indexed(Reg, Reg),
+}
+
+impl AddrMode {
+    /// Returns `true` for the modes that require an address addition
+    /// folded into the memory pipeline stage (the "complex" modes).
+    pub fn is_complex(self) -> bool {
+        matches!(self, AddrMode::BaseDisp(..) | AddrMode::Indexed(..))
+    }
+
+    /// Registers read to form the address.
+    pub fn regs(self) -> impl Iterator<Item = Reg> {
+        let (a, b) = match self {
+            AddrMode::Absolute(_) => (None, None),
+            AddrMode::Register(r) => (Some(r), None),
+            AddrMode::BaseDisp(r, _) => (Some(r), None),
+            AddrMode::Indexed(r, s) => (Some(r), Some(s)),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl fmt::Display for AddrMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrMode::Absolute(a) => write!(f, "[{a}]"),
+            AddrMode::Register(r) => write!(f, "[{r}]"),
+            AddrMode::BaseDisp(r, d) => write!(f, "[{r}{d:+}]"),
+            AddrMode::Indexed(r, s) => write!(f, "[{r}+{s}]"),
+        }
+    }
+}
+
+/// Selects one of a cluster's local data-memory banks.
+///
+/// Most models have a single bank (`MemBank(0)`). `I2C16S4` provides two
+/// separate 8 KB memories per cluster, each reachable only from its own
+/// issue slot; the bank is therefore explicit in every memory operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MemBank(pub u8);
+
+impl MemBank {
+    /// Numeric index of this bank.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MemBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        let r: Operand = Reg(7).into();
+        assert_eq!(r.as_reg(), Some(Reg(7)));
+        let i: Operand = 42i16.into();
+        assert!(i.is_imm());
+        assert_eq!(i.as_reg(), None);
+    }
+
+    #[test]
+    fn addr_mode_complexity() {
+        assert!(!AddrMode::Absolute(3).is_complex());
+        assert!(!AddrMode::Register(Reg(1)).is_complex());
+        assert!(AddrMode::BaseDisp(Reg(1), -2).is_complex());
+        assert!(AddrMode::Indexed(Reg(1), Reg(2)).is_complex());
+    }
+
+    #[test]
+    fn addr_mode_regs() {
+        let regs: Vec<Reg> = AddrMode::Indexed(Reg(1), Reg(2)).regs().collect();
+        assert_eq!(regs, vec![Reg(1), Reg(2)]);
+        assert_eq!(AddrMode::Absolute(0).regs().count(), 0);
+        assert_eq!(AddrMode::BaseDisp(Reg(9), 4).regs().count(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AddrMode::Absolute(16).to_string(), "[16]");
+        assert_eq!(AddrMode::Register(Reg(2)).to_string(), "[r2]");
+        assert_eq!(AddrMode::BaseDisp(Reg(2), 8).to_string(), "[r2+8]");
+        assert_eq!(AddrMode::BaseDisp(Reg(2), -8).to_string(), "[r2-8]");
+        assert_eq!(AddrMode::Indexed(Reg(2), Reg(3)).to_string(), "[r2+r3]");
+        assert_eq!(MemBank(1).to_string(), "m1");
+    }
+}

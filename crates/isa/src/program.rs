@@ -1,0 +1,421 @@
+//! Programs: sequences of VLIW instruction words with labels.
+
+use crate::instr::Instruction;
+use crate::op::{OpKind, Operation};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A complete VLIW program.
+///
+/// Instruction words are addressed by index (the machine's instruction
+/// cache counts words, not bytes). Branch targets inside operations are
+/// stored as resolved word indices; `labels` retains the symbolic names
+/// for display and assembly round-trips.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Human-readable program name.
+    pub name: String,
+    instrs: Vec<Instruction>,
+    labels: BTreeMap<String, usize>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            instrs: Vec::new(),
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Appends an instruction word and returns its index.
+    pub fn push(&mut self, word: Instruction) -> usize {
+        self.instrs.push(word);
+        self.instrs.len() - 1
+    }
+
+    /// Appends an instruction word built from a list of operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two operations occupy the same (cluster, slot).
+    pub fn push_word(&mut self, ops: Vec<Operation>) -> usize {
+        self.push(Instruction::from_ops(ops))
+    }
+
+    /// Defines a label at the given word index.
+    pub fn set_label(&mut self, name: impl Into<String>, index: usize) {
+        self.labels.insert(name.into(), index);
+    }
+
+    /// Looks up a label.
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// All labels, sorted by name.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.labels.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The instruction word at `index`.
+    pub fn word(&self, index: usize) -> Option<&Instruction> {
+        self.instrs.get(index)
+    }
+
+    /// Iterates over the instruction words in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instrs.iter()
+    }
+
+    /// Number of instruction words (this is what must fit in the
+    /// instruction cache — 1024 words on the 8-cluster models, 512 on the
+    /// 16-cluster models).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program contains no instruction words.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Total number of non-no-op operations across all words.
+    pub fn op_count(&self) -> usize {
+        self.instrs.iter().map(Instruction::op_count).sum()
+    }
+
+    /// Verifies that every branch or jump target is a valid word index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending (word, target) pair of the first out-of-range
+    /// target.
+    pub fn check_targets(&self) -> Result<(), TargetError> {
+        for (i, w) in self.instrs.iter().enumerate() {
+            for op in w.iter() {
+                let target = match op.kind {
+                    OpKind::Branch { target, .. } | OpKind::Jump { target } => target,
+                    _ => continue,
+                };
+                if target >= self.instrs.len() {
+                    return Err(TargetError { word: i, target });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program {} ({} words)", self.name, self.len())?;
+        let mut by_index: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        for (name, idx) in self.labels.iter() {
+            by_index.entry(*idx).or_default().push(name);
+        }
+        for (i, w) in self.instrs.iter().enumerate() {
+            if let Some(names) = by_index.get(&i) {
+                for n in names {
+                    writeln!(f, "{n}:")?;
+                }
+            }
+            writeln!(f, "  {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`Program::check_targets`]: a control transfer points
+/// outside the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetError {
+    /// Word containing the offending control operation.
+    pub word: usize,
+    /// The out-of-range target.
+    pub target: usize,
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "word {} branches to {} which is outside the program",
+            self.word, self.target
+        )
+    }
+}
+
+impl std::error::Error for TargetError {}
+
+/// Incremental builder for [`Program`]s with forward label references.
+///
+/// Branch operations may name labels that are defined later; targets are
+/// patched when [`ProgramBuilder::finish`] is called.
+///
+/// ```
+/// use vsp_isa::{ProgramBuilder, Operation, OpKind, Pred};
+///
+/// let mut b = ProgramBuilder::new("loop");
+/// b.label("top");
+/// b.word(vec![]); // an empty (nop) body word
+/// b.branch_word(vec![], "top", Some((Pred(0), true)));
+/// b.word(vec![Operation::new(0, 0, OpKind::Halt)]);
+/// let program = b.finish().unwrap();
+/// assert_eq!(program.label("top"), Some(0));
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    fixups: Vec<Fixup>,
+}
+
+#[derive(Debug)]
+struct Fixup {
+    word: usize,
+    label: String,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            program: Program::new(name),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Defines a label at the current position (the index of the next word
+    /// to be appended).
+    pub fn label(&mut self, name: impl Into<String>) {
+        let at = self.program.len();
+        self.program.set_label(name, at);
+    }
+
+    /// Appends a word from a list of operations and returns its index.
+    pub fn word(&mut self, ops: Vec<Operation>) -> usize {
+        self.program.push_word(ops)
+    }
+
+    /// Appends a word containing `ops` plus a control transfer to `label`:
+    /// a conditional branch when `pred` is provided (on cluster 0, using
+    /// the machine's branch slot conventions of the caller), otherwise an
+    /// unconditional jump.
+    ///
+    /// The branch operation is placed on cluster 0, slot 0 unless that
+    /// slot is taken, in which case the first free slot index up to 15 is
+    /// used; schedulers that care about precise placement should build the
+    /// operation themselves and use [`ProgramBuilder::word_with_fixup`].
+    pub fn branch_word(
+        &mut self,
+        ops: Vec<Operation>,
+        label: impl Into<String>,
+        pred: Option<(crate::reg::Pred, bool)>,
+    ) -> usize {
+        let mut word = Instruction::from_ops(ops);
+        let mut slot = 0u8;
+        while word.at(0, slot).is_some() && slot < 15 {
+            slot += 1;
+        }
+        let kind = match pred {
+            Some((p, sense)) => OpKind::Branch {
+                pred: p,
+                sense,
+                target: usize::MAX,
+            },
+            None => OpKind::Jump { target: usize::MAX },
+        };
+        word.push(Operation::new(0, slot, kind));
+        let idx = self.program.push(word);
+        self.fixups.push(Fixup {
+            word: idx,
+            label: label.into(),
+        });
+        idx
+    }
+
+    /// Appends a fully formed word whose control operation targets `label`
+    /// (its `target` field is patched at [`ProgramBuilder::finish`]).
+    pub fn word_with_fixup(&mut self, word: Instruction, label: impl Into<String>) -> usize {
+        let idx = self.program.push(word);
+        self.fixups.push(Fixup {
+            word: idx,
+            label: label.into(),
+        });
+        idx
+    }
+
+    /// Number of words appended so far.
+    pub fn len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Returns `true` if no words have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.program.is_empty()
+    }
+
+    /// Resolves all label fixups and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownLabel`] if a fixup names an undefined
+    /// label, or [`BuildError::NoControlOp`] if a fixed-up word contains no
+    /// control operation to patch.
+    pub fn finish(mut self) -> Result<Program, BuildError> {
+        for fixup in &self.fixups {
+            let target = self
+                .program
+                .label(&fixup.label)
+                .ok_or_else(|| BuildError::UnknownLabel(fixup.label.clone()))?;
+            let word = self.program.instrs[fixup.word].clone();
+            let mut ops: Vec<Operation> = Vec::with_capacity(word.op_count());
+            let mut patched = false;
+            for op in word.iter() {
+                let mut op = op.clone();
+                match &mut op.kind {
+                    OpKind::Branch { target: t, .. } | OpKind::Jump { target: t } => {
+                        *t = target;
+                        patched = true;
+                    }
+                    _ => {}
+                }
+                ops.push(op);
+            }
+            if !patched {
+                return Err(BuildError::NoControlOp(fixup.word));
+            }
+            self.program.instrs[fixup.word] = Instruction::from_ops(ops);
+        }
+        Ok(self.program)
+    }
+}
+
+/// Errors from [`ProgramBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A control transfer referenced a label that was never defined.
+    UnknownLabel(String),
+    /// A word registered for fixup contains no branch or jump.
+    NoControlOp(usize),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownLabel(l) => write!(f, "undefined label `{l}`"),
+            BuildError::NoControlOp(w) => write!(f, "word {w} has no control operation to patch"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::AluBinOp;
+    use crate::operand::Operand;
+    use crate::reg::{Pred, Reg};
+
+    fn add(dst: u16) -> Operation {
+        Operation::new(
+            0,
+            1,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(dst),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(1),
+            },
+        )
+    }
+
+    #[test]
+    fn builder_resolves_backward_labels() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("top");
+        b.word(vec![add(1)]);
+        b.branch_word(vec![add(2)], "top", Some((Pred(0), true)));
+        let p = b.finish().unwrap();
+        assert_eq!(p.len(), 2);
+        let br = p.word(1).unwrap().at(0, 0).unwrap();
+        assert!(matches!(br.kind, OpKind::Branch { target: 0, .. }));
+        p.check_targets().unwrap();
+    }
+
+    #[test]
+    fn builder_resolves_forward_labels() {
+        let mut b = ProgramBuilder::new("t");
+        b.branch_word(vec![], "done", None);
+        b.word(vec![add(1)]);
+        b.label("done");
+        b.word(vec![Operation::new(0, 0, OpKind::Halt)]);
+        let p = b.finish().unwrap();
+        let jmp = p.word(0).unwrap().at(0, 0).unwrap();
+        assert!(matches!(jmp.kind, OpKind::Jump { target: 2 }));
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.branch_word(vec![], "nowhere", None);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::UnknownLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn out_of_range_target_detected() {
+        let mut p = Program::new("t");
+        p.push_word(vec![Operation::new(0, 0, OpKind::Jump { target: 5 })]);
+        let err = p.check_targets().unwrap_err();
+        assert_eq!(err.word, 0);
+        assert_eq!(err.target, 5);
+    }
+
+    #[test]
+    fn op_count_sums_words() {
+        let mut p = Program::new("t");
+        p.push_word(vec![add(1)]);
+        p.push_word(vec![add(2), Operation::new(1, 0, OpKind::Halt)]);
+        assert_eq!(p.op_count(), 3);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn branch_word_avoids_occupied_slot_zero() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("top");
+        let branch_op = Operation::new(0, 0, OpKind::Halt);
+        // slot 0 of cluster 0 occupied: branch must land elsewhere.
+        b.branch_word(vec![branch_op], "top", None);
+        let p = b.finish().unwrap();
+        let w = p.word(0).unwrap();
+        assert!(matches!(w.at(0, 0).unwrap().kind, OpKind::Halt));
+        assert!(matches!(w.at(0, 1).unwrap().kind, OpKind::Jump { .. }));
+    }
+
+    #[test]
+    fn display_includes_labels() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("entry");
+        b.word(vec![add(1)]);
+        let p = b.finish().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("entry:"));
+        assert!(text.contains("add r1, r0, #1"));
+    }
+}

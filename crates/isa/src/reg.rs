@@ -1,0 +1,90 @@
+//! Register, predicate, cluster and issue-slot identifiers.
+//!
+//! All storage on the VSP is cluster-local: a [`Reg`] or [`Pred`] index is
+//! meaningful only relative to the cluster an operation executes in.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a 16-bit general-purpose register within a cluster's local
+/// register file.
+///
+/// The paper's machines provide 64–256 registers per cluster; the index is
+/// therefore comfortably represented by a `u16`.
+///
+/// ```
+/// use vsp_isa::Reg;
+/// let r = Reg(5);
+/// assert_eq!(r.to_string(), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// Numeric index of this register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Index of a 1-bit predicate register within a cluster's predicate file.
+///
+/// ```
+/// use vsp_isa::Pred;
+/// assert_eq!(Pred(3).to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pred(pub u8);
+
+impl Pred {
+    /// Numeric index of this predicate register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a functional-unit cluster (0-based).
+///
+/// The paper's datapaths use 8 or 16 identical clusters.
+pub type ClusterId = u8;
+
+/// Identifier of an issue slot within a cluster (0-based).
+///
+/// The paper's datapaths provide 2 or 4 issue slots per cluster.
+pub type SlotId = u8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(Reg(127).to_string(), "r127");
+        assert_eq!(Reg(12).index(), 12);
+    }
+
+    #[test]
+    fn pred_display_and_index() {
+        assert_eq!(Pred(0).to_string(), "p0");
+        assert_eq!(Pred(7).index(), 7);
+    }
+
+    #[test]
+    fn reg_ordering_follows_index() {
+        assert!(Reg(3) < Reg(4));
+        assert!(Pred(0) < Pred(1));
+    }
+}

@@ -1,0 +1,233 @@
+//! Pure arithmetic semantics of the VSP operation set.
+//!
+//! These functions define the bit-exact behaviour of every data operation
+//! on the machine's 16-bit datapath. They are shared by the cycle-accurate
+//! simulator and by tests that check scheduled code against golden kernel
+//! implementations, so that "what the hardware computes" is defined in
+//! exactly one place.
+//!
+//! All arithmetic wraps (two's complement); there is no saturation on this
+//! machine.
+
+use crate::opcode::{AluBinOp, AluUnOp, CmpOp, MulKind, ShiftOp};
+
+/// Evaluates a two-operand ALU operation.
+///
+/// ```
+/// use vsp_isa::semantics::alu_bin;
+/// use vsp_isa::AluBinOp;
+/// assert_eq!(alu_bin(AluBinOp::Add, i16::MAX, 1), i16::MIN); // wraps
+/// assert_eq!(alu_bin(AluBinOp::AbsDiff, 3, 10), 7);
+/// ```
+pub fn alu_bin(op: AluBinOp, a: i16, b: i16) -> i16 {
+    match op {
+        AluBinOp::Add => a.wrapping_add(b),
+        AluBinOp::Sub => a.wrapping_sub(b),
+        AluBinOp::And => a & b,
+        AluBinOp::Or => a | b,
+        AluBinOp::Xor => a ^ b,
+        AluBinOp::Min => a.min(b),
+        AluBinOp::Max => a.max(b),
+        AluBinOp::AbsDiff => a.wrapping_sub(b).wrapping_abs(),
+    }
+}
+
+/// Evaluates a one-operand ALU operation.
+pub fn alu_un(op: AluUnOp, a: i16) -> i16 {
+    match op {
+        AluUnOp::Mov => a,
+        AluUnOp::Abs => a.wrapping_abs(),
+        AluUnOp::Neg => a.wrapping_neg(),
+        AluUnOp::Not => !a,
+        AluUnOp::SextB => a as i8 as i16,
+        AluUnOp::ZextB => (a as u16 & 0xff) as i16,
+    }
+}
+
+/// Evaluates a shift. Only the low 4 bits of the shift amount are used
+/// (the datapath is 16 bits wide).
+pub fn shift(op: ShiftOp, a: i16, amount: i16) -> i16 {
+    let sh = (amount as u16 & 0xf) as u32;
+    match op {
+        ShiftOp::Shl => ((a as u16) << sh) as i16,
+        ShiftOp::ShrL => ((a as u16) >> sh) as i16,
+        ShiftOp::ShrA => a >> sh,
+    }
+}
+
+/// Evaluates a multiply variant.
+///
+/// The 8-bit forms use only the low byte of each operand, interpreting it
+/// as signed or unsigned according to the variant; the 16-bit forms
+/// compute the full 32-bit signed product and return its low or high half.
+///
+/// ```
+/// use vsp_isa::semantics::mul;
+/// use vsp_isa::MulKind;
+/// assert_eq!(mul(MulKind::Mul8SS, -3, 5), -15);
+/// assert_eq!(mul(MulKind::Mul8UU, 0xff_u16 as i16, 2), 510);
+/// let a = 1234i16;
+/// let b = -567i16;
+/// let p = (a as i32) * (b as i32);
+/// assert_eq!(mul(MulKind::Mul16Lo, a, b), p as i16);
+/// assert_eq!(mul(MulKind::Mul16Hi, a, b), (p >> 16) as i16);
+/// ```
+pub fn mul(kind: MulKind, a: i16, b: i16) -> i16 {
+    match kind {
+        MulKind::Mul8SS => {
+            let x = a as i8 as i32;
+            let y = b as i8 as i32;
+            (x * y) as i16
+        }
+        MulKind::Mul8UU => {
+            let x = (a as u16 & 0xff) as u32;
+            let y = (b as u16 & 0xff) as u32;
+            (x * y) as u16 as i16
+        }
+        MulKind::Mul8SU => {
+            let x = a as i8 as i32;
+            let y = (b as u16 & 0xff) as i32;
+            (x * y) as i16
+        }
+        MulKind::Mul16Lo => ((a as i32) * (b as i32)) as i16,
+        MulKind::Mul16Hi => (((a as i32) * (b as i32)) >> 16) as i16,
+    }
+}
+
+/// Evaluates a signed comparison, producing a predicate value.
+pub fn cmp(op: CmpOp, a: i16, b: i16) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// Computes a full signed 16×16 product using only 8×8 multiply
+/// primitives, adds and shifts — the decomposition the paper charges
+/// "as many as 21 issue slots and at least 8 cycles" for on the base
+/// machines.
+///
+/// Returns the low 16 bits of the product (what a `Mul16Lo` would give).
+/// This function documents and tests the algebra the lowering pass in
+/// `vsp-sched` emits as real operations.
+///
+/// ```
+/// use vsp_isa::semantics::mul16_via_mul8;
+/// for (a, b) in [(1234i16, -567i16), (-32768, 32767), (255, 255)] {
+///     assert_eq!(mul16_via_mul8(a, b), ((a as i32 * b as i32) as i16));
+/// }
+/// ```
+pub fn mul16_via_mul8(a: i16, b: i16) -> i16 {
+    // a = ah*256 + al,  b = bh*256 + bl  (al, bl unsigned bytes; ah, bh
+    // signed bytes). Low 16 bits of the product:
+    //   al*bl + ((ah*bl + al*bh) << 8)
+    let al = (a as u16 & 0xff) as i16;
+    let bl = (b as u16 & 0xff) as i16;
+    let ah = ((a as u16) >> 8) as i16; // bit pattern; interpreted signed by Mul8S*
+    let bh = ((b as u16) >> 8) as i16;
+
+    let low = mul(MulKind::Mul8UU, al, bl);
+    let cross1 = mul(MulKind::Mul8SU, ah, bl);
+    let cross2 = mul(MulKind::Mul8SU, bh, al);
+    let cross = alu_bin(AluBinOp::Add, cross1, cross2);
+    let cross_shifted = shift(ShiftOp::Shl, cross, 8);
+    alu_bin(AluBinOp::Add, low, cross_shifted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_bin_wrapping() {
+        assert_eq!(alu_bin(AluBinOp::Add, i16::MAX, 1), i16::MIN);
+        assert_eq!(alu_bin(AluBinOp::Sub, i16::MIN, 1), i16::MAX);
+        assert_eq!(alu_bin(AluBinOp::Min, -5, 5), -5);
+        assert_eq!(alu_bin(AluBinOp::Max, -5, 5), 5);
+        assert_eq!(alu_bin(AluBinOp::Xor, 0x0f0f, 0x00ff), 0x0ff0);
+    }
+
+    #[test]
+    fn absdiff_equals_sub_then_abs() {
+        for (a, b) in [(0i16, 0i16), (5, 9), (9, 5), (-300, 300), (i16::MIN, 0)] {
+            assert_eq!(
+                alu_bin(AluBinOp::AbsDiff, a, b),
+                alu_un(AluUnOp::Abs, alu_bin(AluBinOp::Sub, a, b))
+            );
+        }
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(alu_un(AluUnOp::Neg, 5), -5);
+        assert_eq!(alu_un(AluUnOp::Neg, i16::MIN), i16::MIN);
+        assert_eq!(alu_un(AluUnOp::Not, 0), -1);
+        assert_eq!(alu_un(AluUnOp::SextB, 0x00ff), -1);
+        assert_eq!(alu_un(AluUnOp::ZextB, -1), 0x00ff);
+        assert_eq!(alu_un(AluUnOp::Mov, 1234), 1234);
+    }
+
+    #[test]
+    fn shifts_mask_amount_to_four_bits() {
+        assert_eq!(shift(ShiftOp::Shl, 1, 16), 1); // 16 & 0xf == 0
+        assert_eq!(shift(ShiftOp::Shl, 1, 4), 16);
+        assert_eq!(shift(ShiftOp::ShrL, -1, 1), 0x7fff);
+        assert_eq!(shift(ShiftOp::ShrA, -2, 1), -1);
+    }
+
+    #[test]
+    fn mul8_variants() {
+        assert_eq!(mul(MulKind::Mul8SS, -128, -128), 16384);
+        assert_eq!(mul(MulKind::Mul8UU, -1, -1), (255u32 * 255) as u16 as i16);
+        assert_eq!(mul(MulKind::Mul8SU, -1i16, 255), (-255i32) as i16);
+    }
+
+    #[test]
+    fn mul16_decomposition_exhaustive_corners() {
+        let samples = [
+            i16::MIN,
+            i16::MIN + 1,
+            -256,
+            -255,
+            -1,
+            0,
+            1,
+            127,
+            128,
+            255,
+            256,
+            i16::MAX - 1,
+            i16::MAX,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                let expect = ((a as i32) * (b as i32)) as i16;
+                assert_eq!(mul16_via_mul8(a, b), expect, "a={a} b={b}");
+                assert_eq!(mul(MulKind::Mul16Lo, a, b), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn mul16_hi_matches_wide_product() {
+        for (a, b) in [(1000i16, 1000i16), (-1000, 1000), (i16::MAX, i16::MAX)] {
+            let p = (a as i32) * (b as i32);
+            assert_eq!(mul(MulKind::Mul16Hi, a, b), (p >> 16) as i16);
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(cmp(CmpOp::Lt, -1, 0));
+        assert!(!cmp(CmpOp::Lt, 0, 0));
+        assert!(cmp(CmpOp::Le, 0, 0));
+        assert!(cmp(CmpOp::Ge, 0, 0));
+        assert!(cmp(CmpOp::Ne, 1, 2));
+        assert!(cmp(CmpOp::Eq, 7, 7));
+        assert!(cmp(CmpOp::Gt, 3, 2));
+    }
+}

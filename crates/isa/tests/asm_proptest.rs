@@ -1,0 +1,135 @@
+//! Property tests: the assembly printer and parser round-trip arbitrary
+//! well-formed programs over the full operation vocabulary.
+
+use proptest::prelude::*;
+use vsp_isa::{
+    asm, AddrMode, AluBinOp, AluUnOp, CmpOp, MemBank, MulKind, OpKind, Operand, Operation, Pred,
+    PredGuard, Program, Reg, ShiftOp,
+};
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u16..64).prop_map(|r| Operand::Reg(Reg(r))),
+        (-500i16..500).prop_map(Operand::Imm),
+    ]
+}
+
+fn addr_mode() -> impl Strategy<Value = AddrMode> {
+    prop_oneof![
+        (0u16..2048).prop_map(AddrMode::Absolute),
+        (0u16..64).prop_map(|r| AddrMode::Register(Reg(r))),
+        ((0u16..64), -64i16..64).prop_map(|(r, d)| AddrMode::BaseDisp(Reg(r), d)),
+        ((0u16..64), (0u16..64)).prop_map(|(r, s)| AddrMode::Indexed(Reg(r), Reg(s))),
+    ]
+}
+
+fn op_kind() -> impl Strategy<Value = OpKind> {
+    let bin = prop_oneof![
+        Just(AluBinOp::Add),
+        Just(AluBinOp::Sub),
+        Just(AluBinOp::And),
+        Just(AluBinOp::Or),
+        Just(AluBinOp::Xor),
+        Just(AluBinOp::Min),
+        Just(AluBinOp::Max),
+        Just(AluBinOp::AbsDiff),
+    ];
+    let un = prop_oneof![
+        Just(AluUnOp::Mov),
+        Just(AluUnOp::Abs),
+        Just(AluUnOp::Neg),
+        Just(AluUnOp::Not),
+        Just(AluUnOp::SextB),
+        Just(AluUnOp::ZextB),
+    ];
+    let sh = prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::ShrL), Just(ShiftOp::ShrA)];
+    let mul = prop_oneof![
+        Just(MulKind::Mul8SS),
+        Just(MulKind::Mul8UU),
+        Just(MulKind::Mul8SU),
+        Just(MulKind::Mul16Lo),
+        Just(MulKind::Mul16Hi),
+    ];
+    let cmp = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    prop_oneof![
+        (bin, 0u16..64, operand(), operand())
+            .prop_map(|(op, d, a, b)| OpKind::AluBin { op, dst: Reg(d), a, b }),
+        (un, 0u16..64, operand()).prop_map(|(op, d, a)| OpKind::AluUn { op, dst: Reg(d), a }),
+        (sh, 0u16..64, operand(), operand())
+            .prop_map(|(op, d, a, b)| OpKind::Shift { op, dst: Reg(d), a, b }),
+        (mul, 0u16..64, operand(), operand())
+            .prop_map(|(kind, d, a, b)| OpKind::Mul { kind, dst: Reg(d), a, b }),
+        (cmp, 0u8..8, operand(), operand())
+            .prop_map(|(op, d, a, b)| OpKind::Cmp { op, dst: Pred(d), a, b }),
+        (0u16..64, addr_mode(), 0u8..2)
+            .prop_map(|(d, addr, bk)| OpKind::Load { dst: Reg(d), addr, bank: MemBank(bk) }),
+        (operand(), addr_mode(), 0u8..2)
+            .prop_map(|(src, addr, bk)| OpKind::Store { src, addr, bank: MemBank(bk) }),
+        ((0u16..64), 0u8..16, 0u16..64)
+            .prop_map(|(d, c, s)| OpKind::Xfer { dst: Reg(d), from: c, src: Reg(s) }),
+        Just(OpKind::Halt),
+    ]
+}
+
+fn guard() -> impl Strategy<Value = Option<PredGuard>> {
+    prop_oneof![
+        Just(None),
+        ((0u8..8), any::<bool>()).prop_map(|(p, sense)| Some(PredGuard { pred: Pred(p), sense })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_round_trip(
+        words in proptest::collection::vec(
+            proptest::collection::vec((op_kind(), guard(), 0u8..4, 0u8..5), 1..5),
+            1..12,
+        ),
+        with_branch in any::<bool>(),
+    ) {
+        let mut p = Program::new("prop");
+        for word in &words {
+            let mut ops = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for (kind, g, cluster, slot) in word {
+                if !used.insert((*cluster, *slot)) {
+                    continue;
+                }
+                // Branches carry targets; guard-on-halt etc. are all legal
+                // text-wise.
+                ops.push(Operation {
+                    cluster: *cluster,
+                    slot: *slot,
+                    guard: *g,
+                    kind: kind.clone(),
+                });
+            }
+            p.push_word(ops);
+        }
+        if with_branch && p.len() > 1 {
+            let target = p.len() - 1;
+            p.push_word(vec![Operation::new(0, 7, OpKind::Branch {
+                pred: Pred(0),
+                sense: false,
+                target,
+            })]);
+            p.set_label("tail", target);
+        }
+
+        let text = asm::print(&p);
+        let parsed = asm::parse(&text).unwrap();
+        prop_assert_eq!(parsed.len(), p.len());
+        for i in 0..p.len() {
+            prop_assert_eq!(parsed.word(i), p.word(i), "word {}", i);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Frame geometry constants for the paper's workload.
+//!
+//! Table 1 reports cycles per **720×480** pixel frame (CCIR-601 active
+//! resolution). The derived quantities below are used by every variant
+//! recipe.
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of a video frame and its decompositions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameDims {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl FrameDims {
+    /// Creates frame dimensions.
+    pub fn new(width: u32, height: u32) -> Self {
+        FrameDims { width, height }
+    }
+
+    /// Total pixels.
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// 16×16 macroblocks per frame.
+    pub fn macroblocks(&self) -> u64 {
+        u64::from(self.width / 16) * u64::from(self.height / 16)
+    }
+
+    /// 8×8 blocks per frame.
+    pub fn blocks8(&self) -> u64 {
+        u64::from(self.width / 8) * u64::from(self.height / 8)
+    }
+}
+
+/// The paper's CCIR-601 frame: 720×480.
+pub const CCIR601: FrameDims = FrameDims {
+    width: 720,
+    height: 480,
+};
+
+/// Full-search motion window of ±[`SEARCH_RANGE`] pixels.
+pub const SEARCH_RANGE: u32 = 8;
+
+/// Candidate positions per macroblock for the full search:
+/// (2·range + 1)².
+pub const FULL_SEARCH_POSITIONS: u64 = (2 * SEARCH_RANGE as u64 + 1).pow(2);
+
+/// Candidate positions per macroblock for the three-step search:
+/// 9 + 8 + 8 (the center is reused between steps).
+pub const THREE_STEP_POSITIONS: u64 = 25;
+
+/// Frame rate used for the real-time headroom conclusions (§4).
+pub const FRAME_RATE_HZ: f64 = 30.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccir601_decompositions() {
+        assert_eq!(CCIR601.pixels(), 345_600);
+        assert_eq!(CCIR601.macroblocks(), 45 * 30);
+        assert_eq!(CCIR601.blocks8(), 90 * 60);
+    }
+
+    #[test]
+    fn search_window_matches_calibration() {
+        // 1350 MB x 289 positions x 256 pixels ~ 99.88M SAD iterations, the
+        // scale behind the paper's 815.7M-cycle sequential baseline.
+        assert_eq!(FULL_SEARCH_POSITIONS, 289);
+        let iters = CCIR601.macroblocks() * FULL_SEARCH_POSITIONS * 256;
+        assert_eq!(iters, 99_878_400);
+    }
+}

@@ -1,0 +1,120 @@
+//! RGB→YCbCr color-space conversion with 4:4:4 → 4:2:0 chroma
+//! subsampling — "typical of the first stage in compression" (§3.3).
+//!
+//! Uses the standard ITU-R BT.601 integer approximation with 8-bit
+//! coefficients and a rounding shift, the form whose multiplies fit the
+//! machines' 8×8 multipliers.
+
+/// Planar 4:2:0 output of the converter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ycbcr420 {
+    /// Luma plane, full resolution.
+    pub y: Vec<i16>,
+    /// Blue-difference chroma, quarter resolution.
+    pub cb: Vec<i16>,
+    /// Red-difference chroma, quarter resolution.
+    pub cr: Vec<i16>,
+}
+
+/// Converts an interleaved RGB frame (values 0..=255) to planar YCbCr
+/// 4:2:0. Chroma is averaged over each 2×2 pixel quad before conversion.
+///
+/// # Panics
+///
+/// Panics if `rgb.len() != width * height * 3` or the dimensions are odd.
+pub fn rgb_to_ycbcr_420(rgb: &[i16], width: usize, height: usize) -> Ycbcr420 {
+    assert_eq!(rgb.len(), width * height * 3, "interleaved RGB expected");
+    assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "4:2:0 needs even dims");
+
+    let mut y = vec![0i16; width * height];
+    for p in 0..width * height {
+        let (r, g, b) = (
+            i32::from(rgb[3 * p]),
+            i32::from(rgb[3 * p + 1]),
+            i32::from(rgb[3 * p + 2]),
+        );
+        y[p] = (((66 * r + 129 * g + 25 * b + 128) >> 8) + 16) as i16;
+    }
+
+    let (cw, ch) = (width / 2, height / 2);
+    let mut cb = vec![0i16; cw * ch];
+    let mut cr = vec![0i16; cw * ch];
+    for cy in 0..ch {
+        for cx in 0..cw {
+            let mut rs = 0i32;
+            let mut gs = 0i32;
+            let mut bs = 0i32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let p = (2 * cy + dy) * width + 2 * cx + dx;
+                    rs += i32::from(rgb[3 * p]);
+                    gs += i32::from(rgb[3 * p + 1]);
+                    bs += i32::from(rgb[3 * p + 2]);
+                }
+            }
+            let (r, g, b) = ((rs + 2) >> 2, (gs + 2) >> 2, (bs + 2) >> 2);
+            cb[cy * cw + cx] = (((-38 * r - 74 * g + 112 * b + 128) >> 8) + 128) as i16;
+            cr[cy * cw + cx] = (((112 * r - 94 * g - 18 * b + 128) >> 8) + 128) as i16;
+        }
+    }
+    Ycbcr420 { y, cb, cr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::synthetic_rgb_frame;
+
+    fn gray(value: i16, width: usize, height: usize) -> Vec<i16> {
+        std::iter::repeat_n([value, value, value], width * height)
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn gray_maps_to_neutral_chroma() {
+        let out = rgb_to_ycbcr_420(&gray(128, 16, 16), 16, 16);
+        for &cb in &out.cb {
+            assert_eq!(cb, 128);
+        }
+        for &cr in &out.cr {
+            assert_eq!(cr, 128);
+        }
+        // Y of mid-gray 128: (220*128 + 128)>>8 + 16 = 126.
+        assert!(out.y.iter().all(|&v| (125..=127).contains(&v)));
+    }
+
+    #[test]
+    fn black_and_white_luma_range() {
+        let out = rgb_to_ycbcr_420(&gray(0, 4, 4), 4, 4);
+        assert!(out.y.iter().all(|&v| v == 16), "BT.601 black is Y=16");
+        let out = rgb_to_ycbcr_420(&gray(255, 4, 4), 4, 4);
+        assert!(out.y.iter().all(|&v| (234..=236).contains(&v)), "white ~235");
+    }
+
+    #[test]
+    fn pure_red_has_high_cr() {
+        let rgb: Vec<i16> = std::iter::repeat_n([255i16, 0, 0], 16).flatten().collect();
+        let out = rgb_to_ycbcr_420(&rgb, 4, 4);
+        assert!(out.cr.iter().all(|&v| v > 200), "red pushes Cr up: {:?}", out.cr);
+        assert!(out.cb.iter().all(|&v| v < 128));
+    }
+
+    #[test]
+    fn plane_sizes_are_420() {
+        let rgb = synthetic_rgb_frame(32, 24, 7);
+        let out = rgb_to_ycbcr_420(&rgb, 32, 24);
+        assert_eq!(out.y.len(), 32 * 24);
+        assert_eq!(out.cb.len(), 16 * 12);
+        assert_eq!(out.cr.len(), 16 * 12);
+    }
+
+    #[test]
+    fn outputs_stay_in_video_range() {
+        let rgb = synthetic_rgb_frame(64, 32, 9);
+        let out = rgb_to_ycbcr_420(&rgb, 64, 32);
+        assert!(out.y.iter().all(|&v| (16..=235).contains(&v)));
+        assert!(out.cb.iter().all(|&v| (16..=240).contains(&v)));
+        assert!(out.cr.iter().all(|&v| (16..=240).contains(&v)));
+    }
+}

@@ -1,0 +1,7 @@
+//! Golden scalar implementations — the semantic references every IR form
+//! and every scheduled program is checked against.
+
+pub mod color;
+pub mod dct;
+pub mod motion;
+pub mod vbr;

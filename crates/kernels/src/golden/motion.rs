@@ -1,0 +1,199 @@
+//! Motion estimation: full search and three-step search.
+//!
+//! Both algorithms compare a 16×16 macroblock of the current frame
+//! against candidate blocks of the reference frame, scoring each with the
+//! sum of absolute differences (SAD); "this is generally believed to be
+//! the most time-consuming step in video compression" (§3.3). Their
+//! inner loops are identical; only the search strategy differs.
+
+/// A motion vector and its SAD score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionResult {
+    /// Horizontal displacement of the best match.
+    pub dx: i32,
+    /// Vertical displacement of the best match.
+    pub dy: i32,
+    /// SAD of the best match.
+    pub sad: u32,
+}
+
+/// Sum of absolute differences between the 16×16 block at `(cx, cy)` in
+/// `cur` and the block at `(cx+dx, cy+dy)` in `reference`.
+///
+/// # Panics
+///
+/// Panics if either block extends outside its frame.
+pub fn sad_16x16(
+    cur: &[i16],
+    reference: &[i16],
+    width: usize,
+    cx: usize,
+    cy: usize,
+    dx: i32,
+    dy: i32,
+) -> u32 {
+    let rx = (cx as i32 + dx) as usize;
+    let ry = (cy as i32 + dy) as usize;
+    let mut sum = 0u32;
+    for row in 0..16 {
+        let c = (cy + row) * width + cx;
+        let r = (ry + row) * width + rx;
+        for col in 0..16 {
+            let d = i32::from(cur[c + col]) - i32::from(reference[r + col]);
+            sum += d.unsigned_abs();
+        }
+    }
+    sum
+}
+
+/// Exhaustive full search over a ±`range` window (clipped to the frame).
+pub fn full_search(
+    cur: &[i16],
+    reference: &[i16],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    range: i32,
+) -> MotionResult {
+    let mut best = MotionResult {
+        dx: 0,
+        dy: 0,
+        sad: u32::MAX,
+    };
+    for dy in -range..=range {
+        for dx in -range..=range {
+            if !displacement_valid(width, height, cx, cy, dx, dy) {
+                continue;
+            }
+            let sad = sad_16x16(cur, reference, width, cx, cy, dx, dy);
+            if sad < best.sad {
+                best = MotionResult { dx, dy, sad };
+            }
+        }
+    }
+    best
+}
+
+/// Three-step search: examine the 3×3 neighborhood at step sizes
+/// `range/2`, `range/4`, 1 (classic logarithmic refinement; 25 SAD
+/// evaluations for a ±8 window).
+pub fn three_step_search(
+    cur: &[i16],
+    reference: &[i16],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    range: i32,
+) -> MotionResult {
+    let mut center = MotionResult {
+        dx: 0,
+        dy: 0,
+        sad: if displacement_valid(width, height, cx, cy, 0, 0) {
+            sad_16x16(cur, reference, width, cx, cy, 0, 0)
+        } else {
+            u32::MAX
+        },
+    };
+    let mut step = (range / 2).max(1);
+    loop {
+        let mut best = center;
+        for sy in [-step, 0, step] {
+            for sx in [-step, 0, step] {
+                if sx == 0 && sy == 0 {
+                    continue;
+                }
+                let (dx, dy) = (center.dx + sx, center.dy + sy);
+                if !displacement_valid(width, height, cx, cy, dx, dy) {
+                    continue;
+                }
+                let sad = sad_16x16(cur, reference, width, cx, cy, dx, dy);
+                if sad < best.sad {
+                    best = MotionResult { dx, dy, sad };
+                }
+            }
+        }
+        center = best;
+        if step == 1 {
+            return center;
+        }
+        step = (step / 2).max(1);
+    }
+}
+
+fn displacement_valid(
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    dx: i32,
+    dy: i32,
+) -> bool {
+    let rx = cx as i32 + dx;
+    let ry = cy as i32 + dy;
+    rx >= 0 && ry >= 0 && rx + 16 <= width as i32 && ry + 16 <= height as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{shifted_frame_pair, synthetic_luma_frame};
+
+    #[test]
+    fn sad_of_identical_blocks_is_zero() {
+        let f = synthetic_luma_frame(64, 48, 1);
+        assert_eq!(sad_16x16(&f, &f, 64, 16, 16, 0, 0), 0);
+    }
+
+    #[test]
+    fn full_search_recovers_known_shift() {
+        let (cur, reference) = shifted_frame_pair(64, 48, 3, -2, 7);
+        let r = full_search(&cur, &reference, 64, 48, 32, 16, 8);
+        assert_eq!((r.dx, r.dy), (3, -2));
+        assert_eq!(r.sad, 0);
+    }
+
+    #[test]
+    fn three_step_finds_same_shift_on_smooth_content() {
+        let (cur, reference) = shifted_frame_pair(64, 48, 4, 2, 9);
+        let full = full_search(&cur, &reference, 64, 48, 32, 16, 8);
+        let tss = three_step_search(&cur, &reference, 64, 48, 32, 16, 8);
+        assert_eq!((full.dx, full.dy), (4, 2));
+        // Three-step is a heuristic; on an exact-shift pair it must still
+        // find the zero-SAD match.
+        assert_eq!(tss.sad, 0);
+        assert_eq!((tss.dx, tss.dy), (4, 2));
+    }
+
+    #[test]
+    fn three_step_never_beats_full_search() {
+        let (cur, reference) = shifted_frame_pair(96, 64, 1, 5, 11);
+        for (cx, cy) in [(16, 16), (48, 32), (64, 32)] {
+            let full = full_search(&cur, &reference, 96, 64, cx, cy, 8);
+            let tss = three_step_search(&cur, &reference, 96, 64, cx, cy, 8);
+            assert!(tss.sad >= full.sad);
+        }
+    }
+
+    #[test]
+    fn window_clipping_at_frame_edges() {
+        let f = synthetic_luma_frame(32, 32, 2);
+        let r = full_search(&f, &f, 32, 32, 0, 0, 8);
+        assert_eq!((r.dx, r.dy, r.sad), (0, 0, 0));
+    }
+
+    #[test]
+    fn full_search_examines_289_positions_in_interior() {
+        // Count positions explicitly for an interior macroblock.
+        let mut count = 0;
+        for dy in -8i32..=8 {
+            for dx in -8i32..=8 {
+                if displacement_valid(720, 480, 360, 240, dx, dy) {
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, crate::frame::FULL_SEARCH_POSITIONS);
+    }
+}

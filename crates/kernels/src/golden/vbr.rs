@@ -1,0 +1,255 @@
+//! Variable-bit-rate coder: the lossless run-length + variable-length
+//! coding stage of MPEG-style compression (§3.3).
+//!
+//! "Typically it is considered a minor stage in the compression
+//! procedure, but it contains numerous long dependency chains and has
+//! very limited parallelism" — each emitted code's bit position depends
+//! on every previous code's length, and run lengths depend on the data.
+//!
+//! The entropy code here is a concrete prefix code (unary run length +
+//! Elias-gamma level magnitude + sign, with an out-of-range run as the
+//! end-of-block symbol); it is fully decodable, which the round-trip
+//! tests exercise.
+
+/// Bit-granular output buffer (MSB-first within each 16-bit word, the
+//  machine's natural store width).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    words: Vec<u16>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty bit stream.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `count` bits of `bits`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn put(&mut self, bits: u32, count: u32) {
+        assert!(count <= 32);
+        for i in (0..count).rev() {
+            let bit = (bits >> i) & 1;
+            let word = self.bit_len / 16;
+            if word == self.words.len() {
+                self.words.push(0);
+            }
+            if bit != 0 {
+                self.words[word] |= 1 << (15 - (self.bit_len % 16));
+            }
+            self.bit_len += 1;
+        }
+    }
+
+    /// Total bits written.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// The packed words.
+    pub fn words(&self) -> &[u16] {
+        &self.words
+    }
+}
+
+/// Bit-granular reader over a packed stream.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    words: &'a [u16],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over packed words.
+    pub fn new(words: &'a [u16]) -> Self {
+        BitReader { words, pos: 0 }
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub fn bit(&mut self) -> Option<u32> {
+        let word = self.words.get(self.pos / 16)?;
+        let bit = (word >> (15 - (self.pos % 16))) & 1;
+        self.pos += 1;
+        Some(u32::from(bit))
+    }
+
+    /// Reads `count` bits MSB-first.
+    pub fn bits(&mut self, count: u32) -> Option<u32> {
+        let mut v = 0;
+        for _ in 0..count {
+            v = (v << 1) | self.bit()?;
+        }
+        Some(v)
+    }
+}
+
+/// End-of-block run symbol (no legal run reaches 64).
+const EOB_RUN: u32 = 64;
+
+fn put_unary(w: &mut BitWriter, n: u32) {
+    for _ in 0..n {
+        w.put(1, 1);
+    }
+    w.put(0, 1);
+}
+
+fn get_unary(r: &mut BitReader<'_>) -> Option<u32> {
+    let mut n = 0;
+    while r.bit()? == 1 {
+        n += 1;
+    }
+    Some(n)
+}
+
+fn put_gamma(w: &mut BitWriter, v: u32) {
+    debug_assert!(v >= 1);
+    let bits = 32 - v.leading_zeros();
+    for _ in 0..bits - 1 {
+        w.put(0, 1);
+    }
+    w.put(v, bits);
+}
+
+fn get_gamma(r: &mut BitReader<'_>) -> Option<u32> {
+    let mut zeros = 0;
+    while r.bit()? == 0 {
+        zeros += 1;
+    }
+    let rest = r.bits(zeros)?;
+    Some((1 << zeros) | rest)
+}
+
+/// Encodes one zigzag-ordered quantized block, appending to `out`.
+/// Returns the number of (run, level) events emitted (excluding EOB).
+pub fn encode_block(block: &[i16; 64], out: &mut BitWriter) -> usize {
+    let mut run = 0u32;
+    let mut events = 0;
+    for &c in block.iter() {
+        if c == 0 {
+            run += 1;
+        } else {
+            put_unary(out, run);
+            put_gamma(out, c.unsigned_abs() as u32);
+            out.put(u32::from(c < 0), 1);
+            run = 0;
+            events += 1;
+        }
+    }
+    put_unary(out, EOB_RUN);
+    events
+}
+
+/// Decodes one block from the reader.
+pub fn decode_block(r: &mut BitReader<'_>) -> Option<[i16; 64]> {
+    let mut block = [0i16; 64];
+    let mut pos = 0usize;
+    loop {
+        let run = get_unary(r)?;
+        if run >= EOB_RUN {
+            return Some(block);
+        }
+        pos += run as usize;
+        let mag = get_gamma(r)? as i16;
+        let neg = r.bit()? == 1;
+        if pos >= 64 {
+            return None; // corrupt stream
+        }
+        block[pos] = if neg { -mag } else { mag };
+        pos += 1;
+    }
+}
+
+/// Encodes a stream of blocks; returns the bit stream and total events.
+pub fn encode_blocks(blocks: &[[i16; 64]]) -> (BitWriter, usize) {
+    let mut w = BitWriter::new();
+    let mut events = 0;
+    for b in blocks {
+        events += encode_block(b, &mut w);
+    }
+    (w, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::quantized_blocks;
+
+    #[test]
+    fn bitwriter_packs_msb_first() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0b1, 1);
+        assert_eq!(w.bit_len(), 4);
+        assert_eq!(w.words()[0], 0b1011_0000_0000_0000);
+    }
+
+    #[test]
+    fn gamma_round_trip() {
+        let mut w = BitWriter::new();
+        for v in 1..=200u32 {
+            put_gamma(&mut w, v);
+        }
+        let mut r = BitReader::new(w.words());
+        for v in 1..=200u32 {
+            assert_eq!(get_gamma(&mut r), Some(v));
+        }
+    }
+
+    #[test]
+    fn unary_round_trip() {
+        let mut w = BitWriter::new();
+        for v in [0u32, 1, 5, 63, 64] {
+            put_unary(&mut w, v);
+        }
+        let mut r = BitReader::new(w.words());
+        for v in [0u32, 1, 5, 63, 64] {
+            assert_eq!(get_unary(&mut r), Some(v));
+        }
+    }
+
+    #[test]
+    fn block_round_trip() {
+        for seed in 0..20 {
+            let block = crate::workload::quantized_block(seed);
+            let mut w = BitWriter::new();
+            encode_block(&block, &mut w);
+            let mut r = BitReader::new(w.words());
+            assert_eq!(decode_block(&mut r), Some(block), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let blocks = quantized_blocks(50, 99);
+        let (w, events) = encode_blocks(&blocks);
+        assert!(events > 0);
+        let mut r = BitReader::new(w.words());
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(decode_block(&mut r).as_ref(), Some(b), "block {i}");
+        }
+    }
+
+    #[test]
+    fn sparse_blocks_compress() {
+        let blocks = quantized_blocks(100, 7);
+        let (w, _) = encode_blocks(&blocks);
+        let raw_bits = 100 * 64 * 16;
+        assert!(
+            w.bit_len() < raw_bits / 4,
+            "VLC beats raw PCM: {} vs {raw_bits}",
+            w.bit_len()
+        );
+    }
+
+    #[test]
+    fn all_zero_block_is_just_eob() {
+        let mut w = BitWriter::new();
+        let events = encode_block(&[0i16; 64], &mut w);
+        assert_eq!(events, 0);
+        assert_eq!(w.bit_len(), 65); // 64 ones + terminating zero
+    }
+}

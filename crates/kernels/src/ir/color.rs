@@ -1,0 +1,216 @@
+//! IR form of the RGB→YCbCr 4:2:0 converter.
+//!
+//! Works on planar R/G/B arrays one 2×2 quad at a time, using Q7
+//! coefficients so every intermediate sum fits the 16-bit datapath
+//! exactly (`111 · 255 < 2¹⁵`). The golden Q8 converter agrees within
+//! ±2 codes; the Q7 golden twin in the tests agrees bit for bit.
+
+use vsp_ir::{ArrayId, IndexExpr, Kernel, KernelBuilder};
+use vsp_isa::{AluBinOp, ShiftOp};
+
+/// Handles into the color-conversion kernel.
+#[derive(Debug, Clone)]
+pub struct ColorKernel {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Planar red samples (one 16×2 strip: 2 rows of quads).
+    pub r: ArrayId,
+    /// Planar green samples.
+    pub g: ArrayId,
+    /// Planar blue samples.
+    pub b: ArrayId,
+    /// Luma output (same layout as inputs).
+    pub y: ArrayId,
+    /// Cb output (one per quad).
+    pub cb: ArrayId,
+    /// Cr output (one per quad).
+    pub cr: ArrayId,
+    /// Quads processed per kernel invocation.
+    pub quads: u32,
+}
+
+/// Q7 luma coefficients: `Y = ((33R + 65G + 13B + 64) >> 7) + 16`.
+pub const Y_COEF: [i16; 3] = [33, 65, 13];
+/// Q7 Cb coefficients: `Cb = ((-19R - 37G + 56B + 64) >> 7) + 128`.
+pub const CB_COEF: [i16; 3] = [-19, -37, 56];
+/// Q7 Cr coefficients: `Cr = ((56R - 47G - 9B + 64) >> 7) + 128`.
+pub const CR_COEF: [i16; 3] = [56, -47, -9];
+
+/// Reference Q7 conversion for one pixel (the golden twin of the IR).
+pub fn q7_ycbcr(r: i16, g: i16, b: i16) -> (i16, i16, i16) {
+    let dot = |c: [i16; 3]| -> i16 {
+        ((i32::from(c[0]) * i32::from(r)
+            + i32::from(c[1]) * i32::from(g)
+            + i32::from(c[2]) * i32::from(b)
+            + 64)
+            >> 7) as i16
+    };
+    (dot(Y_COEF) + 16, dot(CB_COEF) + 128, dot(CR_COEF) + 128)
+}
+
+/// Builds the converter over a strip of `quads` 2×2 quads stored as two
+/// interleaved rows: pixel `(q, dy, dx)` lives at `q*2 + dy*stride + dx`
+/// with `stride = 2*quads`.
+pub fn color_quad_kernel(quads: u32) -> ColorKernel {
+    let stride = (2 * quads) as i16;
+    let mut bd = KernelBuilder::new("rgb2ycbcr420");
+    let r = bd.array("r", 4 * quads);
+    let g = bd.array("g", 4 * quads);
+    let b = bd.array("b", 4 * quads);
+    let y = bd.array("y", 4 * quads);
+    let cb = bd.array("cb", quads);
+    let cr = bd.array("cr", quads);
+
+    bd.count_loop("q", 0, 2, quads, |bd, q| {
+        // q steps by 2: it is also the left pixel's column offset.
+        let mut rsum = bd.var("rsum");
+        let mut gsum = bd.var("gsum");
+        let mut bsum = bd.var("bsum");
+        bd.set(rsum, 0);
+        bd.set(gsum, 0);
+        bd.set(bsum, 0);
+        for dy in 0..2i16 {
+            for dx in 0..2i16 {
+                let off = dy * stride + dx;
+                let rv = bd.load(&format!("r{dy}{dx}"), r, IndexExpr::Offset(q, off));
+                let gv = bd.load(&format!("g{dy}{dx}"), g, IndexExpr::Offset(q, off));
+                let bv = bd.load(&format!("b{dy}{dx}"), b, IndexExpr::Offset(q, off));
+                // Y = ((33R + 65G + 13B + 64) >> 7) + 16
+                let t0 = bd.mul_new("t0", rv, Y_COEF[0]);
+                let t1 = bd.mul_new("t1", gv, Y_COEF[1]);
+                let t2 = bd.mul_new("t2", bv, Y_COEF[2]);
+                let s0 = bd.bin_new("s0", AluBinOp::Add, t0, t1);
+                let s1 = bd.bin_new("s1", AluBinOp::Add, s0, t2);
+                let s2 = bd.bin_new("s2", AluBinOp::Add, s1, 64i16);
+                let sh = bd.shift_new("sh", ShiftOp::ShrA, s2, 7i16);
+                let yv = bd.bin_new("yv", AluBinOp::Add, sh, 16i16);
+                bd.store(y, IndexExpr::Offset(q, off), yv);
+                // Chroma pre-averaging sums.
+                rsum = bd.bin(rsum, AluBinOp::Add, rsum, rv);
+                gsum = bd.bin(gsum, AluBinOp::Add, gsum, gv);
+                bsum = bd.bin(bsum, AluBinOp::Add, bsum, bv);
+            }
+        }
+        // Averages with rounding.
+        let ravg = {
+            let t = bd.bin_new("ra0", AluBinOp::Add, rsum, 2i16);
+            bd.shift_new("ravg", ShiftOp::ShrA, t, 2i16)
+        };
+        let gavg = {
+            let t = bd.bin_new("ga0", AluBinOp::Add, gsum, 2i16);
+            bd.shift_new("gavg", ShiftOp::ShrA, t, 2i16)
+        };
+        let bavg = {
+            let t = bd.bin_new("ba0", AluBinOp::Add, bsum, 2i16);
+            bd.shift_new("bavg", ShiftOp::ShrA, t, 2i16)
+        };
+        // Chroma conversions (chroma index = q/2).
+        let ci = bd.shift_new("ci", ShiftOp::ShrA, q, 1i16);
+        for (name, coef, bias, out) in [
+            ("cb", CB_COEF, 128i16, cb),
+            ("cr", CR_COEF, 128i16, cr),
+        ] {
+            let t0 = bd.mul_new(&format!("{name}0"), ravg, coef[0]);
+            let t1 = bd.mul_new(&format!("{name}1"), gavg, coef[1]);
+            let t2 = bd.mul_new(&format!("{name}2"), bavg, coef[2]);
+            let s0 = bd.bin_new(&format!("{name}s0"), AluBinOp::Add, t0, t1);
+            let s1 = bd.bin_new(&format!("{name}s1"), AluBinOp::Add, s0, t2);
+            let s2 = bd.bin_new(&format!("{name}s2"), AluBinOp::Add, s1, 64i16);
+            let sh = bd.shift_new(&format!("{name}sh"), ShiftOp::ShrA, s2, 7i16);
+            let v = bd.bin_new(&format!("{name}v"), AluBinOp::Add, sh, bias);
+            bd.store(out, IndexExpr::Var(ci), v);
+        }
+    });
+
+    ColorKernel {
+        kernel: bd.finish(),
+        r,
+        g,
+        b,
+        y,
+        cb,
+        cr,
+        quads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::color::rgb_to_ycbcr_420;
+    use crate::workload::synthetic_rgb_frame;
+    use vsp_ir::Interpreter;
+
+    fn planar(rgb: &[i16]) -> (Vec<i16>, Vec<i16>, Vec<i16>) {
+        let n = rgb.len() / 3;
+        let mut r = Vec::with_capacity(n);
+        let mut g = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        for p in 0..n {
+            r.push(rgb[3 * p]);
+            g.push(rgb[3 * p + 1]);
+            b.push(rgb[3 * p + 2]);
+        }
+        (r, g, b)
+    }
+
+    #[test]
+    fn ir_matches_q7_twin_exactly() {
+        let quads = 8u32;
+        let width = 2 * quads as usize;
+        let rgb = synthetic_rgb_frame(width, 2, 41);
+        let (r, g, b) = planar(&rgb);
+        let k = color_quad_kernel(quads);
+        let mut interp = Interpreter::new(&k.kernel);
+        interp.set_array(k.r, r.clone());
+        interp.set_array(k.g, g.clone());
+        interp.set_array(k.b, b.clone());
+        interp.run().unwrap();
+
+        for p in 0..width * 2 {
+            let (ey, _, _) = q7_ycbcr(r[p], g[p], b[p]);
+            assert_eq!(interp.array(k.y)[p], ey, "pixel {p}");
+        }
+        for q in 0..quads as usize {
+            let mut rs = 0i32;
+            let mut gs = 0i32;
+            let mut bs = 0i32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let p = q * 2 + dy * width + dx;
+                    rs += i32::from(r[p]);
+                    gs += i32::from(g[p]);
+                    bs += i32::from(b[p]);
+                }
+            }
+            let (ra, ga, ba) = (
+                ((rs + 2) >> 2) as i16,
+                ((gs + 2) >> 2) as i16,
+                ((bs + 2) >> 2) as i16,
+            );
+            let (_, ecb, ecr) = q7_ycbcr(ra, ga, ba);
+            assert_eq!(interp.array(k.cb)[q], ecb, "quad {q}");
+            assert_eq!(interp.array(k.cr)[q], ecr, "quad {q}");
+        }
+    }
+
+    #[test]
+    fn q7_agrees_with_golden_q8_within_2() {
+        let rgb = synthetic_rgb_frame(16, 4, 13);
+        let golden = rgb_to_ycbcr_420(&rgb, 16, 4);
+        for p in 0..16 * 4 {
+            let (y, _, _) = q7_ycbcr(rgb[3 * p], rgb[3 * p + 1], rgb[3 * p + 2]);
+            assert!(
+                (y - golden.y[p]).abs() <= 2,
+                "pixel {p}: q7 {y} vs q8 {}",
+                golden.y[p]
+            );
+        }
+    }
+
+    #[test]
+    fn working_set_fits() {
+        let k = color_quad_kernel(8);
+        assert!(k.kernel.working_set_words() * 2 <= 4096);
+    }
+}

@@ -1,0 +1,16 @@
+//! IR forms of the six kernels — what the transform and scheduling
+//! pipeline consumes.
+//!
+//! Each builder returns the kernel plus handles to its arrays and
+//! key variables so tests can stage inputs and read outputs, and so the
+//! variant recipes can name the loops they transform.
+
+pub mod color;
+pub mod dct;
+pub mod sad;
+pub mod vbr;
+
+pub use color::{color_quad_kernel, ColorKernel};
+pub use dct::{dct1d_kernel, dct_direct_mac_kernel, Dct1dKernel};
+pub use sad::{sad_16x16_kernel, sad_blocked_group_kernel, SadKernel};
+pub use vbr::{vbr_block_kernel, VbrKernel};

@@ -1,0 +1,141 @@
+//! IR form of the variable-bit-rate coder.
+//!
+//! Computes the exact bit length of the run-length + variable-length code
+//! of one zigzag-ordered block (the code of
+//! [`crate::golden::vbr::encode_block`]): per nonzero coefficient the
+//! stream gains `unary(run) = run+1` bits, `gamma(|level|) = 2·⌊log2⌋+1`
+//! bits and one sign bit, plus the 65-bit end-of-block symbol.
+//!
+//! The body is dominated by compares feeding a serial `bits`/`run` chain
+//! — exactly the "numerous long dependency chains and ... very limited
+//! parallelism" the paper observes. The γ-length computation is a chain
+//! of threshold compares with predicate materialization, the natural
+//! predicated form of a priority encoder.
+
+use vsp_ir::{ArrayId, Kernel, KernelBuilder, VarId};
+use vsp_isa::{AluBinOp, AluUnOp, CmpOp};
+
+/// Handles into the VBR kernel.
+#[derive(Debug, Clone)]
+pub struct VbrKernel {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Zigzag-ordered coefficient block (64 entries).
+    pub block: ArrayId,
+    /// Total bit length of the encoded block (output).
+    pub bits: VarId,
+}
+
+/// Builds the per-block VBR bit-length kernel.
+pub fn vbr_block_kernel() -> VbrKernel {
+    let mut b = KernelBuilder::new("vbr");
+    let block = b.array("block", 64);
+    let bits = b.var("bits");
+    let run = b.var("run");
+    b.set(bits, 0);
+    b.set(run, 0);
+    b.count_loop("i", 0, 1, 64, |b, i| {
+        let c = b.load("c", block, i);
+        let is_zero = b.cmp_new("isz", CmpOp::Eq, c, 0i16);
+        b.if_else(
+            is_zero,
+            |b| {
+                b.bin(run, AluBinOp::Add, run, 1i16);
+            },
+            |b| {
+                // unary(run): run+1 bits; sign: 1 bit; gamma: 2k+1 bits
+                // where k = floor(log2(|level|)) = Σ_j [|level| >= 2^j]:
+                // the threshold flags sum in a shallow tree (a predicated
+                // priority encoder, the natural hand-coded form).
+                let mag = b.un_new("mag", AluUnOp::Abs, c);
+                let flags: Vec<_> = [2i16, 4, 8, 16, 32, 64]
+                    .iter()
+                    .map(|&t| b.cmp_new(&format!("ge{t}"), CmpOp::Ge, mag, t))
+                    .collect();
+                let s1 = b.bin_new("s1", AluBinOp::Add, flags[0], flags[1]);
+                let s2 = b.bin_new("s2", AluBinOp::Add, flags[2], flags[3]);
+                let s3 = b.bin_new("s3", AluBinOp::Add, flags[4], flags[5]);
+                let s12 = b.bin_new("s12", AluBinOp::Add, s1, s2);
+                let klen = b.bin_new("klen", AluBinOp::Add, s12, s3);
+                // bits += (run + 1) + (2k + 1) + 1
+                let two_k = b.bin_new("two_k", AluBinOp::Add, klen, klen);
+                let sym = b.bin_new("sym", AluBinOp::Add, two_k, 3i16);
+                let with_run = b.bin_new("with_run", AluBinOp::Add, sym, run);
+                b.bin(bits, AluBinOp::Add, bits, with_run);
+                b.set(run, 0);
+            },
+        );
+    });
+    // End-of-block symbol: 65 bits (64 ones + terminator).
+    b.bin(bits, AluBinOp::Add, bits, 65i16);
+    VbrKernel {
+        kernel: b.finish(),
+        block,
+        bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::vbr::{encode_block, BitWriter};
+    use crate::workload::quantized_blocks;
+    use vsp_ir::Interpreter;
+
+    fn ir_bits(block: &[i16; 64], kernel: &VbrKernel) -> i16 {
+        let mut interp = Interpreter::new(&kernel.kernel);
+        interp.set_array(kernel.block, block.to_vec());
+        interp.run().unwrap();
+        interp.var_value(kernel.bits)
+    }
+
+    #[test]
+    fn ir_bit_length_matches_golden_encoder() {
+        let k = vbr_block_kernel();
+        for (i, block) in quantized_blocks(25, 77).iter().enumerate() {
+            let mut w = BitWriter::new();
+            encode_block(block, &mut w);
+            assert_eq!(
+                ir_bits(block, &k),
+                w.bit_len() as i16,
+                "block {i}: {block:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_block() {
+        let k = vbr_block_kernel();
+        assert_eq!(ir_bits(&[0i16; 64], &k), 65);
+    }
+
+    #[test]
+    fn single_dc_block() {
+        let k = vbr_block_kernel();
+        let mut block = [0i16; 64];
+        block[0] = 5; // gamma(5)=5 bits, run 0 -> 1, sign 1: 7 + EOB 65
+        assert_eq!(ir_bits(&block, &k), 72);
+    }
+
+    #[test]
+    fn if_converted_form_matches() {
+        let k = vbr_block_kernel();
+        let mut converted = k.kernel.clone();
+        let n = vsp_ir::transform::if_convert(&mut converted);
+        assert!(n >= 1);
+        for block in quantized_blocks(10, 3) {
+            let mut w = BitWriter::new();
+            encode_block(&block, &mut w);
+            let mut interp = Interpreter::new(&converted);
+            interp.set_array(k.block, block.to_vec());
+            interp.run().unwrap();
+            assert_eq!(interp.var_value(k.bits), w.bit_len() as i16);
+        }
+    }
+
+    #[test]
+    fn working_set_fits() {
+        let k = vbr_block_kernel();
+        assert!(k.kernel.working_set_words() * 2 <= 4096);
+    }
+}

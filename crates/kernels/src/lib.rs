@@ -1,0 +1,42 @@
+//! The six MPEG-encoder kernels of the HPCA'97 VLIW VSP study.
+//!
+//! §3.3 evaluates the candidate datapaths on six kernels "either extracted
+//! from real video applications or constructed from algorithms in
+//! textbooks":
+//!
+//! 1. **Full motion search** — exhaustive block matching over a ±8 search
+//!    window ([`golden::motion`]);
+//! 2. **Three-step search** — the logarithmic refinement search with
+//!    identical inner loops;
+//! 3. **Traditional 2-D DCT** — each coefficient computed directly from
+//!    the 8×8 block ([`golden::dct`]);
+//! 4. **Row/column DCT** — separable 1-D passes;
+//! 5. **RGB→YCbCr conversion with 4:2:0 subsampling**
+//!    ([`golden::color`]);
+//! 6. **Variable-bit-rate coder** — combined run-length + Huffman
+//!    lossless stage ([`golden::vbr`]).
+//!
+//! Each kernel exists in three forms that are checked against each other:
+//!
+//! * a **golden** scalar Rust implementation (the semantic reference);
+//! * an **IR** form ([`ir`]) that the transform + scheduling pipeline
+//!   consumes;
+//! * **variant recipes** ([`variants`]) reproducing every schedule row of
+//!   Tables 1 and 2 — the transform pipeline, the scheduling strategy and
+//!   the frame-level cycle composition.
+//!
+//! Synthetic video workloads (the paper used frames the authors had; we
+//! generate seeded synthetic content with matching statistics — see
+//! DESIGN.md §5) live in [`workload`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod golden;
+pub mod ir;
+pub mod variants;
+pub mod workload;
+
+pub use frame::{FrameDims, CCIR601};
+pub use variants::{KernelId, Row, TableRow};

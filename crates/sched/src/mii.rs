@@ -1,0 +1,249 @@
+//! Minimum initiation-interval bounds.
+//!
+//! Software pipelining initiates one loop iteration every II cycles. II is
+//! bounded below by:
+//!
+//! * **ResMII** — resource pressure: each functional-unit class, each
+//!   memory bank, the issue width itself, and the crossbar ports bound
+//!   how many of each operation a cycle can carry. This is exactly the
+//!   arithmetic behind the paper's findings — "the limiting resource ...
+//!   is the load/store unit which is limited to one load per cluster per
+//!   cycle requiring an initiation interval of 2 cycles" (I4C8*), versus
+//!   "iteration intervals of 2.5 and 3.5 cycles" on the 2-issue clusters;
+//! * **RecMII** — dependence recurrences: for every cycle in the
+//!   dependence graph, `II ≥ ceil(total delay / total distance)`.
+
+use crate::vop::{LoweredBody, VopDeps};
+use vsp_core::{BankBinding, MachineConfig};
+use vsp_isa::FuClass;
+
+/// Resource-constrained lower bound on the initiation interval for a body
+/// scheduled across `clusters_used` clusters.
+///
+/// Returns `None` when the body needs a unit the machine lacks entirely.
+pub fn res_mii(machine: &MachineConfig, body: &LoweredBody, clusters_used: u32) -> Option<u32> {
+    let k = clusters_used.max(1);
+    let div_ceil = |a: u32, b: u32| a.div_ceil(b);
+    let mut mii = 1u32;
+
+    for class in [
+        FuClass::Alu,
+        FuClass::Mul,
+        FuClass::Shift,
+        FuClass::Mem,
+        FuClass::Xfer,
+    ] {
+        let n = body.count_class(class);
+        if n == 0 {
+            continue;
+        }
+        let cap = match class {
+            FuClass::Xfer => machine.cluster.xbar_ports,
+            _ => machine.cluster.capacity(class),
+        } * k;
+        if cap == 0 {
+            return None;
+        }
+        mii = mii.max(div_ceil(n, cap));
+    }
+
+    // Issue width: every non-branch operation occupies a slot.
+    let datapath_ops = body
+        .ops
+        .iter()
+        .filter(|o| o.class() != FuClass::Branch)
+        .count() as u32;
+    let width = machine.cluster.slot_count() * k;
+    if datapath_ops > 0 {
+        mii = mii.max(div_ceil(datapath_ops, width));
+    }
+
+    // Memory banks: each bank port serves one access per cycle.
+    match machine.cluster.bank_binding {
+        BankBinding::PerSlot => {
+            for (b, bank) in machine.cluster.banks.iter().enumerate() {
+                let n = body.count_bank(b as u8);
+                if n > 0 {
+                    mii = mii.max(div_ceil(n, bank.ports * k));
+                }
+            }
+        }
+        BankBinding::Any => {
+            let total_ports: u32 = machine.cluster.banks.iter().map(|b| b.ports).sum();
+            let n = body.count_class(FuClass::Mem);
+            if n > 0 && total_ports > 0 {
+                mii = mii.max(div_ceil(n, total_ports * k));
+            }
+        }
+    }
+
+    Some(mii)
+}
+
+/// Recurrence-constrained lower bound on the initiation interval.
+///
+/// Finds the smallest II such that the dependence graph has no positive-
+/// weight cycle under edge weights `min_delay − II·distance`.
+pub fn rec_mii(deps: &VopDeps) -> u32 {
+    let upper: u32 = deps
+        .edges
+        .iter()
+        .map(|e| e.min_delay)
+        .sum::<u32>()
+        .max(1);
+    for ii in 1..=upper {
+        if !has_positive_cycle(deps, ii) {
+            return ii;
+        }
+    }
+    upper
+}
+
+/// Bellman-Ford-style positive-cycle detection on longest paths.
+fn has_positive_cycle(deps: &VopDeps, ii: u32) -> bool {
+    let n = deps.len;
+    if n == 0 {
+        return false;
+    }
+    let mut dist = vec![0i64; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for e in &deps.edges {
+            let w = i64::from(e.min_delay) - i64::from(ii) * i64::from(e.distance);
+            if dist[e.from] + w > dist[e.to] {
+                dist[e.to] = dist[e.from] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if round == n {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_body, ArrayLayout};
+    use vsp_core::models;
+    use vsp_ir::KernelBuilder;
+    use vsp_isa::AluBinOp;
+
+    /// The motion-search inner loop, lowered for a machine.
+    fn sad_lowered(machine: &MachineConfig) -> LoweredBody {
+        let mut b = KernelBuilder::new("sad");
+        let cur = b.array("cur", 256);
+        let refa = b.array("ref", 256);
+        let i = b.var("i");
+        let acc = b.var("acc");
+        let x = b.load("x", cur, i);
+        let y = b.load("y", refa, i);
+        let d = b.bin_new("d", AluBinOp::AbsDiff, x, y);
+        b.bin(acc, AluBinOp::Add, acc, d);
+        let k = b.finish();
+        let layout = ArrayLayout::contiguous(&k, machine).unwrap();
+        lower_body(machine, &k, &k.body, &layout).unwrap()
+    }
+
+    #[test]
+    fn i4c8_sad_is_load_limited_at_ii_2() {
+        // Paper §3.4.1: one load/store unit -> II = 2.
+        let m = models::i4c8s4();
+        let body = sad_lowered(&m);
+        assert_eq!(res_mii(&m, &body, 1), Some(2));
+    }
+
+    #[test]
+    fn i2c16s4_sad_is_issue_limited() {
+        // 2 loads + 1 addr add + sub + abs + acc = 6 ops over 2 slots = 3;
+        // banks no longer bind (one load per bank).
+        let m = models::i2c16s4();
+        let body = sad_lowered(&m);
+        assert_eq!(res_mii(&m, &body, 1), Some(3));
+    }
+
+    #[test]
+    fn i2c16s5_sad_complex_addressing_lowers_ii() {
+        // Complex addressing removes the address add: 5 ops / 2 slots =
+        // 2.5 -> ceil 3... but the bank has one port for two loads -> 2;
+        // issue bound ceil(5/2)=3 dominates. Paper quotes 2.5 as the
+        // *fractional* II achieved by unrolling; ceil at this body size
+        // is 3.
+        let m = models::i2c16s5();
+        let body = sad_lowered(&m);
+        assert_eq!(res_mii(&m, &body, 1), Some(3));
+    }
+
+    #[test]
+    fn dualport_ablation_relieves_load_limit() {
+        let m = models::i4c8s4_dualport();
+        let body = sad_lowered(&m);
+        // 2 loads over 2 LSU slots and a dual-ported bank: loads no
+        // longer bind; 6 ops / 4 slots = 2.
+        assert_eq!(res_mii(&m, &body, 1), Some(2));
+    }
+
+    #[test]
+    fn multi_cluster_scales_capacity() {
+        let m = models::i4c8s4();
+        let body = sad_lowered(&m);
+        assert_eq!(res_mii(&m, &body, 2), Some(1));
+    }
+
+    #[test]
+    fn missing_unit_is_infeasible() {
+        let mut m = models::i4c8s4();
+        // Remove the multiplier capability everywhere.
+        for s in &mut m.cluster.slots {
+            *s = vsp_core::FuSet::of(
+                &s.iter()
+                    .filter(|c| *c != FuClass::Mul)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let mut bld = KernelBuilder::new("t");
+        let x = bld.var("x");
+        let y = bld.var("y");
+        let _z = bld.mul_new("z", x, y);
+        let k = bld.finish();
+        let layout = ArrayLayout::contiguous(&k, &m).unwrap();
+        let body = lower_body(&m, &k, &k.body, &layout).unwrap();
+        assert_eq!(res_mii(&m, &body, 1), None);
+    }
+
+    #[test]
+    fn rec_mii_of_accumulator_is_one() {
+        let m = models::i4c8s4();
+        let body = sad_lowered(&m);
+        let deps = VopDeps::build(&m, &body);
+        assert_eq!(rec_mii(&deps), 1);
+    }
+
+    #[test]
+    fn rec_mii_of_long_recurrence() {
+        // x = load(mem[x]) : pointer chase with load latency 2 -> RecMII 2.
+        let m = models::i4c8s5();
+        let mut b = KernelBuilder::new("chase");
+        let a = b.array("a", 16);
+        let x = b.var("x");
+        b.assign(
+            x,
+            vsp_ir::Expr::Load(a, vsp_ir::IndexExpr::Var(x)),
+        );
+        let k = b.finish();
+        let layout = ArrayLayout::contiguous(&k, &m).unwrap();
+        let body = lower_body(&m, &k, &k.body, &layout).unwrap();
+        let deps = VopDeps::build(&m, &body);
+        assert_eq!(rec_mii(&deps), 2);
+    }
+
+    #[test]
+    fn empty_body_trivial() {
+        let deps = VopDeps::default();
+        assert_eq!(rec_mii(&deps), 1);
+    }
+}

@@ -1,0 +1,427 @@
+//! Virtual operations and their dependence graph.
+//!
+//! A [`VOp`] is a machine operation ([`vsp_isa::OpKind`]) whose `Reg` and
+//! `Pred` indices name *virtual* registers — the scheduler works in an
+//! unbounded register space and [`crate::regalloc`] maps to physical
+//! registers afterwards. Loads and stores are already bound to memory
+//! banks at lowering time (bank binding is an architectural property).
+
+use serde::{Deserialize, Serialize};
+use vsp_core::{LatencyModel, MachineConfig};
+use vsp_isa::{FuClass, OpKind, PredGuard};
+
+/// One virtual operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VOp {
+    /// The machine operation over virtual register indices.
+    pub kind: OpKind,
+    /// Optional guard over a virtual predicate.
+    pub guard: Option<PredGuard>,
+    /// Index of the IR statement this operation was lowered from
+    /// (diagnostics only).
+    pub src_stmt: usize,
+}
+
+impl VOp {
+    /// Functional-unit class this operation occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a no-op, which lowering never emits.
+    pub fn class(&self) -> FuClass {
+        self.kind.fu_class().expect("lowering never emits no-ops")
+    }
+}
+
+/// A lowered loop body: virtual operations plus register-space sizes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoweredBody {
+    /// Operations in original program order.
+    pub ops: Vec<VOp>,
+    /// Number of virtual word registers used.
+    pub vregs: u16,
+    /// Number of virtual predicate registers used.
+    pub vpreds: u8,
+}
+
+impl LoweredBody {
+    /// Counts operations of a given class.
+    pub fn count_class(&self, class: FuClass) -> u32 {
+        self.ops.iter().filter(|o| o.class() == class).count() as u32
+    }
+
+    /// Counts memory operations bound to a given bank.
+    pub fn count_bank(&self, bank: u8) -> u32 {
+        self.ops
+            .iter()
+            .filter(|o| match &o.kind {
+                OpKind::Load { bank: b, .. } | OpKind::Store { bank: b, .. } => b.0 == bank,
+                _ => false,
+            })
+            .count() as u32
+    }
+}
+
+/// A dependence edge between virtual operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VDep {
+    /// Producer operation index.
+    pub from: usize,
+    /// Consumer operation index.
+    pub to: usize,
+    /// Iteration distance (0 = same iteration).
+    pub distance: u32,
+    /// Minimum cycles between issue of `from` and issue of `to` within
+    /// the same iteration (the producer's latency for flow deps, 0 for
+    /// anti deps, 1 for output/memory ordering).
+    pub min_delay: u32,
+}
+
+/// Dependence graph over a [`LoweredBody`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VopDeps {
+    /// Number of operations.
+    pub len: usize,
+    /// All edges.
+    pub edges: Vec<VDep>,
+}
+
+impl VopDeps {
+    /// Builds the dependence graph for `body` on `machine` (latencies are
+    /// machine-dependent), including carried anti dependences — the
+    /// register-exact graph code generation needs.
+    pub fn build(machine: &MachineConfig, body: &LoweredBody) -> VopDeps {
+        Self::build_with(machine, body, false)
+    }
+
+    /// Like [`VopDeps::build`], but assumes modulo variable expansion:
+    /// each iteration's values get fresh registers, so carried anti
+    /// dependences vanish. This is the graph the paper's hand schedules
+    /// obey ("taking advantage of the unrolled loop structure to
+    /// implement aggressive register renaming") and what the Table 1
+    /// cycle recipes use.
+    pub fn build_renamed(machine: &MachineConfig, body: &LoweredBody) -> VopDeps {
+        Self::build_with(machine, body, true)
+    }
+
+    fn build_with(machine: &MachineConfig, body: &LoweredBody, renamed: bool) -> VopDeps {
+        let lat = LatencyModel::new(machine);
+        let mut edges = Vec::new();
+        let n = body.ops.len();
+
+        // Virtual register def/use indices.
+        let mut reg_defs: Vec<Vec<usize>> = vec![Vec::new(); body.vregs as usize];
+        let mut reg_uses: Vec<Vec<usize>> = vec![Vec::new(); body.vregs as usize];
+        let mut pred_defs: Vec<Vec<usize>> = vec![Vec::new(); body.vpreds as usize];
+        let mut pred_uses: Vec<Vec<usize>> = vec![Vec::new(); body.vpreds as usize];
+
+        for (i, op) in body.ops.iter().enumerate() {
+            for u in op.kind.use_regs() {
+                reg_uses[u.index()].push(i);
+            }
+            if let OpKind::Xfer { src, .. } = &op.kind {
+                // Remote read: within one cluster's lowered body the
+                // "remote" register is still a virtual register of this
+                // body (replication assigns clusters later).
+                reg_uses[src.index()].push(i);
+            }
+            if let Some(g) = &op.guard {
+                pred_uses[g.pred.index()].push(i);
+            }
+            if let OpKind::Branch { pred, .. } = &op.kind {
+                pred_uses[pred.index()].push(i);
+            }
+            if let Some(d) = op.kind.def_reg() {
+                reg_defs[d.index()].push(i);
+            }
+            if let Some(p) = op.kind.def_pred() {
+                pred_defs[p.index()].push(i);
+            }
+        }
+
+        let mut add_scalar_edges = |defs: &Vec<Vec<usize>>, uses: &Vec<Vec<usize>>| {
+            for (r, ds) in defs.iter().enumerate() {
+                if ds.is_empty() {
+                    continue;
+                }
+                let us = &uses[r];
+                for &u in us {
+                    // Flow from the latest def before u...
+                    match ds.iter().rev().find(|&&d| d < u) {
+                        Some(&d) => edges.push(VDep {
+                            from: d,
+                            to: u,
+                            distance: 0,
+                            min_delay: latency_of(&lat, &body.ops[d]),
+                        }),
+                        None => {
+                            // ...or carried from the last def of the
+                            // previous iteration.
+                            let d = *ds.last().expect("ds nonempty");
+                            edges.push(VDep {
+                                from: d,
+                                to: u,
+                                distance: 1,
+                                min_delay: latency_of(&lat, &body.ops[d]),
+                            });
+                        }
+                    }
+                    // Anti edge to the next def at or after u.
+                    if let Some(&d) = ds.iter().find(|&&d| d > u) {
+                        edges.push(VDep {
+                            from: u,
+                            to: d,
+                            distance: 0,
+                            min_delay: 0,
+                        });
+                    } else if ds[0] != u && !renamed {
+                        // Carried anti: next iteration's first def (only
+                        // without modulo variable expansion).
+                        edges.push(VDep {
+                            from: u,
+                            to: ds[0],
+                            distance: 1,
+                            min_delay: 0,
+                        });
+                    }
+                }
+                // Output edges between consecutive defs.
+                for w in ds.windows(2) {
+                    edges.push(VDep {
+                        from: w[0],
+                        to: w[1],
+                        distance: 0,
+                        min_delay: 1,
+                    });
+                }
+            }
+        };
+        add_scalar_edges(&reg_defs, &reg_uses);
+        add_scalar_edges(&pred_defs, &pred_uses);
+
+        // Memory ordering: conservative per (bank, array window). Lowering
+        // resolved arrays to addresses; we order stores against other
+        // accesses of the same bank unless both addresses are distinct
+        // constants.
+        let mem_ops: Vec<usize> = (0..n)
+            .filter(|&i| body.ops[i].kind.is_mem())
+            .collect();
+        for (ai, &i) in mem_ops.iter().enumerate() {
+            for &j in &mem_ops[ai + 1..] {
+                let (a, b) = (&body.ops[i].kind, &body.ops[j].kind);
+                let a_store = matches!(a, OpKind::Store { .. });
+                let b_store = matches!(b, OpKind::Store { .. });
+                if !(a_store || b_store) {
+                    continue;
+                }
+                if bank_of(a) != bank_of(b) {
+                    continue;
+                }
+                if let (Some(x), Some(y)) = (const_addr(a), const_addr(b)) {
+                    if x != y {
+                        continue;
+                    }
+                }
+                edges.push(VDep {
+                    from: i,
+                    to: j,
+                    distance: 0,
+                    min_delay: 1,
+                });
+            }
+        }
+
+        VopDeps { len: n, edges }
+    }
+
+    /// Edges entering `i`.
+    pub fn preds(&self, i: usize) -> impl Iterator<Item = &VDep> {
+        self.edges.iter().filter(move |e| e.to == i)
+    }
+
+    /// Edges leaving `i`.
+    pub fn succs(&self, i: usize) -> impl Iterator<Item = &VDep> {
+        self.edges.iter().filter(move |e| e.from == i)
+    }
+
+    /// Height of each operation: the longest delay-weighted path (over
+    /// distance-0 edges) from the operation to any sink. Used as the list
+    /// and modulo schedulers' priority.
+    pub fn heights(&self) -> Vec<u32> {
+        let mut h = vec![0u32; self.len];
+        // Distance-0 subgraph is acyclic (program order); relax in
+        // reverse program order repeatedly (edges may skip around).
+        let mut changed = true;
+        let mut guard = 0;
+        while changed && guard <= self.len + 2 {
+            changed = false;
+            guard += 1;
+            for e in &self.edges {
+                if e.distance == 0 {
+                    let cand = h[e.to] + e.min_delay;
+                    if cand > h[e.from] {
+                        h[e.from] = cand;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+fn latency_of(lat: &LatencyModel<'_>, op: &VOp) -> u32 {
+    lat.latency(&op.kind)
+}
+
+fn bank_of(kind: &OpKind) -> u8 {
+    match kind {
+        OpKind::Load { bank, .. } | OpKind::Store { bank, .. } => bank.0,
+        _ => u8::MAX,
+    }
+}
+
+fn const_addr(kind: &OpKind) -> Option<u16> {
+    match kind {
+        OpKind::Load {
+            addr: vsp_isa::AddrMode::Absolute(a),
+            ..
+        }
+        | OpKind::Store {
+            addr: vsp_isa::AddrMode::Absolute(a),
+            ..
+        } => Some(*a),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsp_core::models;
+    use vsp_isa::{AddrMode, AluBinOp, MemBank, Operand, Reg};
+
+    fn vop(kind: OpKind) -> VOp {
+        VOp {
+            kind,
+            guard: None,
+            src_stmt: 0,
+        }
+    }
+
+    fn add(dst: u16, a: u16, b: u16) -> VOp {
+        vop(OpKind::AluBin {
+            op: AluBinOp::Add,
+            dst: Reg(dst),
+            a: Operand::Reg(Reg(a)),
+            b: Operand::Reg(Reg(b)),
+        })
+    }
+
+    fn load(dst: u16, addr: u16) -> VOp {
+        vop(OpKind::Load {
+            dst: Reg(dst),
+            addr: AddrMode::Absolute(addr),
+            bank: MemBank(0),
+        })
+    }
+
+    #[test]
+    fn flow_edges_carry_latency() {
+        let m = models::i4c8s5(); // load latency 2
+        let body = LoweredBody {
+            ops: vec![load(1, 0), add(2, 1, 1)],
+            vregs: 3,
+            vpreds: 0,
+        };
+        let deps = VopDeps::build(&m, &body);
+        assert!(deps.edges.contains(&VDep {
+            from: 0,
+            to: 1,
+            distance: 0,
+            min_delay: 2
+        }));
+    }
+
+    #[test]
+    fn accumulator_carried_edge() {
+        let m = models::i4c8s4();
+        // v1 = v1 + v2
+        let body = LoweredBody {
+            ops: vec![add(1, 1, 2)],
+            vregs: 3,
+            vpreds: 0,
+        };
+        let deps = VopDeps::build(&m, &body);
+        assert!(deps.edges.contains(&VDep {
+            from: 0,
+            to: 0,
+            distance: 1,
+            min_delay: 1
+        }));
+    }
+
+    #[test]
+    fn memory_ordering_for_stores() {
+        let m = models::i4c8s4();
+        let st = vop(OpKind::Store {
+            src: Operand::Reg(Reg(1)),
+            addr: AddrMode::Register(Reg(2)),
+            bank: MemBank(0),
+        });
+        let body = LoweredBody {
+            ops: vec![st, load(3, 0)],
+            vregs: 4,
+            vpreds: 0,
+        };
+        let deps = VopDeps::build(&m, &body);
+        assert!(deps
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && e.min_delay == 1));
+    }
+
+    #[test]
+    fn distinct_constant_addresses_disambiguate() {
+        let m = models::i4c8s4();
+        let st = vop(OpKind::Store {
+            src: Operand::Reg(Reg(1)),
+            addr: AddrMode::Absolute(4),
+            bank: MemBank(0),
+        });
+        let body = LoweredBody {
+            ops: vec![st, load(3, 9)],
+            vregs: 4,
+            vpreds: 0,
+        };
+        let deps = VopDeps::build(&m, &body);
+        assert!(!deps.edges.iter().any(|e| e.from == 0 && e.to == 1));
+    }
+
+    #[test]
+    fn heights_reflect_critical_path() {
+        let m = models::i4c8s4();
+        // chain: v1=v0+v0 ; v2=v1+v1 ; v3=v2+v2
+        let body = LoweredBody {
+            ops: vec![add(1, 0, 0), add(2, 1, 1), add(3, 2, 2)],
+            vregs: 4,
+            vpreds: 0,
+        };
+        let deps = VopDeps::build(&m, &body);
+        let h = deps.heights();
+        assert!(h[0] > h[1] && h[1] > h[2]);
+    }
+
+    #[test]
+    fn class_counters() {
+        let body = LoweredBody {
+            ops: vec![add(1, 0, 0), load(2, 0), load(3, 1)],
+            vregs: 4,
+            vpreds: 0,
+        };
+        assert_eq!(body.count_class(FuClass::Alu), 1);
+        assert_eq!(body.count_class(FuClass::Mem), 2);
+        assert_eq!(body.count_bank(0), 2);
+        assert_eq!(body.count_bank(1), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Cycle-accurate simulator for the cluster-based VLIW video signal
+//! processor.
+//!
+//! The simulator executes [`vsp_isa::Program`]s against a
+//! [`vsp_core::MachineConfig`], modeling exactly the timing the paper's
+//! datapaths expose to software:
+//!
+//! * one VLIW instruction word per cycle, operations issuing in their
+//!   assigned (cluster, slot) with **no run-time arbitration or
+//!   interlocks** (§2) — a premature read of a not-yet-written register is
+//!   a scheduling bug and faults by default ([`HazardPolicy::Fault`]), or
+//!   returns the stale value like real hardware would
+//!   ([`HazardPolicy::StaleRead`]);
+//! * full bypassing: results are readable `latency` cycles after issue
+//!   (1 for ALU/shift, `1 + load_use_delay` for loads, `mul_latency` for
+//!   multiplies, `xfer_latency` for crossbar transfers);
+//! * branches resolve after the machine's delay slots, which always
+//!   execute;
+//! * per-cluster, double-buffered local memories with word addressing and
+//!   a swap-buffers control operation;
+//! * a direct-mapped instruction cache (loops that do not fit pay a
+//!   >100-cycle refill per missed word — the paper's reason why "all
+//!   > critical loops must fit into the cache").
+//!
+//! # Example
+//!
+//! ```
+//! use vsp_core::models;
+//! use vsp_isa::{Operation, OpKind, AluUnOp, Reg, Operand, Program};
+//! use vsp_sim::Simulator;
+//!
+//! let machine = models::i4c8s4();
+//! let mut p = Program::new("demo");
+//! p.push_word(vec![Operation::new(0, 0, OpKind::AluUn {
+//!     op: AluUnOp::Mov, dst: Reg(1), a: Operand::Imm(42),
+//! })]);
+//! p.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+//!
+//! let mut sim = Simulator::new(&machine, &p).unwrap();
+//! let stats = sim.run(1000).unwrap();
+//! assert_eq!(sim.reg(0, Reg(1)), 42);
+//! assert!(stats.cycles >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod icache;
+pub mod memory;
+pub mod simulator;
+pub mod stats;
+
+pub use error::SimError;
+pub use icache::InstructionCache;
+pub use memory::LocalMemory;
+pub use simulator::{HazardPolicy, Simulator};
+pub use stats::RunStats;

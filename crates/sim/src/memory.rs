@@ -1,0 +1,112 @@
+//! Double-buffered local data memories.
+//!
+//! Each cluster memory bank holds two equally sized buffers of 16-bit
+//! words. The datapath reads and writes the *processing* buffer; the
+//! other (*I/O*) buffer is exchanged with off-chip video streams between
+//! swaps — "the memory is word addressed and double buffered to enable
+//! concurrent processing and off-chip I/O" (§3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// One double-buffered memory bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalMemory {
+    words: u32,
+    buffers: [Vec<i16>; 2],
+    active: usize,
+}
+
+impl LocalMemory {
+    /// Creates a zeroed bank of `words` 16-bit words per buffer.
+    pub fn new(words: u32) -> Self {
+        LocalMemory {
+            words,
+            buffers: [vec![0; words as usize], vec![0; words as usize]],
+            active: 0,
+        }
+    }
+
+    /// Capacity of each buffer in words.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Reads from the processing buffer; `None` if out of range.
+    pub fn read(&self, addr: u32) -> Option<i16> {
+        self.buffers[self.active].get(addr as usize).copied()
+    }
+
+    /// Writes to the processing buffer. Returns `false` if out of range.
+    pub fn write(&mut self, addr: u32, value: i16) -> bool {
+        match self.buffers[self.active].get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Swaps the processing and I/O buffers.
+    pub fn swap(&mut self) {
+        self.active ^= 1;
+    }
+
+    /// The processing buffer, for test setup and inspection.
+    pub fn active_buffer(&self) -> &[i16] {
+        &self.buffers[self.active]
+    }
+
+    /// Mutable access to the processing buffer (e.g. to stage input data).
+    pub fn active_buffer_mut(&mut self) -> &mut [i16] {
+        &mut self.buffers[self.active]
+    }
+
+    /// The I/O buffer — what a DMA engine would fill while the datapath
+    /// works on the processing buffer.
+    pub fn io_buffer_mut(&mut self) -> &mut [i16] {
+        &mut self.buffers[self.active ^ 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = LocalMemory::new(16);
+        assert!(m.write(3, -7));
+        assert_eq!(m.read(3), Some(-7));
+        assert_eq!(m.read(0), Some(0));
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let mut m = LocalMemory::new(4);
+        assert_eq!(m.read(4), None);
+        assert!(!m.write(4, 1));
+    }
+
+    #[test]
+    fn swap_exposes_io_buffer() {
+        let mut m = LocalMemory::new(4);
+        m.io_buffer_mut()[2] = 99;
+        assert_eq!(m.read(2), Some(0), "I/O buffer invisible before swap");
+        m.swap();
+        assert_eq!(m.read(2), Some(99), "visible after swap");
+        m.swap();
+        assert_eq!(m.read(2), Some(0), "double swap restores");
+    }
+
+    #[test]
+    fn buffers_are_independent() {
+        let mut m = LocalMemory::new(4);
+        m.write(0, 5);
+        m.swap();
+        m.write(0, 6);
+        assert_eq!(m.read(0), Some(6));
+        m.swap();
+        assert_eq!(m.read(0), Some(5));
+    }
+}

@@ -1,0 +1,126 @@
+//! Execution statistics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use vsp_isa::FuClass;
+
+/// Statistics gathered over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total cycles elapsed (including stalls).
+    pub cycles: u64,
+    /// Instruction words issued.
+    pub words: u64,
+    /// Operations committed (guard true), per functional-unit class.
+    pub ops_by_class: BTreeMap<FuClass, u64>,
+    /// Operations whose guard was false (issued but annulled).
+    pub annulled_ops: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Stores committed.
+    pub stores: u64,
+    /// Crossbar transfers committed.
+    pub transfers: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Instruction-cache miss stalls, in cycles.
+    pub icache_stall_cycles: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Peak operations the machine could have issued (words × issue
+    /// width), for utilization accounting.
+    pub issue_capacity: u64,
+}
+
+impl RunStats {
+    /// Total committed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.ops_by_class.values().sum()
+    }
+
+    /// Fraction of issue slots doing committed work.
+    pub fn utilization(&self) -> f64 {
+        if self.issue_capacity == 0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / self.issue_capacity as f64
+        }
+    }
+
+    /// Committed operations per cycle.
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Sustained GOPS at a given clock frequency.
+    pub fn gops_at(&self, freq_mhz: f64) -> f64 {
+        self.ops_per_cycle() * freq_mhz / 1000.0
+    }
+
+    /// Records a committed operation.
+    pub(crate) fn record_op(&mut self, class: FuClass) {
+        *self.ops_by_class.entry(class).or_insert(0) += 1;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cycles, {} words, {} ops ({:.2} ops/cycle, {:.0}% issue utilization)",
+            self.cycles,
+            self.words,
+            self.total_ops(),
+            self.ops_per_cycle(),
+            self.utilization() * 100.0
+        )?;
+        write!(
+            f,
+            "loads {}, stores {}, transfers {}, taken branches {}, icache stalls {}",
+            self.loads, self.stores, self.transfers, self.taken_branches, self.icache_stall_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = RunStats {
+            cycles: 100,
+            words: 100,
+            issue_capacity: 3300,
+            ..RunStats::default()
+        };
+        for _ in 0..330 {
+            s.record_op(FuClass::Alu);
+        }
+        assert_eq!(s.total_ops(), 330);
+        assert!((s.utilization() - 0.1).abs() < 1e-12);
+        assert!((s.ops_per_cycle() - 3.3).abs() < 1e-12);
+        assert!((s.gops_at(650.0) - 2.145).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = RunStats::default();
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.ops_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = RunStats {
+            cycles: 42,
+            ..RunStats::default()
+        };
+        assert!(s.to_string().contains("42 cycles"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Simulator behavioural tests: determinism, stats coherence, icache
+//! thrash costs, and the two hazard policies on the same program.
+
+use vsp_core::models;
+use vsp_isa::{
+    AddrMode, AluBinOp, AluUnOp, CmpOp, Instruction, MemBank, OpKind, Operand, Operation, Pred,
+    Program, Reg,
+};
+use vsp_sim::{HazardPolicy, Simulator};
+
+fn mov(c: u8, s: u8, dst: u16, v: i16) -> Operation {
+    Operation::new(
+        c,
+        s,
+        OpKind::AluUn {
+            op: AluUnOp::Mov,
+            dst: Reg(dst),
+            a: Operand::Imm(v),
+        },
+    )
+}
+
+/// A counted loop touching memory, ALUs and predicates on every cluster.
+fn busy_loop_program(machine: &vsp_core::MachineConfig, trips: i16) -> Program {
+    let (bc, bs) = machine.branch_slot();
+    let mem_slot = machine
+        .cluster
+        .slots_for(vsp_isa::FuClass::Mem)
+        .next()
+        .expect("every model has a load/store slot");
+    let alu_slot = machine
+        .cluster
+        .slots_for(vsp_isa::FuClass::Alu)
+        .find(|&s| s != mem_slot)
+        .expect("every model has a second ALU slot");
+    let mut p = Program::new("busy");
+    p.push_word(vec![mov(0, 0, 0, trips), mov(0, 1, 1, 0)]);
+    let top = p.len();
+    // body: r1 += mem[3]; decrement r0.
+    let mut w = Instruction::new();
+    w.push(Operation::new(
+        0,
+        mem_slot,
+        OpKind::Load {
+            dst: Reg(2),
+            addr: AddrMode::Absolute(3),
+            bank: MemBank(0),
+        },
+    ));
+    w.push(Operation::new(
+        0,
+        alu_slot,
+        OpKind::AluBin {
+            op: AluBinOp::Sub,
+            dst: Reg(0),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(1),
+        },
+    ));
+    p.push(w);
+    // Pad for the load-use delay of 5-stage pipelines.
+    for _ in 0..machine.pipeline.load_use_delay {
+        p.push_word(vec![]);
+    }
+    p.push_word(vec![
+        Operation::new(
+            0,
+            0,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(1)),
+                b: Operand::Reg(Reg(2)),
+            },
+        ),
+        Operation::new(
+            0,
+            1,
+            OpKind::Cmp {
+                op: CmpOp::Gt,
+                dst: Pred(0),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(0),
+            },
+        ),
+    ]);
+    p.push_word(vec![Operation::new(
+        bc,
+        bs,
+        OpKind::Branch {
+            pred: Pred(0),
+            sense: true,
+            target: top,
+        },
+    )]);
+    p.push_word(vec![]); // delay slot
+    p.push_word(vec![Operation::new(bc, bs, OpKind::Halt)]);
+    p
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let m = models::i4c8s4();
+    let p = busy_loop_program(&m, 50);
+    let run = || {
+        let mut sim = Simulator::new(&m, &p).unwrap();
+        sim.mem_mut(0, 0).write(3, 7);
+        let stats = sim.run(1_000_000).unwrap();
+        (stats.cycles, stats.total_ops(), sim.reg(0, Reg(1)))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn loop_accumulates_correctly() {
+    let m = models::i4c8s4();
+    let p = busy_loop_program(&m, 50);
+    let mut sim = Simulator::new(&m, &p).unwrap();
+    sim.mem_mut(0, 0).write(3, 7);
+    sim.run(1_000_000).unwrap();
+    assert_eq!(sim.reg(0, Reg(1)), 50 * 7);
+    assert_eq!(sim.reg(0, Reg(0)), 0);
+}
+
+#[test]
+fn stats_are_coherent() {
+    let m = models::i2c16s4();
+    let p = busy_loop_program(&m, 20);
+    let mut sim = Simulator::new(&m, &p).unwrap();
+    let stats = sim.run(1_000_000).unwrap();
+    assert_eq!(stats.cycles, stats.words + stats.icache_stall_cycles);
+    assert!(stats.total_ops() <= stats.issue_capacity);
+    assert_eq!(stats.loads, 20);
+    assert_eq!(stats.taken_branches, 19);
+    assert!(stats.utilization() > 0.0 && stats.utilization() < 1.0);
+    assert!(stats.gops_at(850.0) > 0.0);
+}
+
+#[test]
+fn icache_thrash_is_expensive() {
+    // Two identical machines, one with a tiny icache: the same loop
+    // must cost dramatically more when it does not fit — the paper's
+    // "all critical loops must fit into the cache".
+    let m = models::i4c8s4();
+    let mut tiny = m.clone();
+    tiny.name = "I4C8S4-tiny-icache".into();
+    tiny.icache_words = 2;
+    let p = busy_loop_program(&m, 30);
+    let run = |machine: &vsp_core::MachineConfig| {
+        let mut sim = Simulator::new(machine, &p).unwrap();
+        sim.run(10_000_000).unwrap().cycles
+    };
+    let fits = run(&m);
+    let thrash = run(&tiny);
+    assert!(
+        thrash > fits * 20,
+        "refills dominate: {thrash} vs {fits} cycles"
+    );
+}
+
+#[test]
+fn hazard_policies_differ_observably() {
+    // A load-use violation on a 5-stage machine: Fault stops, StaleRead
+    // produces the architecturally stale value.
+    let m = models::i4c8s5();
+    let mut p = Program::new("hazard");
+    p.push_word(vec![Operation::new(
+        0,
+        2,
+        OpKind::Load {
+            dst: Reg(1),
+            addr: AddrMode::Absolute(0),
+            bank: MemBank(0),
+        },
+    )]);
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::AluUn {
+            op: AluUnOp::Mov,
+            dst: Reg(2),
+            a: Operand::Reg(Reg(1)),
+        },
+    )]);
+    let (bc, bs) = m.branch_slot();
+    p.push_word(vec![Operation::new(bc, bs, OpKind::Halt)]);
+
+    let mut sim = Simulator::new(&m, &p).unwrap();
+    sim.set_reg(0, Reg(1), -77);
+    sim.mem_mut(0, 0).write(0, 42);
+    assert!(sim.run(100).is_err(), "fault policy rejects");
+
+    let mut sim = Simulator::new(&m, &p).unwrap();
+    sim.set_hazard_policy(HazardPolicy::StaleRead);
+    sim.set_reg(0, Reg(1), -77);
+    sim.mem_mut(0, 0).write(0, 42);
+    sim.run(100).unwrap();
+    assert_eq!(sim.reg(0, Reg(2)), -77, "stale value observed");
+    assert_eq!(sim.reg(0, Reg(1)), 42, "load still landed");
+}
+
+#[test]
+fn every_model_executes_the_same_program_identically() {
+    // The busy loop uses only universally supported features; cycle
+    // counts may differ (load-use delays), results must not.
+    let mut results = Vec::new();
+    for m in models::all_models() {
+        // 5-stage machines need the load-use gap; the busy loop has one
+        // word between the load and its use, which exactly satisfies a
+        // 1-cycle delay.
+        let p = busy_loop_program(&m, 10);
+        let mut sim = Simulator::new(&m, &p).unwrap();
+        sim.mem_mut(0, 0).write(3, 5);
+        sim.run(1_000_000).unwrap();
+        results.push((m.name.clone(), sim.reg(0, Reg(1))));
+    }
+    for (name, v) in &results {
+        assert_eq!(*v, 50, "{name}");
+    }
+}

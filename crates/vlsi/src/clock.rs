@@ -1,0 +1,307 @@
+//! Cycle-time estimation — the "Estimated Relative Clock Speed" row of
+//! Tables 1 and 2.
+//!
+//! The clock of each candidate datapath is set by its slowest pipeline
+//! stage:
+//!
+//! * **operand fetch** — the register-file read;
+//! * **execute** — the worst of the ALU path (including the operand
+//!   bypass multiplexer), the shifter, one multiplier stage, and on the
+//!   4-stage pipelines the local-memory access (plus a folded address
+//!   addition on `I4C8S4C`, which is what destroys its clock);
+//! * **memory** (5-stage pipelines only) — the local-memory access plus
+//!   the extra bypass multiplexing the deeper pipeline needs;
+//! * **fetch / write-back** — never critical in these designs.
+//!
+//! A fixed latch/skew overhead ([`crate::tech::CLOCK_OVERHEAD_NS`]) is
+//! added to the slowest stage. Relative clock speeds are quoted against
+//! `I4C8S4`, whose 32 KB local memory pins it at the paper's 650 MHz.
+
+use crate::arith::{AluDesign, ShifterDesign};
+use crate::datapath::{DatapathSpec, PipelineDepth};
+use crate::tech::CLOCK_OVERHEAD_NS;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Delay of each operand-bypass multiplexer input, in ns.
+const BYPASS_NS_PER_INPUT: f64 = 0.025;
+
+/// Extra multiplexing on the memory stage of 5-stage pipelines, in ns.
+const FIVE_STAGE_MEM_BYPASS_NS: f64 = 0.08;
+
+/// Multiplexer overhead when an address addition is folded into the
+/// memory access (`I4C8S4C`), in ns.
+const FUSED_ADDR_MUX_NS: f64 = 0.10;
+
+/// Instruction-fetch stage delay (distributed instruction cache), in ns.
+const FETCH_NS: f64 = 0.90;
+
+/// Write-back stage delay, in ns.
+const WRITEBACK_NS: f64 = 0.60;
+
+/// Named pipeline-stage delays of a datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageDelays {
+    /// Instruction fetch.
+    pub fetch: f64,
+    /// Operand fetch (register-file read).
+    pub operand_fetch: f64,
+    /// Execute stage.
+    pub execute: f64,
+    /// Memory stage (equals `execute` on 4-stage pipelines where memory
+    /// access happens in execute).
+    pub memory: f64,
+    /// Write-back.
+    pub writeback: f64,
+}
+
+impl StageDelays {
+    /// The slowest stage, which sets the cycle time.
+    pub fn critical(&self) -> f64 {
+        self.fetch
+            .max(self.operand_fetch)
+            .max(self.execute)
+            .max(self.memory)
+            .max(self.writeback)
+    }
+}
+
+/// Result of a cycle-time estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockEstimate {
+    /// Per-stage delays in ns.
+    pub stages: StageDelays,
+    /// Cycle time in ns (critical stage + latch overhead).
+    pub cycle_ns: f64,
+}
+
+impl ClockEstimate {
+    /// Clock frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        1000.0 / self.cycle_ns
+    }
+
+    /// This clock's speed relative to a baseline estimate (the paper
+    /// quotes everything against `I4C8S4`).
+    pub fn relative_to(&self, base: &ClockEstimate) -> f64 {
+        base.cycle_ns / self.cycle_ns
+    }
+}
+
+impl fmt::Display for ClockEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {:.2} ns ({:.0} MHz); critical stage {:.2} ns",
+            self.cycle_ns,
+            self.freq_mhz(),
+            self.stages.critical()
+        )
+    }
+}
+
+/// Cycle-time model over [`DatapathSpec`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleTimeModel;
+
+impl CycleTimeModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        CycleTimeModel
+    }
+
+    /// Estimates the clock of a datapath.
+    pub fn estimate(&self, spec: &DatapathSpec) -> ClockEstimate {
+        let bypass = BYPASS_NS_PER_INPUT * spec.bypass_inputs() as f64;
+        let alu = AluDesign {
+            has_absdiff: spec.absdiff_alu,
+        };
+        let alu_path = alu.delay_ns() + bypass;
+        let shift_path = if spec.shifter {
+            ShifterDesign::new().delay_ns() + bypass
+        } else {
+            0.0
+        };
+        let mul_path = spec
+            .multiplier
+            .map(|m| m.stage_delay_ns())
+            .unwrap_or(0.0);
+        let mem_access = spec.mem.delay_ns();
+
+        let (execute, memory) = match spec.pipeline {
+            PipelineDepth::Four => {
+                // Memory is accessed during execute; a fused address
+                // addition (I4C8S4C) serializes an ALU add before it.
+                let mem_in_ex = if spec.fused_addr_mem {
+                    alu.delay_ns() + FUSED_ADDR_MUX_NS + mem_access
+                } else {
+                    mem_access
+                };
+                let ex = alu_path.max(shift_path).max(mul_path).max(mem_in_ex);
+                (ex, ex)
+            }
+            PipelineDepth::Five => {
+                let ex = alu_path.max(shift_path).max(mul_path);
+                let mem = mem_access + FIVE_STAGE_MEM_BYPASS_NS;
+                (ex, mem)
+            }
+        };
+
+        let stages = StageDelays {
+            fetch: FETCH_NS,
+            operand_fetch: spec.regfile.delay_ns(),
+            execute,
+            memory,
+            writeback: WRITEBACK_NS,
+        };
+        ClockEstimate {
+            stages,
+            cycle_ns: stages.critical() + CLOCK_OVERHEAD_NS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::MultiplierDesign;
+    use crate::crossbar::CrossbarDesign;
+    use crate::regfile::RegFileDesign;
+    use crate::sram::{SramDesign, SramFamily};
+    use crate::tech::DriverSize;
+
+    fn base_8cluster(pipeline: PipelineDepth, fused: bool) -> DatapathSpec {
+        DatapathSpec {
+            name: "test8".into(),
+            clusters: 8,
+            issue_slots: 4,
+            alus: 4,
+            absdiff_alu: false,
+            multiplier: Some(MultiplierDesign::mul8()),
+            shifter: true,
+            lsus: 1,
+            regfile: RegFileDesign::new(128, 12),
+            mem_banks: 1,
+            mem: SramDesign::new(32768, 1, SramFamily::HighDensity),
+            pipeline,
+            fused_addr_mem: fused,
+            crossbar: CrossbarDesign::new(32, DriverSize::W5_1),
+            xbar_ports_per_cluster: 4,
+            icache_words: 1024,
+        }
+    }
+
+    fn base_16cluster(pipeline: PipelineDepth) -> DatapathSpec {
+        let (banks, mem) = match pipeline {
+            PipelineDepth::Four => (2, SramDesign::new(8192, 1, SramFamily::HighDensity)),
+            PipelineDepth::Five => (1, SramDesign::new(16384, 1, SramFamily::HighDensityFast)),
+        };
+        DatapathSpec {
+            name: "test16".into(),
+            clusters: 16,
+            issue_slots: 2,
+            alus: 2,
+            absdiff_alu: false,
+            multiplier: Some(MultiplierDesign::mul8_pipelined()),
+            shifter: true,
+            lsus: 2,
+            regfile: RegFileDesign::new(64, 6),
+            mem_banks: banks,
+            mem,
+            pipeline,
+            fused_addr_mem: false,
+            crossbar: CrossbarDesign::new(16, DriverSize::W5_1),
+            xbar_ports_per_cluster: 1,
+            icache_words: 512,
+        }
+    }
+
+    #[test]
+    fn i4c8s4_hits_650mhz() {
+        let est = CycleTimeModel::new().estimate(&base_8cluster(PipelineDepth::Four, false));
+        let f = est.freq_mhz();
+        assert!((620.0..680.0).contains(&f), "got {f} MHz");
+    }
+
+    #[test]
+    fn i4c8s4_is_memory_limited() {
+        let spec = base_8cluster(PipelineDepth::Four, false);
+        let est = CycleTimeModel::new().estimate(&spec);
+        let mem = spec.mem.delay_ns();
+        assert!((est.stages.critical() - mem).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_clocks_match_table1() {
+        // Table 1: I4C8S4 1.0, I4C8S4C 0.6, I4C8S5 0.95, I2C16S4 1.3,
+        // I2C16S5 1.3.
+        let model = CycleTimeModel::new();
+        let base = model.estimate(&base_8cluster(PipelineDepth::Four, false));
+        let cases = [
+            (model.estimate(&base_8cluster(PipelineDepth::Four, true)), 0.6),
+            (model.estimate(&base_8cluster(PipelineDepth::Five, false)), 0.95),
+            (model.estimate(&base_16cluster(PipelineDepth::Four)), 1.3),
+            (model.estimate(&base_16cluster(PipelineDepth::Five)), 1.3),
+        ];
+        for (est, expect) in cases {
+            let rel = est.relative_to(&base);
+            assert!(
+                (rel - expect).abs() < 0.07,
+                "expected ~{expect}, got {rel:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_clusters_reach_850mhz_class() {
+        let est = CycleTimeModel::new().estimate(&base_16cluster(PipelineDepth::Four));
+        assert!(est.freq_mhz() > 800.0, "got {} MHz", est.freq_mhz());
+    }
+
+    #[test]
+    fn fused_addressing_destroys_the_clock() {
+        let model = CycleTimeModel::new();
+        let plain = model.estimate(&base_8cluster(PipelineDepth::Four, false));
+        let fused = model.estimate(&base_8cluster(PipelineDepth::Four, true));
+        assert!(fused.cycle_ns > plain.cycle_ns * 1.5);
+    }
+
+    #[test]
+    fn absdiff_penalizes_alu_limited_models_only() {
+        let model = CycleTimeModel::new();
+        // Memory-limited I4C8S4: no change.
+        let mut spec = base_8cluster(PipelineDepth::Four, false);
+        let before = model.estimate(&spec).cycle_ns;
+        spec.absdiff_alu = true;
+        assert!((model.estimate(&spec).cycle_ns - before).abs() < 1e-9);
+        // ALU-limited I2C16S4: cycle grows.
+        let mut spec = base_16cluster(PipelineDepth::Four);
+        let before = model.estimate(&spec).cycle_ns;
+        spec.absdiff_alu = true;
+        assert!(model.estimate(&spec).cycle_ns > before);
+    }
+
+    #[test]
+    fn m16_multiplier_keeps_clock_ratings() {
+        // Table 2: the M16 variants keep 0.95 / 1.3 relative clocks.
+        let model = CycleTimeModel::new();
+        let mut five = base_8cluster(PipelineDepth::Five, false);
+        let before = model.estimate(&five).cycle_ns;
+        five.multiplier = Some(MultiplierDesign::mul16());
+        assert!((model.estimate(&five).cycle_ns - before).abs() < 1e-9);
+
+        let mut c16 = base_16cluster(PipelineDepth::Five);
+        let before = model.estimate(&c16).cycle_ns;
+        c16.multiplier = Some(MultiplierDesign::mul16());
+        assert!((model.estimate(&c16).cycle_ns - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_report_is_consistent() {
+        let est = CycleTimeModel::new().estimate(&base_8cluster(PipelineDepth::Four, false));
+        assert!(est.cycle_ns > est.stages.critical());
+        assert!(est.stages.execute >= est.stages.operand_fetch);
+        let shown = est.to_string();
+        assert!(shown.contains("MHz"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Global crossbar interconnect model (Fig. 2 of the paper).
+//!
+//! A full 16-bit crossbar connects the functional-unit clusters. The
+//! paper's specialized routing scheme (inputs/outputs routed into the
+//! switch from both sides, ref. [10]) keeps the switch compact: "the
+//! crossbars up to 32 ports require very little area for a key central
+//! architectural structure".
+//!
+//! Published anchors used for calibration (preferred 5.1 µ drivers):
+//!
+//! * cycle times **under 1 ns up to 16 ports**,
+//! * **1.5 ns at 32 ports**,
+//! * **3 ns at 64 ports**,
+//! * the 32×32 switch plus eight 21.3 mm² clusters totals 181.4 mm²
+//!   (Fig. 5), putting the 32-port switch near **11 mm²**.
+
+use crate::tech::DriverSize;
+use serde::{Deserialize, Serialize};
+
+/// A full crossbar switch design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarDesign {
+    /// Number of 16-bit ports (port count is the same for inputs and
+    /// outputs of the square switch).
+    pub ports: u32,
+    /// Output-driver size.
+    pub driver: DriverSize,
+}
+
+impl CrossbarDesign {
+    /// Creates a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(ports: u32, driver: DriverSize) -> Self {
+        assert!(ports > 0, "a crossbar needs at least one port");
+        CrossbarDesign { ports, driver }
+    }
+
+    /// Switch traversal delay in nanoseconds.
+    ///
+    /// Wire length grows linearly with the port count and the distributed
+    /// RC of the crossbar wires adds a quadratic term; weaker drivers
+    /// scale the wire-charging terms up.
+    pub fn delay_ns(&self) -> f64 {
+        let n = self.ports as f64;
+        // (5.1/w)^0.6: empirical fit of the driver-size spread in Fig. 2.
+        let drive = (5.1 / self.driver.microns()).powf(0.6);
+        0.25 + (0.022 * n + 0.000_35 * n * n) * drive
+    }
+
+    /// Switch area in square millimeters.
+    ///
+    /// Dominated by the n² switch matrix; nearly independent of driver
+    /// size, as the paper observes.
+    pub fn area_mm2(&self) -> f64 {
+        let n = self.ports as f64;
+        let drive = 0.92 + 0.08 * self.driver.microns() / 5.1;
+        (0.0095 * n * n + 0.03 * n) * drive
+    }
+
+    /// Highest clock frequency (MHz) at which the switch traversal fits in
+    /// a single cycle, ignoring latch overhead.
+    pub fn max_freq_mhz(&self) -> f64 {
+        1000.0 / self.delay_ns()
+    }
+}
+
+/// The port counts plotted in Fig. 2.
+pub const FIG2_PORTS: [u32; 5] = [4, 8, 16, 32, 64];
+
+/// One row of the Fig. 2 data: delay and area for every driver size at a
+/// given port count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Number of 16-bit ports.
+    pub ports: u32,
+    /// Delay in ns for each driver size, in [`DriverSize::ALL`] order.
+    pub delay_ns: Vec<f64>,
+    /// Area in mm² for each driver size, in [`DriverSize::ALL`] order.
+    pub area_mm2: Vec<f64>,
+}
+
+/// Regenerates the full data set behind Fig. 2.
+pub fn fig2_dataset() -> Vec<Fig2Row> {
+    FIG2_PORTS
+        .iter()
+        .map(|&ports| {
+            let designs: Vec<CrossbarDesign> = DriverSize::ALL
+                .iter()
+                .map(|&d| CrossbarDesign::new(ports, d))
+                .collect();
+            Fig2Row {
+                ports,
+                delay_ns: designs.iter().map(CrossbarDesign::delay_ns).collect(),
+                area_mm2: designs.iter().map(CrossbarDesign::area_mm2).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preferred(ports: u32) -> CrossbarDesign {
+        CrossbarDesign::new(ports, DriverSize::W5_1)
+    }
+
+    #[test]
+    fn paper_anchor_sub_1ns_up_to_16_ports() {
+        for p in [4, 8, 16] {
+            assert!(preferred(p).delay_ns() < 1.0, "{p} ports");
+        }
+    }
+
+    #[test]
+    fn paper_anchor_1_5ns_at_32_ports() {
+        let d = preferred(32).delay_ns();
+        assert!((d - 1.5).abs() < 0.25, "got {d}");
+    }
+
+    #[test]
+    fn paper_anchor_3ns_at_64_ports() {
+        let d = preferred(64).delay_ns();
+        assert!((d - 3.0).abs() < 0.35, "got {d}");
+    }
+
+    #[test]
+    fn paper_anchor_32_port_area_near_11mm2() {
+        let a = preferred(32).area_mm2();
+        assert!((a - 11.0).abs() < 1.0, "got {a}");
+    }
+
+    #[test]
+    fn delay_monotone_in_ports_and_antitone_in_driver() {
+        for d in DriverSize::ALL {
+            let mut last = 0.0;
+            for p in FIG2_PORTS {
+                let delay = CrossbarDesign::new(p, d).delay_ns();
+                assert!(delay > last);
+                last = delay;
+            }
+        }
+        for p in FIG2_PORTS {
+            for pair in DriverSize::ALL.windows(2) {
+                assert!(
+                    CrossbarDesign::new(p, pair[0]).delay_ns()
+                        >= CrossbarDesign::new(p, pair[1]).delay_ns()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn area_insensitive_to_driver_size() {
+        // The paper: "relatively insensitive to transistor size within the
+        // range of interest" — spread across drivers under 10%.
+        for p in FIG2_PORTS {
+            let areas: Vec<f64> = DriverSize::ALL
+                .iter()
+                .map(|&d| CrossbarDesign::new(p, d).area_mm2())
+                .collect();
+            let min = areas.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = areas.iter().cloned().fold(0.0, f64::max);
+            assert!((max - min) / min < 0.10, "{p} ports: {areas:?}");
+        }
+    }
+
+    #[test]
+    fn small_switches_are_tiny() {
+        // Fig. 2's log axis bottoms out near 0.1 mm² at 4 ports.
+        let a = preferred(4).area_mm2();
+        assert!(a < 0.5, "got {a}");
+    }
+
+    #[test]
+    fn weakest_driver_at_64_ports_near_5ns() {
+        let d = CrossbarDesign::new(64, DriverSize::W1_8).delay_ns();
+        assert!((4.0..6.5).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn fig2_dataset_is_complete() {
+        let rows = fig2_dataset();
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert_eq!(row.delay_ns.len(), 5);
+            assert_eq!(row.area_mm2.len(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_panics() {
+        CrossbarDesign::new(0, DriverSize::W5_1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Datapath-level area aggregation (Fig. 5 and the "Estimated Area" row
+//! of Tables 1–2).
+//!
+//! A datapath is `clusters` identical clusters around a central crossbar.
+//! Cluster area is the sum of its register file, functional units, local
+//! memory and bypass/pipeline overhead, plus 10% local routing ("Ten
+//! percent additional area has been allowed for local routing between
+//! subcomponents").
+
+use crate::arith::{AluDesign, MultiplierDesign, ShifterDesign};
+use crate::crossbar::CrossbarDesign;
+use crate::regfile::RegFileDesign;
+use crate::sram::SramDesign;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fractional area added for local routing between cluster subcomponents.
+pub const LOCAL_ROUTING_OVERHEAD: f64 = 0.10;
+
+/// Pipeline organization of a datapath model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipelineDepth {
+    /// Four stages: fetch, operand fetch, execute (including memory
+    /// access), write-back. No load-use delay; only simple addressing fits
+    /// the memory stage.
+    Four,
+    /// Five stages: separate execute and memory stages, RISC style.
+    /// One-cycle load-use delay; complex addressing modes supported; four
+    /// extra bypass paths per cluster.
+    Five,
+}
+
+impl fmt::Display for PipelineDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineDepth::Four => f.write_str("4-stage"),
+            PipelineDepth::Five => f.write_str("5-stage"),
+        }
+    }
+}
+
+/// Physical description of a candidate datapath — everything the VLSI
+/// models need to price and clock it.
+///
+/// `vsp-core` builds one of these for each architectural machine model;
+/// the seven machines of the paper are constructed there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatapathSpec {
+    /// Model name (e.g. `I4C8S4`).
+    pub name: String,
+    /// Number of identical clusters.
+    pub clusters: u32,
+    /// Issue slots per cluster.
+    pub issue_slots: u32,
+    /// ALUs per cluster.
+    pub alus: u32,
+    /// Whether one ALU carries the fused absolute-difference operator.
+    pub absdiff_alu: bool,
+    /// The cluster multiplier, if present.
+    pub multiplier: Option<MultiplierDesign>,
+    /// Whether the cluster has a shifter.
+    pub shifter: bool,
+    /// Load/store units per cluster (= local-memory ports usable per
+    /// cycle).
+    pub lsus: u32,
+    /// The cluster register file.
+    pub regfile: RegFileDesign,
+    /// Local data memory banks per cluster (each double-buffered).
+    pub mem_banks: u32,
+    /// Design of each local memory bank.
+    pub mem: SramDesign,
+    /// Pipeline organization.
+    pub pipeline: PipelineDepth,
+    /// `I4C8S4C` only: fold an address addition into the memory access of
+    /// the 4-stage pipeline (complex addressing without a fifth stage,
+    /// with its "very significant impact on cycle time").
+    pub fused_addr_mem: bool,
+    /// The global crossbar.
+    pub crossbar: CrossbarDesign,
+    /// Crossbar ports per cluster (simultaneous transfers per cycle).
+    pub xbar_ports_per_cluster: u32,
+    /// Instruction-cache capacity in VLIW words.
+    pub icache_words: u32,
+}
+
+impl DatapathSpec {
+    /// Number of functional units in a cluster.
+    pub fn fu_count(&self) -> u32 {
+        self.alus
+            + u32::from(self.multiplier.is_some())
+            + u32::from(self.shifter)
+            + self.lsus
+    }
+
+    /// Number of inputs of each operand bypass multiplexer.
+    ///
+    /// The paper's I4C8S4 is "fully bypassed between the 7 functional
+    /// units, requiring 10-input multiplexers" — functional units plus
+    /// register file, immediate, and load-return paths. The 5-stage
+    /// pipelines add one extra in-flight path per issue slot.
+    pub fn bypass_inputs(&self) -> u32 {
+        let base = self.fu_count() + 3;
+        match self.pipeline {
+            PipelineDepth::Four => base,
+            PipelineDepth::Five => base + self.issue_slots,
+        }
+    }
+
+    /// Bypass network, pipeline registers and control overhead per
+    /// cluster, in mm² (Fig. 5 prices this block at 0.4 mm² for I4C8S4).
+    pub fn bypass_area_mm2(&self) -> f64 {
+        let slots = self.issue_slots as f64;
+        let five_stage = match self.pipeline {
+            PipelineDepth::Four => 0.0,
+            PipelineDepth::Five => 0.06 * slots,
+        };
+        0.1 + 0.075 * slots + five_stage
+    }
+
+    /// Total peak operations per cycle (the paper's machines issue 32 from
+    /// the clusters plus 1 control operation, hence "33 operations per
+    /// cycle").
+    pub fn peak_ops_per_cycle(&self) -> u32 {
+        self.clusters * self.issue_slots + 1
+    }
+
+    /// Total local data memory in bytes.
+    pub fn total_mem_bytes(&self) -> u64 {
+        u64::from(self.clusters) * u64::from(self.mem_banks) * u64::from(self.mem.bytes)
+    }
+
+    /// Computes the cluster area breakdown.
+    pub fn cluster_area(&self) -> ClusterAreaBreakdown {
+        let alu = AluDesign::new().area_mm2();
+        let alus = if self.absdiff_alu {
+            // One ALU doubled, the rest plain.
+            AluDesign::with_absdiff().area_mm2() + alu * (self.alus.saturating_sub(1)) as f64
+        } else {
+            alu * self.alus as f64
+        };
+        let multiplier = self.multiplier.map(|m| m.area_mm2()).unwrap_or(0.0);
+        let shifter = if self.shifter {
+            ShifterDesign::new().area_mm2()
+        } else {
+            0.0
+        };
+        let memory = self.mem.area_mm2() * self.mem_banks as f64;
+        let regfile = self.regfile.area_mm2();
+        let bypass = self.bypass_area_mm2();
+        let subtotal = regfile + alus + multiplier + shifter + memory + bypass;
+        let routing = subtotal * LOCAL_ROUTING_OVERHEAD;
+        ClusterAreaBreakdown {
+            regfile,
+            alus,
+            multiplier,
+            shifter,
+            memory,
+            bypass,
+            routing,
+        }
+    }
+
+    /// Computes the full datapath area (Fig. 5 bottom line).
+    pub fn datapath_area(&self) -> DatapathArea {
+        let cluster = self.cluster_area();
+        DatapathArea {
+            cluster_mm2: cluster.total(),
+            clusters: self.clusters,
+            crossbar_mm2: self.crossbar.area_mm2(),
+        }
+    }
+}
+
+/// Per-cluster area breakdown, mirroring Fig. 5's line items.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterAreaBreakdown {
+    /// Local register file.
+    pub regfile: f64,
+    /// All ALUs (including the doubled absolute-difference ALU if
+    /// configured).
+    pub alus: f64,
+    /// Multiplier.
+    pub multiplier: f64,
+    /// Shifter.
+    pub shifter: f64,
+    /// Local data memory (all banks).
+    pub memory: f64,
+    /// Bypass logic, pipeline registers, etc.
+    pub bypass: f64,
+    /// Local routing overhead.
+    pub routing: f64,
+}
+
+impl ClusterAreaBreakdown {
+    /// Total cluster area in mm².
+    pub fn total(&self) -> f64 {
+        self.regfile + self.alus + self.multiplier + self.shifter + self.memory + self.bypass
+            + self.routing
+    }
+}
+
+impl fmt::Display for ClusterAreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "register file            {:>6.1} mm2", self.regfile)?;
+        writeln!(f, "ALUs                     {:>6.1} mm2", self.alus)?;
+        writeln!(f, "multiplier               {:>6.1} mm2", self.multiplier)?;
+        writeln!(f, "shifter                  {:>6.1} mm2", self.shifter)?;
+        writeln!(f, "local RAM                {:>6.1} mm2", self.memory)?;
+        writeln!(f, "bypass, pipeline regs    {:>6.1} mm2", self.bypass)?;
+        writeln!(f, "local routing overhead   {:>6.1} mm2", self.routing)?;
+        write!(f, "cluster area             {:>6.1} mm2", self.total())
+    }
+}
+
+/// Whole-datapath area (clusters + crossbar).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatapathArea {
+    /// Area of one cluster in mm².
+    pub cluster_mm2: f64,
+    /// Number of clusters.
+    pub clusters: u32,
+    /// Crossbar area in mm².
+    pub crossbar_mm2: f64,
+}
+
+impl DatapathArea {
+    /// Total datapath area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.cluster_mm2 * self.clusters as f64 + self.crossbar_mm2
+    }
+
+    /// Fraction of the datapath occupied by the global interconnect —
+    /// the paper's "only a few percent of the chip area" observation.
+    pub fn interconnect_fraction(&self) -> f64 {
+        self.crossbar_mm2 / self.total_mm2()
+    }
+}
+
+impl fmt::Display for DatapathArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} clusters x {:.1} mm2 + crossbar {:.1} mm2 = {:.1} mm2 datapath",
+            self.clusters,
+            self.cluster_mm2,
+            self.crossbar_mm2,
+            self.total_mm2()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::SramFamily;
+    use crate::tech::DriverSize;
+
+    /// The initial design point of §3.2 (I4C8S4), built directly from the
+    /// paper's description.
+    fn i4c8s4_spec() -> DatapathSpec {
+        DatapathSpec {
+            name: "I4C8S4".into(),
+            clusters: 8,
+            issue_slots: 4,
+            alus: 4,
+            absdiff_alu: false,
+            multiplier: Some(MultiplierDesign::mul8()),
+            shifter: true,
+            lsus: 1,
+            regfile: RegFileDesign::new(128, 12),
+            mem_banks: 1,
+            mem: SramDesign::new(32768, 1, SramFamily::HighDensity),
+            pipeline: PipelineDepth::Four,
+            fused_addr_mem: false,
+            crossbar: CrossbarDesign::new(32, DriverSize::W5_1),
+            xbar_ports_per_cluster: 4,
+            icache_words: 1024,
+        }
+    }
+
+    #[test]
+    fn fig5_cluster_breakdown_matches_paper() {
+        let spec = i4c8s4_spec();
+        let b = spec.cluster_area();
+        // Fig. 5 line items: RF 3.0, 4 ALUs 1.6, mult 1.0, shifter 0.5,
+        // RAM 12.9, bypass 0.4, routing 1.9, cluster 21.3.
+        assert!((b.regfile - 3.0).abs() < 0.1, "rf {}", b.regfile);
+        assert!((b.alus - 1.6).abs() < 0.01);
+        assert!((b.multiplier - 1.0).abs() < 0.01);
+        assert!((b.shifter - 0.5).abs() < 0.01);
+        assert!((b.memory - 12.9).abs() < 0.2, "mem {}", b.memory);
+        assert!((b.bypass - 0.4).abs() < 0.01);
+        assert!((b.routing - 1.9).abs() < 0.15, "routing {}", b.routing);
+        assert!((b.total() - 21.3).abs() < 0.4, "cluster {}", b.total());
+    }
+
+    #[test]
+    fn fig5_datapath_total_matches_paper() {
+        let area = i4c8s4_spec().datapath_area();
+        assert!(
+            (area.total_mm2() - 181.4).abs() < 2.0,
+            "datapath {}",
+            area.total_mm2()
+        );
+    }
+
+    #[test]
+    fn interconnect_is_a_few_percent() {
+        let area = i4c8s4_spec().datapath_area();
+        let f = area.interconnect_fraction();
+        assert!((0.02..0.08).contains(&f), "got {f}");
+    }
+
+    #[test]
+    fn thirty_three_ops_per_cycle() {
+        assert_eq!(i4c8s4_spec().peak_ops_per_cycle(), 33);
+    }
+
+    #[test]
+    fn fu_count_is_seven() {
+        // "An example cluster containing 7 functional units sharing 4
+        // issue slots" (Fig. 1).
+        assert_eq!(i4c8s4_spec().fu_count(), 7);
+    }
+
+    #[test]
+    fn bypass_inputs_match_paper() {
+        // "requiring 10-input multiplexers in the operand bypass paths".
+        assert_eq!(i4c8s4_spec().bypass_inputs(), 10);
+        let mut five = i4c8s4_spec();
+        five.pipeline = PipelineDepth::Five;
+        // "4 additional bypass paths are required".
+        assert_eq!(five.bypass_inputs(), 14);
+    }
+
+    #[test]
+    fn five_stage_costs_area() {
+        let four = i4c8s4_spec();
+        let mut five = i4c8s4_spec();
+        five.pipeline = PipelineDepth::Five;
+        let d = five.datapath_area().total_mm2() - four.datapath_area().total_mm2();
+        // Paper: 183.5 - 181.4 ≈ 2.1 mm².
+        assert!((1.0..3.5).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn absdiff_adds_one_alu_of_area() {
+        let plain = i4c8s4_spec();
+        let mut spec = i4c8s4_spec();
+        spec.absdiff_alu = true;
+        let delta = spec.cluster_area().alus - plain.cluster_area().alus;
+        assert!((delta - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_memory_accounting() {
+        assert_eq!(i4c8s4_spec().total_mem_bytes(), 8 * 32768);
+    }
+}

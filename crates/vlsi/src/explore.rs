@@ -1,0 +1,215 @@
+//! Design-space exploration helpers.
+//!
+//! The paper's methodology (§1, step 2): "Area and performance data from
+//! these simulations define a unique design space for this processor.
+//! Within this design space, candidate architectures are constructed based
+//! on the module cost and performance." This module enumerates candidate
+//! cluster/slot/storage configurations, prices and clocks each with the
+//! megacell models, and filters by area and frequency constraints.
+
+use crate::arith::MultiplierDesign;
+use crate::clock::{ClockEstimate, CycleTimeModel};
+use crate::crossbar::CrossbarDesign;
+use crate::datapath::{DatapathSpec, PipelineDepth};
+use crate::regfile::RegFileDesign;
+use crate::sram::{SramDesign, SramFamily};
+use crate::tech::DriverSize;
+use serde::{Deserialize, Serialize};
+
+/// Constraints for a design-space sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Maximum datapath area in mm².
+    pub max_area_mm2: f64,
+    /// Minimum clock frequency in MHz.
+    pub min_freq_mhz: f64,
+    /// Minimum total local data memory in bytes.
+    pub min_total_mem_bytes: u64,
+}
+
+impl Default for Constraints {
+    /// The paper's rough envelope: a ~200 mm² datapath at ≥600 MHz with at
+    /// least 256 KB of on-chip data storage.
+    fn default() -> Self {
+        Constraints {
+            max_area_mm2: 220.0,
+            min_freq_mhz: 600.0,
+            min_total_mem_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The candidate datapath.
+    pub spec: DatapathSpec,
+    /// Its clock estimate.
+    pub clock: ClockEstimate,
+    /// Its datapath area in mm².
+    pub area_mm2: f64,
+    /// Peak sustained throughput in billions of operations per second.
+    pub peak_gops: f64,
+}
+
+/// Enumerates the candidate space of cluster-based datapaths and returns
+/// the candidates meeting `constraints`, sorted by descending peak GOPS
+/// (ties broken by smaller area).
+pub fn sweep(constraints: &Constraints) -> Vec<Candidate> {
+    let model = CycleTimeModel::new();
+    let mut out = Vec::new();
+    for &clusters in &[4u32, 8, 16, 32] {
+        for &slots in &[1u32, 2, 4] {
+            for &regs in &[64u32, 128, 256] {
+                for &mem_kb in &[8u32, 16, 32] {
+                    for &pipeline in &[PipelineDepth::Four, PipelineDepth::Five] {
+                        let spec = candidate_spec(clusters, slots, regs, mem_kb, pipeline);
+                        let clock = model.estimate(&spec);
+                        let area = spec.datapath_area().total_mm2();
+                        let freq = clock.freq_mhz();
+                        if area > constraints.max_area_mm2
+                            || freq < constraints.min_freq_mhz
+                            || spec.total_mem_bytes() < constraints.min_total_mem_bytes
+                        {
+                            continue;
+                        }
+                        let peak_gops =
+                            f64::from(clusters * slots) * freq * 1e6 / 1e9;
+                        out.push(Candidate {
+                            spec,
+                            clock,
+                            area_mm2: area,
+                            peak_gops,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.peak_gops
+            .partial_cmp(&a.peak_gops)
+            .unwrap()
+            .then(a.area_mm2.partial_cmp(&b.area_mm2).unwrap())
+    });
+    out
+}
+
+/// Builds a plausible datapath around the given headline parameters,
+/// following the paper's construction rules: 3 register-file ports per
+/// issue slot, one crossbar port per slot on ≤8-cluster machines and one
+/// per cluster beyond, memory split into banks until each bank meets the
+/// target access time.
+pub fn candidate_spec(
+    clusters: u32,
+    slots: u32,
+    registers: u32,
+    mem_kb: u32,
+    pipeline: PipelineDepth,
+) -> DatapathSpec {
+    let wide = clusters <= 8;
+    let xbar_ports_per_cluster = if wide { slots } else { 1 };
+    let mem_bytes = mem_kb * 1024;
+    // Split into banks so each bank stays at or under 8 KB on fast
+    // (many-cluster) machines, mirroring the I2C16S4 two-bank solution.
+    let (banks, bank_bytes, family) = if wide {
+        (1, mem_bytes, SramFamily::HighDensity)
+    } else if pipeline == PipelineDepth::Five {
+        (1, mem_bytes, SramFamily::HighDensityFast)
+    } else {
+        let banks = mem_bytes.div_ceil(8192);
+        (banks.max(1), mem_bytes / banks.max(1), SramFamily::HighDensity)
+    };
+    let multiplier = if wide {
+        MultiplierDesign::mul8()
+    } else {
+        MultiplierDesign::mul8_pipelined()
+    };
+    DatapathSpec {
+        name: format!("I{slots}C{clusters}S{}x{registers}r{mem_kb}k", match pipeline {
+            PipelineDepth::Four => 4,
+            PipelineDepth::Five => 5,
+        }),
+        clusters,
+        issue_slots: slots,
+        alus: slots,
+        absdiff_alu: false,
+        multiplier: Some(multiplier),
+        shifter: true,
+        lsus: if wide { 1 } else { banks.min(slots) },
+        regfile: RegFileDesign::for_issue_slots(slots, registers),
+        mem_banks: banks,
+        mem: SramDesign::new(bank_bytes, 1, family),
+        pipeline,
+        fused_addr_mem: false,
+        crossbar: CrossbarDesign::new(clusters * xbar_ports_per_cluster, DriverSize::W5_1),
+        xbar_ports_per_cluster,
+        icache_words: if wide { 1024 } else { 512 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_is_nonempty_and_sorted() {
+        let cands = sweep(&Constraints::default());
+        assert!(!cands.is_empty());
+        for pair in cands.windows(2) {
+            assert!(pair[0].peak_gops >= pair[1].peak_gops);
+        }
+    }
+
+    #[test]
+    fn all_candidates_meet_constraints() {
+        let c = Constraints::default();
+        for cand in sweep(&c) {
+            assert!(cand.area_mm2 <= c.max_area_mm2);
+            assert!(cand.clock.freq_mhz() >= c.min_freq_mhz);
+            assert!(cand.spec.total_mem_bytes() >= c.min_total_mem_bytes);
+        }
+    }
+
+    #[test]
+    fn small_clusters_deliver_more_peak_gops() {
+        // The paper's surprise: the 16-cluster, 2-slot machines out-peak
+        // the 8-cluster, 4-slot initial design thanks to the faster clock.
+        let model = CycleTimeModel::new();
+        let wide = candidate_spec(8, 4, 128, 32, PipelineDepth::Four);
+        let narrow = candidate_spec(16, 2, 64, 16, PipelineDepth::Four);
+        let wide_gops = 32.0 * model.estimate(&wide).freq_mhz();
+        let narrow_gops = 32.0 * model.estimate(&narrow).freq_mhz();
+        assert!(narrow_gops > wide_gops * 1.2);
+    }
+
+    #[test]
+    fn paper_design_points_are_in_the_space() {
+        // The sweep space contains configurations shaped like I4C8S4 and
+        // I2C16S4 (exact models are constructed in vsp-core).
+        let cands = sweep(&Constraints::default());
+        assert!(cands
+            .iter()
+            .any(|c| c.spec.clusters == 8 && c.spec.issue_slots == 4));
+        assert!(cands
+            .iter()
+            .any(|c| c.spec.clusters == 16 && c.spec.issue_slots == 2));
+    }
+
+    #[test]
+    fn infeasible_constraints_yield_nothing() {
+        let c = Constraints {
+            max_area_mm2: 5.0,
+            min_freq_mhz: 2000.0,
+            min_total_mem_bytes: 1 << 30,
+        };
+        assert!(sweep(&c).is_empty());
+    }
+
+    #[test]
+    fn bank_splitting_on_fast_machines() {
+        let spec = candidate_spec(16, 2, 64, 16, PipelineDepth::Four);
+        assert_eq!(spec.mem_banks, 2);
+        assert_eq!(spec.mem.bytes, 8192);
+    }
+}

@@ -1,0 +1,60 @@
+//! Calibrated 0.25µ megacell delay/area models for the VLIW video signal
+//! processor of *"Datapath Design for a VLIW Video Signal Processor"*
+//! (HPCA 1997).
+//!
+//! The paper's methodology (§3.1) designed, laid out and circuit-simulated
+//! parameterizable versions of the datapath-critical components — the
+//! global crossbar, multi-ported local register files and local SRAMs —
+//! and took arithmetic-unit numbers from published designs. The resulting
+//! delay/area surfaces define the architectural design space.
+//!
+//! This crate replaces the transistor-level layouts and the ADVICE circuit
+//! simulator with closed-form analytic models **calibrated to every anchor
+//! the paper publishes**:
+//!
+//! * [`crossbar`] — Fig. 2 (delay/area vs. 16-bit port count, 5 driver sizes),
+//! * [`regfile`] — Fig. 3 (delay/area vs. register count and ports),
+//! * [`sram`] — Fig. 4 (multi-ported high-speed SRAM) plus the
+//!   high-density 1–2-port family of §3.1.3,
+//! * [`arith`] — the published ALU/multiplier/shifter data points (§3.1.4),
+//! * [`datapath`] — cluster and datapath area aggregation (Fig. 5,
+//!   Table 1 "Estimated Area" row),
+//! * [`clock`] — cycle-time estimation and the "Estimated Relative Clock
+//!   Speed" row of Table 1,
+//! * [`power`] — the §3 power-feasibility estimate (~50 W),
+//! * [`explore`] — design-space enumeration helpers.
+//!
+//! Calibration residuals against the paper's published values are unit
+//! tested in each module; the cross-model anchors (e.g. the 21.3 mm²
+//! cluster and 181.4 mm² datapath of Fig. 5) are tested in [`datapath`].
+//!
+//! # Example
+//!
+//! ```
+//! use vsp_vlsi::crossbar::CrossbarDesign;
+//! use vsp_vlsi::tech::DriverSize;
+//!
+//! let xbar = CrossbarDesign::new(32, DriverSize::W5_1);
+//! assert!(xbar.delay_ns() < 1.6);          // "1.5ns at 32 ports"
+//! assert!(xbar.area_mm2() < 12.0);         // a few percent of the chip
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod clock;
+pub mod crossbar;
+pub mod datapath;
+pub mod explore;
+pub mod power;
+pub mod regfile;
+pub mod sram;
+pub mod tech;
+
+pub use clock::{ClockEstimate, CycleTimeModel};
+pub use crossbar::CrossbarDesign;
+pub use datapath::{ClusterAreaBreakdown, DatapathArea, DatapathSpec, PipelineDepth};
+pub use regfile::RegFileDesign;
+pub use sram::{SramDesign, SramFamily};
+pub use tech::DriverSize;

@@ -1,0 +1,115 @@
+//! Power-consumption feasibility estimate (§3 of the paper).
+//!
+//! The paper reports only the conclusion of its power analysis: "the
+//! chip's power consumption, although in the 50 W range, was low enough to
+//! be feasible". This module reproduces that estimate with a simple
+//! activity-based model: dynamic power scales with switched capacitance
+//! (proportional to active area), the square of the supply voltage and
+//! the clock frequency, plus a fixed share for the clock tree, instruction
+//! cache and control that the datapath figures exclude.
+
+use crate::clock::ClockEstimate;
+use crate::datapath::DatapathSpec;
+use crate::tech::SUPPLY_VOLTS;
+use serde::{Deserialize, Serialize};
+
+/// Effective switched capacitance per mm² of active datapath, in
+/// nF/mm² (calibrated to put the initial design near 50 W).
+const SWITCHED_CAP_NF_PER_MM2: f64 = 0.10;
+
+/// Average fraction of the datapath switching each cycle.
+const ACTIVITY_FACTOR: f64 = 0.35;
+
+/// Multiplier covering the clock tree, instruction cache and control
+/// logic that sit outside the datapath area figure.
+const NON_DATAPATH_FACTOR: f64 = 1.40;
+
+/// Breakdown of the power estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Dynamic power of the datapath proper, in watts.
+    pub datapath_watts: f64,
+    /// Clock tree, icache and control share, in watts.
+    pub overhead_watts: f64,
+}
+
+impl PowerEstimate {
+    /// Total chip power in watts.
+    pub fn total_watts(&self) -> f64 {
+        self.datapath_watts + self.overhead_watts
+    }
+}
+
+/// Estimates chip power for a datapath at the given clock.
+pub fn estimate(spec: &DatapathSpec, clock: &ClockEstimate) -> PowerEstimate {
+    let area = spec.datapath_area().total_mm2();
+    let freq_hz = clock.freq_mhz() * 1e6;
+    let cap_farads = area * SWITCHED_CAP_NF_PER_MM2 * 1e-9;
+    let datapath_watts = ACTIVITY_FACTOR * cap_farads * SUPPLY_VOLTS * SUPPLY_VOLTS * freq_hz;
+    PowerEstimate {
+        datapath_watts,
+        overhead_watts: datapath_watts * (NON_DATAPATH_FACTOR - 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::MultiplierDesign;
+    use crate::clock::CycleTimeModel;
+    use crate::crossbar::CrossbarDesign;
+    use crate::datapath::PipelineDepth;
+    use crate::regfile::RegFileDesign;
+    use crate::sram::{SramDesign, SramFamily};
+    use crate::tech::DriverSize;
+
+    fn i4c8s4() -> DatapathSpec {
+        DatapathSpec {
+            name: "I4C8S4".into(),
+            clusters: 8,
+            issue_slots: 4,
+            alus: 4,
+            absdiff_alu: false,
+            multiplier: Some(MultiplierDesign::mul8()),
+            shifter: true,
+            lsus: 1,
+            regfile: RegFileDesign::new(128, 12),
+            mem_banks: 1,
+            mem: SramDesign::new(32768, 1, SramFamily::HighDensity),
+            pipeline: PipelineDepth::Four,
+            fused_addr_mem: false,
+            crossbar: CrossbarDesign::new(32, DriverSize::W5_1),
+            xbar_ports_per_cluster: 4,
+            icache_words: 1024,
+        }
+    }
+
+    #[test]
+    fn paper_anchor_50w_range() {
+        let spec = i4c8s4();
+        let clock = CycleTimeModel::new().estimate(&spec);
+        let p = estimate(&spec, &clock).total_watts();
+        assert!((40.0..60.0).contains(&p), "got {p} W");
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let spec = i4c8s4();
+        let model = CycleTimeModel::new();
+        let clock = model.estimate(&spec);
+        let mut faster = clock;
+        faster.cycle_ns /= 1.3;
+        let slow = estimate(&spec, &clock).total_watts();
+        let fast = estimate(&spec, &faster).total_watts();
+        assert!((fast / slow - 1.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let spec = i4c8s4();
+        let clock = CycleTimeModel::new().estimate(&spec);
+        let p = estimate(&spec, &clock);
+        assert!(p.datapath_watts > p.overhead_watts);
+        assert!((p.total_watts() - (p.datapath_watts + p.overhead_watts)).abs() < 1e-12);
+    }
+}

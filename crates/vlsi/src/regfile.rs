@@ -1,0 +1,192 @@
+//! Local multi-ported register-file model (Fig. 3 of the paper).
+//!
+//! Each cluster carries one local register file. VLIW convention budgets
+//! 3 ports per issue slot (two reads + one write), so the paper designs
+//! files with 3, 6, 9 and 12 ports and 16–256 registers.
+//!
+//! Published anchors used for calibration:
+//!
+//! * delay "only slightly dependent on the number of ports" but growing
+//!   with register count (Fig. 3 left);
+//! * area grows strongly with both ports and registers (Fig. 3 right,
+//!   0.1–10 mm² log range);
+//! * Fig. 5 prices the 12-ported, 128-entry file at **3.0 mm²**;
+//! * §3.2: up to 256 registers per cluster still meet the 650 MHz target
+//!   (12 ports), i.e. the 256-entry access fits a ~1.44 ns budget while a
+//!   512-entry file would not.
+
+use serde::{Deserialize, Serialize};
+
+/// A register-file design point (16-bit registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegFileDesign {
+    /// Number of 16-bit registers.
+    pub registers: u32,
+    /// Total port count (reads + writes).
+    pub ports: u32,
+}
+
+impl RegFileDesign {
+    /// Creates a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(registers: u32, ports: u32) -> Self {
+        assert!(registers > 0, "register file needs registers");
+        assert!(ports > 0, "register file needs ports");
+        RegFileDesign { registers, ports }
+    }
+
+    /// A file sized for `slots` issue slots using the paper's 3-ports-per-
+    /// operation rule.
+    pub fn for_issue_slots(slots: u32, registers: u32) -> Self {
+        RegFileDesign::new(registers, 3 * slots)
+    }
+
+    /// Read-access delay in nanoseconds.
+    ///
+    /// Bit-line length grows with the register count (log-ish after
+    /// banking) while extra ports mostly widen the cell, touching delay
+    /// only mildly — matching the paper's observation.
+    pub fn delay_ns(&self) -> f64 {
+        let r = self.registers as f64;
+        let p = self.ports as f64;
+        0.30 + 0.115 * r.log2() + 0.012 * p
+    }
+
+    /// Area in square millimeters.
+    ///
+    /// Each cell grows quadratically with the port count (a wire per port
+    /// in both dimensions); total area is cells × registers.
+    pub fn area_mm2(&self) -> f64 {
+        let r = self.registers as f64;
+        let p = self.ports as f64;
+        r * 6.34e-5 * (p + 7.2) * (p + 7.2)
+    }
+
+    /// Register density in registers per square millimeter — the quantity
+    /// the paper trades against issue-slot utilization in §3.1.2.
+    pub fn density(&self) -> f64 {
+        self.registers as f64 / self.area_mm2()
+    }
+}
+
+/// The register counts plotted in Fig. 3.
+pub const FIG3_REGISTERS: [u32; 3] = [16, 64, 256];
+
+/// The port counts plotted in Fig. 3.
+pub const FIG3_PORTS: [u32; 4] = [3, 6, 9, 12];
+
+/// One row of the Fig. 3 data: delay and area for every port count at a
+/// given register count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Number of 16-bit registers.
+    pub registers: u32,
+    /// Delay in ns for each port count, in [`FIG3_PORTS`] order.
+    pub delay_ns: Vec<f64>,
+    /// Area in mm² for each port count, in [`FIG3_PORTS`] order.
+    pub area_mm2: Vec<f64>,
+}
+
+/// Regenerates the full data set behind Fig. 3.
+pub fn fig3_dataset() -> Vec<Fig3Row> {
+    FIG3_REGISTERS
+        .iter()
+        .map(|&registers| {
+            let designs: Vec<RegFileDesign> = FIG3_PORTS
+                .iter()
+                .map(|&p| RegFileDesign::new(registers, p))
+                .collect();
+            Fig3Row {
+                registers,
+                delay_ns: designs.iter().map(RegFileDesign::delay_ns).collect(),
+                area_mm2: designs.iter().map(RegFileDesign::area_mm2).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_fig5_area() {
+        // Fig. 5: 12-ported register file, 128 registers = 3.0 mm².
+        let rf = RegFileDesign::new(128, 12);
+        assert!((rf.area_mm2() - 3.0).abs() < 0.1, "got {}", rf.area_mm2());
+    }
+
+    #[test]
+    fn paper_anchor_256_regs_meet_650mhz_but_512_do_not() {
+        // §3.2: "Up to 256 registers can be included per cluster and still
+        // achieve this target clock rate". The 650 MHz budget net of latch
+        // overhead is ~1.44 ns (set by the 32 KB local RAM).
+        let budget = 1.44;
+        assert!(RegFileDesign::new(256, 12).delay_ns() <= budget);
+        assert!(RegFileDesign::new(512, 12).delay_ns() > budget);
+    }
+
+    #[test]
+    fn delay_only_slightly_port_dependent() {
+        for r in FIG3_REGISTERS {
+            let d3 = RegFileDesign::new(r, 3).delay_ns();
+            let d12 = RegFileDesign::new(r, 12).delay_ns();
+            assert!((d12 - d3) / d3 < 0.2, "ports should matter little");
+            assert!(d12 > d3, "...but not be free");
+        }
+    }
+
+    #[test]
+    fn area_grows_superlinearly_with_ports() {
+        for r in FIG3_REGISTERS {
+            let a3 = RegFileDesign::new(r, 3).area_mm2();
+            let a12 = RegFileDesign::new(r, 12).area_mm2();
+            // 4x the ports must cost clearly more than 2x the area.
+            assert!(a12 / a3 > 2.0, "registers={r}: {a3} -> {a12}");
+        }
+    }
+
+    #[test]
+    fn fig3_ranges_match_log_axes() {
+        // Fig. 3's area axis spans roughly 0.1..10 mm².
+        let min = RegFileDesign::new(16, 3).area_mm2();
+        let max = RegFileDesign::new(256, 12).area_mm2();
+        assert!(min > 0.05 && min < 0.3, "got {min}");
+        assert!(max > 4.0 && max < 10.0, "got {max}");
+        // Delay axis spans roughly 0.0..1.5 ns.
+        assert!(RegFileDesign::new(16, 3).delay_ns() < 1.0);
+        assert!(RegFileDesign::new(256, 12).delay_ns() < 1.5);
+    }
+
+    #[test]
+    fn density_falls_with_ports() {
+        let lo = RegFileDesign::new(128, 6).density();
+        let hi = RegFileDesign::new(128, 12).density();
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn ports_per_slot_rule() {
+        assert_eq!(RegFileDesign::for_issue_slots(4, 128).ports, 12);
+        assert_eq!(RegFileDesign::for_issue_slots(2, 64).ports, 6);
+    }
+
+    #[test]
+    fn fig3_dataset_is_complete() {
+        let rows = fig3_dataset();
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.delay_ns.len(), 4);
+            assert_eq!(row.area_mm2.len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ports")]
+    fn zero_ports_panics() {
+        RegFileDesign::new(16, 0);
+    }
+}

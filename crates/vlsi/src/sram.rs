@@ -1,0 +1,269 @@
+//! Local data-memory (SRAM) models (Fig. 4 and §3.1.3 of the paper).
+//!
+//! Two cell families are modeled:
+//!
+//! * [`SramFamily::HighSpeedMultiport`] — the scaleable 1–5-ported design
+//!   of Fig. 4, "optimized for high performance with many ports and thus
+//!   has rather low density" (≈400 bytes of 4-ported memory per mm²);
+//! * [`SramFamily::HighDensity`] — the specially designed 1- and 2-ported
+//!   high-density cells: "over 2600 bytes/mm² of single-ported memory or
+//!   over 2200 bytes/mm² of two-ported memory". These are what the
+//!   candidate datapaths use for their 8–32 KB local memories.
+//! * [`SramFamily::HighDensityFast`] — the larger-cell single-ported
+//!   variant used by `I2C16S5`, where the cell size is increased and the
+//!   pipeline-stage boundary moved past the decoder so a single 16 KB
+//!   memory meets the ~850 MHz clock "at a significant area penalty".
+//!
+//! Delay anchors (derived from the clock rates the paper achieves):
+//! a 32 KB single-ported high-density memory is the 650 MHz critical path
+//! (~1.44 ns); a 16 KB one misses the ~1.18 ns cycle of the 16-cluster
+//! machines, while 8 KB fits — which is exactly why `I2C16S4` splits its
+//! memory into two 8 KB banks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SRAM circuit family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SramFamily {
+    /// Fig. 4's fast, low-density, 1–5-ported design.
+    HighSpeedMultiport,
+    /// The dense 1–2-ported design used in the candidate datapaths.
+    HighDensity,
+    /// The enlarged-cell, decode-early single-ported variant of `I2C16S5`.
+    HighDensityFast,
+}
+
+impl fmt::Display for SramFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SramFamily::HighSpeedMultiport => "high-speed multiport",
+            SramFamily::HighDensity => "high-density",
+            SramFamily::HighDensityFast => "high-density fast-cell",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An SRAM design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramDesign {
+    /// Capacity in bytes.
+    pub bytes: u32,
+    /// Number of ports.
+    pub ports: u32,
+    /// Circuit family.
+    pub family: SramFamily,
+}
+
+impl SramDesign {
+    /// Creates a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` or `ports` is zero, if a high-density design asks
+    /// for more than 2 ports, if the fast-cell family is not single-ported,
+    /// or if a high-speed design asks for more than 5 ports.
+    pub fn new(bytes: u32, ports: u32, family: SramFamily) -> Self {
+        assert!(bytes > 0, "memory needs capacity");
+        assert!(ports > 0, "memory needs ports");
+        match family {
+            SramFamily::HighSpeedMultiport => {
+                assert!(ports <= 5, "high-speed family scales to 5 ports")
+            }
+            SramFamily::HighDensity => {
+                assert!(ports <= 2, "high-density family offers 1 or 2 ports")
+            }
+            SramFamily::HighDensityFast => {
+                assert!(ports == 1, "fast-cell family is single-ported")
+            }
+        }
+        SramDesign {
+            bytes,
+            ports,
+            family,
+        }
+    }
+
+    /// Access delay in nanoseconds.
+    pub fn delay_ns(&self) -> f64 {
+        let b = self.bytes as f64;
+        let p = self.ports as f64;
+        match self.family {
+            // Fig. 4: delay grows with log-capacity; the per-port penalty
+            // grows with capacity because every port lengthens the (already
+            // long) bit lines. "Performance degrades slightly less than
+            // would be expected as the number of ports grows" because the
+            // minimum cell transistor is scaled up with the port count.
+            SramFamily::HighSpeedMultiport => 0.2 + (0.055 + 0.045 * (p - 1.0)) * b.log2(),
+            // Dense cells drive long bit lines through minimum transistors:
+            // delay follows wire length ~ sqrt(capacity).
+            SramFamily::HighDensity => (0.35 + 0.006 * b.sqrt()) * (1.0 + 0.12 * (p - 1.0)),
+            // Larger cell + decode before the stage boundary: ~25% faster.
+            SramFamily::HighDensityFast => 0.35 + 0.0045 * b.sqrt(),
+        }
+    }
+
+    /// Area in square millimeters.
+    pub fn area_mm2(&self) -> f64 {
+        let b = self.bytes as f64;
+        match self.family {
+            // ~1600 B/mm² single-ported, falling inversely with ports:
+            // 400 B/mm² at 4 ports, matching §3.1.3.
+            SramFamily::HighSpeedMultiport => b * self.ports as f64 / 1600.0 + 0.2,
+            SramFamily::HighDensity => {
+                let density = if self.ports == 1 { 2600.0 } else { 2200.0 };
+                b / density + 0.3
+            }
+            SramFamily::HighDensityFast => b / 1900.0 + 0.3,
+        }
+    }
+
+    /// Storage density in bytes per square millimeter.
+    pub fn density(&self) -> f64 {
+        self.bytes as f64 / self.area_mm2()
+    }
+}
+
+/// The capacities plotted in Fig. 4 (2 B – 32 KB, powers of four).
+pub const FIG4_BYTES: [u32; 8] = [2, 8, 32, 128, 512, 2048, 8192, 32768];
+
+/// The port counts plotted in Fig. 4.
+pub const FIG4_PORTS: [u32; 5] = [1, 2, 3, 4, 5];
+
+/// One row of the Fig. 4 data: delay and area for every port count at a
+/// given capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Capacity in bytes.
+    pub bytes: u32,
+    /// Delay in ns for each port count, in [`FIG4_PORTS`] order.
+    pub delay_ns: Vec<f64>,
+    /// Area in mm² for each port count, in [`FIG4_PORTS`] order.
+    pub area_mm2: Vec<f64>,
+}
+
+/// Regenerates the full data set behind Fig. 4 (high-speed family).
+pub fn fig4_dataset() -> Vec<Fig4Row> {
+    FIG4_BYTES
+        .iter()
+        .map(|&bytes| {
+            let designs: Vec<SramDesign> = FIG4_PORTS
+                .iter()
+                .map(|&p| SramDesign::new(bytes, p, SramFamily::HighSpeedMultiport))
+                .collect();
+            Fig4Row {
+                bytes,
+                delay_ns: designs.iter().map(SramDesign::delay_ns).collect(),
+                area_mm2: designs.iter().map(SramDesign::area_mm2).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hd(bytes: u32, ports: u32) -> SramDesign {
+        SramDesign::new(bytes, ports, SramFamily::HighDensity)
+    }
+
+    #[test]
+    fn paper_anchor_high_density_densities() {
+        assert!(hd(32768, 1).density() > 2400.0, "\"over 2600 bytes/mm2\" gross");
+        assert!(hd(32768, 2).density() > 2000.0, "\"over 2200 bytes/mm2\" gross");
+    }
+
+    #[test]
+    fn paper_anchor_fig5_32kb_area() {
+        // Fig. 5: "32K Local RAM  12.9 mm2".
+        let a = hd(32768, 1).area_mm2();
+        assert!((a - 12.9).abs() < 0.2, "got {a}");
+    }
+
+    #[test]
+    fn paper_anchor_4ported_density_near_400() {
+        let d = SramDesign::new(8192, 4, SramFamily::HighSpeedMultiport).density();
+        assert!((350.0..450.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn paper_anchor_memory_speed_grades() {
+        // 650 MHz budget ~1.44 ns: 32 KB fits exactly (critical path).
+        assert!((hd(32768, 1).delay_ns() - 1.44).abs() < 0.05);
+        // ~850 MHz budget ~1.08 ns: 16 KB high-density misses, 8 KB fits.
+        assert!(hd(16384, 1).delay_ns() > 1.08);
+        assert!(hd(8192, 1).delay_ns() <= 1.08);
+        // The fast-cell 16 KB of I2C16S5 fits.
+        let fast = SramDesign::new(16384, 1, SramFamily::HighDensityFast);
+        assert!(fast.delay_ns() <= 1.08, "got {}", fast.delay_ns());
+    }
+
+    #[test]
+    fn fast_cell_costs_area() {
+        let dense = hd(16384, 1).area_mm2();
+        let fast = SramDesign::new(16384, 1, SramFamily::HighDensityFast).area_mm2();
+        assert!(fast > dense * 1.2, "significant area penalty: {dense} vs {fast}");
+    }
+
+    #[test]
+    fn delay_monotone_in_size_and_ports() {
+        for p in FIG4_PORTS {
+            let mut last = 0.0;
+            for b in FIG4_BYTES {
+                let d = SramDesign::new(b, p, SramFamily::HighSpeedMultiport).delay_ns();
+                assert!(d > last, "bytes={b} ports={p}");
+                last = d;
+            }
+        }
+        for b in FIG4_BYTES {
+            for p in 1..5 {
+                let d0 = SramDesign::new(b, p, SramFamily::HighSpeedMultiport).delay_ns();
+                let d1 = SramDesign::new(b, p + 1, SramFamily::HighSpeedMultiport).delay_ns();
+                assert!(d1 > d0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_axis_ranges() {
+        // Fig. 4 delay axis tops out near 5 ns (32 KB, 5 ports)...
+        let worst = SramDesign::new(32768, 5, SramFamily::HighSpeedMultiport).delay_ns();
+        assert!((3.0..5.0).contains(&worst), "got {worst}");
+        // ...and the area axis reaches ~100 mm².
+        let big = SramDesign::new(32768, 5, SramFamily::HighSpeedMultiport).area_mm2();
+        assert!((80.0..130.0).contains(&big), "got {big}");
+    }
+
+    #[test]
+    fn multiport_density_beats_nothing_high_density_wins() {
+        // The rationale for the high-density family (§3.1.3): at equal
+        // capacity the dense single-ported design is several times smaller.
+        let fast = SramDesign::new(8192, 1, SramFamily::HighSpeedMultiport);
+        let dense = hd(8192, 1);
+        assert!(dense.area_mm2() * 1.5 < fast.area_mm2());
+    }
+
+    #[test]
+    fn fig4_dataset_is_complete() {
+        let rows = fig4_dataset();
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert_eq!(r.delay_ns.len(), 5);
+            assert_eq!(r.area_mm2.len(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 2 ports")]
+    fn high_density_port_limit() {
+        hd(1024, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "5 ports")]
+    fn high_speed_port_limit() {
+        SramDesign::new(1024, 6, SramFamily::HighSpeedMultiport);
+    }
+}

@@ -1,0 +1,104 @@
+//! Technology constants for the experimental 0.25µ CMOS process.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Supply voltage used in all circuit simulations (§3.1).
+pub const SUPPLY_VOLTS: f64 = 3.0;
+
+/// Drawn gate length of the process, in microns.
+pub const FEATURE_MICRONS: f64 = 0.25;
+
+/// Metal layers used inside module layouts; upper layers are reserved for
+/// inter-module routing and power (§3.1).
+pub const MODULE_METAL_LAYERS: u32 = 2;
+
+/// Fixed clocking overhead added to the slowest pipeline stage (latch
+/// setup + skew), in nanoseconds. Calibrated so that the 32 KB local
+/// memory limits `I4C8S4` to the paper's 650 MHz target.
+pub const CLOCK_OVERHEAD_NS: f64 = 0.10;
+
+/// Output-driver transistor widths explored for the crossbar in Fig. 2,
+/// in microns.
+///
+/// Larger drivers charge the long crossbar wires faster at essentially the
+/// same area ("area requirements ... relatively insensitive to transistor
+/// size within the range of interest").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DriverSize {
+    /// 1.8 µm drivers.
+    W1_8,
+    /// 2.7 µm drivers.
+    W2_7,
+    /// 3.9 µm drivers.
+    W3_9,
+    /// 4.5 µm drivers.
+    W4_5,
+    /// 5.1 µm drivers (the preferred design's size).
+    W5_1,
+}
+
+impl DriverSize {
+    /// The five sizes of Fig. 2, smallest first.
+    pub const ALL: [DriverSize; 5] = [
+        DriverSize::W1_8,
+        DriverSize::W2_7,
+        DriverSize::W3_9,
+        DriverSize::W4_5,
+        DriverSize::W5_1,
+    ];
+
+    /// Driver width in microns.
+    pub fn microns(self) -> f64 {
+        match self {
+            DriverSize::W1_8 => 1.8,
+            DriverSize::W2_7 => 2.7,
+            DriverSize::W3_9 => 3.9,
+            DriverSize::W4_5 => 4.5,
+            DriverSize::W5_1 => 5.1,
+        }
+    }
+}
+
+impl Default for DriverSize {
+    /// The preferred (largest) driver used for the candidate datapaths.
+    fn default() -> Self {
+        DriverSize::W5_1
+    }
+}
+
+impl fmt::Display for DriverSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}u", self.microns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_sizes_match_fig2_legend() {
+        let widths: Vec<f64> = DriverSize::ALL.iter().map(|d| d.microns()).collect();
+        assert_eq!(widths, vec![1.8, 2.7, 3.9, 4.5, 5.1]);
+    }
+
+    #[test]
+    fn driver_sizes_ordered() {
+        for pair in DriverSize::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!(pair[0].microns() < pair[1].microns());
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(DriverSize::W5_1.to_string(), "5.1u");
+        assert_eq!(DriverSize::W1_8.to_string(), "1.8u");
+    }
+
+    #[test]
+    fn default_is_preferred_driver() {
+        assert_eq!(DriverSize::default(), DriverSize::W5_1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests: the VLSI model surfaces are physically sane —
+//! monotone in size/ports, positive everywhere, and free of pathological
+//! kinks across the whole parameter range (not just the plotted points).
+
+use proptest::prelude::*;
+use vsp_vlsi::crossbar::CrossbarDesign;
+use vsp_vlsi::regfile::RegFileDesign;
+use vsp_vlsi::sram::{SramDesign, SramFamily};
+use vsp_vlsi::tech::DriverSize;
+
+proptest! {
+    #[test]
+    fn crossbar_surface_is_monotone(ports in 2u32..128, d in 0usize..5) {
+        let driver = DriverSize::ALL[d];
+        let a = CrossbarDesign::new(ports, driver);
+        let b = CrossbarDesign::new(ports + 1, driver);
+        prop_assert!(a.delay_ns() > 0.0 && a.area_mm2() > 0.0);
+        prop_assert!(b.delay_ns() > a.delay_ns());
+        prop_assert!(b.area_mm2() > a.area_mm2());
+        prop_assert!(a.max_freq_mhz() > 0.0);
+    }
+
+    #[test]
+    fn regfile_surface_is_monotone(regs in 8u32..512, ports in 2u32..16) {
+        let a = RegFileDesign::new(regs, ports);
+        prop_assert!(a.delay_ns() > 0.0 && a.area_mm2() > 0.0);
+        prop_assert!(RegFileDesign::new(regs * 2, ports).delay_ns() > a.delay_ns());
+        prop_assert!(RegFileDesign::new(regs, ports + 1).area_mm2() > a.area_mm2());
+        prop_assert!(RegFileDesign::new(regs * 2, ports).area_mm2() > a.area_mm2() * 1.5);
+        prop_assert!(a.density() > 0.0);
+    }
+
+    #[test]
+    fn sram_surfaces_are_monotone(bytes_log2 in 3u32..15, ports in 1u32..5) {
+        let bytes = 1u32 << bytes_log2;
+        let a = SramDesign::new(bytes, ports, SramFamily::HighSpeedMultiport);
+        let bigger = SramDesign::new(bytes * 2, ports, SramFamily::HighSpeedMultiport);
+        let wider = SramDesign::new(bytes, ports + 1, SramFamily::HighSpeedMultiport);
+        prop_assert!(bigger.delay_ns() > a.delay_ns());
+        prop_assert!(bigger.area_mm2() > a.area_mm2());
+        prop_assert!(wider.delay_ns() > a.delay_ns());
+        prop_assert!(wider.area_mm2() > a.area_mm2());
+    }
+
+    #[test]
+    // From 512 B up (the regime §3.1.3 compares); below that the dense
+    // family's fixed decoder overhead dominates its cell advantage.
+    fn high_density_always_denser_than_high_speed(bytes_log2 in 9u32..15) {
+        let bytes = 1u32 << bytes_log2;
+        let dense = SramDesign::new(bytes, 1, SramFamily::HighDensity);
+        let fast = SramDesign::new(bytes, 1, SramFamily::HighSpeedMultiport);
+        prop_assert!(dense.density() > fast.density());
+    }
+
+    #[test]
+    // At the larger cluster-memory sizes (16-32 KB) the dense cells pay
+    // for their density in access time — the tradeoff behind I2C16S4's
+    // two-bank split and I2C16S5's enlarged fast cell (§3.2).
+    fn high_density_pays_in_speed_at_large_sizes(bytes_log2 in 14u32..16) {
+        let bytes = 1u32 << bytes_log2;
+        let dense = SramDesign::new(bytes, 1, SramFamily::HighDensity);
+        let fast = SramDesign::new(bytes, 1, SramFamily::HighSpeedMultiport);
+        prop_assert!(dense.delay_ns() > fast.delay_ns());
+    }
+}
+
+#[test]
+fn design_space_sweep_is_deterministic() {
+    use vsp_vlsi::explore::{sweep, Constraints};
+    let a = sweep(&Constraints::default());
+    let b = sweep(&Constraints::default());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.spec.name, y.spec.name);
+    }
+}
+
+#[test]
+fn tighter_constraints_never_add_candidates() {
+    use vsp_vlsi::explore::{sweep, Constraints};
+    let loose = Constraints::default();
+    let tight = Constraints {
+        max_area_mm2: loose.max_area_mm2 * 0.8,
+        min_freq_mhz: loose.min_freq_mhz + 100.0,
+        min_total_mem_bytes: loose.min_total_mem_bytes,
+    };
+    let loose_names: std::collections::HashSet<String> = sweep(&loose)
+        .into_iter()
+        .map(|c| c.spec.name)
+        .collect();
+    for c in sweep(&tight) {
+        assert!(loose_names.contains(&c.spec.name));
+    }
+}

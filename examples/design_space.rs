@@ -1,0 +1,53 @@
+//! Design-space exploration: sweep cluster/slot/storage configurations
+//! through the VLSI models and rank the feasible machines — the paper's
+//! step 2 ("candidate architectures are constructed based on the module
+//! cost and performance").
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use vsp::vlsi::explore::{sweep, Constraints};
+use vsp::vlsi::power;
+
+fn main() {
+    let constraints = Constraints::default();
+    println!(
+        "sweeping datapaths under {:.0} mm2, >= {:.0} MHz, >= {} KB data memory\n",
+        constraints.max_area_mm2,
+        constraints.min_freq_mhz,
+        constraints.min_total_mem_bytes / 1024
+    );
+    let candidates = sweep(&constraints);
+    println!(
+        "{:<22} {:>7} {:>9} {:>9} {:>9} {:>7}",
+        "candidate", "slots", "area", "clock", "peak", "power"
+    );
+    for c in candidates.iter().take(15) {
+        let p = power::estimate(&c.spec, &c.clock);
+        println!(
+            "{:<22} {:>4}x{:<2} {:>6.1}mm2 {:>6.0}MHz {:>5.1}GOPS {:>5.1}W",
+            c.spec.name,
+            c.spec.clusters,
+            c.spec.issue_slots,
+            c.area_mm2,
+            c.clock.freq_mhz(),
+            c.peak_gops,
+            p.total_watts(),
+        );
+    }
+    println!("\n({} feasible candidates total)", candidates.len());
+
+    // The paper's own design points, for reference.
+    println!("\nthe paper's candidates:");
+    for m in vsp::core::models::all_models() {
+        let spec = m.datapath_spec();
+        let clock = vsp::vlsi::clock::CycleTimeModel::new().estimate(&spec);
+        println!(
+            "  {:<12} {:>6.1} mm2 at {:>4.0} MHz",
+            m.name,
+            spec.datapath_area().total_mm2(),
+            clock.freq_mhz()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Quickstart: build a machine, price and clock it, schedule a tiny
+//! kernel, and execute the generated VLIW code on the cycle-accurate
+//! simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vsp::core::models;
+use vsp::ir::KernelBuilder;
+use vsp::isa::{AluBinOp, Reg};
+use vsp::sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp::sim::Simulator;
+use vsp::vlsi::clock::CycleTimeModel;
+
+fn main() {
+    // 1. The paper's initial design point.
+    let machine = models::i4c8s4();
+    println!("{machine}");
+    let spec = machine.datapath_spec();
+    let clock = CycleTimeModel::new().estimate(&spec);
+    println!(
+        "area {:.1} mm2, clock {:.0} MHz, peak {} ops/cycle",
+        spec.datapath_area().total_mm2(),
+        clock.freq_mhz(),
+        machine.peak_ops_per_cycle(),
+    );
+
+    // 2. A small kernel: acc = sum of |a[i] - b[i]| over 64 samples.
+    let mut b = KernelBuilder::new("sad64");
+    let a_arr = b.array("a", 64);
+    let b_arr = b.array("b", 64);
+    let acc = b.var("acc");
+    b.set(acc, 0);
+    b.count_loop("i", 0, 1, 64, |b, i| {
+        let x = b.load("x", a_arr, i);
+        let y = b.load("y", b_arr, i);
+        let d = b.bin_new("d", AluBinOp::AbsDiff, x, y);
+        b.bin(acc, AluBinOp::Add, acc, d);
+    });
+    let kernel = b.finish();
+
+    // 3. Lower and schedule the loop body for the machine.
+    let vsp::ir::Stmt::Loop(l) = &kernel.body[1] else {
+        unreachable!()
+    };
+    let layout = ArrayLayout::contiguous(&kernel, &machine).expect("fits local memory");
+    let body = lower_body(&machine, &kernel, &l.body, &layout).expect("flat body");
+    let deps = VopDeps::build(&machine, &body);
+    let sched = list_schedule(&machine, &body, &deps, 1).expect("schedulable");
+    println!(
+        "loop body: {} operations in {} cycles/iteration",
+        body.ops.len(),
+        sched.length
+    );
+
+    // 4. Generate VLIW code (replicated on 2 clusters) and simulate.
+    let generated = codegen_loop(
+        &machine,
+        &body,
+        &sched,
+        Some(LoopControl {
+            trip: 64,
+            index: Some((0, 0, 1)),
+        }),
+        2,
+        "sad64",
+    )
+    .expect("codegen");
+    let mut sim = Simulator::new(&machine, &generated.program).expect("valid program");
+    for cluster in 0..2u8 {
+        for i in 0..64u32 {
+            sim.mem_mut(cluster, 0).write(i, (i as i16) % 17);
+            sim.mem_mut(cluster, 0).write(64 + i, (i as i16) % 5);
+        }
+    }
+    let stats = sim.run(100_000).expect("halts");
+    let acc_phys = find_acc_reg(&generated, &body);
+    println!(
+        "simulated {} cycles, {:.2} ops/cycle; SAD = {}",
+        stats.cycles,
+        stats.ops_per_cycle(),
+        sim.reg(0, acc_phys)
+    );
+    let golden: i16 = (0..64i16).map(|i| ((i % 17) - (i % 5)).abs()).sum();
+    assert_eq!(sim.reg(0, acc_phys), golden, "simulator matches golden");
+    println!("matches the golden model ({golden})");
+}
+
+/// The accumulator is the live-in register the accumulate op both reads
+/// and writes; map its virtual register to the physical one.
+fn find_acc_reg(generated: &vsp::sched::codegen::GeneratedLoop, body: &vsp::sched::LoweredBody) -> Reg {
+    for op in &body.ops {
+        if let vsp::isa::OpKind::AluBin {
+            op: AluBinOp::Add,
+            dst,
+            a: vsp::isa::Operand::Reg(ar),
+            ..
+        } = op.kind
+        {
+            if dst == ar {
+                return generated.reg_of[dst.index()];
+            }
+        }
+    }
+    panic!("accumulator not found");
+}

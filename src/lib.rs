@@ -1,0 +1,41 @@
+//! `vsp` — a datapath design-space exploration toolkit for a VLIW video
+//! signal processor, reproducing *"Datapath Design for a VLIW Video
+//! Signal Processor"* (HPCA 1997).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`isa`] — the 16-bit VLIW instruction set;
+//! * [`vlsi`] — calibrated 0.25µ megacell delay/area models (Figs. 2–5);
+//! * [`core`] — the cluster-based machine models (`I4C8S4` … `I2C16S5M16`);
+//! * [`sim`] — the cycle-accurate simulator;
+//! * [`ir`] — the kernel IR and compiler transforms;
+//! * [`sched`] — list and modulo (software-pipelining) schedulers plus
+//!   code generation;
+//! * [`kernels`] — the six MPEG kernels, golden models, workloads and
+//!   the Table 1/2 variant recipes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vsp::core::models;
+//! use vsp::vlsi::clock::CycleTimeModel;
+//!
+//! let machine = models::i4c8s4();
+//! let clock = CycleTimeModel::new().estimate(&machine.datapath_spec());
+//! assert!(clock.freq_mhz() > 600.0);
+//! ```
+//!
+//! See `examples/` for end-to-end walks: scheduling a kernel, running it
+//! on the simulator, exploring the design space, and regenerating the
+//! paper's tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vsp_core as core;
+pub use vsp_ir as ir;
+pub use vsp_isa as isa;
+pub use vsp_kernels as kernels;
+pub use vsp_sched as sched;
+pub use vsp_sim as sim;
+pub use vsp_vlsi as vlsi;

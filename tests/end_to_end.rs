@@ -1,0 +1,240 @@
+//! End-to-end integration: kernel IR → transforms → lowering →
+//! scheduling → code generation → cycle-accurate simulation, checked
+//! against the golden models.
+
+use vsp::core::models;
+use vsp::core::MachineConfig;
+use vsp::ir::Stmt;
+use vsp::kernels::golden::motion::sad_16x16;
+use vsp::kernels::ir::{sad_16x16_kernel, SadKernel};
+use vsp::kernels::workload::synthetic_luma_frame;
+use vsp::sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp::sim::Simulator;
+
+/// Stages a current/reference block pair into the kernel's pixel-buffer
+/// layout (current at 0, reference at 256).
+fn staged_blocks(seed_pair: (u64, u64), dx: i32, dy: i32) -> (Vec<i16>, u32) {
+    let (cw, ch) = (64usize, 48usize);
+    let cur = synthetic_luma_frame(cw, ch, seed_pair.0);
+    let reference = synthetic_luma_frame(cw, ch, seed_pair.1);
+    let (cx, cy) = (16usize, 16usize);
+    let golden = sad_16x16(&cur, &reference, cw, cx, cy, dx, dy);
+    let mut buf = vec![0i16; 512];
+    let rx = (cx as i32 + dx) as usize;
+    let ry = (cy as i32 + dy) as usize;
+    for r in 0..16 {
+        for c in 0..16 {
+            buf[r * 16 + c] = cur[(cy + r) * cw + cx + c];
+            buf[256 + r * 16 + c] = reference[(ry + r) * cw + rx + c];
+        }
+    }
+    (buf, golden)
+}
+
+/// Compiles the SAD kernel for `machine` (row loop list-scheduled, column
+/// loop fully unrolled), runs it on the simulator, and returns the
+/// accumulator value.
+fn run_sad_on(machine: &MachineConfig, sad: &SadKernel, buf: &[i16], replicas: u32) -> i16 {
+    let mut k = sad.kernel.clone();
+    vsp::ir::transform::fully_unroll_innermost(&mut k);
+    vsp::ir::transform::eliminate_common_subexpressions(&mut k);
+    let Some(Stmt::Loop(l)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+        panic!("row loop expected");
+    };
+    let layout = ArrayLayout::contiguous(&k, machine).expect("fits");
+    let body = lower_body(machine, &k, &l.body, &layout).expect("flat");
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1).expect("schedulable");
+    // The induction variable `r` is the first-touched virtual register.
+    let generated = codegen_loop(
+        machine,
+        &body,
+        &sched,
+        Some(LoopControl {
+            trip: 16,
+            index: Some((0, 0, 1)),
+        }),
+        replicas,
+        "sad-e2e",
+    )
+    .expect("codegen");
+
+    let mut sim = Simulator::new(machine, &generated.program).expect("valid");
+    for cluster in 0..replicas as u8 {
+        // Arrays may be spread across banks per the layout.
+        for (i, &v) in buf.iter().enumerate() {
+            let (bank, base) = layout.entries[sad.pixels.0 as usize];
+            let _ = (bank, base);
+            // Single pixels array: always bank/base from the layout.
+            let addr = base as u32 + i as u32;
+            assert!(sim.mem_mut(cluster, bank.0).write(addr, v));
+        }
+    }
+    let stats = sim.run(1_000_000).expect("halts");
+    assert!(stats.cycles > 0);
+
+    // The accumulator: the AluBin Add whose dst equals one source.
+    let acc_vreg = body
+        .ops
+        .iter()
+        .find_map(|op| match op.kind {
+            vsp::isa::OpKind::AluBin {
+                op: vsp::isa::AluBinOp::Add,
+                dst,
+                a: vsp::isa::Operand::Reg(a),
+                ..
+            } if dst == a => Some(dst),
+            _ => None,
+        })
+        .expect("accumulator op");
+    sim.reg(0, generated.reg_of[acc_vreg.index()])
+}
+
+#[test]
+fn scheduled_sad_matches_golden_on_every_base_model() {
+    let sad = sad_16x16_kernel();
+    let (buf, golden) = staged_blocks((11, 12), 3, -2);
+    for machine in models::table1_models() {
+        let got = run_sad_on(&machine, &sad, &buf, 1);
+        assert_eq!(got as u32, golden, "{}", machine.name);
+    }
+}
+
+#[test]
+fn scheduled_sad_matches_on_m16_and_dualport_models() {
+    let sad = sad_16x16_kernel();
+    let (buf, golden) = staged_blocks((31, 32), -5, 4);
+    for machine in [
+        models::i4c8s5m16(),
+        models::i2c16s5m16(),
+        models::i4c8s4_dualport(),
+        models::with_absdiff(models::i4c8s4()),
+    ] {
+        let got = run_sad_on(&machine, &sad, &buf, 1);
+        assert_eq!(got as u32, golden, "{}", machine.name);
+    }
+}
+
+#[test]
+fn replicated_clusters_compute_identical_sads() {
+    let machine = models::i4c8s4();
+    let sad = sad_16x16_kernel();
+    let (buf, golden) = staged_blocks((7, 8), 0, 0);
+
+    let mut k = sad.kernel.clone();
+    vsp::ir::transform::fully_unroll_innermost(&mut k);
+    let Some(Stmt::Loop(l)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+        panic!()
+    };
+    let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+    let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+    let deps = VopDeps::build(&machine, &body);
+    let sched = list_schedule(&machine, &body, &deps, 1).unwrap();
+    let generated = codegen_loop(
+        &machine,
+        &body,
+        &sched,
+        Some(LoopControl {
+            trip: 16,
+            index: Some((0, 0, 1)),
+        }),
+        8,
+        "sad-simd",
+    )
+    .unwrap();
+    let mut sim = Simulator::new(&machine, &generated.program).unwrap();
+    for cluster in 0..8u8 {
+        for (i, &v) in buf.iter().enumerate() {
+            sim.mem_mut(cluster, 0).write(i as u32, v);
+        }
+    }
+    let stats = sim.run(1_000_000).unwrap();
+    let acc_vreg = body
+        .ops
+        .iter()
+        .find_map(|op| match op.kind {
+            vsp::isa::OpKind::AluBin {
+                op: vsp::isa::AluBinOp::Add,
+                dst,
+                a: vsp::isa::Operand::Reg(a),
+                ..
+            } if dst == a => Some(dst),
+            _ => None,
+        })
+        .unwrap();
+    for cluster in 0..8u8 {
+        assert_eq!(
+            sim.reg(cluster, generated.reg_of[acc_vreg.index()]) as u32,
+            golden,
+            "cluster {cluster}"
+        );
+    }
+    // 8 clusters working: utilization well above a single cluster's share.
+    assert!(stats.utilization() > 0.25, "{}", stats.utilization());
+}
+
+#[test]
+fn generated_kernels_fit_the_instruction_cache() {
+    // §3.2: "essentially, all critical loops must fit into the cache".
+    let sad = sad_16x16_kernel();
+    for machine in models::all_models() {
+        let mut k = sad.kernel.clone();
+        vsp::ir::transform::fully_unroll_innermost(&mut k);
+        let Some(Stmt::Loop(l)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+            panic!()
+        };
+        let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+        let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+        let deps = VopDeps::build(&machine, &body);
+        let sched = list_schedule(&machine, &body, &deps, 1).unwrap();
+        let generated = codegen_loop(
+            &machine,
+            &body,
+            &sched,
+            Some(LoopControl {
+                trip: 16,
+                index: Some((0, 0, 1)),
+            }),
+            1,
+            "sad-icache",
+        )
+        .unwrap();
+        assert!(
+            generated.program.len() <= machine.icache_words as usize,
+            "{}: {} words",
+            machine.name,
+            generated.program.len()
+        );
+        vsp::core::validate::validate_program_with(
+            &machine,
+            &generated.program,
+            vsp::core::validate::ValidateOptions {
+                require_icache_fit: true,
+            },
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn assembly_round_trips_generated_code() {
+    let machine = models::i2c16s5();
+    let sad = sad_16x16_kernel();
+    let mut k = sad.kernel.clone();
+    vsp::ir::transform::fully_unroll_innermost(&mut k);
+    let Some(Stmt::Loop(l)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+        panic!()
+    };
+    let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+    let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+    let deps = VopDeps::build(&machine, &body);
+    let sched = list_schedule(&machine, &body, &deps, 1).unwrap();
+    let generated = codegen_loop(&machine, &body, &sched, None, 1, "sad-asm").unwrap();
+
+    let text = vsp::isa::asm::print(&generated.program);
+    let parsed = vsp::isa::asm::parse(&text).expect("parses");
+    assert_eq!(parsed.len(), generated.program.len());
+    for i in 0..parsed.len() {
+        assert_eq!(parsed.word(i), generated.program.word(i), "word {i}");
+    }
+}

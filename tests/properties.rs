@@ -1,0 +1,245 @@
+//! Property-based tests over the whole stack: assembler round trips,
+//! semantics-preserving transforms on randomized kernels, scheduler
+//! legality on randomized bodies, and scheduled-code equivalence on
+//! randomized inputs.
+
+use proptest::prelude::*;
+use vsp::core::models;
+use vsp::ir::{Interpreter, KernelBuilder, Stmt};
+use vsp::isa::{AluBinOp, CmpOp};
+use vsp::sched::{list_schedule, lower_body, modulo_schedule, ArrayLayout, VopDeps};
+
+// ---------------------------------------------------------------------
+// Assembler round trip
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn asm_round_trips_random_straightline_programs(ops in proptest::collection::vec((0u8..8, 0u8..4, 0u16..64, -100i16..100), 1..40)) {
+        use vsp::isa::{OpKind, Operand, Operation, Program, Reg};
+        let mut p = Program::new("prop");
+        for chunk in ops.chunks(4) {
+            let mut word = vec![];
+            let mut used = std::collections::HashSet::new();
+            for &(c, s, r, imm) in chunk {
+                if !used.insert((c, s)) {
+                    continue;
+                }
+                word.push(Operation::new(c, s, OpKind::AluBin {
+                    op: AluBinOp::Add,
+                    dst: Reg(r),
+                    a: Operand::Reg(Reg(r / 2)),
+                    b: Operand::Imm(imm),
+                }));
+            }
+            p.push_word(word);
+        }
+        let text = vsp::isa::asm::print(&p);
+        let parsed = vsp::isa::asm::parse(&text).unwrap();
+        prop_assert_eq!(parsed.len(), p.len());
+        for i in 0..p.len() {
+            prop_assert_eq!(parsed.word(i), p.word(i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transform semantic preservation on a randomized reduction kernel
+// ---------------------------------------------------------------------
+
+/// Builds a randomized two-level reduction kernel with conditionals:
+/// for i in 0..outer: for j in 0..inner { t = a[base+j] op k; acc += t }
+fn random_kernel(
+    op: AluBinOp,
+    konst: i16,
+    inner: u32,
+    with_if: bool,
+) -> (vsp::ir::Kernel, vsp::ir::ArrayId, vsp::ir::VarId) {
+    let mut b = KernelBuilder::new("prop");
+    let a = b.array("a", 64);
+    let acc = b.var("acc");
+    b.set(acc, 0);
+    let inner = inner.max(1);
+    b.count_loop("i", 0, inner as i16, 64 / inner, |b, i| {
+        b.count_loop("j", 0, 1, inner, |b, j| {
+            let x = b.load("x", a, vsp::ir::IndexExpr::Sum(i, j));
+            let t = b.bin_new("t", op, x, konst);
+            if with_if {
+                let p = b.cmp_new("p", CmpOp::Gt, t, 0i16);
+                b.if_else(
+                    p,
+                    |b| {
+                        b.bin(acc, AluBinOp::Add, acc, t);
+                    },
+                    |b| {
+                        b.bin(acc, AluBinOp::Sub, acc, 1i16);
+                    },
+                );
+            } else {
+                b.bin(acc, AluBinOp::Add, acc, t);
+            }
+        });
+    });
+    (b.finish(), a, acc)
+}
+
+fn interp_result(k: &vsp::ir::Kernel, a: vsp::ir::ArrayId, acc: vsp::ir::VarId, data: &[i16]) -> i16 {
+    let mut i = Interpreter::new(k);
+    i.set_array(a, data.to_vec());
+    i.run().unwrap();
+    i.var_value(acc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transform_pipeline_preserves_semantics(
+        data in proptest::collection::vec(-128i16..127, 64..=64),
+        op in prop_oneof![Just(AluBinOp::Add), Just(AluBinOp::Sub), Just(AluBinOp::Xor), Just(AluBinOp::Min), Just(AluBinOp::Max)],
+        konst in -20i16..20,
+        inner in prop_oneof![Just(2u32), Just(4), Just(8)],
+        with_if in any::<bool>(),
+        unroll in prop_oneof![Just(1u32), Just(2), Just(4)],
+    ) {
+        let (k0, a, acc) = random_kernel(op, konst, inner, with_if);
+        let expect = interp_result(&k0, a, acc, &data);
+
+        let mut k = k0.clone();
+        vsp::ir::transform::if_convert(&mut k);
+        if unroll > 1 {
+            vsp::ir::transform::unroll_innermost(&mut k, unroll);
+        }
+        vsp::ir::transform::eliminate_common_subexpressions(&mut k);
+        vsp::ir::transform::reduce_strength(&mut k);
+        vsp::ir::transform::hoist_invariants(&mut k);
+        prop_assert_eq!(interp_result(&k, a, acc, &data), expect);
+    }
+
+    #[test]
+    fn full_unroll_preserves_semantics(
+        data in proptest::collection::vec(-100i16..100, 64..=64),
+        op in prop_oneof![Just(AluBinOp::Add), Just(AluBinOp::And), Just(AluBinOp::Or)],
+        konst in -20i16..20,
+    ) {
+        let (k0, a, acc) = random_kernel(op, konst, 8, false);
+        let expect = interp_result(&k0, a, acc, &data);
+        let mut k = k0.clone();
+        vsp::ir::transform::fully_unroll_innermost(&mut k);
+        vsp::ir::transform::fully_unroll_innermost(&mut k);
+        prop_assert!(!k.body.iter().any(Stmt::has_loop));
+        prop_assert_eq!(interp_result(&k, a, acc, &data), expect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler legality on randomized bodies
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn modulo_schedules_are_legal(
+        konst in -20i16..20,
+        inner in prop_oneof![Just(4u32), Just(8)],
+        machine_idx in 0usize..5,
+        with_if in any::<bool>(),
+    ) {
+        let machines = models::table1_models();
+        let machine = &machines[machine_idx];
+        let (mut k, _, _) = random_kernel(AluBinOp::Add, konst, inner, with_if);
+        vsp::ir::transform::if_convert(&mut k);
+        // The inner loop body must be flat now.
+        let Some(Stmt::Loop(outer)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+            unreachable!()
+        };
+        let Some(Stmt::Loop(innerl)) = outer.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+            unreachable!()
+        };
+        let layout = ArrayLayout::contiguous(&k, machine).unwrap();
+        let body = lower_body(machine, &k, &innerl.body, &layout).unwrap();
+        let deps = VopDeps::build(machine, &body);
+        let ms = modulo_schedule(machine, &body, &deps, 1, 32).expect("schedulable");
+
+        // Dependence legality.
+        for e in &deps.edges {
+            let mut delay = i64::from(e.min_delay);
+            if e.min_delay > 0 && ms.placements[e.from].0 != ms.placements[e.to].0 {
+                delay += i64::from(machine.pipeline.xfer_latency);
+            }
+            prop_assert!(
+                i64::from(ms.times[e.to])
+                    >= i64::from(ms.times[e.from]) + delay
+                        - i64::from(ms.ii) * i64::from(e.distance)
+            );
+        }
+        // Resource legality: replay every modulo row.
+        let mut rows: Vec<vsp::core::CycleReservation> =
+            (0..ms.ii).map(|_| vsp::core::CycleReservation::new(machine)).collect();
+        for (i, op) in body.ops.iter().enumerate() {
+            let (c, s) = ms.placements[i];
+            let concrete = vsp::isa::Operation {
+                cluster: c,
+                slot: s,
+                guard: op.guard,
+                kind: op.kind.clone(),
+            };
+            rows[(ms.times[i] % ms.ii) as usize]
+                .try_reserve(machine, &concrete)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn list_schedules_are_legal(
+        konst in -20i16..20,
+        machine_idx in 0usize..5,
+    ) {
+        let machines = models::table1_models();
+        let machine = &machines[machine_idx];
+        let (mut k, _, _) = random_kernel(AluBinOp::Add, konst, 8, false);
+        vsp::ir::transform::fully_unroll_innermost(&mut k);
+        let Some(Stmt::Loop(outer)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+            unreachable!()
+        };
+        let layout = ArrayLayout::contiguous(&k, machine).unwrap();
+        let body = lower_body(machine, &k, &outer.body, &layout).unwrap();
+        let deps = VopDeps::build(machine, &body);
+        let ls = list_schedule(machine, &body, &deps, 1).expect("schedulable");
+        for e in &deps.edges {
+            if e.distance == 0 {
+                prop_assert!(ls.times[e.to] >= ls.times[e.from] + e.min_delay);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// VBR bit-length model against the golden encoder on random blocks
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vbr_ir_matches_golden_on_random_blocks(
+        levels in proptest::collection::vec((-120i16..=120, 0.0f64..1.0), 64..=64),
+        threshold in 0.55f64..0.95,
+    ) {
+        let mut block = [0i16; 64];
+        for (i, (level, keep)) in levels.iter().enumerate() {
+            if *keep > threshold && *level != 0 {
+                block[i] = *level;
+            }
+        }
+        let mut w = vsp::kernels::golden::vbr::BitWriter::new();
+        vsp::kernels::golden::vbr::encode_block(&block, &mut w);
+
+        let k = vsp::kernels::ir::vbr_block_kernel();
+        let mut interp = Interpreter::new(&k.kernel);
+        interp.set_array(k.block, block.to_vec());
+        interp.run().unwrap();
+        prop_assert_eq!(interp.var_value(k.bits), w.bit_len() as i16);
+    }
+}
