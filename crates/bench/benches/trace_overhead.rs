@@ -1,0 +1,75 @@
+//! Guards the zero-cost claim of the tracing layer: simulating with the
+//! default `NullSink` must run at the same speed as the pre-trace
+//! simulator (the disabled sink compiles away), while a live
+//! `MemorySink` shows the real cost of recording every event.
+//!
+//! Compare `simulator/null_sink` against `simulator/memory_sink` in the
+//! report; the first should match `simulator_throughput`'s numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vsp_core::models;
+use vsp_ir::Stmt;
+use vsp_kernels::ir::sad_16x16_kernel;
+use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp_sim::Simulator;
+use vsp_trace::MemorySink;
+
+fn bench(c: &mut Criterion) {
+    let machine = models::i4c8s4();
+    let sad = sad_16x16_kernel();
+    let mut k = sad.kernel.clone();
+    vsp_ir::transform::fully_unroll_innermost(&mut k);
+    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+    let Stmt::Loop(l) = k
+        .body
+        .iter()
+        .find(|s| matches!(s, Stmt::Loop(_)))
+        .expect("row loop")
+    else {
+        unreachable!()
+    };
+    let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+    let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+    let deps = VopDeps::build(&machine, &body);
+    let sched = list_schedule(&machine, &body, &deps, 1).unwrap();
+    let generated = codegen_loop(
+        &machine,
+        &body,
+        &sched,
+        Some(LoopControl {
+            trip: 16,
+            index: Some((0, 0, 1)),
+        }),
+        machine.clusters,
+        "trace-overhead",
+    )
+    .unwrap();
+
+    let cycles = {
+        let mut sim = Simulator::new(&machine, &generated.program).unwrap();
+        sim.run(1_000_000).unwrap().cycles
+    };
+
+    let mut g = c.benchmark_group("trace_overhead");
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&machine, black_box(&generated.program)).unwrap();
+            sim.run(1_000_000).unwrap().cycles
+        })
+    });
+    g.bench_function("memory_sink", |b| {
+        let mut sink = MemorySink::with_capacity(1 << 16);
+        b.iter(|| {
+            sink.clear();
+            let mut sim =
+                Simulator::with_sink(&machine, black_box(&generated.program), &mut sink).unwrap();
+            sim.run(1_000_000).unwrap().cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

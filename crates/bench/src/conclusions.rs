@@ -111,7 +111,10 @@ pub fn compute() -> Conclusions {
 impl std::fmt::Display for Conclusions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Conclusions (paper section 4, recomputed):")?;
-        writeln!(f, "real-time full-motion-search compute share (paper 33%-46%):")?;
+        writeln!(
+            f,
+            "real-time full-motion-search compute share (paper 33%-46%):"
+        )?;
         for (m, s) in &self.full_search_compute_share {
             writeln!(f, "  {m:<10} {:.0}%", s * 100.0)?;
         }

@@ -43,7 +43,11 @@ pub fn fig2() -> String {
 /// Fig. 3: register-file delay and area vs. registers and ports.
 pub fn fig3() -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 3: Delay and Area for 16-bit multiported local register files").unwrap();
+    writeln!(
+        out,
+        "Fig. 3: Delay and Area for 16-bit multiported local register files"
+    )
+    .unwrap();
     write!(out, "{:>6}", "regs").unwrap();
     for p in FIG3_PORTS {
         write!(out, " | {:>9}", format!("d {p}p")).unwrap();
@@ -68,7 +72,11 @@ pub fn fig3() -> String {
 /// Fig. 4: SRAM delay and area vs. capacity and ports.
 pub fn fig4() -> String {
     let mut out = String::new();
-    writeln!(out, "Fig. 4: Delay and Area for multiported high-speed SRAM").unwrap();
+    writeln!(
+        out,
+        "Fig. 4: Delay and Area for multiported high-speed SRAM"
+    )
+    .unwrap();
     write!(out, "{:>6}", "bytes").unwrap();
     for p in FIG4_PORTS {
         write!(out, " | {:>9}", format!("d {p}p")).unwrap();

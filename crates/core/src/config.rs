@@ -284,8 +284,7 @@ impl MachineConfig {
             mem_banks: self.cluster.banks.len() as u32,
             mem: SramDesign::new(bank_bytes, mem_ports, family),
             pipeline,
-            fused_addr_mem: self.addressing == Addressing::Complex
-                && self.pipeline.stages == 4,
+            fused_addr_mem: self.addressing == Addressing::Complex && self.pipeline.stages == 4,
             crossbar: CrossbarDesign::new(
                 self.clusters * self.cluster.xbar_ports,
                 DriverSize::W5_1,

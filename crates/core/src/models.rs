@@ -117,7 +117,10 @@ pub fn i2c16s4() -> MachineConfig {
         name: "I2C16S4".into(),
         clusters: 16,
         cluster: narrow_cluster(
-            vec![MemBankConfig::single_ported(4096), MemBankConfig::single_ported(4096)],
+            vec![
+                MemBankConfig::single_ported(4096),
+                MemBankConfig::single_ported(4096),
+            ],
             BankBinding::PerSlot,
         ),
         pipeline: PipelineConfig {
@@ -275,7 +278,11 @@ mod tests {
         let expect = [1.0, 0.6, 0.95, 1.3, 1.3];
         for (m, e) in table1_models().iter().zip(expect) {
             let r = m.relative_clock(&base);
-            assert!((r - e).abs() < 0.07, "{}: expected ~{e}, got {r:.3}", m.name);
+            assert!(
+                (r - e).abs() < 0.07,
+                "{}: expected ~{e}, got {r:.3}",
+                m.name
+            );
         }
     }
 

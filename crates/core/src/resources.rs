@@ -44,14 +44,20 @@ impl fmt::Display for ReserveError {
             }
             ReserveError::SlotBusy(c, s) => write!(f, "slot c{c}.s{s} already issued this cycle"),
             ReserveError::NotControlSlot(c, s) => {
-                write!(f, "c{c}.s{s} is not the control slot; branches issue from it only")
+                write!(
+                    f,
+                    "c{c}.s{s} is not the control slot; branches issue from it only"
+                )
             }
             ReserveError::XbarPortsExhausted(c) => {
                 write!(f, "cluster {c} has no free crossbar port this cycle")
             }
             ReserveError::NoSuchBank(c, b) => write!(f, "cluster {c} has no bank m{b}"),
             ReserveError::BankSlotMismatch(c, s, b) => {
-                write!(f, "slot c{c}.s{s} cannot reach bank m{b} (per-slot binding)")
+                write!(
+                    f,
+                    "slot c{c}.s{s} cannot reach bank m{b} (per-slot binding)"
+                )
             }
             ReserveError::BankBusy(c, b) => {
                 write!(f, "bank c{c}.m{b} port already used this cycle")
@@ -170,7 +176,9 @@ impl CycleReservation {
                     self.xfer_used[*from as usize] += 1;
                 }
             }
-            OpKind::Load { bank, .. } | OpKind::Store { bank, .. } | OpKind::MemCtl { bank, .. } => {
+            OpKind::Load { bank, .. }
+            | OpKind::Store { bank, .. }
+            | OpKind::MemCtl { bank, .. } => {
                 let b = bank.index();
                 let banks = &mut self.bank_used[cluster as usize];
                 if b >= banks.len() {
@@ -356,7 +364,10 @@ mod tests {
             Err(ReserveError::NotControlSlot(1, 4))
         );
         r.try_reserve(&m, &br(0, 4)).unwrap();
-        assert_eq!(r.try_reserve(&m, &br(0, 4)), Err(ReserveError::SlotBusy(0, 4)));
+        assert_eq!(
+            r.try_reserve(&m, &br(0, 4)),
+            Err(ReserveError::SlotBusy(0, 4))
+        );
     }
 
     #[test]
@@ -367,7 +378,10 @@ mod tests {
             r.try_reserve(&m, &add(8, 0)),
             Err(ReserveError::NoSuchCluster(8))
         );
-        assert_eq!(r.try_reserve(&m, &add(0, 4)), Err(ReserveError::NoSuchSlot(0, 4)));
+        assert_eq!(
+            r.try_reserve(&m, &add(0, 4)),
+            Err(ReserveError::NoSuchSlot(0, 4))
+        );
         assert_eq!(
             r.try_reserve(&m, &ld(0, 2, 1)),
             Err(ReserveError::NoSuchBank(0, 1))
@@ -378,7 +392,8 @@ mod tests {
     fn nop_consumes_nothing() {
         let m = models::i4c8s4();
         let mut r = CycleReservation::new(&m);
-        r.try_reserve(&m, &Operation::new(0, 0, OpKind::Nop)).unwrap();
+        r.try_reserve(&m, &Operation::new(0, 0, OpKind::Nop))
+            .unwrap();
         r.try_reserve(&m, &add(0, 0)).unwrap();
     }
 }

@@ -155,30 +155,34 @@ pub fn validate_program_with(
 
             match &op.kind {
                 OpKind::Load { addr, .. } | OpKind::Store { addr, .. }
-                    if !machine.supports_addr(*addr) => {
-                        errors.push(err(ViolationKind::UnsupportedAddressing(*addr)));
-                    }
+                    if !machine.supports_addr(*addr) =>
+                {
+                    errors.push(err(ViolationKind::UnsupportedAddressing(*addr)));
+                }
                 OpKind::Mul { kind, .. }
-                    if kind.is_wide() && machine.mul_width == crate::config::MulWidth::Eight => {
-                        errors.push(err(ViolationKind::WideMulUnsupported(*kind)));
-                    }
+                    if kind.is_wide() && machine.mul_width == crate::config::MulWidth::Eight =>
+                {
+                    errors.push(err(ViolationKind::WideMulUnsupported(*kind)));
+                }
                 OpKind::AluBin {
                     op: AluBinOp::AbsDiff,
                     ..
+                } if !machine.has_absdiff => {
+                    errors.push(err(ViolationKind::AbsDiffUnsupported));
                 }
-                    if !machine.has_absdiff => {
-                        errors.push(err(ViolationKind::AbsDiffUnsupported));
-                    }
-                OpKind::Branch { pred, sense, target } => {
+                OpKind::Branch {
+                    pred,
+                    sense,
+                    target,
+                } => {
                     let _ = (pred, sense);
                     if *target >= program.len() {
                         errors.push(err(ViolationKind::BadTarget(*target)));
                     }
                 }
-                OpKind::Jump { target }
-                    if *target >= program.len() => {
-                        errors.push(err(ViolationKind::BadTarget(*target)));
-                    }
+                OpKind::Jump { target } if *target >= program.len() => {
+                    errors.push(err(ViolationKind::BadTarget(*target)));
+                }
                 OpKind::Cmp { a, b, .. } => {
                     // operand regs already checked through use_regs
                     let _ = (a, b);

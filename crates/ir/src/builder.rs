@@ -291,11 +291,7 @@ mod tests {
         let mut b = KernelBuilder::new("t");
         let x = b.var("x");
         let p = b.cmp_new("p", CmpOp::Lt, x, 0i16);
-        b.if_else(
-            p,
-            |b| b.set(x, 1),
-            |b| b.set(x, 2),
-        );
+        b.if_else(p, |b| b.set(x, 1), |b| b.set(x, 2));
         let k = b.finish();
         match &k.body[1] {
             Stmt::If {

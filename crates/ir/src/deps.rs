@@ -228,9 +228,8 @@ fn provably_distinct(a: IndexExpr, b: IndexExpr) -> bool {
     match (a, b) {
         (IndexExpr::Const(x), IndexExpr::Const(y)) => x != y,
         (IndexExpr::Offset(v, x), IndexExpr::Offset(w, y)) => v == w && x != y,
-        (IndexExpr::Var(v), IndexExpr::Offset(w, y)) | (IndexExpr::Offset(w, y), IndexExpr::Var(v)) => {
-            v == w && y != 0
-        }
+        (IndexExpr::Var(v), IndexExpr::Offset(w, y))
+        | (IndexExpr::Offset(w, y), IndexExpr::Var(v)) => v == w && y != 0,
         _ => false,
     }
 }
@@ -245,7 +244,11 @@ mod tests {
         let expr = match uses {
             [] => Expr::Un(AluUnOp::Mov, Rvalue::Const(0)),
             [a] => Expr::Un(AluUnOp::Mov, Rvalue::Var(VarId(*a))),
-            [a, b, ..] => Expr::Bin(AluBinOp::Add, Rvalue::Var(VarId(*a)), Rvalue::Var(VarId(*b))),
+            [a, b, ..] => Expr::Bin(
+                AluBinOp::Add,
+                Rvalue::Var(VarId(*a)),
+                Rvalue::Var(VarId(*b)),
+            ),
         };
         Stmt::Assign {
             dst: VarId(dst),

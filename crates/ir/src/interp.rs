@@ -50,7 +50,11 @@ impl Interpreter {
     pub fn new(kernel: &Kernel) -> Self {
         Interpreter {
             vars: vec![0; kernel.var_count as usize],
-            arrays: kernel.arrays.iter().map(|a| vec![0; a.len as usize]).collect(),
+            arrays: kernel
+                .arrays
+                .iter()
+                .map(|a| vec![0; a.len as usize])
+                .collect(),
             kernel: kernel.clone(),
         }
     }
@@ -170,9 +174,7 @@ impl Interpreter {
             IndexExpr::Const(c) => i32::from(c),
             IndexExpr::Var(v) => i32::from(self.vars[v.0 as usize]),
             IndexExpr::Sum(v, w) => {
-                i32::from(
-                    self.vars[v.0 as usize].wrapping_add(self.vars[w.0 as usize]),
-                )
+                i32::from(self.vars[v.0 as usize].wrapping_add(self.vars[w.0 as usize]))
             }
             IndexExpr::Offset(v, c) => i32::from(self.vars[v.0 as usize].wrapping_add(c)),
         }
@@ -187,9 +189,7 @@ impl Interpreter {
                 ((i32::from(self.rvalue(*a)) * i32::from(self.rvalue(*b))) & 0xffff) as u16 as i16
             }
             Expr::Mul8(kind, a, b) => semantics::mul(*kind, self.rvalue(*a), self.rvalue(*b)),
-            Expr::Cmp(op, a, b) => {
-                i16::from(semantics::cmp(*op, self.rvalue(*a), self.rvalue(*b)))
-            }
+            Expr::Cmp(op, a, b) => i16::from(semantics::cmp(*op, self.rvalue(*a), self.rvalue(*b))),
             Expr::Load(array, index) => {
                 let idx = self.eval_index(*index);
                 let arr = &self.arrays[array.0 as usize];
@@ -291,7 +291,10 @@ mod tests {
         let y = b.var("y");
         let p = b.cmp_new("p", CmpOp::Lt, x, 0i16);
         b.if_else(p, |b| b.set(y, -1), |b| b.set(y, 1));
-        let g = Guard { var: p, sense: true };
+        let g = Guard {
+            var: p,
+            sense: true,
+        };
         let z = b.var("z");
         b.set(z, 0);
         b.assign_if(g, z, Expr::Un(vsp_isa::AluUnOp::Mov, Rvalue::Const(7)));
@@ -317,7 +320,14 @@ mod tests {
         let _x = b.load("x", a, 9u16);
         let k = b.finish();
         let err = Interpreter::new(&k).run().unwrap_err();
-        assert!(matches!(err, InterpError::OutOfBounds { index: 9, len: 4, .. }));
+        assert!(matches!(
+            err,
+            InterpError::OutOfBounds {
+                index: 9,
+                len: 4,
+                ..
+            }
+        ));
     }
 
     #[test]

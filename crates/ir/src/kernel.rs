@@ -377,11 +377,7 @@ impl Kernel {
 impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "kernel {} ({} stmts)", self.name, self.stmt_count())?;
-        fn write_stmts(
-            f: &mut fmt::Formatter<'_>,
-            stmts: &[Stmt],
-            indent: usize,
-        ) -> fmt::Result {
+        fn write_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
             let pad = "  ".repeat(indent);
             for s in stmts {
                 match s {

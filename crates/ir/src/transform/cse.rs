@@ -136,10 +136,9 @@ fn run_block(stmts: &mut [Stmt]) -> usize {
                         vn_of(a, &mut var_vn, &mut next_num),
                         vn_of(b, &mut var_vn, &mut next_num),
                     )),
-                    Expr::Un(op, a) if *op != AluUnOp::Mov => Some(Key::Un(
-                        *op,
-                        vn_of(a, &mut var_vn, &mut next_num),
-                    )),
+                    Expr::Un(op, a) if *op != AluUnOp::Mov => {
+                        Some(Key::Un(*op, vn_of(a, &mut var_vn, &mut next_num)))
+                    }
                     Expr::Un(AluUnOp::Mov, a) => {
                         // Copies propagate value numbers.
                         let vn = vn_of(a, &mut var_vn, &mut next_num);

@@ -55,7 +55,12 @@ fn walk(stmts: &mut Vec<Stmt>, kernel: &mut Kernel) -> usize {
                     let arms_flat = !then_body.iter().any(Stmt::has_loop)
                         && !else_body.iter().any(Stmt::has_loop);
                     if arms_flat {
-                        Some(convert_one(*cond, then_body.clone(), else_body.clone(), kernel))
+                        Some(convert_one(
+                            *cond,
+                            then_body.clone(),
+                            else_body.clone(),
+                            kernel,
+                        ))
                     } else {
                         None
                     }
@@ -86,28 +91,30 @@ fn convert_one(
     for (body, sense) in [(then_body, true), (else_body, false)] {
         for mut s in body {
             let guard = guard_slot(&mut s);
-            if let Some(slot) = guard { match *slot {
-                None => *slot = Some(Guard { var: cond, sense }),
-                Some(existing) => {
-                    // Combine: fresh pred = adj(cond) AND adj(existing),
-                    // where adj flips a false-sense predicate with XOR 1
-                    // (predicate values are 0/1).
-                    let combined = kernel.fresh_var("pand");
-                    let mut pre = Vec::new();
-                    let lhs = adjusted(cond, sense, kernel, &mut pre);
-                    let rhs = adjusted(existing.var, existing.sense, kernel, &mut pre);
-                    pre.push(Stmt::Assign {
-                        dst: combined,
-                        expr: Expr::Bin(AluBinOp::And, Rvalue::Var(lhs), Rvalue::Var(rhs)),
-                        guard: None,
-                    });
-                    *slot = Some(Guard {
-                        var: combined,
-                        sense: true,
-                    });
-                    out.extend(pre);
+            if let Some(slot) = guard {
+                match *slot {
+                    None => *slot = Some(Guard { var: cond, sense }),
+                    Some(existing) => {
+                        // Combine: fresh pred = adj(cond) AND adj(existing),
+                        // where adj flips a false-sense predicate with XOR 1
+                        // (predicate values are 0/1).
+                        let combined = kernel.fresh_var("pand");
+                        let mut pre = Vec::new();
+                        let lhs = adjusted(cond, sense, kernel, &mut pre);
+                        let rhs = adjusted(existing.var, existing.sense, kernel, &mut pre);
+                        pre.push(Stmt::Assign {
+                            dst: combined,
+                            expr: Expr::Bin(AluBinOp::And, Rvalue::Var(lhs), Rvalue::Var(rhs)),
+                            guard: None,
+                        });
+                        *slot = Some(Guard {
+                            var: combined,
+                            sense: true,
+                        });
+                        out.extend(pre);
+                    }
                 }
-            } }
+            }
             out.push(s);
         }
     }
@@ -249,11 +256,7 @@ mod tests {
         let a = b.array("a", 4);
         let x = b.var("x");
         let p = b.cmp_new("p", CmpOp::Eq, x, 0i16);
-        b.if_else(
-            p,
-            |b| b.store(a, 0u16, 11i16),
-            |b| b.store(a, 0u16, 22i16),
-        );
+        b.if_else(p, |b| b.store(a, 0u16, 11i16), |b| b.store(a, 0u16, 22i16));
         let mut k = b.finish();
         if_convert(&mut k);
         let mut interp = Interpreter::new(&k);

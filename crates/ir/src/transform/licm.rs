@@ -202,7 +202,10 @@ mod tests {
         let t = b.var("t");
         b.count_loop("i", 0, 1, 4, |b, _| {
             b.assign_if(
-                crate::kernel::Guard { var: p, sense: true },
+                crate::kernel::Guard {
+                    var: p,
+                    sense: true,
+                },
                 t,
                 crate::kernel::Expr::Bin(
                     AluBinOp::Add,

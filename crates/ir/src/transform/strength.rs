@@ -69,9 +69,7 @@ fn rewrite(expr: &Expr) -> Option<Expr> {
         | Expr::Bin(AluBinOp::Sub, x, Rvalue::Const(0))
         | Expr::Shift(ShiftOp::Shl, x, Rvalue::Const(0))
         | Expr::Shift(ShiftOp::ShrL, x, Rvalue::Const(0))
-        | Expr::Shift(ShiftOp::ShrA, x, Rvalue::Const(0)) => {
-            Some(Expr::Un(AluUnOp::Mov, *x))
-        }
+        | Expr::Shift(ShiftOp::ShrA, x, Rvalue::Const(0)) => Some(Expr::Un(AluUnOp::Mov, *x)),
         _ => None,
     }
 }

@@ -109,7 +109,9 @@ pub fn substitute_const(stmts: &mut [Stmt], var: VarId, value: i16) {
                     "loop variables are not predicates"
                 );
             }
-            Stmt::Store { index, value: v, .. } => {
+            Stmt::Store {
+                index, value: v, ..
+            } => {
                 subst_index(index, var, value);
                 subst_rvalue(v, var, value);
             }
@@ -195,11 +197,7 @@ pub fn written_vars(stmts: &[Stmt]) -> Vec<VarId> {
 pub fn live_in_vars(stmts: &[Stmt]) -> Vec<VarId> {
     let mut written = std::collections::HashSet::new();
     let mut live = Vec::new();
-    fn walk(
-        stmts: &[Stmt],
-        written: &mut std::collections::HashSet<VarId>,
-        live: &mut Vec<VarId>,
-    ) {
+    fn walk(stmts: &[Stmt], written: &mut std::collections::HashSet<VarId>, live: &mut Vec<VarId>) {
         for s in stmts {
             match s {
                 Stmt::Loop(l) => {

@@ -107,7 +107,7 @@ fn walk(stmts: &mut Vec<Stmt>, kernel: &mut Kernel, factor: Option<u32>) -> usiz
 
 /// Renames per-copy temporaries: variables written in the body that are
 /// not live-in (not accumulators) get fresh names in copies ≥ 1.
-fn rename_temporaries(body: &mut Vec<Stmt>, kernel: &mut Kernel, copy: usize) {
+fn rename_temporaries(body: &mut [Stmt], kernel: &mut Kernel, copy: usize) {
     if copy == 0 {
         return;
     }
@@ -130,10 +130,8 @@ fn partial_unroll(l: Loop, factor: u32, kernel: &mut Kernel) -> Loop {
         if j > 0 {
             // Copy j sees var + j*step: introduce a shifted induction
             // variable assigned once at the top of the copy.
-            let shifted = kernel.fresh_var(format!(
-                "{}_p{}",
-                kernel.var_names[l.var.0 as usize], j
-            ));
+            let shifted =
+                kernel.fresh_var(format!("{}_p{}", kernel.var_names[l.var.0 as usize], j));
             let offset = (l.step as i32 * j as i32) as i16;
             let map: HashMap<_, _> = [(l.var, shifted)].into_iter().collect();
             rename_vars(&mut copy, &map);

@@ -179,7 +179,10 @@ impl RawOp {
                     .ok_or_else(|| AsmError::new(lineno, format!("undefined label `{label}`")))?,
             };
             if target > word_count {
-                return Err(AsmError::new(lineno, format!("target {target} out of range")));
+                return Err(AsmError::new(
+                    lineno,
+                    format!("target {target} out of range"),
+                ));
             }
             match &mut op.kind {
                 OpKind::Branch { target: t, .. } | OpKind::Jump { target: t } => *t = target,
@@ -289,7 +292,9 @@ fn parse_addr(s: &str) -> Option<AddrMode> {
 }
 
 fn parse_bank(s: &str) -> Option<MemBank> {
-    s.strip_prefix('m').and_then(|n| n.parse().ok()).map(MemBank)
+    s.strip_prefix('m')
+        .and_then(|n| n.parse().ok())
+        .map(MemBank)
 }
 
 fn parse_kind(mnemonic: &str, args: &[&str], target_label: &mut Option<String>) -> Option<OpKind> {
@@ -520,7 +525,10 @@ top:
     fn negated_branch_and_guard() {
         let p = parse("top:\n  c0.s1: (!p2) mov r1, #3 | c0.s0: br !p0, @top\n").unwrap();
         let w = p.word(0).unwrap();
-        assert_eq!(w.at(0, 1).unwrap().guard, Some(PredGuard::if_false(Pred(2))));
+        assert_eq!(
+            w.at(0, 1).unwrap().guard,
+            Some(PredGuard::if_false(Pred(2)))
+        );
         assert!(matches!(
             w.at(0, 0).unwrap().kind,
             OpKind::Branch { sense: false, .. }

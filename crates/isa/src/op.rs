@@ -162,7 +162,9 @@ impl OpKind {
             OpKind::AluBin { .. } | OpKind::AluUn { .. } | OpKind::Cmp { .. } => Some(FuClass::Alu),
             OpKind::Shift { .. } => Some(FuClass::Shift),
             OpKind::Mul { .. } => Some(FuClass::Mul),
-            OpKind::Load { .. } | OpKind::Store { .. } | OpKind::MemCtl { .. } => Some(FuClass::Mem),
+            OpKind::Load { .. } | OpKind::Store { .. } | OpKind::MemCtl { .. } => {
+                Some(FuClass::Mem)
+            }
             OpKind::Xfer { .. } => Some(FuClass::Xfer),
             OpKind::Branch { .. } | OpKind::Jump { .. } | OpKind::Halt => Some(FuClass::Branch),
             OpKind::Nop => None,
@@ -230,7 +232,10 @@ impl OpKind {
 
     /// Returns `true` if the operation can redirect control flow.
     pub fn is_control(&self) -> bool {
-        matches!(self, OpKind::Branch { .. } | OpKind::Jump { .. } | OpKind::Halt)
+        matches!(
+            self,
+            OpKind::Branch { .. } | OpKind::Jump { .. } | OpKind::Halt
+        )
     }
 }
 
@@ -290,7 +295,11 @@ impl fmt::Display for Operation {
             OpKind::Load { dst, addr, bank } => write!(f, " ld.{bank} {dst}, {addr}"),
             OpKind::Store { src, addr, bank } => write!(f, " st.{bank} {src}, {addr}"),
             OpKind::Xfer { dst, from, src } => write!(f, " xfer {dst}, c{from}.{src}"),
-            OpKind::Branch { pred, sense, target } => {
+            OpKind::Branch {
+                pred,
+                sense,
+                target,
+            } => {
                 if *sense {
                     write!(f, " br {pred}, @{target}")
                 } else {

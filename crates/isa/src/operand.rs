@@ -115,7 +115,9 @@ impl fmt::Display for AddrMode {
 /// Most models have a single bank (`MemBank(0)`). `I2C16S4` provides two
 /// separate 8 KB memories per cluster, each reachable only from its own
 /// issue slot; the bank is therefore explicit in every memory operation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct MemBank(pub u8);
 
 impl MemBank {

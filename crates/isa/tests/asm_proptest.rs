@@ -59,21 +59,46 @@ fn op_kind() -> impl Strategy<Value = OpKind> {
         Just(CmpOp::Ge),
     ];
     prop_oneof![
-        (bin, 0u16..64, operand(), operand())
-            .prop_map(|(op, d, a, b)| OpKind::AluBin { op, dst: Reg(d), a, b }),
+        (bin, 0u16..64, operand(), operand()).prop_map(|(op, d, a, b)| OpKind::AluBin {
+            op,
+            dst: Reg(d),
+            a,
+            b
+        }),
         (un, 0u16..64, operand()).prop_map(|(op, d, a)| OpKind::AluUn { op, dst: Reg(d), a }),
-        (sh, 0u16..64, operand(), operand())
-            .prop_map(|(op, d, a, b)| OpKind::Shift { op, dst: Reg(d), a, b }),
-        (mul, 0u16..64, operand(), operand())
-            .prop_map(|(kind, d, a, b)| OpKind::Mul { kind, dst: Reg(d), a, b }),
-        (cmp, 0u8..8, operand(), operand())
-            .prop_map(|(op, d, a, b)| OpKind::Cmp { op, dst: Pred(d), a, b }),
-        (0u16..64, addr_mode(), 0u8..2)
-            .prop_map(|(d, addr, bk)| OpKind::Load { dst: Reg(d), addr, bank: MemBank(bk) }),
-        (operand(), addr_mode(), 0u8..2)
-            .prop_map(|(src, addr, bk)| OpKind::Store { src, addr, bank: MemBank(bk) }),
-        ((0u16..64), 0u8..16, 0u16..64)
-            .prop_map(|(d, c, s)| OpKind::Xfer { dst: Reg(d), from: c, src: Reg(s) }),
+        (sh, 0u16..64, operand(), operand()).prop_map(|(op, d, a, b)| OpKind::Shift {
+            op,
+            dst: Reg(d),
+            a,
+            b
+        }),
+        (mul, 0u16..64, operand(), operand()).prop_map(|(kind, d, a, b)| OpKind::Mul {
+            kind,
+            dst: Reg(d),
+            a,
+            b
+        }),
+        (cmp, 0u8..8, operand(), operand()).prop_map(|(op, d, a, b)| OpKind::Cmp {
+            op,
+            dst: Pred(d),
+            a,
+            b
+        }),
+        (0u16..64, addr_mode(), 0u8..2).prop_map(|(d, addr, bk)| OpKind::Load {
+            dst: Reg(d),
+            addr,
+            bank: MemBank(bk)
+        }),
+        (operand(), addr_mode(), 0u8..2).prop_map(|(src, addr, bk)| OpKind::Store {
+            src,
+            addr,
+            bank: MemBank(bk)
+        }),
+        ((0u16..64), 0u8..16, 0u16..64).prop_map(|(d, c, s)| OpKind::Xfer {
+            dst: Reg(d),
+            from: c,
+            src: Reg(s)
+        }),
         Just(OpKind::Halt),
     ]
 }
@@ -81,7 +106,10 @@ fn op_kind() -> impl Strategy<Value = OpKind> {
 fn guard() -> impl Strategy<Value = Option<PredGuard>> {
     prop_oneof![
         Just(None),
-        ((0u8..8), any::<bool>()).prop_map(|(p, sense)| Some(PredGuard { pred: Pred(p), sense })),
+        ((0u8..8), any::<bool>()).prop_map(|(p, sense)| Some(PredGuard {
+            pred: Pred(p),
+            sense
+        })),
     ]
 }
 

@@ -24,7 +24,10 @@ pub struct Ycbcr420 {
 /// Panics if `rgb.len() != width * height * 3` or the dimensions are odd.
 pub fn rgb_to_ycbcr_420(rgb: &[i16], width: usize, height: usize) -> Ycbcr420 {
     assert_eq!(rgb.len(), width * height * 3, "interleaved RGB expected");
-    assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "4:2:0 needs even dims");
+    assert!(
+        width.is_multiple_of(2) && height.is_multiple_of(2),
+        "4:2:0 needs even dims"
+    );
 
     let mut y = vec![0i16; width * height];
     for p in 0..width * height {
@@ -89,14 +92,21 @@ mod tests {
         let out = rgb_to_ycbcr_420(&gray(0, 4, 4), 4, 4);
         assert!(out.y.iter().all(|&v| v == 16), "BT.601 black is Y=16");
         let out = rgb_to_ycbcr_420(&gray(255, 4, 4), 4, 4);
-        assert!(out.y.iter().all(|&v| (234..=236).contains(&v)), "white ~235");
+        assert!(
+            out.y.iter().all(|&v| (234..=236).contains(&v)),
+            "white ~235"
+        );
     }
 
     #[test]
     fn pure_red_has_high_cr() {
         let rgb: Vec<i16> = std::iter::repeat_n([255i16, 0, 0], 16).flatten().collect();
         let out = rgb_to_ycbcr_420(&rgb, 4, 4);
-        assert!(out.cr.iter().all(|&v| v > 200), "red pushes Cr up: {:?}", out.cr);
+        assert!(
+            out.cr.iter().all(|&v| v > 200),
+            "red pushes Cr up: {:?}",
+            out.cr
+        );
         assert!(out.cb.iter().all(|&v| v < 128));
     }
 

@@ -118,15 +118,14 @@ mod tests {
 
     #[test]
     fn cosine_table_matches_float_recomputation() {
-        for u in 0..8 {
-            for x in 0..8 {
+        for (u, row) in COS_Q6.iter().enumerate() {
+            for (x, &c) in row.iter().enumerate() {
                 let cu = if u == 0 { (0.5f64).sqrt() } else { 1.0 };
                 let exact =
                     32.0 * cu * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos();
                 assert!(
-                    (f64::from(COS_Q6[u][x]) - exact).abs() <= 0.51,
-                    "C[{u}][{x}] = {} vs {exact}",
-                    COS_Q6[u][x]
+                    (f64::from(c) - exact).abs() <= 0.51,
+                    "C[{u}][{x}] = {c} vs {exact}"
                 );
             }
         }
@@ -146,8 +145,8 @@ mod tests {
             out[0],
             f[0]
         );
-        for i in 1..64 {
-            assert!(out[i].abs() <= 1, "AC leakage at {i}: {}", out[i]);
+        for (i, &v) in out.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 1, "AC leakage at {i}: {v}");
         }
     }
 

@@ -122,14 +122,7 @@ pub fn three_step_search(
     }
 }
 
-fn displacement_valid(
-    width: usize,
-    height: usize,
-    cx: usize,
-    cy: usize,
-    dx: i32,
-    dy: i32,
-) -> bool {
+fn displacement_valid(width: usize, height: usize, cx: usize, cy: usize, dx: i32, dy: i32) -> bool {
     let rx = cx as i32 + dx;
     let ry = cy as i32 + dy;
     rx >= 0 && ry >= 0 && rx + 16 <= width as i32 && ry + 16 <= height as i32

@@ -106,10 +106,7 @@ pub fn color_quad_kernel(quads: u32) -> ColorKernel {
         };
         // Chroma conversions (chroma index = q/2).
         let ci = bd.shift_new("ci", ShiftOp::ShrA, q, 1i16);
-        for (name, coef, bias, out) in [
-            ("cb", CB_COEF, 128i16, cb),
-            ("cr", CR_COEF, 128i16, cr),
-        ] {
+        for (name, coef, bias, out) in [("cb", CB_COEF, 128i16, cb), ("cr", CR_COEF, 128i16, cr)] {
             let t0 = bd.mul_new(&format!("{name}0"), ravg, coef[0]);
             let t1 = bd.mul_new(&format!("{name}1"), gavg, coef[1]);
             let t2 = bd.mul_new(&format!("{name}2"), bavg, coef[2]);

@@ -26,7 +26,11 @@ pub struct Dct1dKernel {
 /// multiplying numbers greater than 8 bits in length" (§3.4.3), the
 /// bottleneck Table 2's `M16` machines remove.
 pub fn dct1d_kernel(narrow_inputs: bool) -> Dct1dKernel {
-    let mut b = KernelBuilder::new(if narrow_inputs { "dct1d-row" } else { "dct1d-col" });
+    let mut b = KernelBuilder::new(if narrow_inputs {
+        "dct1d-row"
+    } else {
+        "dct1d-col"
+    });
     let input = b.array("in", 8);
     let coef = b.array("coef", 64);
     let output = b.array("out", 8);
@@ -104,10 +108,10 @@ pub fn dct1d_const_kernel(narrow_inputs: bool, coeff_in_regs: bool) -> Dct1dKern
     let v: Vec<_> = (0..8u16)
         .map(|x| b.load(&format!("v{x}"), input, x))
         .collect();
-    for u in 0..8usize {
+    for (u, cos_row) in COS_Q6.iter().enumerate() {
         let mut acc = None;
         for (x, &vx) in v.iter().enumerate() {
-            let c = COS_Q6[u][x];
+            let c = cos_row[x];
             let p = if let Some(&cr) = coef_reg.get(&(u, x)) {
                 b.mul_new(&format!("p{u}_{x}"), vx, cr)
             } else if narrow_inputs {
@@ -164,7 +168,10 @@ pub fn dct_direct_mac_kernel() -> Dct1dKernel {
             let cv = b.load("cv", coef, IndexExpr::Var(x));
             // Q12 combined coefficient (both factors are Q6 bytes).
             let cc = b.var("cc");
-            b.assign(cc, vsp_ir::Expr::Mul8(MulKind::Mul8SS, cu.into(), cv.into()));
+            b.assign(
+                cc,
+                vsp_ir::Expr::Mul8(MulKind::Mul8SS, cu.into(), cv.into()),
+            );
             let v = b.load("v", input, IndexExpr::Sum(xb, y));
             let p = b.mul_new("p", cc, v);
             // Double-precision retention: low accumulate plus a high-part

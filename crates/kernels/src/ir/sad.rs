@@ -132,10 +132,17 @@ mod tests {
         let cur_frame = synthetic_luma_frame(64, 48, 21);
         let ref_frame = synthetic_luma_frame(64, 48, 22);
         let sad = sad_16x16_kernel();
-        for (cx, cy, dx, dy) in [(16usize, 16usize, 0i32, 0i32), (16, 16, 3, -4), (32, 16, -8, 8)] {
+        for (cx, cy, dx, dy) in [
+            (16usize, 16usize, 0i32, 0i32),
+            (16, 16, 3, -4),
+            (32, 16, -8, 8),
+        ] {
             let golden = sad_16x16(&cur_frame, &ref_frame, 64, cx, cy, dx, dy);
             let mut interp = Interpreter::new(&sad.kernel);
-            interp.set_array(sad.pixels, staged(&cur_frame, &ref_frame, 64, cx, cy, dx, dy));
+            interp.set_array(
+                sad.pixels,
+                staged(&cur_frame, &ref_frame, 64, cx, cy, dx, dy),
+            );
             interp.run().unwrap();
             assert_eq!(interp.var_value(sad.acc) as u32, golden);
         }
@@ -180,7 +187,10 @@ mod tests {
     fn working_sets_fit_every_cluster_memory() {
         // §4: "the working set for these typical VSP algorithms never
         // exceeded 4K bytes/cluster".
-        for k in [sad_16x16_kernel().kernel, sad_blocked_group_kernel(8).kernel] {
+        for k in [
+            sad_16x16_kernel().kernel,
+            sad_blocked_group_kernel(8).kernel,
+        ] {
             assert!(k.working_set_words() * 2 <= 4096, "{}", k.name);
         }
     }

@@ -28,12 +28,12 @@ use vsp_ir::transform::{
     reduce_strength,
 };
 use vsp_ir::{Kernel, Stmt};
+use vsp_isa::{AluBinOp, CmpOp, OpKind, Operand, Pred, Reg};
 use vsp_sched::cost::simd_cycles;
 use vsp_sched::{
     list_schedule, lower_body, modulo_schedule, ArrayLayout, ListSchedule, LoweredBody,
     ModuloSchedule, VopDeps,
 };
-use vsp_isa::{AluBinOp, CmpOp, OpKind, Operand, Pred, Reg};
 
 /// The six kernels of §3.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -308,7 +308,14 @@ fn sad_blocked_job(machine: &MachineConfig, group: u32) -> (u64, u64) {
     (u64::from(ms.ii), u64::from(ms.length))
 }
 
-fn motion_rows(machine: &MachineConfig, jobs: u64, pos_seq: u64, pos_par: u64, blocked_group: u32, kernel: KernelId) -> Vec<Row> {
+fn motion_rows(
+    machine: &MachineConfig,
+    jobs: u64,
+    pos_seq: u64,
+    pos_par: u64,
+    blocked_group: u32,
+    kernel: KernelId,
+) -> Vec<Row> {
     let clusters = u64::from(machine.clusters);
     let mut rows = Vec::new();
 
@@ -335,14 +342,22 @@ fn motion_rows(machine: &MachineConfig, jobs: u64, pos_seq: u64, pos_par: u64, b
     rows.push(Row {
         kernel,
         variant: "SW pipelined & unrolled",
-        cycles: simd_cycles(sad_swp_job(machine) + pos_par - POS_OVERHEAD_PAR, jobs, clusters),
+        cycles: simd_cycles(
+            sad_swp_job(machine) + pos_par - POS_OVERHEAD_PAR,
+            jobs,
+            clusters,
+        ),
     });
 
     // Second level unrolled as well.
     rows.push(Row {
         kernel,
         variant: "SW pipelined & unrolled 2 lev.",
-        cycles: simd_cycles(sad_flat_job(machine) + pos_par - POS_OVERHEAD_PAR, jobs, clusters),
+        cycles: simd_cycles(
+            sad_flat_job(machine) + pos_par - POS_OVERHEAD_PAR,
+            jobs,
+            clusters,
+        ),
     });
 
     // Specialized absolute-difference operator.
@@ -350,7 +365,11 @@ fn motion_rows(machine: &MachineConfig, jobs: u64, pos_seq: u64, pos_par: u64, b
     rows.push(Row {
         kernel,
         variant: "Add spec. op (> cycle & area)",
-        cycles: simd_cycles(sad_flat_job(&ad) + pos_par - POS_OVERHEAD_PAR, jobs, clusters),
+        cycles: simd_cycles(
+            sad_flat_job(&ad) + pos_par - POS_OVERHEAD_PAR,
+            jobs,
+            clusters,
+        ),
     });
 
     // Blocking / loop exchange: `group` positions advance per loaded
@@ -492,10 +511,9 @@ pub fn dct_rowcol_rows(machine: &MachineConfig) -> Vec<Row> {
 
     // Arithmetic optimization: the row pass keeps 8-bit precision (one
     // 8×8 multiply per MAC).
-    let per_block_opt =
-        8 * dct_pass_cycles(machine, true, true, true)
-            + 8 * dct_pass_cycles(machine, false, true, true)
-            + BLOCK_OVERHEAD;
+    let per_block_opt = 8 * dct_pass_cycles(machine, true, true, true)
+        + 8 * dct_pass_cycles(machine, false, true, true)
+        + BLOCK_OVERHEAD;
     rows.push(Row {
         kernel,
         variant: "+arithmetic optimization",
@@ -758,7 +776,11 @@ pub fn vbr_rows(machine: &MachineConfig) -> Vec<Row> {
     // List scheduled (branching form): ILP within each arm only; model as
     // list schedule of the converted body deflated by the zero fraction's
     // shorter dynamic path, on up to 2 clusters' width.
-    let wide_clusters = if machine.cluster.slot_count() >= 4 { 1 } else { 2 };
+    let wide_clusters = if machine.cluster.slot_count() >= 4 {
+        1
+    } else {
+        2
+    };
     let per_coeff_list = {
         let l = first_loop(&converted.body);
         let ls = list(machine, &converted, &l.body, wide_clusters);
@@ -897,7 +919,10 @@ mod tests {
             .collect();
         let max = *vals.iter().max().unwrap() as f64;
         let min = *vals.iter().min().unwrap() as f64;
-        assert!(max / min < 1.35, "blocked SAD is issue-bound everywhere: {vals:?}");
+        assert!(
+            max / min < 1.35,
+            "blocked SAD is issue-bound everywhere: {vals:?}"
+        );
         // And near the paper's 9.44M.
         for v in &vals {
             let err = (*v as f64 - 9.44e6).abs() / 9.44e6;

@@ -18,8 +18,7 @@ pub fn synthetic_luma_frame(width: usize, height: usize, seed: u64) -> Vec<i16> 
     for y in 0..height {
         for x in 0..width {
             let gradient = (x * 96 / width.max(1) + y * 96 / height.max(1)) as f64;
-            let texture = 40.0
-                * ((x as f64 * 0.35).sin() * (y as f64 * 0.23).cos());
+            let texture = 40.0 * ((x as f64 * 0.35).sin() * (y as f64 * 0.23).cos());
             let noise = rng.gen_range(-6..=6) as f64;
             let v = (64.0 + gradient + texture + noise).clamp(0.0, 255.0);
             f[y * width + x] = v as i16;

@@ -367,12 +367,7 @@ mod tests {
 
     /// Finds the virtual register assigned to the loop induction variable
     /// by re-running the lowering's allocation order.
-    fn body_index_vreg(
-        k: &Kernel,
-        m: &MachineConfig,
-        body: &[Stmt],
-        layout: &ArrayLayout,
-    ) -> u16 {
+    fn body_index_vreg(k: &Kernel, m: &MachineConfig, body: &[Stmt], layout: &ArrayLayout) -> u16 {
         // The induction variable is the first variable read: its vreg is
         // the first allocated (0) because lowering allocates on first
         // touch and the first op reads the index.

@@ -43,8 +43,8 @@ pub mod vop;
 pub use analytic::{predict_ii, predict_loop_cycles, IiPrediction};
 pub use codegen::{codegen_loop, LoopControl};
 pub use cost::LoopCost;
-pub use list::{list_schedule, ListSchedule};
+pub use list::{list_schedule, list_schedule_traced, ListSchedule};
 pub use lower::{lower_body, ArrayLayout, LowerError};
 pub use mii::{rec_mii, res_mii};
-pub use modulo::{modulo_schedule, ModuloSchedule};
+pub use modulo::{modulo_schedule, modulo_schedule_traced, ModuloSchedule};
 pub use vop::{LoweredBody, VOp, VopDeps};

@@ -10,6 +10,7 @@ use crate::vop::{LoweredBody, VopDeps};
 use serde::{Deserialize, Serialize};
 use vsp_core::{CycleReservation, MachineConfig};
 use vsp_isa::{ClusterId, SlotId};
+use vsp_trace::{NullSink, TraceEvent, TraceSink};
 
 /// A list schedule of a flat body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,8 +42,29 @@ pub fn list_schedule(
     deps: &VopDeps,
     clusters_used: u32,
 ) -> Option<ListSchedule> {
+    list_schedule_traced(machine, body, deps, clusters_used, &mut NullSink)
+}
+
+/// [`list_schedule`] with a decision log: every placement reports the
+/// ready-set size it was chosen from ([`TraceEvent::ListPlace`]), every
+/// cycle rejected for lack of a capable free slot becomes a
+/// [`TraceEvent::ListConflict`], and the final schedule length is
+/// reported as [`TraceEvent::ScheduleDone`] (with `ii == 0`).
+///
+/// All event construction is gated on [`TraceSink::enabled`], so passing
+/// `&mut NullSink` costs nothing beyond the untraced variant.
+pub fn list_schedule_traced(
+    machine: &MachineConfig,
+    body: &LoweredBody,
+    deps: &VopDeps,
+    clusters_used: u32,
+    sink: &mut dyn TraceSink,
+) -> Option<ListSchedule> {
     let n = body.ops.len();
     if n == 0 {
+        if sink.enabled() {
+            sink.emit(TraceEvent::ScheduleDone { ii: 0, length: 0 });
+        }
         return Some(ListSchedule {
             times: vec![],
             placements: vec![],
@@ -59,7 +81,25 @@ pub fn list_schedule(
     let mut placements: Vec<Option<(ClusterId, SlotId)>> = vec![None; n];
     let xfer_lat = machine.pipeline.xfer_latency;
 
+    // Operations whose same-iteration predecessors are all placed; only
+    // evaluated when a sink is listening.
+    let ready_size = |times: &[Option<u32>]| -> u32 {
+        (0..n)
+            .filter(|&j| {
+                times[j].is_none()
+                    && deps
+                        .preds(j)
+                        .all(|e| e.distance > 0 || times[e.from].is_some())
+            })
+            .count() as u32
+    };
+
     for &i in &order {
+        let ready = if sink.enabled() {
+            ready_size(&times)
+        } else {
+            0
+        };
         let mut done = false;
         for cluster in 0..clusters_used.max(1) as ClusterId {
             let mut est = 0i64;
@@ -96,8 +136,24 @@ pub fn list_schedule(
                 if let Some(slot) = find_slot(machine, row, &body.ops[i], cluster) {
                     times[i] = Some(t);
                     placements[i] = Some((cluster, slot));
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::ListPlace {
+                            op: i as u32,
+                            ready,
+                            cycle: t,
+                            cluster,
+                            slot,
+                        });
+                    }
                     done = true;
                     break;
+                }
+                if sink.enabled() {
+                    sink.emit(TraceEvent::ListConflict {
+                        op: i as u32,
+                        cycle: t,
+                        cluster,
+                    });
                 }
                 t += 1;
                 if t > est as u32 + 4096 {
@@ -138,6 +194,16 @@ pub fn list_schedule(
                 if let Some(slot) = find_slot(machine, &mut table[t as usize][0], &body.ops[i], 0) {
                     times[i] = Some(t);
                     placements[i] = Some((0, slot));
+                    if sink.enabled() {
+                        let ready = ready_size(&times);
+                        sink.emit(TraceEvent::ListPlace {
+                            op: i as u32,
+                            ready,
+                            cycle: t,
+                            cluster: 0,
+                            slot,
+                        });
+                    }
                     return false;
                 }
             }
@@ -149,14 +215,16 @@ pub fn list_schedule(
     }
 
     let times: Vec<u32> = times.into_iter().map(Option::unwrap).collect();
-    let placements: Vec<(ClusterId, SlotId)> =
-        placements.into_iter().map(Option::unwrap).collect();
+    let placements: Vec<(ClusterId, SlotId)> = placements.into_iter().map(Option::unwrap).collect();
     let length = times
         .iter()
         .enumerate()
         .map(|(i, &t)| t + lat.latency(&body.ops[i].kind))
         .max()
         .unwrap_or(0);
+    if sink.enabled() {
+        sink.emit(TraceEvent::ScheduleDone { ii: 0, length });
+    }
     Some(ListSchedule {
         times,
         placements,
@@ -260,5 +328,46 @@ mod tests {
         let s = list_schedule(&m, &body, &deps, 1).unwrap();
         assert_eq!(s.length, 0);
         assert_eq!(s.cycles_for(10), 0);
+    }
+
+    #[test]
+    fn decision_log_has_one_placement_per_op() {
+        let m = models::i4c8s4();
+        let (body, deps) = lowered_tree(&m, 8);
+        let mut sink = vsp_trace::MemorySink::new();
+        let traced = list_schedule_traced(&m, &body, &deps, 1, &mut sink).unwrap();
+        let untraced = list_schedule(&m, &body, &deps, 1).unwrap();
+        assert_eq!(traced, untraced, "tracing must not change the schedule");
+        assert_eq!(
+            sink.count(|e| matches!(e, TraceEvent::ListPlace { .. })),
+            body.ops.len() as u64
+        );
+        assert_eq!(
+            sink.count(|e| matches!(
+                e,
+                TraceEvent::ScheduleDone { ii: 0, length } if *length == traced.length
+            )),
+            1
+        );
+        // Every reported ready-set size is at least 1 (the op being placed).
+        for e in sink.events() {
+            if let TraceEvent::ListPlace { ready, .. } = e {
+                assert!(*ready >= 1, "{e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_logged_when_slots_saturate() {
+        // 8 independent adds on a 2-slot cluster: most placements must
+        // first bounce off full cycles.
+        let m = models::i2c16s4();
+        let (body, deps) = lowered_tree(&m, 8);
+        let mut sink = vsp_trace::MemorySink::new();
+        list_schedule_traced(&m, &body, &deps, 1, &mut sink).unwrap();
+        assert!(
+            sink.count(|e| matches!(e, TraceEvent::ListConflict { .. })) > 0,
+            "saturated ALUs must produce conflict events"
+        );
     }
 }

@@ -433,7 +433,16 @@ impl<'a> Lowering<'a> {
                         },
                     );
                 } else {
-                    self.emit(i, g, OpKind::AluBin { op: *op, dst: d, a, b });
+                    self.emit(
+                        i,
+                        g,
+                        OpKind::AluBin {
+                            op: *op,
+                            dst: d,
+                            a,
+                            b,
+                        },
+                    );
                 }
             }
             Expr::Un(op, a) => {
@@ -445,20 +454,47 @@ impl<'a> Lowering<'a> {
                 let a = self.rvalue(*a);
                 let b = self.rvalue(*b);
                 let d = self.word(dst);
-                self.emit(i, g, OpKind::Shift { op: *op, dst: d, a, b });
+                self.emit(
+                    i,
+                    g,
+                    OpKind::Shift {
+                        op: *op,
+                        dst: d,
+                        a,
+                        b,
+                    },
+                );
             }
             Expr::Mul8(kind, a, b) => {
                 let a = self.rvalue(*a);
                 let b = self.rvalue(*b);
                 let d = self.word(dst);
-                self.emit(i, g, OpKind::Mul { kind: *kind, dst: d, a, b });
+                self.emit(
+                    i,
+                    g,
+                    OpKind::Mul {
+                        kind: *kind,
+                        dst: d,
+                        a,
+                        b,
+                    },
+                );
             }
             Expr::MulWide(a, b) => self.lower_mulwide(i, dst, *a, *b, g),
             Expr::Cmp(op, a, b) => {
                 let a = self.rvalue(*a);
                 let b = self.rvalue(*b);
                 let p = self.pred(dst);
-                self.emit(i, g, OpKind::Cmp { op: *op, dst: p, a, b });
+                self.emit(
+                    i,
+                    g,
+                    OpKind::Cmp {
+                        op: *op,
+                        dst: p,
+                        a,
+                        b,
+                    },
+                );
                 if self.arith_used.contains(&dst) {
                     // Materialize 0/1 into the word register.
                     let w = self.word(dst);
@@ -522,7 +558,9 @@ impl<'a> Lowering<'a> {
             self.lower_mulwide_general(i, dst, a, b, g);
             return;
         };
-        let Rvalue::Const(c) = konst else { unreachable!() };
+        let Rvalue::Const(c) = konst else {
+            unreachable!()
+        };
         let v = self.rvalue(value);
         let al = self.temp();
         let ah = self.temp();
@@ -530,7 +568,15 @@ impl<'a> Lowering<'a> {
         let p2 = self.temp();
         let hi = self.temp();
         let d = self.word(dst);
-        self.emit(i, None, OpKind::AluUn { op: AluUnOp::ZextB, dst: al, a: v });
+        self.emit(
+            i,
+            None,
+            OpKind::AluUn {
+                op: AluUnOp::ZextB,
+                dst: al,
+                a: v,
+            },
+        );
         self.emit(
             i,
             None,
@@ -607,8 +653,24 @@ impl<'a> Lowering<'a> {
         let cr = self.temp();
         let cs = self.temp();
         let d = self.word(dst);
-        self.emit(i, None, OpKind::AluUn { op: AluUnOp::ZextB, dst: al, a: av });
-        self.emit(i, None, OpKind::AluUn { op: AluUnOp::ZextB, dst: bl, a: bv });
+        self.emit(
+            i,
+            None,
+            OpKind::AluUn {
+                op: AluUnOp::ZextB,
+                dst: al,
+                a: av,
+            },
+        );
+        self.emit(
+            i,
+            None,
+            OpKind::AluUn {
+                op: AluUnOp::ZextB,
+                dst: bl,
+                a: bv,
+            },
+        );
         self.emit(
             i,
             None,
@@ -733,7 +795,10 @@ mod tests {
         // an add on the simple machine. AbsDiff expands to sub+abs.
         assert_eq!(lowered.count_class(FuClass::Mem), 2);
         let alu = lowered.count_class(FuClass::Alu);
-        assert_eq!(alu, 4, "1 address add + sub + abs + accumulate: {lowered:?}");
+        assert_eq!(
+            alu, 4,
+            "1 address add + sub + abs + accumulate: {lowered:?}"
+        );
     }
 
     #[test]
@@ -758,11 +823,18 @@ mod tests {
         let (k, body) = sad_body();
         let layout = ArrayLayout::contiguous(&k, &m).unwrap();
         let lowered = lower_body(&m, &k, &body, &layout).unwrap();
-        assert_eq!(lowered.count_class(FuClass::Alu), 3, "absd + add + addr add");
-        assert!(lowered
-            .ops
-            .iter()
-            .any(|o| matches!(o.kind, OpKind::AluBin { op: AluBinOp::AbsDiff, .. })));
+        assert_eq!(
+            lowered.count_class(FuClass::Alu),
+            3,
+            "absd + add + addr add"
+        );
+        assert!(lowered.ops.iter().any(|o| matches!(
+            o.kind,
+            OpKind::AluBin {
+                op: AluBinOp::AbsDiff,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -812,7 +884,10 @@ mod tests {
         let p = b.cmp_new("p", CmpOp::Lt, x, 0i16);
         let y = b.var("y");
         b.assign_if(
-            vsp_ir::Guard { var: p, sense: true },
+            vsp_ir::Guard {
+                var: p,
+                sense: true,
+            },
             y,
             Expr::Un(AluUnOp::Mov, Rvalue::Const(1)),
         );

@@ -85,12 +85,7 @@ pub fn res_mii(machine: &MachineConfig, body: &LoweredBody, clusters_used: u32) 
 /// Finds the smallest II such that the dependence graph has no positive-
 /// weight cycle under edge weights `min_delay − II·distance`.
 pub fn rec_mii(deps: &VopDeps) -> u32 {
-    let upper: u32 = deps
-        .edges
-        .iter()
-        .map(|e| e.min_delay)
-        .sum::<u32>()
-        .max(1);
+    let upper: u32 = deps.edges.iter().map(|e| e.min_delay).sum::<u32>().max(1);
     for ii in 1..=upper {
         if !has_positive_cycle(deps, ii) {
             return ii;
@@ -199,11 +194,7 @@ mod tests {
         let mut m = models::i4c8s4();
         // Remove the multiplier capability everywhere.
         for s in &mut m.cluster.slots {
-            *s = vsp_core::FuSet::of(
-                &s.iter()
-                    .filter(|c| *c != FuClass::Mul)
-                    .collect::<Vec<_>>(),
-            );
+            *s = vsp_core::FuSet::of(&s.iter().filter(|c| *c != FuClass::Mul).collect::<Vec<_>>());
         }
         let mut bld = KernelBuilder::new("t");
         let x = bld.var("x");
@@ -230,10 +221,7 @@ mod tests {
         let mut b = KernelBuilder::new("chase");
         let a = b.array("a", 16);
         let x = b.var("x");
-        b.assign(
-            x,
-            vsp_ir::Expr::Load(a, vsp_ir::IndexExpr::Var(x)),
-        );
+        b.assign(x, vsp_ir::Expr::Load(a, vsp_ir::IndexExpr::Var(x)));
         let k = b.finish();
         let layout = ArrayLayout::contiguous(&k, &m).unwrap();
         let body = lower_body(&m, &k, &k.body, &layout).unwrap();

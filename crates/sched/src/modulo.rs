@@ -20,6 +20,7 @@ use crate::vop::{LoweredBody, VopDeps};
 use serde::{Deserialize, Serialize};
 use vsp_core::{CycleReservation, MachineConfig};
 use vsp_isa::{ClusterId, SlotId};
+use vsp_trace::{NullSink, SchedOrdering, TraceEvent, TraceSink};
 
 /// A modulo schedule of one loop body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,14 +60,52 @@ pub fn modulo_schedule(
     clusters_used: u32,
     ii_search: u32,
 ) -> Option<ModuloSchedule> {
+    modulo_schedule_traced(machine, body, deps, clusters_used, ii_search, &mut NullSink)
+}
+
+/// [`modulo_schedule`] with a decision log: each candidate II/ordering
+/// pair is announced ([`TraceEvent::IiAttempt`]), failures to find any
+/// schedule at an II become [`TraceEvent::IiEscalate`], and within one
+/// attempt every placement, window exhaustion, forced placement, and
+/// eviction is reported. The achieved II and schedule length arrive as
+/// [`TraceEvent::ScheduleDone`].
+///
+/// All event construction is gated on [`TraceSink::enabled`], so passing
+/// `&mut NullSink` costs nothing beyond the untraced variant.
+pub fn modulo_schedule_traced(
+    machine: &MachineConfig,
+    body: &LoweredBody,
+    deps: &VopDeps,
+    clusters_used: u32,
+    ii_search: u32,
+    sink: &mut dyn TraceSink,
+) -> Option<ModuloSchedule> {
     let res = res_mii(machine, body, clusters_used)?;
     let rec = rec_mii(deps);
     let mii = res.max(rec);
     for ii in mii..=mii + ii_search {
         for ordering in Ordering::ALL {
-            if let Some(s) = try_ii(machine, body, deps, clusters_used, ii, ordering) {
+            if sink.enabled() {
+                sink.emit(TraceEvent::IiAttempt {
+                    ii,
+                    ordering: ordering.into(),
+                });
+            }
+            if let Some(s) = try_ii(machine, body, deps, clusters_used, ii, ordering, sink) {
+                if sink.enabled() {
+                    sink.emit(TraceEvent::ScheduleDone {
+                        ii: s.ii,
+                        length: s.length,
+                    });
+                }
                 return Some(s);
             }
+        }
+        if sink.enabled() && ii < mii + ii_search {
+            sink.emit(TraceEvent::IiEscalate {
+                from: ii,
+                to: ii + 1,
+            });
         }
     }
     None
@@ -89,6 +128,17 @@ impl Ordering {
     const ALL: [Ordering; 3] = [Ordering::ScarceFirst, Ordering::Height, Ordering::Program];
 }
 
+impl From<Ordering> for SchedOrdering {
+    fn from(o: Ordering) -> SchedOrdering {
+        match o {
+            Ordering::ScarceFirst => SchedOrdering::ScarceFirst,
+            Ordering::Height => SchedOrdering::Height,
+            Ordering::Program => SchedOrdering::Program,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn try_ii(
     machine: &MachineConfig,
     body: &LoweredBody,
@@ -96,6 +146,7 @@ fn try_ii(
     clusters_used: u32,
     ii: u32,
     ordering: Ordering,
+    sink: &mut dyn TraceSink,
 ) -> Option<ModuloSchedule> {
     let n = body.ops.len();
     if n == 0 {
@@ -141,6 +192,11 @@ fn try_ii(
             return None;
         }
         budget -= 1;
+        let unplaced = if sink.enabled() {
+            times.iter().filter(|t| t.is_none()).count() as u32
+        } else {
+            0
+        };
 
         // Earliest start from placed predecessors (cross-cluster flow
         // pays the transfer latency; cluster chosen below).
@@ -176,11 +232,26 @@ fn try_ii(
                     break 'search;
                 }
             }
+            // The whole II-wide window on this cluster rejected the op.
+            if sink.enabled() {
+                sink.emit(TraceEvent::ModuloConflict {
+                    op: i as u32,
+                    time: est,
+                    cluster: c,
+                });
+            }
         }
         let (t, c, slot) = match chosen {
             Some(x) => x,
             None => {
                 // Force placement: evict whatever blocks the first row.
+                if sink.enabled() {
+                    sink.emit(TraceEvent::ModuloForce {
+                        op: i as u32,
+                        time: est,
+                        cluster,
+                    });
+                }
                 let row = (est % ii) as usize;
                 let evictees: Vec<usize> = row_ops[row]
                     .iter()
@@ -188,6 +259,12 @@ fn try_ii(
                     .filter(|&j| placements[j].map(|(pc, _)| pc) == Some(cluster))
                     .collect();
                 for j in evictees {
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::ModuloEvict {
+                            evicted: j as u32,
+                            by: i as u32,
+                        });
+                    }
                     unplace(j, &mut times, &mut placements, &mut row_ops, ii);
                 }
                 let mut resv = rebuild_row(machine, body, &row_ops[row], &placements);
@@ -202,6 +279,16 @@ fn try_ii(
         placements[i] = Some((c, slot));
         last_time[i] = Some(t);
         row_ops[(t % ii) as usize].push(i);
+        if sink.enabled() {
+            sink.emit(TraceEvent::ModuloPlace {
+                op: i as u32,
+                ready: unplaced,
+                time: t,
+                row: t % ii,
+                cluster: c,
+                slot,
+            });
+        }
 
         // Evict placed neighbors whose dependence constraints broke.
         let mut violated: Vec<usize> = Vec::new();
@@ -232,6 +319,12 @@ fn try_ii(
             }
         }
         for j in violated {
+            if sink.enabled() && times[j].is_some() {
+                sink.emit(TraceEvent::ModuloEvict {
+                    evicted: j as u32,
+                    by: i as u32,
+                });
+            }
             unplace(j, &mut times, &mut placements, &mut row_ops, ii);
         }
     }
@@ -441,8 +534,7 @@ mod tests {
             if e.min_delay > 0 && s.placements[e.from].0 != s.placements[e.to].0 {
                 delay += i64::from(m.pipeline.xfer_latency);
             }
-            let rhs =
-                i64::from(s.times[e.from]) + delay - i64::from(s.ii) * i64::from(e.distance);
+            let rhs = i64::from(s.times[e.from]) + delay - i64::from(s.ii) * i64::from(e.distance);
             assert!(lhs >= rhs, "edge {e:?} violated");
         }
     }
@@ -486,6 +578,73 @@ mod tests {
         let one = modulo_schedule(&m, &lowered, &deps, 1, 8).unwrap();
         let two = modulo_schedule(&m, &lowered, &deps, 2, 8).unwrap();
         assert!(two.ii <= one.ii);
+    }
+
+    #[test]
+    fn decision_log_records_ii_attempts_and_placements() {
+        let m = models::i4c8s4();
+        let k = sad_kernel();
+        let body = inner_body(&k);
+        let layout = ArrayLayout::contiguous(&k, &m).unwrap();
+        let lowered = lower_body(&m, &k, &body, &layout).unwrap();
+        let deps = VopDeps::build(&m, &lowered);
+        let mut sink = vsp_trace::MemorySink::new();
+        let traced =
+            modulo_schedule_traced(&m, &lowered, &deps, 1, 16, &mut sink).expect("schedulable");
+        let untraced = modulo_schedule(&m, &lowered, &deps, 1, 16).unwrap();
+        assert_eq!(traced, untraced, "tracing must not change the schedule");
+
+        assert!(
+            sink.count(|e| matches!(e, TraceEvent::IiAttempt { .. })) >= 1,
+            "at least one II attempt logged"
+        );
+        // The first attempt starts at MII and the winning attempt matches
+        // the achieved II.
+        let first_attempt = sink
+            .events()
+            .find_map(|e| match e {
+                TraceEvent::IiAttempt { ii, .. } => Some(*ii),
+                _ => None,
+            })
+            .unwrap();
+        assert!(first_attempt <= traced.ii);
+        assert_eq!(
+            sink.count(|e| matches!(
+                e,
+                TraceEvent::ScheduleDone { ii, length }
+                    if *ii == traced.ii && *length == traced.length
+            )),
+            1
+        );
+        // Every op is placed at least once (failed attempts and evictions
+        // can only add placements on top).
+        let places = sink.count(|e| matches!(e, TraceEvent::ModuloPlace { .. }));
+        assert!(places >= lowered.ops.len() as u64);
+    }
+
+    #[test]
+    fn escalation_logged_when_mii_infeasible() {
+        // A long recurrence through a multiply forces II above ResMII on a
+        // wide machine; searching from MII upward logs escalations whenever
+        // an II fails entirely. If the first II succeeds, no escalation is
+        // logged — accept either, but the events must be well-formed and
+        // monotonically increasing.
+        let m = models::i4c8s4();
+        let k = sad_kernel();
+        let body = inner_body(&k);
+        let layout = ArrayLayout::contiguous(&k, &m).unwrap();
+        let lowered = lower_body(&m, &k, &body, &layout).unwrap();
+        let deps = VopDeps::build(&m, &lowered);
+        let mut sink = vsp_trace::MemorySink::new();
+        modulo_schedule_traced(&m, &lowered, &deps, 1, 16, &mut sink);
+        let mut last = 0;
+        for e in sink.events() {
+            if let TraceEvent::IiEscalate { from, to } = e {
+                assert_eq!(*to, *from + 1);
+                assert!(*from >= last);
+                last = *from;
+            }
+        }
     }
 
     #[test]

@@ -51,8 +51,7 @@ fn intervals(body: &LoweredBody, times: &[u32]) -> Vec<Interval> {
             // values read at or before their first definition (e.g.
             // accumulators) — must hold their register across the entire
             // body: the next iteration reads them again.
-            let carried =
-                first_def[ri] == u32::MAX || first_use[ri] <= first_def[ri];
+            let carried = first_def[ri] == u32::MAX || first_use[ri] <= first_def[ri];
             if carried {
                 Interval {
                     vreg: r,
@@ -158,7 +157,7 @@ pub fn allocate(
             Some(p) => p,
             None => {
                 return Err(NotEnoughRegisters {
-                    needed: max_live(body, times) ,
+                    needed: max_live(body, times),
                     available: capacity,
                 })
             }

@@ -203,9 +203,7 @@ impl VopDeps {
         // resolved arrays to addresses; we order stores against other
         // accesses of the same bank unless both addresses are distinct
         // constants.
-        let mem_ops: Vec<usize> = (0..n)
-            .filter(|&i| body.ops[i].kind.is_mem())
-            .collect();
+        let mem_ops: Vec<usize> = (0..n).filter(|&i| body.ops[i].kind.is_mem()).collect();
         for (ai, &i) in mem_ops.iter().enumerate() {
             for &j in &mem_ops[ai + 1..] {
                 let (a, b) = (&body.ops[i].kind, &body.ops[j].kind);

@@ -7,9 +7,8 @@ use crate::stats::RunStats;
 use std::collections::BTreeMap;
 use vsp_core::{validate_program, LatencyModel, MachineConfig};
 use vsp_isa::semantics;
-use vsp_isa::{
-    AddrMode, ClusterId, MemCtlOp, OpKind, Operand, Operation, Pred, Program, Reg,
-};
+use vsp_isa::{AddrMode, ClusterId, MemCtlOp, OpKind, Operand, Operation, Pred, Program, Reg};
+use vsp_trace::{NullSink, TraceEvent, TraceSink};
 
 /// What to do when an operation reads a register whose producer has not
 /// completed.
@@ -35,8 +34,14 @@ enum Commit {
 }
 
 /// Cycle-accurate simulator for one program on one machine.
+///
+/// Generic over a [`TraceSink`]; the default [`NullSink`] reports itself
+/// disabled from an inlinable body, so the untraced monomorphization —
+/// everything built via [`Simulator::new`] — contains no tracing code.
+/// Use [`Simulator::with_sink`] (typically with `&mut sink`, since
+/// `TraceSink` is implemented for mutable references) to record a run.
 #[derive(Debug)]
-pub struct Simulator<'a> {
+pub struct Simulator<'a, S: TraceSink = NullSink> {
     machine: &'a MachineConfig,
     program: &'a Program,
     policy: HazardPolicy,
@@ -52,6 +57,13 @@ pub struct Simulator<'a> {
     redirect: Option<(usize, u32)>,
     halted: bool,
     stats: RunStats,
+    sink: S,
+    /// Committed ops per cluster within the word being issued (scratch
+    /// for the utilization histogram).
+    word_cluster_ops: Vec<u32>,
+    /// Clusters with a non-zero entry in `word_cluster_ops`, so the
+    /// per-word drain touches only busy clusters.
+    word_touched: Vec<ClusterId>,
 }
 
 impl<'a> Simulator<'a> {
@@ -63,12 +75,27 @@ impl<'a> Simulator<'a> {
     /// Returns [`SimError::Invalid`] if the program fails structural
     /// validation for the machine.
     pub fn new(machine: &'a MachineConfig, program: &'a Program) -> Result<Self, SimError> {
+        Self::with_sink(machine, program, NullSink)
+    }
+}
+
+impl<'a, S: TraceSink> Simulator<'a, S> {
+    /// Creates a simulator that emits trace events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the program fails structural
+    /// validation for the machine.
+    pub fn with_sink(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        sink: S,
+    ) -> Result<Self, SimError> {
         validate_program(machine, program)?;
         let clusters = machine.clusters as usize;
         let regs = machine.cluster.registers as usize;
         let preds = machine.cluster.pred_regs as usize;
-        let mut icache =
-            InstructionCache::new(machine.icache_words, machine.icache_refill_cycles);
+        let mut icache = InstructionCache::new(machine.icache_words, machine.icache_refill_cycles);
         icache.warm(program.len());
         Ok(Simulator {
             machine,
@@ -95,7 +122,20 @@ impl<'a> Simulator<'a> {
             redirect: None,
             halted: false,
             stats: RunStats::default(),
+            sink,
+            word_cluster_ops: vec![0; clusters],
+            word_touched: Vec::with_capacity(clusters),
         })
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the trace sink (e.g. to flush it).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
     }
 
     /// Selects the hazard policy.
@@ -160,7 +200,15 @@ impl<'a> Simulator<'a> {
             }
             self.step()?;
         }
-        Ok(self.stats.clone())
+        Ok(self.stats())
+    }
+
+    /// Statistics gathered so far (with derived fields such as the
+    /// histogram zero-buckets filled in).
+    pub fn stats(&self) -> RunStats {
+        let mut stats = self.stats.clone();
+        stats.finalize();
+        stats
     }
 
     /// Executes one instruction word (plus any fetch stall preceding it).
@@ -181,6 +229,13 @@ impl<'a> Simulator<'a> {
         if stall > 0 {
             self.stats.icache_misses += 1;
             self.stats.icache_stall_cycles += u64::from(stall);
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::IcacheMiss {
+                    cycle: self.cycle,
+                    word: self.pc as u32,
+                    stall,
+                });
+            }
             self.cycle += u64::from(stall);
         }
 
@@ -200,6 +255,12 @@ impl<'a> Simulator<'a> {
         let mut branch: Option<usize> = None;
         let mut halt = false;
 
+        // A word issued inside a branch-delay shadow that does no work at
+        // all is a branch-redirect bubble; detect it for the stall-cycle
+        // breakdown.
+        let in_branch_shadow = self.redirect.is_some();
+        let mut word_issued_ops: u32 = 0;
+
         // Phase 1: all operand fetches happen against the pre-cycle state;
         // results are collected, not yet visible to the scoreboard (so
         // same-word reads of a destination see the old value, as the
@@ -208,11 +269,34 @@ impl<'a> Simulator<'a> {
             if let Some(active) = self.guard_value(op, word_index)? {
                 if !active {
                     self.stats.annulled_ops += 1;
+                    word_issued_ops += 1;
+                    if self.sink.enabled() {
+                        self.sink.emit(TraceEvent::Annul {
+                            cycle: self.cycle,
+                            word: word_index as u32,
+                            cluster: op.cluster,
+                            slot: op.slot,
+                        });
+                    }
                     continue;
                 }
             }
             if let Some(class) = op.fu_class() {
-                self.stats.record_op(class);
+                self.stats.record_op(class, op.cluster as usize);
+                word_issued_ops += 1;
+                if self.word_cluster_ops[op.cluster as usize] == 0 {
+                    self.word_touched.push(op.cluster);
+                }
+                self.word_cluster_ops[op.cluster as usize] += 1;
+                if self.sink.enabled() {
+                    self.sink.emit(TraceEvent::Issue {
+                        cycle: self.cycle,
+                        word: word_index as u32,
+                        cluster: op.cluster,
+                        slot: op.slot,
+                        class,
+                    });
+                }
             }
             self.execute_op(
                 op,
@@ -254,11 +338,40 @@ impl<'a> Simulator<'a> {
         self.stats.words += 1;
         self.stats.issue_capacity += u64::from(self.machine.peak_ops_per_cycle());
 
+        // Fold this word's per-cluster occupancy into the histogram
+        // (only clusters that issued; zero-buckets are derived at
+        // finalize so idle clusters cost nothing here).
+        while let Some(cluster) = self.word_touched.pop() {
+            let ops = self.word_cluster_ops[cluster as usize];
+            self.word_cluster_ops[cluster as usize] = 0;
+            self.stats
+                .record_cluster_word(cluster as usize, ops as usize);
+        }
+        if in_branch_shadow && word_issued_ops == 0 {
+            self.stats.branch_bubble_cycles += 1;
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::BranchBubble {
+                    cycle: self.cycle,
+                    word: word_index as u32,
+                });
+            }
+        }
+
         if halt {
             self.halted = true;
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::Halt { cycle: self.cycle });
+            }
         }
         if let Some(target) = branch {
             self.stats.taken_branches += 1;
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::Branch {
+                    cycle: self.cycle,
+                    word: word_index as u32,
+                    target: target as u32,
+                });
+            }
             self.redirect = Some((target, self.machine.pipeline.branch_delay_slots));
         }
 
@@ -280,11 +393,7 @@ impl<'a> Simulator<'a> {
 
     /// Applies all register/predicate commits due at or before this cycle.
     fn apply_commits(&mut self) {
-        let due: Vec<u64> = self
-            .pending
-            .range(..=self.cycle)
-            .map(|(k, _)| *k)
-            .collect();
+        let due: Vec<u64> = self.pending.range(..=self.cycle).map(|(k, _)| *k).collect();
         for key in due {
             let commits = self.pending.remove(&key).expect("key just seen");
             for commit in commits {
@@ -356,9 +465,7 @@ impl<'a> Simulator<'a> {
         let a = match addr {
             AddrMode::Absolute(a) => a,
             AddrMode::Register(r) => self.read_reg(cluster, r, word)? as u16,
-            AddrMode::BaseDisp(r, d) => {
-                (self.read_reg(cluster, r, word)?).wrapping_add(d) as u16
-            }
+            AddrMode::BaseDisp(r, d) => (self.read_reg(cluster, r, word)?).wrapping_add(d) as u16,
             AddrMode::Indexed(r, s) => {
                 let base = self.read_reg(cluster, r, word)?;
                 let idx = self.read_reg(cluster, s, word)?;
@@ -681,10 +788,20 @@ mod tests {
             },
         )]);
         p.push_word(vec![
-            Operation::guarded(0, 0, PredGuard::if_true(Pred(1)), mov(0, 0, 1, 10).kind.clone())
-                .into_slot(0, 0),
-            Operation::guarded(0, 1, PredGuard::if_false(Pred(1)), mov(0, 1, 2, 20).kind.clone())
-                .into_slot(0, 1),
+            Operation::guarded(
+                0,
+                0,
+                PredGuard::if_true(Pred(1)),
+                mov(0, 0, 1, 10).kind.clone(),
+            )
+            .into_slot(0, 0),
+            Operation::guarded(
+                0,
+                1,
+                PredGuard::if_false(Pred(1)),
+                mov(0, 1, 2, 20).kind.clone(),
+            )
+            .into_slot(0, 1),
         ]);
         p.push_word(halt_word(&m));
         let mut sim = Simulator::new(&m, &p).unwrap();
@@ -844,7 +961,10 @@ mod tests {
         let mut p2 = Program::new("off-end");
         p2.push_word(vec![mov(0, 0, 1, 1)]);
         let mut sim = Simulator::new(&m, &p2).unwrap();
-        assert!(matches!(sim.run(10).unwrap_err(), SimError::RanOffEnd { .. }));
+        assert!(matches!(
+            sim.run(10).unwrap_err(),
+            SimError::RanOffEnd { .. }
+        ));
     }
 
     #[test]
@@ -860,6 +980,93 @@ mod tests {
         assert_eq!(stats.issue_capacity, 2 * 33);
         assert!(stats.utilization() > 0.0);
         assert_eq!(stats.icache_misses, 0, "warmed cache");
+    }
+
+    #[test]
+    fn branch_shadow_bubbles_are_counted() {
+        let m = models::i4c8s4();
+        let (bc, bs) = m.branch_slot();
+        let bds = m.pipeline.branch_delay_slots as usize;
+        let mut p = Program::new("t");
+        p.push_word(vec![Operation::new(
+            bc,
+            bs,
+            OpKind::Jump { target: 1 + bds },
+        )]);
+        for _ in 0..bds {
+            p.push_word(vec![]); // empty delay slots: pure bubbles
+        }
+        p.push_word(halt_word(&m));
+        let mut sim = Simulator::new(&m, &p).unwrap();
+        let stats = sim.run(100).unwrap();
+        assert_eq!(stats.branch_bubble_cycles, bds as u64);
+        // Bubbles are issued words, not stalls: the coherence invariant
+        // between cycles, words, and icache stalls is untouched.
+        assert_eq!(stats.cycles, stats.words + stats.icache_stall_cycles);
+    }
+
+    #[test]
+    fn per_cluster_ops_and_histogram() {
+        let m = models::i4c8s4();
+        let mut p = Program::new("t");
+        p.push_word(vec![mov(0, 0, 1, 1), mov(0, 1, 2, 2), mov(2, 0, 1, 3)]);
+        p.push_word(vec![mov(2, 0, 2, 4)]);
+        p.push_word(halt_word(&m));
+        let mut sim = Simulator::new(&m, &p).unwrap();
+        let stats = sim.run(100).unwrap();
+        // Cluster 0: two movs plus the halt (branch-class, lives in the
+        // control slot on cluster 0).
+        assert_eq!(stats.ops_by_cluster[0], 3);
+        assert_eq!(stats.ops_by_cluster[2], 2);
+        // Cluster 0: one word with 2 ops, one with 1 (halt), one idle.
+        assert_eq!(stats.util_histogram[0], vec![1, 1, 1]);
+        // Cluster 2: two words with 1 op each.
+        assert_eq!(stats.util_histogram[2], vec![1, 2]);
+        // Histogram mass equals the word count for every traced cluster.
+        for hist in &stats.util_histogram {
+            assert_eq!(hist.iter().sum::<u64>(), stats.words);
+        }
+    }
+
+    #[test]
+    fn trace_events_reconcile_with_stats() {
+        let m = models::i4c8s4();
+        let mut p = Program::new("t");
+        p.push_word(vec![Operation::new(
+            0,
+            0,
+            OpKind::Cmp {
+                op: CmpOp::Lt,
+                dst: Pred(1),
+                a: Operand::Imm(5),
+                b: Operand::Imm(2),
+            },
+        )]);
+        p.push_word(vec![
+            Operation::guarded(
+                0,
+                0,
+                PredGuard::if_true(Pred(1)),
+                mov(0, 0, 1, 10).kind.clone(),
+            )
+            .into_slot(0, 0),
+            mov(1, 0, 3, 7),
+        ]);
+        p.push_word(halt_word(&m));
+        let mut sink = vsp_trace::MemorySink::new();
+        let mut sim = Simulator::with_sink(&m, &p, &mut sink).unwrap();
+        let stats = sim.run(100).unwrap();
+        drop(sim);
+        assert_eq!(
+            sink.count(|e| matches!(e, TraceEvent::Issue { .. })),
+            stats.total_ops()
+        );
+        assert_eq!(
+            sink.count(|e| matches!(e, TraceEvent::Annul { .. })),
+            stats.annulled_ops
+        );
+        assert_eq!(sink.count(|e| matches!(e, TraceEvent::Halt { .. })), 1);
+        assert_eq!(sink.dropped(), 0);
     }
 
     #[test]

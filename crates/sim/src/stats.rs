@@ -31,6 +31,23 @@ pub struct RunStats {
     /// Peak operations the machine could have issued (words × issue
     /// width), for utilization accounting.
     pub issue_capacity: u64,
+    /// Branch-redirect bubbles: words issued inside a branch-delay
+    /// shadow that performed no work (no committed and no annulled
+    /// operations). Together with [`RunStats::icache_stall_cycles`]
+    /// these break down where non-productive cycles went — note the
+    /// bubbles are *issued words*, so `cycles == words +
+    /// icache_stall_cycles` still holds.
+    #[serde(default)]
+    pub branch_bubble_cycles: u64,
+    /// Committed operations per cluster, indexed by cluster id.
+    #[serde(default)]
+    pub ops_by_cluster: Vec<u64>,
+    /// Per-cluster issue-occupancy histogram: `util_histogram[c][k]` is
+    /// the number of issued words in which cluster `c` committed
+    /// exactly `k` operations. Bucket 0 is derived from `words` when
+    /// the run finishes.
+    #[serde(default)]
+    pub util_histogram: Vec<Vec<u64>>,
 }
 
 impl RunStats {
@@ -62,9 +79,61 @@ impl RunStats {
         self.ops_per_cycle() * freq_mhz / 1000.0
     }
 
+    /// Cycles spent issuing productive words — total cycles minus
+    /// icache refill stalls and branch-redirect bubbles.
+    pub fn productive_cycles(&self) -> u64 {
+        self.cycles
+            .saturating_sub(self.icache_stall_cycles)
+            .saturating_sub(self.branch_bubble_cycles)
+    }
+
+    /// Mean committed occupancy of one cluster, in operations per
+    /// issued word, from its utilization histogram.
+    pub fn mean_cluster_occupancy(&self, cluster: usize) -> f64 {
+        let Some(hist) = self.util_histogram.get(cluster) else {
+            return 0.0;
+        };
+        let words: u64 = hist.iter().sum();
+        if words == 0 {
+            return 0.0;
+        }
+        let ops: u64 = hist.iter().enumerate().map(|(k, &n)| k as u64 * n).sum();
+        ops as f64 / words as f64
+    }
+
     /// Records a committed operation.
-    pub(crate) fn record_op(&mut self, class: FuClass) {
+    pub(crate) fn record_op(&mut self, class: FuClass, cluster: usize) {
         *self.ops_by_class.entry(class).or_insert(0) += 1;
+        if self.ops_by_cluster.len() <= cluster {
+            self.ops_by_cluster.resize(cluster + 1, 0);
+        }
+        self.ops_by_cluster[cluster] += 1;
+    }
+
+    /// Records that a cluster committed `ops > 0` operations in one
+    /// issued word (the zero bucket is derived in [`RunStats::finalize`]).
+    pub(crate) fn record_cluster_word(&mut self, cluster: usize, ops: usize) {
+        if self.util_histogram.len() <= cluster {
+            self.util_histogram.resize(cluster + 1, Vec::new());
+        }
+        let hist = &mut self.util_histogram[cluster];
+        if hist.len() <= ops {
+            hist.resize(ops + 1, 0);
+        }
+        hist[ops] += 1;
+    }
+
+    /// Derives histogram zero-buckets from the word count. Idempotent;
+    /// called whenever stats are read out of a simulator, so the hot
+    /// loop never pays for idle clusters.
+    pub(crate) fn finalize(&mut self) {
+        for hist in &mut self.util_histogram {
+            if hist.is_empty() {
+                hist.push(0);
+            }
+            let busy: u64 = hist[1..].iter().sum();
+            hist[0] = self.words.saturating_sub(busy);
+        }
     }
 }
 
@@ -79,11 +148,23 @@ impl fmt::Display for RunStats {
             self.ops_per_cycle(),
             self.utilization() * 100.0
         )?;
-        write!(
+        writeln!(
             f,
             "loads {}, stores {}, transfers {}, taken branches {}, icache stalls {}",
             self.loads, self.stores, self.transfers, self.taken_branches, self.icache_stall_cycles
-        )
+        )?;
+        write!(
+            f,
+            "icache misses {}, branch bubbles {}, annulled {}",
+            self.icache_misses, self.branch_bubble_cycles, self.annulled_ops
+        )?;
+        if !self.ops_by_cluster.is_empty() {
+            write!(f, "\nops by cluster:")?;
+            for (c, ops) in self.ops_by_cluster.iter().enumerate() {
+                write!(f, " c{c}={ops}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -100,9 +181,10 @@ mod tests {
             ..RunStats::default()
         };
         for _ in 0..330 {
-            s.record_op(FuClass::Alu);
+            s.record_op(FuClass::Alu, 0);
         }
         assert_eq!(s.total_ops(), 330);
+        assert_eq!(s.ops_by_cluster, vec![330]);
         assert!((s.utilization() - 0.1).abs() < 1e-12);
         assert!((s.ops_per_cycle() - 3.3).abs() < 1e-12);
         assert!((s.gops_at(650.0) - 2.145).abs() < 1e-9);
@@ -122,5 +204,55 @@ mod tests {
             ..RunStats::default()
         };
         assert!(s.to_string().contains("42 cycles"));
+    }
+
+    #[test]
+    fn display_surfaces_icache_misses_and_bubbles() {
+        let s = RunStats {
+            icache_misses: 7,
+            branch_bubble_cycles: 5,
+            ops_by_cluster: vec![10, 20],
+            ..RunStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("icache misses 7"), "{text}");
+        assert!(text.contains("branch bubbles 5"), "{text}");
+        assert!(text.contains("c0=10"), "{text}");
+        assert!(text.contains("c1=20"), "{text}");
+    }
+
+    #[test]
+    fn stall_breakdown_and_productive_cycles() {
+        let s = RunStats {
+            cycles: 100,
+            words: 90,
+            icache_stall_cycles: 10,
+            branch_bubble_cycles: 6,
+            ..RunStats::default()
+        };
+        assert_eq!(s.productive_cycles(), 84);
+    }
+
+    #[test]
+    fn histogram_zero_bucket_derived_at_finalize() {
+        let mut s = RunStats {
+            words: 10,
+            ..RunStats::default()
+        };
+        // Cluster 0 issued 2 ops in three words and 1 op in four words.
+        for _ in 0..3 {
+            s.record_cluster_word(0, 2);
+        }
+        for _ in 0..4 {
+            s.record_cluster_word(0, 1);
+        }
+        s.finalize();
+        assert_eq!(s.util_histogram[0], vec![3, 4, 3]);
+        // Idempotent.
+        s.finalize();
+        assert_eq!(s.util_histogram[0], vec![3, 4, 3]);
+        let occ = s.mean_cluster_occupancy(0);
+        assert!((occ - 1.0).abs() < 1e-12, "{occ}"); // 10 ops / 10 words
+        assert_eq!(s.mean_cluster_occupancy(5), 0.0);
     }
 }

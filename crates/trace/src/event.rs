@@ -1,0 +1,430 @@
+//! Trace events: the shared vocabulary of the simulator's per-cycle
+//! stream and the schedulers' decision logs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use vsp_isa::{ClusterId, FuClass, SlotId};
+
+/// Placement orderings the modulo scheduler tries per candidate II (see
+/// `vsp-sched`'s `modulo` module). Mirrored here so II-attempt events can
+/// say *which* tie-breaking strategy was being tried when an II failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedOrdering {
+    /// Scarce resources (memory, multiplier, shifter) first, then height.
+    ScarceFirst,
+    /// Height-first, program order on ties.
+    Height,
+    /// Program order.
+    Program,
+}
+
+impl SchedOrdering {
+    fn name(self) -> &'static str {
+        match self {
+            SchedOrdering::ScarceFirst => "scarce-first",
+            SchedOrdering::Height => "height",
+            SchedOrdering::Program => "program",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Simulator events carry the absolute cycle and fetched word index;
+/// scheduler events carry operation indices into the lowered body and
+/// schedule-relative cycles. All payloads are plain integers so a sink
+/// can serialize an event without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An operation issued and will commit (guard true or absent).
+    Issue {
+        /// Absolute simulation cycle.
+        cycle: u64,
+        /// Program word index.
+        word: u32,
+        /// Issuing cluster.
+        cluster: ClusterId,
+        /// Issue slot within the cluster.
+        slot: SlotId,
+        /// Functional-unit class the slot engaged.
+        class: FuClass,
+    },
+    /// An operation issued but its guard annulled it.
+    Annul {
+        /// Absolute simulation cycle.
+        cycle: u64,
+        /// Program word index.
+        word: u32,
+        /// Issuing cluster.
+        cluster: ClusterId,
+        /// Issue slot within the cluster.
+        slot: SlotId,
+    },
+    /// A branch or jump committed and will redirect fetch.
+    Branch {
+        /// Absolute simulation cycle.
+        cycle: u64,
+        /// Program word index of the branch.
+        word: u32,
+        /// Redirect target word.
+        target: u32,
+    },
+    /// Instruction fetch missed the cache and stalled the machine.
+    IcacheMiss {
+        /// Absolute simulation cycle the miss was discovered.
+        cycle: u64,
+        /// Program word whose fetch missed.
+        word: u32,
+        /// Refill stall in cycles.
+        stall: u32,
+    },
+    /// A word in a branch-delay shadow issued no operations — a
+    /// branch-redirect bubble.
+    BranchBubble {
+        /// Absolute simulation cycle.
+        cycle: u64,
+        /// Program word index.
+        word: u32,
+    },
+    /// The program halted.
+    Halt {
+        /// Absolute simulation cycle of the halt commit.
+        cycle: u64,
+    },
+
+    /// List scheduler: an operation was placed.
+    ListPlace {
+        /// Operation index in the lowered body.
+        op: u32,
+        /// Ready-set size when this placement was made (operations whose
+        /// same-iteration predecessors were all placed).
+        ready: u32,
+        /// Issue cycle within the block schedule.
+        cycle: u32,
+        /// Chosen cluster.
+        cluster: ClusterId,
+        /// Chosen slot.
+        slot: SlotId,
+    },
+    /// List scheduler: a cycle was rejected for an operation because no
+    /// capable slot was free (the op slides to a later cycle).
+    ListConflict {
+        /// Operation index in the lowered body.
+        op: u32,
+        /// Rejected cycle.
+        cycle: u32,
+        /// Cluster whose slots were exhausted.
+        cluster: ClusterId,
+    },
+    /// Modulo scheduler: a candidate II is being attempted.
+    IiAttempt {
+        /// Candidate initiation interval.
+        ii: u32,
+        /// Placement ordering being tried.
+        ordering: SchedOrdering,
+    },
+    /// Modulo scheduler: every ordering failed at `from`; II escalates.
+    IiEscalate {
+        /// II that failed.
+        from: u32,
+        /// Next II to try.
+        to: u32,
+    },
+    /// Modulo scheduler: an operation was placed.
+    ModuloPlace {
+        /// Operation index in the lowered body.
+        op: u32,
+        /// Unplaced operations remaining before this placement.
+        ready: u32,
+        /// Issue time within the iteration schedule.
+        time: u32,
+        /// Modulo reservation row (`time % II`).
+        row: u32,
+        /// Chosen cluster.
+        cluster: ClusterId,
+        /// Chosen slot.
+        slot: SlotId,
+    },
+    /// Modulo scheduler: no slot in the II-wide window accepted the
+    /// operation on a cluster (a resource-conflict rejection).
+    ModuloConflict {
+        /// Operation index in the lowered body.
+        op: u32,
+        /// Earliest start the window search began at.
+        time: u32,
+        /// Cluster whose window was exhausted.
+        cluster: ClusterId,
+    },
+    /// Modulo scheduler: an operation was forced into a full row,
+    /// evicting whatever blocked it.
+    ModuloForce {
+        /// Operation index being forced in.
+        op: u32,
+        /// Issue time it was forced at.
+        time: u32,
+        /// Cluster it was forced onto.
+        cluster: ClusterId,
+    },
+    /// Modulo scheduler: a previously placed operation was evicted.
+    ModuloEvict {
+        /// Operation index evicted back onto the worklist.
+        evicted: u32,
+        /// Operation index whose placement displaced it.
+        by: u32,
+    },
+    /// A scheduler finished: `ii == 0` for list schedules.
+    ScheduleDone {
+        /// Achieved initiation interval (0 for list schedules).
+        ii: u32,
+        /// Schedule length in cycles.
+        length: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lowercase name of the event kind (used by the JSON-Lines
+    /// and Chrome sinks).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Issue { .. } => "issue",
+            TraceEvent::Annul { .. } => "annul",
+            TraceEvent::Branch { .. } => "branch",
+            TraceEvent::IcacheMiss { .. } => "icache_miss",
+            TraceEvent::BranchBubble { .. } => "branch_bubble",
+            TraceEvent::Halt { .. } => "halt",
+            TraceEvent::ListPlace { .. } => "list_place",
+            TraceEvent::ListConflict { .. } => "list_conflict",
+            TraceEvent::IiAttempt { .. } => "ii_attempt",
+            TraceEvent::IiEscalate { .. } => "ii_escalate",
+            TraceEvent::ModuloPlace { .. } => "modulo_place",
+            TraceEvent::ModuloConflict { .. } => "modulo_conflict",
+            TraceEvent::ModuloForce { .. } => "modulo_force",
+            TraceEvent::ModuloEvict { .. } => "modulo_evict",
+            TraceEvent::ScheduleDone { .. } => "schedule_done",
+        }
+    }
+
+    /// Whether this is a simulator (rather than scheduler) event.
+    pub fn is_sim(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Issue { .. }
+                | TraceEvent::Annul { .. }
+                | TraceEvent::Branch { .. }
+                | TraceEvent::IcacheMiss { .. }
+                | TraceEvent::BranchBubble { .. }
+                | TraceEvent::Halt { .. }
+        )
+    }
+
+    /// Appends this event as one flat JSON object (no trailing newline).
+    ///
+    /// The encoding is hand-rolled — every payload is integers and
+    /// static strings, so the hot path never allocates through a
+    /// serializer. Field names are part of the trace format and stable.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"ev\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match *self {
+            TraceEvent::Issue {
+                cycle,
+                word,
+                cluster,
+                slot,
+                class,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"cycle\":{cycle},\"word\":{word},\"cluster\":{cluster},\"slot\":{slot},\"class\":\"{}\"",
+                    class_name(class)
+                );
+            }
+            TraceEvent::Annul {
+                cycle,
+                word,
+                cluster,
+                slot,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"cycle\":{cycle},\"word\":{word},\"cluster\":{cluster},\"slot\":{slot}"
+                );
+            }
+            TraceEvent::Branch {
+                cycle,
+                word,
+                target,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"cycle\":{cycle},\"word\":{word},\"target\":{target}"
+                );
+            }
+            TraceEvent::IcacheMiss { cycle, word, stall } => {
+                let _ = write!(out, ",\"cycle\":{cycle},\"word\":{word},\"stall\":{stall}");
+            }
+            TraceEvent::BranchBubble { cycle, word } => {
+                let _ = write!(out, ",\"cycle\":{cycle},\"word\":{word}");
+            }
+            TraceEvent::Halt { cycle } => {
+                let _ = write!(out, ",\"cycle\":{cycle}");
+            }
+            TraceEvent::ListPlace {
+                op,
+                ready,
+                cycle,
+                cluster,
+                slot,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"op\":{op},\"ready\":{ready},\"cycle\":{cycle},\"cluster\":{cluster},\"slot\":{slot}"
+                );
+            }
+            TraceEvent::ListConflict { op, cycle, cluster } => {
+                let _ = write!(out, ",\"op\":{op},\"cycle\":{cycle},\"cluster\":{cluster}");
+            }
+            TraceEvent::IiAttempt { ii, ordering } => {
+                let _ = write!(out, ",\"ii\":{ii},\"ordering\":\"{}\"", ordering.name());
+            }
+            TraceEvent::IiEscalate { from, to } => {
+                let _ = write!(out, ",\"from\":{from},\"to\":{to}");
+            }
+            TraceEvent::ModuloPlace {
+                op,
+                ready,
+                time,
+                row,
+                cluster,
+                slot,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"op\":{op},\"ready\":{ready},\"time\":{time},\"row\":{row},\"cluster\":{cluster},\"slot\":{slot}"
+                );
+            }
+            TraceEvent::ModuloConflict { op, time, cluster } => {
+                let _ = write!(out, ",\"op\":{op},\"time\":{time},\"cluster\":{cluster}");
+            }
+            TraceEvent::ModuloForce { op, time, cluster } => {
+                let _ = write!(out, ",\"op\":{op},\"time\":{time},\"cluster\":{cluster}");
+            }
+            TraceEvent::ModuloEvict { evicted, by } => {
+                let _ = write!(out, ",\"evicted\":{evicted},\"by\":{by}");
+            }
+            TraceEvent::ScheduleDone { ii, length } => {
+                let _ = write!(out, ",\"ii\":{ii},\"length\":{length}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Stable lowercase name of a functional-unit class.
+pub fn class_name(class: FuClass) -> &'static str {
+    match class {
+        FuClass::Alu => "alu",
+        FuClass::Mul => "mul",
+        FuClass::Shift => "shift",
+        FuClass::Mem => "mem",
+        FuClass::Branch => "branch",
+        FuClass::Xfer => "xfer",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_flat_objects() {
+        let mut s = String::new();
+        TraceEvent::Issue {
+            cycle: 7,
+            word: 3,
+            cluster: 1,
+            slot: 2,
+            class: FuClass::Mem,
+        }
+        .write_json(&mut s);
+        assert_eq!(
+            s,
+            "{\"ev\":\"issue\",\"cycle\":7,\"word\":3,\"cluster\":1,\"slot\":2,\"class\":\"mem\"}"
+        );
+    }
+
+    #[test]
+    fn every_kind_serializes_without_panicking() {
+        let events = [
+            TraceEvent::Issue {
+                cycle: 1,
+                word: 0,
+                cluster: 0,
+                slot: 0,
+                class: FuClass::Alu,
+            },
+            TraceEvent::Annul {
+                cycle: 1,
+                word: 0,
+                cluster: 0,
+                slot: 1,
+            },
+            TraceEvent::Branch {
+                cycle: 2,
+                word: 1,
+                target: 0,
+            },
+            TraceEvent::IcacheMiss {
+                cycle: 3,
+                word: 2,
+                stall: 128,
+            },
+            TraceEvent::BranchBubble { cycle: 4, word: 3 },
+            TraceEvent::Halt { cycle: 5 },
+            TraceEvent::ListPlace {
+                op: 0,
+                ready: 4,
+                cycle: 0,
+                cluster: 0,
+                slot: 0,
+            },
+            TraceEvent::ListConflict {
+                op: 1,
+                cycle: 0,
+                cluster: 0,
+            },
+            TraceEvent::IiAttempt {
+                ii: 2,
+                ordering: SchedOrdering::ScarceFirst,
+            },
+            TraceEvent::IiEscalate { from: 2, to: 3 },
+            TraceEvent::ModuloPlace {
+                op: 2,
+                ready: 3,
+                time: 1,
+                row: 1,
+                cluster: 0,
+                slot: 2,
+            },
+            TraceEvent::ModuloConflict {
+                op: 2,
+                time: 1,
+                cluster: 0,
+            },
+            TraceEvent::ModuloForce {
+                op: 2,
+                time: 1,
+                cluster: 0,
+            },
+            TraceEvent::ModuloEvict { evicted: 1, by: 2 },
+            TraceEvent::ScheduleDone { ii: 2, length: 7 },
+        ];
+        for e in events {
+            let mut s = String::new();
+            e.write_json(&mut s);
+            assert!(s.starts_with(&format!("{{\"ev\":\"{}\"", e.kind())), "{s}");
+            assert!(s.ends_with('}'), "{s}");
+        }
+    }
+}

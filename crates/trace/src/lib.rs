@@ -1,0 +1,57 @@
+//! Structured tracing for the VLIW video signal processor toolchain.
+//!
+//! Both halves of the toolchain produce events into a [`TraceSink`]:
+//!
+//! * the cycle-accurate simulator emits per-cycle **execution events**
+//!   (issues, annuls, taken branches, icache misses, branch-redirect
+//!   bubbles, halt), and
+//! * the schedulers emit **decision events** (list-scheduling
+//!   placements and resource conflicts, modulo-scheduling II attempts,
+//!   escalations, evictions).
+//!
+//! Tracing is zero-cost when disabled: producers are generic over the
+//! sink and gate all event construction on [`TraceSink::enabled`], and
+//! the default [`NullSink`] answers `false` from an inlinable body, so
+//! the untraced monomorphization contains no tracing code at all. A
+//! criterion bench in `vsp-bench` (`trace_overhead`) guards this.
+//!
+//! Available sinks:
+//!
+//! * [`NullSink`] — the compiled-away default;
+//! * [`MemorySink`] — bounded in-memory ring, oldest events overwritten
+//!   but still counted (used by the reconciliation tests);
+//! * [`JsonLinesSink`] — one flat JSON object per line, grep-friendly;
+//! * [`ChromeTraceSink`] — Chrome `trace_event` JSON, loadable in
+//!   Perfetto (<https://ui.perfetto.dev>): one process per cluster, one
+//!   thread per issue slot, occupancy counter tracks per cluster.
+//!
+//! [`UtilizationTimeline`] folds a recorded event stream back into
+//! per-cluster, per-FU-class occupancy and renders the human-readable
+//! utilization report the `vsp-bench` `trace` binary prints.
+//!
+//! # Example
+//!
+//! ```
+//! use vsp_trace::{MemorySink, TraceSink, TraceEvent, UtilizationTimeline};
+//! use vsp_isa::FuClass;
+//!
+//! let mut sink = MemorySink::with_capacity(1024);
+//! if sink.enabled() {
+//!     sink.emit(TraceEvent::Issue {
+//!         cycle: 0, word: 0, cluster: 0, slot: 0, class: FuClass::Alu,
+//!     });
+//! }
+//! let timeline = UtilizationTimeline::build(sink.events(), 64);
+//! assert_eq!(timeline.total_ops(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod sink;
+pub mod timeline;
+
+pub use event::{class_name, SchedOrdering, TraceEvent};
+pub use sink::{ChromeTraceSink, JsonLinesSink, MemorySink, NullSink, TraceSink};
+pub use timeline::{class_index, ClusterSeries, MachineShape, UtilizationTimeline};

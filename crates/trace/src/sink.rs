@@ -1,0 +1,559 @@
+//! Event sinks: where trace events go.
+//!
+//! The contract that keeps tracing free when unused: producers must
+//! check [`TraceSink::enabled`] before building an event, and
+//! [`NullSink`] answers `false` from a trivially inlinable body. A
+//! simulator monomorphized over `NullSink` therefore contains no trace
+//! code at all — the branch folds to a constant and dead-code
+//! elimination removes the payload construction.
+
+use crate::event::{class_name, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A consumer of [`TraceEvent`]s.
+pub trait TraceSink {
+    /// Whether this sink wants events at all. Producers should gate
+    /// event construction on this so a disabled sink costs nothing.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn emit(&mut self, event: TraceEvent);
+
+    /// Flushes any buffered output to its destination.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        (**self).emit(event)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+}
+
+/// The do-nothing sink. Reports itself disabled, so traced code paths
+/// compile down to the untraced ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn emit(&mut self, _event: TraceEvent) {}
+}
+
+/// A bounded in-memory ring buffer of events.
+///
+/// Keeps the most recent `capacity` events; older ones are overwritten
+/// but still counted, so [`MemorySink::total`] always reflects every
+/// event ever emitted (the reconciliation tests rely on this).
+#[derive(Debug, Clone)]
+pub struct MemorySink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest retained event once the buffer has wrapped.
+    head: usize,
+    total: u64,
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemorySink {
+    /// Default retention: the most recent 1Mi events.
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 20)
+    }
+
+    /// A ring retaining at most `capacity` events (`capacity > 0`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "MemorySink capacity must be non-zero");
+        MemorySink {
+            buf: Vec::new(),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever emitted, including overwritten ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Counts retained events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> u64 {
+        self.events().filter(|e| pred(e)).count() as u64
+    }
+
+    /// Drops all retained events (the running total is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+}
+
+/// Streams events as JSON-Lines: one flat JSON object per line, in the
+/// format of [`TraceEvent::write_json`].
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+    line: String,
+}
+
+impl JsonLinesSink<BufWriter<File>> {
+    /// Opens (truncating) a `.jsonl` file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink {
+            out,
+            line: String::with_capacity(128),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn emit(&mut self, event: TraceEvent) {
+        self.line.clear();
+        event.write_json(&mut self.line);
+        self.line.push('\n');
+        // I/O errors are surfaced at flush; a sink must not panic
+        // mid-simulation.
+        let _ = self.out.write_all(self.line.as_bytes());
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Per-class occupancy counters for one cluster within one cycle.
+type ClassCounts = [u32; 6];
+
+/// Streams events in Chrome's `trace_event` JSON-array format, loadable
+/// in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+///
+/// Mapping: one trace *process* per cluster (pid = cluster id), one
+/// *thread* per issue slot (tid = slot id). Committed issues become 1µs
+/// complete events named after their FU class; annuls, branches, cache
+/// misses and scheduler decisions become instants; per-cluster
+/// occupancy (ops per class per cycle) is emitted as counter tracks.
+/// One simulated cycle maps to 1µs of trace time.
+pub struct ChromeTraceSink<W: Write> {
+    out: W,
+    scratch: String,
+    first: bool,
+    finished: bool,
+    /// Cycle whose occupancy counters are still accumulating.
+    open_cycle: Option<u64>,
+    counts: BTreeMap<u8, ClassCounts>,
+    last_emitted: BTreeMap<u8, ClassCounts>,
+    named_pids: BTreeMap<u32, ()>,
+}
+
+/// Synthetic pid for the scheduler decision-log track.
+const SCHED_PID: u32 = 1000;
+
+impl ChromeTraceSink<BufWriter<File>> {
+    /// Opens (truncating) a `.json` trace file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        ChromeTraceSink {
+            out,
+            scratch: String::with_capacity(256),
+            first: true,
+            finished: false,
+            open_cycle: None,
+            counts: BTreeMap::new(),
+            last_emitted: BTreeMap::new(),
+            named_pids: BTreeMap::new(),
+        }
+    }
+
+    /// Writes remaining counter samples and the closing `]`, flushes,
+    /// and returns the writer. The trace file is well-formed only after
+    /// this (though Perfetto tolerates a missing terminator).
+    pub fn finish(mut self) -> io::Result<W> {
+        self.close();
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn close(&mut self) {
+        if self.finished {
+            return;
+        }
+        if let Some(cycle) = self.open_cycle.take() {
+            self.flush_counters(cycle);
+        }
+        self.finished = true;
+        let _ = self
+            .out
+            .write_all(if self.first { b"[\n]\n" } else { b"\n]\n" });
+    }
+
+    fn record_start(&mut self) {
+        self.scratch.clear();
+        self.scratch
+            .push_str(if self.first { "[\n" } else { ",\n" });
+        self.first = false;
+    }
+
+    fn record_end(&mut self) {
+        let _ = self.out.write_all(self.scratch.as_bytes());
+    }
+
+    fn name_pid(&mut self, pid: u32, name: &str) {
+        if self.named_pids.insert(pid, ()).is_none() {
+            self.record_start();
+            let _ = write!(
+                self.scratch,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            );
+            self.record_end();
+        }
+    }
+
+    /// Emits counter samples for every cluster whose per-class counts
+    /// changed since the last sample (including drops back to zero).
+    fn flush_counters(&mut self, cycle: u64) {
+        let clusters: Vec<u8> = self
+            .counts
+            .keys()
+            .chain(self.last_emitted.keys())
+            .copied()
+            .collect();
+        for cluster in clusters {
+            let cur = self.counts.get(&cluster).copied().unwrap_or([0; 6]);
+            if self.last_emitted.get(&cluster).copied().unwrap_or([0; 6]) == cur {
+                continue;
+            }
+            self.record_start();
+            let _ = write!(
+                self.scratch,
+                "{{\"name\":\"occupancy\",\"ph\":\"C\",\"ts\":{cycle},\
+                 \"pid\":{cluster},\"tid\":0,\"args\":{{"
+            );
+            for (i, class) in vsp_isa::FuClass::ALL.iter().enumerate() {
+                if i > 0 {
+                    self.scratch.push(',');
+                }
+                let _ = write!(self.scratch, "\"{}\":{}", class_name(*class), cur[i]);
+            }
+            self.scratch.push_str("}}");
+            self.record_end();
+            self.last_emitted.insert(cluster, cur);
+        }
+        self.counts.clear();
+    }
+
+    fn advance_to(&mut self, cycle: u64) {
+        match self.open_cycle {
+            Some(open) if open == cycle => {}
+            Some(open) => {
+                self.flush_counters(open);
+                self.open_cycle = Some(cycle);
+            }
+            None => self.open_cycle = Some(cycle),
+        }
+    }
+
+    fn instant(&mut self, name: &str, ts: u64, pid: u32, tid: u32, args_json: &str) {
+        self.record_start();
+        let _ = write!(
+            self.scratch,
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+             \"pid\":{pid},\"tid\":{tid},\"args\":{args_json}}}"
+        );
+        self.record_end();
+    }
+}
+
+impl<W: Write> TraceSink for ChromeTraceSink<W> {
+    fn emit(&mut self, event: TraceEvent) {
+        if self.finished {
+            return;
+        }
+        match event {
+            TraceEvent::Issue {
+                cycle,
+                word,
+                cluster,
+                slot,
+                class,
+            } => {
+                self.name_pid(cluster as u32, &format!("cluster {cluster}"));
+                self.advance_to(cycle);
+                let idx = crate::timeline::class_index(class);
+                self.counts.entry(cluster).or_insert([0; 6])[idx] += 1;
+                self.record_start();
+                let _ = write!(
+                    self.scratch,
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{cycle},\"dur\":1,\
+                     \"pid\":{cluster},\"tid\":{slot},\"args\":{{\"word\":{word}}}}}",
+                    class_name(class)
+                );
+                self.record_end();
+            }
+            TraceEvent::Annul {
+                cycle,
+                word,
+                cluster,
+                slot,
+            } => {
+                self.name_pid(cluster as u32, &format!("cluster {cluster}"));
+                self.advance_to(cycle);
+                self.instant(
+                    "annul",
+                    cycle,
+                    cluster as u32,
+                    slot as u32,
+                    &format!("{{\"word\":{word}}}"),
+                );
+            }
+            TraceEvent::Branch {
+                cycle,
+                word,
+                target,
+            } => {
+                self.advance_to(cycle);
+                self.instant(
+                    "branch",
+                    cycle,
+                    0,
+                    0,
+                    &format!("{{\"word\":{word},\"target\":{target}}}"),
+                );
+            }
+            TraceEvent::IcacheMiss { cycle, word, stall } => {
+                self.advance_to(cycle);
+                self.record_start();
+                let _ = write!(
+                    self.scratch,
+                    "{{\"name\":\"icache miss\",\"ph\":\"X\",\"ts\":{cycle},\"dur\":{stall},\
+                     \"pid\":0,\"tid\":0,\"args\":{{\"word\":{word}}}}}"
+                );
+                self.record_end();
+            }
+            TraceEvent::BranchBubble { cycle, word } => {
+                self.advance_to(cycle);
+                self.instant(
+                    "branch bubble",
+                    cycle,
+                    0,
+                    0,
+                    &format!("{{\"word\":{word}}}"),
+                );
+            }
+            TraceEvent::Halt { cycle } => {
+                self.advance_to(cycle);
+                self.instant("halt", cycle, 0, 0, "{}");
+            }
+            other => {
+                // Scheduler decision log: instants on a synthetic
+                // process, timestamped by schedule-relative cycle.
+                self.name_pid(SCHED_PID, "scheduler");
+                let ts = match other {
+                    TraceEvent::ListPlace { cycle, .. } => cycle as u64,
+                    TraceEvent::ListConflict { cycle, .. } => cycle as u64,
+                    TraceEvent::ModuloPlace { time, .. } => time as u64,
+                    TraceEvent::ModuloConflict { time, .. } => time as u64,
+                    TraceEvent::ModuloForce { time, .. } => time as u64,
+                    _ => 0,
+                };
+                let mut args = String::new();
+                other.write_json(&mut args);
+                self.instant(other.kind(), ts, SCHED_PID, 0, &args);
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsp_isa::FuClass;
+
+    fn issue(cycle: u64, cluster: u8, slot: u8) -> TraceEvent {
+        TraceEvent::Issue {
+            cycle,
+            word: 0,
+            cluster,
+            slot,
+            class: FuClass::Alu,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn memory_sink_retains_in_order() {
+        let mut sink = MemorySink::with_capacity(8);
+        for c in 0..5 {
+            sink.emit(issue(c, 0, 0));
+        }
+        assert_eq!(sink.len(), 5);
+        assert_eq!(sink.total(), 5);
+        assert_eq!(sink.dropped(), 0);
+        let cycles: Vec<u64> = sink
+            .events()
+            .map(|e| match e {
+                TraceEvent::Issue { cycle, .. } => *cycle,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn memory_sink_wraps_and_counts_drops() {
+        let mut sink = MemorySink::with_capacity(4);
+        for c in 0..10 {
+            sink.emit(issue(c, 0, 0));
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.total(), 10);
+        assert_eq!(sink.dropped(), 6);
+        let cycles: Vec<u64> = sink
+            .events()
+            .map(|e| match e {
+                TraceEvent::Issue { cycle, .. } => *cycle,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "oldest-first after wrap");
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.emit(issue(3, 1, 2));
+        sink.emit(TraceEvent::Halt { cycle: 9 });
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ev\":\"issue\""));
+        assert!(lines[1].contains("\"ev\":\"halt\""));
+    }
+
+    #[test]
+    fn chrome_sink_produces_a_json_array() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.emit(issue(0, 0, 0));
+        sink.emit(issue(0, 0, 1));
+        sink.emit(issue(1, 0, 0));
+        sink.emit(TraceEvent::Branch {
+            cycle: 1,
+            word: 2,
+            target: 0,
+        });
+        sink.emit(TraceEvent::Halt { cycle: 4 });
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let trimmed = text.trim();
+        assert!(trimmed.starts_with('['), "{text}");
+        assert!(trimmed.ends_with(']'), "{text}");
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"C\""), "occupancy counters present");
+        assert!(text.contains("\"process_name\""));
+        // Every record line between the brackets must parse as an object.
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line == "[" || line == "]" || line.is_empty() {
+                continue;
+            }
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn chrome_sink_empty_trace_is_well_formed() {
+        let sink = ChromeTraceSink::new(Vec::new());
+        let bytes = sink.finish().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap().trim(), "[\n]");
+    }
+}

@@ -1,0 +1,359 @@
+//! Utilization timelines: aggregate a stream of simulator events into
+//! per-cluster, per-FU-class occupancy and render a human-readable
+//! report.
+//!
+//! This is the offline half of the observability story: the simulator
+//! emits raw [`TraceEvent`]s, and this module folds them into the kind
+//! of utilization numbers the paper's Table 1/Table 2 discussion is
+//! built on (how busy each cluster is, which functional-unit class
+//! saturates first, where the stall cycles went).
+
+use crate::event::{class_name, TraceEvent};
+use std::fmt::Write as _;
+use vsp_isa::FuClass;
+
+/// Dense index of a functional-unit class (stable, 0..6).
+pub fn class_index(class: FuClass) -> usize {
+    match class {
+        FuClass::Alu => 0,
+        FuClass::Mul => 1,
+        FuClass::Shift => 2,
+        FuClass::Mem => 3,
+        FuClass::Branch => 4,
+        FuClass::Xfer => 5,
+    }
+}
+
+/// The machine dimensions a report needs, decoupled from the full
+/// machine description so `vsp-trace` depends only on the ISA crate.
+/// Build one from a `MachineConfig` with per-cluster slot count and
+/// per-class issue capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineShape {
+    /// Number of clusters.
+    pub clusters: u32,
+    /// Issue slots per cluster.
+    pub slots_per_cluster: u32,
+    /// Per-cluster issue capacity of each FU class, indexed by
+    /// [`class_index`] (how many slots in one cluster can accept the
+    /// class in the same cycle).
+    pub class_capacity: [u32; 6],
+}
+
+/// Per-cluster occupancy totals accumulated from issue events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterSeries {
+    /// Committed operations per FU class, indexed by [`class_index`].
+    pub ops_by_class: [u64; 6],
+    /// Annulled issue slots (guard false).
+    pub annulled: u64,
+    /// Committed operations per time bucket (for the ASCII timeline).
+    pub buckets: Vec<u64>,
+}
+
+impl ClusterSeries {
+    /// Total committed operations on this cluster.
+    pub fn ops(&self) -> u64 {
+        self.ops_by_class.iter().sum()
+    }
+}
+
+/// Aggregated occupancy over a simulated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UtilizationTimeline {
+    /// Cycles per bucket in each cluster's `buckets` series.
+    pub bucket_cycles: u64,
+    /// One series per cluster that issued at least one operation
+    /// (indexed by cluster id; intermediate idle clusters get empty
+    /// series).
+    pub clusters: Vec<ClusterSeries>,
+    /// Highest cycle observed plus one.
+    pub cycles: u64,
+    /// Taken branches observed.
+    pub branches: u64,
+    /// Icache misses observed.
+    pub icache_misses: u64,
+    /// Total icache stall cycles observed.
+    pub icache_stall_cycles: u64,
+    /// Branch-redirect bubble words observed.
+    pub branch_bubbles: u64,
+}
+
+impl UtilizationTimeline {
+    /// Folds a stream of events into a timeline. Scheduler events are
+    /// ignored; only simulator events contribute. `bucket_cycles`
+    /// controls the granularity of the ASCII occupancy strip (e.g. 64).
+    pub fn build<'a>(
+        events: impl IntoIterator<Item = &'a TraceEvent>,
+        bucket_cycles: u64,
+    ) -> UtilizationTimeline {
+        assert!(bucket_cycles > 0, "bucket_cycles must be non-zero");
+        let mut tl = UtilizationTimeline {
+            bucket_cycles,
+            clusters: Vec::new(),
+            cycles: 0,
+            branches: 0,
+            icache_misses: 0,
+            icache_stall_cycles: 0,
+            branch_bubbles: 0,
+        };
+        for event in events {
+            match *event {
+                TraceEvent::Issue {
+                    cycle,
+                    cluster,
+                    class,
+                    ..
+                } => {
+                    let series = tl.cluster_mut(cluster);
+                    series.ops_by_class[class_index(class)] += 1;
+                    let bucket = (cycle / bucket_cycles) as usize;
+                    if series.buckets.len() <= bucket {
+                        series.buckets.resize(bucket + 1, 0);
+                    }
+                    series.buckets[bucket] += 1;
+                    tl.cycles = tl.cycles.max(cycle + 1);
+                }
+                TraceEvent::Annul { cycle, cluster, .. } => {
+                    tl.cluster_mut(cluster).annulled += 1;
+                    tl.cycles = tl.cycles.max(cycle + 1);
+                }
+                TraceEvent::Branch { cycle, .. } => {
+                    tl.branches += 1;
+                    tl.cycles = tl.cycles.max(cycle + 1);
+                }
+                TraceEvent::IcacheMiss { cycle, stall, .. } => {
+                    tl.icache_misses += 1;
+                    tl.icache_stall_cycles += stall as u64;
+                    tl.cycles = tl.cycles.max(cycle + stall as u64);
+                }
+                TraceEvent::BranchBubble { cycle, .. } => {
+                    tl.branch_bubbles += 1;
+                    tl.cycles = tl.cycles.max(cycle + 1);
+                }
+                TraceEvent::Halt { cycle } => {
+                    tl.cycles = tl.cycles.max(cycle + 1);
+                }
+                _ => {}
+            }
+        }
+        tl
+    }
+
+    fn cluster_mut(&mut self, cluster: u8) -> &mut ClusterSeries {
+        let idx = cluster as usize;
+        if self.clusters.len() <= idx {
+            self.clusters.resize(idx + 1, ClusterSeries::default());
+        }
+        &mut self.clusters[idx]
+    }
+
+    /// Total committed operations across all clusters.
+    pub fn total_ops(&self) -> u64 {
+        self.clusters.iter().map(|c| c.ops()).sum()
+    }
+
+    /// Renders a human-readable utilization report.
+    ///
+    /// `shape` supplies issue capacities so occupancy can be expressed
+    /// as a percentage of peak; pass the shape of the machine the trace
+    /// was recorded on.
+    pub fn report(&self, shape: &MachineShape) -> String {
+        let mut out = String::new();
+        let cycles = self.cycles.max(1);
+        let _ = writeln!(
+            out,
+            "utilization over {} cycles ({} ops, {} taken branches, \
+             {} icache misses / {} stall cycles, {} branch bubbles)",
+            self.cycles,
+            self.total_ops(),
+            self.branches,
+            self.icache_misses,
+            self.icache_stall_cycles,
+            self.branch_bubbles,
+        );
+        let peak = (shape.clusters as u64 * shape.slots_per_cluster as u64) * cycles;
+        let _ = writeln!(
+            out,
+            "machine peak {} slot-cycles; overall occupancy {:.1}%",
+            peak,
+            pct(self.total_ops(), peak),
+        );
+        for cluster in 0..shape.clusters {
+            let series = self
+                .clusters
+                .get(cluster as usize)
+                .cloned()
+                .unwrap_or_default();
+            let cap = shape.slots_per_cluster as u64 * cycles;
+            let _ = writeln!(
+                out,
+                "cluster {cluster}: {} ops ({:.1}% of {} slots), {} annulled",
+                series.ops(),
+                pct(series.ops(), cap),
+                shape.slots_per_cluster,
+                series.annulled,
+            );
+            for class in FuClass::ALL {
+                let i = class_index(class);
+                let ops = series.ops_by_class[i];
+                let class_cap = shape.class_capacity[i] as u64 * cycles;
+                if ops == 0 && shape.class_capacity[i] == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<6} {:>10} ops  {:>5.1}% of class capacity  {}",
+                    class_name(class),
+                    ops,
+                    pct(ops, class_cap),
+                    bar(ops, class_cap, 30),
+                );
+            }
+            if !series.buckets.is_empty() {
+                let per_bucket_peak = shape.slots_per_cluster as u64 * self.bucket_cycles;
+                let strip: String = series
+                    .buckets
+                    .iter()
+                    .map(|&n| spark(n, per_bucket_peak))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  timeline ({} cycles/bucket): {}",
+                    self.bucket_cycles, strip
+                );
+            }
+        }
+        out
+    }
+}
+
+fn pct(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+fn bar(n: u64, d: u64, width: usize) -> String {
+    let filled = if d == 0 {
+        0
+    } else {
+        ((n as f64 / d as f64) * width as f64).round() as usize
+    }
+    .min(width);
+    let mut s = String::with_capacity(width + 2);
+    s.push('|');
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s.push('|');
+    s
+}
+
+/// One character of the occupancy strip: space through '@' in rough
+/// eighths of the per-bucket peak.
+fn spark(n: u64, peak: u64) -> char {
+    const LEVELS: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '%', '@'];
+    if peak == 0 {
+        return ' ';
+    }
+    let level = ((n as f64 / peak as f64) * 8.0).round() as usize;
+    LEVELS[level.min(8)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> MachineShape {
+        MachineShape {
+            clusters: 2,
+            slots_per_cluster: 4,
+            class_capacity: [2, 1, 1, 2, 1, 1],
+        }
+    }
+
+    #[test]
+    fn build_aggregates_by_cluster_and_class() {
+        let events = [
+            TraceEvent::Issue {
+                cycle: 0,
+                word: 0,
+                cluster: 0,
+                slot: 0,
+                class: FuClass::Alu,
+            },
+            TraceEvent::Issue {
+                cycle: 0,
+                word: 0,
+                cluster: 0,
+                slot: 1,
+                class: FuClass::Mem,
+            },
+            TraceEvent::Issue {
+                cycle: 1,
+                word: 1,
+                cluster: 1,
+                slot: 0,
+                class: FuClass::Mul,
+            },
+            TraceEvent::Annul {
+                cycle: 1,
+                word: 1,
+                cluster: 1,
+                slot: 1,
+            },
+            TraceEvent::Branch {
+                cycle: 2,
+                word: 2,
+                target: 0,
+            },
+            TraceEvent::IcacheMiss {
+                cycle: 3,
+                word: 3,
+                stall: 10,
+            },
+            TraceEvent::Halt { cycle: 20 },
+        ];
+        let tl = UtilizationTimeline::build(events.iter(), 64);
+        assert_eq!(tl.total_ops(), 3);
+        assert_eq!(tl.clusters[0].ops_by_class[class_index(FuClass::Alu)], 1);
+        assert_eq!(tl.clusters[0].ops_by_class[class_index(FuClass::Mem)], 1);
+        assert_eq!(tl.clusters[1].ops_by_class[class_index(FuClass::Mul)], 1);
+        assert_eq!(tl.clusters[1].annulled, 1);
+        assert_eq!(tl.branches, 1);
+        assert_eq!(tl.icache_misses, 1);
+        assert_eq!(tl.icache_stall_cycles, 10);
+        assert_eq!(tl.cycles, 21);
+    }
+
+    #[test]
+    fn report_mentions_every_cluster_and_overall_occupancy() {
+        let events = [
+            TraceEvent::Issue {
+                cycle: 0,
+                word: 0,
+                cluster: 0,
+                slot: 0,
+                class: FuClass::Alu,
+            },
+            TraceEvent::Halt { cycle: 1 },
+        ];
+        let tl = UtilizationTimeline::build(events.iter(), 8);
+        let report = tl.report(&shape());
+        assert!(report.contains("cluster 0:"), "{report}");
+        assert!(report.contains("cluster 1:"), "{report}");
+        assert!(report.contains("overall occupancy"), "{report}");
+        assert!(report.contains("alu"), "{report}");
+    }
+
+    #[test]
+    fn scheduler_events_do_not_affect_timelines() {
+        let events = [TraceEvent::IiEscalate { from: 2, to: 3 }];
+        let tl = UtilizationTimeline::build(events.iter(), 8);
+        assert_eq!(tl.total_ops(), 0);
+        assert_eq!(tl.cycles, 0);
+    }
+}

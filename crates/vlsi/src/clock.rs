@@ -122,10 +122,7 @@ impl CycleTimeModel {
         } else {
             0.0
         };
-        let mul_path = spec
-            .multiplier
-            .map(|m| m.stage_delay_ns())
-            .unwrap_or(0.0);
+        let mul_path = spec.multiplier.map(|m| m.stage_delay_ns()).unwrap_or(0.0);
         let mem_access = spec.mem.delay_ns();
 
         let (execute, memory) = match spec.pipeline {
@@ -238,8 +235,14 @@ mod tests {
         let model = CycleTimeModel::new();
         let base = model.estimate(&base_8cluster(PipelineDepth::Four, false));
         let cases = [
-            (model.estimate(&base_8cluster(PipelineDepth::Four, true)), 0.6),
-            (model.estimate(&base_8cluster(PipelineDepth::Five, false)), 0.95),
+            (
+                model.estimate(&base_8cluster(PipelineDepth::Four, true)),
+                0.6,
+            ),
+            (
+                model.estimate(&base_8cluster(PipelineDepth::Five, false)),
+                0.95,
+            ),
             (model.estimate(&base_16cluster(PipelineDepth::Four)), 1.3),
             (model.estimate(&base_16cluster(PipelineDepth::Five)), 1.3),
         ];

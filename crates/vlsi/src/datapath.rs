@@ -86,10 +86,7 @@ pub struct DatapathSpec {
 impl DatapathSpec {
     /// Number of functional units in a cluster.
     pub fn fu_count(&self) -> u32 {
-        self.alus
-            + u32::from(self.multiplier.is_some())
-            + u32::from(self.shifter)
-            + self.lsus
+        self.alus + u32::from(self.multiplier.is_some()) + u32::from(self.shifter) + self.lsus
     }
 
     /// Number of inputs of each operand bypass multiplexer.
@@ -194,7 +191,12 @@ pub struct ClusterAreaBreakdown {
 impl ClusterAreaBreakdown {
     /// Total cluster area in mm².
     pub fn total(&self) -> f64 {
-        self.regfile + self.alus + self.multiplier + self.shifter + self.memory + self.bypass
+        self.regfile
+            + self.alus
+            + self.multiplier
+            + self.shifter
+            + self.memory
+            + self.bypass
             + self.routing
     }
 }

@@ -73,8 +73,7 @@ pub fn sweep(constraints: &Constraints) -> Vec<Candidate> {
                         {
                             continue;
                         }
-                        let peak_gops =
-                            f64::from(clusters * slots) * freq * 1e6 / 1e9;
+                        let peak_gops = f64::from(clusters * slots) * freq * 1e6 / 1e9;
                         out.push(Candidate {
                             spec,
                             clock,
@@ -118,7 +117,11 @@ pub fn candidate_spec(
         (1, mem_bytes, SramFamily::HighDensityFast)
     } else {
         let banks = mem_bytes.div_ceil(8192);
-        (banks.max(1), mem_bytes / banks.max(1), SramFamily::HighDensity)
+        (
+            banks.max(1),
+            mem_bytes / banks.max(1),
+            SramFamily::HighDensity,
+        )
     };
     let multiplier = if wide {
         MultiplierDesign::mul8()
@@ -126,10 +129,13 @@ pub fn candidate_spec(
         MultiplierDesign::mul8_pipelined()
     };
     DatapathSpec {
-        name: format!("I{slots}C{clusters}S{}x{registers}r{mem_kb}k", match pipeline {
-            PipelineDepth::Four => 4,
-            PipelineDepth::Five => 5,
-        }),
+        name: format!(
+            "I{slots}C{clusters}S{}x{registers}r{mem_kb}k",
+            match pipeline {
+                PipelineDepth::Four => 4,
+                PipelineDepth::Five => 5,
+            }
+        ),
         clusters,
         issue_slots: slots,
         alus: slots,

@@ -171,8 +171,14 @@ mod tests {
 
     #[test]
     fn paper_anchor_high_density_densities() {
-        assert!(hd(32768, 1).density() > 2400.0, "\"over 2600 bytes/mm2\" gross");
-        assert!(hd(32768, 2).density() > 2000.0, "\"over 2200 bytes/mm2\" gross");
+        assert!(
+            hd(32768, 1).density() > 2400.0,
+            "\"over 2600 bytes/mm2\" gross"
+        );
+        assert!(
+            hd(32768, 2).density() > 2000.0,
+            "\"over 2200 bytes/mm2\" gross"
+        );
     }
 
     #[test]
@@ -204,7 +210,10 @@ mod tests {
     fn fast_cell_costs_area() {
         let dense = hd(16384, 1).area_mm2();
         let fast = SramDesign::new(16384, 1, SramFamily::HighDensityFast).area_mm2();
-        assert!(fast > dense * 1.2, "significant area penalty: {dense} vs {fast}");
+        assert!(
+            fast > dense * 1.2,
+            "significant area penalty: {dense} vs {fast}"
+        );
     }
 
     #[test]

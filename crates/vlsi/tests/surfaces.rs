@@ -84,10 +84,8 @@ fn tighter_constraints_never_add_candidates() {
         min_freq_mhz: loose.min_freq_mhz + 100.0,
         min_total_mem_bytes: loose.min_total_mem_bytes,
     };
-    let loose_names: std::collections::HashSet<String> = sweep(&loose)
-        .into_iter()
-        .map(|c| c.spec.name)
-        .collect();
+    let loose_names: std::collections::HashSet<String> =
+        sweep(&loose).into_iter().map(|c| c.spec.name).collect();
     for c in sweep(&tight) {
         assert!(loose_names.contains(&c.spec.name));
     }

@@ -28,20 +28,14 @@ fn main() {
             assert_eq!((f.dx, f.dy), (5, -3), "full search recovers the shift");
         }
     }
-    println!(
-        "full search recovered (5,-3) on all {total} blocks; three-step agreed on {agree}"
-    );
+    println!("full search recovered (5,-3) on all {total} blocks; three-step agreed on {agree}");
 
     // The Table 1 column: cycles per 720x480 frame on each machine.
     println!("\nFull Motion Search, cycles per frame (Table 1 column):");
     for machine in models::table1_models() {
         println!("  {}:", machine.name);
         for row in full_search_rows(&machine) {
-            println!(
-                "    {:<36} {:>8.2}M",
-                row.variant,
-                row.cycles as f64 / 1e6
-            );
+            println!("    {:<36} {:>8.2}M", row.variant, row.cycles as f64 / 1e6);
         }
     }
 

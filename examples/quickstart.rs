@@ -89,7 +89,10 @@ fn main() {
 
 /// The accumulator is the live-in register the accumulate op both reads
 /// and writes; map its virtual register to the physical one.
-fn find_acc_reg(generated: &vsp::sched::codegen::GeneratedLoop, body: &vsp::sched::LoweredBody) -> Reg {
+fn find_acc_reg(
+    generated: &vsp::sched::codegen::GeneratedLoop,
+    body: &vsp::sched::LoweredBody,
+) -> Reg {
     for op in &body.ops {
         if let vsp::isa::OpKind::AluBin {
             op: AluBinOp::Add,

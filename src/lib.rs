@@ -12,7 +12,9 @@
 //! * [`sched`] — list and modulo (software-pipelining) schedulers plus
 //!   code generation;
 //! * [`kernels`] — the six MPEG kernels, golden models, workloads and
-//!   the Table 1/2 variant recipes.
+//!   the Table 1/2 variant recipes;
+//! * [`trace`] — structured per-cycle tracing: event sinks (in-memory,
+//!   JSON-Lines, Chrome `trace_event`) and utilization timelines.
 //!
 //! # Quickstart
 //!
@@ -38,4 +40,5 @@ pub use vsp_isa as isa;
 pub use vsp_kernels as kernels;
 pub use vsp_sched as sched;
 pub use vsp_sim as sim;
+pub use vsp_trace as trace;
 pub use vsp_vlsi as vlsi;

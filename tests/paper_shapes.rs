@@ -100,7 +100,11 @@ fn m16_multipliers_give_3x_to_5x_on_dct() {
         // The row/column form is multiply-bound and shows the full gain;
         // the traditional form also pays table loads per term, which the
         // wide multiplier cannot remove.
-        let floor = if kernel == KernelId::DctRowCol { 2.2 } else { 1.8 };
+        let floor = if kernel == KernelId::DctRowCol {
+            2.2
+        } else {
+            1.8
+        };
         assert!(
             (floor..8.0).contains(&gain),
             "{kernel:?}: M16 gain {gain:.1} (paper 3x-5x)"
@@ -111,10 +115,7 @@ fn m16_multipliers_give_3x_to_5x_on_dct() {
         assert!(best_gain > 1.4, "{kernel:?}: best-to-best {best_gain:.1}");
     }
     // Motion search is unaffected by the multiplier width.
-    let ms_base = best(
-        &variants::full_search_rows(&base),
-        KernelId::FullSearch,
-    );
+    let ms_base = best(&variants::full_search_rows(&base), KernelId::FullSearch);
     let ms_m16 = best(&variants::full_search_rows(&m16), KernelId::FullSearch);
     assert_eq!(ms_base, ms_m16);
 }
@@ -139,7 +140,10 @@ fn no_single_resource_limits_a_majority_of_kernels() {
         .iter()
         .filter(|&&k| (best(&dual_rows, k) as f64) < best(&base_rows, k) as f64 * 0.95)
         .count();
-    assert!(load_limited <= 3, "load bandwidth binds {load_limited}/6 kernels");
+    assert!(
+        load_limited <= 3,
+        "load bandwidth binds {load_limited}/6 kernels"
+    );
 }
 
 #[test]
@@ -168,8 +172,8 @@ fn complex_addressing_helps_little_on_optimized_code() {
     let simple = variants::full_search_rows(&models::i4c8s4());
     let complex = variants::full_search_rows(&models::i4c8s5());
     // Unoptimized: clear win.
-    let u_gain = find(&simple, "Unrolled Inner Loop") as f64
-        / find(&complex, "Unrolled Inner Loop") as f64;
+    let u_gain =
+        find(&simple, "Unrolled Inner Loop") as f64 / find(&complex, "Unrolled Inner Loop") as f64;
     assert!(u_gain > 1.2, "unrolled sequential gain {u_gain:.2}");
     // Most optimized (blocked): nearly nothing.
     let b_gain = find(&simple, "Blocking/Loop Exchange") as f64
@@ -226,8 +230,8 @@ fn dct_direct_to_rowcol_factor() {
     for m in models::table1_models() {
         let d = variants::dct_direct_rows(&m);
         let r = variants::dct_rowcol_rows(&m);
-        let ratio = find(&d, "Sequential-unoptimized") as f64
-            / find(&r, "Sequential-unoptimized") as f64;
+        let ratio =
+            find(&d, "Sequential-unoptimized") as f64 / find(&r, "Sequential-unoptimized") as f64;
         assert!((3.0..9.0).contains(&ratio), "{}: {ratio:.1}", m.name);
     }
 }

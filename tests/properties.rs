@@ -83,7 +83,12 @@ fn random_kernel(
     (b.finish(), a, acc)
 }
 
-fn interp_result(k: &vsp::ir::Kernel, a: vsp::ir::ArrayId, acc: vsp::ir::VarId, data: &[i16]) -> i16 {
+fn interp_result(
+    k: &vsp::ir::Kernel,
+    a: vsp::ir::ArrayId,
+    acc: vsp::ir::VarId,
+    data: &[i16],
+) -> i16 {
     let mut i = Interpreter::new(k);
     i.set_array(a, data.to_vec());
     i.run().unwrap();

@@ -1,0 +1,121 @@
+//! Trace/stats reconciliation: running a generated kernel with a
+//! `MemorySink` attached must produce an event stream whose counts agree
+//! *exactly* with the simulator's own `RunStats` — issues with committed
+//! ops (overall and per cluster), annuls with annulled ops, branch
+//! events with taken branches, icache misses and stall cycles with the
+//! stall breakdown, and bubbles with the branch-shadow accounting.
+
+use vsp::core::models;
+use vsp::ir::Stmt;
+use vsp::kernels::ir::sad_16x16_kernel;
+use vsp::sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp::sim::Simulator;
+use vsp::trace::{MemorySink, TraceEvent, UtilizationTimeline};
+
+fn sad_program(machine: &vsp::core::MachineConfig) -> vsp::isa::Program {
+    let mut k = sad_16x16_kernel().kernel;
+    vsp::ir::transform::fully_unroll_innermost(&mut k);
+    vsp::ir::transform::eliminate_common_subexpressions(&mut k);
+    let Some(Stmt::Loop(l)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+        panic!("row loop expected");
+    };
+    let layout = ArrayLayout::contiguous(&k, machine).expect("fits");
+    let body = lower_body(machine, &k, &l.body, &layout).expect("flat");
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1).expect("schedulable");
+    codegen_loop(
+        machine,
+        &body,
+        &sched,
+        Some(LoopControl {
+            trip: 16,
+            index: Some((0, 0, 1)),
+        }),
+        machine.clusters,
+        "sad-reconcile",
+    )
+    .expect("codegen")
+    .program
+}
+
+#[test]
+fn memory_sink_counts_reconcile_with_run_stats() {
+    // Shrink the icache so the loop thrashes: the trace must account for
+    // real misses and their stall cycles, not just the zero case.
+    let mut machine = models::i4c8s4();
+    machine.icache_words = 24;
+    machine.icache_refill_cycles = 7;
+    let program = sad_program(&machine);
+
+    let mut sink = MemorySink::with_capacity(1 << 22);
+    let mut sim = Simulator::with_sink(&machine, &program, &mut sink).expect("valid");
+    let stats = sim.run(10_000_000).expect("halts");
+    drop(sim);
+
+    assert_eq!(sink.dropped(), 0, "ring must not wrap for exact counts");
+    assert!(stats.icache_misses > 0, "icache was sized to thrash");
+    assert!(stats.taken_branches > 0);
+
+    let issues = sink.count(|e| matches!(e, TraceEvent::Issue { .. }));
+    let annuls = sink.count(|e| matches!(e, TraceEvent::Annul { .. }));
+    let branches = sink.count(|e| matches!(e, TraceEvent::Branch { .. }));
+    let misses = sink.count(|e| matches!(e, TraceEvent::IcacheMiss { .. }));
+    let bubbles = sink.count(|e| matches!(e, TraceEvent::BranchBubble { .. }));
+    let halts = sink.count(|e| matches!(e, TraceEvent::Halt { .. }));
+
+    assert_eq!(issues, stats.total_ops());
+    assert_eq!(annuls, stats.annulled_ops);
+    assert_eq!(branches, stats.taken_branches);
+    assert_eq!(misses, stats.icache_misses);
+    assert_eq!(bubbles, stats.branch_bubble_cycles);
+    assert_eq!(halts, 1);
+
+    let stall_sum: u64 = sink
+        .events()
+        .filter_map(|e| match e {
+            TraceEvent::IcacheMiss { stall, .. } => Some(u64::from(*stall)),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(stall_sum, stats.icache_stall_cycles);
+    assert_eq!(stats.cycles, stats.words + stats.icache_stall_cycles);
+
+    // Per-cluster issue counts must match the per-cluster op breakdown.
+    for (cluster, &ops) in stats.ops_by_cluster.iter().enumerate() {
+        let traced = sink
+            .count(|e| matches!(e, TraceEvent::Issue { cluster: c, .. } if *c as usize == cluster));
+        assert_eq!(traced, ops, "cluster {cluster}");
+    }
+
+    // The timeline is a pure fold of the event stream; its totals must
+    // agree with both views.
+    let timeline = UtilizationTimeline::build(sink.events(), 16);
+    assert_eq!(timeline.total_ops(), stats.total_ops());
+    assert_eq!(timeline.cycles, stats.cycles);
+    assert_eq!(timeline.branches, stats.taken_branches);
+    assert_eq!(timeline.icache_misses, stats.icache_misses);
+    assert_eq!(timeline.icache_stall_cycles, stats.icache_stall_cycles);
+    assert_eq!(timeline.branch_bubbles, stats.branch_bubble_cycles);
+}
+
+#[test]
+fn warm_cache_run_traces_no_miss_events() {
+    let machine = models::i4c8s4();
+    let program = sad_program(&machine);
+
+    let mut sink = MemorySink::with_capacity(1 << 22);
+    let mut sim = Simulator::with_sink(&machine, &program, &mut sink).expect("valid");
+    let stats = sim.run(1_000_000).expect("halts");
+    drop(sim);
+
+    assert_eq!(stats.icache_misses, 0, "warmed, fitting loop");
+    assert_eq!(
+        sink.count(|e| matches!(e, TraceEvent::IcacheMiss { .. })),
+        0
+    );
+    assert_eq!(
+        sink.count(|e| matches!(e, TraceEvent::Issue { .. })),
+        stats.total_ops()
+    );
+    assert_eq!(stats.cycles, stats.words);
+}
