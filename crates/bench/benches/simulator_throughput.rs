@@ -1,7 +1,17 @@
 //! Times the cycle-accurate simulator on a generated SAD loop (simulated
 //! machine cycles per host second).
+//!
+//! Three functions share one workload and throughput denominator:
+//!
+//! * `sad_row_loop_replicated_8_clusters` — the seed benchmark shape
+//!   (construct + run) on the pre-decoded fast path;
+//! * `sad_row_loop_interp` — the same shape on the legacy interpretive
+//!   loop, the baseline the fast path is measured against;
+//! * `sad_row_loop_run_only` — the fast path with construction hoisted
+//!   out via a pre-built simulator per iteration batch, isolating the
+//!   per-cycle stepping cost.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 use vsp_core::models;
 use vsp_ir::Stmt;
@@ -53,6 +63,19 @@ fn bench(c: &mut Criterion) {
             let mut sim = Simulator::new(&machine, black_box(&generated.program)).unwrap();
             sim.run(1_000_000).unwrap().cycles
         })
+    });
+    g.bench_function("sad_row_loop_interp", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&machine, black_box(&generated.program)).unwrap();
+            sim.run_interp(1_000_000).unwrap().cycles
+        })
+    });
+    g.bench_function("sad_row_loop_run_only", |b| {
+        b.iter_batched(
+            || Simulator::new(&machine, &generated.program).unwrap(),
+            |mut sim| sim.run(1_000_000).unwrap().cycles,
+            BatchSize::SmallInput,
+        )
     });
     g.finish();
 }

@@ -1,0 +1,341 @@
+//! Appends one measured record to the repo's performance trajectory
+//! (`BENCH_simulator.json`) and prints a speedup summary.
+//!
+//! Three comparisons, each asserting result equality before timing is
+//! trusted:
+//!
+//! 1. **Simulator core** — the pre-decoded fast path
+//!    ([`Simulator::run`]) vs the legacy interpretive path
+//!    ([`Simulator::run_interp`]) on the generated SAD row loop, in
+//!    simulated cycles per host second. Construction sits outside the
+//!    timed region (throughput is a run-phase property) and the two
+//!    timed loops interleave so CPU frequency drift biases neither.
+//! 2. **Tables** — serial `assemble_table` vs the parallel + memoized
+//!    [`EvalEngine`] for Tables 1 and 2, asserting byte-identical text.
+//! 3. **Design-space sweep** — `vsp_vlsi::explore::sweep` vs
+//!    `sweep_parallel`.
+//!
+//! ```text
+//! cargo run --release -p vsp-bench --bin bench-report -- --iters 5
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+use vsp_bench::{tables, EvalEngine};
+use vsp_core::models;
+use vsp_ir::Stmt;
+use vsp_kernels::ir::sad_16x16_kernel;
+use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp_sim::Simulator;
+use vsp_vlsi::explore::{sweep, sweep_parallel, Constraints};
+
+const USAGE: &str = "usage: bench-report [options]
+
+Measures the simulator fast path, the parallel table engine, and the
+parallel design-space sweep against their serial baselines, appends a
+JSON record to the benchmark trajectory, and prints a summary.
+
+options:
+  --iters N    repetitions per measurement (default 5; CI uses 1)
+  --out PATH   trajectory file (default BENCH_simulator.json)
+  --dry-run    measure and print, but do not write the trajectory
+  -h, --help   this text";
+
+struct Args {
+    iters: u32,
+    out: String,
+    dry_run: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 5,
+        out: "BENCH_simulator.json".to_string(),
+        dry_run: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--dry-run" => args.dry_run = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.iters == 0 {
+        return Err("--iters must be positive".into());
+    }
+    Ok(args)
+}
+
+/// The simulator workload: the same generated SAD row loop the
+/// `simulator_throughput` Criterion bench times.
+fn sad_program(
+    machine: &vsp_core::MachineConfig,
+) -> Result<vsp_sched::codegen::GeneratedLoop, String> {
+    let sad = sad_16x16_kernel();
+    let mut k = sad.kernel.clone();
+    vsp_ir::transform::fully_unroll_innermost(&mut k);
+    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+    let Some(Stmt::Loop(l)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+        return Err("SAD kernel has no row loop".into());
+    };
+    let layout = ArrayLayout::contiguous(&k, machine).map_err(|e| format!("layout: {e:?}"))?;
+    let body = lower_body(machine, &k, &l.body, &layout).map_err(|e| format!("lowering: {e:?}"))?;
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1).ok_or("list scheduling failed")?;
+    codegen_loop(
+        machine,
+        &body,
+        &sched,
+        Some(LoopControl {
+            trip: 16,
+            index: Some((0, 0, 1)),
+        }),
+        machine.clusters,
+        "bench-report-sad",
+    )
+    .map_err(|e| format!("codegen: {e:?}"))
+}
+
+struct SimResult {
+    cycles_per_run: u64,
+    fast_wall_s: f64,
+    interp_wall_s: f64,
+    fast_cps: f64,
+    interp_cps: f64,
+}
+
+fn measure_simulator(iters: u32) -> Result<SimResult, String> {
+    let machine = models::i4c8s4();
+    let generated = sad_program(&machine)?;
+
+    let fast_stats = {
+        let mut sim = Simulator::new(&machine, &generated.program).map_err(|e| e.to_string())?;
+        sim.run(1_000_000).map_err(|e| e.to_string())?
+    };
+    let interp_stats = {
+        let mut sim = Simulator::new(&machine, &generated.program).map_err(|e| e.to_string())?;
+        sim.run_interp(1_000_000).map_err(|e| e.to_string())?
+    };
+    if fast_stats != interp_stats {
+        return Err("fast/interp RunStats diverged on the SAD loop".into());
+    }
+    let cycles = fast_stats.cycles;
+
+    // Interleave the two timed loops so CPU frequency drift (cold
+    // start, thermal throttling) biases neither path.
+    let mut fast_wall_s = 0.0;
+    let mut interp_wall_s = 0.0;
+    for _ in 0..iters {
+        let mut sim = Simulator::new(&machine, &generated.program).map_err(|e| e.to_string())?;
+        let t = Instant::now();
+        std::hint::black_box(sim.run(1_000_000).map_err(|e| e.to_string())?.cycles);
+        fast_wall_s += t.elapsed().as_secs_f64();
+
+        let mut sim = Simulator::new(&machine, &generated.program).map_err(|e| e.to_string())?;
+        let t = Instant::now();
+        std::hint::black_box(sim.run_interp(1_000_000).map_err(|e| e.to_string())?.cycles);
+        interp_wall_s += t.elapsed().as_secs_f64();
+    }
+
+    let total = cycles as f64 * f64::from(iters);
+    Ok(SimResult {
+        cycles_per_run: cycles,
+        fast_wall_s,
+        interp_wall_s,
+        fast_cps: total / fast_wall_s,
+        interp_cps: total / interp_wall_s,
+    })
+}
+
+struct TablesResult {
+    serial_wall_s: f64,
+    engine_wall_s: f64,
+}
+
+fn measure_tables(iters: u32) -> Result<TablesResult, String> {
+    // Reference text once, for the byte-identity assertion.
+    let reference = (tables::table1(), tables::table2());
+
+    let mut serial_wall_s = 0.0;
+    let mut engine_wall_s = 0.0;
+    let mut engine_out = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box((tables::table1(), tables::table2()));
+        serial_wall_s += t.elapsed().as_secs_f64();
+
+        // A fresh engine per iteration: the memo cache still pays off
+        // *within* one `tables -- all` invocation (shared machine
+        // columns and DCT kernels), which is what we are timing.
+        let t = Instant::now();
+        let engine = EvalEngine::new();
+        engine_out = Some(std::hint::black_box((
+            tables::table1_with(&engine),
+            tables::table2_with(&engine),
+        )));
+        engine_wall_s += t.elapsed().as_secs_f64();
+    }
+
+    if engine_out.as_ref() != Some(&reference) {
+        return Err("engine table text diverged from serial".into());
+    }
+    Ok(TablesResult {
+        serial_wall_s,
+        engine_wall_s,
+    })
+}
+
+struct ExploreResult {
+    serial_wall_s: f64,
+    parallel_wall_s: f64,
+}
+
+fn measure_explore(iters: u32) -> Result<ExploreResult, String> {
+    let c = Constraints::default();
+    if sweep(&c) != sweep_parallel(&c) {
+        return Err("parallel sweep diverged from serial".into());
+    }
+    let mut serial_wall_s = 0.0;
+    let mut parallel_wall_s = 0.0;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(sweep(&c).len());
+        serial_wall_s += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        std::hint::black_box(sweep_parallel(&c).len());
+        parallel_wall_s += t.elapsed().as_secs_f64();
+    }
+    Ok(ExploreResult {
+        serial_wall_s,
+        parallel_wall_s,
+    })
+}
+
+/// Renders the record by hand: the offline `serde_json` stand-in has no
+/// runtime serializer, and the schema is small enough to keep honest.
+fn render_record(args: &Args, sim: &SimResult, tab: &TablesResult, exp: &ExploreResult) -> String {
+    let epoch_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        concat!(
+            "  {{\n",
+            "    \"schema\": 1,\n",
+            "    \"epoch_s\": {},\n",
+            "    \"iters\": {},\n",
+            "    \"threads\": {},\n",
+            "    \"simulator\": {{\n",
+            "      \"workload\": \"sad_row_loop_replicated_8_clusters\",\n",
+            "      \"cycles_per_run\": {},\n",
+            "      \"fast_wall_s\": {:.6},\n",
+            "      \"interp_wall_s\": {:.6},\n",
+            "      \"fast_cycles_per_sec\": {:.0},\n",
+            "      \"interp_cycles_per_sec\": {:.0},\n",
+            "      \"speedup\": {:.3}\n",
+            "    }},\n",
+            "    \"tables\": {{\n",
+            "      \"serial_wall_s\": {:.6},\n",
+            "      \"engine_wall_s\": {:.6},\n",
+            "      \"speedup\": {:.3},\n",
+            "      \"byte_identical\": true\n",
+            "    }},\n",
+            "    \"explore\": {{\n",
+            "      \"serial_wall_s\": {:.6},\n",
+            "      \"parallel_wall_s\": {:.6},\n",
+            "      \"speedup\": {:.3},\n",
+            "      \"identical\": true\n",
+            "    }}\n",
+            "  }}"
+        ),
+        epoch_s,
+        args.iters,
+        rayon::current_num_threads(),
+        sim.cycles_per_run,
+        sim.fast_wall_s,
+        sim.interp_wall_s,
+        sim.fast_cps,
+        sim.interp_cps,
+        sim.fast_cps / sim.interp_cps,
+        tab.serial_wall_s,
+        tab.engine_wall_s,
+        tab.serial_wall_s / tab.engine_wall_s,
+        exp.serial_wall_s,
+        exp.parallel_wall_s,
+        exp.serial_wall_s / exp.parallel_wall_s,
+    )
+}
+
+/// Appends `record` to the JSON array in `path`, creating the file on
+/// first use.
+fn append_record(path: &str, record: &str) -> Result<(), String> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let Some(prefix) = trimmed.strip_suffix(']') else {
+                return Err(format!("{path}: not a JSON array; refusing to append"));
+            };
+            format!("{},\n{}\n]\n", prefix.trim_end(), record)
+        }
+        Err(_) => format!("[\n{record}\n]\n"),
+    };
+    std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let sim = measure_simulator(args.iters)?;
+    let tab = measure_tables(args.iters)?;
+    let exp = measure_explore(args.iters)?;
+
+    println!(
+        "simulator : fast {:>12.0} cyc/s | interp {:>12.0} cyc/s | {:.2}x",
+        sim.fast_cps,
+        sim.interp_cps,
+        sim.fast_cps / sim.interp_cps
+    );
+    println!(
+        "tables    : engine {:>9.3} s | serial {:>9.3} s | {:.2}x (byte-identical)",
+        tab.engine_wall_s / f64::from(args.iters),
+        tab.serial_wall_s / f64::from(args.iters),
+        tab.serial_wall_s / tab.engine_wall_s
+    );
+    println!(
+        "explore   : parallel {:>7.3} s | serial {:>7.3} s | {:.2}x (identical)",
+        exp.parallel_wall_s / f64::from(args.iters),
+        exp.serial_wall_s / f64::from(args.iters),
+        exp.serial_wall_s / exp.parallel_wall_s
+    );
+
+    if args.dry_run {
+        println!("(dry run: {} not written)", args.out);
+    } else {
+        let record = render_record(&args, &sim, &tab, &exp);
+        append_record(&args.out, &record)?;
+        println!("appended record to {}", args.out);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

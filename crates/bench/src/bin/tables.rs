@@ -6,11 +6,24 @@
 //! cargo run --release -p vsp-bench --bin tables -- fig2 fig3 fig4 fig5
 //! ```
 
-use vsp_bench::tables;
+use vsp_bench::{tables, EvalEngine};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--serial")
+        .collect();
+    let serial = std::env::args().any(|a| a == "--serial");
     let wants = |k: &str| args.is_empty() || args.iter().any(|a| a == k || a == "all");
+
+    // One engine for the whole invocation: Tables 1 and 2 share machine
+    // columns and both DCT kernels, so the memo cache carries across.
+    // `--serial` keeps the old one-cell-at-a-time path for comparison.
+    let engine = if serial {
+        EvalEngine::serial()
+    } else {
+        EvalEngine::new()
+    };
 
     if wants("fig2") {
         println!("{}", tables::fig2());
@@ -31,10 +44,10 @@ fn main() {
         );
     }
     if wants("table1") {
-        println!("{}", tables::table1());
+        println!("{}", tables::table1_with(&engine));
     }
     if wants("table2") {
-        println!("{}", tables::table2());
+        println!("{}", tables::table2_with(&engine));
     }
     if wants("ablation-dualport") {
         println!("{}", tables::ablation_dualport());

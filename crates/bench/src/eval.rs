@@ -1,0 +1,237 @@
+//! Parallel, memoized evaluation engine for the table and design-space
+//! sweeps.
+//!
+//! The paper's tables re-run the same (kernel, machine) cells over and
+//! over: Table 1 and Table 2 share three machine columns and both DCT
+//! kernels, and `tables -- all` used to recompute every one serially.
+//! [`EvalEngine`] treats each (machine, [`RowSource`]) pair as a cell,
+//! fans uncached cells across rayon workers, and memoizes results under
+//! a content key — a fingerprint of the full machine configuration, not
+//! its name — so identical configurations share work across tables.
+//!
+//! Output ordering is guaranteed byte-identical to the serial path:
+//! cells are stitched back in (machine column × source) order, exactly
+//! the order [`vsp_kernels::variants::assemble_table`] produces with
+//! [`vsp_kernels::variants::table1_rows`] /
+//! [`vsp_kernels::variants::table2_rows`], and the tests hold it there.
+
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Mutex;
+use vsp_core::MachineConfig;
+use vsp_kernels::variants::{self, Row, TableRow};
+
+/// One per-machine row generator: a kernel's full variant sweep, the
+/// unit of memoization and parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowSource {
+    /// Full motion search.
+    FullSearch,
+    /// Three-step search.
+    ThreeStep,
+    /// Traditional (direct) 2-D DCT.
+    DctDirect,
+    /// Row/column 2-D DCT.
+    DctRowCol,
+    /// RGB→YCbCr converter/subsampler.
+    Color,
+    /// Variable-bit-rate coder.
+    Vbr,
+}
+
+impl RowSource {
+    /// Table 1's kernels, in the paper's row order.
+    pub const TABLE1: [RowSource; 6] = [
+        RowSource::FullSearch,
+        RowSource::ThreeStep,
+        RowSource::DctDirect,
+        RowSource::DctRowCol,
+        RowSource::Color,
+        RowSource::Vbr,
+    ];
+
+    /// Table 2's kernels (the DCTs), in row order.
+    pub const TABLE2: [RowSource; 2] = [RowSource::DctDirect, RowSource::DctRowCol];
+
+    /// Computes this source's rows for one machine (the expensive cell:
+    /// transform pipeline + scheduling).
+    fn rows(self, machine: &MachineConfig) -> Vec<Row> {
+        match self {
+            RowSource::FullSearch => variants::full_search_rows(machine),
+            RowSource::ThreeStep => variants::three_step_rows(machine),
+            RowSource::DctDirect => variants::dct_direct_rows(machine),
+            RowSource::DctRowCol => variants::dct_rowcol_rows(machine),
+            RowSource::Color => variants::color_rows(machine),
+            RowSource::Vbr => variants::vbr_rows(machine),
+        }
+    }
+}
+
+/// Content key for one machine configuration.
+///
+/// [`MachineConfig`] does not implement `Hash` (it carries floats in the
+/// megacell models), so the fingerprint hashes its full `Debug`
+/// rendering — every field, not just the name, participates, and two
+/// structurally identical configs (e.g. I4C8S4 appearing in both
+/// tables' model lists) collapse to one cell.
+fn fingerprint(machine: &MachineConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{machine:?}").hash(&mut h);
+    h.finish()
+}
+
+/// Parallel + memoized sweep evaluator. Construct once and reuse across
+/// tables so the cache pays off; see the module docs for the ordering
+/// guarantee.
+#[derive(Debug, Default)]
+pub struct EvalEngine {
+    cache: Mutex<HashMap<(u64, RowSource), Vec<Row>>>,
+    serial: bool,
+}
+
+impl EvalEngine {
+    /// A parallel engine with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine that evaluates cells serially (still memoized); the
+    /// escape hatch for timing comparisons and debugging.
+    pub fn serial() -> Self {
+        EvalEngine {
+            cache: Mutex::new(HashMap::new()),
+            serial: true,
+        }
+    }
+
+    /// Number of cells currently memoized.
+    pub fn cached_cells(&self) -> usize {
+        self.cache.lock().expect("eval cache poisoned").len()
+    }
+
+    /// Evaluates `sources` × `machines` and stitches the cells into
+    /// table rows, byte-identical to
+    /// `assemble_table(machines, |m| sources-concatenated rows)`.
+    pub fn assemble(&self, machines: &[MachineConfig], sources: &[RowSource]) -> Vec<TableRow> {
+        // Work list: every (machine, source) cell not already cached,
+        // deduplicated by content key so identical machines are
+        // computed once.
+        let mut jobs: Vec<(u64, RowSource, &MachineConfig)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("eval cache poisoned");
+            for m in machines {
+                let fp = fingerprint(m);
+                for &s in sources {
+                    if !cache.contains_key(&(fp, s)) && !jobs.iter().any(|j| j.0 == fp && j.1 == s)
+                    {
+                        jobs.push((fp, s, m));
+                    }
+                }
+            }
+        }
+        let computed: Vec<((u64, RowSource), Vec<Row>)> = if self.serial {
+            jobs.into_iter()
+                .map(|(fp, s, m)| ((fp, s), s.rows(m)))
+                .collect()
+        } else {
+            jobs.into_par_iter()
+                .map(|(fp, s, m)| ((fp, s), s.rows(m)))
+                .collect()
+        };
+        {
+            let mut cache = self.cache.lock().expect("eval cache poisoned");
+            cache.extend(computed);
+        }
+
+        // Stitch: per-machine columns are the concatenation of each
+        // source's rows, in `sources` order — exactly what
+        // `table1_rows`/`table2_rows` produce — then rows transpose the
+        // columns just like `assemble_table`.
+        let cache = self.cache.lock().expect("eval cache poisoned");
+        let columns: Vec<Vec<&Row>> = machines
+            .iter()
+            .map(|m| {
+                let fp = fingerprint(m);
+                sources
+                    .iter()
+                    .flat_map(|&s| cache[&(fp, s)].iter())
+                    .collect()
+            })
+            .collect();
+        let Some(first) = columns.first() else {
+            return Vec::new();
+        };
+        (0..first.len())
+            .map(|i| TableRow {
+                kernel: first[i].kernel,
+                variant: first[i].variant,
+                cycles: columns.iter().map(|c| c[i].cycles).collect(),
+            })
+            .collect()
+    }
+
+    /// Table 1's rows for `machines`.
+    pub fn table1(&self, machines: &[MachineConfig]) -> Vec<TableRow> {
+        self.assemble(machines, &RowSource::TABLE1)
+    }
+
+    /// Table 2's rows for `machines`.
+    pub fn table2(&self, machines: &[MachineConfig]) -> Vec<TableRow> {
+        self.assemble(machines, &RowSource::TABLE2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsp_core::models;
+    use vsp_kernels::variants::{assemble_table, table1_rows, table2_rows};
+
+    #[test]
+    fn engine_table1_matches_serial_assembly() {
+        let machines = models::table1_models();
+        let engine = EvalEngine::new();
+        assert_eq!(
+            engine.table1(&machines),
+            assemble_table(&machines, table1_rows)
+        );
+    }
+
+    #[test]
+    fn engine_table2_matches_serial_assembly() {
+        let machines = models::table2_models();
+        let engine = EvalEngine::new();
+        assert_eq!(
+            engine.table2(&machines),
+            assemble_table(&machines, table2_rows)
+        );
+    }
+
+    #[test]
+    fn serial_engine_matches_parallel_engine() {
+        let machines = models::table2_models();
+        assert_eq!(
+            EvalEngine::serial().table2(&machines),
+            EvalEngine::new().table2(&machines)
+        );
+    }
+
+    #[test]
+    fn cache_is_shared_across_tables() {
+        let engine = EvalEngine::new();
+        engine.table1(&models::table1_models());
+        let after_t1 = engine.cached_cells();
+        // 5 machines × 6 kernels = 30 cells.
+        assert_eq!(after_t1, 30);
+        engine.table2(&models::table2_models());
+        // Table 2 shares I4C8S4/I4C8S5/I2C16S5 columns and both DCT
+        // kernels with Table 1: only the two m16 machines add cells.
+        assert_eq!(engine.cached_cells(), after_t1 + 4);
+    }
+
+    #[test]
+    fn empty_machine_list_yields_empty_table() {
+        assert!(EvalEngine::new().table1(&[]).is_empty());
+    }
+}

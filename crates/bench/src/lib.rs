@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod conclusions;
+pub mod eval;
 pub mod tables;
 
 pub use conclusions::Conclusions;
+pub use eval::{EvalEngine, RowSource};

@@ -161,7 +161,7 @@ fn render_table(machines: &[MachineConfig], rows: &[TableRow]) -> String {
 }
 
 /// Table 1: performance simulations for all six kernels on the five base
-/// models.
+/// models (serial reference path).
 pub fn table1() -> String {
     let machines = models::table1_models();
     let rows = assemble_table(&machines, table1_rows);
@@ -171,10 +171,33 @@ pub fn table1() -> String {
     )
 }
 
-/// Table 2: impact of 16-bit multipliers on the DCT kernels.
+/// Table 2: impact of 16-bit multipliers on the DCT kernels (serial
+/// reference path).
 pub fn table2() -> String {
     let machines = models::table2_models();
     let rows = assemble_table(&machines, table2_rows);
+    format!(
+        "Table 2: Impact of 16-bit Multipliers\n{}",
+        render_table(&machines, &rows)
+    )
+}
+
+/// Table 1 via a shared [`crate::EvalEngine`] (parallel + memoized);
+/// byte-identical output to [`table1`].
+pub fn table1_with(engine: &crate::EvalEngine) -> String {
+    let machines = models::table1_models();
+    let rows = engine.table1(&machines);
+    format!(
+        "Table 1: Performance Simulations (cycles per 720x480 frame)\n{}",
+        render_table(&machines, &rows)
+    )
+}
+
+/// Table 2 via a shared [`crate::EvalEngine`]; byte-identical output to
+/// [`table2`].
+pub fn table2_with(engine: &crate::EvalEngine) -> String {
+    let machines = models::table2_models();
+    let rows = engine.table2(&machines);
     format!(
         "Table 2: Impact of 16-bit Multipliers\n{}",
         render_table(&machines, &rows)
@@ -253,5 +276,12 @@ mod tests {
     fn dualport_ablation_renders() {
         let t = ablation_dualport();
         assert!(t.contains("I4C8S4D2"));
+    }
+
+    #[test]
+    fn engine_tables_are_byte_identical_to_serial() {
+        let engine = crate::EvalEngine::new();
+        assert_eq!(table1_with(&engine), table1());
+        assert_eq!(table2_with(&engine), table2());
     }
 }

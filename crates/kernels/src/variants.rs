@@ -843,13 +843,17 @@ pub fn table2_rows(machine: &MachineConfig) -> Vec<Row> {
     rows
 }
 
-/// Assembles a full table: `rows_fn` per machine column.
+/// Assembles a full table: `rows_fn` per machine column. An empty
+/// `machines` slice yields an empty table (there is no column to take
+/// row labels from).
 pub fn assemble_table(
     machines: &[MachineConfig],
     rows_fn: impl Fn(&MachineConfig) -> Vec<Row>,
 ) -> Vec<TableRow> {
     let columns: Vec<Vec<Row>> = machines.iter().map(&rows_fn).collect();
-    let first = &columns[0];
+    let Some(first) = columns.first() else {
+        return Vec::new();
+    };
     (0..first.len())
         .map(|i| TableRow {
             kernel: first[i].kernel,
@@ -869,6 +873,12 @@ mod tests {
             .find(|r| r.variant == variant)
             .unwrap_or_else(|| panic!("missing variant {variant}"))
             .cycles
+    }
+
+    #[test]
+    fn assemble_table_empty_machines_is_empty() {
+        assert!(assemble_table(&[], table1_rows).is_empty());
+        assert!(assemble_table(&[], table2_rows).is_empty());
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Pre-decoded execution representation: the simulator's fast path.
+//!
+//! [`crate::Simulator::step`] used to walk the [`vsp_isa::Program`]'s
+//! symbolic [`vsp_isa::Instruction`] words every cycle: clone the word,
+//! match on boxed-enum operands, look up the latency model per
+//! operation. All of that is loop-invariant — a program's operations,
+//! register indices, guards, functional-unit classes, latencies and
+//! branch targets never change while it runs. [`DecodedProgram`]
+//! computes them once at load time into flat, `Copy`-able arrays so the
+//! per-cycle interpreter touches nothing but plain integers.
+//!
+//! The decoded form is deliberately lossless with respect to *timing
+//! and architectural state*: executing a decoded program must produce a
+//! [`crate::RunStats`] identical to the legacy interpretive walk
+//! (`Simulator::step_interp`), operation for operation, fault for
+//! fault. The differential test `fast_path_diff.rs` holds the two paths
+//! to that contract on every kernel × machine-model pair of the paper.
+
+use vsp_core::{LatencyModel, MachineConfig};
+use vsp_isa::{
+    AddrMode, AluBinOp, AluUnOp, CmpOp, FuClass, MemCtlOp, MulKind, OpKind, Operand, Program,
+    ShiftOp,
+};
+
+/// Sentinel for "no guard" in [`DecodedOp::guard_pred`].
+pub(crate) const NO_GUARD: u8 = u8::MAX;
+
+/// A resolved operand: a register file index or an immediate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DOperand {
+    /// Register file index (already `Reg::index()`).
+    Reg(u16),
+    /// Immediate value.
+    Imm(i16),
+}
+
+impl DOperand {
+    fn from(o: &Operand) -> Self {
+        match o {
+            Operand::Reg(r) => DOperand::Reg(r.0),
+            Operand::Imm(v) => DOperand::Imm(*v),
+        }
+    }
+}
+
+/// A resolved effective-address computation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DAddr {
+    /// Absolute word address.
+    Abs(u16),
+    /// Address held in a register.
+    Reg(u16),
+    /// Base register plus displacement.
+    BaseDisp(u16, i16),
+    /// Base register plus index register.
+    Indexed(u16, u16),
+}
+
+impl DAddr {
+    fn from(a: &AddrMode) -> Self {
+        match a {
+            AddrMode::Absolute(a) => DAddr::Abs(*a),
+            AddrMode::Register(r) => DAddr::Reg(r.0),
+            AddrMode::BaseDisp(r, d) => DAddr::BaseDisp(r.0, *d),
+            AddrMode::Indexed(r, s) => DAddr::Indexed(r.0, s.0),
+        }
+    }
+}
+
+/// The resolved semantic payload: [`OpKind`] with register objects
+/// flattened to raw indices and branch targets narrowed to `u32`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DKind {
+    /// Two-operand ALU operation.
+    AluBin {
+        op: AluBinOp,
+        dst: u16,
+        a: DOperand,
+        b: DOperand,
+    },
+    /// One-operand ALU operation.
+    AluUn { op: AluUnOp, dst: u16, a: DOperand },
+    /// Shift.
+    Shift {
+        op: ShiftOp,
+        dst: u16,
+        a: DOperand,
+        b: DOperand,
+    },
+    /// Multiply.
+    Mul {
+        kind: MulKind,
+        dst: u16,
+        a: DOperand,
+        b: DOperand,
+    },
+    /// Compare writing a predicate.
+    Cmp {
+        op: CmpOp,
+        dst: u8,
+        a: DOperand,
+        b: DOperand,
+    },
+    /// Load from a local memory bank.
+    Load { dst: u16, addr: DAddr, bank: u8 },
+    /// Store to a local memory bank.
+    Store {
+        src: DOperand,
+        addr: DAddr,
+        bank: u8,
+    },
+    /// Crossbar transfer from a remote cluster.
+    Xfer { dst: u16, from: u8, src: u16 },
+    /// Conditional branch.
+    Branch { pred: u8, sense: bool, target: u32 },
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// Halt.
+    Halt,
+    /// Swap a bank's double buffers.
+    Swap { bank: u8 },
+    /// Explicit no-op (kept so annulled-guard accounting matches).
+    Nop,
+}
+
+/// One pre-decoded operation: everything `step` needs, in one flat
+/// `Copy` record — no pointer chasing, no per-cycle latency lookups.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DecodedOp {
+    /// Executing cluster.
+    pub cluster: u8,
+    /// Issue slot (kept for trace events).
+    pub slot: u8,
+    /// Guard predicate index, or [`NO_GUARD`].
+    pub guard_pred: u8,
+    /// Required guard value.
+    pub guard_sense: bool,
+    /// Functional-unit class, `None` for a no-op.
+    pub class: Option<FuClass>,
+    /// Result latency on this machine, resolved at decode time.
+    pub latency: u32,
+    /// Resolved payload.
+    pub kind: DKind,
+}
+
+/// A program lowered to flat op arrays for one machine: `ops` holds
+/// every operation word-by-word in issue order; word `i` spans
+/// `word_start[i] .. word_start[i + 1]`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DecodedProgram {
+    word_start: Vec<u32>,
+    ops: Vec<DecodedOp>,
+}
+
+impl DecodedProgram {
+    /// Decodes `program` for `machine`, resolving latencies once.
+    ///
+    /// The program must already have passed
+    /// [`vsp_core::validate_program`]; decoding is total after that.
+    pub fn decode(machine: &MachineConfig, program: &Program) -> Self {
+        let latencies = LatencyModel::new(machine);
+        let mut word_start = Vec::with_capacity(program.len() + 1);
+        let mut ops = Vec::with_capacity(program.op_count());
+        word_start.push(0);
+        for word in program.iter() {
+            for op in word.iter() {
+                let (guard_pred, guard_sense) = match &op.guard {
+                    Some(g) => (g.pred.0, g.sense),
+                    None => (NO_GUARD, false),
+                };
+                let kind = match &op.kind {
+                    OpKind::AluBin { op, dst, a, b } => DKind::AluBin {
+                        op: *op,
+                        dst: dst.0,
+                        a: DOperand::from(a),
+                        b: DOperand::from(b),
+                    },
+                    OpKind::AluUn { op, dst, a } => DKind::AluUn {
+                        op: *op,
+                        dst: dst.0,
+                        a: DOperand::from(a),
+                    },
+                    OpKind::Shift { op, dst, a, b } => DKind::Shift {
+                        op: *op,
+                        dst: dst.0,
+                        a: DOperand::from(a),
+                        b: DOperand::from(b),
+                    },
+                    OpKind::Mul { kind, dst, a, b } => DKind::Mul {
+                        kind: *kind,
+                        dst: dst.0,
+                        a: DOperand::from(a),
+                        b: DOperand::from(b),
+                    },
+                    OpKind::Cmp { op, dst, a, b } => DKind::Cmp {
+                        op: *op,
+                        dst: dst.0,
+                        a: DOperand::from(a),
+                        b: DOperand::from(b),
+                    },
+                    OpKind::Load { dst, addr, bank } => DKind::Load {
+                        dst: dst.0,
+                        addr: DAddr::from(addr),
+                        bank: bank.0,
+                    },
+                    OpKind::Store { src, addr, bank } => DKind::Store {
+                        src: DOperand::from(src),
+                        addr: DAddr::from(addr),
+                        bank: bank.0,
+                    },
+                    OpKind::Xfer { dst, from, src } => DKind::Xfer {
+                        dst: dst.0,
+                        from: *from,
+                        src: src.0,
+                    },
+                    OpKind::Branch {
+                        pred,
+                        sense,
+                        target,
+                    } => DKind::Branch {
+                        pred: pred.0,
+                        sense: *sense,
+                        target: *target as u32,
+                    },
+                    OpKind::Jump { target } => DKind::Jump {
+                        target: *target as u32,
+                    },
+                    OpKind::Halt => DKind::Halt,
+                    OpKind::MemCtl {
+                        op: MemCtlOp::SwapBuffers,
+                        bank,
+                    } => DKind::Swap { bank: bank.0 },
+                    OpKind::Nop => DKind::Nop,
+                };
+                ops.push(DecodedOp {
+                    cluster: op.cluster,
+                    slot: op.slot,
+                    guard_pred,
+                    guard_sense,
+                    class: op.kind.fu_class(),
+                    latency: latencies.latency(&op.kind),
+                    kind,
+                });
+            }
+            word_start.push(ops.len() as u32);
+        }
+        DecodedProgram { word_start, ops }
+    }
+
+    /// The flat op-index range of word `i`.
+    #[inline]
+    pub fn word_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.word_start[i] as usize..self.word_start[i + 1] as usize
+    }
+
+    /// The op at flat index `i` (copied out, so no borrow is held).
+    #[inline]
+    pub fn op(&self, i: usize) -> DecodedOp {
+        self.ops[i]
+    }
+}

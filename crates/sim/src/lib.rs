@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod decoded;
 pub mod error;
 pub mod icache;
 pub mod memory;

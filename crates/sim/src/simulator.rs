@@ -1,5 +1,6 @@
 //! The cycle-accurate simulator core.
 
+use crate::decoded::{DAddr, DKind, DOperand, DecodedProgram, NO_GUARD};
 use crate::error::SimError;
 use crate::icache::InstructionCache;
 use crate::memory::LocalMemory;
@@ -9,6 +10,12 @@ use vsp_core::{validate_program, LatencyModel, MachineConfig};
 use vsp_isa::semantics;
 use vsp_isa::{AddrMode, ClusterId, MemCtlOp, OpKind, Operand, Operation, Pred, Program, Reg};
 use vsp_trace::{NullSink, TraceEvent, TraceSink};
+
+/// Size of the pending-commit ring: one slot per future cycle. Result
+/// latencies are tiny (bounded by load-use, multiply, and crossbar
+/// delays), so a fixed window covers every commit; the rare latency
+/// beyond it falls back to the ordered overflow map.
+const PENDING_SLOTS: usize = 16;
 
 /// What to do when an operation reads a register whose producer has not
 /// completed.
@@ -44,13 +51,25 @@ enum Commit {
 pub struct Simulator<'a, S: TraceSink = NullSink> {
     machine: &'a MachineConfig,
     program: &'a Program,
+    /// Pre-decoded twin of `program` (flat ops, resolved latencies);
+    /// what [`Simulator::step`] actually executes.
+    decoded: DecodedProgram,
     policy: HazardPolicy,
     regs: Vec<Vec<i16>>,
     reg_ready: Vec<Vec<u64>>,
     preds: Vec<Vec<bool>>,
     pred_ready: Vec<Vec<u64>>,
     mems: Vec<Vec<LocalMemory>>,
-    pending: BTreeMap<u64, Vec<Commit>>,
+    /// Pending commits within the next `PENDING_SLOTS` cycles, indexed
+    /// by `cycle % PENDING_SLOTS` (allocation-free in steady state).
+    pending_ring: Vec<Vec<Commit>>,
+    /// Total commits outstanding in the ring (fast empty check).
+    pending_count: usize,
+    /// Commits scheduled beyond the ring window (pathological
+    /// latencies only; normally empty forever).
+    pending_far: BTreeMap<u64, Vec<Commit>>,
+    /// Last cycle whose ring slot has been drained.
+    drained_through: u64,
     icache: InstructionCache,
     pc: usize,
     cycle: u64,
@@ -64,6 +83,20 @@ pub struct Simulator<'a, S: TraceSink = NullSink> {
     /// Clusters with a non-zero entry in `word_cluster_ops`, so the
     /// per-word drain touches only busy clusters.
     word_touched: Vec<ClusterId>,
+    /// Reusable per-step scratch: stores buffered to the end of the
+    /// cycle as `(cluster, bank, addr, value)`.
+    scratch_stores: Vec<(u8, u8, u32, i16)>,
+    /// Reusable per-step scratch: banks swapping at the end of cycle.
+    scratch_swaps: Vec<(u8, u8)>,
+    /// Reusable per-step scratch: register results entering the bypass
+    /// network as `(cluster, reg, value, latency)`.
+    scratch_reg_writes: Vec<(u8, u16, i16, u32)>,
+    /// Reusable per-step scratch: predicate results.
+    scratch_pred_writes: Vec<(u8, u8, bool, u32)>,
+    /// Fast-path per-class op counters, indexed by `FuClass` discriminant;
+    /// folded into `RunStats::ops_by_class` by [`Simulator::stats`] so
+    /// the hot loop skips the map lookup the interpretive path pays.
+    fast_class_ops: [u64; 6],
 }
 
 impl<'a> Simulator<'a> {
@@ -100,6 +133,7 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         Ok(Simulator {
             machine,
             program,
+            decoded: DecodedProgram::decode(machine, program),
             policy: HazardPolicy::Fault,
             regs: vec![vec![0; regs]; clusters],
             reg_ready: vec![vec![0; regs]; clusters],
@@ -115,7 +149,10 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
                         .collect()
                 })
                 .collect(),
-            pending: BTreeMap::new(),
+            pending_ring: (0..PENDING_SLOTS).map(|_| Vec::new()).collect(),
+            pending_count: 0,
+            pending_far: BTreeMap::new(),
+            drained_through: 0,
             icache,
             pc: 0,
             cycle: 0,
@@ -125,6 +162,11 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
             sink,
             word_cluster_ops: vec![0; clusters],
             word_touched: Vec::with_capacity(clusters),
+            scratch_stores: Vec::new(),
+            scratch_swaps: Vec::new(),
+            scratch_reg_writes: Vec::new(),
+            scratch_pred_writes: Vec::new(),
+            fast_class_ops: [0; 6],
         })
     }
 
@@ -203,20 +245,319 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         Ok(self.stats())
     }
 
+    /// Runs via the legacy interpretive path ([`Simulator::step_interp`])
+    /// instead of the pre-decoded fast path.
+    ///
+    /// Exists as the measurement baseline for the fast path and as the
+    /// reference implementation for the differential tests; both paths
+    /// must produce identical [`RunStats`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_interp(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            self.step_interp()?;
+        }
+        Ok(self.stats())
+    }
+
     /// Statistics gathered so far (with derived fields such as the
     /// histogram zero-buckets filled in).
     pub fn stats(&self) -> RunStats {
         let mut stats = self.stats.clone();
+        for class in vsp_isa::FuClass::ALL {
+            let n = self.fast_class_ops[class as usize];
+            if n > 0 {
+                *stats.ops_by_class.entry(class).or_insert(0) += n;
+            }
+        }
         stats.finalize();
         stats
     }
 
-    /// Executes one instruction word (plus any fetch stall preceding it).
+    /// Executes one instruction word (plus any fetch stall preceding it)
+    /// on the pre-decoded fast path.
+    ///
+    /// Semantically identical to [`Simulator::step_interp`] — the
+    /// differential tests hold the two to exact [`RunStats`] equality —
+    /// but works from the flat [`DecodedProgram`]: no word clone, no
+    /// per-op latency lookup, no per-step allocation (scratch buffers
+    /// live on the struct), and the trace check is hoisted into one
+    /// per-step bool.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Simulator::run`], except the cycle budget.
     pub fn step(&mut self) -> Result<(), SimError> {
+        if self.halted {
+            return Ok(());
+        }
+        if self.pc >= self.program.len() {
+            return Err(SimError::RanOffEnd { cycle: self.cycle });
+        }
+        let tracing = self.sink.enabled();
+
+        // Fetch (may stall on an icache miss).
+        let stall = self.icache.fetch(self.pc);
+        if stall > 0 {
+            self.stats.icache_misses += 1;
+            self.stats.icache_stall_cycles += u64::from(stall);
+            if tracing {
+                self.sink.emit(TraceEvent::IcacheMiss {
+                    cycle: self.cycle,
+                    word: self.pc as u32,
+                    stall,
+                });
+            }
+            self.cycle += u64::from(stall);
+        }
+
+        self.apply_commits();
+
+        let word_index = self.pc;
+        let ops = self.decoded.word_range(word_index);
+
+        // Take the scratch buffers out of `self` for the duration of the
+        // step (sidestepping a borrow conflict with `&mut self` helper
+        // calls); they are cleared and restored at the end. Error paths
+        // leave them taken, which only costs their capacity — every
+        // `SimError` here is terminal for the run.
+        let mut stores = std::mem::take(&mut self.scratch_stores);
+        let mut swaps = std::mem::take(&mut self.scratch_swaps);
+        let mut reg_writes = std::mem::take(&mut self.scratch_reg_writes);
+        let mut pred_writes = std::mem::take(&mut self.scratch_pred_writes);
+        let mut branch: Option<usize> = None;
+        let mut halt = false;
+
+        // A word issued inside a branch-delay shadow that does no work at
+        // all is a branch-redirect bubble; detect it for the stall-cycle
+        // breakdown.
+        let in_branch_shadow = self.redirect.is_some();
+        let mut word_issued_ops: u32 = 0;
+
+        // Phase 1: all operand fetches happen against the pre-cycle state;
+        // results are collected, not yet visible to the scoreboard (so
+        // same-word reads of a destination see the old value, as the
+        // hardware's operand-fetch stage does).
+        for i in ops {
+            let op = self.decoded.op(i);
+            let c = op.cluster;
+            if op.guard_pred != NO_GUARD {
+                let v = self.read_pred_idx(c, op.guard_pred, word_index)?;
+                if v != op.guard_sense {
+                    self.stats.annulled_ops += 1;
+                    word_issued_ops += 1;
+                    if tracing {
+                        self.sink.emit(TraceEvent::Annul {
+                            cycle: self.cycle,
+                            word: word_index as u32,
+                            cluster: c,
+                            slot: op.slot,
+                        });
+                    }
+                    continue;
+                }
+            }
+            if let Some(class) = op.class {
+                self.fast_class_ops[class as usize] += 1;
+                self.stats.record_cluster_op(c as usize);
+                word_issued_ops += 1;
+                if self.word_cluster_ops[c as usize] == 0 {
+                    self.word_touched.push(c);
+                }
+                self.word_cluster_ops[c as usize] += 1;
+                if tracing {
+                    self.sink.emit(TraceEvent::Issue {
+                        cycle: self.cycle,
+                        word: word_index as u32,
+                        cluster: c,
+                        slot: op.slot,
+                        class,
+                    });
+                }
+            }
+            match op.kind {
+                DKind::AluBin { op: f, dst, a, b } => {
+                    let x = self.read_doperand(c, a, word_index)?;
+                    let y = self.read_doperand(c, b, word_index)?;
+                    reg_writes.push((c, dst, semantics::alu_bin(f, x, y), op.latency));
+                }
+                DKind::AluUn { op: f, dst, a } => {
+                    let x = self.read_doperand(c, a, word_index)?;
+                    reg_writes.push((c, dst, semantics::alu_un(f, x), op.latency));
+                }
+                DKind::Shift { op: f, dst, a, b } => {
+                    let x = self.read_doperand(c, a, word_index)?;
+                    let y = self.read_doperand(c, b, word_index)?;
+                    reg_writes.push((c, dst, semantics::shift(f, x, y), op.latency));
+                }
+                DKind::Mul { kind, dst, a, b } => {
+                    let x = self.read_doperand(c, a, word_index)?;
+                    let y = self.read_doperand(c, b, word_index)?;
+                    reg_writes.push((c, dst, semantics::mul(kind, x, y), op.latency));
+                }
+                DKind::Cmp { op: f, dst, a, b } => {
+                    let x = self.read_doperand(c, a, word_index)?;
+                    let y = self.read_doperand(c, b, word_index)?;
+                    pred_writes.push((c, dst, semantics::cmp(f, x, y), op.latency));
+                }
+                DKind::Load { dst, addr, bank } => {
+                    let a = self.effective_addr_idx(c, addr, word_index)?;
+                    let mem = &self.mems[c as usize][bank as usize];
+                    let v = mem.read(a).ok_or(SimError::MemOutOfRange {
+                        cycle: self.cycle,
+                        cluster: c,
+                        bank,
+                        addr: a,
+                        words: mem.words(),
+                    })?;
+                    self.stats.loads += 1;
+                    reg_writes.push((c, dst, v, op.latency));
+                }
+                DKind::Store { src, addr, bank } => {
+                    let a = self.effective_addr_idx(c, addr, word_index)?;
+                    let v = self.read_doperand(c, src, word_index)?;
+                    // Range check now so the error carries the issue cycle.
+                    let mem = &self.mems[c as usize][bank as usize];
+                    if a >= mem.words() {
+                        return Err(SimError::MemOutOfRange {
+                            cycle: self.cycle,
+                            cluster: c,
+                            bank,
+                            addr: a,
+                            words: mem.words(),
+                        });
+                    }
+                    self.stats.stores += 1;
+                    stores.push((c, bank, a, v));
+                }
+                DKind::Xfer { dst, from, src } => {
+                    let v = self.read_reg_idx(from, src, word_index)?;
+                    self.stats.transfers += 1;
+                    reg_writes.push((c, dst, v, op.latency));
+                }
+                DKind::Branch {
+                    pred,
+                    sense,
+                    target,
+                } => {
+                    if self.read_pred_idx(c, pred, word_index)? == sense {
+                        branch = Some(target as usize);
+                    }
+                }
+                DKind::Jump { target } => branch = Some(target as usize),
+                DKind::Halt => halt = true,
+                DKind::Swap { bank } => swaps.push((c, bank)),
+                DKind::Nop => {}
+            }
+        }
+
+        // Phase 2: register/predicate results enter the bypass network.
+        for &(c, r, v, lat) in &reg_writes {
+            self.schedule_reg(c, r, v, lat);
+        }
+        for &(c, p, v, lat) in &pred_writes {
+            self.schedule_pred(c, p, v, lat);
+        }
+
+        // End of cycle: stores and buffer swaps become visible.
+        for &(c, b, addr, v) in &stores {
+            let mem = &mut self.mems[c as usize][b as usize];
+            if !mem.write(addr, v) {
+                return Err(SimError::MemOutOfRange {
+                    cycle: self.cycle,
+                    cluster: c,
+                    bank: b,
+                    addr,
+                    words: mem.words(),
+                });
+            }
+        }
+        for &(c, b) in &swaps {
+            self.mems[c as usize][b as usize].swap();
+        }
+
+        stores.clear();
+        swaps.clear();
+        reg_writes.clear();
+        pred_writes.clear();
+        self.scratch_stores = stores;
+        self.scratch_swaps = swaps;
+        self.scratch_reg_writes = reg_writes;
+        self.scratch_pred_writes = pred_writes;
+
+        self.stats.words += 1;
+        self.stats.issue_capacity += u64::from(self.machine.peak_ops_per_cycle());
+
+        // Fold this word's per-cluster occupancy into the histogram
+        // (only clusters that issued; zero-buckets are derived at
+        // finalize so idle clusters cost nothing here).
+        while let Some(cluster) = self.word_touched.pop() {
+            let ops = self.word_cluster_ops[cluster as usize];
+            self.word_cluster_ops[cluster as usize] = 0;
+            self.stats
+                .record_cluster_word(cluster as usize, ops as usize);
+        }
+        if in_branch_shadow && word_issued_ops == 0 {
+            self.stats.branch_bubble_cycles += 1;
+            if tracing {
+                self.sink.emit(TraceEvent::BranchBubble {
+                    cycle: self.cycle,
+                    word: word_index as u32,
+                });
+            }
+        }
+
+        if halt {
+            self.halted = true;
+            if tracing {
+                self.sink.emit(TraceEvent::Halt { cycle: self.cycle });
+            }
+        }
+        if let Some(target) = branch {
+            self.stats.taken_branches += 1;
+            if tracing {
+                self.sink.emit(TraceEvent::Branch {
+                    cycle: self.cycle,
+                    word: word_index as u32,
+                    target: target as u32,
+                });
+            }
+            self.redirect = Some((target, self.machine.pipeline.branch_delay_slots));
+        }
+
+        match self.redirect {
+            Some((target, 0)) => {
+                self.pc = target;
+                self.redirect = None;
+            }
+            Some((target, n)) => {
+                self.redirect = Some((target, n - 1));
+                self.pc += 1;
+            }
+            None => self.pc += 1,
+        }
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        Ok(())
+    }
+
+    /// Executes one instruction word on the legacy interpretive path:
+    /// walks the symbolic [`Program`] word (cloned per step), resolving
+    /// operands, functional-unit classes, and latencies on the fly.
+    ///
+    /// Kept verbatim as the measurement baseline and reference semantics
+    /// for [`Simulator::step`]; only the commit bookkeeping underneath
+    /// ([`Simulator::apply_commits`]) is shared.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`], except the cycle budget.
+    pub fn step_interp(&mut self) -> Result<(), SimError> {
         if self.halted {
             return Ok(());
         }
@@ -250,8 +591,8 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
 
         let mut stores: Vec<(ClusterId, u8, u32, i16)> = Vec::new();
         let mut swaps: Vec<(ClusterId, u8)> = Vec::new();
-        let mut reg_writes: Vec<(ClusterId, Reg, i16, u32)> = Vec::new();
-        let mut pred_writes: Vec<(ClusterId, Pred, bool, u32)> = Vec::new();
+        let mut reg_writes: Vec<(ClusterId, u16, i16, u32)> = Vec::new();
+        let mut pred_writes: Vec<(ClusterId, u8, bool, u32)> = Vec::new();
         let mut branch: Option<usize> = None;
         let mut halt = false;
 
@@ -311,11 +652,14 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         }
 
         // Phase 2: register/predicate results enter the bypass network.
+        // The interpretive path schedules through the ordered map, as the
+        // original interpreter did, so it stays an honest baseline for
+        // the ring-buffered fast path.
         for (c, r, v, lat) in reg_writes {
-            self.schedule_reg(c, r, v, lat);
+            self.schedule_reg_interp(c, r, v, lat);
         }
         for (c, p, v, lat) in pred_writes {
-            self.schedule_pred(c, p, v, lat);
+            self.schedule_pred_interp(c, p, v, lat);
         }
 
         // End of cycle: stores and buffer swaps become visible.
@@ -392,11 +736,40 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
     }
 
     /// Applies all register/predicate commits due at or before this cycle.
+    ///
+    /// Drains the ring slots for every cycle in
+    /// `(drained_through, cycle]`. The span is capped at
+    /// [`PENDING_SLOTS`]: when a fetch stall jumps the cycle counter
+    /// further than the window, draining all slots once covers every
+    /// outstanding commit, because each was scheduled at most
+    /// `PENDING_SLOTS` cycles past `drained_through` (longer latencies
+    /// live in `pending_far`).
     fn apply_commits(&mut self) {
-        let due: Vec<u64> = self.pending.range(..=self.cycle).map(|(k, _)| *k).collect();
-        for key in due {
-            let commits = self.pending.remove(&key).expect("key just seen");
-            for commit in commits {
+        if self.pending_count > 0 {
+            let span = (self.cycle - self.drained_through).min(PENDING_SLOTS as u64);
+            for c in (self.cycle + 1 - span)..=self.cycle {
+                let slot = (c % PENDING_SLOTS as u64) as usize;
+                if self.pending_ring[slot].is_empty() {
+                    continue;
+                }
+                let mut commits = std::mem::take(&mut self.pending_ring[slot]);
+                self.pending_count -= commits.len();
+                for commit in &commits {
+                    match *commit {
+                        Commit::Reg(c, r, v) => self.regs[c as usize][r.index()] = v,
+                        Commit::Pred(c, p, v) => self.preds[c as usize][p.index()] = v,
+                    }
+                }
+                commits.clear();
+                self.pending_ring[slot] = commits;
+            }
+        }
+        self.drained_through = self.cycle;
+        while let Some(entry) = self.pending_far.first_entry() {
+            if *entry.key() > self.cycle {
+                break;
+            }
+            for commit in entry.remove() {
                 match commit {
                     Commit::Reg(c, r, v) => self.regs[c as usize][r.index()] = v,
                     Commit::Pred(c, p, v) => self.preds[c as usize][p.index()] = v,
@@ -456,6 +829,74 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         }
     }
 
+    /// Fast-path twin of [`Simulator::read_reg`] taking a raw register
+    /// index; errors reconstruct the [`Reg`] so faults are identical to
+    /// the interpretive path's.
+    #[inline]
+    fn read_reg_idx(&self, cluster: ClusterId, reg: u16, word: usize) -> Result<i16, SimError> {
+        let ready = self.reg_ready[cluster as usize][reg as usize];
+        if ready > self.cycle && self.policy == HazardPolicy::Fault {
+            return Err(SimError::PrematureRead {
+                cycle: self.cycle,
+                word,
+                cluster,
+                reg: Reg(reg),
+                ready_at: ready,
+            });
+        }
+        Ok(self.regs[cluster as usize][reg as usize])
+    }
+
+    /// Fast-path twin of [`Simulator::read_pred`]; faults encode the
+    /// predicate with the same high-bit convention.
+    #[inline]
+    fn read_pred_idx(&self, cluster: ClusterId, pred: u8, word: usize) -> Result<bool, SimError> {
+        let ready = self.pred_ready[cluster as usize][pred as usize];
+        if ready > self.cycle && self.policy == HazardPolicy::Fault {
+            return Err(SimError::PrematureRead {
+                cycle: self.cycle,
+                word,
+                cluster,
+                reg: Reg(u16::from(pred) | 0x8000),
+                ready_at: ready,
+            });
+        }
+        Ok(self.preds[cluster as usize][pred as usize])
+    }
+
+    #[inline]
+    fn read_doperand(
+        &self,
+        cluster: ClusterId,
+        operand: DOperand,
+        word: usize,
+    ) -> Result<i16, SimError> {
+        match operand {
+            DOperand::Reg(r) => self.read_reg_idx(cluster, r, word),
+            DOperand::Imm(v) => Ok(v),
+        }
+    }
+
+    #[inline]
+    fn effective_addr_idx(
+        &self,
+        cluster: ClusterId,
+        addr: DAddr,
+        word: usize,
+    ) -> Result<u32, SimError> {
+        let a = match addr {
+            DAddr::Abs(a) => a,
+            DAddr::Reg(r) => self.read_reg_idx(cluster, r, word)? as u16,
+            DAddr::BaseDisp(r, d) => (self.read_reg_idx(cluster, r, word)?).wrapping_add(d) as u16,
+            DAddr::Indexed(r, s) => {
+                let base = self.read_reg_idx(cluster, r, word)?;
+                let idx = self.read_reg_idx(cluster, s, word)?;
+                base.wrapping_add(idx) as u16
+            }
+        };
+        Ok(u32::from(a))
+    }
+
     fn effective_addr(
         &self,
         cluster: ClusterId,
@@ -475,23 +916,57 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         Ok(u32::from(a))
     }
 
-    fn schedule_reg(&mut self, cluster: ClusterId, reg: Reg, value: i16, latency: u32) {
+    /// Queues a commit for `at` cycles: in the ring when the latency fits
+    /// the window (always, for real latency models), else in the ordered
+    /// overflow map. Latency 0 also takes the map so the commit still
+    /// lands on the next [`Simulator::apply_commits`] — its ring slot was
+    /// already drained this cycle.
+    #[inline]
+    fn push_commit(&mut self, at: u64, latency: u32, commit: Commit) {
+        if (1..=PENDING_SLOTS as u32).contains(&latency) {
+            self.pending_ring[(at % PENDING_SLOTS as u64) as usize].push(commit);
+            self.pending_count += 1;
+        } else {
+            self.pending_far.entry(at).or_default().push(commit);
+        }
+    }
+
+    fn schedule_reg(&mut self, cluster: ClusterId, reg: u16, value: i16, latency: u32) {
         let at = self.cycle + u64::from(latency);
-        self.pending
-            .entry(at)
-            .or_default()
-            .push(Commit::Reg(cluster, reg, value));
-        let slot = &mut self.reg_ready[cluster as usize][reg.index()];
+        self.push_commit(at, latency, Commit::Reg(cluster, Reg(reg), value));
+        let slot = &mut self.reg_ready[cluster as usize][reg as usize];
         *slot = (*slot).max(at);
     }
 
-    fn schedule_pred(&mut self, cluster: ClusterId, pred: Pred, value: bool, latency: u32) {
+    fn schedule_pred(&mut self, cluster: ClusterId, pred: u8, value: bool, latency: u32) {
         let at = self.cycle + u64::from(latency);
-        self.pending
+        self.push_commit(at, latency, Commit::Pred(cluster, Pred(pred), value));
+        let slot = &mut self.pred_ready[cluster as usize][pred as usize];
+        *slot = (*slot).max(at);
+    }
+
+    /// Interpretive-path commit scheduling: always through the ordered
+    /// map, mirroring the original interpreter's `BTreeMap` bookkeeping.
+    /// [`Simulator::apply_commits`] drains both structures, so mixing
+    /// `step` and `step_interp` on one simulator stays coherent.
+    fn schedule_reg_interp(&mut self, cluster: ClusterId, reg: u16, value: i16, latency: u32) {
+        let at = self.cycle + u64::from(latency);
+        self.pending_far
             .entry(at)
             .or_default()
-            .push(Commit::Pred(cluster, pred, value));
-        let slot = &mut self.pred_ready[cluster as usize][pred.index()];
+            .push(Commit::Reg(cluster, Reg(reg), value));
+        let slot = &mut self.reg_ready[cluster as usize][reg as usize];
+        *slot = (*slot).max(at);
+    }
+
+    /// Predicate twin of [`Simulator::schedule_reg_interp`].
+    fn schedule_pred_interp(&mut self, cluster: ClusterId, pred: u8, value: bool, latency: u32) {
+        let at = self.cycle + u64::from(latency);
+        self.pending_far
+            .entry(at)
+            .or_default()
+            .push(Commit::Pred(cluster, Pred(pred), value));
+        let slot = &mut self.pred_ready[cluster as usize][pred as usize];
         *slot = (*slot).max(at);
     }
 
@@ -502,8 +977,8 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         word: usize,
         stores: &mut Vec<(ClusterId, u8, u32, i16)>,
         swaps: &mut Vec<(ClusterId, u8)>,
-        reg_writes: &mut Vec<(ClusterId, Reg, i16, u32)>,
-        pred_writes: &mut Vec<(ClusterId, Pred, bool, u32)>,
+        reg_writes: &mut Vec<(ClusterId, u16, i16, u32)>,
+        pred_writes: &mut Vec<(ClusterId, u8, bool, u32)>,
         branch: &mut Option<usize>,
         halt: &mut bool,
     ) -> Result<(), SimError> {
@@ -513,26 +988,26 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
             OpKind::AluBin { op: f, dst, a, b } => {
                 let x = self.read_operand(c, *a, word)?;
                 let y = self.read_operand(c, *b, word)?;
-                reg_writes.push((c, *dst, semantics::alu_bin(*f, x, y), latency));
+                reg_writes.push((c, dst.0, semantics::alu_bin(*f, x, y), latency));
             }
             OpKind::AluUn { op: f, dst, a } => {
                 let x = self.read_operand(c, *a, word)?;
-                reg_writes.push((c, *dst, semantics::alu_un(*f, x), latency));
+                reg_writes.push((c, dst.0, semantics::alu_un(*f, x), latency));
             }
             OpKind::Shift { op: f, dst, a, b } => {
                 let x = self.read_operand(c, *a, word)?;
                 let y = self.read_operand(c, *b, word)?;
-                reg_writes.push((c, *dst, semantics::shift(*f, x, y), latency));
+                reg_writes.push((c, dst.0, semantics::shift(*f, x, y), latency));
             }
             OpKind::Mul { kind, dst, a, b } => {
                 let x = self.read_operand(c, *a, word)?;
                 let y = self.read_operand(c, *b, word)?;
-                reg_writes.push((c, *dst, semantics::mul(*kind, x, y), latency));
+                reg_writes.push((c, dst.0, semantics::mul(*kind, x, y), latency));
             }
             OpKind::Cmp { op: f, dst, a, b } => {
                 let x = self.read_operand(c, *a, word)?;
                 let y = self.read_operand(c, *b, word)?;
-                pred_writes.push((c, *dst, semantics::cmp(*f, x, y), latency));
+                pred_writes.push((c, dst.0, semantics::cmp(*f, x, y), latency));
             }
             OpKind::Load { dst, addr, bank } => {
                 let a = self.effective_addr(c, *addr, word)?;
@@ -545,7 +1020,7 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
                     words: mem.words(),
                 })?;
                 self.stats.loads += 1;
-                reg_writes.push((c, *dst, v, latency));
+                reg_writes.push((c, dst.0, v, latency));
             }
             OpKind::Store { src, addr, bank } => {
                 let a = self.effective_addr(c, *addr, word)?;
@@ -567,7 +1042,7 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
             OpKind::Xfer { dst, from, src } => {
                 let v = self.read_reg(*from, *src, word)?;
                 self.stats.transfers += 1;
-                reg_writes.push((c, *dst, v, latency));
+                reg_writes.push((c, dst.0, v, latency));
             }
             OpKind::Branch {
                 pred,

@@ -104,6 +104,13 @@ impl RunStats {
     /// Records a committed operation.
     pub(crate) fn record_op(&mut self, class: FuClass, cluster: usize) {
         *self.ops_by_class.entry(class).or_insert(0) += 1;
+        self.record_cluster_op(cluster);
+    }
+
+    /// The per-cluster half of [`RunStats::record_op`]; the fast path
+    /// counts classes in a flat array and folds them in at finalize, so
+    /// its hot loop only pays this part.
+    pub(crate) fn record_cluster_op(&mut self, cluster: usize) {
         if self.ops_by_cluster.len() <= cluster {
             self.ops_by_cluster.resize(cluster + 1, 0);
         }

@@ -52,45 +52,86 @@ pub struct Candidate {
     pub peak_gops: f64,
 }
 
-/// Enumerates the candidate space of cluster-based datapaths and returns
-/// the candidates meeting `constraints`, sorted by descending peak GOPS
-/// (ties broken by smaller area).
-pub fn sweep(constraints: &Constraints) -> Vec<Candidate> {
-    let model = CycleTimeModel::new();
-    let mut out = Vec::new();
+/// The enumeration grid, in the serial sweep's nested-loop order:
+/// `(clusters, slots, registers, mem_kb, pipeline)` tuples.
+fn sweep_grid() -> Vec<(u32, u32, u32, u32, PipelineDepth)> {
+    let mut grid = Vec::new();
     for &clusters in &[4u32, 8, 16, 32] {
         for &slots in &[1u32, 2, 4] {
             for &regs in &[64u32, 128, 256] {
                 for &mem_kb in &[8u32, 16, 32] {
                     for &pipeline in &[PipelineDepth::Four, PipelineDepth::Five] {
-                        let spec = candidate_spec(clusters, slots, regs, mem_kb, pipeline);
-                        let clock = model.estimate(&spec);
-                        let area = spec.datapath_area().total_mm2();
-                        let freq = clock.freq_mhz();
-                        if area > constraints.max_area_mm2
-                            || freq < constraints.min_freq_mhz
-                            || spec.total_mem_bytes() < constraints.min_total_mem_bytes
-                        {
-                            continue;
-                        }
-                        let peak_gops = f64::from(clusters * slots) * freq * 1e6 / 1e9;
-                        out.push(Candidate {
-                            spec,
-                            clock,
-                            area_mm2: area,
-                            peak_gops,
-                        });
+                        grid.push((clusters, slots, regs, mem_kb, pipeline));
                     }
                 }
             }
         }
     }
+    grid
+}
+
+/// Prices and clocks one grid point; `None` when it misses `constraints`.
+fn evaluate(
+    model: &CycleTimeModel,
+    (clusters, slots, regs, mem_kb, pipeline): (u32, u32, u32, u32, PipelineDepth),
+    constraints: &Constraints,
+) -> Option<Candidate> {
+    let spec = candidate_spec(clusters, slots, regs, mem_kb, pipeline);
+    let clock = model.estimate(&spec);
+    let area = spec.datapath_area().total_mm2();
+    let freq = clock.freq_mhz();
+    if area > constraints.max_area_mm2
+        || freq < constraints.min_freq_mhz
+        || spec.total_mem_bytes() < constraints.min_total_mem_bytes
+    {
+        return None;
+    }
+    let peak_gops = f64::from(clusters * slots) * freq * 1e6 / 1e9;
+    Some(Candidate {
+        spec,
+        clock,
+        area_mm2: area,
+        peak_gops,
+    })
+}
+
+fn rank(out: &mut [Candidate]) {
     out.sort_by(|a, b| {
         b.peak_gops
             .partial_cmp(&a.peak_gops)
             .unwrap()
             .then(a.area_mm2.partial_cmp(&b.area_mm2).unwrap())
     });
+}
+
+/// Enumerates the candidate space of cluster-based datapaths and returns
+/// the candidates meeting `constraints`, sorted by descending peak GOPS
+/// (ties broken by smaller area).
+pub fn sweep(constraints: &Constraints) -> Vec<Candidate> {
+    let model = CycleTimeModel::new();
+    let mut out: Vec<Candidate> = sweep_grid()
+        .into_iter()
+        .filter_map(|p| evaluate(&model, p, constraints))
+        .collect();
+    rank(&mut out);
+    out
+}
+
+/// Parallel twin of [`sweep`]: fans the grid across rayon workers.
+///
+/// Byte-identical to the serial sweep — grid points are evaluated in the
+/// same enumeration order (rayon's ordered `collect`) before the same
+/// stable ranking sort.
+pub fn sweep_parallel(constraints: &Constraints) -> Vec<Candidate> {
+    use rayon::prelude::*;
+    let mut out: Vec<Candidate> = sweep_grid()
+        .into_par_iter()
+        .map(|p| evaluate(&CycleTimeModel::new(), p, constraints))
+        .collect::<Vec<Option<Candidate>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    rank(&mut out);
     out
 }
 
@@ -200,6 +241,12 @@ mod tests {
         assert!(cands
             .iter()
             .any(|c| c.spec.clusters == 16 && c.spec.issue_slots == 2));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let c = Constraints::default();
+        assert_eq!(sweep(&c), sweep_parallel(&c));
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Differential tests for the simulator's pre-decoded fast path and the
+//! parallel evaluation engine.
+//!
+//! The fast path ([`Simulator::run`]) and the legacy interpretive path
+//! ([`Simulator::run_interp`]) must agree to exact [`RunStats`]
+//! equality — same cycles, words, per-class/per-cluster op counts,
+//! annulled ops, stalls, branch bubbles and utilization histograms — on
+//! every compilable kernel × every named machine model. Likewise the
+//! rayon-backed table assembly and design-space sweep must be
+//! byte-identical to their serial reference paths.
+
+use vsp::core::{models, MachineConfig};
+use vsp::ir::Stmt;
+use vsp::kernels::ir::{
+    color_quad_kernel, dct1d_kernel, dct_direct_mac_kernel, sad_16x16_kernel, vbr_block_kernel,
+};
+use vsp::sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp::sim::{RunStats, Simulator};
+
+/// The six kernels of the differential matrix, as
+/// (name, IR, unroll-innermost) triples.
+///
+/// SAD, both DCT passes, the direct multiply-accumulate DCT, color
+/// conversion and VBR bit-length cover every op kind the code generator
+/// emits: loads/stores, ALU, multiplies, shifts, compares, guarded
+/// (annulled) ops, crossbar transfers and the loop branch. VBR keeps
+/// its coefficient loop rolled — fully unrolling its if-converted body
+/// would need more virtual predicates than the lowering's `u8`
+/// namespace holds — which also keeps its guards data-dependent.
+fn kernels() -> Vec<(&'static str, vsp::ir::Kernel, bool)> {
+    vec![
+        ("sad", sad_16x16_kernel().kernel, true),
+        ("dct-row", dct1d_kernel(true).kernel, true),
+        ("dct-col", dct1d_kernel(false).kernel, true),
+        ("dct-mac", dct_direct_mac_kernel().kernel, true),
+        ("color", color_quad_kernel(4).kernel, true),
+        ("vbr", vbr_block_kernel().kernel, false),
+    ]
+}
+
+/// Compiles a kernel for `machine` with the standard recipe (innermost
+/// loop optionally fully unrolled, if-converted, CSE, list-scheduled
+/// loop body replicated across all clusters) and returns the generated
+/// program.
+fn compile(
+    machine: &MachineConfig,
+    name: &str,
+    kernel: &vsp::ir::Kernel,
+    unroll: bool,
+) -> vsp::isa::Program {
+    let mut k = kernel.clone();
+    if unroll {
+        vsp::ir::transform::fully_unroll_innermost(&mut k);
+    }
+    vsp::ir::transform::if_convert(&mut k);
+    vsp::ir::transform::eliminate_common_subexpressions(&mut k);
+    let layout = ArrayLayout::contiguous(&k, machine).unwrap_or_else(|e| {
+        panic!("{name} on {}: layout failed: {e:?}", machine.name);
+    });
+    // Kernels whose only loop was the (now fully unrolled) innermost one
+    // compile as a straight-line body with no loop control.
+    let (stmts, ctl) = match k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) {
+        Some(Stmt::Loop(l)) => (
+            &l.body,
+            Some(LoopControl {
+                trip: l.trip,
+                index: Some((0, l.start, l.step)),
+            }),
+        ),
+        _ => (&k.body, None),
+    };
+    let body = lower_body(machine, &k, stmts, &layout).unwrap_or_else(|e| {
+        panic!("{name} on {}: lowering failed: {e:?}", machine.name);
+    });
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1)
+        .unwrap_or_else(|| panic!("{name} on {}: unschedulable", machine.name));
+    codegen_loop(machine, &body, &sched, ctl, machine.clusters, name)
+        .unwrap_or_else(|e| panic!("{name} on {}: codegen failed: {e:?}", machine.name))
+        .program
+}
+
+fn run_fast(machine: &MachineConfig, program: &vsp::isa::Program) -> RunStats {
+    let mut sim = Simulator::new(machine, program).expect("valid program");
+    sim.run(1_000_000).expect("halts")
+}
+
+fn run_interp(machine: &MachineConfig, program: &vsp::isa::Program) -> RunStats {
+    let mut sim = Simulator::new(machine, program).expect("valid program");
+    sim.run_interp(1_000_000).expect("halts")
+}
+
+/// The tentpole contract: exact `RunStats` equality between the
+/// pre-decoded fast path and the legacy interpretive path, over the
+/// full kernel × model matrix.
+#[test]
+fn fast_path_stats_equal_interp_on_all_kernels_and_models() {
+    for machine in models::all_models() {
+        for (name, kernel, unroll) in kernels() {
+            let program = compile(&machine, name, &kernel, unroll);
+            let fast = run_fast(&machine, &program);
+            let interp = run_interp(&machine, &program);
+            assert_eq!(
+                fast, interp,
+                "fast/interp diverged for {name} on {}",
+                machine.name
+            );
+            // The cycle-accounting invariant holds on both paths.
+            assert_eq!(
+                fast.cycles,
+                fast.words + fast.icache_stall_cycles,
+                "{name} on {}",
+                machine.name
+            );
+        }
+    }
+}
+
+/// Both paths see the same per-kernel op mix: committed work exists and
+/// guarded kernels report annulled ops on at least one model.
+#[test]
+fn differential_matrix_exercises_annulled_and_committed_ops() {
+    let mut total_ops = 0u64;
+    let mut annulled = 0u64;
+    for machine in models::all_models() {
+        for (name, kernel, unroll) in kernels() {
+            let program = compile(&machine, name, &kernel, unroll);
+            let stats = run_fast(&machine, &program);
+            total_ops += stats.total_ops();
+            annulled += stats.annulled_ops;
+        }
+    }
+    assert!(total_ops > 0);
+    assert!(annulled > 0, "matrix never exercised guard annulment");
+}
+
+/// The rayon-parallel table assembly is byte-identical to the serial
+/// reference, via the rendered table text end to end.
+#[test]
+fn parallel_table_assembly_is_byte_identical_to_serial() {
+    let engine = vsp_bench::EvalEngine::new();
+    assert_eq!(
+        vsp_bench::tables::table1_with(&engine),
+        vsp_bench::tables::table1()
+    );
+    assert_eq!(
+        vsp_bench::tables::table2_with(&engine),
+        vsp_bench::tables::table2()
+    );
+}
+
+/// The rayon-parallel design-space sweep returns the same candidates in
+/// the same order as the serial sweep.
+#[test]
+fn parallel_design_space_sweep_matches_serial() {
+    let c = vsp::vlsi::explore::Constraints::default();
+    assert_eq!(
+        vsp::vlsi::explore::sweep(&c),
+        vsp::vlsi::explore::sweep_parallel(&c)
+    );
+}
