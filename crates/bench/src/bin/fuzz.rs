@@ -1,0 +1,209 @@
+//! Differential fuzzing driver: generate seeded random programs and
+//! kernels, run them through every execution path, and report any
+//! disagreement as a machine-readable failure with its reproducer seed.
+//!
+//! ```text
+//! cargo run --release -p vsp-bench --bin fuzz -- --cases 1000 --seed 42
+//! ```
+//!
+//! Every case derives its own seed as `seed + case_index`, so a failure
+//! printed with `"seed": N` replays exactly with `--cases 1 --seed N`.
+//! Cases rotate round-robin over the selected machine models; every
+//! fourth case is a kernel-oracle case (IR interpreter as semantic
+//! reference), the rest are raw-program differentials (fast path vs
+//! interpretive path).
+
+use std::process::ExitCode;
+use vsp_check::gen::{gen_kernel, gen_program, KernelGenConfig, ProgramGenConfig};
+use vsp_check::oracle::{diff_kernel, diff_program, DiffFailure};
+use vsp_check::validity::check_program;
+use vsp_core::models;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const USAGE: &str = "usage: fuzz [options]
+
+Differential fuzzing: seeded random programs and kernels, executed
+through the simulator fast path, the interpretive path and (for
+kernels) the IR interpreter, with all paths required to agree.
+
+options:
+  --cases N        number of cases to run (default 200)
+  --seed N         base seed; case i uses seed N+i (default 42)
+  --model NAME     restrict to one machine model (default: all models)
+  --max-cycles N   per-case simulation budget (default 1000000)
+  --json           emit failures as JSON objects on stdout
+  -h, --help       this text";
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    model: Option<String>,
+    max_cycles: u64,
+    json: bool,
+}
+
+/// One failed case, as printed (JSON when a real serializer backend is
+/// linked, `Debug` rendering otherwise).
+#[derive(Debug, Serialize)]
+struct FailureReport {
+    /// Reproducer: `fuzz --cases 1 --seed <seed> --model <model>`.
+    seed: u64,
+    model: String,
+    kind: &'static str,
+    failure: DiffFailure,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cases: 200,
+        seed: 42,
+        model: None,
+        max_cycles: 1_000_000,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--cases" => {
+                args.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--model" => args.model = Some(value("--model")?),
+            "--max-cycles" => {
+                args.max_cycles = value("--max-cycles")?
+                    .parse()
+                    .map_err(|e| format!("--max-cycles: {e}"))?
+            }
+            "--json" => args.json = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn emit(report: &FailureReport, json: bool) {
+    if json {
+        match serde_json::to_string(report) {
+            Ok(s) => println!("{s}"),
+            Err(_) => println!("{report:?}"),
+        }
+    } else {
+        println!(
+            "FAIL seed={} model={} kind={}: {}",
+            report.seed, report.model, report.kind, report.failure
+        );
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let machines: Vec<_> = match &args.model {
+        Some(name) => {
+            let m = models::by_name(name).ok_or_else(|| format!("unknown model {name}"))?;
+            vec![m]
+        }
+        None => models::all_models(),
+    };
+
+    let program_cfg = ProgramGenConfig::default();
+    let kernel_cfg = KernelGenConfig::default();
+    let mut failures: Vec<FailureReport> = Vec::new();
+    let mut programs = 0u64;
+    let mut kernels = 0u64;
+    let mut total_cycles = 0u64;
+    let mut total_ops = 0u64;
+
+    for i in 0..args.cases {
+        let case_seed = args.seed.wrapping_add(i);
+        let machine = &machines[(i % machines.len() as u64) as usize];
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+
+        let outcome = if i % 4 == 3 {
+            kernels += 1;
+            let kernel = gen_kernel(&mut rng, &kernel_cfg);
+            let data: Vec<i16> = (0..kernel.len)
+                .map(|_| rng.gen_range(-100i16..=100))
+                .collect();
+            diff_kernel(machine, &kernel, &data, args.max_cycles).map(|s| ("kernel", s))
+        } else {
+            programs += 1;
+            let program = gen_program(machine, &mut rng, &program_cfg);
+            // The generator's own claim, checked independently before
+            // execution: a hazard here is a generator bug, not a
+            // simulator bug, and must be reported as such.
+            let hazards = check_program(machine, &program);
+            if !hazards.is_empty() {
+                failures.push(FailureReport {
+                    seed: case_seed,
+                    model: machine.name.clone(),
+                    kind: "generator",
+                    failure: DiffFailure::StateDiverged {
+                        detail: format!("generator emitted invalid program: {}", hazards[0]),
+                    },
+                });
+                continue;
+            }
+            diff_program(machine, &program, args.max_cycles).map(|s| ("program", s))
+        };
+
+        match outcome {
+            Ok((_, stats)) => {
+                total_cycles += stats.cycles;
+                total_ops += stats.total_ops();
+            }
+            Err(failure) => {
+                let report = FailureReport {
+                    seed: case_seed,
+                    model: machine.name.clone(),
+                    kind: if i % 4 == 3 { "kernel" } else { "program" },
+                    failure,
+                };
+                emit(&report, args.json);
+                failures.push(report);
+            }
+        }
+    }
+
+    eprintln!(
+        "fuzz: {} cases ({programs} programs, {kernels} kernels) over {} model(s); \
+         {total_cycles} cycles, {total_ops} ops simulated; {} failure(s)",
+        args.cases,
+        machines.len(),
+        failures.len()
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} cases diverged (reproduce any with --cases 1 --seed <seed> --model <model>)",
+            failures.len(),
+            args.cases
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("fuzz: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

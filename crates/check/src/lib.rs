@@ -1,0 +1,51 @@
+//! Generative differential fuzzing and schedule-validity checking for
+//! the VSP toolkit.
+//!
+//! Three pillars, each usable on its own:
+//!
+//! * [`gen`] — seeded random generators producing well-formed VLIW
+//!   [`vsp_isa::Program`]s and compilable IR kernels, parameterized by
+//!   any [`vsp_core::MachineConfig`]. Programs are hazard-free by
+//!   construction (every read and write waits for the producing
+//!   operation's latency), structurally legal (each candidate operation
+//!   is replayed through a [`vsp_core::CycleReservation`] before being
+//!   accepted), and control-flow linear (branch targets equal the
+//!   fall-through point after the delay slots), so a correct simulator
+//!   must execute them without faulting.
+//! * [`validity`] — an *independent* schedule checker: given a machine,
+//!   a lowered body, its dependence graph and a list or modulo schedule,
+//!   it re-derives every constraint the schedulers claim to satisfy
+//!   (dependence delays with crossbar adjustment, per-cycle resource
+//!   replay, modulo-row reservation at `time mod II`, length/stage
+//!   consistency) and returns structured [`validity::Violation`]s.
+//! * [`oracle`] — a differential runner executing the same program
+//!   through the pre-decoded fast path ([`vsp_sim::Simulator::run`]) and
+//!   the interpretive path ([`vsp_sim::Simulator::run_interp`]), and —
+//!   for generated kernels — through the IR interpreter
+//!   ([`vsp_ir::Interpreter`]) as the semantic reference. Architectural
+//!   state must be bit-identical and [`vsp_sim::RunStats`] must satisfy
+//!   `cycles == words + icache_stall_cycles`.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::SmallRng, SeedableRng};
+//! use vsp_check::{gen, oracle};
+//! use vsp_core::models;
+//!
+//! let machine = models::i4c8s4();
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let program = gen::gen_program(&machine, &mut rng, &gen::ProgramGenConfig::default());
+//! oracle::diff_program(&machine, &program, 100_000).expect("paths agree");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod validity;
+
+pub use gen::{gen_kernel, gen_program, GeneratedKernel, KernelGenConfig, ProgramGenConfig};
+pub use oracle::{diff_kernel, diff_program, DiffFailure};
+pub use validity::{check_list_schedule, check_modulo_schedule, check_program, Violation};

@@ -1,0 +1,415 @@
+//! The differential oracle: one program, multiple executions, required
+//! agreement.
+//!
+//! Two comparison levels, matching the two generators in [`crate::gen`]:
+//!
+//! * [`diff_program`] — runs a VLIW program through the simulator's
+//!   pre-decoded fast path ([`Simulator::run`]) and its interpretive
+//!   path ([`Simulator::run_interp`]) and demands exact [`RunStats`]
+//!   equality, bit-identical architectural state ([`ArchState`]: every
+//!   register, predicate and both halves of every memory bank on every
+//!   cluster), and the cycle-accounting invariant
+//!   `cycles == words + icache_stall_cycles`;
+//! * [`diff_kernel`] — additionally brings in the IR interpreter
+//!   ([`vsp_ir::Interpreter`]) as a *semantic* reference: a generated
+//!   kernel is compiled with the standard recipe (if-convert, CSE,
+//!   lower, list-schedule, codegen across all clusters), its input array
+//!   is staged into every cluster replica's local memory, and after both
+//!   simulator paths run, every replica's output region must equal the
+//!   interpreter's output array element for element.
+//!
+//! Failures come back as a serializable [`DiffFailure`] so the fuzz
+//! driver can emit machine-readable reports carrying the reproducer
+//! seed.
+
+use serde::Serialize;
+use std::fmt;
+use vsp_core::validate::{validate_program, ValidationError};
+use vsp_core::MachineConfig;
+use vsp_ir::{Interpreter, Stmt};
+use vsp_isa::Program;
+use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp_sim::{ArchState, RunStats, Simulator};
+
+use crate::gen::GeneratedKernel;
+
+/// Why a differential case failed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum DiffFailure {
+    /// The program is structurally illegal for the machine — a generator
+    /// (or compiler) bug, reported before any execution.
+    Structural(Vec<ValidationError>),
+    /// One execution path faulted or exceeded the cycle budget.
+    Sim {
+        /// Which path (`"fast"` or `"interp"`).
+        path: &'static str,
+        /// The simulator error, rendered.
+        error: String,
+    },
+    /// The IR interpreter (semantic reference) failed.
+    Interp {
+        /// The interpreter error, rendered.
+        error: String,
+    },
+    /// The standard compilation recipe failed on a generated kernel.
+    Compile {
+        /// Which stage (`"layout"`, `"lower"`, `"schedule"`, `"codegen"`).
+        stage: &'static str,
+        /// The error, rendered.
+        error: String,
+    },
+    /// The two simulator paths disagree on run statistics.
+    StatsDiverged {
+        /// Rendered summary of the first differing fields.
+        detail: String,
+    },
+    /// The two simulator paths disagree on architectural state.
+    StateDiverged {
+        /// Rendered summary of the divergence.
+        detail: String,
+    },
+    /// `cycles == words + icache_stall_cycles` does not hold.
+    CycleInvariant {
+        /// Total cycles reported.
+        cycles: u64,
+        /// Instruction words executed.
+        words: u64,
+        /// Instruction-cache stall cycles.
+        stalls: u64,
+    },
+    /// A cluster replica's output array differs from the IR
+    /// interpreter's result.
+    OutputDiverged {
+        /// Cluster whose memory diverged.
+        cluster: u8,
+        /// Element index within the output array.
+        index: usize,
+        /// Value the IR interpreter computed.
+        expected: i16,
+        /// Value found in the replica's local memory.
+        actual: i16,
+    },
+}
+
+impl fmt::Display for DiffFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffFailure::Structural(errors) => {
+                write!(f, "structurally illegal program ({} errors):", errors.len())?;
+                for e in errors {
+                    write!(f, " {e};")?;
+                }
+                Ok(())
+            }
+            DiffFailure::Sim { path, error } => write!(f, "{path} path failed: {error}"),
+            DiffFailure::Interp { error } => write!(f, "IR interpreter failed: {error}"),
+            DiffFailure::Compile { stage, error } => {
+                write!(f, "compilation failed at {stage}: {error}")
+            }
+            DiffFailure::StatsDiverged { detail } => {
+                write!(f, "run statistics diverged: {detail}")
+            }
+            DiffFailure::StateDiverged { detail } => {
+                write!(f, "architectural state diverged: {detail}")
+            }
+            DiffFailure::CycleInvariant {
+                cycles,
+                words,
+                stalls,
+            } => write!(
+                f,
+                "cycle invariant broken: cycles {cycles} != words {words} + stalls {stalls}"
+            ),
+            DiffFailure::OutputDiverged {
+                cluster,
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "cluster {cluster} out[{index}] = {actual}, interpreter says {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiffFailure {}
+
+/// Runs `program` through both simulator paths and checks agreement.
+///
+/// Returns the (identical) run statistics on success.
+///
+/// # Errors
+///
+/// Any structural illegality, execution fault, statistic or
+/// architectural-state divergence, or cycle-invariant breakage.
+pub fn diff_program(
+    machine: &MachineConfig,
+    program: &Program,
+    max_cycles: u64,
+) -> Result<RunStats, DiffFailure> {
+    if let Err(errors) = validate_program(machine, program) {
+        return Err(DiffFailure::Structural(errors));
+    }
+    let (stats_fast, state_fast) = run_path(machine, program, max_cycles, true, &[])?;
+    let (stats_interp, state_interp) = run_path(machine, program, max_cycles, false, &[])?;
+    compare_paths(&stats_fast, &state_fast, &stats_interp, &state_interp)?;
+    Ok(stats_fast)
+}
+
+/// Compiles a generated kernel, runs both simulator paths on every
+/// cluster replica, and checks both against the IR interpreter.
+///
+/// `data` supplies the input array (must be `kernel.len` elements).
+///
+/// Returns the fast path's run statistics on success.
+///
+/// # Errors
+///
+/// Compilation failures, execution faults, path divergence, or any
+/// replica output element differing from the interpreter's.
+///
+/// # Panics
+///
+/// Panics if `data.len() != kernel.len as usize`.
+pub fn diff_kernel(
+    machine: &MachineConfig,
+    kernel: &GeneratedKernel,
+    data: &[i16],
+    max_cycles: u64,
+) -> Result<RunStats, DiffFailure> {
+    assert_eq!(data.len(), kernel.len as usize, "input data length");
+
+    // Semantic reference: the IR interpreter on the *untransformed*
+    // kernel.
+    let mut ir = Interpreter::new(&kernel.kernel);
+    ir.set_array(kernel.input, data.to_vec());
+    ir.run().map_err(|e| DiffFailure::Interp {
+        error: e.to_string(),
+    })?;
+    let expected = ir.array(kernel.output).to_vec();
+
+    let (program, layout) = compile(machine, kernel)?;
+    if let Err(errors) = validate_program(machine, &program) {
+        return Err(DiffFailure::Structural(errors));
+    }
+
+    let (ibank, ibase) = layout.entries[kernel.input.0 as usize];
+    let (obank, obase) = layout.entries[kernel.output.0 as usize];
+    let stage = [(ibank.0, ibase, data)];
+
+    let (stats_fast, state_fast) = run_path(machine, &program, max_cycles, true, &stage)?;
+    let (stats_interp, state_interp) = run_path(machine, &program, max_cycles, false, &stage)?;
+    compare_paths(&stats_fast, &state_fast, &stats_interp, &state_interp)?;
+
+    // Every cluster replica computed the same loop on its own memory.
+    for cluster in 0..machine.clusters as usize {
+        let mem = &state_fast.mems[cluster][obank.0 as usize].0;
+        let region = &mem[obase as usize..obase as usize + expected.len()];
+        for (index, (&want, &got)) in expected.iter().zip(region).enumerate() {
+            if want != got {
+                return Err(DiffFailure::OutputDiverged {
+                    cluster: cluster as u8,
+                    index,
+                    expected: want,
+                    actual: got,
+                });
+            }
+        }
+    }
+    Ok(stats_fast)
+}
+
+/// The standard compilation recipe for generated kernels (mirrors the
+/// repo's differential tests): if-convert, CSE, contiguous array
+/// layout, lower the counted loop's body, list-schedule, replicate
+/// across all clusters.
+fn compile(
+    machine: &MachineConfig,
+    kernel: &GeneratedKernel,
+) -> Result<(Program, ArrayLayout), DiffFailure> {
+    let mut k = kernel.kernel.clone();
+    vsp_ir::transform::if_convert(&mut k);
+    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+    let layout = ArrayLayout::contiguous(&k, machine).map_err(|e| DiffFailure::Compile {
+        stage: "layout",
+        error: format!("{e:?}"),
+    })?;
+    let Some(Stmt::Loop(l)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+        return Err(DiffFailure::Compile {
+            stage: "lower",
+            error: "generated kernel lost its loop".into(),
+        });
+    };
+    let ctl = Some(LoopControl {
+        trip: l.trip,
+        index: Some((0, l.start, l.step)),
+    });
+    let body = lower_body(machine, &k, &l.body, &layout).map_err(|e| DiffFailure::Compile {
+        stage: "lower",
+        error: format!("{e:?}"),
+    })?;
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1).ok_or(DiffFailure::Compile {
+        stage: "schedule",
+        error: "list scheduler found no schedule".into(),
+    })?;
+    let generated = codegen_loop(machine, &body, &sched, ctl, machine.clusters, "fuzzkern")
+        .map_err(|e| DiffFailure::Compile {
+            stage: "codegen",
+            error: format!("{e:?}"),
+        })?;
+    Ok((generated.program, layout))
+}
+
+/// Runs one simulator path, staging `(bank, base, data)` regions into
+/// every cluster's processing buffer first.
+fn run_path(
+    machine: &MachineConfig,
+    program: &Program,
+    max_cycles: u64,
+    fast: bool,
+    stage: &[(u8, u16, &[i16])],
+) -> Result<(RunStats, ArchState), DiffFailure> {
+    let mut sim = Simulator::new(machine, program).map_err(|e| DiffFailure::Sim {
+        path: if fast { "fast" } else { "interp" },
+        error: e.to_string(),
+    })?;
+    for &(bank, base, data) in stage {
+        for cluster in 0..machine.clusters as u8 {
+            let buf = sim.mem_mut(cluster, bank).active_buffer_mut();
+            buf[base as usize..base as usize + data.len()].copy_from_slice(data);
+        }
+    }
+    let stats = if fast {
+        sim.run(max_cycles)
+    } else {
+        sim.run_interp(max_cycles)
+    }
+    .map_err(|e| DiffFailure::Sim {
+        path: if fast { "fast" } else { "interp" },
+        error: e.to_string(),
+    })?;
+    Ok((stats, sim.arch_state()))
+}
+
+/// Exact-agreement comparison of the two simulator paths, plus the
+/// cycle-accounting invariant.
+fn compare_paths(
+    stats_fast: &RunStats,
+    state_fast: &ArchState,
+    stats_interp: &RunStats,
+    state_interp: &ArchState,
+) -> Result<(), DiffFailure> {
+    if stats_fast != stats_interp {
+        return Err(DiffFailure::StatsDiverged {
+            detail: stats_divergence(stats_fast, stats_interp),
+        });
+    }
+    if state_fast != state_interp {
+        return Err(DiffFailure::StateDiverged {
+            detail: state_divergence(state_fast, state_interp),
+        });
+    }
+    if stats_fast.cycles != stats_fast.words + stats_fast.icache_stall_cycles {
+        return Err(DiffFailure::CycleInvariant {
+            cycles: stats_fast.cycles,
+            words: stats_fast.words,
+            stalls: stats_fast.icache_stall_cycles,
+        });
+    }
+    Ok(())
+}
+
+fn stats_divergence(a: &RunStats, b: &RunStats) -> String {
+    let mut parts = Vec::new();
+    if a.cycles != b.cycles {
+        parts.push(format!("cycles {} vs {}", a.cycles, b.cycles));
+    }
+    if a.words != b.words {
+        parts.push(format!("words {} vs {}", a.words, b.words));
+    }
+    if a.ops_by_class != b.ops_by_class {
+        parts.push(format!(
+            "ops_by_class {:?} vs {:?}",
+            a.ops_by_class, b.ops_by_class
+        ));
+    }
+    if a.annulled_ops != b.annulled_ops {
+        parts.push(format!("annulled {} vs {}", a.annulled_ops, b.annulled_ops));
+    }
+    if a.taken_branches != b.taken_branches {
+        parts.push(format!(
+            "taken_branches {} vs {}",
+            a.taken_branches, b.taken_branches
+        ));
+    }
+    if parts.is_empty() {
+        parts.push("fields beyond the headline counters differ".into());
+    }
+    format!("fast vs interp: {}", parts.join(", "))
+}
+
+fn state_divergence(a: &ArchState, b: &ArchState) -> String {
+    if a.cycle != b.cycle {
+        return format!("cycle {} vs {}", a.cycle, b.cycle);
+    }
+    if a.halted != b.halted {
+        return format!("halted {} vs {}", a.halted, b.halted);
+    }
+    for (c, (ra, rb)) in a.regs.iter().zip(&b.regs).enumerate() {
+        for (r, (va, vb)) in ra.iter().zip(rb).enumerate() {
+            if va != vb {
+                return format!("c{c} r{r}: {va} vs {vb}");
+            }
+        }
+    }
+    for (c, (pa, pb)) in a.preds.iter().zip(&b.preds).enumerate() {
+        for (p, (va, vb)) in pa.iter().zip(pb).enumerate() {
+            if va != vb {
+                return format!("c{c} p{p}: {va} vs {vb}");
+            }
+        }
+    }
+    for (c, (ma, mb)) in a.mems.iter().zip(&b.mems).enumerate() {
+        for (bank, (ba, bb)) in ma.iter().zip(mb).enumerate() {
+            if ba != bb {
+                let side = if ba.0 != bb.0 { "processing" } else { "I/O" };
+                return format!("c{c} bank {bank}: {side} buffer differs");
+            }
+        }
+    }
+    "structural difference (shapes)".into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_kernel, gen_program, KernelGenConfig, ProgramGenConfig};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use vsp_core::models;
+
+    #[test]
+    fn generated_programs_agree_on_every_model() {
+        for machine in models::all_models() {
+            for seed in 0..4u64 {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let p = gen_program(&machine, &mut rng, &ProgramGenConfig::default());
+                diff_program(&machine, &p, 100_000)
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", machine.name));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_kernels_agree_with_the_interpreter() {
+        for machine in models::all_models() {
+            let mut rng = SmallRng::seed_from_u64(99);
+            let k = gen_kernel(&mut rng, &KernelGenConfig::default());
+            let data: Vec<i16> = (0..k.len).map(|_| rng.gen_range(-100i16..=100)).collect();
+            diff_kernel(&machine, &k, &data, 1_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+        }
+    }
+}

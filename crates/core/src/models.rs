@@ -66,6 +66,14 @@ fn narrow_cluster(banks: Vec<MemBankConfig>, binding: BankBinding) -> ClusterCon
 
 /// The initial design point: 8 clusters of 4 issue slots, 128 registers,
 /// 32 KB local RAM, 4-stage pipeline, simple addressing, 650 MHz target.
+///
+/// ```
+/// let m = vsp_core::models::i4c8s4();
+/// assert_eq!(m.clusters, 8);
+/// assert_eq!(m.cluster.slot_count(), 4);
+/// // 8 clusters × 4 slots + the control slot = the paper's 33 ops/cycle.
+/// assert_eq!(m.peak_ops_per_cycle(), 33);
+/// ```
 pub fn i4c8s4() -> MachineConfig {
     MachineConfig {
         name: "I4C8S4".into(),
@@ -212,6 +220,12 @@ pub fn all_models() -> Vec<MachineConfig> {
 }
 
 /// Looks up a model by its paper name (case-insensitive).
+///
+/// ```
+/// use vsp_core::models;
+/// assert_eq!(models::by_name("i2c16s5m16").unwrap().name, "I2C16S5M16");
+/// assert!(models::by_name("I9C9S9").is_none());
+/// ```
 pub fn by_name(name: &str) -> Option<MachineConfig> {
     all_models()
         .into_iter()

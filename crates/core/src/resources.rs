@@ -8,11 +8,12 @@
 //! structural constraint is enforced statically here.
 
 use crate::config::{BankBinding, MachineConfig};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use vsp_isa::{ClusterId, FuClass, OpKind, Operation, SlotId};
 
 /// Why an operation could not be placed in a cycle.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReserveError {
     /// The cluster index exceeds the machine.
     NoSuchCluster(ClusterId),

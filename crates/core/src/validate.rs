@@ -8,11 +8,12 @@
 
 use crate::config::MachineConfig;
 use crate::resources::{CycleReservation, ReserveError};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use vsp_isa::{AddrMode, AluBinOp, MulKind, OpKind, Operand, Program};
 
 /// A structural violation found in a program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ValidationError {
     /// Instruction-word index.
     pub word: usize,
@@ -21,7 +22,7 @@ pub struct ValidationError {
 }
 
 /// The kinds of structural violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ViolationKind {
     /// Resource/placement violation (slot, crossbar, bank).
     Resource(ReserveError),
@@ -81,6 +82,22 @@ pub struct ValidateOptions {
 }
 
 /// Validates a program against a machine.
+///
+/// ```
+/// use vsp_core::{models, validate_program};
+/// use vsp_isa::{AluUnOp, OpKind, Operand, Operation, Program, Reg};
+///
+/// let machine = models::i2c16s4(); // 64 registers per cluster
+/// let mut p = Program::new("demo");
+/// p.push_word(vec![Operation::new(0, 0, OpKind::AluUn {
+///     op: AluUnOp::Mov, dst: Reg(99), a: Operand::Imm(1),
+/// })]);
+/// // Register 99 does not exist on the narrow clusters.
+/// let errors = validate_program(&machine, &p).unwrap_err();
+/// assert_eq!(errors[0].word, 0);
+/// // The wide machine has 128 registers, so the same program is fine.
+/// assert!(validate_program(&models::i4c8s4(), &p).is_ok());
+/// ```
 ///
 /// # Errors
 ///

@@ -14,7 +14,7 @@
 //! ```
 //!
 //! Branch targets may be written `@label` or `@123` (a literal word
-//! index). [`print`] always emits labels when the program defines them.
+//! index). [`print()`] always emits labels when the program defines them.
 //!
 //! The printer and parser round-trip: `parse(&print(p))` reproduces `p`
 //! up to label naming of numeric targets.

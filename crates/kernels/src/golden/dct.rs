@@ -66,7 +66,7 @@ pub fn dct8x8_rowcol(block: &[i16; 64]) -> [i16; 64] {
 
 /// Traditional direct 2-D DCT: every output coefficient computed as the
 /// full 64-term double sum with combined Q12 coefficients — the
-/// "traditional implementation [that] computes each element of the
+/// "traditional implementation \[that\] computes each element of the
 /// transform on an 8x8 block of pixels directly".
 pub fn dct8x8_direct(block: &[i16; 64]) -> [i16; 64] {
     let mut out = [0i16; 64];

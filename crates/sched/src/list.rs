@@ -34,6 +34,28 @@ impl ListSchedule {
 
 /// List-schedules `body` on `machine` across `clusters_used` clusters.
 ///
+/// ```
+/// use vsp_core::models;
+/// use vsp_ir::KernelBuilder;
+/// use vsp_isa::AluBinOp;
+/// use vsp_sched::{list_schedule, lower_body, ArrayLayout, VopDeps};
+///
+/// let machine = models::i4c8s4();
+/// let mut b = KernelBuilder::new("demo");
+/// let x = b.var("x");
+/// let y = b.bin_new("y", AluBinOp::Add, x, 3i16);
+/// let _z = b.bin_new("z", AluBinOp::Add, y, 4i16);
+/// let kernel = b.finish();
+///
+/// let layout = ArrayLayout::contiguous(&kernel, &machine).unwrap();
+/// let body = lower_body(&machine, &kernel, &kernel.body, &layout).unwrap();
+/// let deps = VopDeps::build(&machine, &body);
+/// let sched = list_schedule(&machine, &body, &deps, 1).unwrap();
+/// assert_eq!(sched.times.len(), body.ops.len());
+/// // The dependent adds cannot share a cycle.
+/// assert!(sched.length >= 2);
+/// ```
+///
 /// Returns `None` only when an operation cannot be issued anywhere on the
 /// machine (missing functional unit).
 pub fn list_schedule(

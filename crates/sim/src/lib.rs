@@ -55,5 +55,5 @@ pub mod stats;
 pub use error::SimError;
 pub use icache::InstructionCache;
 pub use memory::LocalMemory;
-pub use simulator::{HazardPolicy, Simulator};
+pub use simulator::{ArchState, HazardPolicy, Simulator};
 pub use stats::RunStats;

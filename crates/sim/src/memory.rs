@@ -67,6 +67,11 @@ impl LocalMemory {
     pub fn io_buffer_mut(&mut self) -> &mut [i16] {
         &mut self.buffers[self.active ^ 1]
     }
+
+    /// Read-only view of the I/O buffer (state inspection).
+    pub fn io_buffer(&self) -> &[i16] {
+        &self.buffers[self.active ^ 1]
+    }
 }
 
 #[cfg(test)]

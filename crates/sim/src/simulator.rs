@@ -40,6 +40,29 @@ enum Commit {
     Pred(ClusterId, Pred, bool),
 }
 
+/// A full snapshot of the architectural state of a simulator: every
+/// register file, predicate file and local-memory buffer, plus the
+/// control state.
+///
+/// Built by [`Simulator::arch_state`] for differential comparison —
+/// two execution paths (or two simulators fed identical programs) agree
+/// exactly when their `ArchState`s compare equal.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ArchState {
+    /// Cycles elapsed.
+    pub cycle: u64,
+    /// Whether a halt has committed.
+    pub halted: bool,
+    /// General registers, indexed `[cluster][register]`.
+    pub regs: Vec<Vec<i16>>,
+    /// Predicate registers, indexed `[cluster][predicate]`.
+    pub preds: Vec<Vec<bool>>,
+    /// Local-memory buffers, indexed `[cluster][bank]` as
+    /// `(processing buffer, I/O buffer)` — both halves matter because a
+    /// `swapbuf` exchanges them.
+    pub mems: Vec<Vec<(Vec<i16>, Vec<i16>)>>,
+}
+
 /// Cycle-accurate simulator for one program on one machine.
 ///
 /// Generic over a [`TraceSink`]; the default [`NullSink`] reports itself
@@ -223,12 +246,54 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         self.cycle
     }
 
+    /// Snapshots the complete architectural state — registers,
+    /// predicates, both halves of every local-memory bank, cycle count
+    /// and halt flag — for differential comparison between execution
+    /// paths or simulators.
+    pub fn arch_state(&self) -> ArchState {
+        ArchState {
+            cycle: self.cycle,
+            halted: self.halted,
+            regs: self.regs.clone(),
+            preds: self.preds.clone(),
+            mems: self
+                .mems
+                .iter()
+                .map(|banks| {
+                    banks
+                        .iter()
+                        .map(|b| (b.active_buffer().to_vec(), b.io_buffer().to_vec()))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
     /// Whether a halt has committed.
     pub fn is_halted(&self) -> bool {
         self.halted
     }
 
     /// Runs until a halt commits or `max_cycles` elapse.
+    ///
+    /// ```
+    /// use vsp_core::models;
+    /// use vsp_isa::{AluBinOp, OpKind, Operand, Operation, Program, Reg};
+    /// use vsp_sim::Simulator;
+    ///
+    /// let machine = models::i4c8s4();
+    /// let mut p = Program::new("add");
+    /// p.push_word(vec![Operation::new(0, 0, OpKind::AluBin {
+    ///     op: AluBinOp::Add, dst: Reg(2), a: Operand::Imm(40), b: Operand::Imm(2),
+    /// })]);
+    /// p.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+    ///
+    /// let mut sim = Simulator::new(&machine, &p).unwrap();
+    /// let stats = sim.run(100).unwrap();
+    /// assert_eq!(sim.reg(0, Reg(2)), 42);
+    /// // The cycle-accounting invariant checked by the fuzz oracle:
+    /// assert_eq!(stats.cycles, stats.words + stats.icache_stall_cycles);
+    /// ```
     ///
     /// # Errors
     ///
@@ -284,7 +349,7 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
     ///
     /// Semantically identical to [`Simulator::step_interp`] — the
     /// differential tests hold the two to exact [`RunStats`] equality —
-    /// but works from the flat [`DecodedProgram`]: no word clone, no
+    /// but works from the flat `DecodedProgram`: no word clone, no
     /// per-op latency lookup, no per-step allocation (scratch buffers
     /// live on the struct), and the trace check is hoisted into one
     /// per-step bool.
@@ -552,7 +617,7 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
     ///
     /// Kept verbatim as the measurement baseline and reference semantics
     /// for [`Simulator::step`]; only the commit bookkeeping underneath
-    /// ([`Simulator::apply_commits`]) is shared.
+    /// (`Simulator::apply_commits`) is shared.
     ///
     /// # Errors
     ///

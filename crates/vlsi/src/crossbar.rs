@@ -2,7 +2,7 @@
 //!
 //! A full 16-bit crossbar connects the functional-unit clusters. The
 //! paper's specialized routing scheme (inputs/outputs routed into the
-//! switch from both sides, ref. [10]) keeps the switch compact: "the
+//! switch from both sides, ref. \[10\]) keeps the switch compact: "the
 //! crossbars up to 32 ports require very little area for a key central
 //! architectural structure".
 //!

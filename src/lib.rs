@@ -14,7 +14,10 @@
 //! * [`kernels`] — the six MPEG kernels, golden models, workloads and
 //!   the Table 1/2 variant recipes;
 //! * [`trace`] — structured per-cycle tracing: event sinks (in-memory,
-//!   JSON-Lines, Chrome `trace_event`) and utilization timelines.
+//!   JSON-Lines, Chrome `trace_event`) and utilization timelines;
+//! * [`check`] — generative differential fuzzing: seeded program/kernel
+//!   generators, an independent schedule-validity checker, and a
+//!   fast-path vs interpreter vs IR-semantics execution oracle.
 //!
 //! # Quickstart
 //!
@@ -34,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use vsp_check as check;
 pub use vsp_core as core;
 pub use vsp_ir as ir;
 pub use vsp_isa as isa;

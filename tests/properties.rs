@@ -138,85 +138,106 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
-// Scheduler legality on randomized bodies
+// Scheduler legality on generated kernels, via the independent checker
 // ---------------------------------------------------------------------
+
+/// Lowers a seeded `vsp-check` kernel for `machine` (the fuzz
+/// generator's own compilation front half).
+fn lowered_generated(
+    machine: &vsp::core::MachineConfig,
+    seed: u64,
+) -> (vsp::sched::LoweredBody, VopDeps) {
+    use rand::{rngs::SmallRng, SeedableRng};
+    let gk = vsp::check::gen::gen_kernel(
+        &mut SmallRng::seed_from_u64(seed),
+        &vsp::check::gen::KernelGenConfig::default(),
+    );
+    let mut k = gk.kernel;
+    vsp::ir::transform::if_convert(&mut k);
+    vsp::ir::transform::eliminate_common_subexpressions(&mut k);
+    let Some(Stmt::Loop(l)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+        unreachable!("generated kernels keep their loop")
+    };
+    let layout = ArrayLayout::contiguous(&k, machine).unwrap();
+    let body = lower_body(machine, &k, &l.body, &layout).unwrap();
+    let deps = VopDeps::build(machine, &body);
+    (body, deps)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn modulo_schedules_are_legal(
-        konst in -20i16..20,
-        inner in prop_oneof![Just(4u32), Just(8)],
+        seed in any::<u64>(),
         machine_idx in 0usize..5,
-        with_if in any::<bool>(),
     ) {
         let machines = models::table1_models();
         let machine = &machines[machine_idx];
-        let (mut k, _, _) = random_kernel(AluBinOp::Add, konst, inner, with_if);
-        vsp::ir::transform::if_convert(&mut k);
-        // The inner loop body must be flat now.
-        let Some(Stmt::Loop(outer)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
-            unreachable!()
-        };
-        let Some(Stmt::Loop(innerl)) = outer.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
-            unreachable!()
-        };
-        let layout = ArrayLayout::contiguous(&k, machine).unwrap();
-        let body = lower_body(machine, &k, &innerl.body, &layout).unwrap();
-        let deps = VopDeps::build(machine, &body);
-        let ms = modulo_schedule(machine, &body, &deps, 1, 32).expect("schedulable");
-
-        // Dependence legality.
-        for e in &deps.edges {
-            let mut delay = i64::from(e.min_delay);
-            if e.min_delay > 0 && ms.placements[e.from].0 != ms.placements[e.to].0 {
-                delay += i64::from(machine.pipeline.xfer_latency);
-            }
-            prop_assert!(
-                i64::from(ms.times[e.to])
-                    >= i64::from(ms.times[e.from]) + delay
-                        - i64::from(ms.ii) * i64::from(e.distance)
-            );
-        }
-        // Resource legality: replay every modulo row.
-        let mut rows: Vec<vsp::core::CycleReservation> =
-            (0..ms.ii).map(|_| vsp::core::CycleReservation::new(machine)).collect();
-        for (i, op) in body.ops.iter().enumerate() {
-            let (c, s) = ms.placements[i];
-            let concrete = vsp::isa::Operation {
-                cluster: c,
-                slot: s,
-                guard: op.guard,
-                kind: op.kind.clone(),
-            };
-            rows[(ms.times[i] % ms.ii) as usize]
-                .try_reserve(machine, &concrete)
-                .unwrap();
-        }
+        let (body, deps) = lowered_generated(machine, seed);
+        let ms = modulo_schedule(machine, &body, &deps, 1, 64).expect("schedulable");
+        let violations = vsp::check::check_modulo_schedule(machine, &body, &deps, &ms);
+        prop_assert!(violations.is_empty(), "{}: {:?}", machine.name, violations);
     }
 
     #[test]
     fn list_schedules_are_legal(
-        konst in -20i16..20,
+        seed in any::<u64>(),
         machine_idx in 0usize..5,
     ) {
         let machines = models::table1_models();
         let machine = &machines[machine_idx];
-        let (mut k, _, _) = random_kernel(AluBinOp::Add, konst, 8, false);
-        vsp::ir::transform::fully_unroll_innermost(&mut k);
-        let Some(Stmt::Loop(outer)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
-            unreachable!()
-        };
-        let layout = ArrayLayout::contiguous(&k, machine).unwrap();
-        let body = lower_body(machine, &k, &outer.body, &layout).unwrap();
-        let deps = VopDeps::build(machine, &body);
+        let (body, deps) = lowered_generated(machine, seed);
         let ls = list_schedule(machine, &body, &deps, 1).expect("schedulable");
-        for e in &deps.edges {
-            if e.distance == 0 {
-                prop_assert!(ls.times[e.to] >= ls.times[e.from] + e.min_delay);
-            }
-        }
+        let violations = vsp::check::check_list_schedule(machine, &body, &deps, &ls);
+        prop_assert!(violations.is_empty(), "{}: {:?}", machine.name, violations);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential execution on generated programs and kernels
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generated programs pass the hazard checker and both simulator
+    /// paths agree on statistics and architectural state.
+    #[test]
+    fn generated_programs_are_clean_and_paths_agree(
+        seed in any::<u64>(),
+        machine_idx in 0usize..7,
+    ) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let machines = models::all_models();
+        let machine = &machines[machine_idx];
+        let p = vsp::check::gen::gen_program(
+            machine,
+            &mut SmallRng::seed_from_u64(seed),
+            &vsp::check::gen::ProgramGenConfig::default(),
+        );
+        let violations = vsp::check::check_program(machine, &p);
+        prop_assert!(violations.is_empty(), "{}: {:?}", machine.name, violations);
+        let stats = vsp::check::diff_program(machine, &p, 100_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+        prop_assert_eq!(stats.cycles, stats.words + stats.icache_stall_cycles);
+    }
+
+    /// Generated kernels compile on every model and the scheduled code
+    /// reproduces the IR interpreter's output bit for bit.
+    #[test]
+    fn generated_kernels_match_ir_semantics(
+        seed in any::<u64>(),
+        machine_idx in 0usize..7,
+    ) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let machines = models::all_models();
+        let machine = &machines[machine_idx];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let k = vsp::check::gen::gen_kernel(&mut rng, &vsp::check::gen::KernelGenConfig::default());
+        let data: Vec<i16> = (0..k.len).map(|_| rng.gen_range(-100i16..=100)).collect();
+        vsp::check::diff_kernel(machine, &k, &data, 1_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
     }
 }
 
