@@ -1,0 +1,514 @@
+//! Fault-injection campaign driver: sweep the paper's six kernels ×
+//! machine models × transient-flip rates under checkpoint/recovery, and
+//! classify each cell AVF-style against a golden fault-free run.
+//!
+//! ```text
+//! cargo run --release -p vsp-bench --bin faults                  # full sweep table
+//! cargo run --release -p vsp-bench --bin faults -- --campaign 200 --seed 7
+//! ```
+//!
+//! Sweep cells run the standard compilation recipe (the same one the
+//! `fast_path_diff` differential matrix pins), execute once fault-free
+//! for a golden [`ArchState`], then re-execute under a seeded
+//! [`FaultPlan`] with `run_with_recovery`. The final state comparison
+//! is what catches *silent* data corruption — flips that never trip a
+//! simulator error or the watchdog:
+//!
+//! * `clean` — no injections happened (rate 0 cells);
+//! * `benign` — flips landed but the final state still matches golden;
+//! * `corrected` — detections occurred and re-execution erased them;
+//! * `sdc` — run completed but the final state diverged silently;
+//! * `uncorrectable` — a region exhausted its retry budget;
+//! * `cycle-limit` — the global cycle budget ran out first.
+//!
+//! Campaign mode (`--campaign N`) wraps every cell in the
+//! `vsp-fault` harness (panic containment + wall-clock timeout) and
+//! exits nonzero unless the [`CampaignReport`] reconciles and every
+//! cell's fault accounting holds — the CI smoke test.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use serde::Serialize;
+use vsp_core::{models, MachineConfig};
+use vsp_fault::{
+    run_case, run_with_recovery, CampaignReport, FaultPlan, HarnessConfig, RecoveryConfig,
+};
+use vsp_ir::{Kernel, Stmt};
+use vsp_kernels::ir::{
+    color_quad_kernel, dct1d_kernel, dct_direct_mac_kernel, sad_16x16_kernel, vbr_block_kernel,
+};
+use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp_sim::{ArchState, Simulator};
+use vsp_trace::NullSink;
+
+const USAGE: &str = "usage: faults [options]
+
+Fault-injection campaigns over the paper's six kernels: transient
+single-bit flips on register/SRAM/crossbar reads, executed under
+checkpoint/recovery and classified against a golden fault-free run.
+
+modes:
+  (default)      sweep kernel x model x rate cells, print an AVF-style table
+  --campaign N   run N harness-isolated recovery cases; exit nonzero unless
+                 the campaign report reconciles (the CI smoke test)
+
+options:
+  --rates LIST   comma-separated flip rates in ppm (default 0,100,1000,10000)
+  --seed N       base RNG seed; cell i uses seed N+i (default 7)
+  --model NAME   restrict to one machine model (default: all models)
+  --kernel NAME  restrict to one kernel: sad, dct-row, dct-col, dct-mac,
+                 color, vbr (default: all six)
+  --max-cycles N global cycle budget per run (default 2000000)
+  --interval N   checkpoint interval in instruction words (default 64)
+  --timeout-ms N per-case wall clock in campaign mode (default 60000)
+  --json         emit cell reports as JSON lines
+  -h, --help     this text";
+
+struct Args {
+    rates: Vec<u32>,
+    seed: u64,
+    model: Option<String>,
+    kernel: Option<String>,
+    max_cycles: u64,
+    interval: u64,
+    timeout_ms: u64,
+    campaign: Option<u64>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rates: vec![0, 100, 1_000, 10_000],
+        seed: 7,
+        model: None,
+        kernel: None,
+        max_cycles: 2_000_000,
+        interval: 64,
+        timeout_ms: 60_000,
+        campaign: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--rates" => {
+                args.rates = value("--rates")?
+                    .split(',')
+                    .map(|r| r.trim().parse().map_err(|e| format!("--rates: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.rates.is_empty() {
+                    return Err("--rates: need at least one rate".into());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--model" => args.model = Some(value("--model")?),
+            "--kernel" => args.kernel = Some(value("--kernel")?),
+            "--max-cycles" => {
+                args.max_cycles = value("--max-cycles")?
+                    .parse()
+                    .map_err(|e| format!("--max-cycles: {e}"))?
+            }
+            "--interval" => {
+                args.interval = value("--interval")?
+                    .parse()
+                    .map_err(|e| format!("--interval: {e}"))?
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?
+            }
+            "--campaign" => {
+                args.campaign = Some(
+                    value("--campaign")?
+                        .parse()
+                        .map_err(|e| format!("--campaign: {e}"))?,
+                )
+            }
+            "--json" => args.json = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// A campaign kernel: (name, IR, unroll-innermost).
+type KernelSpec = (&'static str, Kernel, bool);
+
+/// The six kernels of the differential matrix, as
+/// (name, IR, unroll-innermost) triples — the same set `fast_path_diff`
+/// pins, so fault campaigns exercise exactly the op mix the
+/// differential tests certify.
+fn kernels() -> Vec<KernelSpec> {
+    vec![
+        ("sad", sad_16x16_kernel().kernel, true),
+        ("dct-row", dct1d_kernel(true).kernel, true),
+        ("dct-col", dct1d_kernel(false).kernel, true),
+        ("dct-mac", dct_direct_mac_kernel().kernel, true),
+        ("color", color_quad_kernel(4).kernel, true),
+        ("vbr", vbr_block_kernel().kernel, false),
+    ]
+}
+
+/// Compiles a kernel for `machine` with the standard recipe (innermost
+/// loop optionally fully unrolled, if-converted, CSE, list-scheduled
+/// loop body replicated across all clusters).
+fn compile(machine: &MachineConfig, name: &str, kernel: &Kernel, unroll: bool) -> vsp_isa::Program {
+    let mut k = kernel.clone();
+    if unroll {
+        vsp_ir::transform::fully_unroll_innermost(&mut k);
+    }
+    vsp_ir::transform::if_convert(&mut k);
+    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+    let layout = ArrayLayout::contiguous(&k, machine).unwrap_or_else(|e| {
+        panic!("{name} on {}: layout failed: {e:?}", machine.name);
+    });
+    let (stmts, ctl) = match k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) {
+        Some(Stmt::Loop(l)) => (
+            &l.body,
+            Some(LoopControl {
+                trip: l.trip,
+                index: Some((0, l.start, l.step)),
+            }),
+        ),
+        _ => (&k.body, None),
+    };
+    let body = lower_body(machine, &k, stmts, &layout).unwrap_or_else(|e| {
+        panic!("{name} on {}: lowering failed: {e:?}", machine.name);
+    });
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1)
+        .unwrap_or_else(|| panic!("{name} on {}: unschedulable", machine.name));
+    codegen_loop(machine, &body, &sched, ctl, machine.clusters, name)
+        .unwrap_or_else(|e| panic!("{name} on {}: codegen failed: {e:?}", machine.name))
+        .program
+}
+
+/// Architectural equality modulo timing: a silently corrupted run may
+/// take a different number of cycles (a flipped predicate changes the
+/// path), so only registers, predicates, memories and the halt flag
+/// define "same outcome".
+fn state_matches(a: &ArchState, b: &ArchState) -> bool {
+    a.halted == b.halted && a.regs == b.regs && a.preds == b.preds && a.mems == b.mems
+}
+
+/// One (kernel, model, rate) cell's result.
+#[derive(Debug, Clone, Serialize)]
+struct CellReport {
+    kernel: &'static str,
+    model: String,
+    rate_ppm: u32,
+    seed: u64,
+    /// Injections across all attempts, including discarded replays
+    /// (the fault model's monotonic counters).
+    injected: u64,
+    detected: u64,
+    corrected: u64,
+    uncorrectable: u64,
+    retries: u64,
+    /// Cycles of discarded (rolled-back) work.
+    recovery_cycles: u64,
+    /// Surviving-timeline cycles of the faulted run.
+    cycles: u64,
+    golden_cycles: u64,
+    verdict: &'static str,
+    /// Fault accounting invariant: detected >= corrected + uncorrectable.
+    accounted: bool,
+}
+
+/// Per-cell knobs: injection rate and seed plus the recovery tuning.
+#[derive(Debug, Clone, Copy)]
+struct CellCfg {
+    rate_ppm: u32,
+    seed: u64,
+    max_cycles: u64,
+    interval: u64,
+}
+
+/// Runs one cell: golden fault-free execution, then the same program
+/// under a seeded transient-flip plan with checkpoint/recovery.
+fn run_cell(
+    machine: &MachineConfig,
+    kernel_name: &'static str,
+    kernel: &Kernel,
+    unroll: bool,
+    cfg: CellCfg,
+) -> CellReport {
+    let CellCfg {
+        rate_ppm,
+        seed,
+        max_cycles,
+        interval,
+    } = cfg;
+    let program = compile(machine, kernel_name, kernel, unroll);
+
+    let mut golden_sim = Simulator::new(machine, &program)
+        .unwrap_or_else(|e| panic!("{kernel_name} on {}: invalid program: {e}", machine.name));
+    let golden_stats = golden_sim
+        .run(max_cycles)
+        .unwrap_or_else(|e| panic!("{kernel_name} on {}: golden run failed: {e}", machine.name));
+    let golden_state = golden_sim.arch_state();
+
+    let mut model = FaultPlan::transient(seed, rate_ppm).build();
+    let mut sim = Simulator::with_sink_and_faults(machine, &program, NullSink, &mut model)
+        .unwrap_or_else(|e| panic!("{kernel_name} on {}: invalid program: {e}", machine.name));
+    let outcome = run_with_recovery(
+        &mut sim,
+        &RecoveryConfig::new(max_cycles).with_interval(interval),
+    );
+    let state = sim.arch_state();
+    drop(sim);
+
+    let s = &outcome.stats;
+    let injected = model.counts().total();
+    let verdict = if outcome.error.is_some() || !outcome.halted {
+        if s.faults_uncorrectable > 0 {
+            "uncorrectable"
+        } else {
+            "cycle-limit"
+        }
+    } else if state_matches(&state, &golden_state) {
+        if s.faults_detected > 0 {
+            "corrected"
+        } else if injected > 0 {
+            "benign"
+        } else {
+            "clean"
+        }
+    } else {
+        "sdc"
+    };
+
+    CellReport {
+        kernel: kernel_name,
+        model: machine.name.clone(),
+        rate_ppm,
+        seed,
+        injected,
+        detected: s.faults_detected,
+        corrected: s.faults_corrected,
+        uncorrectable: s.faults_uncorrectable,
+        retries: outcome.retries,
+        recovery_cycles: s.recovery_cycles,
+        cycles: s.cycles,
+        golden_cycles: golden_stats.cycles,
+        verdict,
+        accounted: s.faults_detected >= s.faults_corrected + s.faults_uncorrectable,
+    }
+}
+
+fn emit(cell: &CellReport, json: bool) {
+    if json {
+        match serde_json::to_string(cell) {
+            Ok(s) => println!("{s}"),
+            Err(_) => println!("{cell:?}"),
+        }
+    } else {
+        // Overhead of surviving-timeline cycles over the golden run
+        // (recovery replays are reported separately, in `replayed`).
+        let overhead = if cell.golden_cycles > 0 {
+            100.0 * (cell.cycles as f64 / cell.golden_cycles as f64 - 1.0)
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8} {:<11} {:>8} {:>9} {:>9} {:>10} {:>7} {:>8} {:>9} {:>9} {:>7.1} {:>10}  {}",
+            cell.kernel,
+            cell.model,
+            cell.rate_ppm,
+            cell.injected,
+            cell.detected,
+            cell.corrected,
+            cell.uncorrectable,
+            cell.retries,
+            cell.cycles,
+            cell.recovery_cycles,
+            overhead,
+            cell.seed,
+            cell.verdict
+        );
+    }
+}
+
+fn selected(args: &Args) -> Result<(Vec<MachineConfig>, Vec<KernelSpec>), String> {
+    let machines: Vec<_> = match &args.model {
+        Some(name) => {
+            let m = models::by_name(name).ok_or_else(|| format!("unknown model {name}"))?;
+            vec![m]
+        }
+        None => models::all_models(),
+    };
+    let all = kernels();
+    let kernels = match &args.kernel {
+        Some(name) => {
+            let k: Vec<_> = all.into_iter().filter(|(n, _, _)| n == name).collect();
+            if k.is_empty() {
+                return Err(format!("unknown kernel {name}"));
+            }
+            k
+        }
+        None => all,
+    };
+    Ok((machines, kernels))
+}
+
+/// Sweep mode: every kernel × model × rate cell, serially, as a table.
+fn run_sweep(args: &Args) -> Result<(), String> {
+    let (machines, kernels) = selected(args)?;
+    if !args.json {
+        println!(
+            "{:<8} {:<11} {:>8} {:>9} {:>9} {:>10} {:>7} {:>8} {:>9} {:>9} {:>7} {:>10}  verdict",
+            "kernel",
+            "model",
+            "rate_ppm",
+            "injected",
+            "detected",
+            "corrected",
+            "uncorr",
+            "retries",
+            "cycles",
+            "replayed",
+            "ovhd%",
+            "seed"
+        );
+    }
+    let mut cell_index = 0u64;
+    let mut unaccounted = 0u64;
+    let mut sdc = 0u64;
+    for (name, kernel, unroll) in &kernels {
+        for machine in &machines {
+            for &rate in &args.rates {
+                let cell = run_cell(
+                    machine,
+                    name,
+                    kernel,
+                    *unroll,
+                    CellCfg {
+                        rate_ppm: rate,
+                        seed: args.seed.wrapping_add(cell_index),
+                        max_cycles: args.max_cycles,
+                        interval: args.interval,
+                    },
+                );
+                cell_index += 1;
+                if !cell.accounted {
+                    unaccounted += 1;
+                }
+                if cell.verdict == "sdc" {
+                    sdc += 1;
+                }
+                emit(&cell, args.json);
+            }
+        }
+    }
+    eprintln!(
+        "faults: {cell_index} cells ({} kernels x {} models x {} rates); {sdc} silent corruptions",
+        kernels.len(),
+        machines.len(),
+        args.rates.len()
+    );
+    if unaccounted > 0 {
+        return Err(format!(
+            "{unaccounted} cell(s) broke the fault-accounting invariant"
+        ));
+    }
+    Ok(())
+}
+
+/// Campaign mode: N harness-isolated cells (round-robin over the
+/// kernel × model × rate space), reconciling report, CI-friendly exit.
+fn run_campaign(args: &Args, cases: u64) -> Result<(), String> {
+    let (machines, kernels) = selected(args)?;
+    let nonzero: Vec<u32> = args.rates.iter().copied().filter(|&r| r > 0).collect();
+    let rates = if nonzero.is_empty() {
+        args.rates.clone()
+    } else {
+        nonzero
+    };
+    let harness = HarnessConfig {
+        timeout: Duration::from_millis(args.timeout_ms),
+        retries: 1,
+        backoff: Duration::from_millis(50),
+    };
+    let mut report = CampaignReport::default();
+    let mut unaccounted = 0u64;
+    let mut verdicts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+
+    for i in 0..cases {
+        let (name, kernel, unroll) = {
+            let (n, k, u) = &kernels[(i % kernels.len() as u64) as usize];
+            (*n, k.clone(), *u)
+        };
+        let machine =
+            machines[((i / kernels.len() as u64) % machines.len() as u64) as usize].clone();
+        let cfg = CellCfg {
+            rate_ppm: rates[(i % rates.len() as u64) as usize],
+            seed: args.seed.wrapping_add(i),
+            max_cycles: args.max_cycles,
+            interval: args.interval,
+        };
+
+        let outcome = run_case(&harness, move || {
+            run_cell(&machine, name, &kernel, unroll, cfg)
+        });
+        report.record(&outcome);
+        if let Some(cell) = outcome.value() {
+            if !cell.accounted {
+                unaccounted += 1;
+            }
+            *verdicts.entry(cell.verdict).or_default() += 1;
+            if args.json {
+                emit(cell, true);
+            }
+        }
+    }
+
+    let verdict_summary: Vec<String> = verdicts.iter().map(|(v, n)| format!("{n} {v}")).collect();
+    eprintln!("faults: campaign: {report}");
+    eprintln!("faults: verdicts: {}", verdict_summary.join(", "));
+    if !report.reconciles() {
+        return Err("campaign report does not reconcile".into());
+    }
+    if !report.all_succeeded() {
+        return Err(format!(
+            "{} case(s) faulted and {} timed out at the harness level",
+            report.faulted, report.timed_out
+        ));
+    }
+    if unaccounted > 0 {
+        return Err(format!(
+            "{unaccounted} case(s) broke the fault-accounting invariant"
+        ));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    match args.campaign {
+        Some(cases) => run_campaign(&args, cases),
+        None => run_sweep(&args),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("faults: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,10 +14,12 @@
 //! interpretive path).
 
 use std::process::ExitCode;
+use std::time::Duration;
 use vsp_check::gen::{gen_kernel, gen_program, KernelGenConfig, ProgramGenConfig};
 use vsp_check::oracle::{diff_kernel, diff_program, DiffFailure};
 use vsp_check::validity::check_program;
 use vsp_core::models;
+use vsp_fault::{run_case, CampaignReport, CaseOutcome, HarnessConfig};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -29,11 +31,18 @@ Differential fuzzing: seeded random programs and kernels, executed
 through the simulator fast path, the interpretive path and (for
 kernels) the IR interpreter, with all paths required to agree.
 
+Every case runs isolated on its own thread: a panic or a blown
+wall-clock budget is contained and reported with its reproducer seed,
+exactly like a divergence. The per-case cycle watchdog (--max-cycles)
+bounds simulated time; --timeout-ms bounds real time.
+
 options:
   --cases N        number of cases to run (default 200)
   --seed N         base seed; case i uses seed N+i (default 42)
   --model NAME     restrict to one machine model (default: all models)
-  --max-cycles N   per-case simulation budget (default 1000000)
+  --max-cycles N   per-case simulated-cycle watchdog (default 1000000)
+  --timeout-ms N   per-case wall-clock budget in ms (default 30000)
+  --retries N      extra attempts after a panicked/timed-out case (default 1)
   --json           emit failures as JSON objects on stdout
   -h, --help       this text";
 
@@ -42,6 +51,8 @@ struct Args {
     seed: u64,
     model: Option<String>,
     max_cycles: u64,
+    timeout_ms: u64,
+    retries: u32,
     json: bool,
 }
 
@@ -62,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         model: None,
         max_cycles: 1_000_000,
+        timeout_ms: 30_000,
+        retries: 1,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -83,6 +96,16 @@ fn parse_args() -> Result<Args, String> {
                 args.max_cycles = value("--max-cycles")?
                     .parse()
                     .map_err(|e| format!("--max-cycles: {e}"))?
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?
+            }
+            "--retries" => {
+                args.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
             }
             "--json" => args.json = true,
             "-h" | "--help" => return Err(String::new()),
@@ -116,8 +139,12 @@ fn run() -> Result<(), String> {
         None => models::all_models(),
     };
 
-    let program_cfg = ProgramGenConfig::default();
-    let kernel_cfg = KernelGenConfig::default();
+    let harness = HarnessConfig {
+        timeout: Duration::from_millis(args.timeout_ms),
+        retries: args.retries,
+        backoff: Duration::from_millis(50),
+    };
+    let mut campaign = CampaignReport::default();
     let mut failures: Vec<FailureReport> = Vec::new();
     let mut programs = 0u64;
     let mut kernels = 0u64;
@@ -126,47 +153,75 @@ fn run() -> Result<(), String> {
 
     for i in 0..args.cases {
         let case_seed = args.seed.wrapping_add(i);
-        let machine = &machines[(i % machines.len() as u64) as usize];
-        let mut rng = SmallRng::seed_from_u64(case_seed);
-
-        let outcome = if i % 4 == 3 {
+        let machine = machines[(i % machines.len() as u64) as usize].clone();
+        let model_name = machine.name.clone();
+        let is_kernel = i % 4 == 3;
+        if is_kernel {
             kernels += 1;
-            let kernel = gen_kernel(&mut rng, &kernel_cfg);
-            let data: Vec<i16> = (0..kernel.len)
-                .map(|_| rng.gen_range(-100i16..=100))
-                .collect();
-            diff_kernel(machine, &kernel, &data, args.max_cycles).map(|s| ("kernel", s))
         } else {
             programs += 1;
-            let program = gen_program(machine, &mut rng, &program_cfg);
-            // The generator's own claim, checked independently before
-            // execution: a hazard here is a generator bug, not a
-            // simulator bug, and must be reported as such.
-            let hazards = check_program(machine, &program);
-            if !hazards.is_empty() {
-                failures.push(FailureReport {
-                    seed: case_seed,
-                    model: machine.name.clone(),
-                    kind: "generator",
-                    failure: DiffFailure::StateDiverged {
-                        detail: format!("generator emitted invalid program: {}", hazards[0]),
-                    },
-                });
-                continue;
+        }
+        let max_cycles = args.max_cycles;
+
+        // The whole case — generation, validity check, differential
+        // execution — runs isolated: the closure owns clones of its
+        // inputs because a timed-out attempt's thread outlives us.
+        let outcome = run_case(&harness, move || {
+            let mut rng = SmallRng::seed_from_u64(case_seed);
+            if is_kernel {
+                let kernel = gen_kernel(&mut rng, &KernelGenConfig::default());
+                let data: Vec<i16> = (0..kernel.len)
+                    .map(|_| rng.gen_range(-100i16..=100))
+                    .collect();
+                diff_kernel(&machine, &kernel, &data, max_cycles).map_err(|f| ("kernel", f))
+            } else {
+                let program = gen_program(&machine, &mut rng, &ProgramGenConfig::default());
+                // The generator's own claim, checked independently
+                // before execution: a hazard here is a generator bug,
+                // not a simulator bug, and must be reported as such.
+                let hazards = check_program(&machine, &program);
+                if !hazards.is_empty() {
+                    return Err((
+                        "generator",
+                        DiffFailure::StateDiverged {
+                            detail: format!("generator emitted invalid program: {}", hazards[0]),
+                        },
+                    ));
+                }
+                diff_program(&machine, &program, max_cycles).map_err(|f| ("program", f))
             }
-            diff_program(machine, &program, args.max_cycles).map(|s| ("program", s))
+        });
+
+        campaign.record(&outcome);
+        let result = match outcome {
+            CaseOutcome::Completed(r) | CaseOutcome::Recovered { value: r, .. } => r,
+            CaseOutcome::Faulted { message } => Err((
+                "panic",
+                DiffFailure::StateDiverged {
+                    detail: format!("case panicked: {message}"),
+                },
+            )),
+            CaseOutcome::TimedOut => Err((
+                "timeout",
+                DiffFailure::StateDiverged {
+                    detail: format!(
+                        "case exceeded {}ms wall clock (cycle watchdog {})",
+                        args.timeout_ms, args.max_cycles
+                    ),
+                },
+            )),
         };
 
-        match outcome {
-            Ok((_, stats)) => {
+        match result {
+            Ok(stats) => {
                 total_cycles += stats.cycles;
                 total_ops += stats.total_ops();
             }
-            Err(failure) => {
+            Err((kind, failure)) => {
                 let report = FailureReport {
                     seed: case_seed,
-                    model: machine.name.clone(),
-                    kind: if i % 4 == 3 { "kernel" } else { "program" },
+                    model: model_name,
+                    kind,
                     failure,
                 };
                 emit(&report, args.json);
@@ -182,6 +237,10 @@ fn run() -> Result<(), String> {
         machines.len(),
         failures.len()
     );
+    eprintln!("fuzz: harness: {campaign}");
+    if !campaign.reconciles() {
+        return Err("campaign report does not reconcile (internal harness bug)".to_string());
+    }
     if failures.is_empty() {
         Ok(())
     } else {

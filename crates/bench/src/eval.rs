@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Mutex;
 use vsp_core::MachineConfig;
+use vsp_fault::harness::{run_case, CampaignReport, CaseOutcome, HarnessConfig};
 use vsp_kernels::variants::{self, Row, TableRow};
 
 /// One per-machine row generator: a kernel's full variant sweep, the
@@ -54,6 +55,18 @@ impl RowSource {
     /// Table 2's kernels (the DCTs), in row order.
     pub const TABLE2: [RowSource; 2] = [RowSource::DctDirect, RowSource::DctRowCol];
 
+    /// Stable display name (used in cell-failure reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            RowSource::FullSearch => "full-search",
+            RowSource::ThreeStep => "three-step",
+            RowSource::DctDirect => "dct-direct",
+            RowSource::DctRowCol => "dct-rowcol",
+            RowSource::Color => "color",
+            RowSource::Vbr => "vbr",
+        }
+    }
+
     /// Computes this source's rows for one machine (the expensive cell:
     /// transform pipeline + scheduling).
     fn rows(self, machine: &MachineConfig) -> Vec<Row> {
@@ -79,6 +92,34 @@ fn fingerprint(machine: &MachineConfig) -> u64 {
     let mut h = DefaultHasher::new();
     format!("{machine:?}").hash(&mut h);
     h.finish()
+}
+
+/// One (machine, kernel-sweep) cell that an isolated assembly could not
+/// produce — its worker panicked or ran past the wall-clock budget.
+///
+/// Produced by [`EvalEngine::assemble_isolated`]; the named machine's
+/// column is dropped from the assembled table rather than poisoning the
+/// whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Machine (column) whose cell failed.
+    pub machine: String,
+    /// Row generator that failed on that machine.
+    pub source: RowSource,
+    /// What happened: the panic message, or a timeout note.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} × {}: {}",
+            self.machine,
+            self.source.name(),
+            self.reason
+        )
+    }
 }
 
 /// Parallel + memoized sweep evaluator. Construct once and reuse across
@@ -144,10 +185,15 @@ impl EvalEngine {
             cache.extend(computed);
         }
 
-        // Stitch: per-machine columns are the concatenation of each
-        // source's rows, in `sources` order — exactly what
-        // `table1_rows`/`table2_rows` produce — then rows transpose the
-        // columns just like `assemble_table`.
+        self.stitch(machines, sources)
+    }
+
+    /// Stitches cached cells into table rows: per-machine columns are
+    /// the concatenation of each source's rows, in `sources` order —
+    /// exactly what `table1_rows`/`table2_rows` produce — then rows
+    /// transpose the columns just like `assemble_table`. Every
+    /// (machine, source) cell must already be cached.
+    fn stitch(&self, machines: &[MachineConfig], sources: &[RowSource]) -> Vec<TableRow> {
         let cache = self.cache.lock().expect("eval cache poisoned");
         let columns: Vec<Vec<&Row>> = machines
             .iter()
@@ -169,6 +215,95 @@ impl EvalEngine {
                 cycles: columns.iter().map(|c| c[i].cycles).collect(),
             })
             .collect()
+    }
+
+    /// Hardened assembly: every uncached cell runs isolated on its own
+    /// thread ([`run_case`]) with `catch_unwind` panic containment and
+    /// `harness.timeout` of wall clock, so one pathological machine
+    /// configuration cannot take down the whole sweep.
+    ///
+    /// Machines with any failed cell are dropped from the assembled
+    /// table (their failures are itemized in the returned
+    /// [`CellFailure`] list; the returned rows' `cycles` columns line up
+    /// with `machines` minus the dropped ones, in order). The
+    /// [`CampaignReport`] covers this call's unique uncached cells —
+    /// cells served from cache did their work (and any reporting) in an
+    /// earlier call.
+    ///
+    /// Cells run serially here — each already occupies a worker thread,
+    /// and isolation, not throughput, is the point of this path; use
+    /// [`EvalEngine::assemble`] when the inputs are trusted.
+    pub fn assemble_isolated(
+        &self,
+        machines: &[MachineConfig],
+        sources: &[RowSource],
+        harness: &HarnessConfig,
+    ) -> (Vec<TableRow>, CampaignReport, Vec<CellFailure>) {
+        let mut report = CampaignReport::default();
+
+        // Unique uncached cells, keyed by content fingerprint — same
+        // dedup as the trusted path.
+        let mut jobs: Vec<(u64, RowSource, MachineConfig)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("eval cache poisoned");
+            for m in machines {
+                let fp = fingerprint(m);
+                for &s in sources {
+                    if !cache.contains_key(&(fp, s)) && !jobs.iter().any(|j| j.0 == fp && j.1 == s)
+                    {
+                        jobs.push((fp, s, m.clone()));
+                    }
+                }
+            }
+        }
+
+        let mut failed: Vec<(u64, RowSource, String)> = Vec::new();
+        for (fp, s, m) in jobs {
+            // The closure is cloned into a worker thread that may
+            // outlive this call (timeout leaks it), hence the owned
+            // machine copy.
+            let outcome = run_case(harness, move || s.rows(&m));
+            report.record(&outcome);
+            match outcome {
+                CaseOutcome::Completed(rows) | CaseOutcome::Recovered { value: rows, .. } => {
+                    self.cache
+                        .lock()
+                        .expect("eval cache poisoned")
+                        .insert((fp, s), rows);
+                }
+                CaseOutcome::Faulted { message } => {
+                    failed.push((fp, s, format!("panicked: {message}")));
+                }
+                CaseOutcome::TimedOut => {
+                    failed.push((fp, s, format!("timed out after {:?}", harness.timeout)));
+                }
+            }
+        }
+
+        // Expand fingerprint-level failures back to named machines and
+        // drop those columns.
+        let mut failures: Vec<CellFailure> = Vec::new();
+        let survivors: Vec<MachineConfig> = machines
+            .iter()
+            .filter(|m| {
+                let fp = fingerprint(m);
+                let mut ok = true;
+                for (ffp, fs, reason) in &failed {
+                    if *ffp == fp {
+                        ok = false;
+                        failures.push(CellFailure {
+                            machine: m.name.clone(),
+                            source: *fs,
+                            reason: reason.clone(),
+                        });
+                    }
+                }
+                ok
+            })
+            .cloned()
+            .collect();
+
+        (self.stitch(&survivors, sources), report, failures)
     }
 
     /// Table 1's rows for `machines`.
@@ -233,5 +368,43 @@ mod tests {
     #[test]
     fn empty_machine_list_yields_empty_table() {
         assert!(EvalEngine::new().table1(&[]).is_empty());
+    }
+
+    #[test]
+    fn isolated_assembly_matches_trusted_path_when_nothing_fails() {
+        let machines = models::table2_models();
+        let engine = EvalEngine::new();
+        let harness = HarnessConfig::default();
+        let (rows, report, failures) =
+            engine.assemble_isolated(&machines, &RowSource::TABLE2, &harness);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(report.reconciles());
+        assert!(report.all_succeeded());
+        assert_eq!(rows, EvalEngine::new().table2(&machines));
+        // A second isolated call is served entirely from cache.
+        let (rows2, report2, _) = engine.assemble_isolated(&machines, &RowSource::TABLE2, &harness);
+        assert_eq!(rows2, rows);
+        assert_eq!(report2.total, 0);
+    }
+
+    #[test]
+    fn zero_timeout_drops_every_machine_but_reconciles() {
+        use std::time::Duration;
+        let machines = models::table2_models();
+        let harness = HarnessConfig {
+            timeout: Duration::ZERO,
+            retries: 0,
+            backoff: Duration::ZERO,
+        };
+        let (rows, report, failures) =
+            EvalEngine::new().assemble_isolated(&machines, &RowSource::TABLE2, &harness);
+        assert!(rows.is_empty(), "no machine can finish in zero time");
+        assert!(report.reconciles());
+        assert_eq!(report.timed_out, report.total);
+        assert!(failures.iter().any(|f| f.reason.contains("timed out")));
+        // Every machine appears among the dropped columns.
+        for m in &machines {
+            assert!(failures.iter().any(|f| f.machine == m.name), "{}", m.name);
+        }
     }
 }

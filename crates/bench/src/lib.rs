@@ -14,4 +14,4 @@ pub mod eval;
 pub mod tables;
 
 pub use conclusions::Conclusions;
-pub use eval::{EvalEngine, RowSource};
+pub use eval::{CellFailure, EvalEngine, RowSource};

@@ -1,0 +1,296 @@
+//! Per-case isolation for batch evaluation.
+//!
+//! A campaign (table assembly, fuzzing, fault sweeps) runs many
+//! independent cases; one pathological case must not take the sweep
+//! down with it. [`run_case`] executes a case on its own thread with
+//! `catch_unwind` panic isolation and a wall-clock timeout, retrying
+//! with exponential backoff; the caller folds each [`CaseOutcome`] into
+//! a [`CampaignReport`] whose classes reconcile against the case total.
+//!
+//! A timed-out case's thread cannot be killed safely, so it is leaked
+//! (detached) and its eventual result discarded — acceptable for
+//! campaign tooling, where a hung case is rare and the process exits
+//! when the sweep ends.
+
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Tuning for [`run_case`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Wall-clock budget per attempt.
+    pub timeout: Duration,
+    /// Extra attempts after a panicked or timed-out first attempt.
+    pub retries: u32,
+    /// Base backoff between attempts (doubles each retry).
+    pub backoff: Duration,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            timeout: Duration::from_secs(30),
+            retries: 1,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// A config with the given per-attempt timeout and defaults
+    /// elsewhere.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        HarnessConfig {
+            timeout,
+            ..HarnessConfig::default()
+        }
+    }
+}
+
+/// How one isolated case ended.
+#[derive(Debug)]
+pub enum CaseOutcome<T> {
+    /// First attempt returned normally.
+    Completed(T),
+    /// A later attempt returned normally after earlier panics/timeouts.
+    Recovered {
+        /// The value the successful attempt produced.
+        value: T,
+        /// Total attempts made (≥ 2).
+        attempts: u32,
+    },
+    /// Every attempt panicked; the last panic's message.
+    Faulted {
+        /// Panic payload rendered to text.
+        message: String,
+    },
+    /// Every attempt exceeded the wall-clock budget.
+    TimedOut,
+}
+
+impl<T> CaseOutcome<T> {
+    /// The produced value, if any attempt succeeded.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            CaseOutcome::Completed(v) => Some(v),
+            CaseOutcome::Recovered { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, returning the value if any attempt
+    /// succeeded.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            CaseOutcome::Completed(v) => Some(v),
+            CaseOutcome::Recovered { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate of a campaign's case outcomes. The four classes partition
+/// the cases: `completed + recovered + faulted + timed_out == total`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Cases attempted.
+    pub total: u64,
+    /// Succeeded on the first attempt.
+    pub completed: u64,
+    /// Succeeded after at least one retry.
+    pub recovered: u64,
+    /// Exhausted retries panicking.
+    pub faulted: u64,
+    /// Exhausted retries on the wall clock.
+    pub timed_out: u64,
+}
+
+impl CampaignReport {
+    /// Folds one case outcome into the report.
+    pub fn record<T>(&mut self, outcome: &CaseOutcome<T>) {
+        self.total += 1;
+        match outcome {
+            CaseOutcome::Completed(_) => self.completed += 1,
+            CaseOutcome::Recovered { .. } => self.recovered += 1,
+            CaseOutcome::Faulted { .. } => self.faulted += 1,
+            CaseOutcome::TimedOut => self.timed_out += 1,
+        }
+    }
+
+    /// Merges another report (e.g. per-worker partials) into this one.
+    pub fn merge(&mut self, other: &CampaignReport) {
+        self.total += other.total;
+        self.completed += other.completed;
+        self.recovered += other.recovered;
+        self.faulted += other.faulted;
+        self.timed_out += other.timed_out;
+    }
+
+    /// Whether the outcome classes account for every case.
+    pub fn reconciles(&self) -> bool {
+        self.completed + self.recovered + self.faulted + self.timed_out == self.total
+    }
+
+    /// Every case eventually produced a value.
+    pub fn all_succeeded(&self) -> bool {
+        self.faulted == 0 && self.timed_out == 0
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cases: {} completed, {} recovered, {} faulted, {} timed out",
+            self.total, self.completed, self.recovered, self.faulted, self.timed_out
+        )
+    }
+}
+
+/// Renders a panic payload (usually a `&str` or `String`) to text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `case` isolated on its own thread: panics are caught, wall
+/// clock is bounded by `cfg.timeout`, and failed attempts retry up to
+/// `cfg.retries` times with exponential backoff.
+///
+/// The closure must be `Fn` (re-callable for retries) and `'static`
+/// (it outlives the caller if an attempt times out and its thread is
+/// leaked) — clone case inputs into it.
+pub fn run_case<T, F>(cfg: &HarnessConfig, case: F) -> CaseOutcome<T>
+where
+    T: Send + 'static,
+    F: Fn() -> T + Send + Sync + 'static,
+{
+    let case = Arc::new(case);
+    let mut attempt: u32 = 0;
+    loop {
+        attempt += 1;
+        let (tx, rx) = mpsc::channel();
+        let worker = Arc::clone(&case);
+        let spawned = thread::Builder::new()
+            .name("vsp-fault-case".into())
+            .spawn(move || {
+                // Send failure just means the harness stopped waiting
+                // (timeout); the result is discarded with the thread.
+                let _ = tx.send(catch_unwind(AssertUnwindSafe(|| worker())));
+            });
+        let last_failure = match spawned {
+            Err(e) => CaseOutcome::Faulted {
+                message: format!("spawn failed: {e}"),
+            },
+            Ok(handle) => match rx.recv_timeout(cfg.timeout) {
+                Ok(Ok(value)) => {
+                    let _ = handle.join();
+                    return if attempt == 1 {
+                        CaseOutcome::Completed(value)
+                    } else {
+                        CaseOutcome::Recovered {
+                            value,
+                            attempts: attempt,
+                        }
+                    };
+                }
+                Ok(Err(payload)) => {
+                    let _ = handle.join();
+                    CaseOutcome::Faulted {
+                        message: panic_message(payload),
+                    }
+                }
+                Err(_) => CaseOutcome::TimedOut, // thread leaks, detached
+            },
+        };
+        if attempt > cfg.retries {
+            return last_failure;
+        }
+        thread::sleep(cfg.backoff.saturating_mul(1 << (attempt - 1).min(10)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn quick() -> HarnessConfig {
+        HarnessConfig {
+            timeout: Duration::from_millis(250),
+            retries: 1,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn completed_case_returns_its_value() {
+        let out = run_case(&quick(), || 41 + 1);
+        assert!(matches!(out, CaseOutcome::Completed(42)));
+    }
+
+    #[test]
+    fn panics_are_contained_and_reported() {
+        let out: CaseOutcome<()> = run_case(&quick(), || panic!("boom at case 7"));
+        match out {
+            CaseOutcome::Faulted { message } => assert!(message.contains("boom"), "{message}"),
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hung_case_times_out() {
+        let out: CaseOutcome<()> = run_case(&quick(), || loop {
+            thread::sleep(Duration::from_millis(50));
+        });
+        assert!(matches!(out, CaseOutcome::TimedOut));
+    }
+
+    #[test]
+    fn flaky_case_recovers_on_retry() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        let out = run_case(&quick(), || {
+            if CALLS.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("first attempt dies");
+            }
+            7
+        });
+        match out {
+            CaseOutcome::Recovered { value, attempts } => {
+                assert_eq!(value, 7);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected Recovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_reconciles_and_merges() {
+        let mut report = CampaignReport::default();
+        report.record(&CaseOutcome::Completed(1));
+        report.record(&CaseOutcome::Recovered {
+            value: 2,
+            attempts: 2,
+        });
+        report.record::<u8>(&CaseOutcome::TimedOut);
+        report.record::<u8>(&CaseOutcome::Faulted {
+            message: "x".into(),
+        });
+        assert!(report.reconciles());
+        assert!(!report.all_succeeded());
+        let mut total = CampaignReport::default();
+        total.merge(&report);
+        total.merge(&report);
+        assert_eq!(total.total, 8);
+        assert!(total.reconciles());
+    }
+}

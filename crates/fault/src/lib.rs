@@ -1,0 +1,59 @@
+//! Fault injection, checkpoint/recovery, and hardened batch evaluation
+//! for the VSP toolchain.
+//!
+//! The paper's datapath megacells — the multi-ported register files,
+//! the high-speed local SRAM banks, and the global crossbar — are
+//! exactly the structures most exposed to transient soft errors in an
+//! aggressive process. This crate turns the cycle-accurate simulator
+//! into a fault-injection campaign engine in three layers:
+//!
+//! * **Injection** ([`plan`]): a seeded, serde-serializable
+//!   [`FaultPlan`] drives a deterministic [`SeededFaults`] model
+//!   implementing `vsp_sim::FaultModel` — transient single-bit flips on
+//!   register-file reads, local-SRAM reads and crossbar transfers,
+//!   fetch-latency jitter, and stuck-at register bits. The simulator
+//!   stays zero-cost when fault-free: `NoFaults` compiles every hook
+//!   out, and a quiet plan reports itself disabled.
+//! * **Detection & recovery** ([`recover`]): periodic full
+//!   microarchitectural checkpoints, a watchdog cycle budget per
+//!   region, and a re-execute-from-checkpoint loop with bounded retries
+//!   and exponential region shrinking. Detected/corrected counters and
+//!   the discarded-cycle overhead land in `RunStats`.
+//! * **Hardened harness** ([`harness`]): per-case `catch_unwind`
+//!   isolation, wall-clock timeouts with retry/backoff, and a
+//!   reconciling [`CampaignReport`] so one bad case never kills a
+//!   sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use vsp_core::models;
+//! use vsp_fault::{FaultPlan, RecoveryConfig, run_with_recovery};
+//! use vsp_isa::{AluUnOp, OpKind, Operand, Operation, Program, Reg};
+//! use vsp_sim::Simulator;
+//! use vsp_trace::NullSink;
+//!
+//! let machine = models::i4c8s4();
+//! let mut p = Program::new("demo");
+//! p.push_word(vec![Operation::new(0, 0, OpKind::AluUn {
+//!     op: AluUnOp::Mov, dst: Reg(1), a: Operand::Imm(42),
+//! })]);
+//! p.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+//!
+//! let mut model = FaultPlan::transient(7, 1_000).build();
+//! let mut sim =
+//!     Simulator::with_sink_and_faults(&machine, &p, NullSink, &mut model).unwrap();
+//! let outcome = run_with_recovery(&mut sim, &RecoveryConfig::new(10_000));
+//! assert!(outcome.halted);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod plan;
+pub mod recover;
+
+pub use harness::{run_case, CampaignReport, CaseOutcome, HarnessConfig};
+pub use plan::{FaultPlan, InjectionCounts, SeededFaults, StuckAt};
+pub use recover::{run_with_recovery, RecoveryConfig, RecoveryOutcome};

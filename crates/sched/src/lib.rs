@@ -25,7 +25,9 @@
 //! * [`cost`] — frame-level cycle composition (iterations × II +
 //!   prologue/epilogue + outer-loop overhead);
 //! * [`analytic`] — the closed-form II predictor the paper names as
-//!   future work, validated against the scheduler.
+//!   future work, validated against the scheduler;
+//! * [`error`] — the unified [`SchedError`] for pipeline drivers, with
+//!   panic-free `try_`-prefixed scheduler entry points.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +35,7 @@
 pub mod analytic;
 pub mod codegen;
 pub mod cost;
+pub mod error;
 pub mod list;
 pub mod lower;
 pub mod mii;
@@ -43,8 +46,9 @@ pub mod vop;
 pub use analytic::{predict_ii, predict_loop_cycles, IiPrediction};
 pub use codegen::{codegen_loop, LoopControl};
 pub use cost::LoopCost;
-pub use list::{list_schedule, list_schedule_traced, ListSchedule};
+pub use error::SchedError;
+pub use list::{list_schedule, list_schedule_traced, try_list_schedule, ListSchedule};
 pub use lower::{lower_body, ArrayLayout, LowerError};
 pub use mii::{rec_mii, res_mii};
-pub use modulo::{modulo_schedule, modulo_schedule_traced, ModuloSchedule};
+pub use modulo::{modulo_schedule, modulo_schedule_traced, try_modulo_schedule, ModuloSchedule};
 pub use vop::{LoweredBody, VOp, VopDeps};

@@ -67,6 +67,33 @@ pub fn list_schedule(
     list_schedule_traced(machine, body, deps, clusters_used, &mut NullSink)
 }
 
+/// [`list_schedule`] with a typed error: infeasibility comes back as
+/// [`SchedError::Unschedulable`](crate::error::SchedError::Unschedulable)
+/// instead of `None`, so pipeline drivers can fold it into one `Result`
+/// chain with lowering, allocation and code generation.
+///
+/// # Errors
+///
+/// `Unschedulable` when an operation cannot be issued anywhere on the
+/// machine (missing functional unit).
+pub fn try_list_schedule(
+    machine: &MachineConfig,
+    body: &LoweredBody,
+    deps: &VopDeps,
+    clusters_used: u32,
+) -> Result<ListSchedule, crate::error::SchedError> {
+    list_schedule(machine, body, deps, clusters_used).ok_or_else(|| {
+        crate::error::SchedError::Unschedulable {
+            scheduler: "list",
+            detail: format!(
+                "{} ops on {} across {clusters_used} cluster(s): some operation has no capable slot",
+                body.ops.len(),
+                machine.name
+            ),
+        }
+    })
+}
+
 /// [`list_schedule`] with a decision log: every placement reports the
 /// ready-set size it was chosen from ([`TraceEvent::ListPlace`]), every
 /// cycle rejected for lack of a capable free slot becomes a

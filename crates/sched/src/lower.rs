@@ -53,7 +53,7 @@ impl ArrayLayout {
             // while respecting sizes).
             let bank = (0..banks)
                 .min_by_key(|&b| next[b] + if i % banks == b { 0 } else { 1 })
-                .expect("at least one bank");
+                .unwrap_or(0); // banks >= 1 by construction
             let base = next[bank];
             let cap = machine.cluster.banks[bank].words;
             if base + a.len > cap {

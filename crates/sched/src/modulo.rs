@@ -63,6 +63,34 @@ pub fn modulo_schedule(
     modulo_schedule_traced(machine, body, deps, clusters_used, ii_search, &mut NullSink)
 }
 
+/// [`modulo_schedule`] with a typed error: infeasibility comes back as
+/// [`SchedError::Unschedulable`](crate::error::SchedError::Unschedulable)
+/// instead of `None`, so pipeline drivers can fold it into one `Result`
+/// chain with lowering, allocation and code generation.
+///
+/// # Errors
+///
+/// `Unschedulable` when the body needs a functional unit the machine
+/// lacks, or no feasible II is found within `ii_search` steps above MII.
+pub fn try_modulo_schedule(
+    machine: &MachineConfig,
+    body: &LoweredBody,
+    deps: &VopDeps,
+    clusters_used: u32,
+    ii_search: u32,
+) -> Result<ModuloSchedule, crate::error::SchedError> {
+    modulo_schedule(machine, body, deps, clusters_used, ii_search).ok_or_else(|| {
+        crate::error::SchedError::Unschedulable {
+            scheduler: "modulo",
+            detail: format!(
+                "{} ops on {} across {clusters_used} cluster(s): no feasible II within {ii_search} steps above MII",
+                body.ops.len(),
+                machine.name
+            ),
+        }
+    })
+}
+
 /// [`modulo_schedule`] with a decision log: each candidate II/ordering
 /// pair is announced ([`TraceEvent::IiAttempt`]), failures to find any
 /// schedule at an II become [`TraceEvent::IiEscalate`], and within one
@@ -226,7 +254,7 @@ fn try_ii(
         'search: for c in preferred_clusters(deps, &placements, i, clusters_used) {
             for t in est..est + ii {
                 let row = (t % ii) as usize;
-                let mut resv = rebuild_row(machine, body, &row_ops[row], &placements);
+                let mut resv = rebuild_row(machine, body, &row_ops[row], &placements)?;
                 if let Some(slot) = find_slot(machine, &mut resv, &body.ops[i], c) {
                     chosen = Some((t, c, slot));
                     break 'search;
@@ -267,7 +295,7 @@ fn try_ii(
                     }
                     unplace(j, &mut times, &mut placements, &mut row_ops, ii);
                 }
-                let mut resv = rebuild_row(machine, body, &row_ops[row], &placements);
+                let mut resv = rebuild_row(machine, body, &row_ops[row], &placements)?;
                 match find_slot(machine, &mut resv, &body.ops[i], cluster) {
                     Some(slot) => (est, cluster, slot),
                     None => return None, // no capable slot exists at all
@@ -329,11 +357,11 @@ fn try_ii(
         }
     }
 
-    let times: Vec<u32> = times.into_iter().map(|t| t.expect("all placed")).collect();
-    let placements: Vec<(ClusterId, SlotId)> = placements
-        .into_iter()
-        .map(|p| p.expect("all placed"))
-        .collect();
+    // The worklist loop only exits when every operation is placed; a
+    // hole here is a scheduler bug, reported as infeasible-at-this-II
+    // rather than a panic (the II search continues or gives up cleanly).
+    let times: Vec<u32> = times.into_iter().collect::<Option<_>>()?;
+    let placements: Vec<(ClusterId, SlotId)> = placements.into_iter().collect::<Option<_>>()?;
     let length = times.iter().max().copied().unwrap_or(0) + 1;
     Some(ModuloSchedule {
         ii,
@@ -361,12 +389,16 @@ fn unplace(
 
 /// Rebuilds a modulo-reservation row from the operations currently
 /// assigned to it (rows are tiny; rebuilding keeps eviction simple).
+///
+/// Returns `None` if a previously placed operation no longer
+/// re-reserves — an invariant break that makes this II attempt
+/// infeasible rather than the whole process panic.
 fn rebuild_row(
     machine: &MachineConfig,
     body: &LoweredBody,
     ops: &[usize],
     placements: &[Option<(ClusterId, SlotId)>],
-) -> CycleReservation {
+) -> Option<CycleReservation> {
     let mut resv = CycleReservation::new(machine);
     for &j in ops {
         if let Some((c, s)) = placements[j] {
@@ -376,11 +408,10 @@ fn rebuild_row(
                 guard: body.ops[j].guard,
                 kind: body.ops[j].kind.clone(),
             };
-            resv.try_reserve(machine, &concrete)
-                .expect("previously placed operations always re-reserve");
+            resv.try_reserve(machine, &concrete).ok()?;
         }
     }
-    resv
+    Some(resv)
 }
 
 /// Candidate clusters for an operation, preferring wherever its placed

@@ -156,14 +156,16 @@ impl VopDeps {
                         }),
                         None => {
                             // ...or carried from the last def of the
-                            // previous iteration.
-                            let d = *ds.last().expect("ds nonempty");
-                            edges.push(VDep {
-                                from: d,
-                                to: u,
-                                distance: 1,
-                                min_delay: latency_of(&lat, &body.ops[d]),
-                            });
+                            // previous iteration (ds is nonempty here —
+                            // empty def lists were skipped above).
+                            if let Some(&d) = ds.last() {
+                                edges.push(VDep {
+                                    from: d,
+                                    to: u,
+                                    distance: 1,
+                                    min_delay: latency_of(&lat, &body.ops[d]),
+                                });
+                            }
                         }
                     }
                     // Anti edge to the next def at or after u.

@@ -1,11 +1,15 @@
 //! Simulation errors.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use vsp_core::validate::ValidationError;
 use vsp_isa::{ClusterId, Reg};
 
 /// Errors raised during simulation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so fault-campaign reports (`vsp-fault`, the `vsp-bench`
+/// `faults` bin) can carry the exact error a case died with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SimError {
     /// The program failed structural validation for the machine.
     Invalid(Vec<ValidationError>),

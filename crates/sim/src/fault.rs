@@ -1,0 +1,153 @@
+//! Fault-model hooks for the decoded fast path.
+//!
+//! The simulator is generic over a [`FaultModel`] exactly the way it is
+//! generic over a `TraceSink`: the default [`NoFaults`] answers `false`
+//! from an inlinable [`FaultModel::enabled`], so the fault-free
+//! monomorphization — everything built via `Simulator::new` or
+//! `Simulator::with_sink` — contains no injection code at all and is
+//! held bit-identical to the pre-fault simulator by the differential
+//! tests.
+//!
+//! A fault model sees every value the datapath's exposed megacells
+//! produce — register-file read ports, local-SRAM reads, crossbar
+//! transfers — and may return a perturbed value; it may also add
+//! latency jitter to instruction fetch. Concrete seeded models live in
+//! the `vsp-fault` crate; this module only defines the hook surface so
+//! `vsp-sim` carries no policy.
+//!
+//! Hooks are only consulted on the pre-decoded fast path
+//! (`Simulator::step`). The interpretive path (`step_interp`) never
+//! injects, which keeps it an honest fault-free oracle for differential
+//! comparison against a faulted fast-path run.
+
+use vsp_isa::ClusterId;
+
+/// Observer/perturbation hooks over the datapath structures most
+/// exposed to transient soft errors.
+///
+/// All hooks take `&mut self` so stateful models (seeded RNG streams,
+/// one-shot triggers, stuck-at latches) need no interior mutability.
+/// Hooks return the value to use; returning the input unchanged means
+/// "no fault here".
+pub trait FaultModel {
+    /// Whether this model can ever inject. `false` lets the simulator
+    /// compile the hook calls out entirely (the [`NoFaults`] case) or
+    /// skip them dynamically for a zero-rate plan.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A register-file read port delivered `value`; return what the
+    /// consuming functional unit actually sees.
+    fn on_reg_read(&mut self, cycle: u64, cluster: ClusterId, reg: u16, value: i16) -> i16 {
+        let _ = (cycle, cluster, reg);
+        value
+    }
+
+    /// A local-SRAM read of `addr` in `bank` delivered `value`.
+    fn on_mem_read(
+        &mut self,
+        cycle: u64,
+        cluster: ClusterId,
+        bank: u8,
+        addr: u32,
+        value: i16,
+    ) -> i16 {
+        let _ = (cycle, cluster, bank, addr);
+        value
+    }
+
+    /// The crossbar carried `value` from register `src` of cluster
+    /// `from` toward cluster `to`.
+    fn on_xfer(&mut self, cycle: u64, from: ClusterId, to: ClusterId, src: u16, value: i16) -> i16 {
+        let _ = (cycle, from, to, src);
+        value
+    }
+
+    /// Extra stall cycles to charge this fetch of `word` (icache-miss
+    /// latency jitter). Returned cycles are accounted as icache stall
+    /// cycles, preserving `cycles == words + icache_stall_cycles`.
+    fn fetch_jitter(&mut self, cycle: u64, word: u32) -> u32 {
+        let _ = (cycle, word);
+        0
+    }
+}
+
+/// The default fault model: never injects, and says so from an
+/// inlinable body so the fault-free monomorphization carries no
+/// injection code at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Forwarding impl so a caller can keep ownership of a stateful model
+/// (for example to read its injection counters after the run) by
+/// handing the simulator `&mut model`.
+impl<F: FaultModel + ?Sized> FaultModel for &mut F {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn on_reg_read(&mut self, cycle: u64, cluster: ClusterId, reg: u16, value: i16) -> i16 {
+        (**self).on_reg_read(cycle, cluster, reg, value)
+    }
+
+    #[inline]
+    fn on_mem_read(
+        &mut self,
+        cycle: u64,
+        cluster: ClusterId,
+        bank: u8,
+        addr: u32,
+        value: i16,
+    ) -> i16 {
+        (**self).on_mem_read(cycle, cluster, bank, addr, value)
+    }
+
+    #[inline]
+    fn on_xfer(&mut self, cycle: u64, from: ClusterId, to: ClusterId, src: u16, value: i16) -> i16 {
+        (**self).on_xfer(cycle, from, to, src, value)
+    }
+
+    #[inline]
+    fn fetch_jitter(&mut self, cycle: u64, word: u32) -> u32 {
+        (**self).fetch_jitter(cycle, word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_disabled_identity() {
+        let mut f = NoFaults;
+        assert!(!f.enabled());
+        assert_eq!(f.on_reg_read(1, 0, 3, 42), 42);
+        assert_eq!(f.on_mem_read(1, 0, 0, 7, -5), -5);
+        assert_eq!(f.on_xfer(1, 0, 1, 3, 9), 9);
+        assert_eq!(f.fetch_jitter(1, 0), 0);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        struct FlipBit0;
+        impl FaultModel for FlipBit0 {
+            fn on_reg_read(&mut self, _: u64, _: ClusterId, _: u16, value: i16) -> i16 {
+                value ^ 1
+            }
+        }
+        let mut f = FlipBit0;
+        let mut r = &mut f;
+        assert!(<&mut FlipBit0 as FaultModel>::enabled(&r));
+        assert_eq!(<&mut FlipBit0 as FaultModel>::on_reg_read(&mut r, 0, 0, 0, 2), 3);
+    }
+}

@@ -47,13 +47,15 @@
 
 mod decoded;
 pub mod error;
+pub mod fault;
 pub mod icache;
 pub mod memory;
 pub mod simulator;
 pub mod stats;
 
 pub use error::SimError;
+pub use fault::{FaultModel, NoFaults};
 pub use icache::InstructionCache;
 pub use memory::LocalMemory;
-pub use simulator::{ArchState, HazardPolicy, Simulator};
+pub use simulator::{ArchState, Checkpoint, HazardPolicy, Simulator};
 pub use stats::RunStats;

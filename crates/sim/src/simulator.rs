@@ -2,6 +2,7 @@
 
 use crate::decoded::{DAddr, DKind, DOperand, DecodedProgram, NO_GUARD};
 use crate::error::SimError;
+use crate::fault::{FaultModel, NoFaults};
 use crate::icache::InstructionCache;
 use crate::memory::LocalMemory;
 use crate::stats::RunStats;
@@ -9,7 +10,7 @@ use std::collections::BTreeMap;
 use vsp_core::{validate_program, LatencyModel, MachineConfig};
 use vsp_isa::semantics;
 use vsp_isa::{AddrMode, ClusterId, MemCtlOp, OpKind, Operand, Operation, Pred, Program, Reg};
-use vsp_trace::{NullSink, TraceEvent, TraceSink};
+use vsp_trace::{FaultSite, NullSink, TraceEvent, TraceSink};
 
 /// Size of the pending-commit ring: one slot per future cycle. Result
 /// latencies are tiny (bounded by load-use, multiply, and crossbar
@@ -63,6 +64,43 @@ pub struct ArchState {
     pub mems: Vec<Vec<(Vec<i16>, Vec<i16>)>>,
 }
 
+/// A full microarchitectural snapshot of a [`Simulator`]: architectural
+/// state plus everything in flight — pending commits, scoreboard ready
+/// times, icache tags, fetch/redirect state, and statistics.
+///
+/// Built by [`Simulator::checkpoint`] and consumed by
+/// [`Simulator::restore`]; re-executing from a restored checkpoint
+/// replays the simulation exactly (the basis of the `vsp-fault`
+/// re-execute-from-checkpoint recovery loop). Fields are private: a
+/// checkpoint is only meaningful to a simulator over the same machine
+/// and program shape that produced it.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    regs: Vec<Vec<i16>>,
+    reg_ready: Vec<Vec<u64>>,
+    preds: Vec<Vec<bool>>,
+    pred_ready: Vec<Vec<u64>>,
+    mems: Vec<Vec<LocalMemory>>,
+    pending_ring: Vec<Vec<Commit>>,
+    pending_count: usize,
+    pending_far: BTreeMap<u64, Vec<Commit>>,
+    drained_through: u64,
+    icache: InstructionCache,
+    pc: usize,
+    cycle: u64,
+    redirect: Option<(usize, u32)>,
+    halted: bool,
+    stats: RunStats,
+    fast_class_ops: [u64; 6],
+}
+
+impl Checkpoint {
+    /// Cycle count at the moment the checkpoint was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
 /// Cycle-accurate simulator for one program on one machine.
 ///
 /// Generic over a [`TraceSink`]; the default [`NullSink`] reports itself
@@ -70,8 +108,13 @@ pub struct ArchState {
 /// everything built via [`Simulator::new`] — contains no tracing code.
 /// Use [`Simulator::with_sink`] (typically with `&mut sink`, since
 /// `TraceSink` is implemented for mutable references) to record a run.
+///
+/// Also generic over a [`FaultModel`] by the same pattern: the default
+/// [`NoFaults`] compiles all injection hooks out of the fast path, and
+/// [`Simulator::with_sink_and_faults`] opts a run into a concrete model
+/// (see the `vsp-fault` crate for seeded plans and recovery).
 #[derive(Debug)]
-pub struct Simulator<'a, S: TraceSink = NullSink> {
+pub struct Simulator<'a, S: TraceSink = NullSink, F: FaultModel = NoFaults> {
     machine: &'a MachineConfig,
     program: &'a Program,
     /// Pre-decoded twin of `program` (flat ops, resolved latencies);
@@ -100,6 +143,7 @@ pub struct Simulator<'a, S: TraceSink = NullSink> {
     halted: bool,
     stats: RunStats,
     sink: S,
+    faults: F,
     /// Committed ops per cluster within the word being issued (scratch
     /// for the utilization histogram).
     word_cluster_ops: Vec<u32>,
@@ -136,7 +180,8 @@ impl<'a> Simulator<'a> {
 }
 
 impl<'a, S: TraceSink> Simulator<'a, S> {
-    /// Creates a simulator that emits trace events into `sink`.
+    /// Creates a simulator that emits trace events into `sink` (and
+    /// never injects faults).
     ///
     /// # Errors
     ///
@@ -146,6 +191,26 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         machine: &'a MachineConfig,
         program: &'a Program,
         sink: S,
+    ) -> Result<Self, SimError> {
+        Self::with_sink_and_faults(machine, program, sink, NoFaults)
+    }
+}
+
+impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
+    /// Creates a simulator that emits trace events into `sink` and
+    /// consults `faults` on every exposed datapath read (typically with
+    /// `&mut model`, since [`FaultModel`] is implemented for mutable
+    /// references, so injection counters stay readable after the run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the program fails structural
+    /// validation for the machine.
+    pub fn with_sink_and_faults(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        sink: S,
+        faults: F,
     ) -> Result<Self, SimError> {
         validate_program(machine, program)?;
         let clusters = machine.clusters as usize;
@@ -183,6 +248,7 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
             halted: false,
             stats: RunStats::default(),
             sink,
+            faults,
             word_cluster_ops: vec![0; clusters],
             word_touched: Vec::with_capacity(clusters),
             scratch_stores: Vec::new(),
@@ -201,6 +267,16 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
     /// Mutable access to the trace sink (e.g. to flush it).
     pub fn sink_mut(&mut self) -> &mut S {
         &mut self.sink
+    }
+
+    /// The fault model.
+    pub fn faults(&self) -> &F {
+        &self.faults
+    }
+
+    /// Mutable access to the fault model (e.g. to re-arm a trigger).
+    pub fn faults_mut(&mut self) -> &mut F {
+        &mut self.faults
     }
 
     /// Selects the hazard policy.
@@ -272,6 +348,67 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
     /// Whether a halt has committed.
     pub fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    /// Snapshots the complete microarchitectural state for later
+    /// [`Simulator::restore`]. Unlike [`Simulator::arch_state`] this
+    /// includes in-flight commits, scoreboard ready times, the icache,
+    /// fetch/redirect state and statistics, so resuming from it replays
+    /// the run exactly.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            regs: self.regs.clone(),
+            reg_ready: self.reg_ready.clone(),
+            preds: self.preds.clone(),
+            pred_ready: self.pred_ready.clone(),
+            mems: self.mems.clone(),
+            pending_ring: self.pending_ring.clone(),
+            pending_count: self.pending_count,
+            pending_far: self.pending_far.clone(),
+            drained_through: self.drained_through,
+            icache: self.icache.clone(),
+            pc: self.pc,
+            cycle: self.cycle,
+            redirect: self.redirect,
+            halted: self.halted,
+            stats: self.stats.clone(),
+            fast_class_ops: self.fast_class_ops,
+        }
+    }
+
+    /// Rolls the simulator back to a [`Checkpoint`] taken earlier on
+    /// this same machine/program pair.
+    ///
+    /// Statistics roll back too (the discarded cycles never happened on
+    /// the surviving timeline); the `vsp-fault` recovery loop accounts
+    /// the thrown-away work separately as `recovery_cycles`. Per-step
+    /// scratch state is cleared — a step aborted mid-word by a fault may
+    /// have left it dirty.
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        self.regs.clone_from(&cp.regs);
+        self.reg_ready.clone_from(&cp.reg_ready);
+        self.preds.clone_from(&cp.preds);
+        self.pred_ready.clone_from(&cp.pred_ready);
+        self.mems.clone_from(&cp.mems);
+        self.pending_ring.clone_from(&cp.pending_ring);
+        self.pending_count = cp.pending_count;
+        self.pending_far.clone_from(&cp.pending_far);
+        self.drained_through = cp.drained_through;
+        self.icache.clone_from(&cp.icache);
+        self.pc = cp.pc;
+        self.cycle = cp.cycle;
+        self.redirect = cp.redirect;
+        self.halted = cp.halted;
+        self.stats.clone_from(&cp.stats);
+        self.fast_class_ops = cp.fast_class_ops;
+        for n in &mut self.word_cluster_ops {
+            *n = 0;
+        }
+        self.word_touched.clear();
+        self.scratch_stores.clear();
+        self.scratch_swaps.clear();
+        self.scratch_reg_writes.clear();
+        self.scratch_pred_writes.clear();
     }
 
     /// Runs until a halt commits or `max_cycles` elapse.
@@ -380,6 +517,25 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
             }
             self.cycle += u64::from(stall);
         }
+        if self.faults.enabled() {
+            // Latency jitter: extra fetch stall charged as icache stall
+            // cycles so `cycles == words + icache_stall_cycles` holds.
+            let jitter = self.faults.fetch_jitter(self.cycle, self.pc as u32);
+            if jitter > 0 {
+                self.stats.icache_stall_cycles += u64::from(jitter);
+                self.stats.faults_injected += 1;
+                if tracing {
+                    self.sink.emit(TraceEvent::FaultInject {
+                        cycle: self.cycle,
+                        site: FaultSite::Fetch,
+                        cluster: 0,
+                        index: self.pc as u32,
+                        detail: jitter,
+                    });
+                }
+                self.cycle += u64::from(jitter);
+            }
+        }
 
         self.apply_commits();
 
@@ -481,6 +637,11 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
                         words: mem.words(),
                     })?;
                     self.stats.loads += 1;
+                    let v = if self.faults.enabled() {
+                        self.fault_mem_read(c, bank, a, v)
+                    } else {
+                        v
+                    };
                     reg_writes.push((c, dst, v, op.latency));
                 }
                 DKind::Store { src, addr, bank } => {
@@ -503,6 +664,11 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
                 DKind::Xfer { dst, from, src } => {
                     let v = self.read_reg_idx(from, src, word_index)?;
                     self.stats.transfers += 1;
+                    let v = if self.faults.enabled() {
+                        self.fault_xfer(from, c, src, v)
+                    } else {
+                        v
+                    };
                     reg_writes.push((c, dst, v, op.latency));
                 }
                 DKind::Branch {
@@ -523,10 +689,10 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
 
         // Phase 2: register/predicate results enter the bypass network.
         for &(c, r, v, lat) in &reg_writes {
-            self.schedule_reg(c, r, v, lat);
+            self.schedule_reg(c, r, v, lat)?;
         }
         for &(c, p, v, lat) in &pred_writes {
-            self.schedule_pred(c, p, v, lat);
+            self.schedule_pred(c, p, v, lat)?;
         }
 
         // End of cycle: stores and buffer swaps become visible.
@@ -721,10 +887,10 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         // original interpreter did, so it stays an honest baseline for
         // the ring-buffered fast path.
         for (c, r, v, lat) in reg_writes {
-            self.schedule_reg_interp(c, r, v, lat);
+            self.schedule_reg_interp(c, r, v, lat)?;
         }
         for (c, p, v, lat) in pred_writes {
-            self.schedule_pred_interp(c, p, v, lat);
+            self.schedule_pred_interp(c, p, v, lat)?;
         }
 
         // End of cycle: stores and buffer swaps become visible.
@@ -898,7 +1064,7 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
     /// index; errors reconstruct the [`Reg`] so faults are identical to
     /// the interpretive path's.
     #[inline]
-    fn read_reg_idx(&self, cluster: ClusterId, reg: u16, word: usize) -> Result<i16, SimError> {
+    fn read_reg_idx(&mut self, cluster: ClusterId, reg: u16, word: usize) -> Result<i16, SimError> {
         let ready = self.reg_ready[cluster as usize][reg as usize];
         if ready > self.cycle && self.policy == HazardPolicy::Fault {
             return Err(SimError::PrematureRead {
@@ -909,7 +1075,68 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
                 ready_at: ready,
             });
         }
-        Ok(self.regs[cluster as usize][reg as usize])
+        let v = self.regs[cluster as usize][reg as usize];
+        if self.faults.enabled() {
+            return Ok(self.fault_reg_read(cluster, reg, v));
+        }
+        Ok(v)
+    }
+
+    /// Runs a register-file read through the fault model, recording an
+    /// injection (stats counter + trace event) when the value changed.
+    fn fault_reg_read(&mut self, cluster: ClusterId, reg: u16, value: i16) -> i16 {
+        let faulted = self.faults.on_reg_read(self.cycle, cluster, reg, value);
+        if faulted != value {
+            self.stats.faults_injected += 1;
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::FaultInject {
+                    cycle: self.cycle,
+                    site: FaultSite::RegRead,
+                    cluster,
+                    index: u32::from(reg),
+                    detail: u32::from((faulted ^ value) as u16),
+                });
+            }
+        }
+        faulted
+    }
+
+    /// Local-SRAM twin of [`Simulator::fault_reg_read`].
+    fn fault_mem_read(&mut self, cluster: ClusterId, bank: u8, addr: u32, value: i16) -> i16 {
+        let faulted = self.faults.on_mem_read(self.cycle, cluster, bank, addr, value);
+        if faulted != value {
+            self.stats.faults_injected += 1;
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::FaultInject {
+                    cycle: self.cycle,
+                    site: FaultSite::MemRead,
+                    cluster,
+                    index: addr,
+                    detail: u32::from((faulted ^ value) as u16),
+                });
+            }
+        }
+        faulted
+    }
+
+    /// Crossbar twin of [`Simulator::fault_reg_read`]; the event is
+    /// attributed to the *destination* cluster (the consumer of the
+    /// corrupted transfer).
+    fn fault_xfer(&mut self, from: ClusterId, to: ClusterId, src: u16, value: i16) -> i16 {
+        let faulted = self.faults.on_xfer(self.cycle, from, to, src, value);
+        if faulted != value {
+            self.stats.faults_injected += 1;
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::FaultInject {
+                    cycle: self.cycle,
+                    site: FaultSite::Xfer,
+                    cluster: to,
+                    index: u32::from(src),
+                    detail: u32::from((faulted ^ value) as u16),
+                });
+            }
+        }
+        faulted
     }
 
     /// Fast-path twin of [`Simulator::read_pred`]; faults encode the
@@ -931,7 +1158,7 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
 
     #[inline]
     fn read_doperand(
-        &self,
+        &mut self,
         cluster: ClusterId,
         operand: DOperand,
         word: usize,
@@ -944,7 +1171,7 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
 
     #[inline]
     fn effective_addr_idx(
-        &self,
+        &mut self,
         cluster: ClusterId,
         addr: DAddr,
         word: usize,
@@ -996,43 +1223,104 @@ impl<'a, S: TraceSink> Simulator<'a, S> {
         }
     }
 
-    fn schedule_reg(&mut self, cluster: ClusterId, reg: u16, value: i16, latency: u32) {
+    /// Checks a result entering the bypass network against the single
+    /// write port: a second result landing on the same register in the
+    /// same cycle is a [`SimError::WriteConflict`] under
+    /// [`HazardPolicy::Fault`]. `at = cycle + latency` with `latency ≥ 1`
+    /// is strictly in the future, so `ready == at` can only mean another
+    /// commit is already pending for that exact cycle.
+    #[inline]
+    fn check_write_port(
+        &self,
+        ready: u64,
+        at: u64,
+        latency: u32,
+        cluster: ClusterId,
+        reg: Reg,
+    ) -> Result<(), SimError> {
+        if latency > 0 && ready == at && self.policy == HazardPolicy::Fault {
+            return Err(SimError::WriteConflict {
+                cycle: at,
+                cluster,
+                reg,
+            });
+        }
+        Ok(())
+    }
+
+    fn schedule_reg(
+        &mut self,
+        cluster: ClusterId,
+        reg: u16,
+        value: i16,
+        latency: u32,
+    ) -> Result<(), SimError> {
         let at = self.cycle + u64::from(latency);
+        let ready = self.reg_ready[cluster as usize][reg as usize];
+        self.check_write_port(ready, at, latency, cluster, Reg(reg))?;
         self.push_commit(at, latency, Commit::Reg(cluster, Reg(reg), value));
         let slot = &mut self.reg_ready[cluster as usize][reg as usize];
         *slot = (*slot).max(at);
+        Ok(())
     }
 
-    fn schedule_pred(&mut self, cluster: ClusterId, pred: u8, value: bool, latency: u32) {
+    fn schedule_pred(
+        &mut self,
+        cluster: ClusterId,
+        pred: u8,
+        value: bool,
+        latency: u32,
+    ) -> Result<(), SimError> {
         let at = self.cycle + u64::from(latency);
+        let ready = self.pred_ready[cluster as usize][pred as usize];
+        self.check_write_port(ready, at, latency, cluster, Reg(u16::from(pred) | 0x8000))?;
         self.push_commit(at, latency, Commit::Pred(cluster, Pred(pred), value));
         let slot = &mut self.pred_ready[cluster as usize][pred as usize];
         *slot = (*slot).max(at);
+        Ok(())
     }
 
     /// Interpretive-path commit scheduling: always through the ordered
     /// map, mirroring the original interpreter's `BTreeMap` bookkeeping.
     /// [`Simulator::apply_commits`] drains both structures, so mixing
     /// `step` and `step_interp` on one simulator stays coherent.
-    fn schedule_reg_interp(&mut self, cluster: ClusterId, reg: u16, value: i16, latency: u32) {
+    fn schedule_reg_interp(
+        &mut self,
+        cluster: ClusterId,
+        reg: u16,
+        value: i16,
+        latency: u32,
+    ) -> Result<(), SimError> {
         let at = self.cycle + u64::from(latency);
+        let ready = self.reg_ready[cluster as usize][reg as usize];
+        self.check_write_port(ready, at, latency, cluster, Reg(reg))?;
         self.pending_far
             .entry(at)
             .or_default()
             .push(Commit::Reg(cluster, Reg(reg), value));
         let slot = &mut self.reg_ready[cluster as usize][reg as usize];
         *slot = (*slot).max(at);
+        Ok(())
     }
 
     /// Predicate twin of [`Simulator::schedule_reg_interp`].
-    fn schedule_pred_interp(&mut self, cluster: ClusterId, pred: u8, value: bool, latency: u32) {
+    fn schedule_pred_interp(
+        &mut self,
+        cluster: ClusterId,
+        pred: u8,
+        value: bool,
+        latency: u32,
+    ) -> Result<(), SimError> {
         let at = self.cycle + u64::from(latency);
+        let ready = self.pred_ready[cluster as usize][pred as usize];
+        self.check_write_port(ready, at, latency, cluster, Reg(u16::from(pred) | 0x8000))?;
         self.pending_far
             .entry(at)
             .or_default()
             .push(Commit::Pred(cluster, Pred(pred), value));
         let slot = &mut self.pred_ready[cluster as usize][pred as usize];
         *slot = (*slot).max(at);
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -48,6 +48,27 @@ pub struct RunStats {
     /// the run finishes.
     #[serde(default)]
     pub util_histogram: Vec<Vec<u64>>,
+    /// Datapath perturbations a fault model actually made on the
+    /// surviving timeline (a checkpoint restore rolls this back with the
+    /// rest of the stats; the fault plan's own counters keep totals
+    /// including replayed regions).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Faults the recovery loop detected (simulator error or watchdog
+    /// expiry attributed to an injection).
+    #[serde(default)]
+    pub faults_detected: u64,
+    /// Detected faults erased by re-execution from a checkpoint.
+    #[serde(default)]
+    pub faults_corrected: u64,
+    /// Detected faults that survived every retry (the run failed or the
+    /// region was abandoned).
+    #[serde(default)]
+    pub faults_uncorrectable: u64,
+    /// Cycles of work discarded by checkpoint rollbacks (re-executed
+    /// cycles; the recovery overhead on top of `cycles`).
+    #[serde(default)]
+    pub recovery_cycles: u64,
 }
 
 impl RunStats {
@@ -170,6 +191,17 @@ impl fmt::Display for RunStats {
             for (c, ops) in self.ops_by_cluster.iter().enumerate() {
                 write!(f, " c{c}={ops}")?;
             }
+        }
+        if self.faults_injected > 0 || self.faults_detected > 0 {
+            write!(
+                f,
+                "\nfaults: injected {}, detected {}, corrected {}, uncorrectable {}, recovery cycles {}",
+                self.faults_injected,
+                self.faults_detected,
+                self.faults_corrected,
+                self.faults_uncorrectable,
+                self.recovery_cycles
+            )?;
         }
         Ok(())
     }

@@ -31,6 +31,11 @@ fn sample() -> RunStats {
         branch_bubble_cycles: 7,
         ops_by_cluster: vec![100, 68, 0, 0],
         util_histogram: vec![vec![190, 60, 40], vec![222, 68]],
+        faults_injected: 4,
+        faults_detected: 3,
+        faults_corrected: 2,
+        faults_uncorrectable: 1,
+        recovery_cycles: 55,
     }
 }
 
@@ -46,6 +51,8 @@ fn extended_stats_round_trip() {
         "ops_by_cluster",
         "util_histogram",
         "icache_misses",
+        "faults_injected",
+        "recovery_cycles",
     ] {
         assert!(json.contains(field), "{field} missing from {json}");
     }
@@ -68,4 +75,7 @@ fn new_fields_default_when_absent() {
     assert_eq!(parsed.branch_bubble_cycles, 0);
     assert!(parsed.ops_by_cluster.is_empty());
     assert!(parsed.util_histogram.is_empty());
+    assert_eq!(parsed.faults_injected, 0);
+    assert_eq!(parsed.faults_uncorrectable, 0);
+    assert_eq!(parsed.recovery_cycles, 0);
 }

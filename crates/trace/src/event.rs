@@ -28,6 +28,35 @@ impl SchedOrdering {
     }
 }
 
+/// Datapath structure a fault was injected into (see `vsp-fault`).
+///
+/// Mirrors the megacells of the paper's datapath: the multi-ported
+/// register file, the local SRAM banks, the global crossbar, and the
+/// instruction-fetch path (latency jitter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// A register-file read port returned a corrupted value.
+    RegRead,
+    /// A local-SRAM word was corrupted on read.
+    MemRead,
+    /// A crossbar transfer delivered a corrupted value.
+    Xfer,
+    /// Instruction fetch suffered extra (jitter) stall cycles.
+    Fetch,
+}
+
+impl FaultSite {
+    /// Stable lowercase name of the fault site.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::RegRead => "reg_read",
+            FaultSite::MemRead => "mem_read",
+            FaultSite::Xfer => "xfer",
+            FaultSite::Fetch => "fetch",
+        }
+    }
+}
+
 /// One structured trace event.
 ///
 /// Simulator events carry the absolute cycle and fetched word index;
@@ -90,6 +119,21 @@ pub enum TraceEvent {
     Halt {
         /// Absolute simulation cycle of the halt commit.
         cycle: u64,
+    },
+    /// A fault model perturbed the datapath (see `vsp-fault`).
+    FaultInject {
+        /// Absolute simulation cycle of the injection.
+        cycle: u64,
+        /// Which datapath structure was hit.
+        site: FaultSite,
+        /// Cluster the fault landed in (0 for fetch jitter).
+        cluster: ClusterId,
+        /// Site-specific index: register number, SRAM address, source
+        /// register of a transfer, or fetched word for jitter.
+        index: u32,
+        /// Site-specific detail: flipped bit mask for value faults,
+        /// extra stall cycles for fetch jitter.
+        detail: u32,
     },
 
     /// List scheduler: an operation was placed.
@@ -192,6 +236,7 @@ impl TraceEvent {
             TraceEvent::IcacheMiss { .. } => "icache_miss",
             TraceEvent::BranchBubble { .. } => "branch_bubble",
             TraceEvent::Halt { .. } => "halt",
+            TraceEvent::FaultInject { .. } => "fault_inject",
             TraceEvent::ListPlace { .. } => "list_place",
             TraceEvent::ListConflict { .. } => "list_conflict",
             TraceEvent::IiAttempt { .. } => "ii_attempt",
@@ -214,6 +259,7 @@ impl TraceEvent {
                 | TraceEvent::IcacheMiss { .. }
                 | TraceEvent::BranchBubble { .. }
                 | TraceEvent::Halt { .. }
+                | TraceEvent::FaultInject { .. }
         )
     }
 
@@ -269,6 +315,19 @@ impl TraceEvent {
             }
             TraceEvent::Halt { cycle } => {
                 let _ = write!(out, ",\"cycle\":{cycle}");
+            }
+            TraceEvent::FaultInject {
+                cycle,
+                site,
+                cluster,
+                index,
+                detail,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"cycle\":{cycle},\"site\":\"{}\",\"cluster\":{cluster},\"index\":{index},\"detail\":{detail}",
+                    site.name()
+                );
             }
             TraceEvent::ListPlace {
                 op,
@@ -382,6 +441,13 @@ mod tests {
             },
             TraceEvent::BranchBubble { cycle: 4, word: 3 },
             TraceEvent::Halt { cycle: 5 },
+            TraceEvent::FaultInject {
+                cycle: 6,
+                site: FaultSite::RegRead,
+                cluster: 1,
+                index: 12,
+                detail: 0x40,
+            },
             TraceEvent::ListPlace {
                 op: 0,
                 ready: 4,

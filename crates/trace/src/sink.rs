@@ -425,6 +425,26 @@ impl<W: Write> TraceSink for ChromeTraceSink<W> {
                 self.advance_to(cycle);
                 self.instant("halt", cycle, 0, 0, "{}");
             }
+            TraceEvent::FaultInject {
+                cycle,
+                site,
+                cluster,
+                index,
+                detail,
+            } => {
+                self.name_pid(cluster as u32, &format!("cluster {cluster}"));
+                self.advance_to(cycle);
+                self.instant(
+                    "fault",
+                    cycle,
+                    cluster as u32,
+                    0,
+                    &format!(
+                        "{{\"site\":\"{}\",\"index\":{index},\"detail\":{detail}}}",
+                        site.name()
+                    ),
+                );
+            }
             other => {
                 // Scheduler decision log: instants on a synthetic
                 // process, timestamped by schedule-relative cycle.

@@ -17,7 +17,12 @@
 //!   JSON-Lines, Chrome `trace_event`) and utilization timelines;
 //! * [`check`] — generative differential fuzzing: seeded program/kernel
 //!   generators, an independent schedule-validity checker, and a
-//!   fast-path vs interpreter vs IR-semantics execution oracle.
+//!   fast-path vs interpreter vs IR-semantics execution oracle;
+//! * [`fault`] — fault injection and resilience: seeded deterministic
+//!   fault plans (bit flips on register/SRAM/crossbar reads, fetch
+//!   jitter, stuck-at bits), re-execute-from-checkpoint recovery, and
+//!   the hardened batch-evaluation harness (`catch_unwind` isolation,
+//!   wall-clock timeouts, reconciling campaign reports).
 //!
 //! # Quickstart
 //!
@@ -39,6 +44,7 @@
 
 pub use vsp_check as check;
 pub use vsp_core as core;
+pub use vsp_fault as fault;
 pub use vsp_ir as ir;
 pub use vsp_isa as isa;
 pub use vsp_kernels as kernels;

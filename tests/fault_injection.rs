@@ -1,0 +1,193 @@
+//! End-to-end contracts of the fault-injection layer.
+//!
+//! * `NoFaults` (and a quiet plan) must be bit-identical — `RunStats`
+//!   *and* architectural state — to a plain `Simulator::new` run over
+//!   the full kernel × model matrix: the injection hooks are zero-cost
+//!   observationally, not just in codegen.
+//! * The same `FaultPlan` seed must reproduce the same run exactly,
+//!   including the recovery loop's counters.
+//! * With a nonzero fault rate the re-execute-from-checkpoint loop
+//!   corrects injected faults, and the fault-accounting invariant
+//!   `detected >= corrected + uncorrectable` holds.
+
+use vsp::core::{models, MachineConfig};
+use vsp::fault::{run_with_recovery, FaultPlan, RecoveryConfig};
+use vsp::ir::Stmt;
+use vsp::kernels::ir::{
+    color_quad_kernel, dct1d_kernel, dct_direct_mac_kernel, sad_16x16_kernel, vbr_block_kernel,
+};
+use vsp::sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp::sim::{ArchState, RunStats, Simulator};
+use vsp::trace::NullSink;
+
+/// Same six-kernel matrix as `fast_path_diff`.
+fn kernels() -> Vec<(&'static str, vsp::ir::Kernel, bool)> {
+    vec![
+        ("sad", sad_16x16_kernel().kernel, true),
+        ("dct-row", dct1d_kernel(true).kernel, true),
+        ("dct-col", dct1d_kernel(false).kernel, true),
+        ("dct-mac", dct_direct_mac_kernel().kernel, true),
+        ("color", color_quad_kernel(4).kernel, true),
+        ("vbr", vbr_block_kernel().kernel, false),
+    ]
+}
+
+/// Standard compile recipe (see `fast_path_diff`).
+fn compile(
+    machine: &MachineConfig,
+    name: &str,
+    kernel: &vsp::ir::Kernel,
+    unroll: bool,
+) -> vsp::isa::Program {
+    let mut k = kernel.clone();
+    if unroll {
+        vsp::ir::transform::fully_unroll_innermost(&mut k);
+    }
+    vsp::ir::transform::if_convert(&mut k);
+    vsp::ir::transform::eliminate_common_subexpressions(&mut k);
+    let layout = ArrayLayout::contiguous(&k, machine).unwrap_or_else(|e| {
+        panic!("{name} on {}: layout failed: {e:?}", machine.name);
+    });
+    let (stmts, ctl) = match k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) {
+        Some(Stmt::Loop(l)) => (
+            &l.body,
+            Some(LoopControl {
+                trip: l.trip,
+                index: Some((0, l.start, l.step)),
+            }),
+        ),
+        _ => (&k.body, None),
+    };
+    let body = lower_body(machine, &k, stmts, &layout).unwrap_or_else(|e| {
+        panic!("{name} on {}: lowering failed: {e:?}", machine.name);
+    });
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1)
+        .unwrap_or_else(|| panic!("{name} on {}: unschedulable", machine.name));
+    codegen_loop(machine, &body, &sched, ctl, machine.clusters, name)
+        .unwrap_or_else(|e| panic!("{name} on {}: codegen failed: {e:?}", machine.name))
+        .program
+}
+
+fn run_plain(machine: &MachineConfig, program: &vsp::isa::Program) -> (RunStats, ArchState) {
+    let mut sim = Simulator::new(machine, program).expect("valid program");
+    let stats = sim.run(1_000_000).expect("halts");
+    (stats, sim.arch_state())
+}
+
+/// The acceptance bar for the zero-cost generic: a fault-capable
+/// simulator carrying `NoFaults` — and one carrying a built-but-quiet
+/// plan — produce bit-identical `RunStats` and architectural state to
+/// today's `Simulator::new` on every kernel × model cell.
+#[test]
+fn nofaults_and_quiet_plan_match_plain_runs_exactly() {
+    for machine in models::all_models() {
+        for (name, kernel, unroll) in kernels() {
+            let program = compile(&machine, name, &kernel, unroll);
+            let (plain_stats, plain_state) = run_plain(&machine, &program);
+
+            let mut sim = Simulator::with_sink_and_faults(
+                &machine,
+                &program,
+                NullSink,
+                vsp::sim::fault::NoFaults,
+            )
+            .expect("valid program");
+            let stats = sim.run(1_000_000).expect("halts");
+            assert_eq!(
+                stats, plain_stats,
+                "NoFaults stats diverged for {name} on {}",
+                machine.name
+            );
+            assert_eq!(
+                sim.arch_state(),
+                plain_state,
+                "NoFaults state diverged for {name} on {}",
+                machine.name
+            );
+
+            let mut model = FaultPlan::quiet().build();
+            let mut sim =
+                Simulator::with_sink_and_faults(&machine, &program, NullSink, &mut model)
+                    .expect("valid program");
+            let stats = sim.run(1_000_000).expect("halts");
+            assert_eq!(
+                stats, plain_stats,
+                "quiet-plan stats diverged for {name} on {}",
+                machine.name
+            );
+            assert_eq!(
+                sim.arch_state(),
+                plain_state,
+                "quiet-plan state diverged for {name} on {}",
+                machine.name
+            );
+            assert_eq!(model.counts().total(), 0, "quiet plan injected something");
+        }
+    }
+}
+
+/// Satellite contract: the same `FaultPlan` seed yields bit-identical
+/// `RunStats` (and state, and injection counts) twice.
+#[test]
+fn same_fault_plan_seed_is_bit_identical_twice() {
+    let machine = models::i4c8s4();
+    let (name, kernel, unroll) = &kernels()[0]; // sad
+    let program = compile(&machine, name, kernel, unroll.to_owned());
+    let plan = FaultPlan::transient(42, 10_000);
+    let cfg = RecoveryConfig::new(2_000_000).with_interval(32);
+
+    let run = || {
+        let mut model = plan.build();
+        let mut sim =
+            Simulator::with_sink_and_faults(&machine, &program, NullSink, &mut model)
+                .expect("valid program");
+        let outcome = run_with_recovery(&mut sim, &cfg);
+        (outcome.stats, outcome.retries, sim.arch_state(), model.counts())
+    };
+    let (stats_a, retries_a, state_a, counts_a) = run();
+    let (stats_b, retries_b, state_b, counts_b) = run();
+    assert_eq!(stats_a, stats_b, "RunStats must be bit-identical");
+    assert_eq!(retries_a, retries_b);
+    assert_eq!(state_a, state_b);
+    assert_eq!(counts_a, counts_b);
+}
+
+/// With a nonzero rate the recovery loop corrects injected faults
+/// (transient flips vanish on replay), and fault accounting reconciles
+/// on every seed.
+#[test]
+fn recovery_corrects_injected_faults() {
+    let machine = models::i4c8s4();
+    let (name, kernel, unroll) = &kernels()[0]; // sad
+    let program = compile(&machine, name, kernel, unroll.to_owned());
+    let cfg = RecoveryConfig::new(2_000_000).with_interval(16);
+
+    let mut corrected_somewhere = false;
+    for seed in 0..60u64 {
+        let mut model = FaultPlan::transient(seed, 10_000).build();
+        let mut sim =
+            Simulator::with_sink_and_faults(&machine, &program, NullSink, &mut model)
+                .expect("valid program");
+        let outcome = run_with_recovery(&mut sim, &cfg);
+        let s = &outcome.stats;
+        assert!(
+            s.faults_detected >= s.faults_corrected + s.faults_uncorrectable,
+            "seed {seed}: accounting violated ({} < {} + {})",
+            s.faults_detected,
+            s.faults_corrected,
+            s.faults_uncorrectable
+        );
+        if outcome.halted && s.faults_corrected > 0 && s.faults_uncorrectable == 0 {
+            assert!(
+                s.recovery_cycles > 0,
+                "seed {seed}: corrected faults must cost discarded cycles"
+            );
+            corrected_somewhere = true;
+        }
+    }
+    assert!(
+        corrected_somewhere,
+        "no seed in 0..60 produced a corrected, completed run at 10000 ppm"
+    );
+}
