@@ -1,0 +1,207 @@
+//! Strategy × model design-space sweep over the full recipe catalog.
+//!
+//! The paper hand-scheduled one progression of techniques per kernel
+//! per table column. With strategies as data, the cross product comes
+//! for free: every catalog recipe is tried on every kernel on every
+//! machine model — including combinations no table row ever used
+//! (blocked SAD on the 16-bit-multiplier models, predicated pipelining
+//! on the DCT, the color loop spread over cluster groups, …).
+//!
+//! ```text
+//! cargo run --release -p vsp-bench --bin explore-strategies
+//! cargo run --release -p vsp-bench --bin explore-strategies -- \
+//!     --kernel sad --model I2C16S4 --validate
+//! ```
+//!
+//! Each feasible cell prints the backend's raw artifacts (sequential
+//! cycles, list length, or modulo II/length) plus the final statement
+//! and vop counts from the pass report; infeasible cells (recipe does
+//! not fit the kernel shape or machine) print as `-`.
+
+use std::process::ExitCode;
+use vsp_check::ScheduleValidator;
+use vsp_core::{models, MachineConfig};
+use vsp_ir::Kernel;
+use vsp_kernels::ir::{
+    color_quad_kernel, dct_direct_mac_kernel, sad_16x16_kernel, sad_blocked_group_kernel,
+    vbr_block_kernel,
+};
+use vsp_kernels::strategies;
+use vsp_sched::{compile_with, CompileOptions, ScheduleArtifact, Strategy};
+
+const USAGE: &str = "usage: explore-strategies [options]
+
+Sweep every catalog strategy over every kernel and machine model,
+including combinations the paper never hand-scheduled.
+
+options:
+  --model NAME     restrict to one machine model (default: all models)
+  --kernel NAME    restrict to one kernel: sad, sad-blocked, dct-mac,
+                   dct-pass, color, vbr (default: all)
+  --strategy NAME  restrict to one catalog recipe (see `--list`)
+  --validate       run the independent schedule checker after every pass
+  --list           print the catalog recipe names and exit
+  -h, --help       this text";
+
+struct Args {
+    model: Option<String>,
+    kernel: Option<String>,
+    strategy: Option<String>,
+    validate: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        model: None,
+        kernel: None,
+        strategy: None,
+        validate: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--model" => args.model = Some(value("--model")?),
+            "--kernel" => args.kernel = Some(value("--kernel")?),
+            "--strategy" => args.strategy = Some(value("--strategy")?),
+            "--validate" => args.validate = true,
+            "--list" => args.list = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The sweep's kernel set: the §3.3 kernels in the IR forms the table
+/// recipes consume.
+fn kernels() -> Vec<(&'static str, Kernel)> {
+    vec![
+        ("sad", sad_16x16_kernel().kernel),
+        ("sad-blocked", sad_blocked_group_kernel(8).kernel),
+        ("dct-mac", dct_direct_mac_kernel().kernel),
+        (
+            "dct-pass",
+            vsp_kernels::ir::dct::dct1d_const_kernel(false, true).kernel,
+        ),
+        ("color", color_quad_kernel(8).kernel),
+        ("vbr", vbr_block_kernel().kernel),
+    ]
+}
+
+/// One cell: compile `kernel` under `strategy`, render the artifacts.
+fn cell(
+    machine: &MachineConfig,
+    kernel: &Kernel,
+    strategy: &Strategy,
+    validate: bool,
+) -> Option<String> {
+    let validator = ScheduleValidator;
+    let mut options = CompileOptions::default();
+    if validate {
+        options.validator = Some(&validator);
+    }
+    let result = compile_with(kernel, machine, strategy, &mut options).ok()?;
+    let artifact = match &result.schedule {
+        ScheduleArtifact::Sequential { cycles } => format!("seq {cycles}"),
+        ScheduleArtifact::List(l) => format!("len {}", l.length),
+        ScheduleArtifact::Modulo(m) => format!("II {} len {}", m.ii, m.length),
+    };
+    let last = result.report.passes.last()?;
+    Some(format!(
+        "{artifact} ({} stmts, {} vops)",
+        last.stmts, last.vops
+    ))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.list {
+        for s in strategies::catalog() {
+            println!("{}", s.name);
+        }
+        return Ok(());
+    }
+    let machines: Vec<_> = match &args.model {
+        Some(name) => {
+            let m = models::by_name(name).ok_or_else(|| format!("unknown model {name}"))?;
+            vec![m]
+        }
+        None => models::all_models(),
+    };
+    let all = kernels();
+    let kernels: Vec<_> = match &args.kernel {
+        Some(name) => {
+            let k: Vec<_> = all.into_iter().filter(|(n, _)| n == name).collect();
+            if k.is_empty() {
+                return Err(format!("unknown kernel {name}"));
+            }
+            k
+        }
+        None => all,
+    };
+    let catalog = strategies::catalog();
+    let recipes: Vec<_> = match &args.strategy {
+        Some(name) => {
+            let s: Vec<_> = catalog.into_iter().filter(|s| &s.name == name).collect();
+            if s.is_empty() {
+                return Err(format!("unknown strategy {name} (try --list)"));
+            }
+            s
+        }
+        None => catalog,
+    };
+
+    println!("{:<12} {:<24} {:<11} result", "kernel", "strategy", "model");
+    let mut feasible = 0u64;
+    let mut infeasible = 0u64;
+    for (kname, kernel) in &kernels {
+        for strategy in &recipes {
+            for machine in &machines {
+                match cell(machine, kernel, strategy, args.validate) {
+                    Some(rendered) => {
+                        feasible += 1;
+                        println!(
+                            "{kname:<12} {:<24} {:<11} {rendered}",
+                            strategy.name, machine.name
+                        );
+                    }
+                    None => {
+                        infeasible += 1;
+                        println!("{kname:<12} {:<24} {:<11} -", strategy.name, machine.name);
+                    }
+                }
+            }
+        }
+    }
+    eprintln!(
+        "explore-strategies: {} kernels x {} strategies x {} models: \
+         {feasible} feasible, {infeasible} infeasible{}",
+        kernels.len(),
+        recipes.len(),
+        machines.len(),
+        if args.validate {
+            " (all feasible cells checker-validated)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

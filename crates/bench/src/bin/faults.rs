@@ -38,7 +38,8 @@ use vsp_ir::{Kernel, Stmt};
 use vsp_kernels::ir::{
     color_quad_kernel, dct1d_kernel, dct_direct_mac_kernel, sad_16x16_kernel, vbr_block_kernel,
 };
-use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp_sched::pipeline::{PassConfig, ScheduleScope, SchedulerChoice};
+use vsp_sched::{codegen_loop, LoopControl, ScheduleArtifact, Strategy};
 use vsp_sim::{ArchState, Simulator};
 use vsp_trace::NullSink;
 
@@ -159,34 +160,39 @@ fn kernels() -> Vec<KernelSpec> {
 
 /// Compiles a kernel for `machine` with the standard recipe (innermost
 /// loop optionally fully unrolled, if-converted, CSE, list-scheduled
-/// loop body replicated across all clusters).
+/// loop body replicated across all clusters), expressed as a
+/// declarative [`Strategy`] through [`vsp_sched::compile`].
 fn compile(machine: &MachineConfig, name: &str, kernel: &Kernel, unroll: bool) -> vsp_isa::Program {
-    let mut k = kernel.clone();
-    if unroll {
-        vsp_ir::transform::fully_unroll_innermost(&mut k);
-    }
-    vsp_ir::transform::if_convert(&mut k);
-    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
-    let layout = ArrayLayout::contiguous(&k, machine).unwrap_or_else(|e| {
-        panic!("{name} on {}: layout failed: {e:?}", machine.name);
-    });
-    let (stmts, ctl) = match k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) {
-        Some(Stmt::Loop(l)) => (
-            &l.body,
-            Some(LoopControl {
-                trip: l.trip,
-                index: Some((0, l.start, l.step)),
-            }),
-        ),
-        _ => (&k.body, None),
+    let build = |scope: ScheduleScope| {
+        let mut strategy = Strategy::new(
+            "faults/list",
+            scope,
+            SchedulerChoice::List { clusters_used: 1 },
+        )
+        .for_codegen();
+        if unroll {
+            strategy = strategy.then(PassConfig::Unroll { factor: None });
+        }
+        strategy.then(PassConfig::IfConvert).then(PassConfig::Cse)
     };
-    let body = lower_body(machine, &k, stmts, &layout).unwrap_or_else(|e| {
-        panic!("{name} on {}: lowering failed: {e:?}", machine.name);
+
+    // Kernels whose only loop is fully unrolled away (color) fall back
+    // to scheduling the whole flattened body as straight-line code.
+    let result = vsp_sched::compile(kernel, machine, &build(ScheduleScope::FirstLoop))
+        .or_else(|_| vsp_sched::compile(kernel, machine, &build(ScheduleScope::WholeBody)))
+        .unwrap_or_else(|e| panic!("{name} on {}: {e}", machine.name));
+    let ScheduleArtifact::List(sched) = &result.schedule else {
+        panic!("{name} on {}: list backend expected", machine.name);
+    };
+    let body = result.lowered.as_ref().expect("list backend lowers");
+    let ctl = result.kernel.body.iter().find_map(|s| match s {
+        Stmt::Loop(l) => Some(LoopControl {
+            trip: l.trip,
+            index: Some((0, l.start, l.step)),
+        }),
+        _ => None,
     });
-    let deps = VopDeps::build(machine, &body);
-    let sched = list_schedule(machine, &body, &deps, 1)
-        .unwrap_or_else(|| panic!("{name} on {}: unschedulable", machine.name));
-    codegen_loop(machine, &body, &sched, ctl, machine.clusters, name)
+    codegen_loop(machine, body, sched, ctl, machine.clusters, name)
         .unwrap_or_else(|e| panic!("{name} on {}: codegen failed: {e:?}", machine.name))
         .program
 }

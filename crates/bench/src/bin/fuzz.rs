@@ -10,16 +10,23 @@
 //! printed with `"seed": N` replays exactly with `--cases 1 --seed N`.
 //! Cases rotate round-robin over the selected machine models; every
 //! fourth case is a kernel-oracle case (IR interpreter as semantic
-//! reference), the rest are raw-program differentials (fast path vs
-//! interpretive path).
+//! reference), every eighth a strategy-pipeline case (a generated
+//! kernel compiled through a random catalog [`vsp_kernels::strategies`]
+//! recipe with the independent schedule checker validating every pass),
+//! the rest are raw-program differentials (fast path vs interpretive
+//! path).
 
 use std::process::ExitCode;
 use std::time::Duration;
 use vsp_check::gen::{gen_kernel, gen_program, KernelGenConfig, ProgramGenConfig};
 use vsp_check::oracle::{diff_kernel, diff_program, DiffFailure};
 use vsp_check::validity::check_program;
+use vsp_check::ScheduleValidator;
 use vsp_core::models;
 use vsp_fault::{run_case, CampaignReport, CaseOutcome, HarnessConfig};
+use vsp_kernels::strategies;
+use vsp_sched::{compile_with, CompileOptions, SchedError};
+use vsp_sim::RunStats;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -129,6 +136,43 @@ fn emit(report: &FailureReport, json: bool) {
     }
 }
 
+/// A strategy-pipeline fuzz case: compile a generated flat-loop kernel
+/// through a random catalog recipe with the independent schedule
+/// checker validating after every pass. A kernel that legitimately does
+/// not fit the recipe or machine (unschedulable, misconfigured unroll)
+/// is fine; a validator rejection means a scheduler emitted a schedule
+/// that violates the machine description — a real bug.
+fn pipeline_case(
+    machine: &vsp_core::MachineConfig,
+    rng: &mut SmallRng,
+) -> Result<RunStats, (&'static str, DiffFailure)> {
+    let kernel = gen_kernel(rng, &KernelGenConfig::default()).kernel;
+    let catalog = strategies::catalog();
+    let strategy = &catalog[rng.gen_range(0..catalog.len())];
+    let validator = ScheduleValidator;
+    let mut options = CompileOptions {
+        validator: Some(&validator),
+        ..Default::default()
+    };
+    match compile_with(&kernel, machine, strategy, &mut options) {
+        Ok(_) => Ok(RunStats::default()),
+        Err(SchedError::Pipeline {
+            pass: "validate",
+            detail,
+        }) => Err((
+            "pipeline",
+            DiffFailure::StateDiverged {
+                detail: format!(
+                    "strategy {}: schedule checker rejected: {detail}",
+                    strategy.name
+                ),
+            },
+        )),
+        // Any other error is an honest "does not fit" outcome.
+        Err(_) => Ok(RunStats::default()),
+    }
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let machines: Vec<_> = match &args.model {
@@ -148,6 +192,7 @@ fn run() -> Result<(), String> {
     let mut failures: Vec<FailureReport> = Vec::new();
     let mut programs = 0u64;
     let mut kernels = 0u64;
+    let mut pipelines = 0u64;
     let mut total_cycles = 0u64;
     let mut total_ops = 0u64;
 
@@ -156,8 +201,11 @@ fn run() -> Result<(), String> {
         let machine = machines[(i % machines.len() as u64) as usize].clone();
         let model_name = machine.name.clone();
         let is_kernel = i % 4 == 3;
+        let is_pipeline = !is_kernel && i % 8 == 1;
         if is_kernel {
             kernels += 1;
+        } else if is_pipeline {
+            pipelines += 1;
         } else {
             programs += 1;
         }
@@ -174,6 +222,8 @@ fn run() -> Result<(), String> {
                     .map(|_| rng.gen_range(-100i16..=100))
                     .collect();
                 diff_kernel(&machine, &kernel, &data, max_cycles).map_err(|f| ("kernel", f))
+            } else if is_pipeline {
+                pipeline_case(&machine, &mut rng)
             } else {
                 let program = gen_program(&machine, &mut rng, &ProgramGenConfig::default());
                 // The generator's own claim, checked independently
@@ -231,8 +281,8 @@ fn run() -> Result<(), String> {
     }
 
     eprintln!(
-        "fuzz: {} cases ({programs} programs, {kernels} kernels) over {} model(s); \
-         {total_cycles} cycles, {total_ops} ops simulated; {} failure(s)",
+        "fuzz: {} cases ({programs} programs, {kernels} kernels, {pipelines} pipelines) \
+         over {} model(s); {total_cycles} cycles, {total_ops} ops simulated; {} failure(s)",
         args.cases,
         machines.len(),
         failures.len()

@@ -11,11 +11,11 @@
 
 use std::process::ExitCode;
 use vsp_core::{models, MachineConfig};
-use vsp_ir::Stmt;
 use vsp_kernels::ir::{dct1d_kernel, sad_16x16_kernel};
+use vsp_sched::pipeline::{PassConfig, ScheduleScope, SchedulerChoice};
 use vsp_sched::{
-    codegen_loop, list_schedule_traced, lower_body, modulo_schedule_traced, ArrayLayout,
-    LoopControl, VopDeps,
+    codegen_loop, compile_with, modulo_schedule_traced, CompileOptions, LoopControl,
+    ScheduleArtifact, Strategy,
 };
 use vsp_sim::Simulator;
 use vsp_trace::{
@@ -90,10 +90,10 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// A kernel prepared for tracing: the preprocessed IR plus the loop
-/// control of the one remaining counted loop.
+/// A kernel selected for tracing plus the loop control of the counted
+/// loop that remains after the strategy's unroll+CSE passes run.
 fn build_kernel(name: &str) -> Result<(vsp_ir::Kernel, LoopControl), String> {
-    let (mut k, trip) = match name {
+    let (k, trip) = match name {
         "sad" => (sad_16x16_kernel().kernel, 16),
         "dct-row" => (dct1d_kernel(true).kernel, 8),
         "dct-col" => (dct1d_kernel(false).kernel, 8),
@@ -103,8 +103,6 @@ fn build_kernel(name: &str) -> Result<(vsp_ir::Kernel, LoopControl), String> {
             ))
         }
     };
-    vsp_ir::transform::fully_unroll_innermost(&mut k);
-    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
     Ok((
         k,
         LoopControl {
@@ -112,6 +110,19 @@ fn build_kernel(name: &str) -> Result<(vsp_ir::Kernel, LoopControl), String> {
             index: Some((0, 0, 1)),
         },
     ))
+}
+
+/// The trace driver's recipe: unroll + CSE, then list-schedule the
+/// surviving loop (the list schedule drives code generation).
+fn trace_strategy() -> Strategy {
+    Strategy::new(
+        "trace/list",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::List { clusters_used: 1 },
+    )
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .for_codegen()
 }
 
 fn shape_of(machine: &MachineConfig) -> MachineShape {
@@ -172,32 +183,29 @@ fn run() -> Result<(), String> {
         models::by_name(&args.model).ok_or_else(|| format!("unknown model {}", args.model))?;
     let (kernel, ctl) = build_kernel(&args.kernel)?;
 
-    let Some(Stmt::Loop(l)) = kernel.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
-        return Err("kernel has no counted loop after preprocessing".into());
-    };
-    let layout =
-        ArrayLayout::contiguous(&kernel, &machine).map_err(|e| format!("layout: {e:?}"))?;
-    let body =
-        lower_body(&machine, &kernel, &l.body, &layout).map_err(|e| format!("lowering: {e:?}"))?;
-    let deps = VopDeps::build(&machine, &body);
-
     let mut events = MemorySink::with_capacity(1 << 22);
 
-    // Scheduler decision logs: the list schedule drives code generation;
-    // the modulo scheduler runs alongside for its II-search log.
-    let sched = list_schedule_traced(&machine, &body, &deps, 1, &mut events)
-        .ok_or("list scheduling failed")?;
-    let modulo = modulo_schedule_traced(&machine, &body, &deps, 1, 16, &mut events);
+    // One strategy-driven compile: IR passes, lowering and the list
+    // schedule all log their decisions into the sink; the modulo
+    // scheduler runs alongside on the same lowered body for its
+    // II-search log.
+    let mut options = CompileOptions {
+        sink: Some(&mut events),
+        ..Default::default()
+    };
+    let result = compile_with(&kernel, &machine, &trace_strategy(), &mut options)
+        .map_err(|e| format!("compile: {e}"))?;
+    let ScheduleArtifact::List(sched) = &result.schedule else {
+        return Err("trace strategy uses the list backend".into());
+    };
+    let (body, deps) = (
+        result.lowered.as_ref().expect("list backend lowers"),
+        result.deps.as_ref().expect("list backend lowers"),
+    );
+    let modulo = modulo_schedule_traced(&machine, body, deps, 1, 16, &mut events);
 
-    let generated = codegen_loop(
-        &machine,
-        &body,
-        &sched,
-        Some(ctl),
-        machine.clusters,
-        "traced",
-    )
-    .map_err(|e| format!("codegen: {e:?}"))?;
+    let generated = codegen_loop(&machine, body, sched, Some(ctl), machine.clusters, "traced")
+        .map_err(|e| format!("codegen: {e:?}"))?;
     let sched_events = events.total();
 
     let mut sim = Simulator::with_sink(&machine, &generated.program, &mut events)
@@ -216,6 +224,13 @@ fn run() -> Result<(), String> {
             None => " | modulo: infeasible".to_string(),
         }
     );
+    let pass_chain: Vec<&str> = result
+        .report
+        .passes
+        .iter()
+        .map(|p| p.pass.as_str())
+        .collect();
+    println!("passes: {}", pass_chain.join(" -> "));
     println!(
         "events: {} scheduler + {} simulator ({} dropped)",
         sched_events,

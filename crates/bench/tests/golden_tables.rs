@@ -1,0 +1,30 @@
+//! Golden test: Tables 1 and 2 are byte-identical to the committed
+//! baseline (`tables_output.txt` at the repo root).
+//!
+//! The baseline was captured from `tables -- all` before the unified
+//! compilation pipeline landed; every row now flows through
+//! [`vsp_sched::compile`] with a declarative [`vsp_kernels::strategies`]
+//! recipe, and this test pins that refactor to the exact pre-refactor
+//! bytes. If a deliberate model change moves the numbers, regenerate
+//! the baseline with
+//! `cargo run --release -p vsp-bench --bin tables -- all > tables_output.txt`.
+
+use vsp_bench::{tables, EvalEngine};
+
+#[test]
+fn tables_match_committed_golden_output() {
+    let golden = include_str!("../../../tables_output.txt");
+    let engine = EvalEngine::new();
+
+    let table1 = tables::table1_with(&engine);
+    assert!(
+        golden.contains(&table1),
+        "Table 1 drifted from tables_output.txt; rendered:\n{table1}"
+    );
+
+    let table2 = tables::table2_with(&engine);
+    assert!(
+        golden.contains(&table2),
+        "Table 2 drifted from tables_output.txt; rendered:\n{table2}"
+    );
+}

@@ -18,6 +18,9 @@
 //!   (dependence delays with crossbar adjustment, per-cycle resource
 //!   replay, modulo-row reservation at `time mod II`, length/stage
 //!   consistency) and returns structured [`validity::Violation`]s.
+//! * [`pipeline_check`] — the [`vsp_sched::pipeline`] validation hook:
+//!   a [`vsp_sched::PipelineValidator`] that replays the validity
+//!   checker after every pass of a strategy-driven compile.
 //! * [`oracle`] — a differential runner executing the same program
 //!   through the pre-decoded fast path ([`vsp_sim::Simulator::run`]) and
 //!   the interpretive path ([`vsp_sim::Simulator::run_interp`]), and —
@@ -44,8 +47,10 @@
 
 pub mod gen;
 pub mod oracle;
+pub mod pipeline_check;
 pub mod validity;
 
 pub use gen::{gen_kernel, gen_program, GeneratedKernel, KernelGenConfig, ProgramGenConfig};
 pub use oracle::{diff_kernel, diff_program, DiffFailure};
+pub use pipeline_check::ScheduleValidator;
 pub use validity::{check_list_schedule, check_modulo_schedule, check_program, Violation};

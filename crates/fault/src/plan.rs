@@ -282,10 +282,7 @@ mod tests {
         };
         assert_eq!(s1.apply(0), 4);
         assert_eq!(s1.apply(4), 4);
-        let s0 = StuckAt {
-            value: false,
-            ..s1
-        };
+        let s0 = StuckAt { value: false, ..s1 };
         assert_eq!(s0.apply(-1i16), -5);
         assert_eq!(s0.apply(0), 0);
     }

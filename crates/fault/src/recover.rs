@@ -238,8 +238,7 @@ mod tests {
         let mut plain = Simulator::new(&m, &p).unwrap();
         let plain_stats = plain.run(10_000).unwrap();
 
-        let mut sim =
-            Simulator::with_sink_and_faults(&m, &p, NullSink, NoFaults).unwrap();
+        let mut sim = Simulator::with_sink_and_faults(&m, &p, NullSink, NoFaults).unwrap();
         let outcome = run_with_recovery(&mut sim, &RecoveryConfig::new(10_000).with_interval(16));
         assert!(outcome.is_clean());
         assert_eq!(outcome.stats.faults_detected, 0);
@@ -253,8 +252,7 @@ mod tests {
     fn tiny_regions_still_complete() {
         let m = models::i4c8s4();
         let p = straight_line_program(30);
-        let mut sim =
-            Simulator::with_sink_and_faults(&m, &p, NullSink, NoFaults).unwrap();
+        let mut sim = Simulator::with_sink_and_faults(&m, &p, NullSink, NoFaults).unwrap();
         let outcome = run_with_recovery(&mut sim, &RecoveryConfig::new(10_000).with_interval(1));
         assert!(outcome.is_clean());
         assert_eq!(sim.reg(0, Reg(1)), 30);
@@ -267,8 +265,7 @@ mod tests {
         let mut p = Program::new("spin");
         p.push_word(vec![Operation::new(bc, bs, OpKind::Jump { target: 0 })]);
         p.push_word(vec![]);
-        let mut sim =
-            Simulator::with_sink_and_faults(&m, &p, NullSink, NoFaults).unwrap();
+        let mut sim = Simulator::with_sink_and_faults(&m, &p, NullSink, NoFaults).unwrap();
         let outcome = run_with_recovery(&mut sim, &RecoveryConfig::new(500).with_interval(64));
         assert!(!outcome.halted);
         assert!(matches!(outcome.error, Some(SimError::CycleLimit { .. })));

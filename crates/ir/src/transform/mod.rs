@@ -33,4 +33,4 @@ pub use cse::eliminate_common_subexpressions;
 pub use ifconvert::if_convert;
 pub use licm::hoist_invariants;
 pub use strength::reduce_strength;
-pub use unroll::{fully_unroll_innermost, unroll_innermost};
+pub use unroll::{fully_unroll_innermost, try_unroll_innermost, unroll_innermost, UnrollError};

@@ -18,10 +18,50 @@
 use crate::kernel::{Kernel, Loop, Stmt};
 use crate::transform::subst::{live_in_vars, rename_vars, substitute_const, written_vars};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A partial-unroll request that cannot be applied as asked.
+///
+/// [`unroll_innermost`] historically *skips* loops it cannot unroll
+/// (and panics on factor 0); pipeline drivers want the skip to be a
+/// typed, reportable condition instead of silent fallthrough — that is
+/// what [`try_unroll_innermost`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnrollError {
+    /// The requested factor was `0`, which has no meaning.
+    ZeroFactor,
+    /// An innermost loop's trip count is shorter than, or not a
+    /// multiple of, the requested factor.
+    NonDivisible {
+        /// Trip count of the offending loop.
+        trip: u32,
+        /// The requested unroll factor.
+        factor: u32,
+    },
+}
+
+impl fmt::Display for UnrollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnrollError::ZeroFactor => f.write_str("unroll factor must be positive"),
+            UnrollError::NonDivisible { trip, factor } => write!(
+                f,
+                "trip count {trip} is not a positive multiple of unroll factor {factor}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnrollError {}
 
 /// Unrolls every innermost loop by `factor`. Loops whose trip count is
 /// not a multiple of `factor` (or shorter than it) are left alone.
 /// Returns the number of loops unrolled.
+///
+/// # Panics
+///
+/// Panics when `factor == 0`. Use [`try_unroll_innermost`] for a typed
+/// error and a strict (no-silent-skip) divisibility check.
 pub fn unroll_innermost(kernel: &mut Kernel, factor: u32) -> usize {
     assert!(factor >= 1, "unroll factor must be positive");
     if factor == 1 {
@@ -31,6 +71,63 @@ pub fn unroll_innermost(kernel: &mut Kernel, factor: u32) -> usize {
     let n = walk(&mut body, kernel, Some(factor));
     kernel.body = body;
     n
+}
+
+/// Strict variant of [`unroll_innermost`]: every innermost loop must be
+/// unrollable by `factor`, or the kernel is left untouched and a typed
+/// error says why.
+///
+/// A factor of `1` is the identity (returns `Ok(0)` without touching the
+/// kernel); a factor of `0` is [`UnrollError::ZeroFactor`]; an innermost
+/// loop whose trip count is shorter than or not a multiple of the factor
+/// is [`UnrollError::NonDivisible`] — reported *before* any loop is
+/// rewritten, so an `Err` means the kernel is exactly as it was.
+///
+/// # Errors
+///
+/// See above: `ZeroFactor` and `NonDivisible` are the two failure modes.
+pub fn try_unroll_innermost(kernel: &mut Kernel, factor: u32) -> Result<usize, UnrollError> {
+    if factor == 0 {
+        return Err(UnrollError::ZeroFactor);
+    }
+    if factor == 1 {
+        return Ok(0);
+    }
+    if let Some(trip) = find_non_divisible(&kernel.body, factor) {
+        return Err(UnrollError::NonDivisible { trip, factor });
+    }
+    Ok(unroll_innermost(kernel, factor))
+}
+
+/// Trip count of the first innermost loop that cannot be unrolled by
+/// `factor`, scanning recursively.
+fn find_non_divisible(stmts: &[Stmt], factor: u32) -> Option<u32> {
+    for s in stmts {
+        match s {
+            Stmt::Loop(l) => {
+                if l.body.iter().any(Stmt::has_loop) {
+                    if let Some(t) = find_non_divisible(&l.body, factor) {
+                        return Some(t);
+                    }
+                } else if l.trip < factor || l.trip % factor != 0 {
+                    return Some(l.trip);
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                if let Some(t) = find_non_divisible(then_body, factor)
+                    .or_else(|| find_non_divisible(else_body, factor))
+                {
+                    return Some(t);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Fully unrolls every innermost loop (regardless of trip count).
@@ -227,6 +324,68 @@ mod tests {
         let (mut k, _, _) = sum_kernel();
         assert_eq!(unroll_innermost(&mut k, 5), 0);
         assert_eq!(unroll_innermost(&mut k, 32), 0);
+    }
+
+    #[test]
+    fn try_unroll_zero_factor_is_typed_error() {
+        let (mut k, _, _) = sum_kernel();
+        let before = k.clone();
+        assert_eq!(
+            try_unroll_innermost(&mut k, 0),
+            Err(UnrollError::ZeroFactor)
+        );
+        assert_eq!(k, before, "kernel untouched on error");
+    }
+
+    #[test]
+    fn try_unroll_factor_one_is_identity_ok() {
+        let (mut k, a, acc) = sum_kernel();
+        let before = run_sum(&k, a, acc);
+        assert_eq!(try_unroll_innermost(&mut k, 1), Ok(0));
+        assert_eq!(run_sum(&k, a, acc), before);
+    }
+
+    #[test]
+    fn try_unroll_non_divisible_is_typed_error_and_no_op() {
+        let (mut k, _, _) = sum_kernel();
+        let before = k.clone();
+        assert_eq!(
+            try_unroll_innermost(&mut k, 5),
+            Err(UnrollError::NonDivisible {
+                trip: 16,
+                factor: 5
+            })
+        );
+        assert_eq!(
+            try_unroll_innermost(&mut k, 32),
+            Err(UnrollError::NonDivisible {
+                trip: 16,
+                factor: 32
+            })
+        );
+        assert_eq!(k, before, "kernel untouched on error");
+    }
+
+    #[test]
+    fn try_unroll_valid_factor_matches_unroll_innermost() {
+        let (mut k, a, acc) = sum_kernel();
+        let (mut k2, _, _) = sum_kernel();
+        let before = run_sum(&k, a, acc);
+        assert_eq!(try_unroll_innermost(&mut k, 4), Ok(1));
+        assert_eq!(unroll_innermost(&mut k2, 4), 1);
+        assert_eq!(k, k2, "strict path rewrites identically");
+        assert_eq!(run_sum(&k, a, acc), before);
+    }
+
+    #[test]
+    fn unroll_error_display_is_actionable() {
+        assert!(UnrollError::ZeroFactor.to_string().contains("positive"));
+        let e = UnrollError::NonDivisible {
+            trip: 16,
+            factor: 5,
+        }
+        .to_string();
+        assert!(e.contains("16") && e.contains('5'), "{e}");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 pub mod frame;
 pub mod golden;
 pub mod ir;
+pub mod strategies;
 pub mod variants;
 pub mod workload;
 

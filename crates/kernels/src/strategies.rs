@@ -1,0 +1,310 @@
+//! The named [`Strategy`] catalog behind every Table 1/Table 2 row.
+//!
+//! Each of the paper's hand-schedule progressions — "unrolled inner
+//! loop", "SW pipelined & unrolled", "+arithmetic optimization", … — is
+//! one declarative recipe here: an ordered list of IR passes, a
+//! schedule scope, and a scheduler choice, fed through
+//! [`vsp_sched::compile`] by [`crate::variants`]. Because the recipes
+//! are plain serializable data, the same catalog drives the
+//! `explore-strategies` sweeps and the pipeline smoke tests: techniques
+//! the paper combined by hand can now be recombined freely.
+//!
+//! Parameterized constructors (cluster groups, unroll factors) default
+//! to the values the paper's rows use; [`catalog`] lists one instance
+//! of every recipe, and [`by_name`] resolves the default instances.
+
+use vsp_sched::pipeline::{PassConfig, ScheduleScope, SchedulerChoice, Strategy};
+
+/// II search budget above MII used by every pipelined recipe (matches
+/// the historical hand-wired `modulo_schedule(.., 64)` calls).
+pub const II_SEARCH: u32 = 64;
+
+/// The paper's sequential baseline: one operation per instruction, no
+/// transforms.
+pub fn sequential() -> Strategy {
+    Strategy::new(
+        "sequential",
+        ScheduleScope::WholeBody,
+        SchedulerChoice::Sequential,
+    )
+}
+
+/// "Unrolled inner loop", still sequential: full unroll + CSE +
+/// strength reduction (the DCT/color flavor, without invariant
+/// hoisting).
+pub fn unrolled_sequential() -> Strategy {
+    Strategy::new(
+        "unroll+cleanup/seq",
+        ScheduleScope::WholeBody,
+        SchedulerChoice::Sequential,
+    )
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+}
+
+/// The SAD flavor of the unrolled sequential baseline: cleanup plus
+/// loop-invariant hoisting (the reference-row base address).
+pub fn unrolled_hoisted_sequential() -> Strategy {
+    Strategy::new(
+        "unroll+cleanup+licm/seq",
+        ScheduleScope::WholeBody,
+        SchedulerChoice::Sequential,
+    )
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+    .then(PassConfig::Licm)
+}
+
+/// "SW pipelined & unrolled": the unrolled-and-cleaned SAD row loop,
+/// modulo scheduled on one cluster.
+pub fn sad_pipelined() -> Strategy {
+    Strategy::new(
+        "sad-swp",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::Modulo {
+            clusters_used: 1,
+            ii_search: II_SEARCH,
+        },
+    )
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+    .then(PassConfig::Licm)
+}
+
+/// "SW pipelined & unrolled 2 lev.": both SAD loops fully unrolled
+/// (one pipeline fill), list scheduled as a single block.
+pub fn sad_flattened() -> Strategy {
+    Strategy::new(
+        "sad-flat",
+        ScheduleScope::WholeBody,
+        SchedulerChoice::List { clusters_used: 1 },
+    )
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+    .then(PassConfig::Licm)
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+}
+
+/// "Blocking/Loop Exchange": the blocked-group SAD loop unrolled by 2
+/// (amortizing induction overhead), modulo scheduled.
+pub fn sad_blocked() -> Strategy {
+    Strategy::new(
+        "sad-blocked",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::Modulo {
+            clusters_used: 1,
+            ii_search: II_SEARCH,
+        },
+    )
+    .then(PassConfig::Unroll { factor: Some(2) })
+    .then(PassConfig::Cse)
+}
+
+/// A pre-unrolled 1-D DCT pass, cleaned up and list scheduled whole.
+pub fn cleanup_list() -> Strategy {
+    Strategy::new(
+        "cleanup/list",
+        ScheduleScope::WholeBody,
+        SchedulerChoice::List { clusters_used: 1 },
+    )
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+}
+
+/// A pre-unrolled 1-D DCT pass, cleaned up and modulo scheduled whole
+/// (passes stream through the cluster).
+pub fn cleanup_pipelined() -> Strategy {
+    Strategy::new(
+        "cleanup/swp",
+        ScheduleScope::WholeBody,
+        SchedulerChoice::Modulo {
+            clusters_used: 1,
+            ii_search: II_SEARCH,
+        },
+    )
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+}
+
+/// The direct-DCT MAC loop: inner loop fully unrolled, list scheduled
+/// over its remaining (coefficient) loop.
+pub fn mac_list() -> Strategy {
+    Strategy::new(
+        "mac/list",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::List { clusters_used: 1 },
+    )
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+}
+
+/// The direct-DCT MAC loop, software pipelined.
+pub fn mac_pipelined() -> Strategy {
+    Strategy::new(
+        "mac/swp",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::Modulo {
+            clusters_used: 1,
+            ii_search: II_SEARCH,
+        },
+    )
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+}
+
+/// "+arithmetic optimization" on the direct DCT: drop the
+/// double-precision retention chain (`acc_hi`/`hi`) before unrolling
+/// and pipelining.
+pub fn mac_narrowed_pipelined() -> Strategy {
+    Strategy::new(
+        "mac-narrow/swp",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::Modulo {
+            clusters_used: 1,
+            ii_search: II_SEARCH,
+        },
+    )
+    .then(PassConfig::StripVars {
+        vars: vec!["acc_hi".into(), "hi".into()],
+    })
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+}
+
+/// "+unroll 2 levels & widen" on the direct DCT: both loops unrolled,
+/// list scheduled across a cluster group.
+pub fn mac_widened(group: u32) -> Strategy {
+    Strategy::new(
+        "mac-wide/list",
+        ScheduleScope::WholeBody,
+        SchedulerChoice::List {
+            clusters_used: group,
+        },
+    )
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Unroll { factor: None })
+    .then(PassConfig::Cse)
+    .then(PassConfig::StrengthReduce)
+}
+
+/// List-schedule the kernel's first loop as-is (the color converter's
+/// quad loop).
+pub fn loop_list(clusters_used: u32) -> Strategy {
+    Strategy::new(
+        "loop/list",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::List { clusters_used },
+    )
+}
+
+/// Software-pipeline the kernel's first loop as-is.
+pub fn loop_pipelined(clusters_used: u32) -> Strategy {
+    Strategy::new(
+        "loop/swp",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::Modulo {
+            clusters_used,
+            ii_search: II_SEARCH,
+        },
+    )
+}
+
+/// If-convert (predicate) the kernel, then list-schedule its first
+/// loop — the VBR coder's branching coefficient loop.
+pub fn predicated_list(clusters_used: u32) -> Strategy {
+    Strategy::new(
+        "predicate/list",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::List { clusters_used },
+    )
+    .then(PassConfig::IfConvert)
+    .then(PassConfig::Cse)
+}
+
+/// If-convert the kernel, then software-pipeline its first loop.
+pub fn predicated_pipelined(clusters_used: u32) -> Strategy {
+    Strategy::new(
+        "predicate/swp",
+        ScheduleScope::FirstLoop,
+        SchedulerChoice::Modulo {
+            clusters_used,
+            ii_search: II_SEARCH,
+        },
+    )
+    .then(PassConfig::IfConvert)
+    .then(PassConfig::Cse)
+}
+
+/// One instance of every named recipe (parameterized recipes at their
+/// paper defaults): the sweep set for `explore-strategies` and the
+/// pipeline smoke tests.
+pub fn catalog() -> Vec<Strategy> {
+    vec![
+        sequential(),
+        unrolled_sequential(),
+        unrolled_hoisted_sequential(),
+        sad_pipelined(),
+        sad_flattened(),
+        sad_blocked(),
+        cleanup_list(),
+        cleanup_pipelined(),
+        mac_list(),
+        mac_pipelined(),
+        mac_narrowed_pipelined(),
+        mac_widened(4),
+        loop_list(1),
+        loop_pipelined(1),
+        predicated_list(1),
+        predicated_pipelined(1),
+    ]
+}
+
+/// Resolves a default-parameter catalog entry by its recipe name.
+pub fn by_name(name: &str) -> Option<Strategy> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let names: Vec<String> = catalog().into_iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn by_name_resolves_every_catalog_entry() {
+        for s in catalog() {
+            assert_eq!(by_name(&s.name), Some(s.clone()), "{}", s.name);
+        }
+        assert_eq!(by_name("no-such-recipe"), None);
+    }
+
+    #[test]
+    fn catalog_round_trips_through_serde() {
+        // Self-skips under the offline serde_json stub (every call
+        // returns Err); real CI exercises the full round trip.
+        for s in catalog() {
+            let json = match serde_json::to_string(&s) {
+                Ok(j) => j,
+                Err(_) => return,
+            };
+            let back: Strategy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}

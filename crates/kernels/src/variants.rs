@@ -21,19 +21,12 @@ use crate::ir::{
     color_quad_kernel, dct1d_kernel, dct_direct_mac_kernel, sad_16x16_kernel,
     sad_blocked_group_kernel, vbr_block_kernel,
 };
+use crate::strategies;
 use serde::{Deserialize, Serialize};
 use vsp_core::{models, MachineConfig};
-use vsp_ir::transform::{
-    eliminate_common_subexpressions, fully_unroll_innermost, hoist_invariants, if_convert,
-    reduce_strength,
-};
-use vsp_ir::{Kernel, Stmt};
-use vsp_isa::{AluBinOp, CmpOp, OpKind, Operand, Pred, Reg};
+use vsp_ir::Kernel;
 use vsp_sched::cost::simd_cycles;
-use vsp_sched::{
-    list_schedule, lower_body, modulo_schedule, ArrayLayout, ListSchedule, LoweredBody,
-    ModuloSchedule, VopDeps,
-};
+use vsp_sched::{compile, CompileResult, Strategy};
 
 /// The six kernels of §3.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -119,119 +112,20 @@ fn three_step_jobs() -> u64 {
     CCIR601.macroblocks() * THREE_STEP_POSITIONS
 }
 
-fn lower_flat(machine: &MachineConfig, kernel: &Kernel, body: &[Stmt]) -> (LoweredBody, VopDeps) {
-    let layout = ArrayLayout::contiguous(kernel, machine)
-        .expect("kernel working sets fit every model's memory");
-    let mut lowered =
-        lower_body(machine, kernel, body, &layout).expect("bodies are flattened before lowering");
-    append_loop_control(&mut lowered);
-    let deps = VopDeps::build(machine, &lowered);
-    (lowered, deps)
+/// Runs a catalog [`Strategy`] over a kernel through the unified
+/// pipeline ([`vsp_sched::compile`]); every row below goes through
+/// here, so the whole table derives from declarative recipes.
+fn run(machine: &MachineConfig, kernel: &Kernel, strategy: &Strategy) -> CompileResult {
+    compile(kernel, machine, strategy)
+        .unwrap_or_else(|e| panic!("recipe {} fails on {}: {e}", strategy.name, machine.name))
 }
 
-/// Appends the folded loop-control operations (induction increment and
-/// bounds compare) that live inside every scheduled loop body; the branch
-/// itself issues from the decoupled control slot.
-fn append_loop_control(body: &mut LoweredBody) {
-    let ctr = Reg(body.vregs);
-    body.vregs += 1;
-    let pred = Pred(body.vpreds);
-    body.vpreds += 1;
-    body.ops.push(vsp_sched::VOp {
-        kind: OpKind::AluBin {
-            op: AluBinOp::Add,
-            dst: ctr,
-            a: Operand::Reg(ctr),
-            b: Operand::Imm(1),
-        },
-        guard: None,
-        src_stmt: usize::MAX,
-    });
-    body.ops.push(vsp_sched::VOp {
-        kind: OpKind::Cmp {
-            op: CmpOp::Lt,
-            dst: pred,
-            a: Operand::Reg(ctr),
-            b: Operand::Imm(i16::MAX),
-        },
-        guard: None,
-        src_stmt: usize::MAX,
-    });
-}
-
-fn swp(
-    machine: &MachineConfig,
-    kernel: &Kernel,
-    body: &[Stmt],
-    clusters_used: u32,
-) -> ModuloSchedule {
-    let (lowered, deps) = lower_flat(machine, kernel, body);
-    modulo_schedule(machine, &lowered, &deps, clusters_used, 64)
-        .expect("kernel bodies schedule on every model")
-}
-
-fn list(
-    machine: &MachineConfig,
-    kernel: &Kernel,
-    body: &[Stmt],
-    clusters_used: u32,
-) -> ListSchedule {
-    let (lowered, deps) = lower_flat(machine, kernel, body);
-    list_schedule(machine, &lowered, &deps, clusters_used)
-        .expect("kernel bodies schedule on every model")
-}
-
-/// Sequential cycles of a whole kernel: one operation per instruction,
-/// loops paying close + unfilled-delay-slot overhead — the paper's
-/// "baseline implementation ... limited to one operation per
-/// instruction".
-fn seq_cycles(machine: &MachineConfig, kernel: &Kernel) -> u64 {
-    fn walk(machine: &MachineConfig, kernel: &Kernel, stmts: &[Stmt]) -> u64 {
-        let mut cycles = 0u64;
-        let mut run: Vec<Stmt> = Vec::new();
-        let flush = |run: &mut Vec<Stmt>, cycles: &mut u64| {
-            if !run.is_empty() {
-                let layout = ArrayLayout::contiguous(kernel, machine).expect("fits");
-                let lowered =
-                    lower_body(machine, kernel, run, &layout).expect("scalar run is flat");
-                *cycles += lowered.ops.len() as u64;
-                run.clear();
-            }
-        };
-        for s in stmts {
-            match s {
-                Stmt::Assign { .. } | Stmt::Store { .. } => run.push(s.clone()),
-                Stmt::Loop(l) => {
-                    flush(&mut run, &mut cycles);
-                    let body = walk(machine, kernel, &l.body);
-                    cycles += sequential_iteration(machine, body) * u64::from(l.trip);
-                }
-                Stmt::If {
-                    then_body,
-                    else_body,
-                    ..
-                } => {
-                    flush(&mut run, &mut cycles);
-                    // Sequential branching: test + average of the arms +
-                    // taken-branch delay.
-                    let t = walk(machine, kernel, then_body);
-                    let e = walk(machine, kernel, else_body);
-                    cycles += 2 + (t + e) / 2 + u64::from(machine.pipeline.branch_delay_slots);
-                }
-            }
-        }
-        flush(&mut run, &mut cycles);
-        cycles
-    }
-    walk(machine, kernel, &kernel.body)
-}
-
-/// Per-iteration sequential cost of a loop whose body costs `body`
-/// cycles: close (index update + compare) plus unfilled delay slots.
-fn sequential_iteration(machine: &MachineConfig, body: u64) -> u64 {
-    let delay = u64::from(machine.pipeline.branch_delay_slots);
-    let fillable = body.saturating_sub(2).min(delay);
-    body + 2 + (delay - fillable)
+/// Sequential cycles of a whole kernel under a catalog recipe's
+/// transforms — the paper's "one operation per instruction" baseline.
+fn seq_cycles(machine: &MachineConfig, kernel: &Kernel, strategy: &Strategy) -> u64 {
+    run(machine, kernel, strategy)
+        .seq_cycles()
+        .expect("sequential recipes use the sequential backend")
 }
 
 /// Simple-addressing twin of a machine: the rolled sequential baselines
@@ -244,68 +138,51 @@ fn simple_twin(machine: &MachineConfig) -> MachineConfig {
     m
 }
 
-/// First loop in a statement list (panics if absent).
-fn first_loop(stmts: &[Stmt]) -> &vsp_ir::Loop {
-    stmts
-        .iter()
-        .find_map(|s| match s {
-            Stmt::Loop(l) => Some(l),
-            _ => None,
-        })
-        .expect("kernel has a loop")
-}
-
 // ---------------------------------------------------------------------
 // Full motion search (and its shared SAD machinery)
 // ---------------------------------------------------------------------
 
-/// The SAD kernel with its column loop fully unrolled and cleaned up —
-/// the form every parallel schedule starts from.
-fn unrolled_sad() -> Kernel {
-    let mut k = sad_16x16_kernel().kernel;
-    fully_unroll_innermost(&mut k);
-    eliminate_common_subexpressions(&mut k);
-    reduce_strength(&mut k);
-    hoist_invariants(&mut k);
-    k
-}
-
-/// The SAD kernel with both loops fully unrolled (the "unrolled 2
-/// levels" schedules).
-fn flat_sad() -> Kernel {
-    let mut k = unrolled_sad();
-    fully_unroll_innermost(&mut k);
-    eliminate_common_subexpressions(&mut k);
-    reduce_strength(&mut k);
-    k
-}
-
-/// Cycles for one SAD job under software pipelining of the row loop.
+/// Cycles for one SAD job under software pipelining of the row loop
+/// (the [`strategies::sad_pipelined`] recipe).
 fn sad_swp_job(machine: &MachineConfig) -> u64 {
-    let k = unrolled_sad();
-    let l = first_loop(&k.body);
-    let ms = swp(machine, &k, &l.body, 1);
-    ms.cycles_for(u64::from(l.trip)) + POS_OVERHEAD_PAR
+    run(
+        machine,
+        &sad_16x16_kernel().kernel,
+        &strategies::sad_pipelined(),
+    )
+    .loop_cycles()
+    .expect("first-loop modulo recipe")
+        + POS_OVERHEAD_PAR
 }
 
-/// Cycles for one SAD job with both loops unrolled (single pipeline fill).
+/// Cycles for one SAD job with both loops unrolled (single pipeline
+/// fill; the [`strategies::sad_flattened`] recipe).
 fn sad_flat_job(machine: &MachineConfig) -> u64 {
-    let k = flat_sad();
-    let ls = list(machine, &k, &k.body, 1);
-    u64::from(ls.length) + POS_OVERHEAD_PAR
+    run(
+        machine,
+        &sad_16x16_kernel().kernel,
+        &strategies::sad_flattened(),
+    )
+    .length()
+    .expect("whole-body list recipe")
+        + POS_OVERHEAD_PAR
 }
 
 /// Cycles per blocked iteration group (G position-pixels per loop trip):
 /// the blocked loop is unrolled by 2 to amortize induction overhead, as
-/// the paper's "taking advantage of the unrolled loop structure" does.
+/// the paper's "taking advantage of the unrolled loop structure" does
+/// (the [`strategies::sad_blocked`] recipe).
 fn sad_blocked_job(machine: &MachineConfig, group: u32) -> (u64, u64) {
-    let mut k = sad_blocked_group_kernel(group).kernel;
-    vsp_ir::transform::unroll_innermost(&mut k, 2);
-    eliminate_common_subexpressions(&mut k);
-    let l = first_loop(&k.body);
-    let ms = swp(machine, &k, &l.body, 1);
+    let r = run(
+        machine,
+        &sad_blocked_group_kernel(group).kernel,
+        &strategies::sad_blocked(),
+    );
     // II covers two groups per initiation.
-    (u64::from(ms.ii), u64::from(ms.length))
+    (
+        r.ii().expect("modulo recipe"),
+        r.length().expect("modulo recipe"),
+    )
 }
 
 fn motion_rows(
@@ -322,7 +199,11 @@ fn motion_rows(
     // Sequential–predicated: rolled loops, pointer-increment addressing
     // (machine-independent, as in the paper).
     let seq_machine = simple_twin(machine);
-    let seq = seq_cycles(&seq_machine, &sad_16x16_kernel().kernel) + pos_seq;
+    let seq = seq_cycles(
+        &seq_machine,
+        &sad_16x16_kernel().kernel,
+        &strategies::sequential(),
+    ) + pos_seq;
     rows.push(Row {
         kernel,
         variant: "Sequential-predicated",
@@ -331,7 +212,11 @@ fn motion_rows(
 
     // Unrolled inner loop (still sequential): constant offsets now fold
     // into complex addressing.
-    let unrolled = seq_cycles(machine, &unrolled_sad()) + pos_seq;
+    let unrolled = seq_cycles(
+        machine,
+        &sad_16x16_kernel().kernel,
+        &strategies::unrolled_hoisted_sequential(),
+    ) + pos_seq;
     rows.push(Row {
         kernel,
         variant: "Unrolled Inner Loop",
@@ -423,17 +308,15 @@ pub fn three_step_rows(machine: &MachineConfig) -> Vec<Row> {
 // DCT
 // ---------------------------------------------------------------------
 
-/// The hand-schedule form of one 1-D pass: both loops unrolled (see
-/// [`crate::ir::dct::dct1d_const_kernel`]), cleaned up by CSE and
-/// strength reduction. `opt` selects the arithmetic-optimization
-/// coefficient treatment (immediates; `Mul8` when also `narrow`); the
-/// default keeps coefficients in registers with full-precision wide
-/// multiplies.
+/// The hand-schedule form of one 1-D pass: both loops pre-unrolled (see
+/// [`crate::ir::dct::dct1d_const_kernel`]). `opt` selects the
+/// arithmetic-optimization coefficient treatment (immediates; `Mul8`
+/// when also `narrow`); the default keeps coefficients in registers
+/// with full-precision wide multiplies. The CSE + strength-reduction
+/// cleanup lives in the [`strategies::cleanup_list`] /
+/// [`strategies::cleanup_pipelined`] recipes.
 fn unrolled_pass(narrow: bool, opt: bool) -> Kernel {
-    let mut k = crate::ir::dct::dct1d_const_kernel(narrow, !opt).kernel;
-    eliminate_common_subexpressions(&mut k);
-    reduce_strength(&mut k);
-    k
+    crate::ir::dct::dct1d_const_kernel(narrow, !opt).kernel
 }
 
 /// Cycles for one 1-D pass: list-scheduled once, or the steady-state
@@ -441,15 +324,17 @@ fn unrolled_pass(narrow: bool, opt: bool) -> Kernel {
 /// the cluster.
 fn dct_pass_cycles(machine: &MachineConfig, narrow: bool, opt: bool, swp_mode: bool) -> u64 {
     let k = unrolled_pass(narrow, opt);
-    let (lowered, deps) = lower_flat(machine, &k, &k.body);
     if swp_mode {
-        let ms = modulo_schedule(machine, &lowered, &deps, 1, 64).expect("schedulable");
         // Steady state: one pass per II once the pipeline fills; the fill
         // amortizes across the block's 16 passes.
-        ms.cycles_for(16) / 16
+        run(machine, &k, &strategies::cleanup_pipelined())
+            .cycles_for(16)
+            .expect("modulo recipe")
+            / 16
     } else {
-        let ls = list_schedule(machine, &lowered, &deps, 1).expect("schedulable");
-        u64::from(ls.length)
+        run(machine, &k, &strategies::cleanup_list())
+            .length()
+            .expect("list recipe")
     }
 }
 
@@ -459,11 +344,10 @@ fn dct_pass_cycles(machine: &MachineConfig, narrow: bool, opt: bool, swp_mode: b
 /// the crossbar between the row and column halves.
 fn dct_pass_wide_cycles(machine: &MachineConfig, narrow: bool, group: u32) -> u64 {
     let k = unrolled_pass(narrow, false);
-    let (lowered, deps) = lower_flat(machine, &k, &k.body);
-    let ms = modulo_schedule(machine, &lowered, &deps, 1, 64).expect("schedulable");
+    let r = run(machine, &k, &strategies::cleanup_pipelined());
     let passes = 16u64.div_ceil(u64::from(group));
     let transpose = 16 * u64::from(machine.pipeline.xfer_latency);
-    (ms.cycles_for(passes) + transpose) / 16
+    (r.cycles_for(passes).expect("modulo recipe") + transpose) / 16
 }
 
 /// Row/column DCT rows.
@@ -475,20 +359,23 @@ pub fn dct_rowcol_rows(machine: &MachineConfig) -> Vec<Row> {
 
     // Residual samples exceed 8 bits, so both passes use wide multiplies
     // until the arithmetic optimization narrows the row pass.
-    let per_block_seq = 16 * seq_cycles(machine, &dct1d_kernel(false).kernel) + BLOCK_OVERHEAD;
+    let per_block_seq =
+        16 * seq_cycles(
+            machine,
+            &dct1d_kernel(false).kernel,
+            &strategies::sequential(),
+        ) + BLOCK_OVERHEAD;
     rows.push(Row {
         kernel,
         variant: "Sequential-unoptimized",
         cycles: per_block_seq * blocks,
     });
 
-    let unrolled_pass = {
-        let mut k = dct1d_kernel(false).kernel;
-        fully_unroll_innermost(&mut k);
-        eliminate_common_subexpressions(&mut k);
-        reduce_strength(&mut k);
-        seq_cycles(machine, &k)
-    };
+    let unrolled_pass = seq_cycles(
+        machine,
+        &dct1d_kernel(false).kernel,
+        &strategies::unrolled_sequential(),
+    );
     rows.push(Row {
         kernel,
         variant: "Unrolled inner loop",
@@ -541,50 +428,32 @@ pub fn dct_direct_rows(machine: &MachineConfig) -> Vec<Row> {
     let mut rows = Vec::new();
 
     // 64 output coefficients per block, each a full 64-term MAC loop.
-    let per_coeff_seq = seq_cycles(machine, &mac);
+    let per_coeff_seq = seq_cycles(machine, &mac, &strategies::sequential());
     rows.push(Row {
         kernel,
         variant: "Sequential-unoptimized",
         cycles: (64 * per_coeff_seq + BLOCK_OVERHEAD) * blocks,
     });
 
-    let per_coeff_unrolled = {
-        let mut k = mac.clone();
-        fully_unroll_innermost(&mut k);
-        eliminate_common_subexpressions(&mut k);
-        reduce_strength(&mut k);
-        seq_cycles(machine, &k)
-    };
+    let per_coeff_unrolled = seq_cycles(machine, &mac, &strategies::unrolled_sequential());
     rows.push(Row {
         kernel,
         variant: "Unrolled inner loop",
         cycles: (64 * per_coeff_unrolled + BLOCK_OVERHEAD) * blocks,
     });
 
-    let per_coeff_list = {
-        let mut k = mac.clone();
-        fully_unroll_innermost(&mut k);
-        eliminate_common_subexpressions(&mut k);
-        reduce_strength(&mut k);
-        let l = first_loop(&k.body);
-        let ls = list(machine, &k, &l.body, 1);
-        ls.cycles_for(u64::from(l.trip))
-    };
+    let per_coeff_list = run(machine, &mac, &strategies::mac_list())
+        .loop_cycles()
+        .expect("first-loop list recipe");
     rows.push(Row {
         kernel,
         variant: "List Scheduled",
         cycles: simd_cycles(64 * per_coeff_list + BLOCK_OVERHEAD, blocks, clusters),
     });
 
-    let per_coeff_swp = {
-        let mut k = mac.clone();
-        fully_unroll_innermost(&mut k);
-        eliminate_common_subexpressions(&mut k);
-        reduce_strength(&mut k);
-        let l = first_loop(&k.body);
-        let ms = swp(machine, &k, &l.body, 1);
-        ms.cycles_for(u64::from(l.trip))
-    };
+    let per_coeff_swp = run(machine, &mac, &strategies::mac_pipelined())
+        .loop_cycles()
+        .expect("first-loop modulo recipe");
     rows.push(Row {
         kernel,
         variant: "SW pipelined & predicated",
@@ -593,17 +462,9 @@ pub fn dct_direct_rows(machine: &MachineConfig) -> Vec<Row> {
 
     // Arithmetic optimization: drop the double-precision retention ops
     // (acc_hi path), keeping 16-bit accumulation.
-    let per_coeff_opt = {
-        let mut k = mac.clone();
-        // Remove the hi-retention statements (the shift + second add).
-        strip_hi_retention(&mut k);
-        fully_unroll_innermost(&mut k);
-        eliminate_common_subexpressions(&mut k);
-        reduce_strength(&mut k);
-        let l = first_loop(&k.body);
-        let ms = swp(machine, &k, &l.body, 1);
-        ms.cycles_for(u64::from(l.trip))
-    };
+    let per_coeff_opt = run(machine, &mac, &strategies::mac_narrowed_pipelined())
+        .loop_cycles()
+        .expect("first-loop modulo recipe");
     rows.push(Row {
         kernel,
         variant: "+arithmetic optimization",
@@ -612,16 +473,9 @@ pub fn dct_direct_rows(machine: &MachineConfig) -> Vec<Row> {
 
     // Unroll 2 levels & widen across 4 clusters.
     let group = 4u32.min(machine.clusters);
-    let per_coeff_wide = {
-        let mut k = mac.clone();
-        fully_unroll_innermost(&mut k);
-        fully_unroll_innermost(&mut k);
-        eliminate_common_subexpressions(&mut k);
-        reduce_strength(&mut k);
-        let (lowered, deps) = lower_flat(machine, &k, &k.body);
-        let ls = list_schedule(machine, &lowered, &deps, group).expect("schedulable");
-        u64::from(ls.length)
-    };
+    let per_coeff_wide = run(machine, &mac, &strategies::mac_widened(group))
+        .length()
+        .expect("whole-body list recipe");
     rows.push(Row {
         kernel,
         variant: "+unroll 2 levels & widen",
@@ -633,38 +487,6 @@ pub fn dct_direct_rows(machine: &MachineConfig) -> Vec<Row> {
     });
 
     rows
-}
-
-/// Removes the double-precision retention statements from the direct-DCT
-/// MAC kernel (the `acc_hi` chain).
-fn strip_hi_retention(kernel: &mut Kernel) {
-    let hi_vars: Vec<vsp_ir::VarId> = kernel
-        .var_names
-        .iter()
-        .enumerate()
-        .filter(|(_, n)| n.as_str() == "acc_hi" || n.as_str() == "hi")
-        .map(|(i, _)| vsp_ir::VarId(i as u32))
-        .collect();
-    fn strip(stmts: &mut Vec<Stmt>, hi: &[vsp_ir::VarId]) {
-        stmts.retain_mut(|s| match s {
-            Stmt::Assign { dst, .. } => !hi.contains(dst),
-            Stmt::Loop(l) => {
-                strip(&mut l.body, hi);
-                true
-            }
-            Stmt::If {
-                then_body,
-                else_body,
-                ..
-            } => {
-                strip(then_body, hi);
-                strip(else_body, hi);
-                true
-            }
-            _ => true,
-        });
-    }
-    strip(&mut kernel.body, &hi_vars);
 }
 
 // ---------------------------------------------------------------------
@@ -680,7 +502,7 @@ pub fn color_rows(machine: &MachineConfig) -> Vec<Row> {
     let base = color_quad_kernel(strip_quads).kernel;
     let mut rows = Vec::new();
 
-    let per_strip_seq = seq_cycles(machine, &base);
+    let per_strip_seq = seq_cycles(machine, &base, &strategies::sequential());
     rows.push(Row {
         kernel,
         variant: "Sequential",
@@ -690,35 +512,25 @@ pub fn color_rows(machine: &MachineConfig) -> Vec<Row> {
     // "Sequential–unrolled": boundary branches eliminated by unrolling;
     // the quad kernel is already branch-free, so the gain is the loop
     // overhead (matching the paper's modest 20% step).
-    let per_strip_unrolled = {
-        let mut k = base.clone();
-        fully_unroll_innermost(&mut k);
-        eliminate_common_subexpressions(&mut k);
-        reduce_strength(&mut k);
-        seq_cycles(machine, &k)
-    };
+    let per_strip_unrolled = seq_cycles(machine, &base, &strategies::unrolled_sequential());
     rows.push(Row {
         kernel,
         variant: "Sequential-unrolled",
         cycles: per_strip_unrolled * quads / u64::from(strip_quads),
     });
 
-    let per_quad_list = {
-        let l = first_loop(&base.body);
-        let ls = list(machine, &base, &l.body, 1);
-        u64::from(ls.length)
-    };
+    let per_quad_list = run(machine, &base, &strategies::loop_list(1))
+        .length()
+        .expect("first-loop list recipe");
     rows.push(Row {
         kernel,
         variant: "List-scheduled",
         cycles: simd_cycles(per_quad_list, quads, clusters),
     });
 
-    let per_quad_swp = {
-        let l = first_loop(&base.body);
-        let ms = swp(machine, &base, &l.body, 1);
-        u64::from(ms.ii)
-    };
+    let per_quad_swp = run(machine, &base, &strategies::loop_pipelined(1))
+        .ii()
+        .expect("first-loop modulo recipe");
     rows.push(Row {
         kernel,
         variant: "SW Pipelined & predicated",
@@ -747,7 +559,7 @@ pub fn vbr_rows(machine: &MachineConfig) -> Vec<Row> {
 
     // Sequential with branches: zero path is short, nonzero path long.
     let base = vbr_block_kernel().kernel;
-    let seq = seq_cycles(machine, &base) as f64;
+    let seq = seq_cycles(machine, &base, &strategies::sequential()) as f64;
     // seq_cycles averages the two arms; re-weight by the zero fraction.
     let seq_weighted = seq * (zero_fraction * 0.55 + (1.0 - zero_fraction) * 1.45);
     rows.push(Row {
@@ -760,13 +572,8 @@ pub fn vbr_rows(machine: &MachineConfig) -> Vec<Row> {
     // if-conversion executes both arms and would lose; the paper's gain
     // is marginal ("predication provides only a minimal improvement
     // despite the large number of branches because the conditions cannot
-    // be computed early").
-    let converted = {
-        let mut k = base.clone();
-        if_convert(&mut k);
-        eliminate_common_subexpressions(&mut k);
-        k
-    };
+    // be computed early"). The if-converted form feeds the list/swp rows
+    // below via the `predicated_*` recipes.
     rows.push(Row {
         kernel,
         variant: "Sequential-predicated",
@@ -781,11 +588,9 @@ pub fn vbr_rows(machine: &MachineConfig) -> Vec<Row> {
     } else {
         2
     };
-    let per_coeff_list = {
-        let l = first_loop(&converted.body);
-        let ls = list(machine, &converted, &l.body, wide_clusters);
-        u64::from(ls.length)
-    };
+    let per_coeff_list = run(machine, &base, &strategies::predicated_list(wide_clusters))
+        .length()
+        .expect("first-loop list recipe");
     rows.push(Row {
         kernel,
         variant: "List-scheduled",
@@ -800,11 +605,13 @@ pub fn vbr_rows(machine: &MachineConfig) -> Vec<Row> {
 
     // Software pipelining gains almost nothing: the bits/run recurrence
     // is the critical cycle.
-    let per_coeff_swp = {
-        let l = first_loop(&converted.body);
-        let ms = swp(machine, &converted, &l.body, wide_clusters);
-        u64::from(ms.ii)
-    };
+    let per_coeff_swp = run(
+        machine,
+        &base,
+        &strategies::predicated_pipelined(wide_clusters),
+    )
+    .ii()
+    .expect("first-loop modulo recipe");
     rows.push(Row {
         kernel,
         variant: "SW pipelined + comp. pred.",

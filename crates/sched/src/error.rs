@@ -41,6 +41,15 @@ pub enum SchedError {
         /// What was being scheduled and within which search bounds.
         detail: String,
     },
+    /// A compilation-pipeline pass could not be applied as configured,
+    /// or post-pass validation rejected the unit (see
+    /// [`crate::pipeline`]).
+    Pipeline {
+        /// Name of the pass (or `"validate"` for validator rejections).
+        pass: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -52,7 +61,13 @@ impl fmt::Display for SchedError {
                 f.write_str("code generation requires a single-cluster schedule")
             }
             SchedError::Unschedulable { scheduler, detail } => {
-                write!(f, "{scheduler} scheduler found no feasible schedule: {detail}")
+                write!(
+                    f,
+                    "{scheduler} scheduler found no feasible schedule: {detail}"
+                )
+            }
+            SchedError::Pipeline { pass, detail } => {
+                write!(f, "pipeline pass {pass} failed: {detail}")
             }
         }
     }

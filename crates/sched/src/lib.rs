@@ -27,7 +27,10 @@
 //! * [`analytic`] — the closed-form II predictor the paper names as
 //!   future work, validated against the scheduler;
 //! * [`error`] — the unified [`SchedError`] for pipeline drivers, with
-//!   panic-free `try_`-prefixed scheduler entry points.
+//!   panic-free `try_`-prefixed scheduler entry points;
+//! * [`pipeline`] — the unified compilation pipeline: a typed [`Pass`]
+//!   over a [`CompilationUnit`], declarative serializable [`Strategy`]
+//!   recipes, and the [`compile`] entry point every driver uses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +43,7 @@ pub mod list;
 pub mod lower;
 pub mod mii;
 pub mod modulo;
+pub mod pipeline;
 pub mod regalloc;
 pub mod vop;
 
@@ -51,4 +55,9 @@ pub use list::{list_schedule, list_schedule_traced, try_list_schedule, ListSched
 pub use lower::{lower_body, ArrayLayout, LowerError};
 pub use mii::{rec_mii, res_mii};
 pub use modulo::{modulo_schedule, modulo_schedule_traced, try_modulo_schedule, ModuloSchedule};
+pub use pipeline::{
+    compile, compile_with, CompilationUnit, CompileOptions, CompileResult, LoopControlMode, Pass,
+    PassConfig, Pipeline, PipelineReport, PipelineValidator, ScheduleArtifact, ScheduleScope,
+    SchedulerChoice, Strategy,
+};
 pub use vop::{LoweredBody, VOp, VopDeps};

@@ -148,6 +148,9 @@ mod tests {
         let mut f = FlipBit0;
         let mut r = &mut f;
         assert!(<&mut FlipBit0 as FaultModel>::enabled(&r));
-        assert_eq!(<&mut FlipBit0 as FaultModel>::on_reg_read(&mut r, 0, 0, 0, 2), 3);
+        assert_eq!(
+            <&mut FlipBit0 as FaultModel>::on_reg_read(&mut r, 0, 0, 0, 2),
+            3
+        );
     }
 }

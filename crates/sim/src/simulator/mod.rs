@@ -1,0 +1,409 @@
+//! The cycle-accurate simulator core.
+//!
+//! The [`Simulator`] type, its state, and the public control surface
+//! (construction, register/memory access, [`Simulator::run`] /
+//! [`Simulator::run_interp`], statistics) live in this module root; the
+//! datapath is split across focused submodules:
+//!
+//! * `fetch` — the pre-decoded fast path ([`Simulator::step`]);
+//! * `interp` — the legacy interpretive path ([`Simulator::step_interp`]),
+//!   kept verbatim as the reference semantics;
+//! * `commit` — the pending-commit ring, write-port conflict checks and
+//!   bypass-network scheduling;
+//! * `datapath` — indexed operand reads, effective addressing and the
+//!   fault-injection hooks;
+//! * `recovery` — microarchitectural [`Checkpoint`] snapshot/restore.
+
+use crate::decoded::DecodedProgram;
+use crate::error::SimError;
+use crate::fault::{FaultModel, NoFaults};
+use crate::icache::InstructionCache;
+use crate::memory::LocalMemory;
+use crate::stats::RunStats;
+use std::collections::BTreeMap;
+use vsp_core::{validate_program, MachineConfig};
+use vsp_isa::{ClusterId, Pred, Program, Reg};
+use vsp_trace::{NullSink, TraceSink};
+
+mod commit;
+mod datapath;
+mod fetch;
+mod interp;
+mod recovery;
+
+pub use recovery::Checkpoint;
+
+#[cfg(test)]
+mod tests;
+
+/// Size of the pending-commit ring: one slot per future cycle. Result
+/// latencies are tiny (bounded by load-use, multiply, and crossbar
+/// delays), so a fixed window covers every commit; the rare latency
+/// beyond it falls back to the ordered overflow map.
+const PENDING_SLOTS: usize = 16;
+
+/// What to do when an operation reads a register whose producer has not
+/// completed.
+///
+/// The machine has no interlocks ("run-time arbitration for resources is
+/// never allowed"), so such a read is a *scheduling* bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HazardPolicy {
+    /// Abort simulation with [`SimError::PrematureRead`] — the default,
+    /// catching scheduler bugs immediately.
+    #[default]
+    Fault,
+    /// Return the stale register contents, as the real hardware would.
+    StaleRead,
+}
+
+/// A pending register/predicate write (full bypass makes results visible
+/// exactly `latency` cycles after issue).
+#[derive(Debug, Clone, Copy)]
+enum Commit {
+    Reg(ClusterId, Reg, i16),
+    Pred(ClusterId, Pred, bool),
+}
+
+/// A full snapshot of the architectural state of a simulator: every
+/// register file, predicate file and local-memory buffer, plus the
+/// control state.
+///
+/// Built by [`Simulator::arch_state`] for differential comparison —
+/// two execution paths (or two simulators fed identical programs) agree
+/// exactly when their `ArchState`s compare equal.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ArchState {
+    /// Cycles elapsed.
+    pub cycle: u64,
+    /// Whether a halt has committed.
+    pub halted: bool,
+    /// General registers, indexed `[cluster][register]`.
+    pub regs: Vec<Vec<i16>>,
+    /// Predicate registers, indexed `[cluster][predicate]`.
+    pub preds: Vec<Vec<bool>>,
+    /// Local-memory buffers, indexed `[cluster][bank]` as
+    /// `(processing buffer, I/O buffer)` — both halves matter because a
+    /// `swapbuf` exchanges them.
+    pub mems: Vec<Vec<(Vec<i16>, Vec<i16>)>>,
+}
+
+/// Cycle-accurate simulator for one program on one machine.
+///
+/// Generic over a [`TraceSink`]; the default [`NullSink`] reports itself
+/// disabled from an inlinable body, so the untraced monomorphization —
+/// everything built via [`Simulator::new`] — contains no tracing code.
+/// Use [`Simulator::with_sink`] (typically with `&mut sink`, since
+/// `TraceSink` is implemented for mutable references) to record a run.
+///
+/// Also generic over a [`FaultModel`] by the same pattern: the default
+/// [`NoFaults`] compiles all injection hooks out of the fast path, and
+/// [`Simulator::with_sink_and_faults`] opts a run into a concrete model
+/// (see the `vsp-fault` crate for seeded plans and recovery).
+#[derive(Debug)]
+pub struct Simulator<'a, S: TraceSink = NullSink, F: FaultModel = NoFaults> {
+    machine: &'a MachineConfig,
+    program: &'a Program,
+    /// Pre-decoded twin of `program` (flat ops, resolved latencies);
+    /// what [`Simulator::step`] actually executes.
+    decoded: DecodedProgram,
+    policy: HazardPolicy,
+    regs: Vec<Vec<i16>>,
+    reg_ready: Vec<Vec<u64>>,
+    preds: Vec<Vec<bool>>,
+    pred_ready: Vec<Vec<u64>>,
+    mems: Vec<Vec<LocalMemory>>,
+    /// Pending commits within the next `PENDING_SLOTS` cycles, indexed
+    /// by `cycle % PENDING_SLOTS` (allocation-free in steady state).
+    pending_ring: Vec<Vec<Commit>>,
+    /// Total commits outstanding in the ring (fast empty check).
+    pending_count: usize,
+    /// Commits scheduled beyond the ring window (pathological
+    /// latencies only; normally empty forever).
+    pending_far: BTreeMap<u64, Vec<Commit>>,
+    /// Last cycle whose ring slot has been drained.
+    drained_through: u64,
+    icache: InstructionCache,
+    pc: usize,
+    cycle: u64,
+    redirect: Option<(usize, u32)>,
+    halted: bool,
+    stats: RunStats,
+    sink: S,
+    faults: F,
+    /// Committed ops per cluster within the word being issued (scratch
+    /// for the utilization histogram).
+    word_cluster_ops: Vec<u32>,
+    /// Clusters with a non-zero entry in `word_cluster_ops`, so the
+    /// per-word drain touches only busy clusters.
+    word_touched: Vec<ClusterId>,
+    /// Reusable per-step scratch: stores buffered to the end of the
+    /// cycle as `(cluster, bank, addr, value)`.
+    scratch_stores: Vec<(u8, u8, u32, i16)>,
+    /// Reusable per-step scratch: banks swapping at the end of cycle.
+    scratch_swaps: Vec<(u8, u8)>,
+    /// Reusable per-step scratch: register results entering the bypass
+    /// network as `(cluster, reg, value, latency)`.
+    scratch_reg_writes: Vec<(u8, u16, i16, u32)>,
+    /// Reusable per-step scratch: predicate results.
+    scratch_pred_writes: Vec<(u8, u8, bool, u32)>,
+    /// Fast-path per-class op counters, indexed by `FuClass` discriminant;
+    /// folded into `RunStats::ops_by_class` by [`Simulator::stats`] so
+    /// the hot loop skips the map lookup the interpretive path pays.
+    fast_class_ops: [u64; 6],
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with a warmed instruction cache and the default
+    /// ([`HazardPolicy::Fault`]) hazard policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the program fails structural
+    /// validation for the machine.
+    pub fn new(machine: &'a MachineConfig, program: &'a Program) -> Result<Self, SimError> {
+        Self::with_sink(machine, program, NullSink)
+    }
+}
+
+impl<'a, S: TraceSink> Simulator<'a, S> {
+    /// Creates a simulator that emits trace events into `sink` (and
+    /// never injects faults).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the program fails structural
+    /// validation for the machine.
+    pub fn with_sink(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        sink: S,
+    ) -> Result<Self, SimError> {
+        Self::with_sink_and_faults(machine, program, sink, NoFaults)
+    }
+}
+
+impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
+    /// Creates a simulator that emits trace events into `sink` and
+    /// consults `faults` on every exposed datapath read (typically with
+    /// `&mut model`, since [`FaultModel`] is implemented for mutable
+    /// references, so injection counters stay readable after the run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the program fails structural
+    /// validation for the machine.
+    pub fn with_sink_and_faults(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        sink: S,
+        faults: F,
+    ) -> Result<Self, SimError> {
+        validate_program(machine, program)?;
+        let clusters = machine.clusters as usize;
+        let regs = machine.cluster.registers as usize;
+        let preds = machine.cluster.pred_regs as usize;
+        let mut icache = InstructionCache::new(machine.icache_words, machine.icache_refill_cycles);
+        icache.warm(program.len());
+        Ok(Simulator {
+            machine,
+            program,
+            decoded: DecodedProgram::decode(machine, program),
+            policy: HazardPolicy::Fault,
+            regs: vec![vec![0; regs]; clusters],
+            reg_ready: vec![vec![0; regs]; clusters],
+            preds: vec![vec![false; preds]; clusters],
+            pred_ready: vec![vec![0; preds]; clusters],
+            mems: (0..clusters)
+                .map(|_| {
+                    machine
+                        .cluster
+                        .banks
+                        .iter()
+                        .map(|b| LocalMemory::new(b.words))
+                        .collect()
+                })
+                .collect(),
+            pending_ring: (0..PENDING_SLOTS).map(|_| Vec::new()).collect(),
+            pending_count: 0,
+            pending_far: BTreeMap::new(),
+            drained_through: 0,
+            icache,
+            pc: 0,
+            cycle: 0,
+            redirect: None,
+            halted: false,
+            stats: RunStats::default(),
+            sink,
+            faults,
+            word_cluster_ops: vec![0; clusters],
+            word_touched: Vec::with_capacity(clusters),
+            scratch_stores: Vec::new(),
+            scratch_swaps: Vec::new(),
+            scratch_reg_writes: Vec::new(),
+            scratch_pred_writes: Vec::new(),
+            fast_class_ops: [0; 6],
+        })
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the trace sink (e.g. to flush it).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// The fault model.
+    pub fn faults(&self) -> &F {
+        &self.faults
+    }
+
+    /// Mutable access to the fault model (e.g. to re-arm a trigger).
+    pub fn faults_mut(&mut self) -> &mut F {
+        &mut self.faults
+    }
+
+    /// Selects the hazard policy.
+    pub fn set_hazard_policy(&mut self, policy: HazardPolicy) {
+        self.policy = policy;
+    }
+
+    /// Current value of a general register.
+    pub fn reg(&self, cluster: ClusterId, reg: Reg) -> i16 {
+        self.regs[cluster as usize][reg.index()]
+    }
+
+    /// Sets a general register (test/workload setup); the value is
+    /// immediately readable.
+    pub fn set_reg(&mut self, cluster: ClusterId, reg: Reg, value: i16) {
+        self.regs[cluster as usize][reg.index()] = value;
+        self.reg_ready[cluster as usize][reg.index()] = 0;
+    }
+
+    /// Current value of a predicate register.
+    pub fn pred(&self, cluster: ClusterId, pred: Pred) -> bool {
+        self.preds[cluster as usize][pred.index()]
+    }
+
+    /// Sets a predicate register (test/workload setup).
+    pub fn set_pred(&mut self, cluster: ClusterId, pred: Pred, value: bool) {
+        self.preds[cluster as usize][pred.index()] = value;
+        self.pred_ready[cluster as usize][pred.index()] = 0;
+    }
+
+    /// A cluster's memory bank.
+    pub fn mem(&self, cluster: ClusterId, bank: u8) -> &LocalMemory {
+        &self.mems[cluster as usize][bank as usize]
+    }
+
+    /// Mutable access to a cluster's memory bank (to stage input data).
+    pub fn mem_mut(&mut self, cluster: ClusterId, bank: u8) -> &mut LocalMemory {
+        &mut self.mems[cluster as usize][bank as usize]
+    }
+
+    /// Cycles elapsed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Snapshots the complete architectural state — registers,
+    /// predicates, both halves of every local-memory bank, cycle count
+    /// and halt flag — for differential comparison between execution
+    /// paths or simulators.
+    pub fn arch_state(&self) -> ArchState {
+        ArchState {
+            cycle: self.cycle,
+            halted: self.halted,
+            regs: self.regs.clone(),
+            preds: self.preds.clone(),
+            mems: self
+                .mems
+                .iter()
+                .map(|banks| {
+                    banks
+                        .iter()
+                        .map(|b| (b.active_buffer().to_vec(), b.io_buffer().to_vec()))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether a halt has committed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Runs until a halt commits or `max_cycles` elapse.
+    ///
+    /// ```
+    /// use vsp_core::models;
+    /// use vsp_isa::{AluBinOp, OpKind, Operand, Operation, Program, Reg};
+    /// use vsp_sim::Simulator;
+    ///
+    /// let machine = models::i4c8s4();
+    /// let mut p = Program::new("add");
+    /// p.push_word(vec![Operation::new(0, 0, OpKind::AluBin {
+    ///     op: AluBinOp::Add, dst: Reg(2), a: Operand::Imm(40), b: Operand::Imm(2),
+    /// })]);
+    /// p.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+    ///
+    /// let mut sim = Simulator::new(&machine, &p).unwrap();
+    /// let stats = sim.run(100).unwrap();
+    /// assert_eq!(sim.reg(0, Reg(2)), 42);
+    /// // The cycle-accounting invariant checked by the fuzz oracle:
+    /// assert_eq!(stats.cycles, stats.words + stats.icache_stall_cycles);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates hazard faults, memory range errors, fetch running past
+    /// the program end, and [`SimError::CycleLimit`] when the budget is
+    /// exhausted.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.stats())
+    }
+
+    /// Runs via the legacy interpretive path ([`Simulator::step_interp`])
+    /// instead of the pre-decoded fast path.
+    ///
+    /// Exists as the measurement baseline for the fast path and as the
+    /// reference implementation for the differential tests; both paths
+    /// must produce identical [`RunStats`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_interp(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            self.step_interp()?;
+        }
+        Ok(self.stats())
+    }
+
+    /// Statistics gathered so far (with derived fields such as the
+    /// histogram zero-buckets filled in).
+    pub fn stats(&self) -> RunStats {
+        let mut stats = self.stats.clone();
+        for class in vsp_isa::FuClass::ALL {
+            let n = self.fast_class_ops[class as usize];
+            if n > 0 {
+                *stats.ops_by_class.entry(class).or_insert(0) += n;
+            }
+        }
+        stats.finalize();
+        stats
+    }
+}

@@ -1,0 +1,111 @@
+//! Microarchitectural checkpoint/restore — the basis of the `vsp-fault`
+//! re-execute-from-checkpoint recovery loop.
+
+use crate::fault::FaultModel;
+use crate::icache::InstructionCache;
+use crate::memory::LocalMemory;
+use crate::stats::RunStats;
+use std::collections::BTreeMap;
+use vsp_trace::TraceSink;
+
+use super::{Commit, Simulator};
+
+/// A full microarchitectural snapshot of a [`Simulator`]: architectural
+/// state plus everything in flight — pending commits, scoreboard ready
+/// times, icache tags, fetch/redirect state, and statistics.
+///
+/// Built by [`Simulator::checkpoint`] and consumed by
+/// [`Simulator::restore`]; re-executing from a restored checkpoint
+/// replays the simulation exactly (the basis of the `vsp-fault`
+/// re-execute-from-checkpoint recovery loop). Fields are private: a
+/// checkpoint is only meaningful to a simulator over the same machine
+/// and program shape that produced it.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    regs: Vec<Vec<i16>>,
+    reg_ready: Vec<Vec<u64>>,
+    preds: Vec<Vec<bool>>,
+    pred_ready: Vec<Vec<u64>>,
+    mems: Vec<Vec<LocalMemory>>,
+    pending_ring: Vec<Vec<Commit>>,
+    pending_count: usize,
+    pending_far: BTreeMap<u64, Vec<Commit>>,
+    drained_through: u64,
+    icache: InstructionCache,
+    pc: usize,
+    cycle: u64,
+    redirect: Option<(usize, u32)>,
+    halted: bool,
+    stats: RunStats,
+    fast_class_ops: [u64; 6],
+}
+
+impl Checkpoint {
+    /// Cycle count at the moment the checkpoint was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
+    /// Snapshots the complete microarchitectural state for later
+    /// [`Simulator::restore`]. Unlike [`Simulator::arch_state`] this
+    /// includes in-flight commits, scoreboard ready times, the icache,
+    /// fetch/redirect state and statistics, so resuming from it replays
+    /// the run exactly.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            regs: self.regs.clone(),
+            reg_ready: self.reg_ready.clone(),
+            preds: self.preds.clone(),
+            pred_ready: self.pred_ready.clone(),
+            mems: self.mems.clone(),
+            pending_ring: self.pending_ring.clone(),
+            pending_count: self.pending_count,
+            pending_far: self.pending_far.clone(),
+            drained_through: self.drained_through,
+            icache: self.icache.clone(),
+            pc: self.pc,
+            cycle: self.cycle,
+            redirect: self.redirect,
+            halted: self.halted,
+            stats: self.stats.clone(),
+            fast_class_ops: self.fast_class_ops,
+        }
+    }
+
+    /// Rolls the simulator back to a [`Checkpoint`] taken earlier on
+    /// this same machine/program pair.
+    ///
+    /// Statistics roll back too (the discarded cycles never happened on
+    /// the surviving timeline); the `vsp-fault` recovery loop accounts
+    /// the thrown-away work separately as `recovery_cycles`. Per-step
+    /// scratch state is cleared — a step aborted mid-word by a fault may
+    /// have left it dirty.
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        self.regs.clone_from(&cp.regs);
+        self.reg_ready.clone_from(&cp.reg_ready);
+        self.preds.clone_from(&cp.preds);
+        self.pred_ready.clone_from(&cp.pred_ready);
+        self.mems.clone_from(&cp.mems);
+        self.pending_ring.clone_from(&cp.pending_ring);
+        self.pending_count = cp.pending_count;
+        self.pending_far.clone_from(&cp.pending_far);
+        self.drained_through = cp.drained_through;
+        self.icache.clone_from(&cp.icache);
+        self.pc = cp.pc;
+        self.cycle = cp.cycle;
+        self.redirect = cp.redirect;
+        self.halted = cp.halted;
+        self.stats.clone_from(&cp.stats);
+        self.fast_class_ops = cp.fast_class_ops;
+        for n in &mut self.word_cluster_ops {
+            *n = 0;
+        }
+        self.word_touched.clear();
+        self.scratch_stores.clear();
+        self.scratch_swaps.clear();
+        self.scratch_reg_writes.clear();
+        self.scratch_pred_writes.clear();
+    }
+}

@@ -68,7 +68,12 @@ fn premature_read_is_raised_and_serializes() {
     let mut sim = Simulator::new(&m, &p).unwrap();
     let err = sim.run(100).unwrap_err();
     match &err {
-        SimError::PrematureRead { reg, ready_at, cycle, .. } => {
+        SimError::PrematureRead {
+            reg,
+            ready_at,
+            cycle,
+            ..
+        } => {
             assert_eq!(*reg, Reg(1));
             assert!(ready_at > cycle, "value must become ready after the read");
         }
@@ -117,7 +122,9 @@ fn mem_out_of_range_is_raised_and_serializes() {
     let mut sim = Simulator::new(&m, &p).unwrap();
     let err = sim.run(100).unwrap_err();
     match &err {
-        SimError::MemOutOfRange { bank, addr, words, .. } => {
+        SimError::MemOutOfRange {
+            bank, addr, words, ..
+        } => {
             assert_eq!(*bank, 0);
             assert_eq!(*addr, cap);
             assert_eq!(*words, cap);

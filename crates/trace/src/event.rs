@@ -28,6 +28,49 @@ impl SchedOrdering {
     }
 }
 
+/// Which compilation-pipeline pass a [`TraceEvent::PassComplete`] event
+/// reports on (see `vsp-sched`'s `pipeline` module). Mirrored here so the
+/// trace vocabulary stays self-contained: every pass the pipeline can run
+/// has a stable name in the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelinePass {
+    /// Partial unrolling of innermost loops by a fixed factor.
+    Unroll,
+    /// Full unrolling of innermost loops.
+    FullUnroll,
+    /// If-conversion (predication).
+    IfConvert,
+    /// Common-subexpression elimination.
+    Cse,
+    /// Loop-invariant code motion.
+    Licm,
+    /// Strength reduction and algebraic simplification.
+    StrengthReduce,
+    /// Removal of named accumulator-retention variables.
+    StripVars,
+    /// Lowering to virtual operations plus dependence-graph build.
+    Lower,
+    /// The final scheduling pass (sequential walk, list or modulo).
+    Schedule,
+}
+
+impl PipelinePass {
+    /// Stable lowercase name of the pass (part of the trace format).
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelinePass::Unroll => "unroll",
+            PipelinePass::FullUnroll => "full_unroll",
+            PipelinePass::IfConvert => "if_convert",
+            PipelinePass::Cse => "cse",
+            PipelinePass::Licm => "licm",
+            PipelinePass::StrengthReduce => "strength_reduce",
+            PipelinePass::StripVars => "strip_vars",
+            PipelinePass::Lower => "lower",
+            PipelinePass::Schedule => "schedule",
+        }
+    }
+}
+
 /// Datapath structure a fault was injected into (see `vsp-fault`).
 ///
 /// Mirrors the megacells of the paper's datapath: the multi-ported
@@ -223,6 +266,20 @@ pub enum TraceEvent {
         /// Schedule length in cycles.
         length: u32,
     },
+    /// A compilation-pipeline pass completed (see `vsp-sched`'s
+    /// `pipeline` module): one event per pass of a strategy, carrying
+    /// the post-pass size of the unit so a trace shows how each
+    /// transform grew or shrank the kernel.
+    PassComplete {
+        /// Zero-based position of the pass within its strategy.
+        seq: u32,
+        /// Which pass ran.
+        pass: PipelinePass,
+        /// IR statements in the kernel after the pass (recursive count).
+        stmts: u32,
+        /// Lowered virtual operations after the pass (0 until lowering).
+        vops: u32,
+    },
 }
 
 impl TraceEvent {
@@ -246,6 +303,7 @@ impl TraceEvent {
             TraceEvent::ModuloForce { .. } => "modulo_force",
             TraceEvent::ModuloEvict { .. } => "modulo_evict",
             TraceEvent::ScheduleDone { .. } => "schedule_done",
+            TraceEvent::PassComplete { .. } => "pass_complete",
         }
     }
 
@@ -375,6 +433,18 @@ impl TraceEvent {
             TraceEvent::ScheduleDone { ii, length } => {
                 let _ = write!(out, ",\"ii\":{ii},\"length\":{length}");
             }
+            TraceEvent::PassComplete {
+                seq,
+                pass,
+                stmts,
+                vops,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"seq\":{seq},\"pass\":\"{}\",\"stmts\":{stmts},\"vops\":{vops}",
+                    pass.name()
+                );
+            }
         }
         out.push('}');
     }
@@ -485,6 +555,12 @@ mod tests {
             },
             TraceEvent::ModuloEvict { evicted: 1, by: 2 },
             TraceEvent::ScheduleDone { ii: 2, length: 7 },
+            TraceEvent::PassComplete {
+                seq: 0,
+                pass: PipelinePass::Cse,
+                stmts: 12,
+                vops: 0,
+            },
         ];
         for e in events {
             let mut s = String::new();

@@ -52,6 +52,6 @@ pub mod event;
 pub mod sink;
 pub mod timeline;
 
-pub use event::{class_name, FaultSite, SchedOrdering, TraceEvent};
+pub use event::{class_name, FaultSite, PipelinePass, SchedOrdering, TraceEvent};
 pub use sink::{ChromeTraceSink, JsonLinesSink, MemorySink, NullSink, TraceSink};
 pub use timeline::{class_index, ClusterSeries, MachineShape, UtilizationTimeline};

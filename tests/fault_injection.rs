@@ -107,9 +107,8 @@ fn nofaults_and_quiet_plan_match_plain_runs_exactly() {
             );
 
             let mut model = FaultPlan::quiet().build();
-            let mut sim =
-                Simulator::with_sink_and_faults(&machine, &program, NullSink, &mut model)
-                    .expect("valid program");
+            let mut sim = Simulator::with_sink_and_faults(&machine, &program, NullSink, &mut model)
+                .expect("valid program");
             let stats = sim.run(1_000_000).expect("halts");
             assert_eq!(
                 stats, plain_stats,
@@ -139,11 +138,15 @@ fn same_fault_plan_seed_is_bit_identical_twice() {
 
     let run = || {
         let mut model = plan.build();
-        let mut sim =
-            Simulator::with_sink_and_faults(&machine, &program, NullSink, &mut model)
-                .expect("valid program");
+        let mut sim = Simulator::with_sink_and_faults(&machine, &program, NullSink, &mut model)
+            .expect("valid program");
         let outcome = run_with_recovery(&mut sim, &cfg);
-        (outcome.stats, outcome.retries, sim.arch_state(), model.counts())
+        (
+            outcome.stats,
+            outcome.retries,
+            sim.arch_state(),
+            model.counts(),
+        )
     };
     let (stats_a, retries_a, state_a, counts_a) = run();
     let (stats_b, retries_b, state_b, counts_b) = run();
@@ -166,9 +169,8 @@ fn recovery_corrects_injected_faults() {
     let mut corrected_somewhere = false;
     for seed in 0..60u64 {
         let mut model = FaultPlan::transient(seed, 10_000).build();
-        let mut sim =
-            Simulator::with_sink_and_faults(&machine, &program, NullSink, &mut model)
-                .expect("valid program");
+        let mut sim = Simulator::with_sink_and_faults(&machine, &program, NullSink, &mut model)
+            .expect("valid program");
         let outcome = run_with_recovery(&mut sim, &cfg);
         let s = &outcome.stats;
         assert!(

@@ -1,0 +1,110 @@
+//! Pipeline smoke test: every kernel × every machine model compiles
+//! through a declarative [`vsp_kernels::strategies`] recipe, and every
+//! produced schedule survives the independent `vsp-check` validator
+//! running after each pass.
+//!
+//! This is the end-to-end guarantee behind the strategy-driven tables:
+//! the recipes are not merely serializable data, they actually drive
+//! [`vsp_sched::compile`] to a checked schedule on all seven datapath
+//! models.
+
+use vsp_check::ScheduleValidator;
+use vsp_core::models;
+use vsp_ir::Kernel;
+use vsp_kernels::ir::{
+    color_quad_kernel, dct_direct_mac_kernel, sad_16x16_kernel, sad_blocked_group_kernel,
+    vbr_block_kernel,
+};
+use vsp_kernels::strategies;
+use vsp_sched::{compile_with, CompileOptions, ScheduleArtifact, Strategy};
+
+/// One representative (kernel, recipe) pair per §3.3 kernel family.
+fn cases() -> Vec<(&'static str, Kernel, Strategy)> {
+    vec![
+        (
+            "full-search SAD",
+            sad_16x16_kernel().kernel,
+            strategies::sad_pipelined(),
+        ),
+        (
+            "three-step SAD (blocked)",
+            sad_blocked_group_kernel(8).kernel,
+            strategies::sad_blocked(),
+        ),
+        (
+            "direct DCT MAC",
+            dct_direct_mac_kernel().kernel,
+            strategies::mac_pipelined(),
+        ),
+        (
+            "row/column DCT pass",
+            vsp_kernels::ir::dct::dct1d_const_kernel(false, true).kernel,
+            strategies::cleanup_pipelined(),
+        ),
+        (
+            "color quad loop",
+            color_quad_kernel(8).kernel,
+            strategies::loop_pipelined(1),
+        ),
+        (
+            "VBR coefficient loop",
+            vbr_block_kernel().kernel,
+            strategies::predicated_pipelined(1),
+        ),
+    ]
+}
+
+#[test]
+fn every_kernel_compiles_validated_on_every_model() {
+    let validator = ScheduleValidator;
+    for machine in models::all_models() {
+        for (label, kernel, strategy) in cases() {
+            let mut options = CompileOptions {
+                validator: Some(&validator),
+                ..Default::default()
+            };
+            let result = compile_with(&kernel, &machine, &strategy, &mut options)
+                .unwrap_or_else(|e| panic!("{label} × {}: {e}", machine.name));
+            assert!(
+                !result.report.passes.is_empty(),
+                "{label} × {}: empty pass report",
+                machine.name
+            );
+            match result.schedule {
+                ScheduleArtifact::List(_) | ScheduleArtifact::Modulo(_) => {}
+                ScheduleArtifact::Sequential { .. } => {
+                    panic!("{label} × {}: smoke recipes are parallel", machine.name)
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn catalog_recipes_compile_on_the_base_model() {
+    // Every catalog entry must at least drive its natural kernel through
+    // the pipeline on the base machine; here: the recipes whose pass
+    // chain flattens the nested SAD kernel far enough to schedule.
+    let machine = models::i4c8s4();
+    let kernel = sad_16x16_kernel().kernel;
+    for strategy in [
+        strategies::sequential(),
+        strategies::unrolled_sequential(),
+        strategies::unrolled_hoisted_sequential(),
+        strategies::sad_pipelined(),
+        strategies::sad_flattened(),
+    ] {
+        let result = vsp_sched::compile(&kernel, &machine, &strategy)
+            .unwrap_or_else(|e| panic!("{}: {e}", strategy.name));
+        assert_eq!(
+            result.report.passes.len(),
+            strategy.passes.len()
+                + match strategy.scheduler {
+                    vsp_sched::SchedulerChoice::Sequential => 1,
+                    _ => 2, // lower + schedule
+                },
+            "{}: pass report covers every pipeline stage",
+            strategy.name
+        );
+    }
+}
