@@ -1,0 +1,77 @@
+//! Guards the zero-cost claim of the metrics layer: simulating with the
+//! default `NullRecorder` must run at the same speed as the
+//! pre-metrics simulator (the disabled recorder compiles away), while a
+//! live `Registry` shows the real cost of the windowed samplers — the
+//! acceptance bar is under 5% over the null path.
+//!
+//! Compare `metrics_overhead/null_recorder` against
+//! `metrics_overhead/registry` in the report; the first should match
+//! `simulator_throughput`'s numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vsp_core::models;
+use vsp_ir::Stmt;
+use vsp_kernels::ir::sad_16x16_kernel;
+use vsp_metrics::Registry;
+use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp_sim::Simulator;
+
+fn bench(c: &mut Criterion) {
+    let machine = models::i4c8s4();
+    let sad = sad_16x16_kernel();
+    let mut k = sad.kernel.clone();
+    vsp_ir::transform::fully_unroll_innermost(&mut k);
+    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+    let Stmt::Loop(l) = k
+        .body
+        .iter()
+        .find(|s| matches!(s, Stmt::Loop(_)))
+        .expect("row loop")
+    else {
+        unreachable!()
+    };
+    let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+    let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+    let deps = VopDeps::build(&machine, &body);
+    let sched = list_schedule(&machine, &body, &deps, 1).unwrap();
+    let generated = codegen_loop(
+        &machine,
+        &body,
+        &sched,
+        Some(LoopControl {
+            trip: 16,
+            index: Some((0, 0, 1)),
+        }),
+        machine.clusters,
+        "metrics-overhead",
+    )
+    .unwrap();
+
+    let cycles = {
+        let mut sim = Simulator::new(&machine, &generated.program).unwrap();
+        sim.run(1_000_000).unwrap().cycles
+    };
+
+    let mut g = c.benchmark_group("metrics_overhead");
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("null_recorder", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&machine, black_box(&generated.program)).unwrap();
+            sim.run(1_000_000).unwrap().cycles
+        })
+    });
+    g.bench_function("registry", |b| {
+        b.iter(|| {
+            let mut reg = Registry::new();
+            let mut sim =
+                Simulator::with_recorder(&machine, black_box(&generated.program), &mut reg)
+                    .unwrap();
+            sim.run(1_000_000).unwrap().cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

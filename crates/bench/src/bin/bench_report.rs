@@ -15,13 +15,19 @@
 //! 3. **Design-space sweep** — `vsp_vlsi::explore::sweep` vs
 //!    `sweep_parallel`.
 //!
+//! With `--gate`, the run doubles as the CI perf-regression gate: the
+//! fresh fast-path throughput is held against the best prior trajectory
+//! record ([`vsp_bench::gate`]) and the process exits nonzero when it
+//! lost more than `--tolerance` (default 10%).
+//!
 //! ```text
 //! cargo run --release -p vsp-bench --bin bench-report -- --iters 5
+//! cargo run --release -p vsp-bench --bin bench-report -- --iters 1 --gate --tolerance 0.5
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
-use vsp_bench::{tables, EvalEngine};
+use vsp_bench::{gate, tables, EvalEngine};
 use vsp_core::models;
 use vsp_ir::Stmt;
 use vsp_kernels::ir::sad_16x16_kernel;
@@ -36,15 +42,22 @@ parallel design-space sweep against their serial baselines, appends a
 JSON record to the benchmark trajectory, and prints a summary.
 
 options:
-  --iters N    repetitions per measurement (default 5; CI uses 1)
-  --out PATH   trajectory file (default BENCH_simulator.json)
-  --dry-run    measure and print, but do not write the trajectory
-  -h, --help   this text";
+  --iters N      repetitions per measurement (default 5; CI uses 1)
+  --out PATH     trajectory file (default BENCH_simulator.json)
+  --dry-run      measure and print, but do not write the trajectory
+  --gate         after appending, compare fast-path throughput against
+                 the best prior trajectory record and exit nonzero when
+                 it lost more than the tolerance (the CI perf gate)
+  --tolerance F  fractional loss the gate allows (default 0.10; CI cold
+                 runners pass a wider band to stay warn-only)
+  -h, --help     this text";
 
 struct Args {
     iters: u32,
     out: String,
     dry_run: bool,
+    gate: bool,
+    tolerance: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
         iters: 5,
         out: "BENCH_simulator.json".to_string(),
         dry_run: false,
+        gate: false,
+        tolerance: vsp_bench::gate::DEFAULT_TOLERANCE,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,12 +79,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value("--out")?,
             "--dry-run" => args.dry_run = true,
+            "--gate" => args.gate = true,
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if args.iters == 0 {
         return Err("--iters must be positive".into());
+    }
+    if !(0.0..1.0).contains(&args.tolerance) {
+        return Err("--tolerance must be in [0, 1)".into());
     }
     Ok(args)
 }
@@ -315,12 +339,28 @@ fn run() -> Result<(), String> {
         exp.serial_wall_s / exp.parallel_wall_s
     );
 
+    // Gate against the records that existed *before* this run is
+    // appended, so today's measurement never dilutes its own baseline.
+    let prior = if args.gate {
+        Some(std::fs::read_to_string(&args.out).unwrap_or_default())
+    } else {
+        None
+    };
+
     if args.dry_run {
         println!("(dry run: {} not written)", args.out);
     } else {
         let record = render_record(&args, &sim, &tab, &exp);
         append_record(&args.out, &record)?;
         println!("appended record to {}", args.out);
+    }
+
+    if let Some(prior) = prior {
+        let outcome = gate::check(&prior, gate::GATE_METRIC, sim.fast_cps, args.tolerance);
+        println!("gate      : {outcome}");
+        if !outcome.pass {
+            return Err(format!("perf gate failed: {outcome}"));
+        }
     }
     Ok(())
 }

@@ -27,6 +27,7 @@ use vsp_kernels::ir::{
     vbr_block_kernel,
 };
 use vsp_kernels::strategies;
+use vsp_metrics::{Recorder, Registry};
 use vsp_sched::{compile_with, CompileOptions, ScheduleArtifact, Strategy};
 
 const USAGE: &str = "usage: explore-strategies [options]
@@ -41,6 +42,9 @@ options:
   --strategy NAME  restrict to one catalog recipe (see `--list`)
   --validate       run the independent schedule checker after every pass
   --list           print the catalog recipe names and exit
+  --metrics PATH   write a metrics snapshot on exit: per-pass compile
+                   timings, per-strategy schedule quality, feasibility
+                   counters (.prom gets Prometheus text, else JSON)
   -h, --help       this text";
 
 struct Args {
@@ -49,6 +53,7 @@ struct Args {
     strategy: Option<String>,
     validate: bool,
     list: bool,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         strategy: None,
         validate: false,
         list: false,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
             "--strategy" => args.strategy = Some(value("--strategy")?),
             "--validate" => args.validate = true,
             "--list" => args.list = true,
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -92,14 +99,20 @@ fn kernels() -> Vec<(&'static str, Kernel)> {
 }
 
 /// One cell: compile `kernel` under `strategy`, render the artifacts.
+/// The recorder self-profiles the compile: per-pass wall time and
+/// schedule quality land under `vsp_sched_*` names.
 fn cell(
     machine: &MachineConfig,
     kernel: &Kernel,
     strategy: &Strategy,
     validate: bool,
+    reg: &mut Registry,
 ) -> Option<String> {
     let validator = ScheduleValidator;
-    let mut options = CompileOptions::default();
+    let mut options = CompileOptions {
+        recorder: Some(reg),
+        ..Default::default()
+    };
     if validate {
         options.validator = Some(&validator);
     }
@@ -155,26 +168,38 @@ fn run() -> Result<(), String> {
     };
 
     println!("{:<12} {:<24} {:<11} result", "kernel", "strategy", "model");
+    let mut reg = Registry::new();
     let mut feasible = 0u64;
     let mut infeasible = 0u64;
     for (kname, kernel) in &kernels {
         for strategy in &recipes {
             for machine in &machines {
-                match cell(machine, kernel, strategy, args.validate) {
-                    Some(rendered) => {
-                        feasible += 1;
-                        println!(
-                            "{kname:<12} {:<24} {:<11} {rendered}",
-                            strategy.name, machine.name
-                        );
-                    }
-                    None => {
-                        infeasible += 1;
-                        println!("{kname:<12} {:<24} {:<11} -", strategy.name, machine.name);
-                    }
+                let rendered = cell(machine, kernel, strategy, args.validate, &mut reg);
+                let outcome = if rendered.is_some() {
+                    feasible += 1;
+                    "feasible"
+                } else {
+                    infeasible += 1;
+                    "infeasible"
+                };
+                reg.add(
+                    "vsp_explore_cells_total",
+                    &[("kernel", kname), ("outcome", outcome)],
+                    1,
+                );
+                match rendered {
+                    Some(rendered) => println!(
+                        "{kname:<12} {:<24} {:<11} {rendered}",
+                        strategy.name, machine.name
+                    ),
+                    None => println!("{kname:<12} {:<24} {:<11} -", strategy.name, machine.name),
                 }
             }
         }
+    }
+    if let Some(path) = &args.metrics {
+        vsp_bench::metrics_io::write_snapshot(path, &reg.snapshot())?;
+        eprintln!("explore-strategies: wrote metrics snapshot to {path}");
     }
     eprintln!(
         "explore-strategies: {} kernels x {} strategies x {} models: \

@@ -38,6 +38,7 @@ use vsp_ir::{Kernel, Stmt};
 use vsp_kernels::ir::{
     color_quad_kernel, dct1d_kernel, dct_direct_mac_kernel, sad_16x16_kernel, vbr_block_kernel,
 };
+use vsp_metrics::{Recorder, Registry};
 use vsp_sched::pipeline::{PassConfig, ScheduleScope, SchedulerChoice};
 use vsp_sched::{codegen_loop, LoopControl, ScheduleArtifact, Strategy};
 use vsp_sim::{ArchState, Simulator};
@@ -64,6 +65,9 @@ options:
   --interval N   checkpoint interval in instruction words (default 64)
   --timeout-ms N per-case wall clock in campaign mode (default 60000)
   --json         emit cell reports as JSON lines
+  --metrics PATH write a metrics snapshot on exit: verdict counters,
+                 fault totals, per-cell cycle histograms (.prom gets
+                 Prometheus text, anything else JSON)
   -h, --help     this text";
 
 struct Args {
@@ -76,6 +80,7 @@ struct Args {
     timeout_ms: u64,
     campaign: Option<u64>,
     json: bool,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: 60_000,
         campaign: None,
         json: false,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -133,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--json" => args.json = true,
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -310,6 +317,29 @@ fn run_cell(
     }
 }
 
+/// Folds one cell into the metrics registry: verdict counters, fault
+/// totals per (kernel, model), and the surviving-timeline cycle
+/// histogram.
+fn record_cell(reg: &mut Registry, cell: &CellReport) {
+    let labels = [("kernel", cell.kernel), ("model", cell.model.as_str())];
+    reg.add("vsp_faults_verdicts_total", &[("verdict", cell.verdict)], 1);
+    reg.add("vsp_faults_injected_total", &labels, cell.injected);
+    reg.add("vsp_faults_detected_total", &labels, cell.detected);
+    reg.add("vsp_faults_corrected_total", &labels, cell.corrected);
+    reg.add(
+        "vsp_faults_uncorrectable_total",
+        &labels,
+        cell.uncorrectable,
+    );
+    reg.add("vsp_faults_retries_total", &labels, cell.retries);
+    reg.add(
+        "vsp_faults_recovery_cycles_total",
+        &labels,
+        cell.recovery_cycles,
+    );
+    reg.observe("vsp_faults_cell_cycles", &labels, cell.cycles);
+}
+
 fn emit(cell: &CellReport, json: bool) {
     if json {
         match serde_json::to_string(cell) {
@@ -366,7 +396,7 @@ fn selected(args: &Args) -> Result<(Vec<MachineConfig>, Vec<KernelSpec>), String
 }
 
 /// Sweep mode: every kernel × model × rate cell, serially, as a table.
-fn run_sweep(args: &Args) -> Result<(), String> {
+fn run_sweep(args: &Args, reg: &mut Registry) -> Result<(), String> {
     let (machines, kernels) = selected(args)?;
     if !args.json {
         println!(
@@ -410,6 +440,7 @@ fn run_sweep(args: &Args) -> Result<(), String> {
                 if cell.verdict == "sdc" {
                     sdc += 1;
                 }
+                record_cell(reg, &cell);
                 emit(&cell, args.json);
             }
         }
@@ -430,7 +461,7 @@ fn run_sweep(args: &Args) -> Result<(), String> {
 
 /// Campaign mode: N harness-isolated cells (round-robin over the
 /// kernel × model × rate space), reconciling report, CI-friendly exit.
-fn run_campaign(args: &Args, cases: u64) -> Result<(), String> {
+fn run_campaign(args: &Args, cases: u64, reg: &mut Registry) -> Result<(), String> {
     let (machines, kernels) = selected(args)?;
     let nonzero: Vec<u32> = args.rates.iter().copied().filter(|&r| r > 0).collect();
     let rates = if nonzero.is_empty() {
@@ -470,9 +501,22 @@ fn run_campaign(args: &Args, cases: u64) -> Result<(), String> {
                 unaccounted += 1;
             }
             *verdicts.entry(cell.verdict).or_default() += 1;
+            record_cell(reg, cell);
             if args.json {
                 emit(cell, true);
             }
+        }
+    }
+
+    // Harness-level outcome counters alongside the per-cell verdicts.
+    for (outcome, n) in [
+        ("completed", report.completed),
+        ("recovered", report.recovered),
+        ("faulted", report.faulted),
+        ("timed_out", report.timed_out),
+    ] {
+        if n > 0 {
+            reg.add("vsp_faults_cases_total", &[("outcome", outcome)], n);
         }
     }
 
@@ -498,10 +542,18 @@ fn run_campaign(args: &Args, cases: u64) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    match args.campaign {
-        Some(cases) => run_campaign(&args, cases),
-        None => run_sweep(&args),
+    let mut reg = Registry::new();
+    let result = match args.campaign {
+        Some(cases) => run_campaign(&args, cases, &mut reg),
+        None => run_sweep(&args, &mut reg),
+    };
+    // The snapshot is written even on a failing run: a snapshot of what
+    // went wrong is exactly when the metrics matter.
+    if let Some(path) = &args.metrics {
+        vsp_bench::metrics_io::write_snapshot(path, &reg.snapshot())?;
+        eprintln!("faults: wrote metrics snapshot to {path}");
     }
+    result
 }
 
 fn main() -> ExitCode {

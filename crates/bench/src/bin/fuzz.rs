@@ -31,6 +31,7 @@ use vsp_sim::RunStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use vsp_metrics::{Recorder, Registry};
 
 const USAGE: &str = "usage: fuzz [options]
 
@@ -51,6 +52,9 @@ options:
   --timeout-ms N   per-case wall-clock budget in ms (default 30000)
   --retries N      extra attempts after a panicked/timed-out case (default 1)
   --json           emit failures as JSON objects on stdout
+  --metrics PATH   write a metrics snapshot on exit: per-kind case and
+                   failure counters, simulated cycle/op totals (.prom
+                   gets Prometheus text, anything else JSON)
   -h, --help       this text";
 
 struct Args {
@@ -61,6 +65,7 @@ struct Args {
     timeout_ms: u64,
     retries: u32,
     json: bool,
+    metrics: Option<String>,
 }
 
 /// One failed case, as printed (JSON when a real serializer backend is
@@ -83,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: 30_000,
         retries: 1,
         json: false,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -115,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--retries: {e}"))?
             }
             "--json" => args.json = true,
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -189,6 +196,7 @@ fn run() -> Result<(), String> {
         backoff: Duration::from_millis(50),
     };
     let mut campaign = CampaignReport::default();
+    let mut reg = Registry::new();
     let mut failures: Vec<FailureReport> = Vec::new();
     let mut programs = 0u64;
     let mut kernels = 0u64;
@@ -202,13 +210,21 @@ fn run() -> Result<(), String> {
         let model_name = machine.name.clone();
         let is_kernel = i % 4 == 3;
         let is_pipeline = !is_kernel && i % 8 == 1;
-        if is_kernel {
+        let case_kind = if is_kernel {
             kernels += 1;
+            "kernel"
         } else if is_pipeline {
             pipelines += 1;
+            "pipeline"
         } else {
             programs += 1;
-        }
+            "program"
+        };
+        reg.add(
+            "vsp_fuzz_cases_total",
+            &[("kind", case_kind), ("model", model_name.as_str())],
+            1,
+        );
         let max_cycles = args.max_cycles;
 
         // The whole case — generation, validity check, differential
@@ -266,8 +282,14 @@ fn run() -> Result<(), String> {
             Ok(stats) => {
                 total_cycles += stats.cycles;
                 total_ops += stats.total_ops();
+                reg.observe("vsp_fuzz_case_cycles", &[("kind", case_kind)], stats.cycles);
             }
             Err((kind, failure)) => {
+                reg.add(
+                    "vsp_fuzz_failures_total",
+                    &[("kind", kind), ("model", model_name.as_str())],
+                    1,
+                );
                 let report = FailureReport {
                     seed: case_seed,
                     model: model_name,
@@ -278,6 +300,23 @@ fn run() -> Result<(), String> {
                 failures.push(report);
             }
         }
+    }
+
+    reg.add("vsp_fuzz_sim_cycles_total", &[], total_cycles);
+    reg.add("vsp_fuzz_sim_ops_total", &[], total_ops);
+    for (outcome, n) in [
+        ("completed", campaign.completed),
+        ("recovered", campaign.recovered),
+        ("faulted", campaign.faulted),
+        ("timed_out", campaign.timed_out),
+    ] {
+        if n > 0 {
+            reg.add("vsp_fuzz_harness_cases_total", &[("outcome", outcome)], n);
+        }
+    }
+    if let Some(path) = &args.metrics {
+        vsp_bench::metrics_io::write_snapshot(path, &reg.snapshot())?;
+        eprintln!("fuzz: wrote metrics snapshot to {path}");
     }
 
     eprintln!(

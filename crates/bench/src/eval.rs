@@ -22,6 +22,7 @@ use std::sync::Mutex;
 use vsp_core::MachineConfig;
 use vsp_fault::harness::{run_case, CampaignReport, CaseOutcome, HarnessConfig};
 use vsp_kernels::variants::{self, Row, TableRow};
+use vsp_metrics::{Recorder, SharedRegistry, Stopwatch};
 
 /// One per-machine row generator: a kernel's full variant sweep, the
 /// unit of memoization and parallelism.
@@ -129,6 +130,7 @@ impl std::fmt::Display for CellFailure {
 pub struct EvalEngine {
     cache: Mutex<HashMap<(u64, RowSource), Vec<Row>>>,
     serial: bool,
+    recorder: Option<SharedRegistry>,
 }
 
 impl EvalEngine {
@@ -141,8 +143,54 @@ impl EvalEngine {
     /// escape hatch for timing comparisons and debugging.
     pub fn serial() -> Self {
         EvalEngine {
-            cache: Mutex::new(HashMap::new()),
             serial: true,
+            ..Self::default()
+        }
+    }
+
+    /// Attaches a metrics registry: every assembly records cache
+    /// hits/misses (`vsp_eval_cache_{hits,misses}_total`), per-cell
+    /// wall-time histograms (`vsp_eval_cell_micros{source,machine}`),
+    /// batch throughput (`vsp_eval_cells_per_sec{path}`) and — on the
+    /// isolated path — per-cell verdict counters
+    /// (`vsp_eval_cell_verdicts_total{verdict}`).
+    pub fn with_recorder(mut self, recorder: SharedRegistry) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Counts one batch's cache outcome: `requested` cells were asked
+    /// for, `computed` of them had to be evaluated fresh; the rest —
+    /// including duplicate machine configurations deduplicated by
+    /// content key — were served from (or alongside) the cache.
+    fn record_cache_traffic(&self, requested: usize, computed: usize) {
+        if let Some(rec) = &self.recorder {
+            rec.with(|r| {
+                r.add("vsp_eval_cache_misses_total", &[], computed as u64);
+                r.add(
+                    "vsp_eval_cache_hits_total",
+                    &[],
+                    requested.saturating_sub(computed) as u64,
+                );
+            });
+        }
+    }
+
+    /// Records one finished batch of `cells` fresh evaluations that
+    /// took `micros` of wall clock on `path`.
+    fn record_batch(&self, path: &str, cells: usize, micros: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.with(|r| {
+                let labels = [("path", path)];
+                r.add("vsp_eval_cells_total", &labels, cells as u64);
+                if cells > 0 && micros > 0 {
+                    r.gauge(
+                        "vsp_eval_cells_per_sec",
+                        &labels,
+                        cells as f64 * 1_000_000.0 / micros as f64,
+                    );
+                }
+            });
         }
     }
 
@@ -171,15 +219,34 @@ impl EvalEngine {
                 }
             }
         }
-        let computed: Vec<((u64, RowSource), Vec<Row>)> = if self.serial {
-            jobs.into_iter()
-                .map(|(fp, s, m)| ((fp, s), s.rows(m)))
-                .collect()
-        } else {
-            jobs.into_par_iter()
-                .map(|(fp, s, m)| ((fp, s), s.rows(m)))
-                .collect()
+        self.record_cache_traffic(machines.len() * sources.len(), jobs.len());
+        let recorder = self.recorder.clone();
+        let eval_cell = move |(fp, s, m): (u64, RowSource, &MachineConfig)| {
+            let watch = Stopwatch::start();
+            let rows = s.rows(m);
+            if let Some(rec) = &recorder {
+                rec.with(|r| {
+                    r.observe(
+                        "vsp_eval_cell_micros",
+                        &[("source", s.name()), ("machine", m.name.as_str())],
+                        watch.elapsed_micros(),
+                    );
+                });
+            }
+            ((fp, s), rows)
         };
+        let batch = Stopwatch::start();
+        let cells = jobs.len();
+        let computed: Vec<((u64, RowSource), Vec<Row>)> = if self.serial {
+            jobs.into_iter().map(eval_cell).collect()
+        } else {
+            jobs.into_par_iter().map(eval_cell).collect()
+        };
+        self.record_batch(
+            if self.serial { "serial" } else { "parallel" },
+            cells,
+            batch.elapsed_micros(),
+        );
         {
             let mut cache = self.cache.lock().expect("eval cache poisoned");
             cache.extend(computed);
@@ -257,13 +324,34 @@ impl EvalEngine {
             }
         }
 
+        self.record_cache_traffic(machines.len() * sources.len(), jobs.len());
+        let batch = Stopwatch::start();
+        let cells = jobs.len();
         let mut failed: Vec<(u64, RowSource, String)> = Vec::new();
         for (fp, s, m) in jobs {
             // The closure is cloned into a worker thread that may
             // outlive this call (timeout leaks it), hence the owned
             // machine copy.
+            let machine_name = m.name.clone();
+            let watch = Stopwatch::start();
             let outcome = run_case(harness, move || s.rows(&m));
             report.record(&outcome);
+            if let Some(rec) = &self.recorder {
+                let verdict = match &outcome {
+                    CaseOutcome::Completed(_) => "completed",
+                    CaseOutcome::Recovered { .. } => "recovered",
+                    CaseOutcome::Faulted { .. } => "faulted",
+                    CaseOutcome::TimedOut => "timed_out",
+                };
+                rec.with(|r| {
+                    r.add("vsp_eval_cell_verdicts_total", &[("verdict", verdict)], 1);
+                    r.observe(
+                        "vsp_eval_cell_micros",
+                        &[("source", s.name()), ("machine", machine_name.as_str())],
+                        watch.elapsed_micros(),
+                    );
+                });
+            }
             match outcome {
                 CaseOutcome::Completed(rows) | CaseOutcome::Recovered { value: rows, .. } => {
                     self.cache
@@ -279,6 +367,8 @@ impl EvalEngine {
                 }
             }
         }
+
+        self.record_batch("isolated", cells, batch.elapsed_micros());
 
         // Expand fingerprint-level failures back to named machines and
         // drop those columns.
@@ -368,6 +458,68 @@ mod tests {
     #[test]
     fn empty_machine_list_yields_empty_table() {
         assert!(EvalEngine::new().table1(&[]).is_empty());
+    }
+
+    #[test]
+    fn recorder_counts_cells_and_cache_traffic() {
+        let reg = SharedRegistry::new();
+        let engine = EvalEngine::new().with_recorder(reg.clone());
+        let machines = models::table2_models();
+        let rows = engine.table2(&machines);
+        assert_eq!(rows, EvalEngine::new().table2(&machines));
+        let cells = engine.cached_cells() as u64;
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("vsp_eval_cache_misses_total", &[]),
+            Some(cells)
+        );
+        assert_eq!(snap.counter("vsp_eval_cache_hits_total", &[]), Some(0));
+        assert_eq!(
+            snap.counter("vsp_eval_cells_total", &[("path", "parallel")]),
+            Some(cells)
+        );
+        let cell = snap
+            .histogram(
+                "vsp_eval_cell_micros",
+                &[
+                    ("source", "dct-direct"),
+                    ("machine", machines[0].name.as_str()),
+                ],
+            )
+            .expect("per-cell wall-time histogram");
+        assert_eq!(cell.count, 1);
+        assert!(snap
+            .gauge("vsp_eval_cells_per_sec", &[("path", "parallel")])
+            .is_some());
+
+        // A second identical call is served from cache: hits only.
+        engine.table2(&machines);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("vsp_eval_cache_misses_total", &[]),
+            Some(cells)
+        );
+        assert_eq!(snap.counter("vsp_eval_cache_hits_total", &[]), Some(cells));
+    }
+
+    #[test]
+    fn recorder_sees_isolated_verdicts() {
+        let reg = SharedRegistry::new();
+        let engine = EvalEngine::new().with_recorder(reg.clone());
+        let machines = models::table2_models();
+        let harness = HarnessConfig::default();
+        let (_, report, failures) =
+            engine.assemble_isolated(&machines, &RowSource::TABLE2, &harness);
+        assert!(failures.is_empty(), "{failures:?}");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("vsp_eval_cell_verdicts_total", &[("verdict", "completed")]),
+            Some(report.total)
+        );
+        assert_eq!(
+            snap.counter("vsp_eval_cells_total", &[("path", "isolated")]),
+            Some(report.total)
+        );
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! The CI perf-regression gate: compares a freshly measured simulator
+//! throughput against the best record already in the benchmark
+//! trajectory (`BENCH_simulator.json`) and fails the run when the new
+//! number is more than a tolerance below it.
+//!
+//! The trajectory file is a plain JSON array of records, but the
+//! offline `serde_json` stand-in has no runtime parser, so the gate
+//! scans for `"<key>": <number>` pairs by hand — the trajectory is
+//! machine-written by `bench-report` with a fixed schema, which keeps
+//! the scan honest.
+
+/// The trajectory key the gate compares by default: simulated cycles
+/// per host second on the fast path.
+pub const GATE_METRIC: &str = "fast_cycles_per_sec";
+
+/// Default fractional throughput loss tolerated before the gate fails
+/// (0.10 = the measured number may be up to 10% below the best prior
+/// record).
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// Every numeric value recorded under `"key":` in `json`, in file
+/// order. Tolerates arbitrary whitespace after the colon; ignores
+/// non-numeric values.
+pub fn extract_metric(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let Some(colon) = rest.find(':') else { break };
+        // Only a match directly followed by a colon is a key.
+        if !rest[..colon].trim().is_empty() {
+            continue;
+        }
+        let value = rest[colon + 1..].trim_start();
+        let end = value
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(value.len());
+        if let Ok(v) = value[..end].parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// One gate evaluation: the measured value, what it was held against,
+/// and the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// The freshly measured value.
+    pub current: f64,
+    /// Best (highest) value among the prior records, if any existed.
+    pub best_prior: Option<f64>,
+    /// `current / best_prior`; 1.0 when there is no prior record.
+    pub ratio: f64,
+    /// Fractional loss tolerated.
+    pub tolerance: f64,
+    /// Whether the gate passes.
+    pub pass: bool,
+}
+
+impl std::fmt::Display for GateOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.best_prior {
+            Some(best) => write!(
+                f,
+                "{}: current {:.0} vs best prior {:.0} ({:.1}% of best, tolerance {:.0}%)",
+                if self.pass { "pass" } else { "FAIL" },
+                self.current,
+                best,
+                self.ratio * 100.0,
+                self.tolerance * 100.0,
+            ),
+            None => write!(
+                f,
+                "pass: current {:.0}, no prior record to compare",
+                self.current
+            ),
+        }
+    }
+}
+
+/// Gates `current` against the best prior value of `key` in the
+/// trajectory text. Passes when there is no prior record (first run on
+/// a fresh trajectory) or when
+/// `current >= best_prior * (1 - tolerance)`.
+pub fn check(trajectory_json: &str, key: &str, current: f64, tolerance: f64) -> GateOutcome {
+    let priors = extract_metric(trajectory_json, key);
+    let best_prior = priors.iter().copied().fold(None, |acc: Option<f64>, v| {
+        Some(acc.map_or(v, |a| a.max(v)))
+    });
+    match best_prior {
+        Some(best) if best > 0.0 => {
+            let ratio = current / best;
+            GateOutcome {
+                current,
+                best_prior,
+                ratio,
+                tolerance,
+                pass: ratio >= 1.0 - tolerance,
+            }
+        }
+        _ => GateOutcome {
+            current,
+            best_prior: None,
+            ratio: 1.0,
+            tolerance,
+            pass: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRAJECTORY: &str = r#"[
+  {
+    "schema": 1,
+    "simulator": {
+      "cycles_per_run": 642,
+      "fast_cycles_per_sec": 1800000,
+      "interp_cycles_per_sec": 700000
+    }
+  },
+  {
+    "schema": 1,
+    "simulator": {
+      "cycles_per_run": 642,
+      "fast_cycles_per_sec": 2000000,
+      "interp_cycles_per_sec": 759201
+    }
+  }
+]
+"#;
+
+    #[test]
+    fn extracts_every_record_in_order() {
+        assert_eq!(
+            extract_metric(TRAJECTORY, "fast_cycles_per_sec"),
+            vec![1_800_000.0, 2_000_000.0]
+        );
+        assert_eq!(extract_metric(TRAJECTORY, "schema"), vec![1.0, 1.0]);
+        assert!(extract_metric(TRAJECTORY, "missing_key").is_empty());
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        // >10% below the best prior record (2.0M): a 25% loss.
+        let outcome = check(TRAJECTORY, GATE_METRIC, 1_500_000.0, DEFAULT_TOLERANCE);
+        assert!(!outcome.pass, "{outcome}");
+        assert_eq!(outcome.best_prior, Some(2_000_000.0));
+        assert!(outcome.ratio < 0.9);
+    }
+
+    #[test]
+    fn recorded_baseline_passes_the_gate() {
+        // Matching the best record passes, as does a small dip inside
+        // the tolerance band.
+        assert!(check(TRAJECTORY, GATE_METRIC, 2_000_000.0, DEFAULT_TOLERANCE).pass);
+        assert!(check(TRAJECTORY, GATE_METRIC, 1_850_000.0, DEFAULT_TOLERANCE).pass);
+        // Exactly at the tolerance edge still passes.
+        assert!(check(TRAJECTORY, GATE_METRIC, 1_800_000.0, DEFAULT_TOLERANCE).pass);
+    }
+
+    #[test]
+    fn wider_tolerance_waives_a_cold_runner() {
+        let outcome = check(TRAJECTORY, GATE_METRIC, 1_200_000.0, 0.5);
+        assert!(outcome.pass, "{outcome}");
+    }
+
+    #[test]
+    fn empty_trajectory_passes() {
+        let outcome = check("[\n]\n", GATE_METRIC, 123.0, DEFAULT_TOLERANCE);
+        assert!(outcome.pass);
+        assert_eq!(outcome.best_prior, None);
+    }
+
+    #[test]
+    fn repo_trajectory_baseline_passes() {
+        // The recorded repo baseline gates against itself.
+        let text = match std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_simulator.json"
+        )) {
+            Ok(t) => t,
+            // A checkout without the trajectory (fresh clone pre-bench)
+            // has nothing to gate.
+            Err(_) => return,
+        };
+        let best = extract_metric(&text, GATE_METRIC)
+            .into_iter()
+            .fold(f64::MIN, f64::max);
+        assert!(best > 0.0, "trajectory has no {GATE_METRIC} records");
+        assert!(check(&text, GATE_METRIC, best, DEFAULT_TOLERANCE).pass);
+    }
+}

@@ -11,7 +11,10 @@
 
 pub mod conclusions;
 pub mod eval;
+pub mod gate;
+pub mod metrics_io;
 pub mod tables;
 
 pub use conclusions::Conclusions;
 pub use eval::{CellFailure, EvalEngine, RowSource};
+pub use gate::GateOutcome;

@@ -1,0 +1,58 @@
+//! Writing [`MetricsSnapshot`]s to disk for the `--metrics <path>`
+//! flags of the harness binaries.
+//!
+//! The format follows the file extension: `.prom` gets the Prometheus
+//! text exposition format, anything else the schema-tagged JSON
+//! rendering. Both are produced by `vsp-metrics` itself (hand-rendered
+//! — no serializer dependency), so the files are identical offline and
+//! in CI.
+
+use std::path::Path;
+use vsp_metrics::MetricsSnapshot;
+
+/// Renders `snap` in the format `path`'s extension selects: Prometheus
+/// text for `.prom`, JSON otherwise.
+pub fn render_snapshot(path: &Path, snap: &MetricsSnapshot) -> String {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("prom") => snap.to_prometheus(),
+        _ => snap.to_json(),
+    }
+}
+
+/// Writes `snap` to `path` ([`render_snapshot`] picks the format).
+///
+/// # Errors
+///
+/// A human-readable message when the write fails.
+pub fn write_snapshot(path: &str, snap: &MetricsSnapshot) -> Result<(), String> {
+    let p = Path::new(path);
+    std::fs::write(p, render_snapshot(p, snap)).map_err(|e| format!("write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsp_metrics::{Recorder, Registry};
+
+    fn sample() -> MetricsSnapshot {
+        let mut reg = Registry::new();
+        reg.add("vsp_test_cases_total", &[("suite", "io")], 3);
+        reg.observe("vsp_test_micros", &[], 17);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prom_extension_selects_prometheus_text() {
+        let out = render_snapshot(Path::new("/tmp/m.prom"), &sample());
+        assert!(out.contains("# TYPE vsp_test_cases_total counter"));
+        assert!(out.contains("vsp_test_cases_total{suite=\"io\"} 3"));
+    }
+
+    #[test]
+    fn other_extensions_select_json() {
+        for name in ["/tmp/m.json", "/tmp/metrics", "/tmp/m.txt"] {
+            let out = render_snapshot(Path::new(name), &sample());
+            assert!(out.contains("\"kind\": \"vsp-metrics-snapshot\""), "{name}");
+        }
+    }
+}

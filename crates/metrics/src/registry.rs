@@ -1,0 +1,290 @@
+//! In-memory recorders: [`Registry`] and its thread-shared wrapper.
+
+use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+use crate::{bucket_index, Recorder, HISTOGRAM_BUCKETS};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Fully-qualified metric identity: name plus sorted label pairs.
+///
+/// `BTreeMap` keying makes every export deterministic — two runs that
+/// record the same values render byte-identical snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// Histogram accumulator with fixed log2 buckets (see
+/// [`bucket_index`]).
+#[derive(Debug, Clone)]
+struct HistogramCell {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// The standard in-memory metrics recorder.
+///
+/// Stores counters, gauges and histograms keyed by name + labels, and
+/// produces deterministic [`MetricsSnapshot`]s. For single-threaded
+/// producers pass `&mut registry` (the [`Recorder`] impl for `&mut R`
+/// keeps it readable afterwards); for parallel producers wrap it in a
+/// [`SharedRegistry`].
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, HistogramCell>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Point-in-time copy of every metric, ready for export or diffing.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| CounterSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: v,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, &v)| GaugeSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: v,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| HistogramSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    buckets: h.buckets.to_vec(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: if h.count == 0 { 0 } else { h.min },
+                    max: h.max,
+                })
+                .collect(),
+        }
+    }
+
+    /// Current value of a counter, if it has been touched.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// Current value of a gauge, if it has been set.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl Recorder for Registry {
+    fn add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self
+            .counters
+            .entry(MetricKey::new(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), value);
+    }
+
+    fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(HistogramCell::new)
+            .observe(value);
+    }
+}
+
+/// A cloneable, thread-safe handle to one [`Registry`].
+///
+/// Each worker clones the handle and records through it; lock scope is
+/// one metric update, so contention stays negligible next to the work
+/// being measured. Used by the parallel assembly path of the eval
+/// engine and by campaign harness workers.
+#[derive(Debug, Default, Clone)]
+pub struct SharedRegistry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl SharedRegistry {
+    /// Creates a handle to a fresh registry.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedRegistry::default()
+    }
+
+    /// Snapshots the shared registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer panicked while holding the lock.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .snapshot()
+    }
+
+    /// Runs `f` with the underlying registry locked (e.g. to read a
+    /// counter mid-campaign).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer panicked while holding the lock.
+    pub fn with<T>(&self, f: impl FnOnce(&mut Registry) -> T) -> T {
+        f(&mut self.inner.lock().expect("metrics registry poisoned"))
+    }
+}
+
+impl Recorder for SharedRegistry {
+    fn add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        self.with(|r| r.add(name, labels, delta));
+    }
+
+    fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.with(|r| r.gauge(name, labels, value));
+    }
+
+    fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.with(|r| r.observe(name, labels, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_labels_distinguish() {
+        let mut r = Registry::new();
+        r.add("ops", &[("fu", "alu")], 2);
+        r.add("ops", &[("fu", "alu")], 3);
+        r.add("ops", &[("fu", "mul")], 1);
+        assert_eq!(r.counter("ops", &[("fu", "alu")]), Some(5));
+        assert_eq!(r.counter("ops", &[("fu", "mul")]), Some(1));
+        assert_eq!(r.counter("ops", &[]), None);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let mut r = Registry::new();
+        r.add("m", &[("b", "2"), ("a", "1")], 1);
+        r.add("m", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(r.counter("m", &[("b", "2"), ("a", "1")]), Some(2));
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        r.gauge("rate", &[], 1.0);
+        r.gauge("rate", &[], 2.5);
+        assert_eq!(r.gauge_value("rate", &[]), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut r = Registry::new();
+        for v in [0u64, 1, 5, 100] {
+            r.observe("lat", &[], v);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("lat", &[]).unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 106);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[3], 1); // 5
+        assert_eq!(h.buckets[7], 1); // 100
+    }
+
+    #[test]
+    fn shared_registry_merges_across_clones() {
+        let shared = SharedRegistry::new();
+        let mut handles: Vec<SharedRegistry> = (0..4).map(|_| shared.clone()).collect();
+        std::thread::scope(|s| {
+            for h in &mut handles {
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        h.add("n", &[], 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.snapshot().counter("n", &[]), Some(400));
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.observe("h", &[], 1);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,515 @@
+//! Point-in-time metric snapshots: diffing and export.
+
+use crate::{bucket_upper_bound, HISTOGRAM_BUCKETS};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every JSON export, bumped on layout change.
+pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+/// One counter reading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name (`vsp_sim_ops_total`, ...).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Monotonic value.
+    pub value: u64,
+}
+
+/// One gauge reading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// One histogram reading (fixed log2 buckets, see
+/// [`bucket_index`](crate::bucket_index)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Per-bucket observation counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+/// A deterministic, export-ready copy of a registry's contents.
+///
+/// Samples are sorted by name then labels, so equal registries render
+/// byte-identical Prometheus/JSON output — the golden-file tests rely
+/// on this.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter samples, sorted.
+    pub counters: Vec<CounterSample>,
+    /// Gauge samples, sorted.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram samples, sorted.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && labels_eq(&c.labels, labels))
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && labels_eq(&g.labels, labels))
+            .map(|g| g.value)
+    }
+
+    /// Looks up a histogram sample.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSample> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && labels_eq(&h.labels, labels))
+    }
+
+    /// True when the snapshot holds no samples at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The change from `earlier` to `self`: counters and histogram
+    /// buckets subtract (saturating, so a restarted source clamps to
+    /// zero rather than wrapping); gauges and histogram `min`/`max`
+    /// keep the later reading. Samples absent from `earlier` pass
+    /// through unchanged; samples absent from `self` are dropped.
+    #[must_use]
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| {
+                    let before = earlier
+                        .counter(&c.name, &borrow_labels(&c.labels))
+                        .unwrap_or(0);
+                    CounterSample {
+                        name: c.name.clone(),
+                        labels: c.labels.clone(),
+                        value: c.value.saturating_sub(before),
+                    }
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| {
+                    let before = earlier.histogram(&h.name, &borrow_labels(&h.labels));
+                    let mut out = h.clone();
+                    if let Some(b) = before {
+                        for (slot, prev) in out.buckets.iter_mut().zip(&b.buckets) {
+                            *slot = slot.saturating_sub(*prev);
+                        }
+                        out.count = out.count.saturating_sub(b.count);
+                        out.sum = out.sum.saturating_sub(b.sum);
+                    }
+                    out
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` headers, cumulative `_bucket{le=...}`
+    /// series with inclusive log2 bounds, `_sum` and `_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_header = String::new();
+        for c in &self.counters {
+            type_header(&mut out, &mut last_type_header, &c.name, "counter");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                c.name,
+                label_block(&c.labels, None),
+                c.value
+            );
+        }
+        for g in &self.gauges {
+            type_header(&mut out, &mut last_type_header, &g.name, "gauge");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                g.name,
+                label_block(&g.labels, None),
+                fmt_f64(g.value)
+            );
+        }
+        for h in &self.histograms {
+            type_header(&mut out, &mut last_type_header, &h.name, "histogram");
+            // Trailing empty buckets collapse into +Inf; the cumulative
+            // series stays correct and the exposition stays compact.
+            let top = h
+                .buckets
+                .iter()
+                .rposition(|&n| n > 0)
+                .map_or(0, |i| i + 1)
+                .min(HISTOGRAM_BUCKETS - 1);
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate().take(top) {
+                cumulative += n;
+                let le = bucket_upper_bound(i).expect("bounded bucket").to_string();
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    h.name,
+                    label_block(&h.labels, Some(&le)),
+                    cumulative
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                h.name,
+                label_block(&h.labels, Some("+Inf")),
+                h.count
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                h.name,
+                label_block(&h.labels, None),
+                h.sum
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                h.name,
+                label_block(&h.labels, None),
+                h.count
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot as schema-tagged JSON.
+    ///
+    /// Hand-rendered (like the bench-report records) because the
+    /// offline `serde_json` stand-in has no runtime serializer; the
+    /// serde derives cover the real-crates round-trip in CI.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {SNAPSHOT_SCHEMA},");
+        let _ = writeln!(out, "  \"kind\": \"vsp-metrics-snapshot\",");
+        out.push_str("  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"name\": {}, \"labels\": {}, \"value\": {}}}",
+                json_str(&c.name),
+                json_labels(&c.labels),
+                c.value
+            );
+        }
+        out.push_str(if self.counters.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"name\": {}, \"labels\": {}, \"value\": {}}}",
+                json_str(&g.name),
+                json_labels(&g.labels),
+                fmt_f64(g.value)
+            );
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"name\": {}, \"labels\": {}, \"count\": {}, \"sum\": {}, \
+                 \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                json_str(&h.name),
+                json_labels(&h.labels),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                buckets.join(", ")
+            );
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn labels_eq(owned: &[(String, String)], query: &[(&str, &str)]) -> bool {
+    let mut sorted: Vec<(&str, &str)> = query.to_vec();
+    sorted.sort_unstable();
+    owned.len() == sorted.len()
+        && owned
+            .iter()
+            .zip(&sorted)
+            .all(|((k, v), (qk, qv))| k == qk && v == qv)
+}
+
+fn borrow_labels(labels: &[(String, String)]) -> Vec<(&str, &str)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect()
+}
+
+fn type_header(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        *last = name.to_string();
+    }
+}
+
+/// `{k="v",...}` (empty string when no labels), with `le` appended for
+/// histogram bucket series.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}: {}", json_str(k), json_str(v)))
+        .collect();
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// JSON/Prometheus-safe float rendering: finite values print their
+/// shortest round-trip form with a forced decimal point; non-finite
+/// values clamp to 0 (they would not be valid JSON numbers).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, Registry};
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.add("vsp_test_ops_total", &[("fu", "alu")], 7);
+        r.add("vsp_test_ops_total", &[("fu", "mul")], 3);
+        r.gauge("vsp_test_rate", &[], 2.5);
+        for v in [0u64, 1, 2, 9] {
+            r.observe("vsp_test_lat_micros", &[("phase", "run")], v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_counters_and_gauges_render() {
+        let text = sample_registry().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE vsp_test_ops_total counter"), "{text}");
+        assert!(text.contains("vsp_test_ops_total{fu=\"alu\"} 7"), "{text}");
+        assert!(text.contains("vsp_test_ops_total{fu=\"mul\"} 3"), "{text}");
+        assert!(text.contains("# TYPE vsp_test_rate gauge"), "{text}");
+        assert!(text.contains("vsp_test_rate 2.5"), "{text}");
+        // One TYPE header per metric name, not per sample.
+        assert_eq!(text.matches("# TYPE vsp_test_ops_total").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_and_inclusive() {
+        let text = sample_registry().snapshot().to_prometheus();
+        // Values 0,1,2,9 → buckets: le=0 holds {0}, le=1 adds {1},
+        // le=3 adds {2}, le=15 adds {9}; +Inf equals the count.
+        assert!(
+            text.contains("vsp_test_lat_micros_bucket{phase=\"run\",le=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vsp_test_lat_micros_bucket{phase=\"run\",le=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vsp_test_lat_micros_bucket{phase=\"run\",le=\"3\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vsp_test_lat_micros_bucket{phase=\"run\",le=\"15\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vsp_test_lat_micros_bucket{phase=\"run\",le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vsp_test_lat_micros_sum{phase=\"run\"} 12"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vsp_test_lat_micros_count{phase=\"run\"} 4"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_export_is_schema_tagged_and_complete() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(
+            json.contains("\"kind\": \"vsp-metrics-snapshot\""),
+            "{json}"
+        );
+        assert!(json.contains("\"name\": \"vsp_test_ops_total\""), "{json}");
+        assert!(
+            json.contains("\"labels\": {\"fu\": \"alu\"}, \"value\": 7"),
+            "{json}"
+        );
+        assert!(json.contains("\"sum\": 12"), "{json}");
+        // Balanced braces/brackets (cheap well-formedness check the
+        // offline stub can't do by parsing).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_shells() {
+        let snap = MetricsSnapshot::default();
+        assert!(snap.is_empty());
+        assert_eq!(snap.to_prometheus(), "");
+        let json = snap.to_json();
+        assert!(json.contains("\"counters\": []"), "{json}");
+        assert!(json.contains("\"histograms\": []"), "{json}");
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_buckets() {
+        let mut r = sample_registry();
+        let before = r.snapshot();
+        r.add("vsp_test_ops_total", &[("fu", "alu")], 5);
+        r.observe("vsp_test_lat_micros", &[("phase", "run")], 100);
+        let delta = r.snapshot().diff(&before);
+        assert_eq!(
+            delta.counter("vsp_test_ops_total", &[("fu", "alu")]),
+            Some(5)
+        );
+        assert_eq!(
+            delta.counter("vsp_test_ops_total", &[("fu", "mul")]),
+            Some(0)
+        );
+        let h = delta
+            .histogram("vsp_test_lat_micros", &[("phase", "run")])
+            .unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 100);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn diff_passes_through_new_series() {
+        let mut r = Registry::new();
+        r.add("fresh", &[], 9);
+        let delta = r.snapshot().diff(&MetricsSnapshot::default());
+        assert_eq!(delta.counter("fresh", &[]), Some(9));
+    }
+
+    #[test]
+    fn float_rendering_stays_json_safe() {
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = Registry::new();
+        r.add("m", &[("k", "a\"b\\c")], 1);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("m{k=\"a\\\"b\\\\c\"} 1"), "{text}");
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"a\\\"b\\\\c\""), "{json}");
+    }
+}

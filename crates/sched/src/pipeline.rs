@@ -687,7 +687,8 @@ pub struct PipelineReport {
 }
 
 /// Optional hooks for [`compile_with`]: a trace sink receiving pass and
-/// scheduler decision events, and a post-pass validator.
+/// scheduler decision events, a post-pass validator, and a metrics
+/// recorder self-profiling the pipeline.
 #[derive(Default)]
 pub struct CompileOptions<'a> {
     /// Receives [`TraceEvent::PassComplete`] per pass plus the
@@ -695,6 +696,10 @@ pub struct CompileOptions<'a> {
     pub sink: Option<&'a mut dyn TraceSink>,
     /// Consulted after every pass; violations fail the compile.
     pub validator: Option<&'a dyn PipelineValidator>,
+    /// Receives per-pass wall time (`vsp_sched_pass_micros{pass=...}`)
+    /// and schedule-quality deltas (`vsp_sched_pass_stmts_delta`,
+    /// `vsp_sched_pass_vops_delta`) as the pipeline runs.
+    pub recorder: Option<&'a mut dyn vsp_metrics::Recorder>,
 }
 
 /// An ordered sequence of passes, ready to run over a unit.
@@ -752,6 +757,8 @@ impl Pipeline {
         let mut report = PipelineReport::default();
         let mut null = NullSink;
         for (seq, pass) in self.passes.iter().enumerate() {
+            let before = (unit.stmt_count(), unit.vop_count());
+            let watch = vsp_metrics::Stopwatch::start();
             {
                 let sink: &mut dyn TraceSink = match options.sink.as_mut() {
                     Some(s) => &mut **s,
@@ -765,6 +772,25 @@ impl Pipeline {
                         stmts: unit.stmt_count() as u32,
                         vops: unit.vop_count() as u32,
                     });
+                }
+            }
+            if let Some(rec) = options.recorder.as_mut() {
+                if rec.enabled() {
+                    let labels = [("pass", pass.name())];
+                    rec.observe("vsp_sched_pass_micros", &labels, watch.elapsed_micros());
+                    rec.add("vsp_sched_passes_total", &labels, 1);
+                    // Quality deltas: how much each technique grew or
+                    // shrank the kernel and its lowered form.
+                    rec.gauge(
+                        "vsp_sched_pass_stmts_delta",
+                        &labels,
+                        unit.stmt_count() as f64 - before.0 as f64,
+                    );
+                    rec.gauge(
+                        "vsp_sched_pass_vops_delta",
+                        &labels,
+                        unit.vop_count() as f64 - before.1 as f64,
+                    );
                 }
             }
             report.passes.push(PassRecord {
@@ -913,14 +939,30 @@ pub fn compile_with(
         pass: "schedule",
         detail: "pipeline finished without producing a schedule".into(),
     })?;
-    Ok(CompileResult {
+    let result = CompileResult {
         kernel: unit.kernel,
         lowered: unit.lowered,
         deps: unit.deps,
         schedule,
         scheduled_trip: unit.scheduled_trip,
         report,
-    })
+    };
+    if let Some(rec) = options.recorder.as_mut() {
+        if rec.enabled() {
+            let labels = [("strategy", strategy.name.as_str())];
+            rec.add("vsp_sched_compiles_total", &labels, 1);
+            if let Some(ii) = result.ii() {
+                rec.gauge("vsp_sched_schedule_ii", &labels, ii as f64);
+            }
+            if let Some(len) = result.length() {
+                rec.gauge("vsp_sched_schedule_length", &labels, len as f64);
+            }
+            if let Some(seq) = result.seq_cycles() {
+                rec.gauge("vsp_sched_seq_cycles", &labels, seq as f64);
+            }
+        }
+    }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -1048,12 +1090,60 @@ mod tests {
         let mut options = CompileOptions {
             sink: Some(&mut sink),
             validator: None,
+            recorder: None,
         };
         compile_with(&k, &m, &s, &mut options).unwrap();
         let passes = sink.count(|e| matches!(e, TraceEvent::PassComplete { .. }));
         assert_eq!(passes, 3, "cse + lower + schedule");
         // The scheduler's own decision log is interleaved.
         assert!(sink.count(|e| matches!(e, TraceEvent::ScheduleDone { .. })) >= 1);
+    }
+
+    #[test]
+    fn recorder_sees_pass_timings_and_quality() {
+        let k = sum_kernel();
+        let m = models::i4c8s4();
+        let s = Strategy::new(
+            "swp",
+            ScheduleScope::FirstLoop,
+            SchedulerChoice::Modulo {
+                clusters_used: 1,
+                ii_search: 64,
+            },
+        )
+        .then(PassConfig::Cse);
+        let mut reg = vsp_metrics::Registry::new();
+        let mut options = CompileOptions {
+            sink: None,
+            validator: None,
+            recorder: Some(&mut reg),
+        };
+        let result = compile_with(&k, &m, &s, &mut options).unwrap();
+        let snap = reg.snapshot();
+        // One count per executed pass: cse + lower + schedule.
+        for pass in ["cse", "lower", "schedule"] {
+            assert_eq!(
+                snap.counter("vsp_sched_passes_total", &[("pass", pass)]),
+                Some(1),
+                "missing pass counter for {pass}"
+            );
+            let timing = snap
+                .histogram("vsp_sched_pass_micros", &[("pass", pass)])
+                .unwrap_or_else(|| panic!("missing pass timing for {pass}"));
+            assert_eq!(timing.count, 1);
+        }
+        assert_eq!(
+            snap.counter("vsp_sched_compiles_total", &[("strategy", "swp")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.gauge("vsp_sched_schedule_ii", &[("strategy", "swp")]),
+            result.ii().map(|ii| ii as f64),
+        );
+        assert_eq!(
+            snap.gauge("vsp_sched_schedule_length", &[("strategy", "swp")]),
+            result.length().map(|l| l as f64),
+        );
     }
 
     #[test]
@@ -1070,6 +1160,7 @@ mod tests {
         let mut options = CompileOptions {
             sink: None,
             validator: Some(&RejectAll),
+            recorder: None,
         };
         match compile_with(&k, &m, &s, &mut options) {
             Err(SchedError::Pipeline { pass, detail }) => {

@@ -50,6 +50,7 @@ pub mod error;
 pub mod fault;
 pub mod icache;
 pub mod memory;
+pub mod metrics;
 pub mod simulator;
 pub mod stats;
 
@@ -57,5 +58,6 @@ pub use error::SimError;
 pub use fault::{FaultModel, NoFaults};
 pub use icache::InstructionCache;
 pub use memory::LocalMemory;
-pub use simulator::{ArchState, Checkpoint, HazardPolicy, Simulator};
+pub use metrics::record_run_stats;
+pub use simulator::{ArchState, Checkpoint, HazardPolicy, Simulator, DEFAULT_METRICS_WINDOW};
 pub use stats::RunStats;

@@ -1,0 +1,163 @@
+//! End-of-run metrics: folds a [`RunStats`] into a [`Recorder`].
+//!
+//! The fast path samples *time-windowed* histograms as it runs (see
+//! [`Simulator::with_recorder`](crate::Simulator::with_recorder)); this
+//! module covers the other half — the end-of-run totals the paper's
+//! tables are built from (per-FU operation counts, the stall
+//! breakdown, crossbar traffic, utilization) — so harnesses can stamp
+//! any finished run into a registry with one call.
+
+use crate::stats::RunStats;
+use vsp_metrics::Recorder;
+
+/// Records the end-of-run totals of `stats` into `recorder`, under the
+/// `vsp_sim_*` metric-name schema. `labels` (e.g. kernel and model
+/// names) are attached to every sample. No-op when the recorder is
+/// disabled.
+pub fn record_run_stats<R: Recorder>(stats: &RunStats, recorder: &mut R, labels: &[(&str, &str)]) {
+    if !recorder.enabled() {
+        return;
+    }
+    let mut fu_labels: Vec<(&str, &str)> = labels.to_vec();
+    fu_labels.push(("fu", ""));
+    for (class, &n) in &stats.ops_by_class {
+        let name = match class {
+            vsp_isa::FuClass::Alu => "alu",
+            vsp_isa::FuClass::Mul => "mul",
+            vsp_isa::FuClass::Shift => "shift",
+            vsp_isa::FuClass::Mem => "mem",
+            vsp_isa::FuClass::Branch => "branch",
+            vsp_isa::FuClass::Xfer => "xfer",
+        };
+        *fu_labels.last_mut().expect("fu label slot") = ("fu", name);
+        recorder.add("vsp_sim_ops_total", &fu_labels, n);
+    }
+
+    recorder.add("vsp_sim_cycles_total", labels, stats.cycles);
+    recorder.add("vsp_sim_words_total", labels, stats.words);
+    recorder.add("vsp_sim_annulled_ops_total", labels, stats.annulled_ops);
+    recorder.add("vsp_sim_loads_total", labels, stats.loads);
+    recorder.add("vsp_sim_stores_total", labels, stats.stores);
+    recorder.add("vsp_sim_transfers_total", labels, stats.transfers);
+    recorder.add("vsp_sim_taken_branches_total", labels, stats.taken_branches);
+    recorder.add("vsp_sim_icache_misses_total", labels, stats.icache_misses);
+
+    let mut cause_labels: Vec<(&str, &str)> = labels.to_vec();
+    cause_labels.push(("cause", "icache"));
+    recorder.add(
+        "vsp_sim_stall_cycles_total",
+        &cause_labels,
+        stats.icache_stall_cycles,
+    );
+    *cause_labels.last_mut().expect("cause label slot") = ("cause", "branch_bubble");
+    recorder.add(
+        "vsp_sim_stall_cycles_total",
+        &cause_labels,
+        stats.branch_bubble_cycles,
+    );
+
+    recorder.gauge("vsp_sim_issue_utilization", labels, stats.utilization());
+    recorder.gauge("vsp_sim_ops_per_cycle", labels, stats.ops_per_cycle());
+
+    if stats.faults_injected > 0 || stats.faults_detected > 0 {
+        recorder.add(
+            "vsp_sim_faults_injected_total",
+            labels,
+            stats.faults_injected,
+        );
+        recorder.add(
+            "vsp_sim_faults_detected_total",
+            labels,
+            stats.faults_detected,
+        );
+        recorder.add(
+            "vsp_sim_faults_corrected_total",
+            labels,
+            stats.faults_corrected,
+        );
+        recorder.add(
+            "vsp_sim_faults_uncorrectable_total",
+            labels,
+            stats.faults_uncorrectable,
+        );
+        recorder.add(
+            "vsp_sim_recovery_cycles_total",
+            labels,
+            stats.recovery_cycles,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsp_isa::FuClass;
+    use vsp_metrics::{NullRecorder, Registry};
+
+    fn stats_fixture() -> RunStats {
+        let mut s = RunStats {
+            cycles: 110,
+            words: 100,
+            issue_capacity: 1000,
+            loads: 8,
+            stores: 4,
+            transfers: 6,
+            taken_branches: 2,
+            icache_stall_cycles: 10,
+            icache_misses: 1,
+            branch_bubble_cycles: 3,
+            annulled_ops: 5,
+            ..RunStats::default()
+        };
+        s.ops_by_class.insert(FuClass::Alu, 200);
+        s.ops_by_class.insert(FuClass::Mul, 40);
+        s
+    }
+
+    #[test]
+    fn run_stats_fold_into_registry() {
+        let mut reg = Registry::new();
+        record_run_stats(&stats_fixture(), &mut reg, &[("kernel", "sad")]);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("vsp_sim_ops_total", &[("kernel", "sad"), ("fu", "alu")]),
+            Some(200)
+        );
+        assert_eq!(
+            snap.counter("vsp_sim_ops_total", &[("kernel", "sad"), ("fu", "mul")]),
+            Some(40)
+        );
+        assert_eq!(
+            snap.counter("vsp_sim_cycles_total", &[("kernel", "sad")]),
+            Some(110)
+        );
+        assert_eq!(
+            snap.counter(
+                "vsp_sim_stall_cycles_total",
+                &[("kernel", "sad"), ("cause", "icache")]
+            ),
+            Some(10)
+        );
+        assert_eq!(
+            snap.counter(
+                "vsp_sim_stall_cycles_total",
+                &[("kernel", "sad"), ("cause", "branch_bubble")]
+            ),
+            Some(3)
+        );
+        let util = snap
+            .gauge("vsp_sim_issue_utilization", &[("kernel", "sad")])
+            .unwrap();
+        assert!((util - 0.24).abs() < 1e-12, "{util}");
+        // No fault counters unless faults actually happened.
+        assert_eq!(
+            snap.counter("vsp_sim_faults_injected_total", &[("kernel", "sad")]),
+            None
+        );
+    }
+
+    #[test]
+    fn disabled_recorder_short_circuits() {
+        record_run_stats(&stats_fixture(), &mut NullRecorder, &[]);
+    }
+}

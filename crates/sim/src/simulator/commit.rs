@@ -9,7 +9,7 @@ use vsp_trace::TraceSink;
 
 use super::{Commit, HazardPolicy, Simulator, PENDING_SLOTS};
 
-impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
+impl<'a, S: TraceSink, F: FaultModel, M: vsp_metrics::Recorder> Simulator<'a, S, F, M> {
     /// Applies all register/predicate commits due at or before this cycle.
     ///
     /// Drains the ring slots for every cycle in

@@ -10,7 +10,7 @@ use vsp_trace::{FaultSite, TraceEvent, TraceSink};
 
 use super::{HazardPolicy, Simulator};
 
-impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
+impl<'a, S: TraceSink, F: FaultModel, M: vsp_metrics::Recorder> Simulator<'a, S, F, M> {
     /// Fast-path twin of [`Simulator::read_reg`] taking a raw register
     /// index; errors reconstruct the [`Reg`] so faults are identical to
     /// the interpretive path's.

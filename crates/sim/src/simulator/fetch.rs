@@ -9,7 +9,7 @@ use vsp_trace::{FaultSite, TraceEvent, TraceSink};
 
 use super::Simulator;
 
-impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
+impl<'a, S: TraceSink, F: FaultModel, M: vsp_metrics::Recorder> Simulator<'a, S, F, M> {
     /// Executes one instruction word (plus any fetch stall preceding it)
     /// on the pre-decoded fast path.
     ///
@@ -32,12 +32,20 @@ impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
             return Err(SimError::RanOffEnd { cycle: self.cycle });
         }
         let tracing = self.sink.enabled();
+        // Hoisted like the trace check: with the default NullRecorder
+        // this is a constant false and every metrics branch below is
+        // dead code.
+        let recording = self.recorder.enabled();
 
         // Fetch (may stall on an icache miss).
         let stall = self.icache.fetch(self.pc);
         if stall > 0 {
             self.stats.icache_misses += 1;
             self.stats.icache_stall_cycles += u64::from(stall);
+            if recording {
+                self.window.icache_refills += 1;
+                self.window.icache_stall_cycles += u64::from(stall);
+            }
             if tracing {
                 self.sink.emit(TraceEvent::IcacheMiss {
                     cycle: self.cycle,
@@ -194,6 +202,9 @@ impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
                 DKind::Xfer { dst, from, src } => {
                     let v = self.read_reg_idx(from, src, word_index)?;
                     self.stats.transfers += 1;
+                    if recording {
+                        self.window.transfers += 1;
+                    }
                     let v = if self.faults.enabled() {
                         self.fault_xfer(from, c, src, v)
                     } else {
@@ -304,6 +315,14 @@ impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+
+        if recording {
+            self.window.words += 1;
+            self.window.issued_ops += u64::from(word_issued_ops);
+            if self.halted || self.cycle.wrapping_sub(self.window_start) >= self.metrics_window {
+                self.flush_metrics_window();
+            }
+        }
         Ok(())
     }
 }

@@ -11,7 +11,7 @@ use vsp_trace::{TraceEvent, TraceSink};
 
 use super::{Commit, HazardPolicy, Simulator};
 
-impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
+impl<'a, S: TraceSink, F: FaultModel, M: vsp_metrics::Recorder> Simulator<'a, S, F, M> {
     /// Executes one instruction word on the legacy interpretive path:
     /// walks the symbolic [`Program`](vsp_isa::Program) word (cloned per
     /// step), resolving

@@ -23,6 +23,7 @@ use crate::stats::RunStats;
 use std::collections::BTreeMap;
 use vsp_core::{validate_program, MachineConfig};
 use vsp_isa::{ClusterId, Pred, Program, Reg};
+use vsp_metrics::{NullRecorder, Recorder};
 use vsp_trace::{NullSink, TraceSink};
 
 mod commit;
@@ -41,6 +42,22 @@ mod tests;
 /// delays), so a fixed window covers every commit; the rare latency
 /// beyond it falls back to the ordered overflow map.
 const PENDING_SLOTS: usize = 16;
+
+/// Default width of a metrics sampling window, in cycles (see
+/// [`Simulator::set_metrics_window`]).
+pub const DEFAULT_METRICS_WINDOW: u64 = 4096;
+
+/// Per-window accumulators for the time-windowed metrics the fast path
+/// samples when a recorder is attached. Never touched (beyond struct
+/// init) when the recorder reports itself disabled.
+#[derive(Debug, Clone, Copy, Default)]
+struct MetricsWindow {
+    words: u64,
+    issued_ops: u64,
+    transfers: u64,
+    icache_stall_cycles: u64,
+    icache_refills: u64,
+}
 
 /// What to do when an operation reads a register whose producer has not
 /// completed.
@@ -100,8 +117,19 @@ pub struct ArchState {
 /// [`NoFaults`] compiles all injection hooks out of the fast path, and
 /// [`Simulator::with_sink_and_faults`] opts a run into a concrete model
 /// (see the `vsp-fault` crate for seeded plans and recovery).
+///
+/// And generic over a [`Recorder`] the same way: the default
+/// [`NullRecorder`] compiles the metrics sampling out, while
+/// [`Simulator::with_recorder`] / [`Simulator::with_instrumentation`]
+/// stream time-windowed issue/stall/crossbar/icache histograms into a
+/// metrics registry as the run progresses.
 #[derive(Debug)]
-pub struct Simulator<'a, S: TraceSink = NullSink, F: FaultModel = NoFaults> {
+pub struct Simulator<
+    'a,
+    S: TraceSink = NullSink,
+    F: FaultModel = NoFaults,
+    M: Recorder = NullRecorder,
+> {
     machine: &'a MachineConfig,
     program: &'a Program,
     /// Pre-decoded twin of `program` (flat ops, resolved latencies);
@@ -131,6 +159,13 @@ pub struct Simulator<'a, S: TraceSink = NullSink, F: FaultModel = NoFaults> {
     stats: RunStats,
     sink: S,
     faults: F,
+    recorder: M,
+    /// Width of one metrics sampling window, in cycles.
+    metrics_window: u64,
+    /// Cycle at which the current metrics window opened.
+    window_start: u64,
+    /// Accumulators for the window in progress.
+    window: MetricsWindow,
     /// Committed ops per cluster within the word being issued (scratch
     /// for the utilization histogram).
     word_cluster_ops: Vec<u32>,
@@ -199,6 +234,43 @@ impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
         sink: S,
         faults: F,
     ) -> Result<Self, SimError> {
+        Self::with_instrumentation(machine, program, sink, faults, NullRecorder)
+    }
+}
+
+impl<'a, M: Recorder> Simulator<'a, NullSink, NoFaults, M> {
+    /// Creates a simulator that samples time-windowed metrics into
+    /// `recorder` (typically `&mut registry`, since [`Recorder`] is
+    /// implemented for mutable references) without tracing or faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the program fails structural
+    /// validation for the machine.
+    pub fn with_recorder(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        recorder: M,
+    ) -> Result<Self, SimError> {
+        Self::with_instrumentation(machine, program, NullSink, NoFaults, recorder)
+    }
+}
+
+impl<'a, S: TraceSink, F: FaultModel, M: Recorder> Simulator<'a, S, F, M> {
+    /// Fully-instrumented construction: trace sink, fault model and
+    /// metrics recorder together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the program fails structural
+    /// validation for the machine.
+    pub fn with_instrumentation(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        sink: S,
+        faults: F,
+        recorder: M,
+    ) -> Result<Self, SimError> {
         validate_program(machine, program)?;
         let clusters = machine.clusters as usize;
         let regs = machine.cluster.registers as usize;
@@ -236,6 +308,10 @@ impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
             stats: RunStats::default(),
             sink,
             faults,
+            recorder,
+            metrics_window: DEFAULT_METRICS_WINDOW,
+            window_start: 0,
+            window: MetricsWindow::default(),
             word_cluster_ops: vec![0; clusters],
             word_touched: Vec::with_capacity(clusters),
             scratch_stores: Vec::new(),
@@ -264,6 +340,63 @@ impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
     /// Mutable access to the fault model (e.g. to re-arm a trigger).
     pub fn faults_mut(&mut self) -> &mut F {
         &mut self.faults
+    }
+
+    /// The metrics recorder.
+    pub fn recorder(&self) -> &M {
+        &self.recorder
+    }
+
+    /// Mutable access to the metrics recorder.
+    pub fn recorder_mut(&mut self) -> &mut M {
+        &mut self.recorder
+    }
+
+    /// Sets the metrics sampling window width (cycles per histogram
+    /// observation; default [`DEFAULT_METRICS_WINDOW`]). Ignored when
+    /// the recorder is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn set_metrics_window(&mut self, cycles: u64) {
+        assert!(cycles > 0, "metrics window must be at least one cycle");
+        self.metrics_window = cycles;
+    }
+
+    /// Flushes the metrics window in progress (called automatically at
+    /// window boundaries and when a halt commits; harnesses that stop a
+    /// run early — cycle budgets, checkpoint abandonment — call this to
+    /// avoid losing the tail window). No-op when the recorder is
+    /// disabled or the window is empty.
+    pub fn flush_metrics_window(&mut self) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let w = self.window;
+        if w.words == 0
+            && w.issued_ops == 0
+            && w.transfers == 0
+            && w.icache_stall_cycles == 0
+            && w.icache_refills == 0
+        {
+            self.window_start = self.cycle;
+            return;
+        }
+        self.recorder.observe("vsp_sim_window_words", &[], w.words);
+        self.recorder
+            .observe("vsp_sim_window_issued_ops", &[], w.issued_ops);
+        self.recorder
+            .observe("vsp_sim_window_transfers", &[], w.transfers);
+        self.recorder.observe(
+            "vsp_sim_window_icache_stall_cycles",
+            &[],
+            w.icache_stall_cycles,
+        );
+        self.recorder
+            .observe("vsp_sim_window_icache_refills", &[], w.icache_refills);
+        self.window = MetricsWindow::default();
+        self.window_start = self.cycle;
     }
 
     /// Selects the hazard policy.

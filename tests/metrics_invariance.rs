@@ -1,0 +1,146 @@
+//! Overhead-invariance tests for the metrics layer.
+//!
+//! Attaching a live [`vsp::metrics::Registry`] to the simulator must be
+//! purely observational: [`RunStats`] and the final architectural state
+//! are held bit-identical to the default `NullRecorder` run over the
+//! same kernel × model matrix the `fast_path_diff` differential tests
+//! pin. A second test pins the JSON export of one kernel × model run to
+//! a committed golden file (the windowed simulator histograms and
+//! end-of-run totals are deterministic — no wall-clock metrics are
+//! recorded on this path).
+
+use vsp::core::{models, MachineConfig};
+use vsp::ir::Stmt;
+use vsp::kernels::ir::{
+    color_quad_kernel, dct1d_kernel, dct_direct_mac_kernel, sad_16x16_kernel, vbr_block_kernel,
+};
+use vsp::metrics::Registry;
+use vsp::sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp::sim::{record_run_stats, Simulator};
+
+/// The six kernels of the differential matrix, as
+/// (name, IR, unroll-innermost) triples — the same set
+/// `fast_path_diff` certifies.
+fn kernels() -> Vec<(&'static str, vsp::ir::Kernel, bool)> {
+    vec![
+        ("sad", sad_16x16_kernel().kernel, true),
+        ("dct-row", dct1d_kernel(true).kernel, true),
+        ("dct-col", dct1d_kernel(false).kernel, true),
+        ("dct-mac", dct_direct_mac_kernel().kernel, true),
+        ("color", color_quad_kernel(4).kernel, true),
+        ("vbr", vbr_block_kernel().kernel, false),
+    ]
+}
+
+/// The `fast_path_diff` standard recipe: innermost loop optionally
+/// fully unrolled, if-converted, CSE, list-scheduled, replicated across
+/// all clusters.
+fn compile(
+    machine: &MachineConfig,
+    name: &str,
+    kernel: &vsp::ir::Kernel,
+    unroll: bool,
+) -> vsp::isa::Program {
+    let mut k = kernel.clone();
+    if unroll {
+        vsp::ir::transform::fully_unroll_innermost(&mut k);
+    }
+    vsp::ir::transform::if_convert(&mut k);
+    vsp::ir::transform::eliminate_common_subexpressions(&mut k);
+    let layout = ArrayLayout::contiguous(&k, machine).unwrap_or_else(|e| {
+        panic!("{name} on {}: layout failed: {e:?}", machine.name);
+    });
+    let (stmts, ctl) = match k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) {
+        Some(Stmt::Loop(l)) => (
+            &l.body,
+            Some(LoopControl {
+                trip: l.trip,
+                index: Some((0, l.start, l.step)),
+            }),
+        ),
+        _ => (&k.body, None),
+    };
+    let body = lower_body(machine, &k, stmts, &layout).unwrap_or_else(|e| {
+        panic!("{name} on {}: lowering failed: {e:?}", machine.name);
+    });
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1)
+        .unwrap_or_else(|| panic!("{name} on {}: unschedulable", machine.name));
+    codegen_loop(machine, &body, &sched, ctl, machine.clusters, name)
+        .unwrap_or_else(|e| panic!("{name} on {}: codegen failed: {e:?}", machine.name))
+        .program
+}
+
+/// The invariance contract: a live registry changes nothing the
+/// simulation can observe — exact `RunStats` and `ArchState` equality
+/// against the `NullRecorder` run, over the full kernel × model matrix.
+#[test]
+fn live_recorder_never_perturbs_stats_or_state() {
+    for machine in models::all_models() {
+        for (name, kernel, unroll) in kernels() {
+            let program = compile(&machine, name, &kernel, unroll);
+
+            let mut base_sim = Simulator::new(&machine, &program).expect("valid program");
+            let base_stats = base_sim.run(1_000_000).expect("halts");
+            let base_state = base_sim.arch_state();
+
+            let mut reg = Registry::new();
+            let mut sim =
+                Simulator::with_recorder(&machine, &program, &mut reg).expect("valid program");
+            let stats = sim.run(1_000_000).expect("halts");
+            let state = sim.arch_state();
+            drop(sim);
+
+            assert_eq!(
+                stats, base_stats,
+                "RunStats diverged under a live recorder: {name} on {}",
+                machine.name
+            );
+            assert_eq!(
+                state, base_state,
+                "ArchState diverged under a live recorder: {name} on {}",
+                machine.name
+            );
+            // The run was actually observed, not silently skipped.
+            assert!(
+                !reg.is_empty(),
+                "live recorder saw nothing: {name} on {}",
+                machine.name
+            );
+            assert!(
+                reg.snapshot()
+                    .histogram("vsp_sim_window_words", &[])
+                    .is_some(),
+                "windowed sampler never flushed: {name} on {}",
+                machine.name
+            );
+        }
+    }
+}
+
+/// Golden-file pin: the JSON export of the SAD × I4C8S4 run (windowed
+/// simulator histograms + end-of-run totals) is byte-identical to the
+/// committed baseline. Regenerate by copying the file this test writes
+/// to `/tmp/metrics_golden_actual.json` on mismatch.
+#[test]
+fn sad_i4c8s4_metrics_json_matches_golden() {
+    let machine = models::i4c8s4();
+    let program = compile(&machine, "sad", &sad_16x16_kernel().kernel, true);
+    let mut reg = Registry::new();
+    let stats = {
+        let mut sim =
+            Simulator::with_recorder(&machine, &program, &mut reg).expect("valid program");
+        sim.run(1_000_000).expect("halts")
+    };
+    record_run_stats(&stats, &mut reg, &[("kernel", "sad"), ("model", "I4C8S4")]);
+
+    let actual = reg.snapshot().to_json();
+    let golden = include_str!("golden_metrics_sad_i4c8s4.json");
+    if actual != golden {
+        let _ = std::fs::write("/tmp/metrics_golden_actual.json", &actual);
+        panic!(
+            "metrics JSON drifted from tests/golden_metrics_sad_i4c8s4.json; \
+             actual written to /tmp/metrics_golden_actual.json"
+        );
+    }
+}
