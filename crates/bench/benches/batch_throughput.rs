@@ -1,0 +1,87 @@
+//! Times the SoA lockstep batch engine against per-run fast-path
+//! execution on the generated SAD row loop, at batch sizes 1, 8, 64
+//! and 256 (aggregate simulated cycles per host second — the
+//! throughput denominator scales with the batch size).
+//!
+//! `scalar_campaign_N` constructs and runs `N` independent simulators,
+//! the way a campaign driver without the batch engine executes;
+//! `batch_N` decodes once and runs the same `N` executions as lockstep
+//! lanes through one [`BatchSimulator`] with its arena reused across
+//! iterations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vsp_core::models;
+use vsp_ir::Stmt;
+use vsp_kernels::ir::sad_16x16_kernel;
+use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp_sim::{BatchSimulator, DecodedProgram, RunSpec, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let machine = models::i4c8s4();
+    let sad = sad_16x16_kernel();
+    let mut k = sad.kernel.clone();
+    vsp_ir::transform::fully_unroll_innermost(&mut k);
+    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+    let Stmt::Loop(l) = k
+        .body
+        .iter()
+        .find(|s| matches!(s, Stmt::Loop(_)))
+        .expect("row loop")
+    else {
+        unreachable!()
+    };
+    let layout = ArrayLayout::contiguous(&k, &machine).unwrap();
+    let body = lower_body(&machine, &k, &l.body, &layout).unwrap();
+    let deps = VopDeps::build(&machine, &body);
+    let sched = list_schedule(&machine, &body, &deps, 1).unwrap();
+    let generated = codegen_loop(
+        &machine,
+        &body,
+        &sched,
+        Some(LoopControl {
+            trip: 16,
+            index: Some((0, 0, 1)),
+        }),
+        machine.clusters,
+        "batch-bench",
+    )
+    .unwrap();
+    let program = &generated.program;
+
+    // One run's simulated cycle count, for the throughput denominator.
+    let cycles = {
+        let mut sim = Simulator::new(&machine, program).unwrap();
+        sim.run(1_000_000).unwrap().cycles
+    };
+
+    let mut g = c.benchmark_group("batch");
+    for lanes in [1usize, 8, 64, 256] {
+        g.throughput(Throughput::Elements(cycles * lanes as u64));
+        g.bench_function(format!("scalar_campaign_{lanes}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..lanes {
+                    let mut sim = Simulator::new(&machine, black_box(program)).unwrap();
+                    acc += sim.run(1_000_000).unwrap().cycles;
+                }
+                acc
+            })
+        });
+        g.bench_function(format!("batch_{lanes}"), |b| {
+            let mut sim = BatchSimulator::new(&machine);
+            b.iter(|| {
+                let decoded = DecodedProgram::prepare(&machine, black_box(program)).unwrap();
+                let specs = (0..lanes).map(|_| RunSpec::new(1_000_000)).collect();
+                sim.run_batch_stats(&decoded, specs)
+                    .iter()
+                    .map(|s| s.cycles)
+                    .sum::<u64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,14 +10,22 @@
 //!    simulated cycles per host second. Construction sits outside the
 //!    timed region (throughput is a run-phase property) and the two
 //!    timed loops interleave so CPU frequency drift biases neither.
-//! 2. **Tables** — serial `assemble_table` vs the parallel + memoized
+//! 2. **Batch engine** — a 1000-case fault campaign (per-case seeded
+//!    zero-rate [`vsp_fault::FaultPlan`]s, the sweep's baseline arm)
+//!    executed as per-run fast-path simulations (construct + run each
+//!    with its fault model) vs one decode plus
+//!    [`BatchSimulator::run_batch`] over all cases as lockstep lanes,
+//!    in aggregate simulated cycles per host second, with every lane's
+//!    `RunStats` asserted equal to the scalar run first.
+//! 3. **Tables** — serial `assemble_table` vs the parallel + memoized
 //!    [`EvalEngine`] for Tables 1 and 2, asserting byte-identical text.
-//! 3. **Design-space sweep** — `vsp_vlsi::explore::sweep` vs
+//! 4. **Design-space sweep** — `vsp_vlsi::explore::sweep` vs
 //!    `sweep_parallel`.
 //!
 //! With `--gate`, the run doubles as the CI perf-regression gate: the
-//! fresh fast-path throughput is held against the best prior trajectory
-//! record ([`vsp_bench::gate`]) and the process exits nonzero when it
+//! fresh fast-path throughput *and* the batch-engine aggregate
+//! throughput are each held against the best prior trajectory record
+//! ([`vsp_bench::gate`]) and the process exits nonzero when either
 //! lost more than `--tolerance` (default 10%).
 //!
 //! ```text
@@ -29,10 +37,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 use vsp_bench::{gate, tables, EvalEngine};
 use vsp_core::models;
+use vsp_fault::FaultPlan;
 use vsp_ir::Stmt;
 use vsp_kernels::ir::sad_16x16_kernel;
 use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
-use vsp_sim::Simulator;
+use vsp_sim::{BatchSimulator, DecodedProgram, RunSpec, Simulator};
+use vsp_trace::NullSink;
 use vsp_vlsi::explore::{sweep, sweep_parallel, Constraints};
 
 const USAGE: &str = "usage: bench-report [options]
@@ -179,6 +189,93 @@ fn measure_simulator(iters: u32) -> Result<SimResult, String> {
     })
 }
 
+struct BatchResult {
+    runs: usize,
+    cycles_per_run: u64,
+    scalar_wall_s: f64,
+    batch_wall_s: f64,
+    scalar_cps: f64,
+    batch_cps: f64,
+}
+
+/// The campaign comparison: a `runs`-case fault campaign over the SAD
+/// row loop — each case carries its own seeded zero-rate
+/// [`FaultPlan`], exactly the specs the `faults` campaign driver
+/// builds for its baseline rate arm — once as per-run fast-path
+/// simulations (constructing a fresh [`Simulator`] with its fault
+/// model for each case — decode and allocation inside the loop,
+/// exactly what a campaign driver without the batch engine pays),
+/// once as a single decode plus one [`BatchSimulator::run_batch`]
+/// over all cases as lockstep lanes.
+fn measure_batch(iters: u32) -> Result<BatchResult, String> {
+    const RUNS: usize = 1000;
+    let machine = models::i4c8s4();
+    let generated = sad_program(&machine)?;
+    let program = &generated.program;
+    // The campaign's per-case fault plans: distinct seeds, rate 0 —
+    // the sweep baseline. Quiet plans keep both engines on their fast
+    // paths while exercising the full campaign spec plumbing.
+    let plan = |case: usize| FaultPlan::transient(0x5eed + case as u64, 0);
+
+    // Equality before timing: every batch lane must reproduce the
+    // scalar run's statistics exactly.
+    let scalar_stats = {
+        let mut sim = Simulator::new(&machine, program).map_err(|e| e.to_string())?;
+        sim.run(1_000_000).map_err(|e| e.to_string())?
+    };
+    let mut bsim = BatchSimulator::new(&machine);
+    {
+        let decoded = DecodedProgram::prepare(&machine, program).map_err(|e| e.to_string())?;
+        let specs = (0..RUNS)
+            .map(|i| RunSpec::with_faults(1_000_000, plan(i).build()))
+            .collect();
+        for (lane, stats) in bsim.run_batch_stats(&decoded, specs).iter().enumerate() {
+            if *stats != scalar_stats {
+                return Err(format!("batch lane {lane} RunStats diverged from scalar"));
+            }
+        }
+    }
+    let cycles = scalar_stats.cycles;
+
+    let mut scalar_wall_s = 0.0;
+    let mut batch_wall_s = 0.0;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..RUNS {
+            let mut sim =
+                Simulator::with_sink_and_faults(&machine, program, NullSink, plan(i).build())
+                    .map_err(|e| e.to_string())?;
+            acc += sim.run(1_000_000).map_err(|e| e.to_string())?.cycles;
+        }
+        scalar_wall_s += t.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+
+        let t = Instant::now();
+        let decoded = DecodedProgram::prepare(&machine, program).map_err(|e| e.to_string())?;
+        let specs = (0..RUNS)
+            .map(|i| RunSpec::with_faults(1_000_000, plan(i).build()))
+            .collect();
+        let acc: u64 = bsim
+            .run_batch_stats(&decoded, specs)
+            .iter()
+            .map(|s| s.cycles)
+            .sum();
+        batch_wall_s += t.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+    }
+
+    let total = cycles as f64 * RUNS as f64 * f64::from(iters);
+    Ok(BatchResult {
+        runs: RUNS,
+        cycles_per_run: cycles,
+        scalar_wall_s,
+        batch_wall_s,
+        scalar_cps: total / scalar_wall_s,
+        batch_cps: total / batch_wall_s,
+    })
+}
+
 struct TablesResult {
     serial_wall_s: f64,
     engine_wall_s: f64,
@@ -245,7 +342,13 @@ fn measure_explore(iters: u32) -> Result<ExploreResult, String> {
 
 /// Renders the record by hand: the offline `serde_json` stand-in has no
 /// runtime serializer, and the schema is small enough to keep honest.
-fn render_record(args: &Args, sim: &SimResult, tab: &TablesResult, exp: &ExploreResult) -> String {
+fn render_record(
+    args: &Args,
+    sim: &SimResult,
+    bat: &BatchResult,
+    tab: &TablesResult,
+    exp: &ExploreResult,
+) -> String {
     let epoch_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -265,6 +368,17 @@ fn render_record(args: &Args, sim: &SimResult, tab: &TablesResult, exp: &Explore
             "      \"fast_cycles_per_sec\": {:.0},\n",
             "      \"interp_cycles_per_sec\": {:.0},\n",
             "      \"speedup\": {:.3}\n",
+            "    }},\n",
+            "    \"batch\": {{\n",
+            "      \"workload\": \"sad_row_loop_fault_campaign\",\n",
+            "      \"runs\": {},\n",
+            "      \"cycles_per_run\": {},\n",
+            "      \"scalar_wall_s\": {:.6},\n",
+            "      \"batch_wall_s\": {:.6},\n",
+            "      \"scalar_cycles_per_sec\": {:.0},\n",
+            "      \"batch_cycles_per_sec\": {:.0},\n",
+            "      \"speedup\": {:.3},\n",
+            "      \"lanes_identical\": true\n",
             "    }},\n",
             "    \"tables\": {{\n",
             "      \"serial_wall_s\": {:.6},\n",
@@ -289,6 +403,13 @@ fn render_record(args: &Args, sim: &SimResult, tab: &TablesResult, exp: &Explore
         sim.fast_cps,
         sim.interp_cps,
         sim.fast_cps / sim.interp_cps,
+        bat.runs,
+        bat.cycles_per_run,
+        bat.scalar_wall_s,
+        bat.batch_wall_s,
+        bat.scalar_cps,
+        bat.batch_cps,
+        bat.batch_cps / bat.scalar_cps,
         tab.serial_wall_s,
         tab.engine_wall_s,
         tab.serial_wall_s / tab.engine_wall_s,
@@ -317,6 +438,7 @@ fn append_record(path: &str, record: &str) -> Result<(), String> {
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let sim = measure_simulator(args.iters)?;
+    let bat = measure_batch(args.iters)?;
     let tab = measure_tables(args.iters)?;
     let exp = measure_explore(args.iters)?;
 
@@ -325,6 +447,13 @@ fn run() -> Result<(), String> {
         sim.fast_cps,
         sim.interp_cps,
         sim.fast_cps / sim.interp_cps
+    );
+    println!(
+        "batch     : batch {:>11.0} cyc/s | scalar {:>11.0} cyc/s | {:.2}x ({} runs, lanes identical)",
+        bat.batch_cps,
+        bat.scalar_cps,
+        bat.batch_cps / bat.scalar_cps,
+        bat.runs
     );
     println!(
         "tables    : engine {:>9.3} s | serial {:>9.3} s | {:.2}x (byte-identical)",
@@ -350,16 +479,25 @@ fn run() -> Result<(), String> {
     if args.dry_run {
         println!("(dry run: {} not written)", args.out);
     } else {
-        let record = render_record(&args, &sim, &tab, &exp);
+        let record = render_record(&args, &sim, &bat, &tab, &exp);
         append_record(&args.out, &record)?;
         println!("appended record to {}", args.out);
     }
 
     if let Some(prior) = prior {
-        let outcome = gate::check(&prior, gate::GATE_METRIC, sim.fast_cps, args.tolerance);
-        println!("gate      : {outcome}");
-        if !outcome.pass {
-            return Err(format!("perf gate failed: {outcome}"));
+        let mut failed = Vec::new();
+        for (label, key, current) in [
+            ("fast", gate::GATE_METRIC, sim.fast_cps),
+            ("batch", gate::BATCH_GATE_METRIC, bat.batch_cps),
+        ] {
+            let outcome = gate::check(&prior, key, current, args.tolerance);
+            println!("gate      : {label}: {outcome}");
+            if !outcome.pass {
+                failed.push(format!("{label}: {outcome}"));
+            }
+        }
+        if !failed.is_empty() {
+            return Err(format!("perf gate failed: {}", failed.join("; ")));
         }
     }
     Ok(())

@@ -41,7 +41,7 @@ use vsp_kernels::ir::{
 use vsp_metrics::{Recorder, Registry};
 use vsp_sched::pipeline::{PassConfig, ScheduleScope, SchedulerChoice};
 use vsp_sched::{codegen_loop, LoopControl, ScheduleArtifact, Strategy};
-use vsp_sim::{ArchState, Simulator};
+use vsp_sim::{ArchState, BatchSimulator, DecodedProgram, RunSpec, SimError, Simulator};
 use vsp_trace::NullSink;
 
 const USAGE: &str = "usage: faults [options]
@@ -56,6 +56,12 @@ modes:
                  the campaign report reconciles (the CI smoke test)
 
 options:
+  --batch N      with --campaign: run the cases on the SoA lockstep batch
+                 engine, N lanes per batch, grouped by (kernel, model) so
+                 one compile + decode serves many lanes. No recovery:
+                 verdicts are clean/benign/sdc/trapped/cycle-limit, and a
+                 quiet self-check lane per group must match the scalar
+                 golden run bit-for-bit
   --rates LIST   comma-separated flip rates in ppm (default 0,100,1000,10000)
   --seed N       base RNG seed; cell i uses seed N+i (default 7)
   --model NAME   restrict to one machine model (default: all models)
@@ -79,6 +85,7 @@ struct Args {
     interval: u64,
     timeout_ms: u64,
     campaign: Option<u64>,
+    batch: Option<usize>,
     json: bool,
     metrics: Option<String>,
 }
@@ -93,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
         interval: 64,
         timeout_ms: 60_000,
         campaign: None,
+        batch: None,
         json: false,
         metrics: None,
     };
@@ -137,6 +145,15 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--campaign: {e}"))?,
                 )
+            }
+            "--batch" => {
+                let n: usize = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if n == 0 {
+                    return Err("--batch: need at least one lane".into());
+                }
+                args.batch = Some(n);
             }
             "--json" => args.json = true,
             "--metrics" => args.metrics = Some(value("--metrics")?),
@@ -540,12 +557,151 @@ fn run_campaign(args: &Args, cases: u64, reg: &mut Registry) -> Result<(), Strin
     Ok(())
 }
 
+/// Batch campaign mode: the same round-robin case space as
+/// [`run_campaign`], but executed on the SoA lockstep engine. Cases are
+/// grouped by (kernel, model) so one compile + decode + golden scalar
+/// run serves every lane of the group, then run `batch` lanes at a
+/// time. There is no checkpoint/recovery on the batch path; a fault
+/// that trips a simulator error is verdict `trapped`, and outcomes are
+/// otherwise classified clean/benign/sdc/cycle-limit directly against
+/// the golden state. Every group also carries one quiet self-check
+/// lane that must reproduce the scalar golden run bit-for-bit.
+fn run_batch_campaign(
+    args: &Args,
+    cases: u64,
+    batch: usize,
+    reg: &mut Registry,
+) -> Result<(), String> {
+    let (machines, kernels) = selected(args)?;
+    let nonzero: Vec<u32> = args.rates.iter().copied().filter(|&r| r > 0).collect();
+    let rates = if nonzero.is_empty() {
+        args.rates.clone()
+    } else {
+        nonzero
+    };
+
+    // Same case -> (kernel, model, rate, seed) mapping as run_campaign,
+    // regrouped contiguously per (kernel, model) pair.
+    let mut groups: std::collections::BTreeMap<(usize, usize), Vec<(u32, u64)>> =
+        Default::default();
+    for i in 0..cases {
+        let k = (i % kernels.len() as u64) as usize;
+        let m = ((i / kernels.len() as u64) % machines.len() as u64) as usize;
+        let rate = rates[(i % rates.len() as u64) as usize];
+        groups
+            .entry((k, m))
+            .or_default()
+            .push((rate, args.seed.wrapping_add(i)));
+    }
+
+    let mut verdicts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    let mut reports = Vec::new();
+    for (&(k, m), lanes) in &groups {
+        let (kernel_name, kernel, unroll) = &kernels[k];
+        let machine = &machines[m];
+        let program = compile(machine, kernel_name, kernel, *unroll);
+
+        let mut golden_sim = Simulator::new(machine, &program)
+            .unwrap_or_else(|e| panic!("{kernel_name} on {}: invalid program: {e}", machine.name));
+        let golden_stats = golden_sim.run(args.max_cycles).unwrap_or_else(|e| {
+            panic!("{kernel_name} on {}: golden run failed: {e}", machine.name)
+        });
+        let golden_state = golden_sim.arch_state();
+
+        let decoded = DecodedProgram::prepare(machine, &program)
+            .unwrap_or_else(|e| panic!("{kernel_name} on {}: invalid program: {e}", machine.name));
+        let mut sim = BatchSimulator::with_recorder(machine, &mut *reg);
+
+        for (chunk_idx, chunk) in lanes.chunks(batch).enumerate() {
+            let mut specs: Vec<RunSpec<_>> = chunk
+                .iter()
+                .map(|&(rate, seed)| {
+                    RunSpec::with_faults(args.max_cycles, FaultPlan::transient(seed, rate).build())
+                })
+                .collect();
+            // Quiet self-check lane rides in the group's first batch.
+            if chunk_idx == 0 {
+                specs.push(RunSpec::with_faults(
+                    args.max_cycles,
+                    FaultPlan::quiet().build(),
+                ));
+            }
+            let mut outcomes = sim.run_batch(&decoded, specs);
+
+            if chunk_idx == 0 {
+                let check = outcomes.pop().expect("self-check lane present");
+                let ok = check.error.is_none()
+                    && check.stats == golden_stats
+                    && check.state == golden_state;
+                if !ok {
+                    return Err(format!(
+                        "{kernel_name} on {}: quiet batch lane diverged from scalar golden run",
+                        machine.name
+                    ));
+                }
+            }
+
+            for (&(rate, seed), outcome) in chunk.iter().zip(&outcomes) {
+                let injected = outcome.faults.counts().total();
+                let verdict = match &outcome.error {
+                    Some(SimError::CycleLimit { .. }) => "cycle-limit",
+                    Some(_) => "trapped",
+                    None => {
+                        if state_matches(&outcome.state, &golden_state) {
+                            if injected > 0 {
+                                "benign"
+                            } else {
+                                "clean"
+                            }
+                        } else {
+                            "sdc"
+                        }
+                    }
+                };
+                *verdicts.entry(verdict).or_default() += 1;
+                reports.push(CellReport {
+                    kernel: kernel_name,
+                    model: machine.name.clone(),
+                    rate_ppm: rate,
+                    seed,
+                    injected,
+                    detected: 0,
+                    corrected: 0,
+                    uncorrectable: 0,
+                    retries: 0,
+                    recovery_cycles: 0,
+                    cycles: outcome.stats.cycles,
+                    golden_cycles: golden_stats.cycles,
+                    verdict,
+                    accounted: true,
+                });
+            }
+        }
+    }
+
+    for cell in &reports {
+        record_cell(reg, cell);
+        if args.json {
+            emit(cell, true);
+        }
+    }
+    let verdict_summary: Vec<String> = verdicts.iter().map(|(v, n)| format!("{n} {v}")).collect();
+    eprintln!(
+        "faults: batch campaign: {cases} cases in {} groups, {batch} lanes per batch",
+        groups.len()
+    );
+    eprintln!("faults: verdicts: {}", verdict_summary.join(", "));
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let mut reg = Registry::new();
-    let result = match args.campaign {
-        Some(cases) => run_campaign(&args, cases, &mut reg),
-        None => run_sweep(&args, &mut reg),
+    let result = match (args.campaign, args.batch) {
+        (Some(cases), Some(batch)) => run_batch_campaign(&args, cases, batch, &mut reg),
+        (Some(cases), None) => run_campaign(&args, cases, &mut reg),
+        (None, Some(_)) => Err("--batch requires --campaign".into()),
+        (None, None) => run_sweep(&args, &mut reg),
     };
     // The snapshot is written even on a failing run: a snapshot of what
     // went wrong is exactly when the metrics matter.

@@ -19,7 +19,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 use vsp_check::gen::{gen_kernel, gen_program, KernelGenConfig, ProgramGenConfig};
-use vsp_check::oracle::{diff_kernel, diff_program, DiffFailure};
+use vsp_check::oracle::{diff_batch, diff_kernel, diff_program, DiffFailure};
 use vsp_check::validity::check_program;
 use vsp_check::ScheduleValidator;
 use vsp_core::models;
@@ -51,6 +51,9 @@ options:
   --max-cycles N   per-case simulated-cycle watchdog (default 1000000)
   --timeout-ms N   per-case wall-clock budget in ms (default 30000)
   --retries N      extra attempts after a panicked/timed-out case (default 1)
+  --batch N        replay each program case on the SoA lockstep batch
+                   engine with N lanes, all required to match the scalar
+                   fast path bit-for-bit (default: off)
   --json           emit failures as JSON objects on stdout
   --metrics PATH   write a metrics snapshot on exit: per-kind case and
                    failure counters, simulated cycle/op totals (.prom
@@ -64,6 +67,7 @@ struct Args {
     max_cycles: u64,
     timeout_ms: u64,
     retries: u32,
+    batch: Option<usize>,
     json: bool,
     metrics: Option<String>,
 }
@@ -87,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         max_cycles: 1_000_000,
         timeout_ms: 30_000,
         retries: 1,
+        batch: None,
         json: false,
         metrics: None,
     };
@@ -119,6 +124,15 @@ fn parse_args() -> Result<Args, String> {
                 args.retries = value("--retries")?
                     .parse()
                     .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--batch" => {
+                let n: usize = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if n == 0 {
+                    return Err("--batch: need at least one lane".into());
+                }
+                args.batch = Some(n);
             }
             "--json" => args.json = true,
             "--metrics" => args.metrics = Some(value("--metrics")?),
@@ -226,6 +240,7 @@ fn run() -> Result<(), String> {
             1,
         );
         let max_cycles = args.max_cycles;
+        let batch = args.batch;
 
         // The whole case — generation, validity check, differential
         // execution — runs isolated: the closure owns clones of its
@@ -254,7 +269,14 @@ fn run() -> Result<(), String> {
                         },
                     ));
                 }
-                diff_program(&machine, &program, max_cycles).map_err(|f| ("program", f))
+                let stats =
+                    diff_program(&machine, &program, max_cycles).map_err(|f| ("program", f))?;
+                // With --batch, the same program must also replay
+                // bit-identically on N lockstep batch lanes.
+                if let Some(lanes) = batch {
+                    diff_batch(&machine, &program, max_cycles, lanes).map_err(|f| ("batch", f))?;
+                }
+                Ok(stats)
             }
         });
 

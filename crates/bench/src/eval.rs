@@ -16,13 +16,17 @@
 //! [`vsp_kernels::variants::table2_rows`], and the tests hold it there.
 
 use rayon::prelude::*;
-use std::collections::HashMap;
-use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::hash::{DefaultHasher, Hasher};
+use std::sync::{Arc, Mutex};
 use vsp_core::MachineConfig;
 use vsp_fault::harness::{run_case, CampaignReport, CaseOutcome, HarnessConfig};
+use vsp_isa::Program;
 use vsp_kernels::variants::{self, Row, TableRow};
 use vsp_metrics::{Recorder, SharedRegistry, Stopwatch};
+use vsp_sim::batch::{BatchSimulator, LaneOutcome, RunSpec};
+use vsp_sim::{DecodedProgram, FaultModel, SimError};
 
 /// One per-machine row generator: a kernel's full variant sweep, the
 /// unit of memoization and parallelism.
@@ -82,6 +86,26 @@ impl RowSource {
     }
 }
 
+/// Streams `fmt` output straight into a hasher, so `Debug`-based
+/// fingerprints allocate nothing (the old implementation rendered a
+/// full `format!` `String` per call, which dominated the allocation
+/// profile of `assemble` on cached sweeps).
+struct HashWriter<'h>(&'h mut DefaultHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Content hash of any `Debug`-rendered value, allocation-free.
+fn fingerprint_debug(value: &dyn std::fmt::Debug) -> u64 {
+    let mut h = DefaultHasher::new();
+    let _ = write!(HashWriter(&mut h), "{value:?}");
+    h.finish()
+}
+
 /// Content key for one machine configuration.
 ///
 /// [`MachineConfig`] does not implement `Hash` (it carries floats in the
@@ -90,9 +114,15 @@ impl RowSource {
 /// structurally identical configs (e.g. I4C8S4 appearing in both
 /// tables' model lists) collapse to one cell.
 fn fingerprint(machine: &MachineConfig) -> u64 {
-    let mut h = DefaultHasher::new();
-    format!("{machine:?}").hash(&mut h);
-    h.finish()
+    fingerprint_debug(machine)
+}
+
+/// Content key for one program. `Program` deliberately has no `Hash`
+/// (word equality is slot-order-insensitive), but programs reaching the
+/// engine are machine-generated with deterministic slot order, so the
+/// `Debug` rendering is a stable content key for the decode cache.
+fn fingerprint_program(program: &Program) -> u64 {
+    fingerprint_debug(program)
 }
 
 /// One (machine, kernel-sweep) cell that an isolated assembly could not
@@ -129,6 +159,10 @@ impl std::fmt::Display for CellFailure {
 #[derive(Debug, Default)]
 pub struct EvalEngine {
     cache: Mutex<HashMap<(u64, RowSource), Vec<Row>>>,
+    /// Decoded-program cache keyed by `(program hash, machine
+    /// fingerprint)`: batch cells sharing a program stop re-validating
+    /// and re-decoding it per run.
+    decoded: Mutex<HashMap<(u64, u64), Arc<DecodedProgram>>>,
     serial: bool,
     recorder: Option<SharedRegistry>,
 }
@@ -207,13 +241,13 @@ impl EvalEngine {
         // deduplicated by content key so identical machines are
         // computed once.
         let mut jobs: Vec<(u64, RowSource, &MachineConfig)> = Vec::new();
+        let mut queued: HashSet<(u64, RowSource)> = HashSet::new();
         {
             let cache = self.cache.lock().expect("eval cache poisoned");
             for m in machines {
                 let fp = fingerprint(m);
                 for &s in sources {
-                    if !cache.contains_key(&(fp, s)) && !jobs.iter().any(|j| j.0 == fp && j.1 == s)
-                    {
+                    if !cache.contains_key(&(fp, s)) && queued.insert((fp, s)) {
                         jobs.push((fp, s, m));
                     }
                 }
@@ -311,13 +345,13 @@ impl EvalEngine {
         // Unique uncached cells, keyed by content fingerprint — same
         // dedup as the trusted path.
         let mut jobs: Vec<(u64, RowSource, MachineConfig)> = Vec::new();
+        let mut queued: HashSet<(u64, RowSource)> = HashSet::new();
         {
             let cache = self.cache.lock().expect("eval cache poisoned");
             for m in machines {
                 let fp = fingerprint(m);
                 for &s in sources {
-                    if !cache.contains_key(&(fp, s)) && !jobs.iter().any(|j| j.0 == fp && j.1 == s)
-                    {
+                    if !cache.contains_key(&(fp, s)) && queued.insert((fp, s)) {
                         jobs.push((fp, s, m.clone()));
                     }
                 }
@@ -394,6 +428,105 @@ impl EvalEngine {
             .collect();
 
         (self.stitch(&survivors, sources), report, failures)
+    }
+
+    /// The decoded form of `program` for `machine`, served from the
+    /// content-keyed decode cache (validating and decoding on first
+    /// sight only). Cache traffic is recorded as
+    /// `vsp_eval_decode_{hits,misses}_total`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the program fails structural
+    /// validation for the machine.
+    pub fn decoded(
+        &self,
+        machine: &MachineConfig,
+        program: &Program,
+    ) -> Result<Arc<DecodedProgram>, SimError> {
+        let key = (fingerprint_program(program), fingerprint(machine));
+        if let Some(hit) = self
+            .decoded
+            .lock()
+            .expect("decode cache poisoned")
+            .get(&key)
+            .cloned()
+        {
+            if let Some(rec) = &self.recorder {
+                rec.with(|r| r.add("vsp_eval_decode_hits_total", &[], 1));
+            }
+            return Ok(hit);
+        }
+        let fresh = Arc::new(DecodedProgram::prepare(machine, program)?);
+        if let Some(rec) = &self.recorder {
+            rec.with(|r| r.add("vsp_eval_decode_misses_total", &[], 1));
+        }
+        self.decoded
+            .lock()
+            .expect("decode cache poisoned")
+            .insert(key, Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    /// Number of programs currently in the decode cache.
+    pub fn cached_programs(&self) -> usize {
+        self.decoded.lock().expect("decode cache poisoned").len()
+    }
+
+    /// Batched lockstep execution of one program across many runs: the
+    /// program is decoded once (via the decode cache), specs are
+    /// chunked across rayon workers, and each worker reuses one
+    /// [`BatchSimulator`] — and therefore one arena — across its chunks
+    /// (`map_init` scratch reuse). Outcomes return in spec order.
+    ///
+    /// `lanes_per_chunk` bounds the lanes one worker steps in lockstep
+    /// (0 picks a default that feeds every rayon worker); a serial
+    /// engine runs the whole batch as one chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] if the program fails structural
+    /// validation for the machine; individual lane failures are
+    /// reported per-outcome, never as an `Err`.
+    pub fn run_batch<F: FaultModel + Send>(
+        &self,
+        machine: &MachineConfig,
+        program: &Program,
+        specs: Vec<RunSpec<F>>,
+        lanes_per_chunk: usize,
+    ) -> Result<Vec<LaneOutcome<F>>, SimError>
+    where
+        LaneOutcome<F>: Send,
+    {
+        let decoded = self.decoded(machine, program)?;
+        let total = specs.len();
+        if self.serial {
+            let mut sim = BatchSimulator::new(machine);
+            return Ok(sim.run_batch(&decoded, specs));
+        }
+        let chunk = if lanes_per_chunk > 0 {
+            lanes_per_chunk
+        } else {
+            total.div_ceil(rayon::current_num_threads().max(1)).max(1)
+        };
+        let chunks: Vec<Vec<RunSpec<F>>> = {
+            let mut specs = specs;
+            let mut out = Vec::with_capacity(total.div_ceil(chunk));
+            while specs.len() > chunk {
+                let tail = specs.split_off(chunk);
+                out.push(std::mem::replace(&mut specs, tail));
+            }
+            out.push(specs);
+            out
+        };
+        let outcomes: Vec<Vec<LaneOutcome<F>>> = chunks
+            .into_par_iter()
+            .map_init(
+                || BatchSimulator::new(machine),
+                |sim, chunk| sim.run_batch(&decoded, chunk),
+            )
+            .collect();
+        Ok(outcomes.into_iter().flatten().collect())
     }
 
     /// Table 1's rows for `machines`.

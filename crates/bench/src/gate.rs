@@ -13,6 +13,12 @@
 /// per host second on the fast path.
 pub const GATE_METRIC: &str = "fast_cycles_per_sec";
 
+/// The second gated trajectory key: aggregate simulated cycles per
+/// host second of the SoA lockstep batch engine on a 1000-run
+/// campaign. Records written before the batch engine existed simply
+/// lack the key, so the gate passes vacuously until a baseline lands.
+pub const BATCH_GATE_METRIC: &str = "batch_cycles_per_sec";
+
 /// Default fractional throughput loss tolerated before the gate fails
 /// (0.10 = the measured number may be up to 10% below the best prior
 /// record).

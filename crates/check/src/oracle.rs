@@ -29,7 +29,7 @@ use vsp_core::MachineConfig;
 use vsp_ir::{Interpreter, Stmt};
 use vsp_isa::Program;
 use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
-use vsp_sim::{ArchState, RunStats, Simulator};
+use vsp_sim::{ArchState, BatchSimulator, DecodedProgram, RunSpec, RunStats, Simulator};
 
 use crate::gen::GeneratedKernel;
 
@@ -154,6 +154,60 @@ pub fn diff_program(
     let (stats_fast, state_fast) = run_path(machine, program, max_cycles, true, &[])?;
     let (stats_interp, state_interp) = run_path(machine, program, max_cycles, false, &[])?;
     compare_paths(&stats_fast, &state_fast, &stats_interp, &state_interp)?;
+    Ok(stats_fast)
+}
+
+/// Runs `program` once through the scalar fast path and `lanes` times
+/// through the SoA lockstep batch engine, demanding every lane agree
+/// with the scalar run bit-for-bit — identical [`RunStats`] and
+/// identical [`ArchState`].
+///
+/// Returns the (identical) run statistics on success.
+///
+/// # Errors
+///
+/// Any structural illegality, execution fault on either engine, or a
+/// lane whose statistics or architectural state diverge.
+pub fn diff_batch(
+    machine: &MachineConfig,
+    program: &Program,
+    max_cycles: u64,
+    lanes: usize,
+) -> Result<RunStats, DiffFailure> {
+    if let Err(errors) = validate_program(machine, program) {
+        return Err(DiffFailure::Structural(errors));
+    }
+    let (stats_fast, state_fast) = run_path(machine, program, max_cycles, true, &[])?;
+    let decoded = DecodedProgram::prepare(machine, program).map_err(|e| DiffFailure::Sim {
+        path: "batch",
+        error: e.to_string(),
+    })?;
+    let mut sim = BatchSimulator::new(machine);
+    let specs = (0..lanes).map(|_| RunSpec::new(max_cycles)).collect();
+    for (lane, outcome) in sim.run_batch(&decoded, specs).into_iter().enumerate() {
+        if let Some(e) = outcome.error {
+            return Err(DiffFailure::Sim {
+                path: "batch",
+                error: format!("lane {lane}: {e}"),
+            });
+        }
+        if outcome.stats != stats_fast {
+            return Err(DiffFailure::StatsDiverged {
+                detail: format!(
+                    "lane {lane}: {}",
+                    stats_divergence("fast vs batch", &stats_fast, &outcome.stats)
+                ),
+            });
+        }
+        if outcome.state != state_fast {
+            return Err(DiffFailure::StateDiverged {
+                detail: format!(
+                    "lane {lane}: {}",
+                    state_divergence(&state_fast, &outcome.state)
+                ),
+            });
+        }
+    }
     Ok(stats_fast)
 }
 
@@ -303,7 +357,7 @@ fn compare_paths(
 ) -> Result<(), DiffFailure> {
     if stats_fast != stats_interp {
         return Err(DiffFailure::StatsDiverged {
-            detail: stats_divergence(stats_fast, stats_interp),
+            detail: stats_divergence("fast vs interp", stats_fast, stats_interp),
         });
     }
     if state_fast != state_interp {
@@ -321,7 +375,7 @@ fn compare_paths(
     Ok(())
 }
 
-fn stats_divergence(a: &RunStats, b: &RunStats) -> String {
+fn stats_divergence(label: &str, a: &RunStats, b: &RunStats) -> String {
     let mut parts = Vec::new();
     if a.cycles != b.cycles {
         parts.push(format!("cycles {} vs {}", a.cycles, b.cycles));
@@ -347,7 +401,7 @@ fn stats_divergence(a: &RunStats, b: &RunStats) -> String {
     if parts.is_empty() {
         parts.push("fields beyond the headline counters differ".into());
     }
-    format!("fast vs interp: {}", parts.join(", "))
+    format!("{label}: {}", parts.join(", "))
 }
 
 fn state_divergence(a: &ArchState, b: &ArchState) -> String {
@@ -399,6 +453,16 @@ mod tests {
                 diff_program(&machine, &p, 100_000)
                     .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", machine.name));
             }
+        }
+    }
+
+    #[test]
+    fn generated_programs_agree_with_batch_lanes() {
+        for machine in models::all_models() {
+            let mut rng = SmallRng::seed_from_u64(17);
+            let p = gen_program(&machine, &mut rng, &ProgramGenConfig::default());
+            diff_batch(&machine, &p, 100_000, 5)
+                .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
         }
     }
 

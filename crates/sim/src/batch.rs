@@ -1,0 +1,2544 @@
+//! Batched lockstep execution: N runs of one decoded program at once.
+//!
+//! Campaign harnesses (fault sweeps, fuzzing, design-space search) run
+//! the *same program* thousands of times with different seeds, fault
+//! plans and initial state. Scalar [`crate::Simulator`] construction
+//! pays validation, decode and a dozen allocations per run, and the
+//! per-cycle interpreter re-dispatches every operation for every run.
+//! This module amortizes all of it:
+//!
+//! * **One decode.** A shared [`DecodedProgram`] (from
+//!   [`DecodedProgram::prepare`]) is borrowed by the whole batch.
+//! * **Struct-of-arrays state.** Register files, predicate files,
+//!   scoreboard ready-cycles, local SRAM, icache tags and pipeline
+//!   control all live in flat arrays laid out `[run0, run1, …]` per
+//!   field, so the inner loops sweep contiguous lanes.
+//! * **Op-major dispatch.** Lanes at the same `pc` execute as one
+//!   group: each operation's `match` is dispatched once and its body
+//!   loops over lanes, instead of once per lane per cycle.
+//! * **Arena allocation.** All per-run state comes from a
+//!   [`BatchArena`] owned by the [`BatchSimulator`]; pools are
+//!   grow-only and reused across `run_batch` calls, so a 10⁵-run
+//!   campaign performs zero steady-state allocations.
+//! * **Per-lane retirement.** A lane that halts, errors or exhausts
+//!   its cycle budget is compacted out of the active set; long-tail
+//!   runs don't stall the batch, and divergent lanes (fault-injected
+//!   branch flips, fetch jitter) regroup by `pc` each super-step.
+//!
+//! # Bit-identity contract
+//!
+//! Every lane of [`BatchSimulator::run_batch`] produces the exact
+//! [`RunStats`] and [`ArchState`] — and on failure the exact
+//! [`SimError`] — that a scalar `Simulator` given the same machine,
+//! program, initial state and fault model would produce. Fault-model
+//! hooks are consulted in the same datapath-event order (guards and
+//! branch predicates consult no hooks, exactly like the scalar fast
+//! path), so seeded RNG streams line up draw for draw. The contract is
+//! pinned by `tests/batch_diff.rs` across every kernel × machine model
+//! of the paper, with and without fault plans.
+
+use crate::decoded::{DAddr, DKind, DOperand, DecodedProgram, NO_GUARD};
+use crate::error::SimError;
+use crate::fault::{FaultModel, NoFaults};
+use crate::simulator::{ArchState, HazardPolicy, PENDING_SLOTS};
+use crate::stats::RunStats;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use vsp_core::MachineConfig;
+use vsp_isa::{
+    semantics, AluBinOp, AluUnOp, ClusterId, CmpOp, FuClass, MulKind, Pred, Reg, ShiftOp,
+};
+use vsp_metrics::{NullRecorder, Recorder};
+
+/// Initial state and budget for one lane of a batch.
+///
+/// The default-`NoFaults` form describes a clean run; campaign
+/// harnesses attach a seeded fault model per lane with
+/// [`RunSpec::with_faults`].
+#[derive(Debug, Clone)]
+pub struct RunSpec<F: FaultModel = NoFaults> {
+    /// Fault model consulted on this lane's exposed datapath reads
+    /// (moved back out in [`LaneOutcome::faults`] so injection counters
+    /// stay readable).
+    pub faults: F,
+    /// Cycle budget; the lane retires with [`SimError::CycleLimit`]
+    /// when it is exhausted before a halt commits.
+    pub max_cycles: u64,
+    /// Initial register values, applied before the first cycle.
+    pub regs: Vec<(ClusterId, Reg, i16)>,
+    /// Initial predicate values.
+    pub preds: Vec<(ClusterId, Pred, bool)>,
+    /// Initial processing-buffer memory words as
+    /// `(cluster, bank, addr, value)`.
+    pub mem: Vec<(ClusterId, u8, u32, i16)>,
+}
+
+impl RunSpec {
+    /// A clean (fault-free) lane with zeroed initial state.
+    #[must_use]
+    pub fn new(max_cycles: u64) -> Self {
+        Self::with_faults(max_cycles, NoFaults)
+    }
+}
+
+impl<F: FaultModel> RunSpec<F> {
+    /// A lane driven by `faults` with zeroed initial state.
+    pub fn with_faults(max_cycles: u64, faults: F) -> Self {
+        RunSpec {
+            faults,
+            max_cycles,
+            regs: Vec::new(),
+            preds: Vec::new(),
+            mem: Vec::new(),
+        }
+    }
+}
+
+/// Everything one lane retired with.
+#[derive(Debug, Clone)]
+pub struct LaneOutcome<F: FaultModel = NoFaults> {
+    /// Statistics, identical to what `Simulator::stats` would report.
+    pub stats: RunStats,
+    /// Final architectural state (identical to `Simulator::arch_state`).
+    pub state: ArchState,
+    /// How the lane ended: `None` for a committed halt, otherwise the
+    /// exact error the scalar path would have returned.
+    pub error: Option<SimError>,
+    /// The lane's fault model, returned so seeded injection counters
+    /// survive the run.
+    pub faults: F,
+}
+
+impl<F: FaultModel> LaneOutcome<F> {
+    /// Whether the lane ran to a committed halt.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// A pending register/predicate commit for one lane; the field index is
+/// pre-flattened (`cluster * width + reg`) so applying it is one store.
+#[derive(Debug, Clone, Copy)]
+enum LaneCommit {
+    Reg(u32, i16),
+    Pred(u32, bool),
+}
+
+/// The batch-lifetime arena: every struct-of-arrays pool the engine
+/// needs, owned by the [`BatchSimulator`] and resized (never shrunk)
+/// per `run_batch` call.
+///
+/// Layout convention: a per-lane scalar field `f` of logical shape
+/// `[dims…]` is stored flat as `f[(flatten(dims…)) * lanes + lane]`,
+/// so sweeping one field across the batch touches contiguous memory.
+/// All pools are grow-only: `reset` clears values but keeps capacity,
+/// and the pending-commit ring reuses its inner vectors, so steady
+/// state (every batch after the largest-shaped one) allocates nothing.
+#[derive(Debug, Default)]
+pub struct BatchArena {
+    // Shape of the current batch (set by `reset`).
+    nl: usize,
+    nc: usize,
+    nr: usize,
+    np: usize,
+    nb: usize,
+    stride: usize,
+    icap: usize,
+    plen: usize,
+    // Architectural state, SoA.
+    regs: Vec<i16>,
+    reg_ready: Vec<u64>,
+    preds: Vec<bool>,
+    pred_ready: Vec<u64>,
+    /// All memory buffers of all lanes: bank `(c, b)` starts at
+    /// `mem_off[c * nb + b]` and holds `2 * words * lanes` values
+    /// (both double-buffer halves).
+    mems: Vec<i16>,
+    /// Which buffer of each `(cluster, bank)` is the processing buffer.
+    mem_active: Vec<u8>,
+    mem_off: Vec<usize>,
+    bank_words: Vec<u32>,
+    /// Unique SRAM pool rows written this batch, as
+    /// `(cluster * banks + bank, buffer * words + addr)`; `reset` scrubs
+    /// exactly these rows instead of refilling the whole pool, and the
+    /// state gather reads only these rows (everything else is zero).
+    mems_dirty: Vec<(u32, u32)>,
+    /// One flag per SRAM pool row deduplicating `mems_dirty`.
+    mem_row_flag: Vec<u8>,
+    /// Row-index base per `(cluster, bank)`: `mem_off / lanes`.
+    mem_row_off: Vec<usize>,
+    /// Direct-mapped icache tags, `u32::MAX` = empty line.
+    itags: Vec<u32>,
+    // Pipeline control, one entry per lane.
+    pc: Vec<u32>,
+    cycle: Vec<u64>,
+    halted: Vec<bool>,
+    alive: Vec<bool>,
+    redirect: Vec<Option<(u32, u32)>>,
+    errs: Vec<Option<SimError>>,
+    max_cycles: Vec<u64>,
+    // Per-lane run counters, SoA so the hot loop never touches a
+    // scattered `RunStats` struct; folded into one per lane at the end.
+    c_icache_miss: Vec<u64>,
+    c_icache_stall: Vec<u64>,
+    c_fault_inj: Vec<u64>,
+    c_annulled: Vec<u64>,
+    c_loads: Vec<u64>,
+    c_stores: Vec<u64>,
+    c_xfers: Vec<u64>,
+    c_words: Vec<u64>,
+    c_bubbles: Vec<u64>,
+    c_taken: Vec<u64>,
+    c_cycles: Vec<u64>,
+    /// Flat utilisation histogram, `(cluster * hist_bins + ops) * lanes
+    /// + lane` — the SoA twin of `RunStats::util_histogram`.
+    util_hist: Vec<u64>,
+    hist_bins: usize,
+    // Per-class / per-cluster op counters, folded into stats at the end
+    // (mirrors the scalar fast path's `fast_class_ops`).
+    class_ops: Vec<u64>,
+    cluster_ops: Vec<u64>,
+    word_cluster_ops: Vec<u32>,
+    // Pending-commit ring: `ring_cap` flat entries per (lane, slot)
+    // with `PENDING_SLOTS` slots per lane, plus the ordered overflow
+    // map for pathological latencies. Keys are
+    // `field_index << 1 | is_pred`, so applying one is a shift and a
+    // store.
+    ring_data: Vec<(u32, i16)>,
+    ring_len: Vec<u16>,
+    ring_cap: usize,
+    pending_count: Vec<u32>,
+    drained_through: Vec<u64>,
+    far: Vec<BTreeMap<u64, Vec<LaneCommit>>>,
+    // Per-word aggregates over unguarded ops (every live lane executes
+    // them, so their issue/class/cluster counts are word constants):
+    // `agg_*` indexed by word, `upre_*` the inclusive per-op prefix
+    // used to credit a lane killed mid-word. Computed once per batch.
+    nclass: usize,
+    agg_issued: Vec<u32>,
+    agg_class: Vec<u32>,
+    agg_cluster: Vec<u32>,
+    upre_class: Vec<u32>,
+    upre_cluster: Vec<u32>,
+    // Per-word scratch, `stride` (widest word) entries per lane.
+    rw: Vec<(u32, i16, u32)>,
+    rw_len: Vec<u32>,
+    pw: Vec<(u32, bool, u32)>,
+    pw_len: Vec<u32>,
+    st: Vec<(u32, u32, i16)>,
+    st_len: Vec<u32>,
+    sw: Vec<u32>,
+    sw_len: Vec<u32>,
+    word_issued: Vec<u32>,
+    branch_to: Vec<u32>,
+    branch_set: Vec<bool>,
+    halt_flag: Vec<bool>,
+    in_shadow: Vec<bool>,
+    // Active-lane bookkeeping.
+    active: Vec<u32>,
+    grouped: Vec<u32>,
+    exec: Vec<u32>,
+    // Uniform-lockstep mode. While `uniform` holds, every live lane
+    // provably has identical *timing* state — cycle count, scoreboard
+    // ready-cycles, icache tags, branch shadow, pending-commit
+    // schedule — so the engine keeps ONE shared copy of it (the
+    // `u_*` fields) and touches only data rows per lane. The mode is
+    // entered for an all-quiet batch and left (for the rest of the
+    // batch, via `flush_uniform`) the moment anything lane-dependent
+    // could affect timing.
+    uniform: bool,
+    u_cycle: u64,
+    u_drained: u64,
+    u_redirect: Option<(u32, u32)>,
+    u_reg_ready: Vec<u64>,
+    u_pred_ready: Vec<u64>,
+    u_itags: Vec<u32>,
+    /// Shared pending-commit ring: one key/latency schedule for the
+    /// whole batch, values as lane rows (`(slot * u_cap + j) * nl`).
+    u_ring_key: Vec<u32>,
+    u_ring_len: Vec<u16>,
+    u_ring_val: Vec<i16>,
+    u_cap: usize,
+    u_pending: u32,
+    /// Far (latency > ring) commits: value rows per key.
+    u_far: BTreeMap<u64, Vec<(u32, Vec<i16>)>>,
+    // Per-word shared scratch for the uniform executor.
+    u_wr: Vec<(u32, u32)>,
+    u_wp: Vec<(u32, u32)>,
+    u_ann: Vec<u8>,
+    u_dest_r: Vec<u32>,
+    u_dest_p: Vec<u32>,
+    u_ovl: Vec<(u32, u64)>,
+    u_farmeta: Vec<(u64, u32, u32)>,
+    u_farbuf: Vec<i16>,
+    u_sw: Vec<u32>,
+    u_gclass: Vec<u32>,
+    u_gcluster: Vec<u32>,
+}
+
+/// Clears and resizes a pool without giving up its capacity.
+fn pool<T: Clone>(v: &mut Vec<T>, n: usize, fill: T) {
+    v.clear();
+    v.resize(n, fill);
+}
+
+impl BatchArena {
+    /// Shapes the arena for `lanes` runs of `program` on `machine`.
+    fn reset(&mut self, machine: &MachineConfig, program: &DecodedProgram, lanes: usize) {
+        // Scrub only the SRAM rows the previous batch dirtied, under the
+        // previous geometry (`self.nl` / `self.mem_off` are not yet
+        // updated). A lane-count change resizes the pool below, which
+        // rezeroes it wholesale; the flags were already cleared here.
+        if !self.mems_dirty.is_empty() {
+            let onl = self.nl;
+            for &(cb, bufw) in &self.mems_dirty {
+                let base = self.mem_off[cb as usize] + bufw as usize * onl;
+                self.mems[base..base + onl].fill(0);
+                self.mem_row_flag[self.mem_row_off[cb as usize] + bufw as usize] = 0;
+            }
+            self.mems_dirty.clear();
+        }
+        let nl = lanes;
+        let nc = machine.clusters as usize;
+        let nr = machine.cluster.registers as usize;
+        let np = machine.cluster.pred_regs as usize;
+        let nb = machine.cluster.banks.len();
+        self.nl = nl;
+        self.nc = nc;
+        self.nr = nr;
+        self.np = np;
+        self.nb = nb;
+        self.stride = program.max_word_ops();
+        self.icap = machine.icache_words.max(1) as usize;
+        self.plen = program.len();
+
+        pool(&mut self.regs, nc * nr * nl, 0);
+        pool(&mut self.reg_ready, nc * nr * nl, 0);
+        pool(&mut self.preds, nc * np * nl, false);
+        pool(&mut self.pred_ready, nc * np * nl, 0);
+
+        self.mem_off.clear();
+        self.bank_words.clear();
+        self.mem_row_off.clear();
+        let mut off = 0usize;
+        for _ in 0..nc {
+            for bank in &machine.cluster.banks {
+                self.mem_off.push(off);
+                self.mem_row_off.push(off / nl);
+                self.bank_words.push(bank.words);
+                off += 2 * bank.words as usize * nl;
+            }
+        }
+        // The pool is already all-zero (scrubbed above) unless its
+        // shape changed, so the bulk refill runs only on reshape.
+        if self.mems.len() != off {
+            pool(&mut self.mems, off, 0);
+        }
+        if self.mem_row_flag.len() != off / nl {
+            pool(&mut self.mem_row_flag, off / nl, 0);
+        }
+        pool(&mut self.mem_active, nc * nb * nl, 0);
+
+        // Warm the cache rows exactly like `InstructionCache::warm`.
+        pool(&mut self.itags, self.icap * nl, u32::MAX);
+        for pc in 0..self.plen.min(self.icap) {
+            let row = (pc % self.icap) * nl;
+            self.itags[row..row + nl].fill(pc as u32);
+        }
+
+        pool(&mut self.pc, nl, 0);
+        pool(&mut self.cycle, nl, 0);
+        pool(&mut self.halted, nl, false);
+        pool(&mut self.alive, nl, true);
+        pool(&mut self.redirect, nl, None);
+        pool(&mut self.errs, nl, None);
+        pool(&mut self.max_cycles, nl, 0);
+        for c in [
+            &mut self.c_icache_miss,
+            &mut self.c_icache_stall,
+            &mut self.c_fault_inj,
+            &mut self.c_annulled,
+            &mut self.c_loads,
+            &mut self.c_stores,
+            &mut self.c_xfers,
+            &mut self.c_words,
+            &mut self.c_bubbles,
+            &mut self.c_taken,
+            &mut self.c_cycles,
+        ] {
+            pool(c, nl, 0);
+        }
+        // `ops` per cluster-word never exceeds the widest word.
+        self.hist_bins = self.stride + 1;
+        pool(&mut self.util_hist, nc * self.hist_bins * nl, 0);
+
+        pool(&mut self.class_ops, FuClass::ALL.len() * nl, 0);
+        pool(&mut self.cluster_ops, nc * nl, 0);
+        pool(&mut self.word_cluster_ops, nc * nl, 0);
+
+        // Two words can commit into the same slot (issue cycle plus
+        // latency colliding mod the ring size), so give each slot twice
+        // the widest word up front; `ring_push!` grows it if a program
+        // still overflows.
+        self.ring_cap = self.ring_cap.max(2 * self.stride.max(2));
+        let need = nl * PENDING_SLOTS * self.ring_cap;
+        if self.ring_data.len() < need {
+            self.ring_data.resize(need, (0, 0));
+        }
+        pool(&mut self.ring_len, nl * PENDING_SLOTS, 0);
+        pool(&mut self.pending_count, nl, 0);
+        pool(&mut self.drained_through, nl, 0);
+        for map in self.far.iter_mut() {
+            map.clear();
+        }
+        if self.far.len() < nl {
+            self.far.resize_with(nl, BTreeMap::new);
+        } else {
+            self.far.truncate(nl);
+        }
+
+        pool(&mut self.rw, self.stride * nl, (0, 0, 0));
+        pool(&mut self.rw_len, nl, 0);
+        pool(&mut self.pw, self.stride * nl, (0, false, 0));
+        pool(&mut self.pw_len, nl, 0);
+        pool(&mut self.st, self.stride * nl, (0, 0, 0));
+        pool(&mut self.st_len, nl, 0);
+        pool(&mut self.sw, self.stride * nl, 0);
+        pool(&mut self.sw_len, nl, 0);
+        pool(&mut self.word_issued, nl, 0);
+        pool(&mut self.branch_to, nl, 0);
+        pool(&mut self.branch_set, nl, false);
+        pool(&mut self.halt_flag, nl, false);
+        pool(&mut self.in_shadow, nl, false);
+
+        self.active.clear();
+        self.grouped.clear();
+        self.exec.clear();
+
+        self.nclass = FuClass::ALL.len();
+        let nclass = self.nclass;
+        pool(&mut self.agg_issued, self.plen, 0);
+        pool(&mut self.agg_class, self.plen * nclass, 0);
+        pool(&mut self.agg_cluster, self.plen * nc, 0);
+        pool(&mut self.upre_class, program.op_count() * nclass, 0);
+        pool(&mut self.upre_cluster, program.op_count() * nc, 0);
+        let mut cur_class = vec![0u32; nclass];
+        let mut cur_cluster = vec![0u32; nc];
+        for w in 0..self.plen {
+            cur_class.fill(0);
+            cur_cluster.fill(0);
+            let mut issued = 0;
+            for i in program.word_range(w) {
+                let op = program.op(i);
+                if op.guard_pred == NO_GUARD {
+                    if let Some(class) = op.class {
+                        issued += 1;
+                        cur_class[class as usize] += 1;
+                        cur_cluster[op.cluster as usize] += 1;
+                    }
+                }
+                self.upre_class[i * nclass..(i + 1) * nclass].copy_from_slice(&cur_class);
+                self.upre_cluster[i * nc..(i + 1) * nc].copy_from_slice(&cur_cluster);
+            }
+            self.agg_issued[w] = issued;
+            self.agg_class[w * nclass..(w + 1) * nclass].copy_from_slice(&cur_class);
+            self.agg_cluster[w * nc..(w + 1) * nc].copy_from_slice(&cur_cluster);
+        }
+
+        // Uniform-lockstep shared timing state. `execute` turns the
+        // mode on only for an all-quiet batch.
+        self.uniform = false;
+        self.u_cycle = 0;
+        self.u_drained = 0;
+        self.u_redirect = None;
+        pool(&mut self.u_reg_ready, nc * nr, 0);
+        pool(&mut self.u_pred_ready, nc * np, 0);
+        pool(&mut self.u_itags, self.icap, u32::MAX);
+        for pc in 0..self.plen.min(self.icap) {
+            self.u_itags[pc % self.icap] = pc as u32;
+        }
+        self.u_cap = self.u_cap.max(2 * self.stride.max(2));
+        pool(&mut self.u_ring_len, PENDING_SLOTS, 0);
+        let need = PENDING_SLOTS * self.u_cap;
+        if self.u_ring_key.len() < need {
+            self.u_ring_key.resize(need, 0);
+        }
+        if self.u_ring_val.len() < need * nl {
+            self.u_ring_val.resize(need * nl, 0);
+        }
+        self.u_pending = 0;
+        self.u_far.clear();
+        self.u_wr.clear();
+        self.u_wp.clear();
+        self.u_ann.clear();
+        self.u_dest_r.clear();
+        self.u_dest_p.clear();
+        self.u_ovl.clear();
+        self.u_farmeta.clear();
+        self.u_farbuf.clear();
+        self.u_sw.clear();
+        pool(&mut self.u_gclass, nclass, 0);
+        pool(&mut self.u_gcluster, nc, 0);
+    }
+}
+/// Marks a `u_dest_*` entry that targets the far-commit value buffer
+/// instead of the shared pending ring.
+const FAR_BIT: u32 = 0x8000_0000;
+
+/// Calls `f(lo, hi)` for each maximal run of consecutive lane indices
+/// in `lanes` (ascending by construction), so row operations work on
+/// contiguous slices — with no retired lanes this is a single call
+/// spanning the whole row.
+#[inline]
+fn for_each_run(lanes: &[u32], mut f: impl FnMut(usize, usize)) {
+    let mut i = 0;
+    while i < lanes.len() {
+        let lo = lanes[i] as usize;
+        let mut hi = lo + 1;
+        i += 1;
+        while i < lanes.len() && lanes[i] as usize == hi {
+            hi += 1;
+            i += 1;
+        }
+        f(lo, hi);
+    }
+}
+
+/// A data operand resolved against the SoA pools: a whole lane row
+/// for a register, or one immediate shared by every lane.
+#[derive(Clone, Copy)]
+enum RowV<'a> {
+    Row(&'a [i16]),
+    Imm(i16),
+}
+
+/// `out[l] = f(a[l], b[l])` over the live-lane runs, with the operand
+/// shapes (row vs. immediate) unswitched outside the inner loops.
+#[inline]
+fn row2(out: &mut [i16], lanes: &[u32], a: RowV, b: RowV, f: impl Fn(i16, i16) -> i16 + Copy) {
+    for_each_run(lanes, |lo, hi| match (a, b) {
+        (RowV::Row(x), RowV::Row(y)) => {
+            for ((o, &p), &q) in out[lo..hi].iter_mut().zip(&x[lo..hi]).zip(&y[lo..hi]) {
+                *o = f(p, q);
+            }
+        }
+        (RowV::Row(x), RowV::Imm(q)) => {
+            for (o, &p) in out[lo..hi].iter_mut().zip(&x[lo..hi]) {
+                *o = f(p, q);
+            }
+        }
+        (RowV::Imm(p), RowV::Row(y)) => {
+            for (o, &q) in out[lo..hi].iter_mut().zip(&y[lo..hi]) {
+                *o = f(p, q);
+            }
+        }
+        (RowV::Imm(p), RowV::Imm(q)) => out[lo..hi].fill(f(p, q)),
+    });
+}
+
+/// Unary twin of [`row2`].
+#[inline]
+fn row1(out: &mut [i16], lanes: &[u32], a: RowV, f: impl Fn(i16) -> i16 + Copy) {
+    for_each_run(lanes, |lo, hi| match a {
+        RowV::Row(x) => {
+            for (o, &p) in out[lo..hi].iter_mut().zip(&x[lo..hi]) {
+                *o = f(p);
+            }
+        }
+        RowV::Imm(p) => out[lo..hi].fill(f(p)),
+    });
+}
+
+/// `semantics::cmp` with the predicate widened to the ring's i16
+/// payload encoding.
+#[inline]
+fn cmp_i16(op: CmpOp, a: i16, b: i16) -> i16 {
+    i16::from(semantics::cmp(op, a, b))
+}
+
+/// The scoreboard value a shared write-port entry observes after the
+/// earlier same-word writes (which live in the overlay until the whole
+/// word is approved).
+#[inline]
+fn ovl_get(ovl: &[(u32, u64)], key: u32, fallback: u64) -> u64 {
+    ovl.iter().find(|e| e.0 == key).map_or(fallback, |e| e.1)
+}
+
+#[inline]
+fn ovl_set(ovl: &mut Vec<(u32, u64)>, key: u32, v: u64) {
+    if let Some(e) = ovl.iter_mut().find(|e| e.0 == key) {
+        e.1 = v;
+    } else {
+        ovl.push((key, v));
+    }
+}
+
+/// Expands an opcode `match` whose every arm calls [`row2`] with the
+/// opcode a compile-time constant, so each inner loop const-folds the
+/// dispatch away and vectorizes.
+macro_rules! unswitch2 {
+    ($f:expr, $out:expr, $lanes:expr, $a:expr, $b:expr, $sem:path, $ety:ident,
+     [$($v:ident),+ $(,)?]) => {
+        match $f {
+            $($ety::$v => row2($out, $lanes, $a, $b, |x, y| $sem($ety::$v, x, y)),)+
+        }
+    };
+}
+
+/// Unary twin of [`unswitch2`].
+macro_rules! unswitch1 {
+    ($f:expr, $out:expr, $lanes:expr, $a:expr, $sem:path, $ety:ident,
+     [$($v:ident),+ $(,)?]) => {
+        match $f {
+            $($ety::$v => row1($out, $lanes, $a, |x| $sem($ety::$v, x)),)+
+        }
+    };
+}
+
+/// The batched lockstep engine.
+///
+/// Construct once per machine, then feed it any number of batches; the
+/// internal [`BatchArena`] is reused across calls. Generic over a
+/// [`Recorder`] by the usual zero-cost pattern — the default
+/// [`NullRecorder`] compiles the `vsp_batch_*` metrics out.
+///
+/// ```
+/// use vsp_core::models;
+/// use vsp_isa::{AluBinOp, OpKind, Operand, Operation, Program, Reg};
+/// use vsp_sim::batch::{BatchSimulator, RunSpec};
+/// use vsp_sim::DecodedProgram;
+///
+/// let machine = models::i4c8s4();
+/// let mut p = Program::new("add");
+/// p.push_word(vec![Operation::new(0, 0, OpKind::AluBin {
+///     op: AluBinOp::Add, dst: Reg(2), a: Operand::Imm(40), b: Operand::Imm(2),
+/// })]);
+/// p.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+///
+/// let decoded = DecodedProgram::prepare(&machine, &p).unwrap();
+/// let mut batch = BatchSimulator::new(&machine);
+/// let outcomes = batch.run_batch(&decoded, vec![RunSpec::new(100); 8]);
+/// assert!(outcomes.iter().all(|o| o.halted()));
+/// assert_eq!(outcomes[0].state.regs[0][2], 42);
+/// ```
+#[derive(Debug)]
+pub struct BatchSimulator<'a, M: Recorder = NullRecorder> {
+    machine: &'a MachineConfig,
+    policy: HazardPolicy,
+    recorder: M,
+    arena: BatchArena,
+}
+
+impl<'a> BatchSimulator<'a> {
+    /// Creates an engine for `machine` with the default
+    /// ([`HazardPolicy::Fault`]) hazard policy and no metrics.
+    #[must_use]
+    pub fn new(machine: &'a MachineConfig) -> Self {
+        Self::with_recorder(machine, NullRecorder)
+    }
+}
+
+impl<'a, M: Recorder> BatchSimulator<'a, M> {
+    /// Creates an engine that streams `vsp_batch_*` metrics into
+    /// `recorder` (typically `&mut registry`).
+    pub fn with_recorder(machine: &'a MachineConfig, recorder: M) -> Self {
+        BatchSimulator {
+            machine,
+            policy: HazardPolicy::Fault,
+            recorder,
+            arena: BatchArena::default(),
+        }
+    }
+
+    /// Selects the hazard policy applied to every lane.
+    pub fn set_hazard_policy(&mut self, policy: HazardPolicy) {
+        self.policy = policy;
+    }
+
+    /// Runs one lane per spec to completion and returns the outcomes in
+    /// spec order.
+    ///
+    /// `program` must come from [`DecodedProgram::prepare`] for this
+    /// engine's machine. Each super-step advances every live lane by
+    /// one instruction word: lanes are grouped by `pc` (one group and
+    /// no sorting in the common non-divergent case) and each group
+    /// executes op-major. Finished lanes retire immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec's initial register, predicate or memory indices
+    /// fall outside the machine's shape.
+    pub fn run_batch<F: FaultModel>(
+        &mut self,
+        program: &DecodedProgram,
+        specs: Vec<RunSpec<F>>,
+    ) -> Vec<LaneOutcome<F>> {
+        let faults = self.execute(program, specs);
+        if faults.is_empty() {
+            return Vec::new();
+        }
+        let states = self.collect_states();
+        faults
+            .into_iter()
+            .zip(states)
+            .enumerate()
+            .map(|(lane, (f, state))| LaneOutcome {
+                stats: self.lane_stats(lane),
+                state,
+                error: self.arena.errs[lane].take(),
+                faults: f,
+            })
+            .collect()
+    }
+
+    /// [`BatchSimulator::run_batch`] keeping only the statistics —
+    /// skips the architectural-state gather entirely, which matters for
+    /// campaign throughput: the SRAM pools never have to be read back.
+    pub fn run_batch_stats<F: FaultModel>(
+        &mut self,
+        program: &DecodedProgram,
+        specs: Vec<RunSpec<F>>,
+    ) -> Vec<RunStats> {
+        let nl = specs.len();
+        let _faults = self.execute(program, specs);
+        (0..nl).map(|lane| self.lane_stats(lane)).collect()
+    }
+
+    /// The shared driver: stages every spec into the arena, runs the
+    /// super-step loop to completion and returns the fault models in
+    /// lane order. Results stay in the arena for the caller to fold.
+    fn execute<F: FaultModel>(
+        &mut self,
+        program: &DecodedProgram,
+        specs: Vec<RunSpec<F>>,
+    ) -> Vec<F> {
+        let nl = specs.len();
+        if nl == 0 {
+            return Vec::new();
+        }
+        self.arena.reset(self.machine, program, nl);
+        let mut faults = Vec::with_capacity(nl);
+        for (lane, spec) in specs.into_iter().enumerate() {
+            self.stage_lane(lane, &spec);
+            self.arena.max_cycles[lane] = spec.max_cycles;
+            faults.push(spec.faults);
+        }
+        // Uniform lockstep keeps ONE shared copy of the timing state
+        // for the whole batch; it is sound only when no lane can
+        // inject timing-perturbing faults.
+        self.arena.uniform = faults.iter().all(|f| !f.enabled());
+        // Scalar `run` checks the budget before the first step too.
+        for lane in 0..nl {
+            if self.arena.max_cycles[lane] == 0 {
+                self.arena.errs[lane] = Some(SimError::CycleLimit { limit: 0 });
+                self.arena.alive[lane] = false;
+            } else {
+                self.arena.active.push(lane as u32);
+            }
+        }
+
+        let recording = self.recorder.enabled();
+        let started = recording.then(Instant::now);
+        let mut super_steps = 0u64;
+        let mut lane_words = 0u64;
+
+        while !self.arena.active.is_empty() {
+            let act = std::mem::take(&mut self.arena.active);
+            if recording {
+                super_steps += 1;
+                lane_words += act.len() as u64;
+                self.recorder
+                    .observe("vsp_batch_lane_occupancy", &[], act.len() as u64);
+            }
+            let pc0 = self.arena.pc[act[0] as usize];
+            if self.arena.uniform {
+                // All lanes provably share one pc while uniform holds.
+                self.exec_word_uniform(program, pc0 as usize, &act, &mut faults);
+            } else if act.iter().all(|&l| self.arena.pc[l as usize] == pc0) {
+                self.exec_word(program, pc0 as usize, &act, &mut faults, false);
+            } else {
+                // Divergent lanes: bucket by pc (stable within a pc by
+                // lane index) and run each bucket as its own group.
+                let mut grouped = std::mem::take(&mut self.arena.grouped);
+                grouped.clear();
+                grouped.extend_from_slice(&act);
+                grouped.sort_unstable_by_key(|&l| (self.arena.pc[l as usize], l));
+                let mut i = 0;
+                while i < grouped.len() {
+                    let word = self.arena.pc[grouped[i] as usize];
+                    let mut j = i + 1;
+                    while j < grouped.len() && self.arena.pc[grouped[j] as usize] == word {
+                        j += 1;
+                    }
+                    self.exec_word(program, word as usize, &grouped[i..j], &mut faults, false);
+                    i = j;
+                }
+                self.arena.grouped = grouped;
+            }
+            // Retire: halts win over budget exhaustion, like scalar
+            // `run`'s halt-then-budget check order.
+            let mut act = act;
+            act.retain(|&lane| {
+                let l = lane as usize;
+                if !self.arena.alive[l] {
+                    return false;
+                }
+                if self.arena.halted[l] {
+                    self.arena.alive[l] = false;
+                    return false;
+                }
+                if self.arena.cycle[l] >= self.arena.max_cycles[l] {
+                    self.arena.errs[l] = Some(SimError::CycleLimit {
+                        limit: self.arena.max_cycles[l],
+                    });
+                    self.arena.alive[l] = false;
+                    return false;
+                }
+                true
+            });
+            self.arena.active = act;
+        }
+
+        if recording {
+            let total_cycles: u64 = self.arena.c_cycles[..nl].iter().sum();
+            self.recorder.add("vsp_batch_runs_total", &[], nl as u64);
+            self.recorder.add("vsp_batch_steps_total", &[], super_steps);
+            self.recorder
+                .add("vsp_batch_lane_words_total", &[], lane_words);
+            self.recorder
+                .add("vsp_batch_cycles_total", &[], total_cycles);
+            if let Some(t0) = started {
+                let wall = t0.elapsed().as_secs_f64();
+                if wall > 0.0 {
+                    self.recorder.gauge(
+                        "vsp_batch_cycles_per_sec",
+                        &[],
+                        total_cycles as f64 / wall,
+                    );
+                }
+            }
+        }
+        faults
+    }
+
+    /// Broadcasts the shared uniform-lockstep timing state into every
+    /// live lane's per-lane pools so the general executor can take
+    /// over mid-batch. Runs at most once per batch, on the first
+    /// divergence; dead lanes keep their state-at-death untouched.
+    fn flush_uniform(&mut self, lanes: &[u32]) {
+        let BatchArena {
+            nl,
+            reg_ready,
+            pred_ready,
+            itags,
+            cycle,
+            c_cycles,
+            drained_through,
+            redirect,
+            ring_data,
+            ring_len,
+            ring_cap,
+            pending_count,
+            far,
+            uniform,
+            u_cycle,
+            u_drained,
+            u_redirect,
+            u_reg_ready,
+            u_pred_ready,
+            u_itags,
+            u_ring_key,
+            u_ring_len,
+            u_ring_val,
+            u_cap,
+            u_pending,
+            u_far,
+            ..
+        } = &mut self.arena;
+        let nl = *nl;
+        for (idx, &at) in u_reg_ready.iter().enumerate() {
+            let row = idx * nl;
+            for_each_run(lanes, |lo, hi| reg_ready[row + lo..row + hi].fill(at));
+        }
+        for (idx, &at) in u_pred_ready.iter().enumerate() {
+            let row = idx * nl;
+            for_each_run(lanes, |lo, hi| pred_ready[row + lo..row + hi].fill(at));
+        }
+        for (t, &tag) in u_itags.iter().enumerate() {
+            let row = t * nl;
+            for_each_run(lanes, |lo, hi| itags[row + lo..row + hi].fill(tag));
+        }
+        for_each_run(lanes, |lo, hi| {
+            cycle[lo..hi].fill(*u_cycle);
+            c_cycles[lo..hi].fill(*u_cycle);
+            drained_through[lo..hi].fill(*u_drained);
+            redirect[lo..hi].fill(*u_redirect);
+        });
+        // Convert the shared pending ring (shared keys, per-lane value
+        // rows) into the per-lane rings, preserving push order. The
+        // per-lane rings are untouched while uniform mode holds, so
+        // every slot starts empty here.
+        if *ring_cap < *u_cap {
+            *ring_cap = *u_cap;
+        }
+        ring_data.resize(nl * PENDING_SLOTS * *ring_cap, (0, 0));
+        for s in 0..PENDING_SLOTS {
+            for j in 0..usize::from(u_ring_len[s]) {
+                let key = u_ring_key[s * *u_cap + j];
+                let vrow = (s * *u_cap + j) * nl;
+                for &lane in lanes {
+                    let l = lane as usize;
+                    ring_data[(l * PENDING_SLOTS + s) * *ring_cap + j] =
+                        (key, u_ring_val[vrow + l]);
+                }
+            }
+        }
+        for &lane in lanes {
+            let l = lane as usize;
+            for s in 0..PENDING_SLOTS {
+                ring_len[l * PENDING_SLOTS + s] = u_ring_len[s];
+            }
+            pending_count[l] = *u_pending;
+        }
+        for (at, entries) in u_far.iter() {
+            for &lane in lanes {
+                let l = lane as usize;
+                let list = far[l].entry(*at).or_default();
+                for (key, vals) in entries {
+                    list.push(if key & 1 == 0 {
+                        LaneCommit::Reg(key >> 1, vals[l])
+                    } else {
+                        LaneCommit::Pred(key >> 1, vals[l] != 0)
+                    });
+                }
+            }
+        }
+        u_ring_len.fill(0);
+        *u_pending = 0;
+        u_far.clear();
+        *uniform = false;
+    }
+
+    /// Executes one word for the whole batch under uniform lockstep:
+    /// fetch, scoreboard checks, write-port arbitration, and branch
+    /// resolution run ONCE on the shared timing state, and only the
+    /// data computation touches per-lane rows (in storage order, so
+    /// the hot loops vectorize). Any condition whose outcome could
+    /// differ between lanes — a non-uniform guard or branch predicate
+    /// row, a hazard or write-port conflict — flushes the shared state
+    /// into the per-lane pools and replays this word on the general
+    /// executor, which then owns the rest of the batch.
+    #[allow(clippy::too_many_lines)]
+    fn exec_word_uniform<F: FaultModel>(
+        &mut self,
+        prog: &DecodedProgram,
+        word: usize,
+        lanes: &[u32],
+        faults: &mut [F],
+    ) {
+        let policy = self.policy;
+        let delay_slots = self.machine.pipeline.branch_delay_slots;
+        let irefill = u64::from(self.machine.icache_refill_cycles);
+        let diverge = 'word: {
+            let BatchArena {
+                nl,
+                nc,
+                nr,
+                np,
+                nb,
+                stride,
+                icap,
+                plen,
+                regs,
+                preds,
+                mems,
+                mem_active,
+                mem_off,
+                bank_words,
+                mems_dirty,
+                mem_row_flag,
+                mem_row_off,
+                pc,
+                cycle,
+                halted,
+                alive,
+                errs,
+                c_icache_miss,
+                c_icache_stall,
+                c_annulled,
+                c_loads,
+                c_stores,
+                c_xfers,
+                c_words,
+                c_bubbles,
+                c_taken,
+                c_cycles,
+                util_hist,
+                hist_bins,
+                class_ops,
+                cluster_ops,
+                nclass,
+                agg_issued,
+                agg_class,
+                agg_cluster,
+                upre_class,
+                upre_cluster,
+                st,
+                st_len,
+                exec,
+                u_cycle,
+                u_drained,
+                u_redirect,
+                u_reg_ready,
+                u_pred_ready,
+                u_itags,
+                u_ring_key,
+                u_ring_len,
+                u_ring_val,
+                u_cap,
+                u_pending,
+                u_far,
+                u_wr,
+                u_wp,
+                u_ann,
+                u_dest_r,
+                u_dest_p,
+                u_ovl,
+                u_farmeta,
+                u_farbuf,
+                u_sw,
+                u_gclass,
+                u_gcluster,
+                ..
+            } = &mut self.arena;
+            let (nl, nc, nr, np, nb, stride, icap, plen, hist_bins, nclass) = (
+                *nl, *nc, *nr, *np, *nb, *stride, *icap, *plen, *hist_bins, *nclass,
+            );
+            debug_assert!(lanes.iter().all(|&l| pc[l as usize] as usize == word));
+
+            // ---- Shared fetch ----
+            if word >= plen {
+                for &lane in lanes {
+                    let l = lane as usize;
+                    errs[l] = Some(SimError::RanOffEnd { cycle: *u_cycle });
+                    alive[l] = false;
+                }
+                break 'word false;
+            }
+            let tag = &mut u_itags[word % icap];
+            if *tag != word as u32 {
+                *tag = word as u32;
+                *u_cycle += irefill;
+                for_each_run(lanes, |lo, hi| {
+                    for v in &mut c_icache_miss[lo..hi] {
+                        *v += 1;
+                    }
+                    for v in &mut c_icache_stall[lo..hi] {
+                        *v += irefill;
+                    }
+                });
+            }
+            // ---- Shared commit drain: one row copy per due entry ----
+            if *u_pending > 0 {
+                let span = (*u_cycle - *u_drained).min(PENDING_SLOTS as u64);
+                for cyc in (*u_cycle + 1 - span)..=*u_cycle {
+                    let s = (cyc % PENDING_SLOTS as u64) as usize;
+                    let n = usize::from(u_ring_len[s]);
+                    if n == 0 {
+                        continue;
+                    }
+                    u_ring_len[s] = 0;
+                    *u_pending -= n as u32;
+                    for j in 0..n {
+                        let key = u_ring_key[s * *u_cap + j];
+                        let vrow = (s * *u_cap + j) * nl;
+                        let drow = (key >> 1) as usize * nl;
+                        if key & 1 == 0 {
+                            for_each_run(lanes, |lo, hi| {
+                                regs[drow + lo..drow + hi]
+                                    .copy_from_slice(&u_ring_val[vrow + lo..vrow + hi]);
+                            });
+                        } else {
+                            for_each_run(lanes, |lo, hi| {
+                                for l in lo..hi {
+                                    preds[drow + l] = u_ring_val[vrow + l] != 0;
+                                }
+                            });
+                        }
+                    }
+                }
+            }
+            *u_drained = *u_cycle;
+            while let Some(entry) = u_far.first_entry() {
+                if *entry.key() > *u_cycle {
+                    break;
+                }
+                for (key, vals) in entry.remove() {
+                    let drow = (key >> 1) as usize * nl;
+                    if key & 1 == 0 {
+                        for_each_run(lanes, |lo, hi| {
+                            regs[drow + lo..drow + hi].copy_from_slice(&vals[lo..hi]);
+                        });
+                    } else {
+                        for_each_run(lanes, |lo, hi| {
+                            for l in lo..hi {
+                                preds[drow + l] = vals[l] != 0;
+                            }
+                        });
+                    }
+                }
+            }
+            let cyc = *u_cycle;
+
+            // ---- Shared meta pass: guards, hazards, branch/halt ----
+            u_wr.clear();
+            u_wp.clear();
+            u_ann.clear();
+            u_dest_r.clear();
+            u_dest_p.clear();
+            u_ovl.clear();
+            u_farmeta.clear();
+            u_farbuf.clear();
+            u_sw.clear();
+            u_gclass.fill(0);
+            u_gcluster.fill(0);
+            let mut n_ann = 0u32;
+            let mut n_guard_issued = 0u32;
+            let mut taken = false;
+            let mut target = 0u32;
+            let mut halt = false;
+            let in_shadow_u = u_redirect.is_some();
+            let l0 = lanes[0] as usize;
+            let mut div = false;
+            for i in prog.word_range(word) {
+                let op = prog.op(i);
+                let c = op.cluster as usize;
+                // A predicate row is usable only when every live lane
+                // agrees on its value AND it is hazard-free; otherwise
+                // lanes would annul or branch differently and timing
+                // diverges. `break` leaves the meta loop with `div`
+                // set, which hands the word to the general executor.
+                macro_rules! pred_row {
+                    ($pidx:expr) => {{
+                        let pidx = $pidx;
+                        if policy == HazardPolicy::Fault && u_pred_ready[pidx] > cyc {
+                            div = true;
+                            break;
+                        }
+                        let row = pidx * nl;
+                        let v0 = preds[row + l0];
+                        let mut uni = true;
+                        for_each_run(lanes, |lo, hi| {
+                            for &b in &preds[row + lo..row + hi] {
+                                uni &= b == v0;
+                            }
+                        });
+                        if !uni {
+                            div = true;
+                            break;
+                        }
+                        v0
+                    }};
+                }
+                macro_rules! rchk {
+                    ($idx:expr) => {
+                        if policy == HazardPolicy::Fault && u_reg_ready[$idx] > cyc {
+                            div = true;
+                            break;
+                        }
+                    };
+                }
+                macro_rules! ochk {
+                    ($o:expr) => {
+                        if let DOperand::Reg(r) = $o {
+                            rchk!(c * nr + r as usize);
+                        }
+                    };
+                }
+                macro_rules! achk {
+                    ($a:expr) => {
+                        match $a {
+                            DAddr::Abs(_) => {}
+                            DAddr::Reg(r) | DAddr::BaseDisp(r, _) => rchk!(c * nr + r as usize),
+                            DAddr::Indexed(r, r2) => {
+                                rchk!(c * nr + r as usize);
+                                rchk!(c * nr + r2 as usize);
+                            }
+                        }
+                    };
+                }
+                if op.guard_pred != NO_GUARD {
+                    let v0 = pred_row!(c * np + op.guard_pred as usize);
+                    if v0 != op.guard_sense {
+                        u_ann.push(1);
+                        n_ann += 1;
+                        continue;
+                    }
+                    if let Some(class) = op.class {
+                        u_gclass[class as usize] += 1;
+                        u_gcluster[c] += 1;
+                        n_guard_issued += 1;
+                    }
+                }
+                u_ann.push(0);
+                match op.kind {
+                    DKind::AluBin { a, b, dst, .. }
+                    | DKind::Shift { a, b, dst, .. }
+                    | DKind::Mul { a, b, dst, .. } => {
+                        ochk!(a);
+                        ochk!(b);
+                        u_wr.push(((c * nr + dst as usize) as u32, op.latency));
+                    }
+                    DKind::AluUn { a, dst, .. } => {
+                        ochk!(a);
+                        u_wr.push(((c * nr + dst as usize) as u32, op.latency));
+                    }
+                    DKind::Cmp { a, b, dst, .. } => {
+                        ochk!(a);
+                        ochk!(b);
+                        u_wp.push(((c * np + dst as usize) as u32, op.latency));
+                    }
+                    DKind::Load { addr, dst, .. } => {
+                        achk!(addr);
+                        u_wr.push(((c * nr + dst as usize) as u32, op.latency));
+                    }
+                    DKind::Store { src, addr, .. } => {
+                        achk!(addr);
+                        ochk!(src);
+                    }
+                    DKind::Xfer { from, src, dst } => {
+                        rchk!(from as usize * nr + src as usize);
+                        u_wr.push(((c * nr + dst as usize) as u32, op.latency));
+                    }
+                    DKind::Branch {
+                        pred,
+                        sense,
+                        target: t,
+                    } => {
+                        let v0 = pred_row!(c * np + pred as usize);
+                        if v0 == sense {
+                            taken = true;
+                            target = t;
+                        }
+                    }
+                    DKind::Jump { target: t } => {
+                        taken = true;
+                        target = t;
+                    }
+                    DKind::Halt => halt = true,
+                    DKind::Swap { bank } => u_sw.push((c * nb + bank as usize) as u32),
+                    DKind::Nop => {}
+                }
+            }
+            if div {
+                break 'word true;
+            }
+
+            // Write-port arbitration on the shared scoreboards, in the
+            // general path's order: every register write, then every
+            // predicate write. A conflict kills all lanes identically,
+            // which the general replay reproduces entry by entry.
+            for &(idx, lat) in u_wr.iter() {
+                let at = cyc + u64::from(lat);
+                let key = idx << 1;
+                let ready = ovl_get(u_ovl, key, u_reg_ready[idx as usize]);
+                if lat > 0 && ready == at && policy == HazardPolicy::Fault {
+                    div = true;
+                    break;
+                }
+                ovl_set(u_ovl, key, ready.max(at));
+            }
+            if !div {
+                for &(idx, lat) in u_wp.iter() {
+                    let at = cyc + u64::from(lat);
+                    let key = (idx << 1) | 1;
+                    let ready = ovl_get(u_ovl, key, u_pred_ready[idx as usize]);
+                    if lat > 0 && ready == at && policy == HazardPolicy::Fault {
+                        div = true;
+                        break;
+                    }
+                    ovl_set(u_ovl, key, ready.max(at));
+                }
+            }
+            if div {
+                break 'word true;
+            }
+            for &(key, at) in u_ovl.iter() {
+                if key & 1 == 0 {
+                    u_reg_ready[(key >> 1) as usize] = at;
+                } else {
+                    u_pred_ready[(key >> 1) as usize] = at;
+                }
+            }
+            // Assign each write its destination row: a shared pending
+            // ring slot for in-window latencies, a far-commit buffer
+            // row otherwise (including latency 0, like the general
+            // path, so it lands at the next drain).
+            macro_rules! assign_slots {
+                ($list:expr, $dests:expr, $tag:expr) => {
+                    for &(idx, lat) in $list.iter() {
+                        let at = cyc + u64::from(lat);
+                        if (1..=PENDING_SLOTS as u32).contains(&lat) {
+                            let s = (at % PENDING_SLOTS as u64) as usize;
+                            let mut j = usize::from(u_ring_len[s]);
+                            if j >= *u_cap {
+                                let ncap = (*u_cap * 2).max(4);
+                                let mut nk = vec![0u32; PENDING_SLOTS * ncap];
+                                let mut nv = vec![0i16; PENDING_SLOTS * ncap * nl];
+                                for s2 in 0..PENDING_SLOTS {
+                                    let m = usize::from(u_ring_len[s2]);
+                                    nk[s2 * ncap..s2 * ncap + m]
+                                        .copy_from_slice(&u_ring_key[s2 * *u_cap..s2 * *u_cap + m]);
+                                    nv[s2 * ncap * nl..(s2 * ncap + m) * nl].copy_from_slice(
+                                        &u_ring_val[s2 * *u_cap * nl..(s2 * *u_cap + m) * nl],
+                                    );
+                                }
+                                *u_ring_key = nk;
+                                *u_ring_val = nv;
+                                *u_cap = ncap;
+                                j = usize::from(u_ring_len[s]);
+                            }
+                            u_ring_key[s * *u_cap + j] = (idx << 1) | $tag;
+                            u_ring_len[s] += 1;
+                            *u_pending += 1;
+                            $dests.push(((s as u32) << 24) | j as u32);
+                        } else {
+                            let frow = (u_farbuf.len() / nl) as u32;
+                            u_farbuf.resize(u_farbuf.len() + nl, 0);
+                            u_farmeta.push((at, (idx << 1) | $tag, frow));
+                            $dests.push(FAR_BIT | frow);
+                        }
+                    }
+                };
+            }
+            assign_slots!(u_wr, u_dest_r, 0);
+            assign_slots!(u_wp, u_dest_p, 1);
+
+            // ---- Per-lane data pass: row loops in storage order ----
+            let mut cur_r = 0usize;
+            let mut cur_p = 0usize;
+            let mut n_loads = 0u32;
+            let mut n_stores = 0u32;
+            let mut n_xfers = 0u32;
+            let mut ann_pre = 0u32;
+            let mut killed_any = false;
+            for (k, i) in prog.word_range(word).enumerate() {
+                if u_ann[k] == 1 {
+                    ann_pre += 1;
+                    continue;
+                }
+                let op = prog.op(i);
+                let c = op.cluster as usize;
+                macro_rules! out_row {
+                    ($dest:expr) => {{
+                        let d = $dest;
+                        if d & FAR_BIT != 0 {
+                            &mut u_farbuf[(d & !FAR_BIT) as usize * nl..][..nl]
+                        } else {
+                            let s = (d >> 24) as usize;
+                            let j = (d & 0x00ff_ffff) as usize;
+                            &mut u_ring_val[(s * *u_cap + j) * nl..][..nl]
+                        }
+                    }};
+                }
+                macro_rules! rowv {
+                    ($o:expr) => {
+                        match $o {
+                            DOperand::Reg(r) => {
+                                RowV::Row(&regs[(c * nr + r as usize) * nl..][..nl])
+                            }
+                            DOperand::Imm(v) => RowV::Imm(v),
+                        }
+                    };
+                }
+                // Per-lane mid-word death (memory out of range): credit
+                // exactly what the general path's incremental counting
+                // would have given the lane before the kill — its
+                // loads/stores/xfers/annuls so far (exclusive), the
+                // unguarded issue prefix (inclusive of this op), and
+                // the guarded ops issued earlier this word.
+                macro_rules! killu {
+                    ($l:expr, $e:expr) => {{
+                        let l = $l;
+                        errs[l] = Some($e);
+                        alive[l] = false;
+                        killed_any = true;
+                        cycle[l] = cyc;
+                        c_loads[l] += u64::from(n_loads);
+                        c_stores[l] += u64::from(n_stores);
+                        c_xfers[l] += u64::from(n_xfers);
+                        c_annulled[l] += u64::from(ann_pre);
+                        for kk in 0..nclass {
+                            class_ops[kk * nl + l] += u64::from(upre_class[i * nclass + kk]);
+                        }
+                        for cc in 0..nc {
+                            cluster_ops[cc * nl + l] += u64::from(upre_cluster[i * nc + cc]);
+                        }
+                        for (k2, i2) in prog.word_range(word).enumerate() {
+                            if i2 >= i {
+                                break;
+                            }
+                            if u_ann[k2] == 1 {
+                                continue;
+                            }
+                            let op2 = prog.op(i2);
+                            if op2.guard_pred != NO_GUARD {
+                                if let Some(cl2) = op2.class {
+                                    class_ops[cl2 as usize * nl + l] += 1;
+                                    cluster_ops[op2.cluster as usize * nl + l] += 1;
+                                }
+                            }
+                        }
+                        continue;
+                    }};
+                }
+                match op.kind {
+                    DKind::AluBin { op: f, a, b, .. } => {
+                        let out = out_row!(u_dest_r[cur_r]);
+                        cur_r += 1;
+                        let (av, bv) = (rowv!(a), rowv!(b));
+                        unswitch2!(
+                            f,
+                            out,
+                            lanes,
+                            av,
+                            bv,
+                            semantics::alu_bin,
+                            AluBinOp,
+                            [Add, Sub, And, Or, Xor, Min, Max, AbsDiff]
+                        );
+                    }
+                    DKind::AluUn { op: f, a, .. } => {
+                        let out = out_row!(u_dest_r[cur_r]);
+                        cur_r += 1;
+                        let av = rowv!(a);
+                        unswitch1!(
+                            f,
+                            out,
+                            lanes,
+                            av,
+                            semantics::alu_un,
+                            AluUnOp,
+                            [Mov, Abs, Neg, Not, SextB, ZextB]
+                        );
+                    }
+                    DKind::Shift { op: f, a, b, .. } => {
+                        let out = out_row!(u_dest_r[cur_r]);
+                        cur_r += 1;
+                        let (av, bv) = (rowv!(a), rowv!(b));
+                        unswitch2!(
+                            f,
+                            out,
+                            lanes,
+                            av,
+                            bv,
+                            semantics::shift,
+                            ShiftOp,
+                            [Shl, ShrL, ShrA]
+                        );
+                    }
+                    DKind::Mul { kind, a, b, .. } => {
+                        let out = out_row!(u_dest_r[cur_r]);
+                        cur_r += 1;
+                        let (av, bv) = (rowv!(a), rowv!(b));
+                        unswitch2!(
+                            kind,
+                            out,
+                            lanes,
+                            av,
+                            bv,
+                            semantics::mul,
+                            MulKind,
+                            [Mul8SS, Mul8UU, Mul8SU, Mul16Lo, Mul16Hi]
+                        );
+                    }
+                    DKind::Cmp { op: f, a, b, .. } => {
+                        let out = out_row!(u_dest_p[cur_p]);
+                        cur_p += 1;
+                        let (av, bv) = (rowv!(a), rowv!(b));
+                        unswitch2!(
+                            f,
+                            out,
+                            lanes,
+                            av,
+                            bv,
+                            cmp_i16,
+                            CmpOp,
+                            [Eq, Ne, Lt, Le, Gt, Ge]
+                        );
+                    }
+                    DKind::Load { addr, bank, .. } => {
+                        let out = out_row!(u_dest_r[cur_r]);
+                        cur_r += 1;
+                        let cb = c * nb + bank as usize;
+                        let words = bank_words[cb];
+                        let off = mem_off[cb];
+                        macro_rules! load_run {
+                            ($af:expr) => {{
+                                let af = $af;
+                                for_each_run(lanes, |lo, hi| {
+                                    for l in lo..hi {
+                                        if !alive[l] {
+                                            continue;
+                                        }
+                                        let adr = u32::from(af(l));
+                                        if adr >= words {
+                                            killu!(
+                                                l,
+                                                SimError::MemOutOfRange {
+                                                    cycle: cyc,
+                                                    cluster: op.cluster,
+                                                    bank,
+                                                    addr: adr,
+                                                    words,
+                                                }
+                                            );
+                                        }
+                                        let buf = mem_active[cb * nl + l] as usize;
+                                        out[l] = mems
+                                            [off + (buf * words as usize + adr as usize) * nl + l];
+                                    }
+                                });
+                            }};
+                        }
+                        match addr {
+                            DAddr::Abs(a2) => load_run!(move |_l: usize| a2),
+                            DAddr::Reg(r) => {
+                                let base = (c * nr + r as usize) * nl;
+                                load_run!(|l: usize| regs[base + l] as u16);
+                            }
+                            DAddr::BaseDisp(r, d) => {
+                                let base = (c * nr + r as usize) * nl;
+                                load_run!(|l: usize| regs[base + l].wrapping_add(d) as u16);
+                            }
+                            DAddr::Indexed(r, r2) => {
+                                let b1 = (c * nr + r as usize) * nl;
+                                let b2 = (c * nr + r2 as usize) * nl;
+                                load_run!(|l: usize| regs[b1 + l].wrapping_add(regs[b2 + l]) as u16);
+                            }
+                        }
+                        n_loads += 1;
+                    }
+                    DKind::Store { src, addr, bank } => {
+                        let cb = c * nb + bank as usize;
+                        let words = bank_words[cb];
+                        macro_rules! store_run {
+                            ($af:expr, $vf:expr) => {{
+                                let af = $af;
+                                let vf = $vf;
+                                for_each_run(lanes, |lo, hi| {
+                                    for l in lo..hi {
+                                        if !alive[l] {
+                                            continue;
+                                        }
+                                        let adr = u32::from(af(l));
+                                        let v = vf(l);
+                                        if adr >= words {
+                                            killu!(
+                                                l,
+                                                SimError::MemOutOfRange {
+                                                    cycle: cyc,
+                                                    cluster: op.cluster,
+                                                    bank,
+                                                    addr: adr,
+                                                    words,
+                                                }
+                                            );
+                                        }
+                                        st[l * stride + st_len[l] as usize] = (cb as u32, adr, v);
+                                        st_len[l] += 1;
+                                    }
+                                });
+                            }};
+                        }
+                        macro_rules! with_vf {
+                            ($vf:expr) => {
+                                match addr {
+                                    DAddr::Abs(a2) => store_run!(move |_l: usize| a2, $vf),
+                                    DAddr::Reg(r) => {
+                                        let base = (c * nr + r as usize) * nl;
+                                        store_run!(|l: usize| regs[base + l] as u16, $vf)
+                                    }
+                                    DAddr::BaseDisp(r, d) => {
+                                        let base = (c * nr + r as usize) * nl;
+                                        store_run!(
+                                            |l: usize| regs[base + l].wrapping_add(d) as u16,
+                                            $vf
+                                        )
+                                    }
+                                    DAddr::Indexed(r, r2) => {
+                                        let b1 = (c * nr + r as usize) * nl;
+                                        let b2 = (c * nr + r2 as usize) * nl;
+                                        store_run!(
+                                            |l: usize| {
+                                                regs[b1 + l].wrapping_add(regs[b2 + l]) as u16
+                                            },
+                                            $vf
+                                        )
+                                    }
+                                }
+                            };
+                        }
+                        match src {
+                            DOperand::Reg(r) => {
+                                let vbase = (c * nr + r as usize) * nl;
+                                with_vf!(|l: usize| regs[vbase + l]);
+                            }
+                            DOperand::Imm(v) => with_vf!(move |_l: usize| v),
+                        }
+                        n_stores += 1;
+                    }
+                    DKind::Xfer { from, src, .. } => {
+                        let out = out_row!(u_dest_r[cur_r]);
+                        cur_r += 1;
+                        let srow = (from as usize * nr + src as usize) * nl;
+                        for_each_run(lanes, |lo, hi| {
+                            out[lo..hi].copy_from_slice(&regs[srow + lo..srow + hi]);
+                        });
+                        n_xfers += 1;
+                    }
+                    DKind::Branch { .. }
+                    | DKind::Jump { .. }
+                    | DKind::Halt
+                    | DKind::Swap { .. }
+                    | DKind::Nop => {}
+                }
+            }
+            // Materialize far commits (reg order then pred order, as
+            // the general path pushes them).
+            for &(at, key, frow) in u_farmeta.iter() {
+                let row = frow as usize * nl;
+                u_far
+                    .entry(at)
+                    .or_default()
+                    .push((key, u_farbuf[row..row + nl].to_vec()));
+            }
+
+            // ---- Shared tail: stores, swaps, counters, control ----
+            let live: &[u32] = if killed_any {
+                exec.clear();
+                for &lane in lanes {
+                    if alive[lane as usize] {
+                        exec.push(lane);
+                    }
+                }
+                exec
+            } else {
+                lanes
+            };
+            if live.is_empty() {
+                break 'word false;
+            }
+            if n_stores > 0 {
+                for &lane in live {
+                    let l = lane as usize;
+                    for si in 0..st_len[l] as usize {
+                        let (cb, a, v) = st[l * stride + si];
+                        let cb = cb as usize;
+                        let buf = mem_active[cb * nl + l] as usize;
+                        let words = bank_words[cb] as usize;
+                        let bufw = buf * words + a as usize;
+                        mems[mem_off[cb] + bufw * nl + l] = v;
+                        let flag = &mut mem_row_flag[mem_row_off[cb] + bufw];
+                        if *flag == 0 {
+                            *flag = 1;
+                            mems_dirty.push((cb as u32, bufw as u32));
+                        }
+                    }
+                    st_len[l] = 0;
+                }
+            }
+            for &cb in u_sw.iter() {
+                let row = cb as usize * nl;
+                for_each_run(live, |lo, hi| {
+                    for v in &mut mem_active[row + lo..row + hi] {
+                        *v ^= 1;
+                    }
+                });
+            }
+            macro_rules! bump {
+                ($arr:expr, $n:expr) => {{
+                    let n = $n;
+                    if n > 0 {
+                        for_each_run(live, |lo, hi| {
+                            for v in &mut $arr[lo..hi] {
+                                *v += n;
+                            }
+                        });
+                    }
+                }};
+            }
+            bump!(c_words, 1u64);
+            bump!(c_loads, u64::from(n_loads));
+            bump!(c_stores, u64::from(n_stores));
+            bump!(c_xfers, u64::from(n_xfers));
+            bump!(c_annulled, u64::from(ann_pre));
+            for k in 0..nclass {
+                let n = u64::from(agg_class[word * nclass + k]) + u64::from(u_gclass[k]);
+                if n > 0 {
+                    let row = k * nl;
+                    for_each_run(live, |lo, hi| {
+                        for v in &mut class_ops[row + lo..row + hi] {
+                            *v += n;
+                        }
+                    });
+                }
+            }
+            for c in 0..nc {
+                let an = agg_cluster[word * nc + c] + u_gcluster[c];
+                if an > 0 {
+                    let row = c * nl;
+                    for_each_run(live, |lo, hi| {
+                        for v in &mut cluster_ops[row + lo..row + hi] {
+                            *v += u64::from(an);
+                        }
+                    });
+                    let hrow = (c * hist_bins + an as usize) * nl;
+                    for_each_run(live, |lo, hi| {
+                        for v in &mut util_hist[hrow + lo..hrow + hi] {
+                            *v += 1;
+                        }
+                    });
+                }
+            }
+            let wi = agg_issued[word] + n_guard_issued + n_ann;
+            if in_shadow_u && wi == 0 {
+                bump!(c_bubbles, 1u64);
+            }
+            if halt {
+                for_each_run(live, |lo, hi| halted[lo..hi].fill(true));
+            }
+            if taken {
+                bump!(c_taken, 1u64);
+                *u_redirect = Some((target, delay_slots));
+            }
+            let new_pc = match *u_redirect {
+                Some((t, 0)) => {
+                    *u_redirect = None;
+                    t
+                }
+                Some((t, n2)) => {
+                    *u_redirect = Some((t, n2 - 1));
+                    word as u32 + 1
+                }
+                None => word as u32 + 1,
+            };
+            *u_cycle = cyc + 1;
+            for_each_run(live, |lo, hi| {
+                pc[lo..hi].fill(new_pc);
+                cycle[lo..hi].fill(cyc + 1);
+                c_cycles[lo..hi].fill(cyc + 1);
+            });
+            false
+        };
+        if diverge {
+            self.flush_uniform(lanes);
+            self.exec_word(prog, word, lanes, faults, true);
+        }
+    }
+
+    /// Applies one spec's initial state to its lane.
+    fn stage_lane<F: FaultModel>(&mut self, lane: usize, spec: &RunSpec<F>) {
+        let a = &mut self.arena;
+        for &(c, r, v) in &spec.regs {
+            let (c, r) = (c as usize, r.index());
+            assert!(c < a.nc && r < a.nr, "initial register outside machine");
+            a.regs[(c * a.nr + r) * a.nl + lane] = v;
+        }
+        for &(c, p, v) in &spec.preds {
+            let (c, p) = (c as usize, p.index());
+            assert!(c < a.nc && p < a.np, "initial predicate outside machine");
+            a.preds[(c * a.np + p) * a.nl + lane] = v;
+        }
+        for &(c, b, addr, v) in &spec.mem {
+            let (c, b) = (c as usize, b as usize);
+            assert!(
+                c < a.nc && b < a.nb && addr < a.bank_words[c * a.nb + b],
+                "initial memory word outside machine"
+            );
+            // Staging targets the processing buffer, which is buffer 0
+            // before the first swap.
+            let cb = c * a.nb + b;
+            a.mems[a.mem_off[cb] + addr as usize * a.nl + lane] = v;
+            let flag = &mut a.mem_row_flag[a.mem_row_off[cb] + addr as usize];
+            if *flag == 0 {
+                *flag = 1;
+                a.mems_dirty.push((cb as u32, addr));
+            }
+        }
+    }
+
+    /// Executes one instruction word for every lane in `lanes` (all at
+    /// the same `word`), replicating `Simulator::step` exactly.
+    ///
+    /// `fetched` marks a replay from the uniform-lockstep path: the
+    /// shared fetch (pc bounds, icache probe, commit drain) already
+    /// ran once for every lane, so only the per-word scratch reset and
+    /// the op phases execute.
+    #[allow(clippy::too_many_lines)]
+    fn exec_word<F: FaultModel>(
+        &mut self,
+        prog: &DecodedProgram,
+        word: usize,
+        lanes: &[u32],
+        faults: &mut [F],
+        fetched: bool,
+    ) {
+        let policy = self.policy;
+        let delay_slots = self.machine.pipeline.branch_delay_slots;
+        let irefill = u64::from(self.machine.icache_refill_cycles);
+        let BatchArena {
+            nl,
+            nc,
+            nr,
+            np,
+            nb,
+            stride,
+            icap,
+            plen,
+            regs,
+            reg_ready,
+            preds,
+            pred_ready,
+            mems,
+            mem_active,
+            mem_off,
+            bank_words,
+            mems_dirty,
+            mem_row_flag,
+            mem_row_off,
+            itags,
+            pc,
+            cycle,
+            halted,
+            alive,
+            redirect,
+            errs,
+            c_icache_miss,
+            c_icache_stall,
+            c_fault_inj,
+            c_annulled,
+            c_loads,
+            c_stores,
+            c_xfers,
+            c_words,
+            c_bubbles,
+            c_taken,
+            c_cycles,
+            util_hist,
+            hist_bins,
+            class_ops,
+            cluster_ops,
+            word_cluster_ops,
+            ring_data,
+            ring_len,
+            ring_cap,
+            pending_count,
+            drained_through,
+            far,
+            nclass,
+            agg_issued,
+            agg_class,
+            agg_cluster,
+            upre_class,
+            upre_cluster,
+            rw,
+            rw_len,
+            pw,
+            pw_len,
+            st,
+            st_len,
+            sw,
+            sw_len,
+            word_issued,
+            branch_to,
+            branch_set,
+            halt_flag,
+            in_shadow,
+            exec,
+            ..
+        } = &mut self.arena;
+        let (nl, nc, nr, np, nb, stride, icap, plen, hist_bins, nclass) = (
+            *nl, *nc, *nr, *np, *nb, *stride, *icap, *plen, *hist_bins, *nclass,
+        );
+
+        // Fetch + commit-drain + per-word scratch reset, per lane.
+        for &lane in lanes {
+            let l = lane as usize;
+            if !fetched {
+                if pc[l] as usize >= plen {
+                    errs[l] = Some(SimError::RanOffEnd { cycle: cycle[l] });
+                    alive[l] = false;
+                    continue;
+                }
+                let tag = &mut itags[(pc[l] as usize % icap) * nl + l];
+                if *tag != pc[l] {
+                    *tag = pc[l];
+                    c_icache_miss[l] += 1;
+                    c_icache_stall[l] += irefill;
+                    cycle[l] += irefill;
+                }
+                if faults[l].enabled() {
+                    let jitter = faults[l].fetch_jitter(cycle[l], pc[l]);
+                    if jitter > 0 {
+                        c_icache_stall[l] += u64::from(jitter);
+                        c_fault_inj[l] += 1;
+                        cycle[l] += u64::from(jitter);
+                    }
+                }
+                // Apply all commits due at or before this cycle (the ring
+                // drain mirrors `Simulator::apply_commits`).
+                if pending_count[l] > 0 {
+                    let span = (cycle[l] - drained_through[l]).min(PENDING_SLOTS as u64);
+                    for c in (cycle[l] + 1 - span)..=cycle[l] {
+                        let rs = l * PENDING_SLOTS + (c % PENDING_SLOTS as u64) as usize;
+                        let n = ring_len[rs] as usize;
+                        if n == 0 {
+                            continue;
+                        }
+                        ring_len[rs] = 0;
+                        pending_count[l] -= n as u32;
+                        let base = rs * *ring_cap;
+                        for &(key, v) in &ring_data[base..base + n] {
+                            if key & 1 == 0 {
+                                regs[(key >> 1) as usize * nl + l] = v;
+                            } else {
+                                preds[(key >> 1) as usize * nl + l] = v != 0;
+                            }
+                        }
+                    }
+                }
+                drained_through[l] = cycle[l];
+                while let Some(entry) = far[l].first_entry() {
+                    if *entry.key() > cycle[l] {
+                        break;
+                    }
+                    for commit in entry.remove() {
+                        match commit {
+                            LaneCommit::Reg(idx, v) => regs[idx as usize * nl + l] = v,
+                            LaneCommit::Pred(idx, v) => preds[idx as usize * nl + l] = v,
+                        }
+                    }
+                }
+            }
+            rw_len[l] = 0;
+            pw_len[l] = 0;
+            st_len[l] = 0;
+            sw_len[l] = 0;
+            word_issued[l] = agg_issued[word];
+            branch_set[l] = false;
+            halt_flag[l] = false;
+            in_shadow[l] = redirect[l].is_some();
+        }
+
+        // Kills a lane with the exact scalar error; expands inside the
+        // per-lane loops, so `continue` skips to the next lane.
+        // Indexed register read with hazard check + fault hook, the
+        // SoA twin of `Simulator::read_reg_idx`.
+        macro_rules! read_reg {
+            ($l:expr, $cl:expr, $r:expr) => {{
+                let idx = $cl as usize * nr + $r as usize;
+                let ready = reg_ready[idx * nl + $l];
+                if ready > cycle[$l] && policy == HazardPolicy::Fault {
+                    kill!(
+                        $l,
+                        SimError::PrematureRead {
+                            cycle: cycle[$l],
+                            word,
+                            cluster: $cl,
+                            reg: Reg($r),
+                            ready_at: ready,
+                        }
+                    );
+                }
+                let v = regs[idx * nl + $l];
+                if faults[$l].enabled() {
+                    let f = faults[$l].on_reg_read(cycle[$l], $cl, $r, v);
+                    if f != v {
+                        c_fault_inj[$l] += 1;
+                    }
+                    f
+                } else {
+                    v
+                }
+            }};
+        }
+        macro_rules! read_operand {
+            ($l:expr, $cl:expr, $o:expr) => {
+                match $o {
+                    DOperand::Reg(r) => read_reg!($l, $cl, r),
+                    DOperand::Imm(v) => v,
+                }
+            };
+        }
+        macro_rules! eff_addr {
+            ($l:expr, $cl:expr, $a:expr) => {
+                u32::from(match $a {
+                    DAddr::Abs(a) => a,
+                    DAddr::Reg(r) => read_reg!($l, $cl, r) as u16,
+                    DAddr::BaseDisp(r, d) => (read_reg!($l, $cl, r)).wrapping_add(d) as u16,
+                    DAddr::Indexed(r, s) => {
+                        let base = read_reg!($l, $cl, r);
+                        let idx = read_reg!($l, $cl, s);
+                        base.wrapping_add(idx) as u16
+                    }
+                })
+            };
+        }
+        macro_rules! push_rw {
+            ($l:expr, $idx:expr, $v:expr, $lat:expr) => {{
+                rw[$l * stride + rw_len[$l] as usize] = ($idx, $v, $lat);
+                rw_len[$l] += 1;
+            }};
+        }
+
+        // Flat-ring push; the grow path repacks every slot and should
+        // never trigger with the `2 * stride` starting capacity.
+        macro_rules! ring_push {
+            ($l:expr, $at:expr, $key:expr, $v:expr) => {{
+                let rs = $l * PENDING_SLOTS + ($at % PENDING_SLOTS as u64) as usize;
+                let mut n = ring_len[rs] as usize;
+                if n >= *ring_cap {
+                    let ncap = (*ring_cap * 2).max(4);
+                    let mut nd = vec![(0u32, 0i16); nl * PENDING_SLOTS * ncap];
+                    for s in 0..nl * PENDING_SLOTS {
+                        let m = ring_len[s] as usize;
+                        nd[s * ncap..s * ncap + m]
+                            .copy_from_slice(&ring_data[s * *ring_cap..s * *ring_cap + m]);
+                    }
+                    *ring_data = nd;
+                    *ring_cap = ncap;
+                    n = ring_len[rs] as usize;
+                }
+                ring_data[rs * *ring_cap + n] = ($key, $v);
+                ring_len[rs] = n as u16 + 1;
+                pending_count[$l] += 1;
+            }};
+        }
+
+        // Phase 1, op-major: unguarded ops (the common case) execute
+        // for every live lane, so their bookkeeping lives in the word
+        // aggregates; only guarded ops walk a per-lane annul pass.
+        for i in prog.word_range(word) {
+            let op = prog.op(i);
+            let c = op.cluster as usize;
+            // Kills also credit the unguarded ops counted so far this
+            // word (inclusive of the current op `i`), mirroring the
+            // scalar path's incremental counting: surviving lanes get
+            // the same totals from the word aggregate in phase 2
+            // instead. Defined here so the expansion sees `i`.
+            macro_rules! kill {
+                ($l:expr, $e:expr) => {{
+                    errs[$l] = Some($e);
+                    alive[$l] = false;
+                    for k in 0..nclass {
+                        class_ops[k * nl + $l] += u64::from(upre_class[i * nclass + k]);
+                    }
+                    for cc in 0..nc {
+                        cluster_ops[cc * nl + $l] += u64::from(upre_cluster[i * nc + cc]);
+                    }
+                    continue;
+                }};
+            }
+            let group: &[u32] = if op.guard_pred == NO_GUARD {
+                lanes
+            } else {
+                exec.clear();
+                for &lane in lanes.iter() {
+                    let l = lane as usize;
+                    if !alive[l] {
+                        continue;
+                    }
+                    let pidx = c * np + op.guard_pred as usize;
+                    let ready = pred_ready[pidx * nl + l];
+                    if ready > cycle[l] && policy == HazardPolicy::Fault {
+                        kill!(
+                            l,
+                            SimError::PrematureRead {
+                                cycle: cycle[l],
+                                word,
+                                cluster: op.cluster,
+                                reg: Reg(u16::from(op.guard_pred) | 0x8000),
+                                ready_at: ready,
+                            }
+                        );
+                    }
+                    if preds[pidx * nl + l] != op.guard_sense {
+                        c_annulled[l] += 1;
+                        word_issued[l] += 1;
+                        continue;
+                    }
+                    if let Some(class) = op.class {
+                        class_ops[class as usize * nl + l] += 1;
+                        cluster_ops[c * nl + l] += 1;
+                        word_cluster_ops[c * nl + l] += 1;
+                        word_issued[l] += 1;
+                    }
+                    exec.push(lane);
+                }
+                exec
+            };
+            match op.kind {
+                DKind::AluBin { op: f, dst, a, b } => {
+                    let ridx = (c * nr + dst as usize) as u32;
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        let x = read_operand!(l, op.cluster, a);
+                        let y = read_operand!(l, op.cluster, b);
+                        push_rw!(l, ridx, semantics::alu_bin(f, x, y), op.latency);
+                    }
+                }
+                DKind::AluUn { op: f, dst, a } => {
+                    let ridx = (c * nr + dst as usize) as u32;
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        let x = read_operand!(l, op.cluster, a);
+                        push_rw!(l, ridx, semantics::alu_un(f, x), op.latency);
+                    }
+                }
+                DKind::Shift { op: f, dst, a, b } => {
+                    let ridx = (c * nr + dst as usize) as u32;
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        let x = read_operand!(l, op.cluster, a);
+                        let y = read_operand!(l, op.cluster, b);
+                        push_rw!(l, ridx, semantics::shift(f, x, y), op.latency);
+                    }
+                }
+                DKind::Mul { kind, dst, a, b } => {
+                    let ridx = (c * nr + dst as usize) as u32;
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        let x = read_operand!(l, op.cluster, a);
+                        let y = read_operand!(l, op.cluster, b);
+                        push_rw!(l, ridx, semantics::mul(kind, x, y), op.latency);
+                    }
+                }
+                DKind::Cmp { op: f, dst, a, b } => {
+                    let pidx = (c * np + dst as usize) as u32;
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        let x = read_operand!(l, op.cluster, a);
+                        let y = read_operand!(l, op.cluster, b);
+                        pw[l * stride + pw_len[l] as usize] =
+                            (pidx, semantics::cmp(f, x, y), op.latency);
+                        pw_len[l] += 1;
+                    }
+                }
+                DKind::Load { dst, addr, bank } => {
+                    let ridx = (c * nr + dst as usize) as u32;
+                    let cb = c * nb + bank as usize;
+                    let words = bank_words[cb];
+                    let off = mem_off[cb];
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        let a = eff_addr!(l, op.cluster, addr);
+                        if a >= words {
+                            kill!(
+                                l,
+                                SimError::MemOutOfRange {
+                                    cycle: cycle[l],
+                                    cluster: op.cluster,
+                                    bank,
+                                    addr: a,
+                                    words,
+                                }
+                            );
+                        }
+                        let buf = mem_active[cb * nl + l] as usize;
+                        let v = mems[off + (buf * words as usize + a as usize) * nl + l];
+                        c_loads[l] += 1;
+                        let v = if faults[l].enabled() {
+                            let f = faults[l].on_mem_read(cycle[l], op.cluster, bank, a, v);
+                            if f != v {
+                                c_fault_inj[l] += 1;
+                            }
+                            f
+                        } else {
+                            v
+                        };
+                        push_rw!(l, ridx, v, op.latency);
+                    }
+                }
+                DKind::Store { src, addr, bank } => {
+                    let cb = c * nb + bank as usize;
+                    let words = bank_words[cb];
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        let a = eff_addr!(l, op.cluster, addr);
+                        let v = read_operand!(l, op.cluster, src);
+                        if a >= words {
+                            kill!(
+                                l,
+                                SimError::MemOutOfRange {
+                                    cycle: cycle[l],
+                                    cluster: op.cluster,
+                                    bank,
+                                    addr: a,
+                                    words,
+                                }
+                            );
+                        }
+                        c_stores[l] += 1;
+                        st[l * stride + st_len[l] as usize] = (cb as u32, a, v);
+                        st_len[l] += 1;
+                    }
+                }
+                DKind::Xfer { dst, from, src } => {
+                    let ridx = (c * nr + dst as usize) as u32;
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        let v = read_reg!(l, from, src);
+                        c_xfers[l] += 1;
+                        let v = if faults[l].enabled() {
+                            let f = faults[l].on_xfer(cycle[l], from, op.cluster, src, v);
+                            if f != v {
+                                c_fault_inj[l] += 1;
+                            }
+                            f
+                        } else {
+                            v
+                        };
+                        push_rw!(l, ridx, v, op.latency);
+                    }
+                }
+                DKind::Branch {
+                    pred,
+                    sense,
+                    target,
+                } => {
+                    let pidx = c * np + pred as usize;
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        let ready = pred_ready[pidx * nl + l];
+                        if ready > cycle[l] && policy == HazardPolicy::Fault {
+                            kill!(
+                                l,
+                                SimError::PrematureRead {
+                                    cycle: cycle[l],
+                                    word,
+                                    cluster: op.cluster,
+                                    reg: Reg(u16::from(pred) | 0x8000),
+                                    ready_at: ready,
+                                }
+                            );
+                        }
+                        if preds[pidx * nl + l] == sense {
+                            branch_set[l] = true;
+                            branch_to[l] = target;
+                        }
+                    }
+                }
+                DKind::Jump { target } => {
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        branch_set[l] = true;
+                        branch_to[l] = target;
+                    }
+                }
+                DKind::Halt => {
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if alive[l] {
+                            halt_flag[l] = true;
+                        }
+                    }
+                }
+                DKind::Swap { bank } => {
+                    let cb = (c * nb + bank as usize) as u32;
+                    for &lane in group.iter() {
+                        let l = lane as usize;
+                        if !alive[l] {
+                            continue;
+                        }
+                        sw[l * stride + sw_len[l] as usize] = cb;
+                        sw_len[l] += 1;
+                    }
+                }
+                DKind::Nop => {}
+            }
+        }
+
+        // Phase 2 + end of cycle, per lane: results enter the bypass
+        // network (write-port check), stores and swaps become visible,
+        // then the word/branch/redirect bookkeeping.
+        for &lane in lanes {
+            let l = lane as usize;
+            if !alive[l] {
+                continue;
+            }
+            let cyc = cycle[l];
+            let base = l * stride;
+            let mut failed = false;
+            for &(ridx, v, lat) in &rw[base..base + rw_len[l] as usize] {
+                let at = cyc + u64::from(lat);
+                let ready = reg_ready[ridx as usize * nl + l];
+                if lat > 0 && ready == at && policy == HazardPolicy::Fault {
+                    errs[l] = Some(SimError::WriteConflict {
+                        cycle: at,
+                        cluster: (ridx as usize / nr) as ClusterId,
+                        reg: Reg((ridx as usize % nr) as u16),
+                    });
+                    alive[l] = false;
+                    failed = true;
+                    break;
+                }
+                if (1..=PENDING_SLOTS as u32).contains(&lat) {
+                    ring_push!(l, at, ridx << 1, v);
+                } else {
+                    far[l].entry(at).or_default().push(LaneCommit::Reg(ridx, v));
+                }
+                let slot = &mut reg_ready[ridx as usize * nl + l];
+                *slot = (*slot).max(at);
+            }
+            if failed {
+                continue;
+            }
+            for &(pidx, v, lat) in &pw[base..base + pw_len[l] as usize] {
+                let at = cyc + u64::from(lat);
+                let ready = pred_ready[pidx as usize * nl + l];
+                if lat > 0 && ready == at && policy == HazardPolicy::Fault {
+                    errs[l] = Some(SimError::WriteConflict {
+                        cycle: at,
+                        cluster: (pidx as usize / np) as ClusterId,
+                        reg: Reg((pidx as usize % np) as u16 | 0x8000),
+                    });
+                    alive[l] = false;
+                    failed = true;
+                    break;
+                }
+                if (1..=PENDING_SLOTS as u32).contains(&lat) {
+                    ring_push!(l, at, (pidx << 1) | 1, i16::from(v));
+                } else {
+                    far[l]
+                        .entry(at)
+                        .or_default()
+                        .push(LaneCommit::Pred(pidx, v));
+                }
+                let slot = &mut pred_ready[pidx as usize * nl + l];
+                *slot = (*slot).max(at);
+            }
+            if failed {
+                continue;
+            }
+            for &(cb, a, v) in &st[base..base + st_len[l] as usize] {
+                let cb = cb as usize;
+                let buf = mem_active[cb * nl + l] as usize;
+                let words = bank_words[cb] as usize;
+                let bufw = buf * words + a as usize;
+                mems[mem_off[cb] + bufw * nl + l] = v;
+                let flag = &mut mem_row_flag[mem_row_off[cb] + bufw];
+                if *flag == 0 {
+                    *flag = 1;
+                    mems_dirty.push((cb as u32, bufw as u32));
+                }
+            }
+            for &cb in &sw[base..base + sw_len[l] as usize] {
+                mem_active[cb as usize * nl + l] ^= 1;
+            }
+
+            c_words[l] += 1;
+            for k in 0..nclass {
+                let n = agg_class[word * nclass + k];
+                if n > 0 {
+                    class_ops[k * nl + l] += u64::from(n);
+                }
+            }
+            for c in 0..nc {
+                let an = agg_cluster[word * nc + c];
+                if an > 0 {
+                    cluster_ops[c * nl + l] += u64::from(an);
+                }
+                let wco = &mut word_cluster_ops[c * nl + l];
+                let ops = an + *wco;
+                if *wco != 0 {
+                    *wco = 0;
+                }
+                if ops > 0 {
+                    util_hist[(c * hist_bins + ops as usize) * nl + l] += 1;
+                }
+            }
+            if in_shadow[l] && word_issued[l] == 0 {
+                c_bubbles[l] += 1;
+            }
+            if halt_flag[l] {
+                halted[l] = true;
+            }
+            if branch_set[l] {
+                c_taken[l] += 1;
+                redirect[l] = Some((branch_to[l], delay_slots));
+            }
+            match redirect[l] {
+                Some((target, 0)) => {
+                    pc[l] = target;
+                    redirect[l] = None;
+                }
+                Some((target, n)) => {
+                    redirect[l] = Some((target, n - 1));
+                    pc[l] += 1;
+                }
+                None => pc[l] += 1,
+            }
+            cycle[l] += 1;
+            c_cycles[l] = cycle[l];
+        }
+    }
+
+    /// Folds a lane's SoA counters into one [`RunStats`], exactly like
+    /// the scalar `Simulator::stats`. Issue capacity is `words x peak`
+    /// by construction (the scalar path adds `peak` once per word), and
+    /// the utilisation histogram takes the same shape the incremental
+    /// `record_cluster_word` calls would have produced: the outer list
+    /// reaches the last cluster that issued, each inner list its
+    /// busiest word.
+    fn lane_stats(&self, lane: usize) -> RunStats {
+        let a = &self.arena;
+        let mut stats = RunStats {
+            cycles: a.c_cycles[lane],
+            words: a.c_words[lane],
+            annulled_ops: a.c_annulled[lane],
+            loads: a.c_loads[lane],
+            stores: a.c_stores[lane],
+            transfers: a.c_xfers[lane],
+            taken_branches: a.c_taken[lane],
+            icache_misses: a.c_icache_miss[lane],
+            icache_stall_cycles: a.c_icache_stall[lane],
+            issue_capacity: a.c_words[lane] * u64::from(self.machine.peak_ops_per_cycle()),
+            branch_bubble_cycles: a.c_bubbles[lane],
+            faults_injected: a.c_fault_inj[lane],
+            ..RunStats::default()
+        };
+        for c in 0..a.nc {
+            for ops in 1..a.hist_bins {
+                let n = a.util_hist[(c * a.hist_bins + ops) * a.nl + lane];
+                if n > 0 {
+                    if stats.util_histogram.len() <= c {
+                        stats.util_histogram.resize(c + 1, Vec::new());
+                    }
+                    let h = &mut stats.util_histogram[c];
+                    if h.len() <= ops {
+                        h.resize(ops + 1, 0);
+                    }
+                    h[ops] += n;
+                }
+            }
+        }
+        for class in FuClass::ALL {
+            let n = a.class_ops[class as usize * a.nl + lane];
+            if n > 0 {
+                *stats.ops_by_class.entry(class).or_insert(0) += n;
+            }
+        }
+        for c in 0..a.nc {
+            let n = a.cluster_ops[c * a.nl + lane];
+            if n > 0 {
+                if stats.ops_by_cluster.len() <= c {
+                    stats.ops_by_cluster.resize(c + 1, 0);
+                }
+                stats.ops_by_cluster[c] += n;
+            }
+        }
+        stats.finalize();
+        stats
+    }
+
+    /// Reconstructs every lane's [`ArchState`] from the SoA pools in
+    /// one pass, identical lane for lane to the scalar
+    /// `Simulator::arch_state`.
+    ///
+    /// The pools are lane-strided, so a per-lane gather would touch one
+    /// cache line per element; instead this walks each pool row in
+    /// storage order and scatters the `lanes` contiguous values into
+    /// the per-lane structures. The SRAM pool — by far the largest —
+    /// is visited only at the rows the batch actually dirtied: every
+    /// other row is still zero, exactly what the freshly allocated
+    /// buffers already hold.
+    fn collect_states(&self) -> Vec<ArchState> {
+        let a = &self.arena;
+        let nl = a.nl;
+        let mut states: Vec<ArchState> = (0..nl)
+            .map(|lane| ArchState {
+                cycle: a.cycle[lane],
+                halted: a.halted[lane],
+                regs: vec![vec![0; a.nr]; a.nc],
+                preds: vec![vec![false; a.np]; a.nc],
+                mems: (0..a.nc)
+                    .map(|c| {
+                        (0..a.nb)
+                            .map(|b| {
+                                let words = a.bank_words[c * a.nb + b] as usize;
+                                (vec![0; words], vec![0; words])
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            })
+            .collect();
+        for c in 0..a.nc {
+            for r in 0..a.nr {
+                let row = (c * a.nr + r) * nl;
+                for (lane, st) in states.iter_mut().enumerate() {
+                    st.regs[c][r] = a.regs[row + lane];
+                }
+            }
+            for p in 0..a.np {
+                let row = (c * a.np + p) * nl;
+                for (lane, st) in states.iter_mut().enumerate() {
+                    st.preds[c][p] = a.preds[row + lane];
+                }
+            }
+        }
+        for &(cb, bufw) in &a.mems_dirty {
+            let (cb, bufw) = (cb as usize, bufw as usize);
+            let (c, b) = (cb / a.nb, cb % a.nb);
+            let words = a.bank_words[cb] as usize;
+            let (buf, w) = (bufw / words, bufw % words);
+            let row = a.mem_off[cb] + bufw * nl;
+            for (lane, st) in states.iter_mut().enumerate() {
+                let v = a.mems[row + lane];
+                if v != 0 {
+                    let bank = &mut st.mems[c][b];
+                    // `ArchState` orders buffers (processing, filling).
+                    let dst = if buf == a.mem_active[cb * nl + lane] as usize {
+                        &mut bank.0
+                    } else {
+                        &mut bank.1
+                    };
+                    dst[w] = v;
+                }
+            }
+        }
+        states
+    }
+}

@@ -146,18 +146,73 @@ pub(crate) struct DecodedOp {
 /// A program lowered to flat op arrays for one machine: `ops` holds
 /// every operation word-by-word in issue order; word `i` spans
 /// `word_start[i] .. word_start[i + 1]`.
+///
+/// Decoding is machine-specific (latencies are resolved against one
+/// [`MachineConfig`]), so a decoded program must only ever run on the
+/// machine it was prepared for. Prepare once with
+/// [`DecodedProgram::prepare`] and share across runs — the scalar
+/// [`crate::Simulator::with_decoded`] and the batched
+/// [`crate::batch::BatchSimulator`] both execute this form directly,
+/// which is what lets campaign harnesses amortize validation and decode
+/// over thousands of runs.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct DecodedProgram {
+pub struct DecodedProgram {
     word_start: Vec<u32>,
     ops: Vec<DecodedOp>,
 }
 
 impl DecodedProgram {
+    /// Validates `program` against `machine` and decodes it.
+    ///
+    /// This is the public entry point: the resulting value is safe to
+    /// hand to [`crate::Simulator::with_decoded`] or
+    /// [`crate::batch::BatchSimulator::run_batch`] for the same
+    /// `machine`/`program` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::Invalid`] if the program fails
+    /// structural validation for the machine.
+    pub fn prepare(
+        machine: &MachineConfig,
+        program: &Program,
+    ) -> Result<Self, crate::error::SimError> {
+        vsp_core::validate_program(machine, program)?;
+        Ok(Self::decode(machine, program))
+    }
+
+    /// Number of instruction words in the decoded program.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.word_start.len().saturating_sub(1)
+    }
+
+    /// Whether the program has no instruction words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total decoded operations across all words.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The widest word, in operations (batch scratch sizing).
+    pub(crate) fn max_word_ops(&self) -> usize {
+        self.word_start
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Decodes `program` for `machine`, resolving latencies once.
     ///
     /// The program must already have passed
     /// [`vsp_core::validate_program`]; decoding is total after that.
-    pub fn decode(machine: &MachineConfig, program: &Program) -> Self {
+    pub(crate) fn decode(machine: &MachineConfig, program: &Program) -> Self {
         let latencies = LatencyModel::new(machine);
         let mut word_start = Vec::with_capacity(program.len() + 1);
         let mut ops = Vec::with_capacity(program.op_count());
@@ -249,13 +304,13 @@ impl DecodedProgram {
 
     /// The flat op-index range of word `i`.
     #[inline]
-    pub fn word_range(&self, i: usize) -> std::ops::Range<usize> {
+    pub(crate) fn word_range(&self, i: usize) -> std::ops::Range<usize> {
         self.word_start[i] as usize..self.word_start[i + 1] as usize
     }
 
     /// The op at flat index `i` (copied out, so no borrow is held).
     #[inline]
-    pub fn op(&self, i: usize) -> DecodedOp {
+    pub(crate) fn op(&self, i: usize) -> DecodedOp {
         self.ops[i]
     }
 }

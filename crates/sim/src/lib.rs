@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod decoded;
 pub mod error;
 pub mod fault;
@@ -54,6 +55,8 @@ pub mod metrics;
 pub mod simulator;
 pub mod stats;
 
+pub use batch::{BatchSimulator, LaneOutcome, RunSpec};
+pub use decoded::DecodedProgram;
 pub use error::SimError;
 pub use fault::{FaultModel, NoFaults};
 pub use icache::InstructionCache;

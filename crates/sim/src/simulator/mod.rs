@@ -41,7 +41,7 @@ mod tests;
 /// latencies are tiny (bounded by load-use, multiply, and crossbar
 /// delays), so a fixed window covers every commit; the rare latency
 /// beyond it falls back to the ordered overflow map.
-const PENDING_SLOTS: usize = 16;
+pub(crate) const PENDING_SLOTS: usize = 16;
 
 /// Default width of a metrics sampling window, in cycles (see
 /// [`Simulator::set_metrics_window`]).
@@ -199,6 +199,26 @@ impl<'a> Simulator<'a> {
     pub fn new(machine: &'a MachineConfig, program: &'a Program) -> Result<Self, SimError> {
         Self::with_sink(machine, program, NullSink)
     }
+
+    /// Creates a simulator from an already-prepared [`DecodedProgram`],
+    /// skipping re-validation and re-decode.
+    ///
+    /// `decoded` must come from [`DecodedProgram::prepare`] for the
+    /// *same* `machine` and `program` — the constructor trusts that
+    /// contract (it is what makes the amortization worthwhile) and only
+    /// debug-asserts the word count.
+    pub fn with_decoded(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        decoded: DecodedProgram,
+    ) -> Self {
+        debug_assert_eq!(
+            decoded.len(),
+            program.len(),
+            "decoded program does not match its source"
+        );
+        Self::build(machine, program, decoded, NullSink, NoFaults, NullRecorder)
+    }
 }
 
 impl<'a, S: TraceSink> Simulator<'a, S> {
@@ -272,15 +292,33 @@ impl<'a, S: TraceSink, F: FaultModel, M: Recorder> Simulator<'a, S, F, M> {
         recorder: M,
     ) -> Result<Self, SimError> {
         validate_program(machine, program)?;
+        let decoded = DecodedProgram::decode(machine, program);
+        Ok(Self::build(
+            machine, program, decoded, sink, faults, recorder,
+        ))
+    }
+
+    /// Shared constructor body: wires an already-decoded program into a
+    /// fresh simulator without validating (callers either validated the
+    /// program themselves or inherited a [`DecodedProgram::prepare`]
+    /// result).
+    fn build(
+        machine: &'a MachineConfig,
+        program: &'a Program,
+        decoded: DecodedProgram,
+        sink: S,
+        faults: F,
+        recorder: M,
+    ) -> Self {
         let clusters = machine.clusters as usize;
         let regs = machine.cluster.registers as usize;
         let preds = machine.cluster.pred_regs as usize;
         let mut icache = InstructionCache::new(machine.icache_words, machine.icache_refill_cycles);
         icache.warm(program.len());
-        Ok(Simulator {
+        Simulator {
             machine,
             program,
-            decoded: DecodedProgram::decode(machine, program),
+            decoded,
             policy: HazardPolicy::Fault,
             regs: vec![vec![0; regs]; clusters],
             reg_ready: vec![vec![0; regs]; clusters],
@@ -319,7 +357,7 @@ impl<'a, S: TraceSink, F: FaultModel, M: Recorder> Simulator<'a, S, F, M> {
             scratch_reg_writes: Vec::new(),
             scratch_pred_writes: Vec::new(),
             fast_class_ops: [0; 6],
-        })
+        }
     }
 
     /// The trace sink.

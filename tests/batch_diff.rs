@@ -1,0 +1,409 @@
+//! Differential tests for the SoA lockstep batch engine.
+//!
+//! [`BatchSimulator::run_batch`] must be bit-identical to the scalar
+//! fast path ([`Simulator::run`]) lane for lane: identical [`RunStats`],
+//! identical [`ArchState`], the same error (or none), and — for faulted
+//! lanes — the same injection counts, over the full kernel × model
+//! differential matrix, under per-lane seeded fault plans, and with
+//! ragged per-lane cycle budgets.
+
+use vsp::core::{models, MachineConfig};
+use vsp::fault::{FaultPlan, InjectionCounts, StuckAt};
+use vsp::ir::Stmt;
+use vsp::kernels::ir::{
+    color_quad_kernel, dct1d_kernel, dct_direct_mac_kernel, sad_16x16_kernel, vbr_block_kernel,
+};
+use vsp::sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+use vsp::sim::{ArchState, BatchSimulator, RunSpec, RunStats, Simulator};
+use vsp::trace::NullSink;
+
+const MAX_CYCLES: u64 = 1_000_000;
+
+/// The six kernels of the differential matrix, as
+/// (name, IR, unroll-innermost) triples — the same set `fast_path_diff`
+/// pins, so the batch engine is certified over exactly the op mix the
+/// scalar differential tests cover.
+fn kernels() -> Vec<(&'static str, vsp::ir::Kernel, bool)> {
+    vec![
+        ("sad", sad_16x16_kernel().kernel, true),
+        ("dct-row", dct1d_kernel(true).kernel, true),
+        ("dct-col", dct1d_kernel(false).kernel, true),
+        ("dct-mac", dct_direct_mac_kernel().kernel, true),
+        ("color", color_quad_kernel(4).kernel, true),
+        ("vbr", vbr_block_kernel().kernel, false),
+    ]
+}
+
+/// Compiles a kernel with the standard recipe (same as
+/// `fast_path_diff`): optional full unroll, if-convert, CSE,
+/// list-schedule, replicate across all clusters.
+fn compile(
+    machine: &MachineConfig,
+    name: &str,
+    kernel: &vsp::ir::Kernel,
+    unroll: bool,
+) -> vsp::isa::Program {
+    let mut k = kernel.clone();
+    if unroll {
+        vsp::ir::transform::fully_unroll_innermost(&mut k);
+    }
+    vsp::ir::transform::if_convert(&mut k);
+    vsp::ir::transform::eliminate_common_subexpressions(&mut k);
+    let layout = ArrayLayout::contiguous(&k, machine).unwrap_or_else(|e| {
+        panic!("{name} on {}: layout failed: {e:?}", machine.name);
+    });
+    let (stmts, ctl) = match k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) {
+        Some(Stmt::Loop(l)) => (
+            &l.body,
+            Some(LoopControl {
+                trip: l.trip,
+                index: Some((0, l.start, l.step)),
+            }),
+        ),
+        _ => (&k.body, None),
+    };
+    let body = lower_body(machine, &k, stmts, &layout).unwrap_or_else(|e| {
+        panic!("{name} on {}: lowering failed: {e:?}", machine.name);
+    });
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1)
+        .unwrap_or_else(|| panic!("{name} on {}: unschedulable", machine.name));
+    codegen_loop(machine, &body, &sched, ctl, machine.clusters, name)
+        .unwrap_or_else(|e| panic!("{name} on {}: codegen failed: {e:?}", machine.name))
+        .program
+}
+
+/// One scalar reference run under a fault plan: the post-run statistics
+/// (via [`Simulator::stats`], defined whether or not the run errored),
+/// architectural state, the error rendered for comparison, and the
+/// model's monotonic injection counters.
+fn scalar_reference(
+    machine: &MachineConfig,
+    program: &vsp::isa::Program,
+    plan: &FaultPlan,
+    max_cycles: u64,
+) -> (RunStats, ArchState, Option<String>, InjectionCounts) {
+    let mut model = plan.build();
+    let mut sim = Simulator::with_sink_and_faults(machine, program, NullSink, &mut model)
+        .expect("valid program");
+    let error = sim.run(max_cycles).err().map(|e| format!("{e:?}"));
+    let stats = sim.stats();
+    let state = sim.arch_state();
+    drop(sim);
+    (stats, state, error, model.counts())
+}
+
+/// Quiet lanes over the full kernel × model matrix: every batch lane
+/// reproduces the scalar fast path bit-for-bit, and the cycle
+/// invariant holds.
+#[test]
+fn batch_quiet_lanes_match_scalar_on_all_kernels_and_models() {
+    const LANES: usize = 3;
+    for machine in models::all_models() {
+        let mut batch = BatchSimulator::new(&machine);
+        for (name, kernel, unroll) in kernels() {
+            let program = compile(&machine, name, &kernel, unroll);
+            let mut sim = Simulator::new(&machine, &program).expect("valid program");
+            let scalar_stats = sim.run(MAX_CYCLES).expect("halts");
+            let scalar_state = sim.arch_state();
+            drop(sim);
+
+            let decoded = vsp::sim::DecodedProgram::prepare(&machine, &program).expect("valid");
+            let specs = (0..LANES).map(|_| RunSpec::new(MAX_CYCLES)).collect();
+            let outcomes = batch.run_batch(&decoded, specs);
+            assert_eq!(outcomes.len(), LANES);
+            for (lane, o) in outcomes.iter().enumerate() {
+                assert!(
+                    o.error.is_none(),
+                    "{name} on {} lane {lane}: {:?}",
+                    machine.name,
+                    o.error
+                );
+                assert_eq!(
+                    o.stats, scalar_stats,
+                    "{name} on {} lane {lane}: stats diverged",
+                    machine.name
+                );
+                assert_eq!(
+                    o.state, scalar_state,
+                    "{name} on {} lane {lane}: state diverged",
+                    machine.name
+                );
+                assert_eq!(
+                    o.stats.cycles,
+                    o.stats.words + o.stats.icache_stall_cycles,
+                    "{name} on {} lane {lane}: cycle invariant broken",
+                    machine.name
+                );
+            }
+        }
+    }
+}
+
+/// Per-lane fault plans — transient flips at two rates, fetch jitter,
+/// stuck-at bits, and a quiet control lane, every lane with its own
+/// seed — each reproduce the matching scalar faulted run exactly:
+/// stats, state, error, and injection counters. Divergent per-lane
+/// control flow (flipped predicates, jittered fetches) is exactly what
+/// the pc-grouped slow path must handle.
+#[test]
+fn batch_fault_lanes_match_scalar_per_lane() {
+    let plans = |base_seed: u64| -> Vec<FaultPlan> {
+        vec![
+            FaultPlan::quiet(),
+            FaultPlan::transient(base_seed, 500),
+            FaultPlan::transient(base_seed.wrapping_add(1), 5_000),
+            FaultPlan {
+                jitter_ppm: 20_000,
+                max_jitter: 3,
+                ..FaultPlan::transient(base_seed.wrapping_add(2), 1_000)
+            },
+            FaultPlan {
+                stuck_at: vec![StuckAt {
+                    cluster: 0,
+                    reg: 2,
+                    bit: 0,
+                    value: true,
+                }],
+                ..FaultPlan::quiet()
+            },
+            FaultPlan::transient(base_seed.wrapping_add(3), 500),
+        ]
+    };
+    for (mi, machine) in models::all_models().into_iter().enumerate() {
+        let mut batch = BatchSimulator::new(&machine);
+        for (name, kernel, unroll) in [
+            ("sad", sad_16x16_kernel().kernel, true),
+            ("vbr", vbr_block_kernel().kernel, false),
+        ] {
+            let program = compile(&machine, name, &kernel, unroll);
+            let decoded = vsp::sim::DecodedProgram::prepare(&machine, &program).expect("valid");
+            let lane_plans = plans(1000 + mi as u64 * 100);
+
+            let specs = lane_plans
+                .iter()
+                .map(|p| RunSpec::with_faults(MAX_CYCLES, p.build()))
+                .collect();
+            let outcomes = batch.run_batch(&decoded, specs);
+
+            for (lane, (o, plan)) in outcomes.iter().zip(&lane_plans).enumerate() {
+                let (stats, state, error, counts) =
+                    scalar_reference(&machine, &program, plan, MAX_CYCLES);
+                let batch_error = o.error.as_ref().map(|e| format!("{e:?}"));
+                assert_eq!(
+                    batch_error, error,
+                    "{name} on {} lane {lane}: error diverged",
+                    machine.name
+                );
+                assert_eq!(
+                    o.stats, stats,
+                    "{name} on {} lane {lane}: stats diverged",
+                    machine.name
+                );
+                assert_eq!(
+                    o.state, state,
+                    "{name} on {} lane {lane}: state diverged",
+                    machine.name
+                );
+                assert_eq!(
+                    o.faults.counts(),
+                    counts,
+                    "{name} on {} lane {lane}: injection counts diverged",
+                    machine.name
+                );
+            }
+        }
+    }
+}
+
+/// Ragged per-lane budgets: lanes with a shorter `max_cycles` retire
+/// with `CycleLimit` at exactly the state the scalar run reaches under
+/// the same budget, while full-budget lanes run to halt — all within
+/// one batch.
+#[test]
+fn ragged_batch_retires_lanes_at_their_own_budgets() {
+    let machine = models::i4c8s4();
+    let (name, kernel, unroll) = ("sad", sad_16x16_kernel().kernel, true);
+    let program = compile(&machine, name, &kernel, unroll);
+    let decoded = vsp::sim::DecodedProgram::prepare(&machine, &program).expect("valid");
+
+    let mut sim = Simulator::new(&machine, &program).expect("valid program");
+    let golden = sim.run(MAX_CYCLES).expect("halts");
+    drop(sim);
+    assert!(golden.cycles > 4, "kernel too short for a ragged test");
+
+    let budgets = [MAX_CYCLES, golden.cycles / 2, 1, 0, MAX_CYCLES];
+    let quiet = FaultPlan::quiet();
+    let mut batch = BatchSimulator::new(&machine);
+    let specs = budgets.iter().map(|&b| RunSpec::new(b)).collect();
+    let outcomes = batch.run_batch(&decoded, specs);
+
+    for (lane, (o, &budget)) in outcomes.iter().zip(&budgets).enumerate() {
+        let (stats, state, error, _) = scalar_reference(&machine, &program, &quiet, budget);
+        let batch_error = o.error.as_ref().map(|e| format!("{e:?}"));
+        assert_eq!(batch_error, error, "lane {lane}: error diverged");
+        assert_eq!(o.stats, stats, "lane {lane}: stats diverged");
+        assert_eq!(o.state, state, "lane {lane}: state diverged");
+        if budget < golden.cycles {
+            assert!(o.error.is_some(), "lane {lane} should hit its budget");
+        } else {
+            assert!(o.error.is_none(), "lane {lane} should halt");
+        }
+    }
+}
+
+/// The chunked, rayon-parallel [`vsp_bench::EvalEngine::run_batch`]
+/// returns the same outcomes in the same lane order as one direct
+/// whole-batch call, and its decode cache collapses repeated programs
+/// to a single decode.
+#[test]
+fn engine_chunked_batch_matches_direct_batch() {
+    let machine = models::i4c8s4();
+    let (name, kernel, unroll) = ("dct-row", dct1d_kernel(true).kernel, true);
+    let program = compile(&machine, name, &kernel, unroll);
+    const LANES: usize = 10;
+
+    let decoded = vsp::sim::DecodedProgram::prepare(&machine, &program).expect("valid");
+    let mut batch = BatchSimulator::new(&machine);
+    let direct = batch.run_batch::<vsp::sim::fault::NoFaults>(
+        &decoded,
+        (0..LANES).map(|_| RunSpec::new(MAX_CYCLES)).collect(),
+    );
+
+    let engine = vsp_bench::EvalEngine::new();
+    for _ in 0..2 {
+        let chunked = engine
+            .run_batch(
+                &machine,
+                &program,
+                (0..LANES).map(|_| RunSpec::new(MAX_CYCLES)).collect(),
+                3,
+            )
+            .expect("valid program");
+        assert_eq!(chunked.len(), direct.len());
+        for (lane, (c, d)) in chunked.iter().zip(&direct).enumerate() {
+            assert_eq!(c.stats, d.stats, "lane {lane}: stats diverged");
+            assert_eq!(c.state, d.state, "lane {lane}: state diverged");
+        }
+    }
+    assert_eq!(engine.cached_programs(), 1, "decode cache should dedup");
+}
+
+/// Hand-built control divergence: lanes start in uniform lockstep,
+/// then split at a guarded op and a branch whose predicate rows differ
+/// per lane — exercising the mid-batch flush from shared to per-lane
+/// timing state (including in-flight multiply commits on the
+/// two-cycle-latency models). The second pass keeps control uniform
+/// (same predicates, different register data), pinning the
+/// full-lockstep path against the same scalar references.
+#[test]
+fn divergent_quiet_lanes_flush_to_general_path() {
+    use vsp::isa::{AluBinOp, MulKind, OpKind, Operand, Operation, Pred, PredGuard, Program, Reg};
+
+    let lanes: &[(bool, bool, i16)] = &[
+        (false, false, 10),
+        (true, true, 20),
+        (false, true, 30),
+        (true, false, 40),
+        (false, false, 50),
+    ];
+    for machine in models::all_models() {
+        let ctl = machine.cluster.slot_count() as u8;
+        let mut p = Program::new("diverge");
+        p.push_word(vec![Operation::new(
+            0,
+            0,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(4),
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Imm(1),
+            },
+        )]);
+        p.push_word(vec![Operation::new(
+            0,
+            0,
+            OpKind::Mul {
+                kind: MulKind::Mul8SS,
+                dst: Reg(5),
+                a: Operand::Reg(Reg(4)),
+                b: Operand::Reg(Reg(4)),
+            },
+        )]);
+        p.push_word(vec![Operation::guarded(
+            0,
+            0,
+            PredGuard::if_true(Pred(1)),
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(2),
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Imm(5),
+            },
+        )]);
+        p.push_word(vec![Operation::new(
+            0,
+            ctl,
+            OpKind::Branch {
+                pred: Pred(0),
+                sense: true,
+                target: 5,
+            },
+        )]);
+        p.push_word(vec![Operation::new(
+            0,
+            0,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(3),
+                a: Operand::Reg(Reg(3)),
+                b: Operand::Imm(1),
+            },
+        )]);
+        p.push_word(vec![Operation::new(0, ctl, OpKind::Halt)]);
+
+        for vary_control in [true, false] {
+            let decoded = vsp::sim::DecodedProgram::prepare(&machine, &p).expect("valid");
+            let mut batch = BatchSimulator::new(&machine);
+            let specs = lanes
+                .iter()
+                .map(|&(p0, p1, r2)| {
+                    let mut s = RunSpec::new(MAX_CYCLES);
+                    if vary_control {
+                        s.preds = vec![(0, Pred(0), p0), (0, Pred(1), p1)];
+                    }
+                    s.regs = vec![(0, Reg(2), r2)];
+                    s
+                })
+                .collect();
+            let outcomes = batch.run_batch(&decoded, specs);
+            for (lane, (o, &(p0, p1, r2))) in outcomes.iter().zip(lanes).enumerate() {
+                let mut sim = Simulator::new(&machine, &p).expect("valid program");
+                if vary_control {
+                    sim.set_pred(0, Pred(0), p0);
+                    sim.set_pred(0, Pred(1), p1);
+                }
+                sim.set_reg(0, Reg(2), r2);
+                let stats = sim.run(MAX_CYCLES).expect("halts");
+                let state = sim.arch_state();
+                drop(sim);
+                assert!(
+                    o.error.is_none(),
+                    "{} lane {lane} vary={vary_control}: {:?}",
+                    machine.name,
+                    o.error
+                );
+                assert_eq!(
+                    o.stats, stats,
+                    "{} lane {lane} vary={vary_control}: stats diverged",
+                    machine.name
+                );
+                assert_eq!(
+                    o.state, state,
+                    "{} lane {lane} vary={vary_control}: state diverged",
+                    machine.name
+                );
+            }
+        }
+    }
+}
