@@ -1,7 +1,7 @@
 //! Appends one measured record to the repo's performance trajectory
 //! (`BENCH_simulator.json`) and prints a speedup summary.
 //!
-//! Three comparisons, each asserting result equality before timing is
+//! Five comparisons, each asserting result equality before timing is
 //! trusted:
 //!
 //! 1. **Simulator core** — the pre-decoded fast path
@@ -17,16 +17,22 @@
 //!    [`BatchSimulator::run_batch`] over all cases as lockstep lanes,
 //!    in aggregate simulated cycles per host second, with every lane's
 //!    `RunStats` asserted equal to the scalar run first.
-//! 3. **Tables** — serial `assemble_table` vs the parallel + memoized
+//! 3. **Functional tier** — the same 1000-run campaign replayed by the
+//!    functional execution tier ([`Functional::prepare`] once, a
+//!    reusable runner per run, no per-cycle walk), in completed runs
+//!    per host second, with the final architectural state asserted
+//!    bit-identical to the fast path first.
+//! 4. **Tables** — serial `assemble_table` vs the parallel + memoized
 //!    [`EvalEngine`] for Tables 1 and 2, asserting byte-identical text.
-//! 4. **Design-space sweep** — `vsp_vlsi::explore::sweep` vs
+//! 5. **Design-space sweep** — `vsp_vlsi::explore::sweep` vs
 //!    `sweep_parallel`.
 //!
 //! With `--gate`, the run doubles as the CI perf-regression gate: the
-//! fresh fast-path throughput *and* the batch-engine aggregate
-//! throughput are each held against the best prior trajectory record
-//! ([`vsp_bench::gate`]) and the process exits nonzero when either
-//! lost more than `--tolerance` (default 10%).
+//! fresh fast-path throughput, the batch-engine aggregate throughput
+//! *and* the functional tier's runs per second are each held against
+//! the best prior trajectory record ([`vsp_bench::gate`]) and the
+//! process exits nonzero when any lost more than `--tolerance`
+//! (default 10%).
 //!
 //! ```text
 //! cargo run --release -p vsp-bench --bin bench-report -- --iters 5
@@ -37,6 +43,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 use vsp_bench::{gate, tables, EvalEngine};
 use vsp_core::models;
+use vsp_exec::{ExecRequest, Functional};
 use vsp_fault::FaultPlan;
 use vsp_ir::Stmt;
 use vsp_kernels::ir::sad_16x16_kernel;
@@ -276,6 +283,68 @@ fn measure_batch(iters: u32) -> Result<BatchResult, String> {
     })
 }
 
+struct FunctionalResult {
+    runs: usize,
+    cycles_per_run: u64,
+    wall_s: f64,
+    runs_per_sec: f64,
+}
+
+/// The functional-tier campaign: the same 1000-case workload as
+/// [`measure_batch`], replayed by lowering the program to a flat
+/// native trace and re-running it on a reusable frame — no per-cycle
+/// walk at all. [`Functional::prepare`] sits *inside* the timed
+/// region, once per iteration, mirroring the batch path's decode; the
+/// 1000 runs amortize it exactly as a campaign driver would. Measured
+/// in completed runs per host second, with the final architectural
+/// state held bit-identical against the cycle-accurate fast path both
+/// before timing and after the last timed run.
+fn measure_functional(iters: u32) -> Result<FunctionalResult, String> {
+    const RUNS: usize = 1000;
+    let machine = models::i4c8s4();
+    let generated = sad_program(&machine)?;
+    let program = &generated.program;
+
+    // Equality before timing: the compiled trace must reproduce the
+    // cycle-accurate fast path's architectural state exactly.
+    let reference = {
+        let mut sim = Simulator::new(&machine, program).map_err(|e| e.to_string())?;
+        sim.run(1_000_000).map_err(|e| e.to_string())?;
+        sim.arch_state()
+    };
+    let req = ExecRequest::new(1_000_000);
+    let compiled = Functional::prepare(&machine, program).map_err(|e| e.to_string())?;
+    let mut runner = compiled.runner();
+    runner.run_quiet(&req).map_err(|e| e.to_string())?;
+    if !runner.state_matches(&reference) {
+        return Err("functional tier diverged from the fast path on the SAD loop".into());
+    }
+    let cycles = compiled.cycles();
+
+    let mut wall_s = 0.0;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let compiled = Functional::prepare(&machine, program).map_err(|e| e.to_string())?;
+        let mut runner = compiled.runner();
+        for _ in 0..RUNS {
+            runner.run_quiet(&req).map_err(|e| e.to_string())?;
+        }
+        wall_s += t.elapsed().as_secs_f64();
+        // Post-timing verdict doubles as the optimization barrier: the
+        // frame's final contents are observed, so runs cannot be elided.
+        if !runner.state_matches(&reference) {
+            return Err("functional tier diverged after repeated runs".into());
+        }
+    }
+
+    Ok(FunctionalResult {
+        runs: RUNS,
+        cycles_per_run: cycles,
+        wall_s,
+        runs_per_sec: RUNS as f64 * f64::from(iters) / wall_s,
+    })
+}
+
 struct TablesResult {
     serial_wall_s: f64,
     engine_wall_s: f64,
@@ -346,6 +415,7 @@ fn render_record(
     args: &Args,
     sim: &SimResult,
     bat: &BatchResult,
+    fnc: &FunctionalResult,
     tab: &TablesResult,
     exp: &ExploreResult,
 ) -> String {
@@ -380,6 +450,14 @@ fn render_record(
             "      \"speedup\": {:.3},\n",
             "      \"lanes_identical\": true\n",
             "    }},\n",
+            "    \"functional\": {{\n",
+            "      \"workload\": \"sad_row_loop_campaign\",\n",
+            "      \"runs\": {},\n",
+            "      \"cycles_per_run\": {},\n",
+            "      \"wall_s\": {:.6},\n",
+            "      \"func_runs_per_sec\": {:.0},\n",
+            "      \"state_identical\": true\n",
+            "    }},\n",
             "    \"tables\": {{\n",
             "      \"serial_wall_s\": {:.6},\n",
             "      \"engine_wall_s\": {:.6},\n",
@@ -410,6 +488,10 @@ fn render_record(
         bat.scalar_cps,
         bat.batch_cps,
         bat.batch_cps / bat.scalar_cps,
+        fnc.runs,
+        fnc.cycles_per_run,
+        fnc.wall_s,
+        fnc.runs_per_sec,
         tab.serial_wall_s,
         tab.engine_wall_s,
         tab.serial_wall_s / tab.engine_wall_s,
@@ -439,6 +521,7 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     let sim = measure_simulator(args.iters)?;
     let bat = measure_batch(args.iters)?;
+    let fnc = measure_functional(args.iters)?;
     let tab = measure_tables(args.iters)?;
     let exp = measure_explore(args.iters)?;
 
@@ -454,6 +537,15 @@ fn run() -> Result<(), String> {
         bat.scalar_cps,
         bat.batch_cps / bat.scalar_cps,
         bat.runs
+    );
+    // The batch engine's throughput in the functional tier's unit:
+    // completed campaign runs per host second.
+    let batch_rps = bat.batch_cps / bat.cycles_per_run as f64;
+    println!(
+        "functional: func {:>13.0} run/s | batch {:>12.0} run/s | {:.2}x (state identical)",
+        fnc.runs_per_sec,
+        batch_rps,
+        fnc.runs_per_sec / batch_rps
     );
     println!(
         "tables    : engine {:>9.3} s | serial {:>9.3} s | {:.2}x (byte-identical)",
@@ -479,7 +571,7 @@ fn run() -> Result<(), String> {
     if args.dry_run {
         println!("(dry run: {} not written)", args.out);
     } else {
-        let record = render_record(&args, &sim, &bat, &tab, &exp);
+        let record = render_record(&args, &sim, &bat, &fnc, &tab, &exp);
         append_record(&args.out, &record)?;
         println!("appended record to {}", args.out);
     }
@@ -489,6 +581,7 @@ fn run() -> Result<(), String> {
         for (label, key, current) in [
             ("fast", gate::GATE_METRIC, sim.fast_cps),
             ("batch", gate::BATCH_GATE_METRIC, bat.batch_cps),
+            ("functional", gate::FUNC_GATE_METRIC, fnc.runs_per_sec),
         ] {
             let outcome = gate::check(&prior, key, current, args.tolerance);
             println!("gate      : {label}: {outcome}");

@@ -31,6 +31,7 @@ use std::time::Duration;
 
 use serde::Serialize;
 use vsp_core::{models, MachineConfig};
+use vsp_exec::{ExecRequest, Functional};
 use vsp_fault::{
     run_case, run_with_recovery, CampaignReport, FaultPlan, HarnessConfig, RecoveryConfig,
 };
@@ -262,6 +263,29 @@ struct CellCfg {
     interval: u64,
 }
 
+/// Golden fault-free reference run. The functional tier serves it when
+/// it accepts the program (bit-identical architectural state, no
+/// per-cycle walk — the fuzz oracle pins that equivalence); on refusal
+/// or any run error the cycle-accurate simulator is authoritative.
+fn golden_run(
+    machine: &MachineConfig,
+    kernel_name: &str,
+    program: &vsp_isa::Program,
+    max_cycles: u64,
+) -> (ArchState, u64) {
+    if let Ok(compiled) = Functional::prepare(machine, program) {
+        if let Ok(out) = compiled.run(&ExecRequest::new(max_cycles)) {
+            return (out.state, out.cycles);
+        }
+    }
+    let mut sim = Simulator::new(machine, program)
+        .unwrap_or_else(|e| panic!("{kernel_name} on {}: invalid program: {e}", machine.name));
+    let stats = sim
+        .run(max_cycles)
+        .unwrap_or_else(|e| panic!("{kernel_name} on {}: golden run failed: {e}", machine.name));
+    (sim.arch_state(), stats.cycles)
+}
+
 /// Runs one cell: golden fault-free execution, then the same program
 /// under a seeded transient-flip plan with checkpoint/recovery.
 fn run_cell(
@@ -279,12 +303,7 @@ fn run_cell(
     } = cfg;
     let program = compile(machine, kernel_name, kernel, unroll);
 
-    let mut golden_sim = Simulator::new(machine, &program)
-        .unwrap_or_else(|e| panic!("{kernel_name} on {}: invalid program: {e}", machine.name));
-    let golden_stats = golden_sim
-        .run(max_cycles)
-        .unwrap_or_else(|e| panic!("{kernel_name} on {}: golden run failed: {e}", machine.name));
-    let golden_state = golden_sim.arch_state();
+    let (golden_state, golden_cycles) = golden_run(machine, kernel_name, &program, max_cycles);
 
     let mut model = FaultPlan::transient(seed, rate_ppm).build();
     let mut sim = Simulator::with_sink_and_faults(machine, &program, NullSink, &mut model)
@@ -328,7 +347,7 @@ fn run_cell(
         retries: outcome.retries,
         recovery_cycles: s.recovery_cycles,
         cycles: s.cycles,
-        golden_cycles: golden_stats.cycles,
+        golden_cycles,
         verdict,
         accounted: s.faults_detected >= s.faults_corrected + s.faults_uncorrectable,
     }

@@ -19,7 +19,9 @@
 use std::process::ExitCode;
 use std::time::Duration;
 use vsp_check::gen::{gen_kernel, gen_program, KernelGenConfig, ProgramGenConfig};
-use vsp_check::oracle::{diff_batch, diff_kernel, diff_program, DiffFailure};
+use vsp_check::oracle::{
+    diff_batch, diff_functional, diff_kernel, diff_program, DiffFailure, FunctionalOutcome,
+};
 use vsp_check::validity::check_program;
 use vsp_check::ScheduleValidator;
 use vsp_core::models;
@@ -54,6 +56,11 @@ options:
   --batch N        replay each program case on the SoA lockstep batch
                    engine with N lanes, all required to match the scalar
                    fast path bit-for-bit (default: off)
+  --functional     replay each program case on the functional execution
+                   tier: accepted programs must match the fast path's
+                   architectural state bit-for-bit, refusals are counted
+                   (vsp_exec_diff_cases_total), never failures
+                   (default: off)
   --json           emit failures as JSON objects on stdout
   --metrics PATH   write a metrics snapshot on exit: per-kind case and
                    failure counters, simulated cycle/op totals (.prom
@@ -68,6 +75,7 @@ struct Args {
     timeout_ms: u64,
     retries: u32,
     batch: Option<usize>,
+    functional: bool,
     json: bool,
     metrics: Option<String>,
 }
@@ -92,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: 30_000,
         retries: 1,
         batch: None,
+        functional: false,
         json: false,
         metrics: None,
     };
@@ -134,6 +143,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.batch = Some(n);
             }
+            "--functional" => args.functional = true,
             "--json" => args.json = true,
             "--metrics" => args.metrics = Some(value("--metrics")?),
             "-h" | "--help" => return Err(String::new()),
@@ -215,6 +225,8 @@ fn run() -> Result<(), String> {
     let mut programs = 0u64;
     let mut kernels = 0u64;
     let mut pipelines = 0u64;
+    let mut func_agreed = 0u64;
+    let mut func_refused = 0u64;
     let mut total_cycles = 0u64;
     let mut total_ops = 0u64;
 
@@ -241,6 +253,7 @@ fn run() -> Result<(), String> {
         );
         let max_cycles = args.max_cycles;
         let batch = args.batch;
+        let functional = args.functional;
 
         // The whole case — generation, validity check, differential
         // execution — runs isolated: the closure owns clones of its
@@ -252,9 +265,11 @@ fn run() -> Result<(), String> {
                 let data: Vec<i16> = (0..kernel.len)
                     .map(|_| rng.gen_range(-100i16..=100))
                     .collect();
-                diff_kernel(&machine, &kernel, &data, max_cycles).map_err(|f| ("kernel", f))
+                diff_kernel(&machine, &kernel, &data, max_cycles)
+                    .map(|s| (s, None))
+                    .map_err(|f| ("kernel", f))
             } else if is_pipeline {
-                pipeline_case(&machine, &mut rng)
+                pipeline_case(&machine, &mut rng).map(|s| (s, None))
             } else {
                 let program = gen_program(&machine, &mut rng, &ProgramGenConfig::default());
                 // The generator's own claim, checked independently
@@ -276,7 +291,19 @@ fn run() -> Result<(), String> {
                 if let Some(lanes) = batch {
                     diff_batch(&machine, &program, max_cycles, lanes).map_err(|f| ("batch", f))?;
                 }
-                Ok(stats)
+                // With --functional, the functional tier joins the
+                // oracle: a lowered program must reproduce the fast
+                // path's architectural state exactly; a refusal is a
+                // legitimate outcome, counted but never a failure.
+                let func = if functional {
+                    Some(
+                        diff_functional(&machine, &program, max_cycles, &[])
+                            .map_err(|f| ("functional", f))?,
+                    )
+                } else {
+                    None
+                };
+                Ok((stats, func))
             }
         });
 
@@ -301,10 +328,21 @@ fn run() -> Result<(), String> {
         };
 
         match result {
-            Ok(stats) => {
+            Ok((stats, func)) => {
                 total_cycles += stats.cycles;
                 total_ops += stats.total_ops();
                 reg.observe("vsp_fuzz_case_cycles", &[("kind", case_kind)], stats.cycles);
+                match func {
+                    Some(FunctionalOutcome::Agreed { .. }) => {
+                        func_agreed += 1;
+                        reg.add("vsp_exec_diff_cases_total", &[("outcome", "agreed")], 1);
+                    }
+                    Some(FunctionalOutcome::Refused { .. }) => {
+                        func_refused += 1;
+                        reg.add("vsp_exec_diff_cases_total", &[("outcome", "refused")], 1);
+                    }
+                    None => {}
+                }
             }
             Err((kind, failure)) => {
                 reg.add(
@@ -348,6 +386,12 @@ fn run() -> Result<(), String> {
         machines.len(),
         failures.len()
     );
+    if args.functional {
+        eprintln!(
+            "fuzz: functional tier: {func_agreed} agreed, {func_refused} refused \
+             (refusals are sound fallbacks, not failures)"
+        );
+    }
     eprintln!("fuzz: harness: {campaign}");
     if !campaign.reconciles() {
         return Err("campaign report does not reconcile (internal harness bug)".to_string());

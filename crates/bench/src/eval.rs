@@ -21,12 +21,13 @@ use std::fmt::Write as _;
 use std::hash::{DefaultHasher, Hasher};
 use std::sync::{Arc, Mutex};
 use vsp_core::MachineConfig;
+use vsp_exec::{CompiledProgram, ExecError, ExecRequest, Functional};
 use vsp_fault::harness::{run_case, CampaignReport, CaseOutcome, HarnessConfig};
 use vsp_isa::Program;
 use vsp_kernels::variants::{self, Row, TableRow};
 use vsp_metrics::{Recorder, SharedRegistry, Stopwatch};
 use vsp_sim::batch::{BatchSimulator, LaneOutcome, RunSpec};
-use vsp_sim::{DecodedProgram, FaultModel, SimError};
+use vsp_sim::{ArchState, DecodedProgram, FaultModel, SimError, Simulator};
 
 /// One per-machine row generator: a kernel's full variant sweep, the
 /// unit of memoization and parallelism.
@@ -153,6 +154,10 @@ impl std::fmt::Display for CellFailure {
     }
 }
 
+/// Cache of functional-tier lowerings keyed by `(program hash, machine
+/// fingerprint)`; `None` records a refusal.
+type CompiledCache = Mutex<HashMap<(u64, u64), Option<Arc<CompiledProgram>>>>;
+
 /// Parallel + memoized sweep evaluator. Construct once and reuse across
 /// tables so the cache pays off; see the module docs for the ordering
 /// guarantee.
@@ -163,6 +168,10 @@ pub struct EvalEngine {
     /// fingerprint)`: batch cells sharing a program stop re-validating
     /// and re-decoding it per run.
     decoded: Mutex<HashMap<(u64, u64), Arc<DecodedProgram>>>,
+    /// Functional-tier cache, keyed like `decoded`. A cached `None` means
+    /// a refusal, so a program the tier cannot lower is analyzed once and
+    /// routed straight to the simulator on every later call.
+    compiled: CompiledCache,
     serial: bool,
     recorder: Option<SharedRegistry>,
 }
@@ -473,6 +482,104 @@ impl EvalEngine {
         self.decoded.lock().expect("decode cache poisoned").len()
     }
 
+    /// The functional-tier compilation of `program` for `machine`, from
+    /// the content-keyed cache (lowering on first sight only). `None`
+    /// means the tier refused the program — also cached, so the refusal
+    /// analysis runs once. Traffic is recorded as
+    /// `vsp_exec_prepare_total{outcome}` and refusal reasons as
+    /// `vsp_exec_refusals_total{reason}`.
+    fn functional(
+        &self,
+        machine: &MachineConfig,
+        program: &Program,
+    ) -> Option<Arc<CompiledProgram>> {
+        let key = (fingerprint_program(program), fingerprint(machine));
+        if let Some(hit) = self
+            .compiled
+            .lock()
+            .expect("compiled cache poisoned")
+            .get(&key)
+            .cloned()
+        {
+            return hit;
+        }
+        let entry = match Functional::prepare(machine, program) {
+            Ok(c) => {
+                if let Some(rec) = &self.recorder {
+                    rec.with(|r| {
+                        r.add("vsp_exec_prepare_total", &[("outcome", "lowered")], 1);
+                    });
+                }
+                Some(Arc::new(c))
+            }
+            Err(e) => {
+                if let Some(rec) = &self.recorder {
+                    let reason = match &e {
+                        ExecError::Unsupported(u) => u.label(),
+                        _ => "invalid",
+                    };
+                    rec.with(|r| {
+                        r.add("vsp_exec_prepare_total", &[("outcome", "refused")], 1);
+                        r.add("vsp_exec_refusals_total", &[("reason", reason)], 1);
+                    });
+                }
+                None
+            }
+        };
+        self.compiled
+            .lock()
+            .expect("compiled cache poisoned")
+            .insert(key, entry.clone());
+        entry
+    }
+
+    /// Golden run: final [`ArchState`] of one program, nothing else.
+    ///
+    /// Routes through the functional tier when it accepts the program
+    /// (no per-cycle simulation; the compiled trace is cached alongside
+    /// the decode cache) and falls back to the cycle-accurate simulator
+    /// whenever the tier refuses — or whenever the functional run
+    /// fails, so budget and out-of-range errors are always reported
+    /// with the simulator's authoritative [`SimError`]. Which tier
+    /// answered is recorded as `vsp_exec_runs_total{backend}`.
+    ///
+    /// Use this when only architectural outputs matter (golden/SDC
+    /// references, output comparison); use [`EvalEngine::run_batch`] or
+    /// the simulator directly when stall breakdowns or `RunStats` are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for invalid programs, budget exhaustion, or
+    /// run-time faults (from the simulator fallback).
+    pub fn run_architectural(
+        &self,
+        machine: &MachineConfig,
+        program: &Program,
+        max_cycles: u64,
+    ) -> Result<ArchState, SimError> {
+        if let Some(compiled) = self.functional(machine, program) {
+            if let Ok(out) = compiled.run(&ExecRequest::new(max_cycles)) {
+                if let Some(rec) = &self.recorder {
+                    rec.with(|r| {
+                        r.add("vsp_exec_runs_total", &[("backend", "functional")], 1);
+                    });
+                }
+                return Ok(out.state);
+            }
+            // Run-time failure (cycle budget, out-of-range access):
+            // re-run cycle-accurately for the authoritative error.
+        }
+        if let Some(rec) = &self.recorder {
+            rec.with(|r| {
+                r.add("vsp_exec_runs_total", &[("backend", "cycle-accurate")], 1);
+            });
+        }
+        let mut sim = Simulator::new(machine, program)?;
+        sim.run(max_cycles)?;
+        Ok(sim.arch_state())
+    }
+
     /// Batched lockstep execution of one program across many runs: the
     /// program is decoded once (via the decode cache), specs are
     /// chunked across rayon workers, and each worker reuses one
@@ -670,6 +777,104 @@ mod tests {
         let (rows2, report2, _) = engine.assemble_isolated(&machines, &RowSource::TABLE2, &harness);
         assert_eq!(rows2, rows);
         assert_eq!(report2.total, 0);
+    }
+
+    #[test]
+    fn run_architectural_routes_functional_and_falls_back() {
+        use vsp_isa::{AluBinOp, CmpOp, OpKind, Operand, Operation, Pred, Reg};
+
+        let machine = models::i4c8s4();
+        // A straight-line program the functional tier accepts.
+        let mut plain = Program::new("plain");
+        plain.push_word(vec![Operation::new(
+            0,
+            0,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(1),
+                a: Operand::Imm(40),
+                b: Operand::Imm(2),
+            },
+        )]);
+        plain.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+
+        // A data-dependent branch the tier must refuse (loads from
+        // zeroed memory, so the simulator falls through to the halt).
+        let mut branchy = Program::new("branchy");
+        branchy.push_word(vec![Operation::new(
+            0,
+            2,
+            OpKind::Load {
+                dst: Reg(1),
+                addr: vsp_isa::AddrMode::Absolute(0),
+                bank: vsp_isa::MemBank(0),
+            },
+        )]);
+        branchy.push_word(vec![Operation::new(
+            0,
+            0,
+            OpKind::Cmp {
+                op: CmpOp::Gt,
+                dst: Pred(1),
+                a: Operand::Reg(Reg(1)),
+                b: Operand::Imm(0),
+            },
+        )]);
+        branchy.push_word(vec![Operation::new(
+            0,
+            4,
+            OpKind::Branch {
+                pred: Pred(1),
+                sense: true,
+                target: 0,
+            },
+        )]);
+        branchy.push_word(vec![]);
+        branchy.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+
+        let reg = SharedRegistry::new();
+        let engine = EvalEngine::new().with_recorder(reg.clone());
+
+        // Both routes must agree with a plain simulator run.
+        for p in [&plain, &branchy] {
+            let state = engine.run_architectural(&machine, p, 100_000).unwrap();
+            let mut sim = Simulator::new(&machine, p).unwrap();
+            sim.run(100_000).unwrap();
+            assert_eq!(state, sim.arch_state());
+        }
+        assert_eq!(
+            engine
+                .run_architectural(&machine, &plain, 100_000)
+                .unwrap()
+                .regs[0][1],
+            42
+        );
+
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("vsp_exec_prepare_total", &[("outcome", "lowered")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("vsp_exec_prepare_total", &[("outcome", "refused")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(
+                "vsp_exec_refusals_total",
+                &[("reason", "data_dependent_control")]
+            ),
+            Some(1)
+        );
+        // plain ran functionally twice; branchy fell back once.
+        assert_eq!(
+            snap.counter("vsp_exec_runs_total", &[("backend", "functional")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("vsp_exec_runs_total", &[("backend", "cycle-accurate")]),
+            Some(1)
+        );
     }
 
     #[test]

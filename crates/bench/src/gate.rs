@@ -19,6 +19,13 @@ pub const GATE_METRIC: &str = "fast_cycles_per_sec";
 /// lack the key, so the gate passes vacuously until a baseline lands.
 pub const BATCH_GATE_METRIC: &str = "batch_cycles_per_sec";
 
+/// The third gated trajectory key: completed runs per host second of
+/// the functional execution tier replaying the same 1000-run campaign
+/// the batch metric times. Records written before the functional tier
+/// existed simply lack the key, so the gate passes vacuously until a
+/// baseline lands.
+pub const FUNC_GATE_METRIC: &str = "func_runs_per_sec";
+
 /// Default fractional throughput loss tolerated before the gate fails
 /// (0.10 = the measured number may be up to 10% below the best prior
 /// record).

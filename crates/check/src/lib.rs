@@ -27,7 +27,10 @@
 //!   for generated kernels — through the IR interpreter
 //!   ([`vsp_ir::Interpreter`]) as the semantic reference. Architectural
 //!   state must be bit-identical and [`vsp_sim::RunStats`] must satisfy
-//!   `cycles == words + icache_stall_cycles`.
+//!   `cycles == words + icache_stall_cycles`. The functional execution
+//!   tier ([`vsp_exec::Functional`]) joins via
+//!   [`oracle::diff_functional`]: bit-identical state when it accepts,
+//!   a counted refusal when it cannot soundly lower the program.
 //!
 //! # Example
 //!
@@ -51,6 +54,6 @@ pub mod pipeline_check;
 pub mod validity;
 
 pub use gen::{gen_kernel, gen_program, GeneratedKernel, KernelGenConfig, ProgramGenConfig};
-pub use oracle::{diff_kernel, diff_program, DiffFailure};
+pub use oracle::{diff_functional, diff_kernel, diff_program, DiffFailure, FunctionalOutcome};
 pub use pipeline_check::ScheduleValidator;
 pub use validity::{check_list_schedule, check_modulo_schedule, check_program, Violation};

@@ -18,6 +18,12 @@
 //!   simulator paths run, every replica's output region must equal the
 //!   interpreter's output array element for element.
 //!
+//! A third comparison, [`diff_functional`], brings in the functional
+//! execution tier ([`vsp_exec::Functional`]): when that tier accepts a
+//! program, its [`ArchState`] must be bit-identical to the fast path's;
+//! when it refuses (typed [`vsp_exec::Unsupported`] reasons), the case
+//! reports [`FunctionalOutcome::Refused`] rather than failing.
+//!
 //! Failures come back as a serializable [`DiffFailure`] so the fuzz
 //! driver can emit machine-readable reports carrying the reproducer
 //! seed.
@@ -26,6 +32,7 @@ use serde::Serialize;
 use std::fmt;
 use vsp_core::validate::{validate_program, ValidationError};
 use vsp_core::MachineConfig;
+use vsp_exec::{ExecRequest, Functional, StageSpec};
 use vsp_ir::{Interpreter, Stmt};
 use vsp_isa::Program;
 use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
@@ -274,6 +281,109 @@ pub fn diff_kernel(
     Ok(stats_fast)
 }
 
+/// How the functional tier fared on one differential case.
+///
+/// A refusal is *not* a failure: the tier is sound by refusal, and
+/// declining a program it cannot lower (data-dependent control, timing
+/// hazards, icache overflow — see [`vsp_exec::Unsupported`]) is correct
+/// behavior. Only a program the tier *accepted* and then answered
+/// differently from the fast path is a divergence.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FunctionalOutcome {
+    /// The functional tier accepted the program and its final
+    /// [`ArchState`] is bit-identical to the fast path's.
+    Agreed {
+        /// The (shared) cycle count of the run.
+        cycles: u64,
+    },
+    /// The functional tier refused the program with a typed reason.
+    Refused {
+        /// The rendered [`vsp_exec::Unsupported`] reason.
+        reason: String,
+    },
+}
+
+/// Runs `program` through the simulator fast path and the functional
+/// tier ([`vsp_exec::Functional`]) and demands bit-identical
+/// [`ArchState`] whenever the functional tier accepts the program.
+///
+/// `stage` regions are broadcast into every cluster's processing
+/// buffer on both paths, mirroring [`diff_kernel`]'s convention.
+///
+/// # Errors
+///
+/// Structural illegality, a fast-path fault, a functional-tier *run*
+/// failure on an accepted program, or architectural-state divergence.
+/// Refusals are reported as [`FunctionalOutcome::Refused`], not errors.
+///
+/// ```
+/// use vsp_check::oracle::{diff_functional, FunctionalOutcome};
+/// use vsp_core::models;
+/// use vsp_isa::{AluBinOp, OpKind, Operand, Operation, Program, Reg};
+///
+/// let machine = models::i4c8s4();
+/// let mut p = Program::new("add");
+/// p.push_word(vec![Operation::new(0, 0, OpKind::AluBin {
+///     op: AluBinOp::Add, dst: Reg(1), a: Operand::Imm(40), b: Operand::Imm(2),
+/// })]);
+/// p.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+///
+/// let outcome = diff_functional(&machine, &p, 100, &[]).unwrap();
+/// assert_eq!(outcome, FunctionalOutcome::Agreed { cycles: 2 });
+/// ```
+pub fn diff_functional(
+    machine: &MachineConfig,
+    program: &Program,
+    max_cycles: u64,
+    stage: &[(u8, u16, &[i16])],
+) -> Result<FunctionalOutcome, DiffFailure> {
+    if let Err(errors) = validate_program(machine, program) {
+        return Err(DiffFailure::Structural(errors));
+    }
+    let compiled = match Functional::prepare(machine, program) {
+        Ok(c) => c,
+        Err(e) if e.is_refusal() => {
+            return Ok(FunctionalOutcome::Refused {
+                reason: e.to_string(),
+            })
+        }
+        Err(e) => {
+            return Err(DiffFailure::Sim {
+                path: "functional",
+                error: e.to_string(),
+            })
+        }
+    };
+    let (_, state_fast) = run_path(machine, program, max_cycles, true, stage)?;
+    let mut req = ExecRequest::new(max_cycles);
+    for &(bank, base, data) in stage {
+        req = req.with_stage(StageSpec::broadcast(bank, base, data.to_vec()));
+    }
+    let out = match compiled.run(&req) {
+        Ok(out) => out,
+        Err(e) if e.is_refusal() => {
+            return Ok(FunctionalOutcome::Refused {
+                reason: e.to_string(),
+            })
+        }
+        Err(e) => {
+            return Err(DiffFailure::Sim {
+                path: "functional",
+                error: e.to_string(),
+            })
+        }
+    };
+    if out.state != state_fast {
+        return Err(DiffFailure::StateDiverged {
+            detail: format!(
+                "fast vs functional: {}",
+                state_divergence(&state_fast, &out.state)
+            ),
+        });
+    }
+    Ok(FunctionalOutcome::Agreed { cycles: out.cycles })
+}
+
 /// The standard compilation recipe for generated kernels (mirrors the
 /// repo's differential tests): if-convert, CSE, contiguous array
 /// layout, lower the counted loop's body, list-schedule, replicate
@@ -464,6 +574,26 @@ mod tests {
             diff_batch(&machine, &p, 100_000, 5)
                 .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
         }
+    }
+
+    #[test]
+    fn generated_programs_agree_or_refuse_on_functional_tier() {
+        let mut agreed = 0u32;
+        for machine in models::all_models() {
+            for seed in 0..4u64 {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let p = gen_program(&machine, &mut rng, &ProgramGenConfig::default());
+                match diff_functional(&machine, &p, 100_000, &[])
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", machine.name))
+                {
+                    FunctionalOutcome::Agreed { .. } => agreed += 1,
+                    FunctionalOutcome::Refused { .. } => {}
+                }
+            }
+        }
+        // The generator emits linear control flow, so most cases must
+        // actually exercise the agreement path, not just refuse.
+        assert!(agreed > 0, "functional tier refused every generated case");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! The [`Backend`] abstraction: one request/outcome surface over every
+//! execution tier that can turn a program into final architectural
+//! state.
+
+use crate::error::{ExecError, Unsupported};
+#[cfg(doc)]
+use crate::functional::Functional;
+use vsp_core::MachineConfig;
+use vsp_isa::Program;
+use vsp_sim::{ArchState, Simulator};
+
+/// Input data staged into local memory before execution.
+///
+/// Mirrors the differential oracle's convention: kernel inputs are
+/// written into the *active* (processing) buffer of the named bank,
+/// either in one cluster or — for SIMD-replicated code, where every
+/// cluster runs the same loop on its own copy — in all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Target cluster, or `None` to stage into every cluster.
+    pub cluster: Option<u8>,
+    /// Local-memory bank within each target cluster.
+    pub bank: u8,
+    /// First word address written.
+    pub base: u16,
+    /// Values written contiguously from `base`.
+    pub data: Vec<i16>,
+}
+
+impl StageSpec {
+    /// Stages `data` at `bank[base..]` in every cluster (the common
+    /// SIMD-replication case).
+    #[must_use]
+    pub fn broadcast(bank: u8, base: u16, data: Vec<i16>) -> Self {
+        StageSpec {
+            cluster: None,
+            bank,
+            base,
+            data,
+        }
+    }
+}
+
+/// One execution request: a cycle budget, staged input data, and
+/// whether the caller's campaign wants fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecRequest {
+    /// Maximum cycles before the run is abandoned.
+    pub max_cycles: u64,
+    /// Input data written to local memories before the first cycle.
+    pub stage: Vec<StageSpec>,
+    /// Whether the caller has an active fault plan. The [`Backend`]
+    /// surface carries no plan — both backends refuse such requests
+    /// ([`Unsupported::FaultInjection`]); fault campaigns drive
+    /// `vsp-sim`/`vsp-fault` directly.
+    pub fault_injection: bool,
+}
+
+impl ExecRequest {
+    /// A plain request: `max_cycles` budget, nothing staged, no faults.
+    #[must_use]
+    pub fn new(max_cycles: u64) -> Self {
+        ExecRequest {
+            max_cycles,
+            stage: Vec::new(),
+            fault_injection: false,
+        }
+    }
+
+    /// Adds a staged input region (builder style).
+    #[must_use]
+    pub fn with_stage(mut self, stage: StageSpec) -> Self {
+        self.stage.push(stage);
+        self
+    }
+}
+
+/// What an execution produced: the complete architectural state and the
+/// cycle count the tier reports for the run.
+///
+/// For [`CycleAccurate`] the cycle count is measured; for
+/// [`Functional`] it is derived from the pre-resolved trace length
+/// (exact for the stall-free programs that tier accepts). Stall
+/// breakdowns, per-FU counts and other `RunStats` detail exist only on
+/// the cycle-accurate tiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Final architectural state (registers, predicates, both halves of
+    /// every local-memory bank, cycle count, halt flag).
+    pub state: ArchState,
+    /// Cycles the run took (equal to `state.cycle`).
+    pub cycles: u64,
+}
+
+/// An execution tier: anything that runs a program on a machine model
+/// to completion and reports final architectural state.
+///
+/// Two implementations ship today — [`CycleAccurate`] wrapping the
+/// simulator and [`Functional`] for the lowered tier — and the trait is
+/// deliberately dyn-safe so services can route requests across a
+/// heterogeneous backend set.
+///
+/// ```
+/// use vsp_core::models;
+/// use vsp_exec::{Backend, CycleAccurate, ExecRequest, Functional};
+/// use vsp_isa::{AluBinOp, OpKind, Operand, Operation, Program, Reg};
+///
+/// let machine = models::i4c8s4();
+/// let mut p = Program::new("add");
+/// p.push_word(vec![Operation::new(0, 0, OpKind::AluBin {
+///     op: AluBinOp::Add, dst: Reg(2), a: Operand::Imm(40), b: Operand::Imm(2),
+/// })]);
+/// p.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+///
+/// let req = ExecRequest::new(100);
+/// let backends: [&dyn Backend; 2] = [&CycleAccurate, &Functional];
+/// for b in backends {
+///     let out = b.execute(&machine, &p, &req).unwrap();
+///     assert_eq!(out.state.regs[0][2], 42);
+///     assert!(out.state.halted);
+/// }
+/// ```
+pub trait Backend {
+    /// The tier's stable name (used in metrics labels and reports).
+    fn name(&self) -> &'static str;
+
+    /// Runs `program` on `machine` to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Unsupported`] when the tier refuses the program or
+    /// request (see [`Unsupported`]); other variants for validation,
+    /// budget and run-time failures.
+    fn execute(
+        &self,
+        machine: &MachineConfig,
+        program: &Program,
+        req: &ExecRequest,
+    ) -> Result<ExecOutcome, ExecError>;
+}
+
+/// The cycle-accurate tier: a thin [`Backend`] adapter over
+/// [`vsp_sim::Simulator`]'s pre-decoded fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleAccurate;
+
+impl Backend for CycleAccurate {
+    fn name(&self) -> &'static str {
+        "cycle-accurate"
+    }
+
+    fn execute(
+        &self,
+        machine: &MachineConfig,
+        program: &Program,
+        req: &ExecRequest,
+    ) -> Result<ExecOutcome, ExecError> {
+        if req.fault_injection {
+            return Err(Unsupported::FaultInjection.into());
+        }
+        let mut sim = Simulator::new(machine, program).map_err(ExecError::Sim)?;
+        for s in &req.stage {
+            let clusters: Vec<u8> = match s.cluster {
+                Some(c) => vec![c],
+                None => (0..machine.clusters as u8).collect(),
+            };
+            for c in clusters {
+                let buf = sim.mem_mut(c, s.bank).active_buffer_mut();
+                let base = usize::from(s.base);
+                buf[base..base + s.data.len()].copy_from_slice(&s.data);
+            }
+        }
+        sim.run(req.max_cycles).map_err(ExecError::Sim)?;
+        let state = sim.arch_state();
+        let cycles = state.cycle;
+        Ok(ExecOutcome { state, cycles })
+    }
+}

@@ -1,0 +1,211 @@
+//! Typed errors for the execution backends.
+//!
+//! The functional tier is *sound by refusal*: anything it cannot prove
+//! it can reproduce bit-for-bit against the cycle-accurate simulator is
+//! rejected at lowering time with an [`Unsupported`] reason, never
+//! approximated. Callers such as `EvalEngine` treat a refusal as a
+//! routing decision — fall back to the cycle-accurate backend — not as
+//! a failure.
+
+use std::fmt;
+use vsp_sim::SimError;
+
+/// Why the functional tier refused to lower or run a program.
+///
+/// Every variant marks a program (or request) whose architectural
+/// outcome the tier cannot guarantee to match the simulator exactly,
+/// so it declines instead of risking a wrong answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unsupported {
+    /// A branch, jump or halt whose outcome depends on run-time data
+    /// (a predicate the constant-propagation walk could not resolve).
+    /// The functional tier pre-resolves all control flow; data-dependent
+    /// control needs the cycle-accurate or batch tier.
+    DataDependentControl {
+        /// Instruction-word index of the unresolvable control op.
+        word: usize,
+    },
+    /// A control operation (branch/jump/halt) under a guard predicate
+    /// that is not statically known — whether the op executes at all is
+    /// data-dependent.
+    GuardedControl {
+        /// Instruction-word index of the guarded control op.
+        word: usize,
+    },
+    /// The program's own timing is hazardous: a register or predicate
+    /// is read before its producer commits, two results land on one
+    /// write port in the same cycle, or commits to one register would
+    /// complete out of issue order. The simulator would fault (or give
+    /// stale-read semantics the functional tier does not model).
+    TimingHazard {
+        /// Instruction-word index at which the hazard was detected.
+        word: usize,
+    },
+    /// The program does not fit the instruction cache, so the real
+    /// machine pays refill stalls the functional tier does not model —
+    /// its cycle count would be wrong.
+    IcacheOverflow {
+        /// Program length in VLIW words.
+        words: usize,
+        /// Instruction-cache capacity in words.
+        capacity: u32,
+    },
+    /// Control flow ran past the end of the program without a halt.
+    RanOffEnd {
+        /// Word index the walk fell off at.
+        word: usize,
+    },
+    /// The lowering walk exceeded its step budget without reaching a
+    /// halt (an unbounded or pathologically long loop).
+    NonTerminating {
+        /// The exhausted walk budget, in instruction words.
+        limit: u64,
+    },
+    /// The flattened trace would exceed the lowering size budget.
+    TraceTooLong {
+        /// Number of flattened ops at the point of refusal.
+        ops: usize,
+    },
+    /// A word exchanges registers through same-cycle read/write pairs
+    /// (every op reads a register another op in the word writes, in a
+    /// cycle), which the linearized trace cannot order.
+    SameCycleExchange {
+        /// Instruction-word index of the exchange.
+        word: usize,
+    },
+    /// The request asked for fault injection, which the functional tier
+    /// cannot model (faults perturb per-cycle datapath reads). Fault
+    /// campaigns use `vsp-sim`/`vsp-fault` directly.
+    FaultInjection,
+}
+
+impl Unsupported {
+    /// Stable short label for this refusal reason (metrics/report
+    /// friendly: no payload, fixed vocabulary).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Unsupported::DataDependentControl { .. } => "data_dependent_control",
+            Unsupported::GuardedControl { .. } => "guarded_control",
+            Unsupported::TimingHazard { .. } => "timing_hazard",
+            Unsupported::IcacheOverflow { .. } => "icache_overflow",
+            Unsupported::RanOffEnd { .. } => "ran_off_end",
+            Unsupported::NonTerminating { .. } => "non_terminating",
+            Unsupported::TraceTooLong { .. } => "trace_too_long",
+            Unsupported::SameCycleExchange { .. } => "same_cycle_exchange",
+            Unsupported::FaultInjection => "fault_injection",
+        }
+    }
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unsupported::DataDependentControl { word } => {
+                write!(f, "data-dependent control flow at word {word}")
+            }
+            Unsupported::GuardedControl { word } => {
+                write!(f, "control op under a data-dependent guard at word {word}")
+            }
+            Unsupported::TimingHazard { word } => {
+                write!(
+                    f,
+                    "timing hazard (premature read or write-port conflict) at word {word}"
+                )
+            }
+            Unsupported::IcacheOverflow { words, capacity } => {
+                write!(
+                    f,
+                    "program of {words} words exceeds the {capacity}-word icache (refill stalls unmodeled)"
+                )
+            }
+            Unsupported::RanOffEnd { word } => {
+                write!(f, "control flow ran off the program end at word {word}")
+            }
+            Unsupported::NonTerminating { limit } => {
+                write!(f, "no halt within the {limit}-word lowering budget")
+            }
+            Unsupported::TraceTooLong { ops } => {
+                write!(f, "flattened trace exceeds the lowering budget ({ops} ops)")
+            }
+            Unsupported::SameCycleExchange { word } => {
+                write!(
+                    f,
+                    "unlinearizable same-cycle register exchange at word {word}"
+                )
+            }
+            Unsupported::FaultInjection => {
+                write!(f, "fault injection is not modeled by the functional tier")
+            }
+        }
+    }
+}
+
+/// Errors from the execution backends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The program failed structural validation for the machine.
+    Invalid(SimError),
+    /// The functional tier refused the program or request (see
+    /// [`Unsupported`]); fall back to a cycle-accurate tier.
+    Unsupported(Unsupported),
+    /// The program's trace is longer than the request's cycle budget
+    /// (the simulator would return `SimError::CycleLimit`).
+    CycleLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+    /// A load or store fell outside its memory bank at run time.
+    MemOutOfRange {
+        /// Cluster of the access.
+        cluster: u8,
+        /// Bank index within the cluster.
+        bank: u8,
+        /// Offending word address.
+        addr: u32,
+        /// Bank capacity in words.
+        words: u32,
+    },
+    /// The wrapped cycle-accurate simulator failed.
+    Sim(SimError),
+}
+
+impl ExecError {
+    /// Whether this error is a *refusal* — the functional tier declining
+    /// a program it cannot soundly lower — rather than a run failure.
+    /// Refusals route the caller to a cycle-accurate tier.
+    #[must_use]
+    pub fn is_refusal(&self) -> bool {
+        matches!(self, ExecError::Unsupported(_))
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Invalid(e) => write!(f, "program invalid for machine: {e}"),
+            ExecError::Unsupported(u) => write!(f, "functional tier refused: {u}"),
+            ExecError::CycleLimit { limit } => {
+                write!(f, "trace exceeds the {limit}-cycle budget")
+            }
+            ExecError::MemOutOfRange {
+                cluster,
+                bank,
+                addr,
+                words,
+            } => write!(
+                f,
+                "memory access out of range: cluster {cluster} bank {bank} addr {addr} (bank has {words} words)"
+            ),
+            ExecError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<Unsupported> for ExecError {
+    fn from(u: Unsupported) -> Self {
+        ExecError::Unsupported(u)
+    }
+}

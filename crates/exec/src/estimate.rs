@@ -1,0 +1,71 @@
+//! Analytic cycle estimates from schedule artifacts.
+//!
+//! The functional tier does not simulate cycles, so its timing numbers
+//! come from the schedule itself: the list/modulo closed forms the
+//! scheduler already proves (`(trips - 1) * II + length` for a software
+//! pipeline, `trips * length` for a list schedule). For the stall-free
+//! programs the tier accepts these are exact, not approximations — the
+//! same closed forms the differential tests pin against the simulator.
+
+use vsp_sched::{CompileResult, ScheduleArtifact};
+
+/// An analytic cycle estimate derived from a [`CompileResult`]'s
+/// schedule artifact, with the parameters it was computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleEstimate {
+    /// Estimated cycles for the scheduled scope at its compiled trip
+    /// count (or the whole kernel for the sequential backend).
+    pub cycles: u64,
+    /// Initiation interval, when the schedule is a software pipeline.
+    pub ii: Option<u64>,
+    /// Schedule length in cycles (list or modulo backends).
+    pub length: Option<u64>,
+    /// Trip count the estimate assumed, when the scope is a loop.
+    pub trips: Option<u64>,
+}
+
+impl CycleEstimate {
+    /// Derives an estimate from a compilation result.
+    ///
+    /// Returns `None` when the artifact has no closed form at a known
+    /// trip count (a list/modulo schedule whose loop trip count the
+    /// pipeline could not determine).
+    #[must_use]
+    pub fn from_result(result: &CompileResult) -> Option<Self> {
+        match &result.schedule {
+            ScheduleArtifact::Sequential { cycles } => Some(CycleEstimate {
+                cycles: *cycles,
+                ii: None,
+                length: None,
+                trips: None,
+            }),
+            _ => {
+                let trips = result.scheduled_trip?;
+                Some(CycleEstimate {
+                    cycles: result.cycles_for(trips)?,
+                    ii: result.ii(),
+                    length: result.length(),
+                    trips: Some(trips),
+                })
+            }
+        }
+    }
+
+    /// Re-evaluates the closed form at a different trip count, when the
+    /// schedule has one (`(trips - 1) * II + length` for a pipeline,
+    /// `trips * length` for a list schedule).
+    #[must_use]
+    pub fn at_trips(&self, trips: u64) -> Option<u64> {
+        match (self.ii, self.length) {
+            (Some(ii), Some(length)) => {
+                if trips == 0 {
+                    Some(0)
+                } else {
+                    Some((trips - 1) * ii + length)
+                }
+            }
+            (None, Some(length)) => Some(trips * length),
+            _ => None,
+        }
+    }
+}

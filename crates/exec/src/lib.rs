@@ -1,0 +1,56 @@
+//! Functional-execution tier for the VSP datapath study.
+//!
+//! The third execution tier, after the cycle-accurate interpreter and
+//! the batched lockstep engine: [`Functional`] lowers a scheduled VLIW
+//! program into a flat trace of native ops — control flow pre-resolved,
+//! hazards pre-checked, commit timing pre-verified — and then produces
+//! final architectural state by running that trace straight through,
+//! with no fetch, decode, scoreboard or commit machinery per cycle.
+//!
+//! The tier is **sound by refusal**: lowering proves, op by op, that
+//! immediate execution matches the simulator's delayed-commit semantics
+//! bit-for-bit, and returns a typed [`Unsupported`] reason for any
+//! program where it cannot (data-dependent control flow, guarded
+//! control, timing hazards, icache overflow, fault-injection requests).
+//! Callers fall back to a cycle-accurate tier on refusal; they never
+//! get an approximate answer. Cycle counts are analytic — the trace
+//! length, exact for the stall-free programs the tier accepts — and
+//! there are no stall breakdowns or per-FU statistics; use `vsp-sim`
+//! when you need to see *why* a program takes the cycles it takes.
+//!
+//! Both tiers sit behind the dyn-safe [`Backend`] trait
+//! ([`CycleAccurate`] wraps the simulator), so campaign drivers route
+//! per-request. For repeated runs of one program, [`Functional::prepare`]
+//! returns the reusable [`CompiledProgram`], and [`CompiledProgram::runner`]
+//! a [`Runner`] that re-executes without allocating.
+//!
+//! ```
+//! use vsp_core::models;
+//! use vsp_exec::{Backend, ExecRequest, Functional};
+//! use vsp_isa::{AluBinOp, OpKind, Operand, Operation, Program, Reg};
+//!
+//! let machine = models::i4c8s4();
+//! let mut p = Program::new("demo");
+//! p.push_word(vec![Operation::new(0, 0, OpKind::AluBin {
+//!     op: AluBinOp::Add, dst: Reg(1), a: Operand::Imm(20), b: Operand::Imm(22),
+//! })]);
+//! p.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+//!
+//! let out = Functional.execute(&machine, &p, &ExecRequest::new(100)).unwrap();
+//! assert_eq!(out.state.regs[0][1], 42);
+//! assert_eq!(out.cycles, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod error;
+mod estimate;
+mod functional;
+mod lower;
+
+pub use backend::{Backend, CycleAccurate, ExecOutcome, ExecRequest, StageSpec};
+pub use error::{ExecError, Unsupported};
+pub use estimate::CycleEstimate;
+pub use functional::{CompiledProgram, Functional, Runner};

@@ -1,0 +1,448 @@
+//! Differential and negative tests for the functional tier.
+//!
+//! Positive cases pin the functional tier's `ArchState` bit-identical
+//! to the cycle-accurate simulator (via the `CycleAccurate` backend);
+//! negative cases prove it *refuses* — with the right typed reason —
+//! every program class it cannot soundly lower, rather than guessing.
+
+use vsp_core::models;
+use vsp_exec::{
+    Backend, CycleAccurate, ExecError, ExecRequest, Functional, StageSpec, Unsupported,
+};
+use vsp_isa::{
+    AddrMode, AluBinOp, CmpOp, MemBank, MemCtlOp, OpKind, Operand, Operation, Pred, PredGuard,
+    Program, Reg,
+};
+
+fn add_imm(cluster: u8, slot: u8, dst: u16, value: i16) -> Operation {
+    Operation::new(
+        cluster,
+        slot,
+        OpKind::AluBin {
+            op: AluBinOp::Add,
+            dst: Reg(dst),
+            a: Operand::Imm(value),
+            b: Operand::Imm(0),
+        },
+    )
+}
+
+fn halt_word() -> Vec<Operation> {
+    vec![Operation::new(0, 4, OpKind::Halt)]
+}
+
+/// Asserts both backends produce bit-identical `ArchState` and returns
+/// the shared state.
+fn assert_backends_agree(
+    machine: &vsp_core::MachineConfig,
+    program: &Program,
+    req: &ExecRequest,
+) -> vsp_sim::ArchState {
+    let reference = CycleAccurate.execute(machine, program, req).unwrap();
+    let functional = Functional.execute(machine, program, req).unwrap();
+    assert_eq!(functional.state, reference.state);
+    assert_eq!(functional.cycles, reference.cycles);
+    reference.state
+}
+
+/// A statically-resolvable countdown loop with a taken backward branch,
+/// a delay slot, and a store in the halt word: every control construct
+/// the walk must unroll, pinned against the simulator.
+#[test]
+fn countdown_loop_matches_simulator() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("countdown");
+    // w0: r1 = 3
+    p.push_word(vec![add_imm(0, 0, 1, 3)]);
+    // w1 (loop head): r1 = r1 - 1
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::AluBin {
+            op: AluBinOp::Sub,
+            dst: Reg(1),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(1),
+        },
+    )]);
+    // w2: p1 = r1 > 0
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::Cmp {
+            op: CmpOp::Gt,
+            dst: Pred(1),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(0),
+        },
+    )]);
+    // w3: if p1 goto w1 (one delay slot)
+    p.push_word(vec![Operation::new(
+        0,
+        4,
+        OpKind::Branch {
+            pred: Pred(1),
+            sense: true,
+            target: 1,
+        },
+    )]);
+    // w4: delay slot
+    p.push_word(vec![]);
+    // w5: mem[5] = r1; halt
+    p.push_word(vec![
+        Operation::new(
+            0,
+            2,
+            OpKind::Store {
+                src: Operand::Reg(Reg(1)),
+                addr: AddrMode::Absolute(5),
+                bank: MemBank(0),
+            },
+        ),
+        Operation::new(0, 4, OpKind::Halt),
+    ]);
+
+    let state = assert_backends_agree(&machine, &p, &ExecRequest::new(1000));
+    assert_eq!(state.regs[0][1], 0);
+    assert!(state.halted);
+}
+
+/// If-converted diamond: complementary guarded writes to one register
+/// in one word (legal: at most one commits per run), with the guard
+/// data-dependent. The same `Runner` is reused across both staged
+/// inputs to cover the frame-reset path.
+#[test]
+fn guarded_diamond_matches_simulator_both_ways() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("diamond");
+    // w0: r1 = mem[0] (staged, statically unknown)
+    p.push_word(vec![Operation::new(
+        0,
+        2,
+        OpKind::Load {
+            dst: Reg(1),
+            addr: AddrMode::Absolute(0),
+            bank: MemBank(0),
+        },
+    )]);
+    // w1: p1 = r1 > 10
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::Cmp {
+            op: CmpOp::Gt,
+            dst: Pred(1),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(10),
+        },
+    )]);
+    // w2: [p1] r2 = 1 ; [!p1] r2 = 2
+    p.push_word(vec![
+        Operation::guarded(
+            0,
+            0,
+            PredGuard::if_true(Pred(1)),
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(2),
+                a: Operand::Imm(1),
+                b: Operand::Imm(0),
+            },
+        ),
+        Operation::guarded(
+            0,
+            1,
+            PredGuard::if_false(Pred(1)),
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(2),
+                a: Operand::Imm(2),
+                b: Operand::Imm(0),
+            },
+        ),
+    ]);
+    // w3: mem[1] = r2; halt
+    p.push_word(vec![
+        Operation::new(
+            0,
+            2,
+            OpKind::Store {
+                src: Operand::Reg(Reg(2)),
+                addr: AddrMode::Absolute(1),
+                bank: MemBank(0),
+            },
+        ),
+        Operation::new(0, 4, OpKind::Halt),
+    ]);
+
+    let compiled = Functional::prepare(&machine, &p).unwrap();
+    let mut runner = compiled.runner();
+    for (input, expect) in [(15, 1), (5, 2)] {
+        let req = ExecRequest::new(1000).with_stage(StageSpec::broadcast(0, 0, vec![input]));
+        let reference = CycleAccurate.execute(&machine, &p, &req).unwrap();
+        let out = runner.run(&req).unwrap();
+        assert_eq!(out.state, reference.state);
+        assert_eq!(out.state.regs[0][2], expect);
+        // The allocation-free verdict primitive agrees with full equality.
+        runner.run_quiet(&req).unwrap();
+        assert!(runner.state_matches(&reference.state));
+    }
+}
+
+/// Buffer swaps move the stored data to the I/O half of the snapshot's
+/// (active, io) pair, bit-identically to the simulator.
+#[test]
+fn buffer_swap_matches_simulator() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("swap");
+    // w0: mem[0] = 7
+    p.push_word(vec![Operation::new(
+        0,
+        2,
+        OpKind::Store {
+            src: Operand::Imm(7),
+            addr: AddrMode::Absolute(0),
+            bank: MemBank(0),
+        },
+    )]);
+    // w1: swapbuf
+    p.push_word(vec![Operation::new(
+        0,
+        2,
+        OpKind::MemCtl {
+            op: MemCtlOp::SwapBuffers,
+            bank: MemBank(0),
+        },
+    )]);
+    p.push_word(halt_word());
+
+    let state = assert_backends_agree(&machine, &p, &ExecRequest::new(100));
+    // After the swap the stored value sits in the I/O buffer.
+    assert_eq!(state.mems[0][0].1[0], 7);
+    assert_eq!(state.mems[0][0].0[0], 0);
+}
+
+#[test]
+fn refuses_data_dependent_branch() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("data-branch");
+    p.push_word(vec![Operation::new(
+        0,
+        2,
+        OpKind::Load {
+            dst: Reg(1),
+            addr: AddrMode::Absolute(0),
+            bank: MemBank(0),
+        },
+    )]);
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::Cmp {
+            op: CmpOp::Gt,
+            dst: Pred(1),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(0),
+        },
+    )]);
+    p.push_word(vec![Operation::new(
+        0,
+        4,
+        OpKind::Branch {
+            pred: Pred(1),
+            sense: true,
+            target: 0,
+        },
+    )]);
+    p.push_word(vec![]);
+    p.push_word(halt_word());
+
+    let err = Functional::prepare(&machine, &p).unwrap_err();
+    assert!(err.is_refusal());
+    assert!(matches!(
+        err,
+        ExecError::Unsupported(Unsupported::DataDependentControl { word: 2 })
+    ));
+    // The cycle-accurate tier takes the same program without complaint —
+    // this is exactly the EvalEngine fallback route.
+    let req = ExecRequest::new(1000).with_stage(StageSpec::broadcast(0, 0, vec![0]));
+    CycleAccurate.execute(&machine, &p, &req).unwrap();
+}
+
+#[test]
+fn refuses_control_under_unknown_guard() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("guarded-halt");
+    p.push_word(vec![Operation::new(
+        0,
+        2,
+        OpKind::Load {
+            dst: Reg(1),
+            addr: AddrMode::Absolute(0),
+            bank: MemBank(0),
+        },
+    )]);
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::Cmp {
+            op: CmpOp::Gt,
+            dst: Pred(1),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(0),
+        },
+    )]);
+    p.push_word(vec![Operation::guarded(
+        0,
+        4,
+        PredGuard::if_true(Pred(1)),
+        OpKind::Halt,
+    )]);
+    p.push_word(halt_word());
+
+    let err = Functional::prepare(&machine, &p).unwrap_err();
+    assert!(matches!(
+        err,
+        ExecError::Unsupported(Unsupported::GuardedControl { word: 2 })
+    ));
+}
+
+#[test]
+fn refuses_fault_injection_requests() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("plain");
+    p.push_word(vec![add_imm(0, 0, 1, 1)]);
+    p.push_word(halt_word());
+
+    let mut req = ExecRequest::new(100);
+    req.fault_injection = true;
+    for backend in [&Functional as &dyn Backend, &CycleAccurate] {
+        let err = backend.execute(&machine, &p, &req).unwrap_err();
+        assert!(err.is_refusal());
+        assert!(matches!(
+            err,
+            ExecError::Unsupported(Unsupported::FaultInjection)
+        ));
+    }
+    // A prepared program also refuses at run time.
+    let compiled = Functional::prepare(&machine, &p).unwrap();
+    assert!(compiled.run(&req).unwrap_err().is_refusal());
+}
+
+#[test]
+fn refuses_program_without_halt() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("no-halt");
+    p.push_word(vec![add_imm(0, 0, 1, 1)]);
+
+    let err = Functional::prepare(&machine, &p).unwrap_err();
+    assert!(matches!(
+        err,
+        ExecError::Unsupported(Unsupported::RanOffEnd { word: 1 })
+    ));
+}
+
+#[test]
+fn refuses_unbounded_loop() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("spin");
+    p.push_word(vec![Operation::new(0, 4, OpKind::Jump { target: 0 })]);
+    p.push_word(vec![]); // delay slot
+
+    let err = Functional::prepare(&machine, &p).unwrap_err();
+    assert!(matches!(
+        err,
+        ExecError::Unsupported(Unsupported::NonTerminating { .. })
+    ));
+}
+
+#[test]
+fn refuses_icache_overflow() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("huge");
+    for _ in 0..machine.icache_words + 1 {
+        p.push_word(vec![]);
+    }
+    p.push_word(halt_word());
+
+    let err = Functional::prepare(&machine, &p).unwrap_err();
+    assert!(matches!(
+        err,
+        ExecError::Unsupported(Unsupported::IcacheOverflow { .. })
+    ));
+}
+
+#[test]
+fn cycle_budget_matches_simulator_semantics() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("short");
+    p.push_word(vec![add_imm(0, 0, 1, 1)]);
+    p.push_word(halt_word());
+
+    let compiled = Functional::prepare(&machine, &p).unwrap();
+    assert_eq!(compiled.cycles(), 2);
+    let err = compiled.run(&ExecRequest::new(1)).unwrap_err();
+    assert_eq!(err, ExecError::CycleLimit { limit: 1 });
+    // The same budget fails the simulator too.
+    assert!(CycleAccurate
+        .execute(&machine, &p, &ExecRequest::new(1))
+        .is_err());
+    // An exact budget passes both.
+    assert_backends_agree(&machine, &p, &ExecRequest::new(2));
+}
+
+#[test]
+fn out_of_range_access_fails_at_run_time() {
+    let machine = models::i4c8s4();
+    let bank_words = machine.cluster.banks[0].words;
+    let mut p = Program::new("oob");
+    // w0: r1 = bank_words (first out-of-range address)
+    p.push_word(vec![add_imm(0, 0, 1, bank_words as i16)]);
+    p.push_word(vec![Operation::new(
+        0,
+        2,
+        OpKind::Store {
+            src: Operand::Imm(1),
+            addr: AddrMode::Register(Reg(1)),
+            bank: MemBank(0),
+        },
+    )]);
+    p.push_word(halt_word());
+
+    let err = Functional
+        .execute(&machine, &p, &ExecRequest::new(100))
+        .unwrap_err();
+    assert!(matches!(err, ExecError::MemOutOfRange { addr, .. } if addr == bank_words));
+    assert!(!err.is_refusal());
+}
+
+/// Results whose commit latency carries them past the halt are dropped
+/// by the simulator (the machine stops draining its commit ring); the
+/// lowered trace reproduces that.
+#[test]
+fn in_flight_writes_dropped_at_halt() {
+    let machine = models::i4c8s4();
+    assert_eq!(machine.pipeline.mul_latency, 1);
+    let mut machine = machine;
+    machine.pipeline.mul_latency = 3; // force a commit beyond the halt
+    let mut p = Program::new("halt-drop");
+    p.push_word(vec![add_imm(0, 0, 1, 5)]);
+    // w1: r2 = r1 * r1, commits at cycle 4 — but the halt lands at 2.
+    p.push_word(vec![
+        Operation::new(
+            0,
+            0,
+            OpKind::Mul {
+                kind: vsp_isa::MulKind::Mul8SS,
+                dst: Reg(2),
+                a: Operand::Reg(Reg(1)),
+                b: Operand::Reg(Reg(1)),
+            },
+        ),
+        Operation::new(0, 4, OpKind::Halt),
+    ]);
+
+    let state = assert_backends_agree(&machine, &p, &ExecRequest::new(100));
+    assert_eq!(state.regs[0][2], 0, "in-flight multiply must not land");
+    assert_eq!(state.regs[0][1], 5);
+}

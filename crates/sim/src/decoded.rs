@@ -23,11 +23,11 @@ use vsp_isa::{
 };
 
 /// Sentinel for "no guard" in [`DecodedOp::guard_pred`].
-pub(crate) const NO_GUARD: u8 = u8::MAX;
+pub const NO_GUARD: u8 = u8::MAX;
 
 /// A resolved operand: a register file index or an immediate.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum DOperand {
+pub enum DOperand {
     /// Register file index (already `Reg::index()`).
     Reg(u16),
     /// Immediate value.
@@ -45,7 +45,7 @@ impl DOperand {
 
 /// A resolved effective-address computation.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum DAddr {
+pub enum DAddr {
     /// Absolute word address.
     Abs(u16),
     /// Address held in a register.
@@ -70,55 +70,108 @@ impl DAddr {
 /// The resolved semantic payload: [`OpKind`] with register objects
 /// flattened to raw indices and branch targets narrowed to `u32`.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum DKind {
+pub enum DKind {
     /// Two-operand ALU operation.
     AluBin {
+        /// ALU operator.
         op: AluBinOp,
+        /// Destination register index.
         dst: u16,
+        /// First operand.
         a: DOperand,
+        /// Second operand.
         b: DOperand,
     },
     /// One-operand ALU operation.
-    AluUn { op: AluUnOp, dst: u16, a: DOperand },
+    AluUn {
+        /// ALU operator.
+        op: AluUnOp,
+        /// Destination register index.
+        dst: u16,
+        /// Operand.
+        a: DOperand,
+    },
     /// Shift.
     Shift {
+        /// Shift operator.
         op: ShiftOp,
+        /// Destination register index.
         dst: u16,
+        /// Value operand.
         a: DOperand,
+        /// Amount operand.
         b: DOperand,
     },
     /// Multiply.
     Mul {
+        /// Multiply flavour.
         kind: MulKind,
+        /// Destination register index.
         dst: u16,
+        /// First operand.
         a: DOperand,
+        /// Second operand.
         b: DOperand,
     },
     /// Compare writing a predicate.
     Cmp {
+        /// Comparison operator.
         op: CmpOp,
+        /// Destination predicate index.
         dst: u8,
+        /// First operand.
         a: DOperand,
+        /// Second operand.
         b: DOperand,
     },
     /// Load from a local memory bank.
-    Load { dst: u16, addr: DAddr, bank: u8 },
+    Load {
+        /// Destination register index.
+        dst: u16,
+        /// Effective address.
+        addr: DAddr,
+        /// Local memory bank.
+        bank: u8,
+    },
     /// Store to a local memory bank.
     Store {
+        /// Value operand.
         src: DOperand,
+        /// Effective address.
         addr: DAddr,
+        /// Local memory bank.
         bank: u8,
     },
     /// Crossbar transfer from a remote cluster.
-    Xfer { dst: u16, from: u8, src: u16 },
+    Xfer {
+        /// Destination register index (in the executing cluster).
+        dst: u16,
+        /// Source cluster.
+        from: u8,
+        /// Source register index (in `from`).
+        src: u16,
+    },
     /// Conditional branch.
-    Branch { pred: u8, sense: bool, target: u32 },
+    Branch {
+        /// Predicate index tested.
+        pred: u8,
+        /// Sense the predicate must match for the branch to be taken.
+        sense: bool,
+        /// Target instruction-word index.
+        target: u32,
+    },
     /// Unconditional jump.
-    Jump { target: u32 },
+    Jump {
+        /// Target instruction-word index.
+        target: u32,
+    },
     /// Halt.
     Halt,
     /// Swap a bank's double buffers.
-    Swap { bank: u8 },
+    Swap {
+        /// Local memory bank.
+        bank: u8,
+    },
     /// Explicit no-op (kept so annulled-guard accounting matches).
     Nop,
 }
@@ -126,7 +179,7 @@ pub(crate) enum DKind {
 /// One pre-decoded operation: everything `step` needs, in one flat
 /// `Copy` record — no pointer chasing, no per-cycle latency lookups.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct DecodedOp {
+pub struct DecodedOp {
     /// Executing cluster.
     pub cluster: u8,
     /// Issue slot (kept for trace events).
@@ -304,13 +357,15 @@ impl DecodedProgram {
 
     /// The flat op-index range of word `i`.
     #[inline]
-    pub(crate) fn word_range(&self, i: usize) -> std::ops::Range<usize> {
+    #[must_use]
+    pub fn word_range(&self, i: usize) -> std::ops::Range<usize> {
         self.word_start[i] as usize..self.word_start[i + 1] as usize
     }
 
     /// The op at flat index `i` (copied out, so no borrow is held).
     #[inline]
-    pub(crate) fn op(&self, i: usize) -> DecodedOp {
+    #[must_use]
+    pub fn op(&self, i: usize) -> DecodedOp {
         self.ops[i]
     }
 }

@@ -46,7 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
-mod decoded;
+pub mod decoded;
 pub mod error;
 pub mod fault;
 pub mod icache;
@@ -56,7 +56,7 @@ pub mod simulator;
 pub mod stats;
 
 pub use batch::{BatchSimulator, LaneOutcome, RunSpec};
-pub use decoded::DecodedProgram;
+pub use decoded::{DAddr, DKind, DOperand, DecodedOp, DecodedProgram, NO_GUARD};
 pub use error::SimError;
 pub use fault::{FaultModel, NoFaults};
 pub use icache::InstructionCache;

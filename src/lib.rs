@@ -13,6 +13,12 @@
 //!   code generation;
 //! * [`kernels`] — the six MPEG kernels, golden models, workloads and
 //!   the Table 1/2 variant recipes;
+//! * [`exec`] — the functional execution tier: lowers scheduled
+//!   programs to flat native op traces producing final architectural
+//!   state without per-cycle simulation, behind a [`exec::Backend`]
+//!   abstraction shared with the cycle-accurate simulator; sound by
+//!   refusal (typed [`exec::Unsupported`] reasons route callers back to
+//!   the simulator);
 //! * [`trace`] — structured per-cycle tracing: event sinks (in-memory,
 //!   JSON-Lines, Chrome `trace_event`) and utilization timelines;
 //! * [`metrics`] — unified metrics: counters, gauges, log₂-bucket
@@ -47,6 +53,7 @@
 
 pub use vsp_check as check;
 pub use vsp_core as core;
+pub use vsp_exec as exec;
 pub use vsp_fault as fault;
 pub use vsp_ir as ir;
 pub use vsp_isa as isa;
