@@ -509,6 +509,7 @@ fn run_campaign(args: &Args, cases: u64, reg: &mut Registry) -> Result<(), Strin
         timeout: Duration::from_millis(args.timeout_ms),
         retries: 1,
         backoff: Duration::from_millis(50),
+        jitter_seed: Some(args.seed),
     };
     let mut report = CampaignReport::default();
     let mut unaccounted = 0u64;

@@ -218,6 +218,7 @@ fn run() -> Result<(), String> {
         timeout: Duration::from_millis(args.timeout_ms),
         retries: args.retries,
         backoff: Duration::from_millis(50),
+        jitter_seed: Some(args.seed),
     };
     let mut campaign = CampaignReport::default();
     let mut reg = Registry::new();
@@ -316,7 +317,7 @@ fn run() -> Result<(), String> {
                     detail: format!("case panicked: {message}"),
                 },
             )),
-            CaseOutcome::TimedOut => Err((
+            CaseOutcome::TimedOut { .. } => Err((
                 "timeout",
                 DiffFailure::StateDiverged {
                     detail: format!(

@@ -384,7 +384,7 @@ impl EvalEngine {
                     CaseOutcome::Completed(_) => "completed",
                     CaseOutcome::Recovered { .. } => "recovered",
                     CaseOutcome::Faulted { .. } => "faulted",
-                    CaseOutcome::TimedOut => "timed_out",
+                    CaseOutcome::TimedOut { .. } => "timed_out",
                 };
                 rec.with(|r| {
                     r.add("vsp_eval_cell_verdicts_total", &[("verdict", verdict)], 1);
@@ -405,7 +405,7 @@ impl EvalEngine {
                 CaseOutcome::Faulted { message } => {
                     failed.push((fp, s, format!("panicked: {message}")));
                 }
-                CaseOutcome::TimedOut => {
+                CaseOutcome::TimedOut { .. } => {
                     failed.push((fp, s, format!("timed out after {:?}", harness.timeout)));
                 }
             }
@@ -885,6 +885,7 @@ mod tests {
             timeout: Duration::ZERO,
             retries: 0,
             backoff: Duration::ZERO,
+            jitter_seed: Some(0),
         };
         let (rows, report, failures) =
             EvalEngine::new().assemble_isolated(&machines, &RowSource::TABLE2, &harness);

@@ -10,14 +10,32 @@
 //! A timed-out case's thread cannot be killed safely, so it is leaked
 //! (detached) and its eventual result discarded — acceptable for
 //! campaign tooling, where a hung case is rare and the process exits
-//! when the sweep ends.
+//! when the sweep ends. Every leaked thread is counted: per outcome
+//! ([`CaseOutcome::TimedOut`]), per campaign
+//! ([`CampaignReport::abandoned_threads`]) and process-wide
+//! ([`abandoned_threads`]), so a hang-storm shows up in metrics
+//! instead of silently accumulating parked threads.
 
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+
+/// Process-wide count of attempt threads abandoned after a timeout
+/// (see [`abandoned_threads`]).
+static ABANDONED_THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Total attempt threads this process has leaked to timeouts, across
+/// every [`run_case`] call — including attempts whose case later
+/// recovered. Exported by services as the `vsp_fault_abandoned_threads`
+/// gauge; a value growing linearly with traffic means some job class is
+/// hanging its workers.
+pub fn abandoned_threads() -> u64 {
+    ABANDONED_THREADS.load(Ordering::Relaxed)
+}
 
 /// Tuning for [`run_case`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,8 +44,15 @@ pub struct HarnessConfig {
     pub timeout: Duration,
     /// Extra attempts after a panicked or timed-out first attempt.
     pub retries: u32,
-    /// Base backoff between attempts (doubles each retry).
+    /// Base backoff between attempts (doubles each retry; the actual
+    /// sleep is drawn uniformly from `[0, doubled base]` — full jitter —
+    /// so a fleet of concurrent retrying workers decorrelates instead
+    /// of thundering in lockstep).
     pub backoff: Duration,
+    /// Seed for the jitter draw. `None` (the default) derives per-call
+    /// entropy from the monotonic clock; tests pin a seed to make retry
+    /// timing deterministic.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for HarnessConfig {
@@ -36,6 +61,7 @@ impl Default for HarnessConfig {
             timeout: Duration::from_secs(30),
             retries: 1,
             backoff: Duration::from_millis(50),
+            jitter_seed: None,
         }
     }
 }
@@ -49,6 +75,38 @@ impl HarnessConfig {
             ..HarnessConfig::default()
         }
     }
+
+    /// The same config with a pinned jitter seed (deterministic retry
+    /// timing for tests).
+    #[must_use]
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+}
+
+/// One splitmix64 step: a small, seedable generator good enough for
+/// jitter (and dependency-free, which matters here — the harness must
+/// not pull the full RNG stack into every consumer).
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    *state = z ^ (z >> 31);
+}
+
+/// Full-jitter backoff before retry `attempt` (1-based count of
+/// attempts already made): uniform in `[0, backoff * 2^(attempt-1)]`.
+fn jittered_backoff(cfg: &HarnessConfig, attempt: u32, jitter: &mut u64) -> Duration {
+    let base = cfg.backoff.saturating_mul(1 << (attempt - 1).min(10));
+    if base.is_zero() {
+        return base;
+    }
+    splitmix64(jitter);
+    let nanos = base.as_nanos().min(u128::from(u64::MAX)) as u64;
+    // `nanos + 1` keeps the draw inclusive of the full doubled base.
+    Duration::from_nanos(*jitter % nanos.saturating_add(1))
 }
 
 /// How one isolated case ended.
@@ -69,7 +127,11 @@ pub enum CaseOutcome<T> {
         message: String,
     },
     /// Every attempt exceeded the wall-clock budget.
-    TimedOut,
+    TimedOut {
+        /// Worker threads this case leaked (one per timed-out attempt;
+        /// they cannot be killed, only detached and counted).
+        abandoned: u32,
+    },
 }
 
 impl<T> CaseOutcome<T> {
@@ -107,6 +169,12 @@ pub struct CampaignReport {
     pub faulted: u64,
     /// Exhausted retries on the wall clock.
     pub timed_out: u64,
+    /// Attempt threads leaked to timeouts across the campaign's cases
+    /// (not a fifth outcome class: a single timed-out case with retries
+    /// can abandon several threads, and they stay parked until the
+    /// process exits — this field is what makes a hang-storm visible).
+    #[serde(default)]
+    pub abandoned_threads: u64,
 }
 
 impl CampaignReport {
@@ -117,7 +185,10 @@ impl CampaignReport {
             CaseOutcome::Completed(_) => self.completed += 1,
             CaseOutcome::Recovered { .. } => self.recovered += 1,
             CaseOutcome::Faulted { .. } => self.faulted += 1,
-            CaseOutcome::TimedOut => self.timed_out += 1,
+            CaseOutcome::TimedOut { abandoned } => {
+                self.timed_out += 1;
+                self.abandoned_threads += u64::from(*abandoned);
+            }
         }
     }
 
@@ -128,6 +199,7 @@ impl CampaignReport {
         self.recovered += other.recovered;
         self.faulted += other.faulted;
         self.timed_out += other.timed_out;
+        self.abandoned_threads += other.abandoned_threads;
     }
 
     /// Whether the outcome classes account for every case.
@@ -176,6 +248,18 @@ where
 {
     let case = Arc::new(case);
     let mut attempt: u32 = 0;
+    let mut abandoned: u32 = 0;
+    // Full-jitter state: a pinned seed makes retry pacing reproducible;
+    // otherwise each call derives entropy from the monotonic clock so
+    // concurrent workers retrying the same failure decorrelate.
+    let mut jitter = cfg.jitter_seed.unwrap_or_else(|| {
+        static EPOCH_MIX: AtomicU64 = AtomicU64::new(0);
+        let nonce = EPOCH_MIX.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos() as u64);
+        nanos ^ (nonce << 32) ^ nonce
+    });
     loop {
         attempt += 1;
         let (tx, rx) = mpsc::channel();
@@ -209,13 +293,19 @@ where
                         message: panic_message(payload),
                     }
                 }
-                Err(_) => CaseOutcome::TimedOut, // thread leaks, detached
+                Err(_) => {
+                    // The thread leaks, detached — count it everywhere
+                    // a hang-storm could be observed from.
+                    abandoned += 1;
+                    ABANDONED_THREADS.fetch_add(1, Ordering::Relaxed);
+                    CaseOutcome::TimedOut { abandoned }
+                }
             },
         };
         if attempt > cfg.retries {
             return last_failure;
         }
-        thread::sleep(cfg.backoff.saturating_mul(1 << (attempt - 1).min(10)));
+        thread::sleep(jittered_backoff(cfg, attempt, &mut jitter));
     }
 }
 
@@ -229,6 +319,7 @@ mod tests {
             timeout: Duration::from_millis(250),
             retries: 1,
             backoff: Duration::from_millis(1),
+            jitter_seed: Some(42),
         }
     }
 
@@ -248,11 +339,18 @@ mod tests {
     }
 
     #[test]
-    fn hung_case_times_out() {
+    fn hung_case_times_out_and_counts_abandoned_threads() {
+        let before = abandoned_threads();
         let out: CaseOutcome<()> = run_case(&quick(), || loop {
             thread::sleep(Duration::from_millis(50));
         });
-        assert!(matches!(out, CaseOutcome::TimedOut));
+        // retries = 1, so both attempts hang and leak one thread each.
+        assert!(matches!(out, CaseOutcome::TimedOut { abandoned: 2 }));
+        assert!(abandoned_threads() >= before + 2);
+        let mut report = CampaignReport::default();
+        report.record(&out);
+        assert_eq!(report.abandoned_threads, 2);
+        assert!(report.reconciles());
     }
 
     #[test]
@@ -281,16 +379,49 @@ mod tests {
             value: 2,
             attempts: 2,
         });
-        report.record::<u8>(&CaseOutcome::TimedOut);
+        report.record::<u8>(&CaseOutcome::TimedOut { abandoned: 3 });
         report.record::<u8>(&CaseOutcome::Faulted {
             message: "x".into(),
         });
         assert!(report.reconciles());
         assert!(!report.all_succeeded());
+        assert_eq!(report.abandoned_threads, 3);
         let mut total = CampaignReport::default();
         total.merge(&report);
         total.merge(&report);
         assert_eq!(total.total, 8);
+        assert_eq!(total.abandoned_threads, 6);
         assert!(total.reconciles());
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_under_a_seed_and_bounded() {
+        let cfg = HarnessConfig {
+            timeout: Duration::from_millis(250),
+            retries: 4,
+            backoff: Duration::from_millis(8),
+            jitter_seed: Some(7),
+        };
+        let draw = |seed: u64| {
+            let mut state = seed;
+            (1..=4u32)
+                .map(|attempt| jittered_backoff(&cfg, attempt, &mut state))
+                .collect::<Vec<_>>()
+        };
+        // Same seed, same schedule; a different seed decorrelates.
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+        // Full jitter: every draw stays within the doubled base.
+        for (i, d) in draw(7).into_iter().enumerate() {
+            let cap = cfg.backoff * (1 << i as u32);
+            assert!(d <= cap, "attempt {}: {d:?} > {cap:?}", i + 1);
+        }
+        // Zero base backoff never sleeps (and never divides by zero).
+        let zero = HarnessConfig {
+            backoff: Duration::ZERO,
+            ..cfg
+        };
+        let mut state = 1;
+        assert_eq!(jittered_backoff(&zero, 1, &mut state), Duration::ZERO);
     }
 }

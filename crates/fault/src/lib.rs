@@ -54,6 +54,6 @@ pub mod harness;
 pub mod plan;
 pub mod recover;
 
-pub use harness::{run_case, CampaignReport, CaseOutcome, HarnessConfig};
+pub use harness::{abandoned_threads, run_case, CampaignReport, CaseOutcome, HarnessConfig};
 pub use plan::{FaultPlan, InjectionCounts, SeededFaults, StuckAt};
 pub use recover::{run_with_recovery, RecoveryConfig, RecoveryOutcome};

@@ -1,0 +1,547 @@
+//! Wire types for the job service: what a job *is*, and how requests
+//! and responses render to/from the [`crate::json::Value`] document
+//! model.
+//!
+//! A job is (kernel | generated program) × strategy × machine ×
+//! optional fault plan. Parsing is strict about types but lenient about
+//! omissions — every knob has a service-side default — and every parse
+//! error is a human-readable message that surfaces as an HTTP 400.
+
+use crate::json::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Where the job's program comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// One of the paper's six kernels (`sad`, `dct-row`, `dct-col`,
+    /// `dct-mac`, `color`, `vbr`), compiled for the job's machine.
+    Kernel {
+        /// Kernel name.
+        name: String,
+    },
+    /// A seeded random program from `vsp_check::gen_program`
+    /// (hazard-free by construction, so every tier accepts it).
+    Generated {
+        /// Generator seed.
+        seed: u64,
+        /// Instruction words before the final halt.
+        words: u32,
+    },
+}
+
+/// Optional seeded transient-fault injection for the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Transient flip rate in parts per million of exposed reads.
+    pub rate_ppm: u32,
+}
+
+/// Chaos hooks for the end-to-end robustness tests: a job that
+/// deliberately misbehaves inside the worker cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Chaos {
+    /// Panics on every attempt (the harness must contain it).
+    Panic,
+    /// Sleeps past the watchdog on every attempt (the harness must
+    /// abandon it).
+    Hang,
+    /// Panics on the first attempt, succeeds on retry.
+    Flaky,
+}
+
+impl Chaos {
+    fn parse(s: &str) -> Result<Chaos, String> {
+        match s {
+            "panic" => Ok(Chaos::Panic),
+            "hang" => Ok(Chaos::Hang),
+            "flaky" => Ok(Chaos::Flaky),
+            other => Err(format!("unknown chaos mode {other:?}")),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Chaos::Panic => "panic",
+            Chaos::Hang => "hang",
+            Chaos::Flaky => "flaky",
+        }
+    }
+}
+
+/// One job, fully specified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Program source.
+    pub source: Source,
+    /// Named strategy from `vsp_kernels::strategies::catalog()`, or
+    /// `None` for the standard runnable list-schedule recipe. Only
+    /// meaningful for kernel sources.
+    pub strategy: Option<String>,
+    /// Machine model name (`vsp_core::models::by_name`).
+    pub machine: String,
+    /// Optional fault injection (routes the job off the functional
+    /// tier, which refuses fault requests by design).
+    pub fault: Option<FaultSpec>,
+    /// Cycle budget per run.
+    pub max_cycles: u64,
+    /// Lanes to execute; `> 1` selects the SoA batch tier for
+    /// refusal-class jobs.
+    pub runs: u32,
+    /// Forces the load-shed path for this job (tests and drain-mode
+    /// ops): the response degrades to the analytic estimate.
+    pub force_shed: bool,
+    /// Chaos hook (tests only).
+    pub chaos: Option<Chaos>,
+}
+
+impl JobSpec {
+    /// A kernel job with every knob at its default.
+    #[must_use]
+    pub fn kernel(name: &str, machine: &str) -> Self {
+        JobSpec {
+            source: Source::Kernel {
+                name: name.to_string(),
+            },
+            strategy: None,
+            machine: machine.to_string(),
+            fault: None,
+            max_cycles: 2_000_000,
+            runs: 1,
+            force_shed: false,
+            chaos: None,
+        }
+    }
+
+    /// A generated-program job with every knob at its default.
+    #[must_use]
+    pub fn generated(seed: u64, words: u32, machine: &str) -> Self {
+        JobSpec {
+            source: Source::Generated { seed, words },
+            ..JobSpec::kernel("", machine)
+        }
+    }
+
+    /// Content address of the artifact this job needs: a hash over
+    /// (program source, strategy, machine). Two jobs with equal keys
+    /// compile to the identical program on the identical machine, so
+    /// they share one cache slot (and, concurrently, one compile).
+    #[must_use]
+    pub fn cache_key(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.source.hash(&mut h);
+        self.strategy.hash(&mut h);
+        self.machine.hash(&mut h);
+        h.finish()
+    }
+
+    /// Parses the `"job"` object of a submit request.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending field.
+    pub fn from_json(v: &Value) -> Result<JobSpec, String> {
+        let source = match (v.get("kernel"), v.get("program")) {
+            (Some(k), None) => Source::Kernel {
+                name: k.as_str().ok_or("job.kernel must be a string")?.to_string(),
+            },
+            (None, Some(p)) => Source::Generated {
+                seed: p
+                    .get("seed")
+                    .and_then(Value::as_u64)
+                    .ok_or("job.program.seed must be a non-negative integer")?,
+                words: p.get("words").and_then(Value::as_u64).map_or(Ok(24), |w| {
+                    u32::try_from(w).map_err(|_| "job.program.words too large")
+                })?,
+            },
+            (Some(_), Some(_)) => return Err("job has both kernel and program".into()),
+            (None, None) => return Err("job needs a kernel or a program".into()),
+        };
+        let strategy = match v.get("strategy") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(
+                s.as_str()
+                    .ok_or("job.strategy must be a string")?
+                    .to_string(),
+            ),
+        };
+        let machine = v
+            .get("machine")
+            .and_then(Value::as_str)
+            .ok_or("job.machine must be a string")?
+            .to_string();
+        let fault = match v.get("fault") {
+            None | Some(Value::Null) => None,
+            Some(f) => Some(FaultSpec {
+                seed: f.get("seed").and_then(Value::as_u64).unwrap_or(0),
+                rate_ppm: f
+                    .get("rate_ppm")
+                    .and_then(Value::as_u64)
+                    .map_or(Ok(0), |r| {
+                        u32::try_from(r).map_err(|_| "job.fault.rate_ppm too large")
+                    })?,
+            }),
+        };
+        let max_cycles = v
+            .get("max_cycles")
+            .and_then(Value::as_u64)
+            .unwrap_or(2_000_000);
+        let runs = v.get("runs").and_then(Value::as_u64).map_or(Ok(1), |r| {
+            u32::try_from(r.max(1)).map_err(|_| "job.runs too large")
+        })?;
+        let force_shed = v
+            .get("force_shed")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let chaos = match v.get("chaos") {
+            None | Some(Value::Null) => None,
+            Some(c) => Some(Chaos::parse(
+                c.as_str().ok_or("job.chaos must be a string")?,
+            )?),
+        };
+        Ok(JobSpec {
+            source,
+            strategy,
+            machine,
+            fault,
+            max_cycles,
+            runs,
+            force_shed,
+            chaos,
+        })
+    }
+
+    /// Renders the spec back to its wire form (the client uses this).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        match &self.source {
+            Source::Kernel { name } => {
+                fields.push(("kernel".into(), Value::Str(name.clone())));
+            }
+            Source::Generated { seed, words } => {
+                fields.push((
+                    "program".into(),
+                    Value::obj([
+                        ("seed", Value::Int(*seed as i64)),
+                        ("words", Value::Int(i64::from(*words))),
+                    ]),
+                ));
+            }
+        }
+        if let Some(s) = &self.strategy {
+            fields.push(("strategy".into(), Value::Str(s.clone())));
+        }
+        fields.push(("machine".into(), Value::Str(self.machine.clone())));
+        if let Some(f) = self.fault {
+            fields.push((
+                "fault".into(),
+                Value::obj([
+                    ("seed", Value::Int(f.seed as i64)),
+                    ("rate_ppm", Value::Int(i64::from(f.rate_ppm))),
+                ]),
+            ));
+        }
+        fields.push(("max_cycles".into(), Value::Int(self.max_cycles as i64)));
+        fields.push(("runs".into(), Value::Int(i64::from(self.runs))));
+        if self.force_shed {
+            fields.push(("force_shed".into(), Value::Bool(true)));
+        }
+        if let Some(c) = self.chaos {
+            fields.push(("chaos".into(), Value::Str(c.label().into())));
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// Which tier answered a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Lowered-trace functional execution.
+    Functional,
+    /// SoA lockstep batch engine.
+    Batch,
+    /// Cycle-accurate simulator.
+    CycleAccurate,
+    /// Analytic schedule estimate (load-shed degradation, or a
+    /// strategy whose artifact is not runnable).
+    Estimate,
+}
+
+impl Tier {
+    /// Stable label (metrics and wire).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Functional => "functional",
+            Tier::Batch => "batch",
+            Tier::CycleAccurate => "cycle-accurate",
+            Tier::Estimate => "estimate",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "functional" => Some(Tier::Functional),
+            "batch" => Some(Tier::Batch),
+            "cycle-accurate" => Some(Tier::CycleAccurate),
+            "estimate" => Some(Tier::Estimate),
+            _ => None,
+        }
+    }
+}
+
+/// `RunStats` summary carried on cycle-accurate and batch responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSummary {
+    /// Total cycles (including stalls).
+    pub cycles: u64,
+    /// Instruction words issued.
+    pub words: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Instruction-cache stall cycles.
+    pub icache_stall_cycles: u64,
+    /// Content digest of the *full* `RunStats` (hex), for bit-identity
+    /// assertions without shipping the whole structure.
+    pub digest: String,
+}
+
+/// Analytic estimate carried on degraded (and estimate-tier) responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstimateSummary {
+    /// Estimated cycles.
+    pub cycles: u64,
+    /// Initiation interval, for software pipelines.
+    pub ii: Option<u64>,
+    /// Schedule length.
+    pub length: Option<u64>,
+    /// Trip count the estimate assumed.
+    pub trips: Option<u64>,
+}
+
+/// The completed-job payload of a `/result` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Tier that produced the answer.
+    pub tier: Tier,
+    /// True when load-shed pressure (or `force_shed`) downgraded a
+    /// runnable job to the analytic estimate.
+    pub degraded: bool,
+    /// True when the artifact came out of the content-addressed cache.
+    pub cache_hit: bool,
+    /// Functional-tier refusal label when the job was routed to a
+    /// heavier tier (`data_dependent_control`, `fault_injection`, …).
+    pub refusal: Option<String>,
+    /// Cycles of the run (or the estimate).
+    pub cycles: u64,
+    /// Whether the program committed a halt (estimates report `true`).
+    pub halted: bool,
+    /// Content digest of the final `ArchState` (hex), absent on the
+    /// estimate tier.
+    pub state_digest: Option<String>,
+    /// `RunStats` summary (cycle-accurate and batch tiers only).
+    pub stats: Option<StatsSummary>,
+    /// Analytic estimate, when one was computed.
+    pub estimate: Option<EstimateSummary>,
+    /// Harness attempts the job took (≥ 2 means it recovered).
+    pub attempts: u32,
+}
+
+impl JobOutcome {
+    /// Renders the outcome to its wire form.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("tier".into(), Value::Str(self.tier.label().into())),
+            ("degraded".into(), Value::Bool(self.degraded)),
+            ("cache".into(), {
+                Value::Str(if self.cache_hit { "hit" } else { "miss" }.into())
+            }),
+            ("cycles".into(), Value::Int(self.cycles as i64)),
+            ("halted".into(), Value::Bool(self.halted)),
+            ("attempts".into(), Value::Int(i64::from(self.attempts))),
+        ];
+        if let Some(r) = &self.refusal {
+            fields.push(("refusal".into(), Value::Str(r.clone())));
+        }
+        if let Some(d) = &self.state_digest {
+            fields.push(("state_digest".into(), Value::Str(d.clone())));
+        }
+        if let Some(s) = &self.stats {
+            fields.push((
+                "stats".into(),
+                Value::obj([
+                    ("cycles", Value::Int(s.cycles as i64)),
+                    ("words", Value::Int(s.words as i64)),
+                    ("taken_branches", Value::Int(s.taken_branches as i64)),
+                    (
+                        "icache_stall_cycles",
+                        Value::Int(s.icache_stall_cycles as i64),
+                    ),
+                    ("digest", Value::Str(s.digest.clone())),
+                ]),
+            ));
+        }
+        if let Some(e) = &self.estimate {
+            let opt = |o: Option<u64>| o.map_or(Value::Null, |n| Value::Int(n as i64));
+            fields.push((
+                "estimate".into(),
+                Value::obj([
+                    ("cycles", Value::Int(e.cycles as i64)),
+                    ("ii", opt(e.ii)),
+                    ("length", opt(e.length)),
+                    ("trips", opt(e.trips)),
+                ]),
+            ));
+        }
+        Value::Obj(fields)
+    }
+
+    /// Parses an outcome from its wire form (the client uses this).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or mistyped field.
+    pub fn from_json(v: &Value) -> Result<JobOutcome, String> {
+        let tier = v
+            .get("tier")
+            .and_then(Value::as_str)
+            .and_then(Tier::parse)
+            .ok_or("outcome.tier missing or unknown")?;
+        let stats = match v.get("stats") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(StatsSummary {
+                cycles: s.get("cycles").and_then(Value::as_u64).unwrap_or(0),
+                words: s.get("words").and_then(Value::as_u64).unwrap_or(0),
+                taken_branches: s.get("taken_branches").and_then(Value::as_u64).unwrap_or(0),
+                icache_stall_cycles: s
+                    .get("icache_stall_cycles")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                digest: s
+                    .get("digest")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+        };
+        let estimate = match v.get("estimate") {
+            None | Some(Value::Null) => None,
+            Some(e) => Some(EstimateSummary {
+                cycles: e.get("cycles").and_then(Value::as_u64).unwrap_or(0),
+                ii: e.get("ii").and_then(Value::as_u64),
+                length: e.get("length").and_then(Value::as_u64),
+                trips: e.get("trips").and_then(Value::as_u64),
+            }),
+        };
+        Ok(JobOutcome {
+            tier,
+            degraded: v.get("degraded").and_then(Value::as_bool).unwrap_or(false),
+            cache_hit: v.get("cache").and_then(Value::as_str) == Some("hit"),
+            refusal: v.get("refusal").and_then(Value::as_str).map(str::to_string),
+            cycles: v.get("cycles").and_then(Value::as_u64).unwrap_or(0),
+            halted: v.get("halted").and_then(Value::as_bool).unwrap_or(false),
+            state_digest: v
+                .get("state_digest")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            stats,
+            estimate,
+            attempts: v
+                .get("attempts")
+                .and_then(Value::as_u64)
+                .map_or(1, |a| u32::try_from(a).unwrap_or(u32::MAX)),
+        })
+    }
+}
+
+/// Content digest of any `Debug`-renderable value: a `DefaultHasher`
+/// over the full debug rendering, hex-encoded. The same deterministic
+/// fingerprint the eval engine uses for memoization keys — good enough
+/// for bit-identity assertions, cheap enough to compute per job.
+#[must_use]
+pub fn digest<T: std::fmt::Debug>(value: &T) -> String {
+    let mut h = DefaultHasher::new();
+    format!("{value:?}").hash(&mut h);
+    format!("{:016x}", h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let mut spec = JobSpec::kernel("sad", "i4c8s4");
+        spec.strategy = Some("seq/baseline".into());
+        spec.fault = Some(FaultSpec {
+            seed: 7,
+            rate_ppm: 100,
+        });
+        spec.runs = 4;
+        spec.force_shed = true;
+        spec.chaos = Some(Chaos::Flaky);
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        let gen = JobSpec::generated(9, 32, "i2c16s4");
+        assert_eq!(JobSpec::from_json(&gen.to_json()).unwrap(), gen);
+    }
+
+    #[test]
+    fn cache_key_ignores_run_knobs_but_not_identity() {
+        let a = JobSpec::kernel("sad", "i4c8s4");
+        let mut b = a.clone();
+        b.max_cycles = 1;
+        b.runs = 9;
+        b.force_shed = true;
+        assert_eq!(a.cache_key(), b.cache_key());
+        let mut c = a.clone();
+        c.machine = "i2c16s4".into();
+        assert_ne!(a.cache_key(), c.cache_key());
+        let mut d = a.clone();
+        d.strategy = Some("seq/baseline".into());
+        assert_ne!(a.cache_key(), d.cache_key());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_field_names() {
+        let err =
+            JobSpec::from_json(&Value::parse(r#"{"machine":"i4c8s4"}"#).unwrap()).unwrap_err();
+        assert!(err.contains("kernel or a program"), "{err}");
+        let err = JobSpec::from_json(&Value::parse(r#"{"kernel":"sad"}"#).unwrap()).unwrap_err();
+        assert!(err.contains("job.machine"), "{err}");
+    }
+
+    #[test]
+    fn outcome_round_trips_through_json() {
+        let outcome = JobOutcome {
+            tier: Tier::CycleAccurate,
+            degraded: false,
+            cache_hit: true,
+            refusal: Some("fault_injection".into()),
+            cycles: 1234,
+            halted: true,
+            state_digest: Some("00ff".into()),
+            stats: Some(StatsSummary {
+                cycles: 1234,
+                words: 1200,
+                taken_branches: 17,
+                icache_stall_cycles: 34,
+                digest: "abcd".into(),
+            }),
+            estimate: Some(EstimateSummary {
+                cycles: 1100,
+                ii: Some(4),
+                length: Some(12),
+                trips: Some(64),
+            }),
+            attempts: 2,
+        };
+        let back = JobOutcome::from_json(&outcome.to_json()).unwrap();
+        assert_eq!(back, outcome);
+    }
+}

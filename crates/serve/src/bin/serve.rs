@@ -1,0 +1,141 @@
+//! The `serve` binary: run the job service, or smoke-test it.
+//!
+//! ```text
+//! serve [--port N] [--workers N]   # serve until POST /shutdown
+//! serve --smoke                    # self-contained end-to-end check
+//! ```
+//!
+//! `--smoke` is what CI runs: an ephemeral server, a functional-tier
+//! kernel job, a refusal-routed fault job, a resubmit that must hit the
+//! artifact cache, a `/metricsz` scrape checked for the `vsp_serve_*`
+//! family, and a clean shutdown. Exit 0 on success, 1 with a message on
+//! any failure.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use vsp_serve::{Client, JobSpec, ServeConfig, Server};
+
+fn main() -> ExitCode {
+    let mut port: u16 = 0;
+    let mut workers: usize = 2;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(p) => port = p,
+                None => return usage("--port needs a number"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(w) => workers = w,
+                None => return usage("--workers needs a number"),
+            },
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!("usage: serve [--port N] [--workers N] [--smoke]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let cfg = ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        workers,
+        ..ServeConfig::default()
+    };
+    if smoke {
+        return match run_smoke(cfg) {
+            Ok(()) => {
+                println!("serve smoke: OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve smoke: FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match Server::start(cfg) {
+        Ok(server) => {
+            println!("vsp-serve listening on {}", server.addr());
+            server.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}\nusage: serve [--port N] [--workers N] [--smoke]");
+    ExitCode::FAILURE
+}
+
+/// The CI smoke sequence. Each step names itself in its error.
+fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
+    let wait = Duration::from_secs(60);
+    let server = Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
+    let client = Client::new(server.addr());
+
+    // 1. A kernel job answers on the functional tier.
+    let spec = JobSpec::kernel("sad", "i4c8s4");
+    let id = client
+        .submit("smoke", &spec)
+        .map_err(|e| format!("submit kernel job: {e}"))?;
+    let out = client
+        .wait_done(id, wait)
+        .map_err(|e| format!("kernel job: {e}"))?;
+    if out.tier.label() != "functional" || !out.halted {
+        return Err(format!("kernel job answered oddly: {out:?}"));
+    }
+
+    // 2. A fault job is refused by the functional tier and routed to
+    //    the cycle-accurate simulator.
+    let mut fault = JobSpec::kernel("sad", "i4c8s4");
+    fault.fault = Some(vsp_serve::FaultSpec {
+        seed: 1,
+        rate_ppm: 0,
+    });
+    let id = client
+        .submit("smoke", &fault)
+        .map_err(|e| format!("submit fault job: {e}"))?;
+    let out = client
+        .wait_done(id, wait)
+        .map_err(|e| format!("fault job: {e}"))?;
+    if out.refusal.as_deref() != Some("fault_injection") || out.tier.label() != "cycle-accurate" {
+        return Err(format!("fault job did not route: {out:?}"));
+    }
+
+    // 3. Resubmitting the same spec hits the artifact cache.
+    let id = client
+        .submit("smoke", &spec)
+        .map_err(|e| format!("resubmit: {e}"))?;
+    let out = client
+        .wait_done(id, wait)
+        .map_err(|e| format!("resubmitted job: {e}"))?;
+    if !out.cache_hit {
+        return Err("resubmitted job missed the artifact cache".into());
+    }
+
+    // 4. /metricsz exports the vsp_serve_* family.
+    let metrics = client.metricsz().map_err(|e| format!("metricsz: {e}"))?;
+    for needle in [
+        "vsp_serve_jobs_total",
+        "vsp_serve_cache_total",
+        "vsp_serve_tier_total",
+        "vsp_serve_queue_depth",
+    ] {
+        if !metrics.contains(needle) {
+            return Err(format!("metricsz missing {needle}"));
+        }
+    }
+
+    // 5. Clean shutdown.
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    server.wait();
+    Ok(())
+}

@@ -1,0 +1,202 @@
+//! Content-addressed artifact cache with single-flight deduplication.
+//!
+//! Keys are content hashes (see `JobSpec::cache_key`); values are
+//! cheaply cloneable (the service stores `Arc<Artifact>`). When N
+//! threads ask for the same missing key concurrently, exactly one runs
+//! the build closure while the other N−1 block on a condvar and then
+//! share the result — the property the single-flight tests pin
+//! (compile counter = 1, hits = N−1).
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+
+/// Slot state: a build in progress, or a finished value.
+enum Slot<V> {
+    Building,
+    Ready(V),
+}
+
+/// How a lookup was satisfied, for the service's cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// This call ran the build closure.
+    Built,
+    /// The value was already resident (or another thread's concurrent
+    /// build finished while this call waited).
+    Hit,
+}
+
+/// The single-flight cache.
+///
+/// ```
+/// use vsp_serve::cache::{CacheOutcome, SingleFlight};
+/// let cache: SingleFlight<u32> = SingleFlight::new();
+/// let (v, how) = cache.get_or_build(7, || Ok::<_, ()>(42)).unwrap();
+/// assert_eq!((v, how), (42, CacheOutcome::Built));
+/// let (v, how) = cache.get_or_build(7, || Ok::<_, ()>(unreachable!())).unwrap();
+/// assert_eq!((v, how), (42, CacheOutcome::Hit));
+/// ```
+#[derive(Default)]
+pub struct SingleFlight<V> {
+    slots: Mutex<HashMap<u64, Slot<V>>>,
+    cv: Condvar,
+}
+
+/// Removes a `Building` slot if its owner unwinds or errors, waking
+/// waiters so one of them can take over the build.
+struct BuildGuard<'a, V> {
+    cache: &'a SingleFlight<V>,
+    key: u64,
+    armed: bool,
+}
+
+impl<V> Drop for BuildGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut slots) = self.cache.slots.lock() {
+                slots.remove(&self.key);
+            }
+            self.cache.cv.notify_all();
+        }
+    }
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight {
+            slots: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of finished entries resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("cache poisoned")
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// True when no finished entry is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached value for `key`, building it with `build` if
+    /// absent. Concurrent calls for one key share a single build; a
+    /// failed (or panicking) build releases the slot so the next caller
+    /// retries instead of deadlocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the build closure's error (never cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    pub fn get_or_build<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, CacheOutcome), E> {
+        {
+            let mut slots = self.slots.lock().expect("cache poisoned");
+            loop {
+                match slots.get(&key) {
+                    Some(Slot::Ready(v)) => return Ok((v.clone(), CacheOutcome::Hit)),
+                    Some(Slot::Building) => {
+                        slots = self.cv.wait(slots).expect("cache poisoned");
+                    }
+                    None => {
+                        slots.insert(key, Slot::Building);
+                        break;
+                    }
+                }
+            }
+        }
+        // Build outside the lock; the guard releases the slot on any
+        // non-success exit (error return or panic inside `build`).
+        let mut guard = BuildGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let value = build()?;
+        guard.armed = false;
+        drop(guard);
+        let mut slots = self.slots.lock().expect("cache poisoned");
+        slots.insert(key, Slot::Ready(value.clone()));
+        drop(slots);
+        self.cv.notify_all();
+        Ok((value, CacheOutcome::Built))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_identical_lookups_build_once() {
+        let cache: Arc<SingleFlight<u64>> = Arc::new(SingleFlight::new());
+        let builds = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let builds = Arc::clone(&builds);
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .get_or_build(1, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so waiters actually wait.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok::<_, ()>(99)
+                    })
+                    .unwrap()
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert!(results.iter().all(|&(v, _)| v == 99));
+        let built = results
+            .iter()
+            .filter(|&&(_, o)| o == CacheOutcome::Built)
+            .count();
+        assert_eq!(built, 1, "exactly one caller builds; the rest hit");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failed_build_is_not_cached_and_releases_waiters() {
+        let cache: SingleFlight<u64> = SingleFlight::new();
+        assert!(cache.get_or_build(1, || Err::<u64, _>("nope")).is_err());
+        // The slot is free again: the next caller builds successfully.
+        let (v, o) = cache.get_or_build(1, || Ok::<_, ()>(5)).unwrap();
+        assert_eq!((v, o), (5, CacheOutcome::Built));
+    }
+
+    #[test]
+    fn panicking_build_releases_the_slot() {
+        let cache: SingleFlight<u64> = SingleFlight::new();
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            let _ = cache.get_or_build(3, || -> Result<u64, ()> { panic!("compile died") });
+        }));
+        assert!(boom.is_err());
+        let (v, o) = cache.get_or_build(3, || Ok::<_, ()>(8)).unwrap();
+        assert_eq!((v, o), (8, CacheOutcome::Built));
+        assert!(!cache.is_empty());
+    }
+}

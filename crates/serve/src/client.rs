@@ -1,0 +1,299 @@
+//! In-process client for the job service.
+//!
+//! One `TcpStream` per request (the server is `Connection: close`), so
+//! the client is `Clone + Send` with no pooled state — tests hammer the
+//! service from many threads with plain clones.
+
+use crate::api::{JobOutcome, JobSpec};
+use crate::json::Value;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A parsed wire response: (status, lowercased headers, body).
+type RawResponse = (u16, Vec<(String, String)>, String);
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The service refused admission (HTTP 429 or 503).
+    Rejected {
+        /// HTTP status.
+        status: u16,
+        /// Machine-readable reason (`queue_full` / `quota`), when the
+        /// body carried one.
+        reason: String,
+        /// `Retry-After` hint in seconds, when present.
+        retry_after: Option<u64>,
+    },
+    /// The job reached a terminal failure state.
+    Failed {
+        /// Failure class (`panic`, `timeout`, `expired`, `compile`, …).
+        reason: String,
+        /// Human-readable detail.
+        error: String,
+    },
+    /// The response did not parse, or an unexpected status came back.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Rejected {
+                status,
+                reason,
+                retry_after,
+            } => write!(
+                f,
+                "rejected ({status} {reason}, retry after {retry_after:?}s)"
+            ),
+            ClientError::Failed { reason, error } => write!(f, "job failed ({reason}): {error}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A `/result` response before it goes terminal.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// `queued` / `running` / `done` / `failed` / `expired`.
+    pub state: String,
+    /// The outcome, once `done`.
+    pub outcome: Option<JobOutcome>,
+    /// Failure detail, once `failed`.
+    pub error: Option<String>,
+}
+
+/// HTTP client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the service at `addr`.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(90),
+        }
+    }
+
+    /// Submits a job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] carries the service's backpressure
+    /// verdict (with its `Retry-After` hint); bad specs surface as
+    /// [`ClientError::Protocol`].
+    pub fn submit(&self, tenant: &str, spec: &JobSpec) -> Result<u64, ClientError> {
+        self.submit_with_deadline(tenant, spec, None)
+    }
+
+    /// Submits a job with an explicit deadline budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Client::submit).
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        spec: &JobSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, ClientError> {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("tenant".into(), Value::Str(tenant.to_string())),
+            ("job".into(), spec.to_json()),
+        ];
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms".into(), Value::Int(ms as i64)));
+        }
+        let body = Value::Obj(fields).to_string();
+        let (status, headers, text) = self.request("POST", "/submit", Some(&body))?;
+        let doc = Value::parse(&text)
+            .map_err(|e| ClientError::Protocol(format!("submit response: {e}")))?;
+        match status {
+            202 => doc
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ClientError::Protocol("submit response missing id".into())),
+            429 | 503 => Err(ClientError::Rejected {
+                status,
+                reason: doc
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                retry_after: headers
+                    .iter()
+                    .find(|(k, _)| k == "retry-after")
+                    .and_then(|(_, v)| v.parse().ok()),
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "submit returned {other}: {text}"
+            ))),
+        }
+    }
+
+    /// Fetches job state, long-polling the service up to `wait`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on unknown ids or malformed bodies.
+    pub fn result(&self, id: u64, wait: Duration) -> Result<JobStatus, ClientError> {
+        let path = format!("/result/{id}?wait_ms={}", wait.as_millis());
+        let (status, _, text) = self.request("GET", &path, None)?;
+        if status == 404 {
+            return Err(ClientError::Protocol(format!("unknown job {id}")));
+        }
+        let doc = Value::parse(&text)
+            .map_err(|e| ClientError::Protocol(format!("result response: {e}")))?;
+        let state = doc
+            .get("state")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ClientError::Protocol("result missing state".into()))?
+            .to_string();
+        let outcome = match doc.get("outcome") {
+            Some(o) => Some(JobOutcome::from_json(o).map_err(ClientError::Protocol)?),
+            None => None,
+        };
+        let error = doc.get("error").and_then(Value::as_str).map(str::to_string);
+        Ok(JobStatus {
+            id,
+            state,
+            outcome,
+            error,
+        })
+    }
+
+    /// Blocks until the job goes terminal (bounded by `total`), then
+    /// returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Failed`] for terminal failures (with the
+    /// service's reason), [`ClientError::Protocol`] when `total`
+    /// elapses first.
+    pub fn wait_done(&self, id: u64, total: Duration) -> Result<JobOutcome, ClientError> {
+        let deadline = Instant::now() + total;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ClientError::Protocol(format!(
+                    "job {id} still pending after {total:?}"
+                )));
+            }
+            let status = self.result(id, left.min(Duration::from_secs(5)))?;
+            match status.state.as_str() {
+                "done" => {
+                    return status.outcome.ok_or_else(|| {
+                        ClientError::Protocol("done response missing outcome".into())
+                    })
+                }
+                "failed" | "expired" => {
+                    return Err(ClientError::Failed {
+                        reason: status.state,
+                        error: status.error.unwrap_or_default(),
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Service liveness and queue depth.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on a non-200 or malformed body.
+    pub fn healthz(&self) -> Result<Value, ClientError> {
+        let (status, _, text) = self.request("GET", "/healthz", None)?;
+        if status != 200 {
+            return Err(ClientError::Protocol(format!("healthz returned {status}")));
+        }
+        Value::parse(&text).map_err(|e| ClientError::Protocol(format!("healthz body: {e}")))
+    }
+
+    /// The Prometheus text exposition from `/metricsz`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on a non-200 status.
+    pub fn metricsz(&self) -> Result<String, ClientError> {
+        let (status, _, text) = self.request("GET", "/metricsz", None)?;
+        if status != 200 {
+            return Err(ClientError::Protocol(format!("metricsz returned {status}")));
+        }
+        Ok(text)
+    }
+
+    /// Asks the service to stop accepting and drain.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on a non-200 status.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        let (status, _, _) = self.request("POST", "/shutdown", None)?;
+        if status != 200 {
+            return Err(ClientError::Protocol(format!("shutdown returned {status}")));
+        }
+        Ok(())
+    }
+
+    /// One request, one connection: write, read to EOF, parse.
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<RawResponse, ClientError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let body = body.unwrap_or("");
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nhost: vsp-serve\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes())?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        let text = String::from_utf8_lossy(&raw);
+        let header_end = text
+            .find("\r\n\r\n")
+            .ok_or_else(|| ClientError::Protocol("response missing header terminator".into()))?;
+        let head = &text[..header_end];
+        let body = text[header_end + 4..].to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+        let headers = lines
+            .filter_map(|line| {
+                line.split_once(':')
+                    .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            })
+            .collect();
+        Ok((status, headers, body))
+    }
+}

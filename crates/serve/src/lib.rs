@@ -1,0 +1,58 @@
+//! vsp-serve: a hardened, multi-tenant simulation job service.
+//!
+//! The repo's execution tiers — functional, SoA batch, cycle-accurate —
+//! plus the analytic schedule estimate, packaged behind one HTTP/JSON
+//! surface that stays alive under hostile load. Everything is `std`:
+//! `std::net::TcpListener`, threads, condvars; no async runtime, no
+//! HTTP framework, no serde.
+//!
+//! The robustness contract, end to end:
+//!
+//! * **Admission** ([`admission`]) — a bounded queue (429 +
+//!   `Retry-After` when full) with per-tenant token buckets and fair
+//!   round-robin dequeue, so one flooding tenant cannot starve another.
+//! * **Isolation** ([`server`]) — every job runs inside a
+//!   `vsp_fault::run_case` cell: panics are contained, hangs are
+//!   abandoned by a watchdog (and counted), flaky jobs retry with
+//!   seeded full-jitter backoff.
+//! * **Degradation** ([`tiers`]) — the functional tier answers when it
+//!   can; its typed refusals route jobs to the batch or cycle-accurate
+//!   tiers; under load-shed the service returns the analytic
+//!   `CycleEstimate` marked `degraded` instead of erroring.
+//! * **Dedup** ([`cache`]) — artifacts are content-addressed by
+//!   (source, strategy, machine) with single-flight builds: N identical
+//!   concurrent jobs cost one compile.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vsp_serve::{Client, JobSpec, ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let client = Client::new(server.addr());
+//!
+//! let id = client.submit("docs", &JobSpec::kernel("sad", "i4c8s4")).unwrap();
+//! let outcome = client.wait_done(id, std::time::Duration::from_secs(30)).unwrap();
+//! assert!(outcome.halted);
+//!
+//! client.shutdown().unwrap();
+//! server.wait();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod tiers;
+
+pub use admission::{Admission, AdmissionConfig, Reject};
+pub use api::{Chaos, FaultSpec, JobOutcome, JobSpec, Source, Tier};
+pub use cache::{CacheOutcome, SingleFlight};
+pub use client::{Client, ClientError, JobStatus};
+pub use server::{ServeConfig, Server};

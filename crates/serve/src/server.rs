@@ -1,0 +1,640 @@
+//! The service: accept loop, admission, worker pool, job table.
+//!
+//! Request lifecycle (the same diagram ARCHITECTURE.md carries):
+//!
+//! ```text
+//! POST /submit ─▶ admission (bounded queue + per-tenant tokens)
+//!     │ 429 + Retry-After on pressure
+//!     ▼
+//! worker pool ─▶ deadline check ─▶ artifact cache (single-flight)
+//!     ▼
+//! vsp_fault::run_case cell (catch_unwind + watchdog + jittered retry)
+//!     └▶ tier ladder: shed→estimate · functional · batch · cycle-accurate
+//!     ▼
+//! job table ─▶ GET /result/<id> (long-poll) · /metricsz · /healthz
+//! ```
+//!
+//! Every worker cell is harness-isolated: a panicking job is contained,
+//! a hanging job is abandoned by the watchdog (and the leaked thread
+//! counted), a flaky job retries with full-jitter backoff — the service
+//! itself never goes down with a job.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::api::{Chaos, JobOutcome, JobSpec};
+use crate::cache::{CacheOutcome, SingleFlight};
+use crate::http::{read_request, Request, Response};
+use crate::json::Value;
+use crate::tiers::{build_artifact, execute_job, machine_for, Artifact};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use vsp_fault::{abandoned_threads, run_case, CaseOutcome, HarnessConfig};
+use vsp_metrics::{MetricsSnapshot, Recorder, SharedRegistry};
+
+/// Service tuning.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral loopback port).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission-control tuning (queue bound, tenant quotas).
+    pub admission: AdmissionConfig,
+    /// Queue depth at or above which admitted jobs run degraded
+    /// (analytic estimate instead of execution). `usize::MAX` disables
+    /// shedding.
+    pub shed_depth: usize,
+    /// Wall-clock watchdog per job attempt.
+    pub job_timeout: Duration,
+    /// Deadline applied when a submit carries none.
+    pub default_deadline: Duration,
+    /// Harness retries per job after a panic or timeout.
+    pub retries: u32,
+    /// Pinned jitter seed for retry backoff (tests); `None` derives
+    /// per-case entropy.
+    pub jitter_seed: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            admission: AdmissionConfig::default(),
+            shed_depth: usize::MAX,
+            job_timeout: Duration::from_secs(30),
+            default_deadline: Duration::from_secs(120),
+            retries: 1,
+            jitter_seed: None,
+        }
+    }
+}
+
+/// Terminal and transient states of one job.
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running,
+    Done(JobOutcome),
+    Failed { reason: &'static str, error: String },
+    Expired,
+}
+
+impl JobState {
+    fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed { .. } => "failed",
+            JobState::Expired => "expired",
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done(_) | JobState::Failed { .. } | JobState::Expired
+        )
+    }
+}
+
+struct JobRecord {
+    tenant: String,
+    state: JobState,
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: Arc<JobSpec>,
+    deadline: Instant,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Admission<QueuedJob>,
+    cache: SingleFlight<Arc<Artifact>>,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    jobs_cv: Condvar,
+    next_id: AtomicU64,
+    metrics: SharedRegistry,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn set_state(&self, id: u64, state: JobState) {
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        if let Some(rec) = jobs.get_mut(&id) {
+            rec.state = state;
+        }
+        drop(jobs);
+        self.jobs_cv.notify_all();
+    }
+
+    fn record_gauges(&self) {
+        let mut m = self.metrics.clone();
+        m.gauge("vsp_serve_queue_depth", &[], self.queue.depth() as f64);
+        m.gauge(
+            "vsp_fault_abandoned_threads",
+            &[],
+            abandoned_threads() as f64,
+        );
+    }
+}
+
+/// A running service instance.
+///
+/// Binds on [`ServeConfig::addr`], spawns the accept loop and the
+/// worker pool, and serves until [`shutdown`](Server::shutdown) (or an
+/// HTTP `POST /shutdown`). Tests drive it through
+/// [`Client`](crate::Client) on a loopback port.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Admission::new(cfg.admission),
+            cache: SingleFlight::new(),
+            jobs: Mutex::new(HashMap::new()),
+            jobs_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            metrics: SharedRegistry::new(),
+            stop: AtomicBool::new(false),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("vsp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("vsp-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time metrics (in-process tests; HTTP callers use
+    /// `/metricsz`).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.record_gauges();
+        self.shared.metrics.snapshot()
+    }
+
+    /// Blocks until the service stops (an HTTP `POST /shutdown`), then
+    /// joins every thread.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    /// Stops accepting, drains the queue, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = thread::Builder::new()
+                    .name("vsp-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(&mut stream) {
+        Ok(Some(req)) => route(&req, shared),
+        Ok(None) => return,
+        Err(e) => Response::json(
+            400,
+            &Value::obj([("error", Value::Str(format!("bad request: {e}")))]),
+        ),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/submit") => submit(req, shared),
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metricsz") => {
+            shared.record_gauges();
+            Response::text(200, shared.metrics.snapshot().to_prometheus())
+        }
+        ("POST", "/shutdown") => {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.queue.close();
+            Response::json(200, &Value::obj([("ok", Value::Bool(true))]))
+        }
+        ("GET", path) if path.starts_with("/status/") => status(req, shared),
+        ("GET", path) if path.starts_with("/result/") => result(req, shared),
+        _ => Response::json(
+            404,
+            &Value::obj([("error", Value::Str("no such route".into()))]),
+        ),
+    }
+}
+
+fn submit(req: &Request, shared: &Arc<Shared>) -> Response {
+    if shared.stop.load(Ordering::SeqCst) {
+        return Response::json(
+            503,
+            &Value::obj([("error", Value::Str("shutting down".into()))]),
+        );
+    }
+    let bad = |msg: String| Response::json(400, &Value::obj([("error", Value::Str(msg))]));
+    let doc = match Value::parse(&req.body) {
+        Ok(v) => v,
+        Err(e) => return bad(format!("invalid JSON: {e}")),
+    };
+    let tenant = doc
+        .get("tenant")
+        .and_then(Value::as_str)
+        .unwrap_or("anonymous")
+        .to_string();
+    let Some(job) = doc.get("job") else {
+        return bad("request needs a job object".into());
+    };
+    let spec = match JobSpec::from_json(job) {
+        Ok(s) => s,
+        Err(e) => return bad(e),
+    };
+    if let Err(e) = machine_for(&spec) {
+        return bad(e);
+    }
+    let deadline = doc
+        .get("deadline_ms")
+        .and_then(Value::as_u64)
+        .map_or(shared.cfg.default_deadline, Duration::from_millis);
+
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let queued = QueuedJob {
+        id,
+        spec: Arc::new(spec),
+        deadline: Instant::now() + deadline,
+    };
+    match shared.queue.submit(&tenant, queued) {
+        Ok(()) => {
+            shared.jobs.lock().expect("job table poisoned").insert(
+                id,
+                JobRecord {
+                    tenant,
+                    state: JobState::Queued,
+                },
+            );
+            shared.record_gauges();
+            Response::json(202, &Value::obj([("id", Value::Int(id as i64))]))
+        }
+        Err(reject) => {
+            let mut m = shared.metrics.clone();
+            m.add("vsp_serve_rejected_total", &[("reason", reject.label())], 1);
+            let secs = reject.retry_after().as_secs_f64().ceil().max(1.0) as u64;
+            Response::json(
+                429,
+                &Value::obj([
+                    ("error", Value::Str("admission refused".into())),
+                    ("reason", Value::Str(reject.label().into())),
+                    ("retry_after_s", Value::Int(secs as i64)),
+                ]),
+            )
+            .with_header("retry-after", secs.to_string())
+        }
+    }
+}
+
+fn job_doc(id: u64, rec: &JobRecord) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("id".into(), Value::Int(id as i64)),
+        ("tenant".into(), Value::Str(rec.tenant.clone())),
+        ("state".into(), Value::Str(rec.state.label().into())),
+    ];
+    match &rec.state {
+        JobState::Done(outcome) => fields.push(("outcome".into(), outcome.to_json())),
+        JobState::Failed { reason, error } => {
+            fields.push(("reason".into(), Value::Str((*reason).into())));
+            fields.push(("error".into(), Value::Str(error.clone())));
+        }
+        _ => {}
+    }
+    Value::Obj(fields)
+}
+
+fn parse_id(path: &str, prefix: &str) -> Option<u64> {
+    path.strip_prefix(prefix)?.parse().ok()
+}
+
+fn status(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(id) = parse_id(&req.path, "/status/") else {
+        return Response::json(400, &Value::obj([("error", Value::Str("bad id".into()))]));
+    };
+    let jobs = shared.jobs.lock().expect("job table poisoned");
+    match jobs.get(&id) {
+        Some(rec) => Response::json(200, &job_doc(id, rec)),
+        None => Response::json(
+            404,
+            &Value::obj([("error", Value::Str("unknown job".into()))]),
+        ),
+    }
+}
+
+fn result(req: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(id) = parse_id(&req.path, "/result/") else {
+        return Response::json(400, &Value::obj([("error", Value::Str("bad id".into()))]));
+    };
+    let wait = req
+        .query("wait_ms")
+        .and_then(|w| w.parse().ok())
+        .map_or(Duration::ZERO, Duration::from_millis)
+        .min(Duration::from_secs(60));
+    let deadline = Instant::now() + wait;
+    let mut jobs = shared.jobs.lock().expect("job table poisoned");
+    loop {
+        match jobs.get(&id) {
+            None => {
+                return Response::json(
+                    404,
+                    &Value::obj([("error", Value::Str("unknown job".into()))]),
+                )
+            }
+            Some(rec) if rec.state.terminal() => {
+                return Response::json(200, &job_doc(id, rec));
+            }
+            Some(rec) => {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Response::json(202, &job_doc(id, rec));
+                }
+                jobs = shared
+                    .jobs_cv
+                    .wait_timeout(jobs, left)
+                    .expect("job table poisoned")
+                    .0;
+            }
+        }
+    }
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let jobs = shared.jobs.lock().expect("job table poisoned").len();
+    Response::json(
+        200,
+        &Value::obj([
+            ("ok", Value::Bool(true)),
+            ("queue_depth", Value::Int(shared.queue.depth() as i64)),
+            ("workers", Value::Int(shared.cfg.workers as i64)),
+            ("jobs", Value::Int(jobs as i64)),
+        ]),
+    )
+}
+
+/// One worker: dequeue → deadline → cache → harness-isolated ladder.
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut m = shared.metrics.clone();
+    loop {
+        let Some(job) = shared.queue.pop(Duration::from_millis(50)) else {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        shared.record_gauges();
+        run_job(shared, &mut m, &job);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
+    let started = Instant::now();
+    // Deadline propagation, step 1: a job that expired in the queue is
+    // never started.
+    if started >= job.deadline {
+        shared.set_state(job.id, JobState::Expired);
+        m.add("vsp_serve_jobs_total", &[("outcome", "expired")], 1);
+        return;
+    }
+    shared.set_state(job.id, JobState::Running);
+    let spec = Arc::clone(&job.spec);
+
+    let machine = match machine_for(&spec) {
+        Ok(machine) => machine,
+        Err(error) => {
+            shared.set_state(
+                job.id,
+                JobState::Failed {
+                    reason: "invalid",
+                    error,
+                },
+            );
+            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
+            return;
+        }
+    };
+
+    // Artifact via the content-addressed single-flight cache: N
+    // concurrent identical jobs share one compile.
+    let build_machine = machine.clone();
+    let build_spec = Arc::clone(&spec);
+    let mut build_metrics = shared.metrics.clone();
+    let built = shared.cache.get_or_build(spec.cache_key(), move || {
+        let t0 = Instant::now();
+        let artifact = build_artifact(&build_spec, &build_machine)?;
+        build_metrics.observe(
+            "vsp_serve_compile_micros",
+            &[],
+            t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+        Ok::<_, String>(Arc::new(artifact))
+    });
+    let (artifact, cache_hit) = match built {
+        Ok((artifact, CacheOutcome::Built)) => {
+            m.add("vsp_serve_compile_total", &[], 1);
+            m.add("vsp_serve_cache_total", &[("result", "miss")], 1);
+            (artifact, false)
+        }
+        Ok((artifact, CacheOutcome::Hit)) => {
+            m.add("vsp_serve_cache_total", &[("result", "hit")], 1);
+            (artifact, true)
+        }
+        Err(error) => {
+            shared.set_state(
+                job.id,
+                JobState::Failed {
+                    reason: "compile",
+                    error,
+                },
+            );
+            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
+            return;
+        }
+    };
+
+    // Load-shed decision at execution time: queue pressure now, not at
+    // admission, so a drained queue stops shedding immediately.
+    let shed = shared.queue.depth() >= shared.cfg.shed_depth;
+
+    // Deadline propagation, step 2: the watchdog gets whichever is
+    // tighter — the per-job budget or the time the deadline leaves.
+    // That is the cooperative-cancellation contract: a job overrunning
+    // its deadline is cut off by the harness, not allowed to squat on a
+    // worker.
+    let remaining = job.deadline.saturating_duration_since(Instant::now());
+    let hcfg = HarnessConfig {
+        timeout: shared.cfg.job_timeout.min(remaining),
+        retries: shared.cfg.retries,
+        backoff: Duration::from_millis(25),
+        jitter_seed: shared.cfg.jitter_seed,
+    };
+    let chaos = spec.chaos;
+    let chaos_attempts = Arc::new(AtomicU32::new(0));
+    let case_machine = machine;
+    let case_artifact = Arc::clone(&artifact);
+    let case_spec = Arc::clone(&spec);
+    let outcome = run_case(&hcfg, move || {
+        match chaos {
+            Some(Chaos::Panic) => panic!("chaos: injected panic"),
+            Some(Chaos::Hang) => loop {
+                thread::sleep(Duration::from_millis(20));
+            },
+            Some(Chaos::Flaky) if chaos_attempts.fetch_add(1, Ordering::SeqCst) == 0 => {
+                panic!("chaos: flaky first attempt");
+            }
+            _ => {}
+        }
+        execute_job(&case_machine, &case_artifact, &case_spec, shed)
+    });
+
+    let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let (result, attempts) = match outcome {
+        CaseOutcome::Completed(r) => (Some(r), 1),
+        CaseOutcome::Recovered { value, attempts } => {
+            m.add("vsp_serve_retried_total", &[], 1);
+            (Some(value), attempts)
+        }
+        CaseOutcome::Faulted { message } => {
+            shared.set_state(
+                job.id,
+                JobState::Failed {
+                    reason: "panic",
+                    error: message,
+                },
+            );
+            m.add("vsp_serve_jobs_total", &[("outcome", "panicked")], 1);
+            m.gauge(
+                "vsp_fault_abandoned_threads",
+                &[],
+                abandoned_threads() as f64,
+            );
+            return;
+        }
+        CaseOutcome::TimedOut { .. } => {
+            shared.set_state(
+                job.id,
+                JobState::Failed {
+                    reason: "timeout",
+                    error: "job exceeded its wall-clock budget".into(),
+                },
+            );
+            m.add("vsp_serve_jobs_total", &[("outcome", "timed_out")], 1);
+            m.gauge(
+                "vsp_fault_abandoned_threads",
+                &[],
+                abandoned_threads() as f64,
+            );
+            return;
+        }
+    };
+
+    match result.expect("some result present") {
+        Ok(mut out) => {
+            out.cache_hit = cache_hit;
+            out.attempts = attempts;
+            m.add("vsp_serve_jobs_total", &[("outcome", "done")], 1);
+            m.add("vsp_serve_tier_total", &[("tier", out.tier.label())], 1);
+            m.observe(
+                "vsp_serve_job_micros",
+                &[("tier", out.tier.label())],
+                micros,
+            );
+            if out.degraded {
+                m.add("vsp_serve_degraded_total", &[], 1);
+            }
+            if let Some(reason) = out.refusal.clone() {
+                m.add(
+                    "vsp_serve_refusals_total",
+                    &[("reason", reason.as_str())],
+                    1,
+                );
+            }
+            shared.set_state(job.id, JobState::Done(out));
+        }
+        Err(error) => {
+            shared.set_state(
+                job.id,
+                JobState::Failed {
+                    reason: "run",
+                    error,
+                },
+            );
+            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! The artifact builder and the execution-tier ladder.
+//!
+//! A job resolves in two steps. **Build** turns the spec into an
+//! [`Artifact`] — the compiled program (when the strategy is runnable)
+//! plus the analytic [`CycleEstimate`] — and is the expensive step the
+//! single-flight cache deduplicates. **Execute** walks the tier ladder:
+//!
+//! 1. Under load-shed (or `force_shed`) a runnable job degrades to the
+//!    analytic estimate with `degraded: true` — a cheap, honest answer
+//!    instead of an error or a queue collapse.
+//! 2. Otherwise the functional tier runs first (~365k runs/s when it
+//!    accepts). A typed refusal ([`vsp_exec::ExecError::is_refusal`])
+//!    is a routing decision, not a failure:
+//! 3. refused jobs fall to the SoA batch engine (`runs > 1`) or the
+//!    cycle-accurate simulator (`runs == 1`), which also serve fault
+//!    injection; their `RunStats` ride back on the response.
+
+use crate::api::{digest, EstimateSummary, JobOutcome, JobSpec, Source, StatsSummary, Tier};
+use std::sync::Arc;
+use vsp_core::{models, MachineConfig};
+use vsp_exec::{CycleEstimate, ExecRequest, Functional};
+use vsp_fault::FaultPlan;
+use vsp_ir::{Kernel, Stmt};
+use vsp_isa::Program;
+use vsp_kernels::ir::{
+    color_quad_kernel, dct1d_kernel, dct_direct_mac_kernel, sad_16x16_kernel, vbr_block_kernel,
+};
+use vsp_sched::pipeline::{PassConfig, ScheduleScope, SchedulerChoice};
+use vsp_sched::{codegen_loop, LoopControl, ScheduleArtifact, Strategy};
+use vsp_sim::{BatchSimulator, DecodedProgram, RunSpec, Simulator};
+use vsp_trace::NullSink;
+
+/// What the build step produces: everything execution needs, immutable
+/// and shareable (the cache hands out `Arc<Artifact>`).
+#[derive(Debug)]
+pub struct Artifact {
+    /// The runnable program, when the strategy lowers to one. `None`
+    /// for analysis-only schedule artifacts (sequential / modulo
+    /// backends without codegen) — such jobs answer on the estimate
+    /// tier.
+    pub program: Option<Program>,
+    /// Analytic cycle estimate from the schedule's closed form, when
+    /// one exists (kernel sources only).
+    pub estimate: Option<CycleEstimate>,
+    /// Content digest of the program (hex), for cache observability.
+    pub program_digest: Option<String>,
+}
+
+/// The six paper kernels as (name, IR, unroll-innermost) — the same
+/// set the fault campaigns and the differential matrix pin.
+fn kernel_by_name(name: &str) -> Option<(Kernel, bool)> {
+    match name {
+        "sad" => Some((sad_16x16_kernel().kernel, true)),
+        "dct-row" => Some((dct1d_kernel(true).kernel, true)),
+        "dct-col" => Some((dct1d_kernel(false).kernel, true)),
+        "dct-mac" => Some((dct_direct_mac_kernel().kernel, true)),
+        "color" => Some((color_quad_kernel(4).kernel, true)),
+        "vbr" => Some((vbr_block_kernel().kernel, false)),
+        _ => None,
+    }
+}
+
+/// The standard runnable recipe (list schedule, innermost loop unrolled
+/// where profitable, if-converted, CSE) — identical to the fault
+/// driver's, so serve jobs exercise the certified op mix.
+fn standard_strategy(scope: ScheduleScope, unroll: bool) -> Strategy {
+    let mut strategy = Strategy::new(
+        "serve/list",
+        scope,
+        SchedulerChoice::List { clusters_used: 1 },
+    )
+    .for_codegen();
+    if unroll {
+        strategy = strategy.then(PassConfig::Unroll { factor: None });
+    }
+    strategy.then(PassConfig::IfConvert).then(PassConfig::Cse)
+}
+
+/// Compiles a kernel with `strategy` and lowers the schedule to a
+/// program when the artifact supports it.
+fn compile_kernel(
+    machine: &MachineConfig,
+    name: &str,
+    kernel: &Kernel,
+    strategy: &Strategy,
+) -> Result<Artifact, String> {
+    let result = vsp_sched::compile(kernel, machine, strategy)
+        .map_err(|e| format!("{name} on {}: {e}", machine.name))?;
+    let estimate = CycleEstimate::from_result(&result);
+    let program = if let (ScheduleArtifact::List(sched), Some(body)) =
+        (&result.schedule, result.lowered.as_ref())
+    {
+        let ctl = result.kernel.body.iter().find_map(|s| match s {
+            Stmt::Loop(l) => Some(LoopControl {
+                trip: l.trip,
+                index: Some((0, l.start, l.step)),
+            }),
+            _ => None,
+        });
+        codegen_loop(machine, body, sched, ctl, machine.clusters, name)
+            .ok()
+            .map(|cg| cg.program)
+    } else {
+        None
+    };
+    if program.is_none() && estimate.is_none() {
+        return Err(format!(
+            "{name} on {}: strategy {} yields neither a runnable program nor an estimate",
+            machine.name, strategy.name
+        ));
+    }
+    let program_digest = program.as_ref().map(digest);
+    Ok(Artifact {
+        program,
+        estimate,
+        program_digest,
+    })
+}
+
+/// Resolves the spec's machine model.
+pub fn machine_for(spec: &JobSpec) -> Result<MachineConfig, String> {
+    models::by_name(&spec.machine).ok_or_else(|| format!("unknown machine {:?}", spec.machine))
+}
+
+/// The build step: spec → [`Artifact`]. This is the unit of work the
+/// content-addressed cache deduplicates, so everything here depends
+/// only on `(source, strategy, machine)` — never on run knobs.
+pub fn build_artifact(spec: &JobSpec, machine: &MachineConfig) -> Result<Artifact, String> {
+    match &spec.source {
+        Source::Kernel { name } => {
+            let (kernel, unroll) =
+                kernel_by_name(name).ok_or_else(|| format!("unknown kernel {name:?}"))?;
+            match &spec.strategy {
+                Some(sname) => {
+                    let strategy = vsp_kernels::strategies::by_name(sname)
+                        .ok_or_else(|| format!("unknown strategy {sname:?}"))?;
+                    compile_kernel(machine, name, &kernel, &strategy)
+                }
+                None => {
+                    // Kernels whose only loop unrolls away (color) fall
+                    // back to scheduling the whole flattened body.
+                    compile_kernel(
+                        machine,
+                        name,
+                        &kernel,
+                        &standard_strategy(ScheduleScope::FirstLoop, unroll),
+                    )
+                    .or_else(|_| {
+                        compile_kernel(
+                            machine,
+                            name,
+                            &kernel,
+                            &standard_strategy(ScheduleScope::WholeBody, unroll),
+                        )
+                    })
+                }
+            }
+        }
+        Source::Generated { seed, words } => {
+            use rand::{rngs::SmallRng, SeedableRng};
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            let cfg = vsp_check::ProgramGenConfig {
+                words: *words as usize,
+                ..vsp_check::ProgramGenConfig::default()
+            };
+            let program = vsp_check::gen_program(machine, &mut rng, &cfg);
+            let program_digest = Some(digest(&program));
+            Ok(Artifact {
+                program: Some(program),
+                estimate: None,
+                program_digest,
+            })
+        }
+    }
+}
+
+/// The degraded (or estimate-tier) response.
+fn estimate_outcome(est: CycleEstimate, degraded: bool) -> JobOutcome {
+    JobOutcome {
+        tier: Tier::Estimate,
+        degraded,
+        cache_hit: false,
+        refusal: None,
+        cycles: est.cycles,
+        halted: true,
+        state_digest: None,
+        stats: None,
+        estimate: Some(EstimateSummary {
+            cycles: est.cycles,
+            ii: est.ii,
+            length: est.length,
+            trips: est.trips,
+        }),
+        attempts: 1,
+    }
+}
+
+fn stats_summary(stats: &vsp_sim::RunStats) -> StatsSummary {
+    StatsSummary {
+        cycles: stats.cycles,
+        words: stats.words,
+        taken_branches: stats.taken_branches,
+        icache_stall_cycles: stats.icache_stall_cycles,
+        digest: digest(stats),
+    }
+}
+
+/// The execute step: walks the tier ladder for one job. `shed` is the
+/// service's load-shed signal (queue pressure); the spec's own
+/// `force_shed` composes with it.
+///
+/// # Errors
+///
+/// A human-readable message for genuine run failures (invalid
+/// programs, budget exhaustion, memory faults). Refusals are *not*
+/// errors — they route.
+pub fn execute_job(
+    machine: &MachineConfig,
+    artifact: &Arc<Artifact>,
+    spec: &JobSpec,
+    shed: bool,
+) -> Result<JobOutcome, String> {
+    // Load-shed degradation: answer from the schedule's closed form.
+    if shed || spec.force_shed {
+        if let Some(est) = artifact.estimate {
+            return Ok(estimate_outcome(est, true));
+        }
+        // No closed form (generated programs): fall through and run —
+        // shedding must never turn a servable job into an error.
+    }
+    let Some(program) = artifact.program.as_ref() else {
+        // Analysis-only artifact: the estimate *is* the answer.
+        let est = artifact
+            .estimate
+            .ok_or("artifact has neither program nor estimate")?;
+        return Ok(estimate_outcome(est, false));
+    };
+
+    let mut req = ExecRequest::new(spec.max_cycles);
+    req.fault_injection = spec.fault.is_some();
+
+    // Tier 1: functional. Refusal routes down; anything else decides.
+    let refusal = match Functional::prepare(machine, program) {
+        Ok(compiled) => match compiled.run(&req) {
+            Ok(out) => {
+                return Ok(JobOutcome {
+                    tier: Tier::Functional,
+                    degraded: false,
+                    cache_hit: false,
+                    refusal: None,
+                    cycles: out.cycles,
+                    halted: out.state.halted,
+                    state_digest: Some(digest(&out.state)),
+                    stats: None,
+                    estimate: None,
+                    attempts: 1,
+                });
+            }
+            Err(e) if e.is_refusal() => refusal_label(&e),
+            Err(e) => return Err(format!("functional run failed: {e}")),
+        },
+        Err(e) if e.is_refusal() => refusal_label(&e),
+        Err(e) => return Err(format!("functional prepare failed: {e}")),
+    };
+
+    // Tier 2: batch, when the job wants many lanes.
+    if spec.runs > 1 {
+        let decoded = DecodedProgram::prepare(machine, program)
+            .map_err(|e| format!("invalid program: {e}"))?;
+        let specs: Vec<RunSpec<_>> = (0..spec.runs)
+            .map(|lane| {
+                let plan = match spec.fault {
+                    Some(f) => {
+                        FaultPlan::transient(f.seed.wrapping_add(u64::from(lane)), f.rate_ppm)
+                    }
+                    None => FaultPlan::quiet(),
+                };
+                RunSpec::with_faults(spec.max_cycles, plan.build())
+            })
+            .collect();
+        let outcomes = BatchSimulator::new(machine).run_batch(&decoded, specs);
+        let first = outcomes.first().ok_or("batch produced no lanes")?;
+        if let Some(e) = &first.error {
+            return Err(format!("batch lane 0 failed: {e}"));
+        }
+        return Ok(JobOutcome {
+            tier: Tier::Batch,
+            degraded: false,
+            cache_hit: false,
+            refusal,
+            cycles: first.stats.cycles,
+            halted: first.state.halted,
+            state_digest: Some(digest(&first.state)),
+            stats: Some(stats_summary(&first.stats)),
+            estimate: None,
+            attempts: 1,
+        });
+    }
+
+    // Tier 3: cycle-accurate, with or without fault injection.
+    let (stats, state) = match spec.fault {
+        Some(f) => {
+            let mut model = FaultPlan::transient(f.seed, f.rate_ppm).build();
+            let mut sim = Simulator::with_sink_and_faults(machine, program, NullSink, &mut model)
+                .map_err(|e| format!("invalid program: {e}"))?;
+            let stats = sim
+                .run(spec.max_cycles)
+                .map_err(|e| format!("simulator failed: {e}"))?;
+            let state = sim.arch_state();
+            (stats, state)
+        }
+        None => {
+            let mut sim =
+                Simulator::new(machine, program).map_err(|e| format!("invalid program: {e}"))?;
+            let stats = sim
+                .run(spec.max_cycles)
+                .map_err(|e| format!("simulator failed: {e}"))?;
+            let state = sim.arch_state();
+            (stats, state)
+        }
+    };
+    Ok(JobOutcome {
+        tier: Tier::CycleAccurate,
+        degraded: false,
+        cache_hit: false,
+        refusal,
+        cycles: stats.cycles,
+        halted: state.halted,
+        state_digest: Some(digest(&state)),
+        stats: Some(stats_summary(&stats)),
+        estimate: None,
+        attempts: 1,
+    })
+}
+
+fn refusal_label(e: &vsp_exec::ExecError) -> Option<String> {
+    match e {
+        vsp_exec::ExecError::Unsupported(u) => Some(u.label().to_string()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(spec: &JobSpec) -> (MachineConfig, Arc<Artifact>) {
+        let machine = machine_for(spec).unwrap();
+        let artifact = Arc::new(build_artifact(spec, &machine).unwrap());
+        (machine, artifact)
+    }
+
+    #[test]
+    fn kernel_job_answers_on_the_functional_tier() {
+        let spec = JobSpec::kernel("sad", "i4c8s4");
+        let (machine, art) = artifact(&spec);
+        let out = execute_job(&machine, &art, &spec, false).unwrap();
+        assert_eq!(out.tier, Tier::Functional);
+        assert!(out.halted);
+        assert!(!out.degraded);
+        assert!(out.state_digest.is_some());
+    }
+
+    #[test]
+    fn fault_jobs_are_refused_by_the_functional_tier_and_fall_back() {
+        let mut spec = JobSpec::kernel("sad", "i4c8s4");
+        spec.fault = Some(crate::api::FaultSpec {
+            seed: 3,
+            rate_ppm: 0,
+        });
+        let (machine, art) = artifact(&spec);
+        let out = execute_job(&machine, &art, &spec, false).unwrap();
+        assert_eq!(out.tier, Tier::CycleAccurate);
+        assert_eq!(out.refusal.as_deref(), Some("fault_injection"));
+        let stats = out.stats.expect("cycle tier carries stats");
+        assert_eq!(stats.cycles, out.cycles);
+    }
+
+    #[test]
+    fn multi_run_fault_jobs_use_the_batch_tier() {
+        let mut spec = JobSpec::kernel("dct-row", "i4c8s4");
+        spec.fault = Some(crate::api::FaultSpec {
+            seed: 5,
+            rate_ppm: 0,
+        });
+        spec.runs = 3;
+        let (machine, art) = artifact(&spec);
+        let out = execute_job(&machine, &art, &spec, false).unwrap();
+        assert_eq!(out.tier, Tier::Batch);
+        assert_eq!(out.refusal.as_deref(), Some("fault_injection"));
+        // A quiet batch lane matches the scalar cycle tier bit-for-bit.
+        let mut scalar = spec.clone();
+        scalar.runs = 1;
+        let scalar_out = execute_job(&machine, &art, &scalar, false).unwrap();
+        assert_eq!(out.state_digest, scalar_out.state_digest);
+        assert_eq!(
+            out.stats.unwrap().digest,
+            scalar_out.stats.unwrap().digest,
+            "batch RunStats are bit-identical to the scalar run"
+        );
+    }
+
+    #[test]
+    fn shed_degrades_to_the_analytic_estimate() {
+        let spec = JobSpec::kernel("sad", "i4c8s4");
+        let (machine, art) = artifact(&spec);
+        let out = execute_job(&machine, &art, &spec, true).unwrap();
+        assert_eq!(out.tier, Tier::Estimate);
+        assert!(out.degraded);
+        let est = out.estimate.expect("degraded response carries estimate");
+        assert!(est.cycles > 0);
+        assert_eq!(est.cycles, out.cycles);
+    }
+
+    #[test]
+    fn generated_jobs_run_even_under_shed() {
+        let spec = JobSpec::generated(11, 16, "i4c8s4");
+        let (machine, art) = artifact(&spec);
+        // No closed form to degrade to: the job still completes.
+        let out = execute_job(&machine, &art, &spec, true).unwrap();
+        assert_ne!(out.tier, Tier::Estimate);
+        assert!(out.halted);
+    }
+
+    #[test]
+    fn analysis_only_strategies_answer_on_the_estimate_tier() {
+        let mut spec = JobSpec::kernel("sad", "i4c8s4");
+        // The sequential baseline never lowers to a program.
+        let name = vsp_kernels::strategies::catalog()
+            .into_iter()
+            .map(|s| s.name)
+            .find(|n| n.contains("seq"))
+            .expect("catalog has a sequential strategy");
+        spec.strategy = Some(name);
+        let (machine, art) = artifact(&spec);
+        assert!(art.program.is_none());
+        let out = execute_job(&machine, &art, &spec, false).unwrap();
+        assert_eq!(out.tier, Tier::Estimate);
+        assert!(!out.degraded, "natural estimate answers are not degraded");
+    }
+
+    #[test]
+    fn unknown_names_are_build_errors() {
+        let spec = JobSpec::kernel("nope", "i4c8s4");
+        let machine = models::i4c8s4();
+        assert!(build_artifact(&spec, &machine).is_err());
+        let spec = JobSpec::kernel("sad", "not-a-machine");
+        assert!(machine_for(&spec).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! The chaos end-to-end: a mixed fleet where over a quarter of the
+//! jobs actively misbehave — panicking, hanging past the watchdog,
+//! flaking, or carrying unbuildable specs — submitted from several
+//! tenants at once. The service must stay live throughout, complete
+//! every well-formed job, and the metrics must reconcile against what
+//! was submitted.
+
+use std::time::Duration;
+use vsp_serve::{
+    AdmissionConfig, Chaos, Client, ClientError, FaultSpec, JobSpec, ServeConfig, Server,
+};
+
+#[test]
+fn service_survives_chaos_and_completes_every_good_job() {
+    let cfg = ServeConfig {
+        workers: 3,
+        admission: AdmissionConfig {
+            queue_depth: 512,
+            tenant_burst: 256.0,
+            tenant_rate: 256.0,
+        },
+        job_timeout: Duration::from_millis(300),
+        retries: 1,
+        jitter_seed: Some(7),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr());
+    let wait = Duration::from_secs(120);
+
+    // -- The fleet: 40 jobs, 12 of them bad (30% > the 25% floor). --
+    let mut good: Vec<(u64, &'static str)> = Vec::new();
+    let mut bad: Vec<(u64, &'static str)> = Vec::new();
+    let tenant = |i: usize| format!("tenant-{}", i % 4);
+
+    let mut n = 0;
+    let mut submit = |spec: &JobSpec| {
+        let id = client.submit(&tenant(n), spec).unwrap();
+        n += 1;
+        id
+    };
+
+    // 12 plain kernel jobs across kernels and machines.
+    for (i, kernel) in ["sad", "dct-row", "dct-col", "dct-mac", "color", "vbr"]
+        .into_iter()
+        .cycle()
+        .take(12)
+        .enumerate()
+    {
+        let machine = if i % 2 == 0 { "i4c8s4" } else { "i2c16s4" };
+        good.push((submit(&JobSpec::kernel(kernel, machine)), "kernel"));
+    }
+    // 6 generated programs.
+    for seed in 0..6u64 {
+        good.push((submit(&JobSpec::generated(seed, 16, "i4c8s4")), "generated"));
+    }
+    // 3 fault-injection jobs (routed off the functional tier).
+    for seed in 0..3u64 {
+        let mut spec = JobSpec::kernel("sad", "i4c8s4");
+        spec.fault = Some(FaultSpec { seed, rate_ppm: 0 });
+        good.push((submit(&spec), "fault"));
+    }
+    // 3 force-shed jobs (degraded but successful).
+    for _ in 0..3 {
+        let mut spec = JobSpec::kernel("dct-row", "i4c8s4");
+        spec.force_shed = true;
+        good.push((submit(&spec), "shed"));
+    }
+    // 4 flaky jobs: panic once, recover on retry — still good.
+    for _ in 0..4 {
+        let mut spec = JobSpec::kernel("sad", "i4c8s4");
+        spec.chaos = Some(Chaos::Flaky);
+        good.push((submit(&spec), "flaky"));
+    }
+    // -- The bad 30%. --
+    // 6 panicking jobs: contained by the harness, never kill a worker.
+    for _ in 0..6 {
+        let mut spec = JobSpec::kernel("sad", "i4c8s4");
+        spec.chaos = Some(Chaos::Panic);
+        bad.push((submit(&spec), "panicked"));
+    }
+    // 3 hanging jobs: abandoned by the watchdog.
+    for _ in 0..3 {
+        let mut spec = JobSpec::kernel("sad", "i4c8s4");
+        spec.chaos = Some(Chaos::Hang);
+        bad.push((submit(&spec), "timed_out"));
+    }
+    // 3 unbuildable specs (unknown kernel): admitted, fail at compile.
+    for _ in 0..3 {
+        bad.push((
+            submit(&JobSpec::kernel("no-such-kernel", "i4c8s4")),
+            "failed",
+        ));
+    }
+    assert_eq!(good.len() + bad.len(), 40);
+    assert!(bad.len() * 4 >= (good.len() + bad.len()), ">= 25% bad jobs");
+
+    // -- Every good job completes, with the right shape. --
+    let mut degraded = 0u64;
+    let mut retried = 0u64;
+    for (id, kind) in &good {
+        let out = client
+            .wait_done(*id, wait)
+            .unwrap_or_else(|e| panic!("good job {id} ({kind}) failed: {e}"));
+        if out.degraded {
+            degraded += 1;
+        }
+        if out.attempts > 1 {
+            retried += 1;
+        }
+        match *kind {
+            "shed" => assert!(out.degraded, "shed job {id} was not degraded"),
+            "fault" => assert_eq!(out.refusal.as_deref(), Some("fault_injection")),
+            "flaky" => assert!(out.attempts > 1, "flaky job {id} did not retry"),
+            _ => assert!(out.halted, "{kind} job {id} did not halt"),
+        }
+    }
+    assert_eq!(degraded, 3, "exactly the force-shed jobs degrade");
+    assert_eq!(retried, 4, "exactly the flaky jobs retry");
+
+    // -- Every bad job fails with the matching terminal reason. --
+    // (The client folds every terminal failure into state "failed";
+    // the precise class — panicked / timed_out / failed — is asserted
+    // via the metrics reconciliation below.)
+    for (id, expect) in &bad {
+        match client.wait_done(*id, wait) {
+            Err(ClientError::Failed { .. }) => {}
+            other => panic!("bad job {id} ({expect}) should fail, got {other:?}"),
+        }
+    }
+
+    // -- The books balance. --
+    let m = server.metrics();
+    let outcome = |label: &str| {
+        m.counter("vsp_serve_jobs_total", &[("outcome", label)])
+            .unwrap_or(0)
+    };
+    let done = outcome("done");
+    let panicked = outcome("panicked");
+    let timed_out = outcome("timed_out");
+    let failed = outcome("failed");
+    let expired = outcome("expired");
+    assert_eq!(done, good.len() as u64, "every good job is accounted done");
+    assert_eq!(panicked, 6);
+    assert_eq!(timed_out, 3);
+    assert_eq!(failed, 3);
+    assert_eq!(
+        done + panicked + timed_out + failed + expired,
+        40,
+        "every admitted job reaches exactly one terminal state"
+    );
+    assert_eq!(m.counter("vsp_serve_degraded_total", &[]), Some(3));
+    assert_eq!(m.counter("vsp_serve_retried_total", &[]), Some(4));
+    // Each hanging job leaks one abandoned thread per attempt
+    // (2 attempts at retries=1), and the gauge surfaces them.
+    let abandoned = m
+        .gauge("vsp_fault_abandoned_threads", &[])
+        .expect("abandoned-thread gauge exported");
+    assert!(
+        abandoned >= 6.0,
+        "3 hang jobs x 2 attempts must abandon >= 6 threads, gauge says {abandoned}"
+    );
+
+    // -- The service is still live after all of that. --
+    let health = client.healthz().unwrap();
+    assert_eq!(health.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let id = client
+        .submit("aftermath", &JobSpec::kernel("sad", "i4c8s4"))
+        .unwrap();
+    let out = client.wait_done(id, wait).unwrap();
+    assert!(
+        out.halted && out.cache_hit,
+        "post-chaos job completes from cache"
+    );
+
+    server.shutdown();
+}

@@ -1,0 +1,359 @@
+//! The refusal matrix: every `Unsupported` class the functional tier
+//! can emit, each pinned three ways —
+//!
+//! 1. the functional tier refuses with exactly that label;
+//! 2. `EvalEngine::run_architectural` (the functional-with-fallback
+//!    route the service's tier ladder mirrors) produces a result
+//!    bit-identical to a direct cycle-accurate run — identical
+//!    `ArchState` on success, identical error otherwise;
+//! 3. the direct cycle-accurate run is deterministic (two runs give
+//!    bit-identical `RunStats` digests).
+
+use vsp_bench::EvalEngine;
+use vsp_core::{models, MachineConfig};
+use vsp_exec::{ExecError, ExecRequest, Functional};
+use vsp_isa::{
+    AddrMode, AluBinOp, CmpOp, MemBank, OpKind, Operand, Operation, Pred, PredGuard, Program, Reg,
+};
+use vsp_serve::api::digest;
+use vsp_sim::{ArchState, RunStats, SimError, Simulator};
+
+fn add_imm(cluster: u8, slot: u8, dst: u16, value: i16) -> Operation {
+    Operation::new(
+        cluster,
+        slot,
+        OpKind::AluBin {
+            op: AluBinOp::Add,
+            dst: Reg(dst),
+            a: Operand::Imm(value),
+            b: Operand::Imm(0),
+        },
+    )
+}
+
+fn load(cluster: u8, dst: u16, addr: u16) -> Operation {
+    Operation::new(
+        cluster,
+        2,
+        OpKind::Load {
+            dst: Reg(dst),
+            addr: AddrMode::Absolute(addr),
+            bank: MemBank(0),
+        },
+    )
+}
+
+fn halt_word() -> Vec<Operation> {
+    vec![Operation::new(0, 4, OpKind::Halt)]
+}
+
+fn direct_run(
+    machine: &MachineConfig,
+    program: &Program,
+    max_cycles: u64,
+) -> Result<(RunStats, ArchState), String> {
+    let mut sim = Simulator::new(machine, program).map_err(|e| format!("{e:?}"))?;
+    let stats = sim.run(max_cycles).map_err(|e| format!("{e:?}"))?;
+    Ok((stats, sim.arch_state()))
+}
+
+/// The shared three-way assertion for one refusal class.
+fn assert_refusal_routes(
+    machine: &MachineConfig,
+    program: &Program,
+    expected_label: &str,
+    max_cycles: u64,
+) {
+    // 1. The functional tier refuses with exactly this label.
+    let req = ExecRequest::new(max_cycles);
+    let err = match Functional::prepare(machine, program) {
+        Ok(compiled) => compiled
+            .run(&req)
+            .expect_err("refusal-class program must not run functionally"),
+        Err(e) => e,
+    };
+    assert!(
+        err.is_refusal(),
+        "{expected_label}: {err:?} is not a refusal"
+    );
+    match &err {
+        ExecError::Unsupported(u) => assert_eq!(u.label(), expected_label, "wrong class"),
+        other => panic!("{expected_label}: unexpected error {other:?}"),
+    }
+
+    // 2. The fallback route answers bit-identically to a direct
+    //    cycle-accurate run — on success and on failure alike.
+    let engine = EvalEngine::new();
+    let via_engine: Result<ArchState, SimError> =
+        engine.run_architectural(machine, program, max_cycles);
+    let direct = direct_run(machine, program, max_cycles);
+    match (via_engine, direct) {
+        (Ok(a), Ok((_, d))) => {
+            assert_eq!(a, d, "{expected_label}: fallback ArchState diverges");
+            assert_eq!(digest(&a), digest(&d));
+        }
+        (Err(a), Err(d)) => {
+            assert_eq!(
+                format!("{a:?}"),
+                d,
+                "{expected_label}: fallback error diverges from direct sim"
+            );
+        }
+        (a, d) => panic!("{expected_label}: fallback {a:?} but direct sim {d:?}"),
+    }
+
+    // 3. The direct run is deterministic: bit-identical RunStats.
+    if let (Ok((s1, _)), Ok((s2, _))) = (
+        direct_run(machine, program, max_cycles),
+        direct_run(machine, program, max_cycles),
+    ) {
+        assert_eq!(
+            digest(&s1),
+            digest(&s2),
+            "{expected_label}: RunStats are not deterministic"
+        );
+    }
+}
+
+#[test]
+fn data_dependent_control_routes_to_the_simulator() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("data-branch");
+    p.push_word(vec![load(0, 1, 0)]);
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::Cmp {
+            op: CmpOp::Gt,
+            dst: Pred(1),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(0),
+        },
+    )]);
+    p.push_word(vec![Operation::new(
+        0,
+        4,
+        OpKind::Branch {
+            pred: Pred(1),
+            sense: true,
+            target: 0,
+        },
+    )]);
+    p.push_word(vec![]);
+    p.push_word(halt_word());
+    assert_refusal_routes(&machine, &p, "data_dependent_control", 10_000);
+}
+
+#[test]
+fn guarded_control_routes_to_the_simulator() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("guarded-halt");
+    p.push_word(vec![load(0, 1, 0)]);
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::Cmp {
+            op: CmpOp::Gt,
+            dst: Pred(1),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(0),
+        },
+    )]);
+    p.push_word(vec![Operation::guarded(
+        0,
+        4,
+        PredGuard::if_true(Pred(1)),
+        OpKind::Halt,
+    )]);
+    p.push_word(halt_word());
+    assert_refusal_routes(&machine, &p, "guarded_control", 10_000);
+}
+
+#[test]
+fn timing_hazard_routes_to_the_simulator() {
+    let mut machine = models::i4c8s4();
+    machine.pipeline.mul_latency = 3;
+    let mut p = Program::new("premature-read");
+    p.push_word(vec![add_imm(0, 0, 1, 5)]);
+    // w1: r2 = r1 * r1 — commits 3 cycles later ...
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::Mul {
+            kind: vsp_isa::MulKind::Mul8SS,
+            dst: Reg(2),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Reg(Reg(1)),
+        },
+    )]);
+    // w2: ... but r2 is read in the very next word.
+    p.push_word(vec![Operation::new(
+        0,
+        0,
+        OpKind::AluBin {
+            op: AluBinOp::Add,
+            dst: Reg(3),
+            a: Operand::Reg(Reg(2)),
+            b: Operand::Imm(0),
+        },
+    )]);
+    p.push_word(halt_word());
+    assert_refusal_routes(&machine, &p, "timing_hazard", 10_000);
+}
+
+#[test]
+fn icache_overflow_routes_to_the_simulator() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("huge");
+    for _ in 0..machine.icache_words + 1 {
+        p.push_word(vec![]);
+    }
+    p.push_word(halt_word());
+    assert_refusal_routes(&machine, &p, "icache_overflow", 100_000);
+}
+
+#[test]
+fn ran_off_end_routes_to_the_simulator() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("no-halt");
+    p.push_word(vec![add_imm(0, 0, 1, 1)]);
+    assert_refusal_routes(&machine, &p, "ran_off_end", 10_000);
+}
+
+#[test]
+fn non_terminating_routes_to_the_simulator() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("spin");
+    p.push_word(vec![Operation::new(0, 4, OpKind::Jump { target: 0 })]);
+    p.push_word(vec![]); // delay slot
+    assert_refusal_routes(&machine, &p, "non_terminating", 10_000);
+}
+
+#[test]
+fn trace_too_long_routes_to_the_simulator() {
+    // A statically-resolvable countdown whose *flattened* trace blows
+    // the lowering op budget (> 2^20 ops) while the walk itself stays
+    // well under the word budget: wide words (filler ALU ops on every
+    // cluster) multiply ops-per-word without adding control flow.
+    let machine = models::i4c8s4();
+    let mut p = Program::new("wide-countdown");
+    let filler = |skip_c0: bool| -> Vec<Operation> {
+        let mut ops = Vec::new();
+        for c in 0..8u8 {
+            if !(skip_c0 && c == 0) {
+                ops.push(add_imm(c, 0, 5, 1));
+            }
+            ops.push(add_imm(c, 1, 6, 1));
+        }
+        ops
+    };
+    // w0: r1 = 20000 (trip count)
+    p.push_word(vec![add_imm(0, 0, 1, 20_000)]);
+    // w1 (loop head): r1 -= 1, plus 15 filler ops
+    let mut w = vec![Operation::new(
+        0,
+        0,
+        OpKind::AluBin {
+            op: AluBinOp::Sub,
+            dst: Reg(1),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(1),
+        },
+    )];
+    w.extend(filler(true));
+    p.push_word(w);
+    // w2: p1 = r1 > 0, plus filler
+    let mut w = vec![Operation::new(
+        0,
+        0,
+        OpKind::Cmp {
+            op: CmpOp::Gt,
+            dst: Pred(1),
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Imm(0),
+        },
+    )];
+    w.extend(filler(true));
+    p.push_word(w);
+    // w3: if p1 goto w1, plus filler
+    let mut w = vec![Operation::new(
+        0,
+        4,
+        OpKind::Branch {
+            pred: Pred(1),
+            sense: true,
+            target: 1,
+        },
+    )];
+    w.extend(filler(false));
+    p.push_word(w);
+    // w4: delay slot, filler only
+    p.push_word(filler(false));
+    p.push_word(halt_word());
+
+    // 20k iterations x ~63 ops = ~1.26M flattened ops (> 2^20), but
+    // only ~80k words walked (< the word budget).
+    assert_refusal_routes(&machine, &p, "trace_too_long", 2_000_000);
+}
+
+#[test]
+fn same_cycle_exchange_routes_to_the_simulator() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("exchange");
+    // w0: r1 = 3; r2 = 7
+    p.push_word(vec![add_imm(0, 0, 1, 3), add_imm(0, 1, 2, 7)]);
+    // w1: r1 = r2 + 0 ; r2 = r1 + 0 — a same-cycle register exchange
+    // the linearized trace cannot order. The simulator's read-old-
+    // values semantics handle it exactly.
+    p.push_word(vec![
+        Operation::new(
+            0,
+            0,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Imm(0),
+            },
+        ),
+        Operation::new(
+            0,
+            1,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(2),
+                a: Operand::Reg(Reg(1)),
+                b: Operand::Imm(0),
+            },
+        ),
+    ]);
+    p.push_word(halt_word());
+    assert_refusal_routes(&machine, &p, "same_cycle_exchange", 10_000);
+}
+
+#[test]
+fn fault_injection_requests_route_to_the_simulator() {
+    let machine = models::i4c8s4();
+    let mut p = Program::new("plain");
+    p.push_word(vec![add_imm(0, 0, 1, 1)]);
+    p.push_word(halt_word());
+
+    // The refusal is per-request here, not per-program: the same
+    // program lowers fine without the fault flag.
+    let compiled = Functional::prepare(&machine, &p).unwrap();
+    let mut req = ExecRequest::new(100);
+    req.fault_injection = true;
+    let err = compiled.run(&req).unwrap_err();
+    assert!(err.is_refusal());
+    match &err {
+        ExecError::Unsupported(u) => assert_eq!(u.label(), "fault_injection"),
+        other => panic!("unexpected error {other:?}"),
+    }
+
+    // The architectural route (no faults requested) still agrees with
+    // the direct simulator bit-for-bit.
+    let engine = EvalEngine::new();
+    let arch = engine.run_architectural(&machine, &p, 100).unwrap();
+    let (_, direct) = direct_run(&machine, &p, 100).unwrap();
+    assert_eq!(arch, direct);
+}

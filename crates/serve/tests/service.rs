@@ -1,0 +1,240 @@
+//! HTTP-level integration tests: backpressure, quotas, single-flight
+//! compile dedup, deadline expiry, forced degradation, and the
+//! observability endpoints — each acceptance criterion pinned over a
+//! real loopback socket.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use vsp_serve::{AdmissionConfig, Client, ClientError, JobSpec, ServeConfig, Server};
+
+/// A config sized for tests: fast watchdog, deterministic jitter.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        job_timeout: Duration::from_millis(400),
+        retries: 1,
+        jitter_seed: Some(0xC0FFEE),
+        ..ServeConfig::default()
+    }
+}
+
+fn hang_job() -> JobSpec {
+    let mut spec = JobSpec::kernel("sad", "i4c8s4");
+    spec.chaos = Some(vsp_serve::Chaos::Hang);
+    spec
+}
+
+#[test]
+fn full_queue_returns_429_with_retry_after() {
+    let cfg = ServeConfig {
+        workers: 1,
+        admission: AdmissionConfig {
+            queue_depth: 2,
+            tenant_burst: 100.0,
+            tenant_rate: 100.0,
+        },
+        ..test_config()
+    };
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr());
+
+    // Occupy the single worker with a hanging job, then fill the queue.
+    client.submit("t", &hang_job()).unwrap();
+    thread::sleep(Duration::from_millis(150));
+    client
+        .submit("t", &JobSpec::kernel("sad", "i4c8s4"))
+        .unwrap();
+    client
+        .submit("t", &JobSpec::kernel("sad", "i4c8s4"))
+        .unwrap();
+
+    let err = client
+        .submit("t", &JobSpec::kernel("sad", "i4c8s4"))
+        .unwrap_err();
+    match err {
+        ClientError::Rejected {
+            status,
+            reason,
+            retry_after,
+        } => {
+            assert_eq!(status, 429);
+            assert_eq!(reason, "queue_full");
+            assert!(
+                retry_after.is_some_and(|s| s >= 1),
+                "429 must carry a Retry-After hint, got {retry_after:?}"
+            );
+        }
+        other => panic!("expected a 429 rejection, got {other:?}"),
+    }
+    let rejected = server
+        .metrics()
+        .counter("vsp_serve_rejected_total", &[("reason", "queue_full")]);
+    assert_eq!(rejected, Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn throttled_tenant_is_limited_while_others_complete() {
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            queue_depth: 256,
+            tenant_burst: 2.0,
+            tenant_rate: 0.0, // no refill: the burst is all greedy gets
+        },
+        ..test_config()
+    };
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr());
+
+    let spec = JobSpec::kernel("sad", "i4c8s4");
+    let a = client.submit("greedy", &spec).unwrap();
+    let b = client.submit("greedy", &spec).unwrap();
+    let err = client.submit("greedy", &spec).unwrap_err();
+    match err {
+        ClientError::Rejected { status, reason, .. } => {
+            assert_eq!(status, 429);
+            assert_eq!(reason, "quota");
+        }
+        other => panic!("expected a quota rejection, got {other:?}"),
+    }
+
+    // Another tenant is untouched by greedy's empty bucket — its job
+    // is admitted and completes.
+    let c = client.submit("light", &spec).unwrap();
+    for id in [a, b, c] {
+        let out = client.wait_done(id, Duration::from_secs(60)).unwrap();
+        assert!(out.halted);
+    }
+    let quota = server
+        .metrics()
+        .counter("vsp_serve_rejected_total", &[("reason", "quota")]);
+    assert_eq!(quota, Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_jobs_compile_once() {
+    let cfg = ServeConfig {
+        workers: 4,
+        ..test_config()
+    };
+    let server = Server::start(cfg).unwrap();
+    let client = Arc::new(Client::new(server.addr()));
+
+    // Six identical jobs submitted from six threads: the single-flight
+    // cache must collapse them to one compile and five hits.
+    let spec = JobSpec::kernel("dct-mac", "i4c8s4");
+    let ids: Vec<u64> = (0..6)
+        .map(|i| {
+            let client = Arc::clone(&client);
+            let spec = spec.clone();
+            thread::spawn(move || client.submit(&format!("t{i}"), &spec).unwrap())
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+    for id in ids {
+        client.wait_done(id, Duration::from_secs(60)).unwrap();
+    }
+
+    let m = server.metrics();
+    assert_eq!(
+        m.counter("vsp_serve_compile_total", &[]),
+        Some(1),
+        "six identical jobs must share one compile"
+    );
+    assert_eq!(
+        m.counter("vsp_serve_cache_total", &[("result", "hit")]),
+        Some(5)
+    );
+    assert_eq!(
+        m.counter("vsp_serve_cache_total", &[("result", "miss")]),
+        Some(1)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_is_reported_not_run() {
+    let server = Server::start(test_config()).unwrap();
+    let client = Client::new(server.addr());
+
+    // A zero deadline is already past when a worker picks the job up.
+    let id = client
+        .submit_with_deadline("t", &JobSpec::kernel("sad", "i4c8s4"), Some(0))
+        .unwrap();
+    let err = client.wait_done(id, Duration::from_secs(30)).unwrap_err();
+    match err {
+        ClientError::Failed { reason, .. } => assert_eq!(reason, "expired"),
+        other => panic!("expected an expired job, got {other:?}"),
+    }
+    assert_eq!(
+        server
+            .metrics()
+            .counter("vsp_serve_jobs_total", &[("outcome", "expired")]),
+        Some(1)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn forced_shed_degrades_to_the_estimate() {
+    let server = Server::start(test_config()).unwrap();
+    let client = Client::new(server.addr());
+
+    let mut spec = JobSpec::kernel("dct-row", "i4c8s4");
+    spec.force_shed = true;
+    let id = client.submit("t", &spec).unwrap();
+    let out = client.wait_done(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(out.tier.label(), "estimate");
+    assert!(out.degraded, "shed responses are marked degraded");
+    let est = out
+        .estimate
+        .expect("degraded response carries the estimate");
+    assert!(est.cycles > 0);
+    assert_eq!(
+        server.metrics().counter("vsp_serve_degraded_total", &[]),
+        Some(1)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn observability_endpoints_and_error_paths() {
+    let server = Server::start(test_config()).unwrap();
+    let client = Client::new(server.addr());
+
+    let health = client.healthz().unwrap();
+    assert_eq!(health.get("ok").and_then(|v| v.as_bool()), Some(true));
+
+    // Unknown jobs 404 through the client as protocol errors.
+    assert!(matches!(
+        client.result(999, Duration::ZERO),
+        Err(ClientError::Protocol(_))
+    ));
+
+    // Bad specs are 400s with a field-naming message, not accepted jobs.
+    let err = client
+        .submit("t", &JobSpec::kernel("sad", "no-such-machine"))
+        .unwrap_err();
+    assert!(matches!(err, ClientError::Protocol(_)), "got {err:?}");
+
+    // A completed job shows up in the export.
+    let id = client
+        .submit("t", &JobSpec::kernel("sad", "i4c8s4"))
+        .unwrap();
+    client.wait_done(id, Duration::from_secs(60)).unwrap();
+    let text = client.metricsz().unwrap();
+    for needle in [
+        "vsp_serve_jobs_total",
+        "vsp_serve_tier_total",
+        "vsp_serve_cache_total",
+        "vsp_serve_queue_depth",
+        "vsp_fault_abandoned_threads",
+    ] {
+        assert!(text.contains(needle), "metricsz export missing {needle}");
+    }
+    server.shutdown();
+}
