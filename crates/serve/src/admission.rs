@@ -88,8 +88,19 @@ struct State<T> {
     cursor: usize,
     /// Total queued items across tenants.
     depth: usize,
+    /// Submit/pop operations since creation, for amortized tenant GC.
+    ops: u64,
     closed: bool,
 }
+
+/// Tenant GC runs once per this many submit/pop operations, so a
+/// unique-tenant flood costs O(tenants) only occasionally instead of
+/// per call.
+const GC_EVERY: u64 = 256;
+
+/// An idle tenant (empty queue, no submit this long) is collectable
+/// even before its bucket refills — the bucket "idles back" anyway.
+const TENANT_IDLE_GC: Duration = Duration::from_secs(60);
 
 /// The admission queue. `T` is whatever the service enqueues (job ids
 /// plus their specs); tests use plain integers.
@@ -110,6 +121,7 @@ impl<T> Admission<T> {
                 order: Vec::new(),
                 cursor: 0,
                 depth: 0,
+                ops: 0,
                 closed: false,
             }),
             cv: Condvar::new(),
@@ -126,6 +138,48 @@ impl<T> Admission<T> {
         self.state.lock().expect("admission poisoned").depth
     }
 
+    /// Tenants currently tracked (queued or awaiting GC). Bounded in a
+    /// long-running service: tenants with an empty queue whose bucket
+    /// has refilled (or that have idled past the GC window) are
+    /// collected periodically, so a flood of unique tenant names cannot
+    /// grow the table without bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue lock is poisoned.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.state.lock().expect("admission poisoned").tenants.len()
+    }
+
+    /// Drops tenants that hold no state worth keeping: empty queue and
+    /// a bucket that is (or would by now be) full again — or one idle
+    /// so long the bucket has effectively idled back. Quota state is
+    /// never lost: a tenant mid-burst keeps its deficit.
+    fn gc(st: &mut State<T>, cfg: &AdmissionConfig) {
+        let now = Instant::now();
+        let cursor_name = st.order.get(st.cursor).cloned();
+        st.tenants.retain(|_, t| {
+            if !t.queue.is_empty() {
+                return true;
+            }
+            let tokens = t.tokens + now.duration_since(t.refilled).as_secs_f64() * cfg.tenant_rate;
+            tokens < cfg.tenant_burst && now.duration_since(t.refilled) < TENANT_IDLE_GC
+        });
+        let tenants = &st.tenants;
+        st.order.retain(|name| tenants.contains_key(name));
+        st.cursor = cursor_name
+            .and_then(|name| st.order.iter().position(|o| *o == name))
+            .unwrap_or(0);
+    }
+
+    fn tick_gc(st: &mut State<T>, cfg: &AdmissionConfig) {
+        st.ops += 1;
+        if st.ops.is_multiple_of(GC_EVERY) {
+            Self::gc(st, cfg);
+        }
+    }
+
     /// Admits one item for `tenant`, or rejects with backpressure.
     ///
     /// # Errors
@@ -138,6 +192,7 @@ impl<T> Admission<T> {
     /// Panics if the queue lock is poisoned.
     pub fn submit(&self, tenant: &str, item: T) -> Result<(), Reject> {
         let mut st = self.state.lock().expect("admission poisoned");
+        Self::tick_gc(&mut st, &self.cfg);
         if st.depth >= self.cfg.queue_depth {
             // Heuristic drain hint: one queue's worth of steady-state
             // tokens, clamped to a sane interactive range.
@@ -193,6 +248,7 @@ impl<T> Admission<T> {
     pub fn pop(&self, timeout: Duration) -> Option<T> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock().expect("admission poisoned");
+        Self::tick_gc(&mut st, &self.cfg);
         loop {
             if st.depth > 0 {
                 let n = st.order.len();
@@ -298,6 +354,27 @@ mod tests {
         assert_eq!(q.pop(Duration::from_millis(100)), Some("f2"));
         assert_eq!(q.pop(Duration::from_millis(100)), Some("f3"));
         assert_eq!(q.pop(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn unique_tenant_flood_does_not_grow_the_table_without_bound() {
+        // A very fast refill: a drained tenant's bucket is full again
+        // within microseconds, making it collectable at the next GC.
+        let q: Admission<usize> = Admission::new(cfg(4096, 4.0, 1_000_000.0));
+        for i in 0..600 {
+            q.submit(&format!("tenant-{i}"), i).unwrap();
+            assert_eq!(q.pop(Duration::from_millis(50)), Some(i));
+        }
+        // 1200 ops ran several GC passes; only tenants newer than the
+        // last pass linger (GC_EVERY ops at most, i.e. <= 128 submits).
+        assert!(
+            q.tenants() <= 1 + GC_EVERY as usize / 2,
+            "tenant table must be garbage-collected, still holds {}",
+            q.tenants()
+        );
+        // The queue still works end to end after collection.
+        q.submit("fresh", 999).unwrap();
+        assert_eq!(q.pop(Duration::from_millis(50)), Some(999));
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub enum Chaos {
     Hang,
     /// Panics on the first attempt, succeeds on retry.
     Flaky,
+    /// Panics inside the compile phase (the build cell must contain it
+    /// without killing the worker or wedging the single-flight cache).
+    BuildPanic,
 }
 
 impl Chaos {
@@ -58,6 +61,7 @@ impl Chaos {
             "panic" => Ok(Chaos::Panic),
             "hang" => Ok(Chaos::Hang),
             "flaky" => Ok(Chaos::Flaky),
+            "build-panic" => Ok(Chaos::BuildPanic),
             other => Err(format!("unknown chaos mode {other:?}")),
         }
     }
@@ -67,6 +71,7 @@ impl Chaos {
             Chaos::Panic => "panic",
             Chaos::Hang => "hang",
             Chaos::Flaky => "flaky",
+            Chaos::BuildPanic => "build-panic",
         }
     }
 }

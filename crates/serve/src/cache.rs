@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Slot state: a build in progress, or a finished value.
 enum Slot<V> {
@@ -97,6 +98,9 @@ impl<V: Clone> SingleFlight<V> {
     /// failed (or panicking) build releases the slot so the next caller
     /// retries instead of deadlocking.
     ///
+    /// Waiters block without bound; a service whose builds can hang
+    /// should use [`get_or_build_bounded`](SingleFlight::get_or_build_bounded).
+    ///
     /// # Errors
     ///
     /// Propagates the build closure's error (never cached).
@@ -109,14 +113,65 @@ impl<V: Clone> SingleFlight<V> {
         key: u64,
         build: impl FnOnce() -> Result<V, E>,
     ) -> Result<(V, CacheOutcome), E> {
+        self.build_inner(key, None, build)
+    }
+
+    /// Like [`get_or_build`](SingleFlight::get_or_build), but a caller
+    /// that has waited `wait` on another thread's in-flight build stops
+    /// waiting and runs `build` itself. A build whose owner hung (and
+    /// was abandoned by a watchdog, leaving the slot `Building` forever)
+    /// therefore delays later callers by at most `wait` instead of
+    /// wedging them indefinitely; the duplicate compile in that
+    /// pathological case is the price of staying live.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the build closure's error (never cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    pub fn get_or_build_bounded<E>(
+        &self,
+        key: u64,
+        wait: Duration,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, CacheOutcome), E> {
+        self.build_inner(key, Some(wait), build)
+    }
+
+    fn build_inner<E>(
+        &self,
+        key: u64,
+        wait: Option<Duration>,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, CacheOutcome), E> {
+        // Whether this caller owns the `Building` slot (a takeover
+        // caller does not, and must not release it on failure).
+        let mut owner = true;
         {
+            let deadline = wait.and_then(|w| Instant::now().checked_add(w));
             let mut slots = self.slots.lock().expect("cache poisoned");
             loop {
                 match slots.get(&key) {
                     Some(Slot::Ready(v)) => return Ok((v.clone(), CacheOutcome::Hit)),
-                    Some(Slot::Building) => {
-                        slots = self.cv.wait(slots).expect("cache poisoned");
-                    }
+                    Some(Slot::Building) => match deadline {
+                        None => slots = self.cv.wait(slots).expect("cache poisoned"),
+                        Some(d) => {
+                            let left = d.saturating_duration_since(Instant::now());
+                            if left.is_zero() {
+                                // The in-flight build outlived the
+                                // bound (hung or abandoned): take over.
+                                owner = false;
+                                break;
+                            }
+                            slots = self
+                                .cv
+                                .wait_timeout(slots, left)
+                                .expect("cache poisoned")
+                                .0;
+                        }
+                    },
                     None => {
                         slots.insert(key, Slot::Building);
                         break;
@@ -129,7 +184,7 @@ impl<V: Clone> SingleFlight<V> {
         let mut guard = BuildGuard {
             cache: self,
             key,
-            armed: true,
+            armed: owner,
         };
         let value = build()?;
         guard.armed = false;
@@ -186,6 +241,35 @@ mod tests {
         // The slot is free again: the next caller builds successfully.
         let (v, o) = cache.get_or_build(1, || Ok::<_, ()>(5)).unwrap();
         assert_eq!((v, o), (5, CacheOutcome::Built));
+    }
+
+    #[test]
+    fn bounded_waiter_takes_over_a_stuck_build() {
+        let cache: Arc<SingleFlight<u64>> = Arc::new(SingleFlight::new());
+        let stuck = Arc::clone(&cache);
+        // The owner "hangs": it holds the Building slot far longer than
+        // the waiter is willing to wait.
+        let owner = std::thread::spawn(move || {
+            stuck.get_or_build(5, || {
+                std::thread::sleep(std::time::Duration::from_millis(400));
+                Ok::<_, ()>(1)
+            })
+        });
+        // Give the owner time to claim the slot.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        let (v, how) = cache
+            .get_or_build_bounded(5, Duration::from_millis(100), || Ok::<_, ()>(2))
+            .unwrap();
+        assert_eq!((v, how), (2, CacheOutcome::Built), "waiter built its own");
+        assert!(
+            t0.elapsed() < Duration::from_millis(350),
+            "takeover must not wait out the stuck owner"
+        );
+        owner.join().unwrap().unwrap();
+        // Whoever finished last owns the resident entry; lookups hit.
+        let (_, how) = cache.get_or_build(5, || Ok::<_, ()>(9)).unwrap();
+        assert_eq!(how, CacheOutcome::Hit);
     }
 
     #[test]

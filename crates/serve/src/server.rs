@@ -6,18 +6,23 @@
 //! POST /submit ─▶ admission (bounded queue + per-tenant tokens)
 //!     │ 429 + Retry-After on pressure
 //!     ▼
-//! worker pool ─▶ deadline check ─▶ artifact cache (single-flight)
+//! worker pool ─▶ deadline check ─▶ compile cell: artifact cache
+//!     │          (single-flight, bounded waiters, run_case isolated)
 //!     ▼
 //! vsp_fault::run_case cell (catch_unwind + watchdog + jittered retry)
 //!     └▶ tier ladder: shed→estimate · functional · batch · cycle-accurate
 //!     ▼
-//! job table ─▶ GET /result/<id> (long-poll) · /metricsz · /healthz
+//! job table (retention-bounded) ─▶ GET /result/<id> · /metricsz · /healthz
 //! ```
 //!
-//! Every worker cell is harness-isolated: a panicking job is contained,
-//! a hanging job is abandoned by the watchdog (and the leaked thread
-//! counted), a flaky job retries with full-jitter backoff — the service
-//! itself never goes down with a job.
+//! Both worker phases — compile and execute — are harness-isolated: a
+//! panicking job is contained, a hanging job is abandoned by the
+//! watchdog (and the leaked thread counted), a flaky job retries with
+//! full-jitter backoff — the service itself never goes down with a job.
+//! Memory is bounded end to end: the admission queue has a hard depth,
+//! connection-handler threads are capped at accept, finished job
+//! records are evicted after a retention window, and idle tenants are
+//! garbage-collected from the admission tables.
 
 use crate::admission::{Admission, AdmissionConfig};
 use crate::api::{Chaos, JobOutcome, JobSpec};
@@ -28,7 +33,7 @@ use crate::tiers::{build_artifact, execute_job, machine_for, Artifact};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -57,6 +62,20 @@ pub struct ServeConfig {
     /// Pinned jitter seed for retry backoff (tests); `None` derives
     /// per-case entropy.
     pub jitter_seed: Option<u64>,
+    /// How long finished (done/failed/expired) job records stay
+    /// queryable before eviction. Records inside the window can still
+    /// be evicted early by [`max_jobs`](ServeConfig::max_jobs)
+    /// pressure; an evicted id answers 404.
+    pub job_retention: Duration,
+    /// Hard cap on retained job records. When exceeded, the oldest
+    /// finished records are evicted first (jobs that have not reached
+    /// a terminal state are never evicted — they are already bounded
+    /// by the queue depth plus the worker count).
+    pub max_jobs: usize,
+    /// Maximum concurrent connection-handler threads. Connections
+    /// beyond the cap are dropped at accept, so a connection flood
+    /// cannot exhaust threads ahead of the bounded-queue backpressure.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +89,9 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_secs(120),
             retries: 1,
             jitter_seed: None,
+            job_retention: Duration::from_secs(900),
+            max_jobs: 16 * 1024,
+            max_connections: 256,
         }
     }
 }
@@ -106,6 +128,9 @@ impl JobState {
 struct JobRecord {
     tenant: String,
     state: JobState,
+    /// When the job reached a terminal state; drives retention
+    /// eviction so the table stays bounded in a long-running service.
+    finished: Option<Instant>,
 }
 
 struct QueuedJob {
@@ -121,18 +146,37 @@ struct Shared {
     jobs: Mutex<HashMap<u64, JobRecord>>,
     jobs_cv: Condvar,
     next_id: AtomicU64,
+    /// Terminal transitions so far, for amortized job-table sweeps.
+    finished: AtomicU64,
+    /// Live connection-handler threads, bounded by
+    /// [`ServeConfig::max_connections`].
+    conns: AtomicUsize,
     metrics: SharedRegistry,
     stop: AtomicBool,
 }
 
 impl Shared {
     fn set_state(&self, id: u64, state: JobState) {
+        let terminal = state.terminal();
         let mut jobs = self.jobs.lock().expect("job table poisoned");
         if let Some(rec) = jobs.get_mut(&id) {
+            rec.finished = terminal.then(Instant::now);
             rec.state = state;
+        }
+        if terminal {
+            // Amortized retention sweep: every 64th terminal job, or
+            // immediately under cap pressure.
+            let n = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(64) || jobs.len() > self.cfg.max_jobs {
+                sweep_jobs(&mut jobs, &self.cfg);
+            }
         }
         drop(jobs);
         self.jobs_cv.notify_all();
+    }
+
+    fn remove_job(&self, id: u64) {
+        self.jobs.lock().expect("job table poisoned").remove(&id);
     }
 
     fn record_gauges(&self) {
@@ -175,6 +219,8 @@ impl Server {
             jobs: Mutex::new(HashMap::new()),
             jobs_cv: Condvar::new(),
             next_id: AtomicU64::new(1),
+            finished: AtomicU64::new(0),
+            conns: AtomicUsize::new(0),
             metrics: SharedRegistry::new(),
             stop: AtomicBool::new(false),
             cfg,
@@ -247,10 +293,27 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                let shared = Arc::clone(shared);
-                let _ = thread::Builder::new()
+                // Bound handler threads *before* any work: a connection
+                // flood is dropped here instead of exhausting threads
+                // and bypassing the bounded-queue backpressure.
+                let prev = shared.conns.fetch_add(1, Ordering::SeqCst);
+                if prev >= shared.cfg.max_connections {
+                    shared.conns.fetch_sub(1, Ordering::SeqCst);
+                    let mut m = shared.metrics.clone();
+                    m.add("vsp_serve_conn_overflow_total", &[], 1);
+                    drop(stream);
+                    continue;
+                }
+                let conn_shared = Arc::clone(shared);
+                let spawned = thread::Builder::new()
                     .name("vsp-serve-conn".into())
-                    .spawn(move || handle_connection(stream, &shared));
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared.conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.conns.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(5));
@@ -333,19 +396,25 @@ fn submit(req: &Request, shared: &Arc<Shared>) -> Response {
         spec: Arc::new(spec),
         deadline: Instant::now() + deadline,
     };
+    // The record must exist *before* the queue notifies a worker: a
+    // worker can pop the job and reach a terminal state (zero deadline,
+    // cached estimate tier) before this thread runs again, and that
+    // outcome must land in the table, not vanish into a no-op.
+    shared.jobs.lock().expect("job table poisoned").insert(
+        id,
+        JobRecord {
+            tenant: tenant.clone(),
+            state: JobState::Queued,
+            finished: None,
+        },
+    );
     match shared.queue.submit(&tenant, queued) {
         Ok(()) => {
-            shared.jobs.lock().expect("job table poisoned").insert(
-                id,
-                JobRecord {
-                    tenant,
-                    state: JobState::Queued,
-                },
-            );
             shared.record_gauges();
             Response::json(202, &Value::obj([("id", Value::Int(id as i64))]))
         }
         Err(reject) => {
+            shared.remove_job(id);
             let mut m = shared.metrics.clone();
             m.add("vsp_serve_rejected_total", &[("reason", reject.label())], 1);
             let secs = reject.retry_after().as_secs_f64().ceil().max(1.0) as u64;
@@ -358,6 +427,28 @@ fn submit(req: &Request, shared: &Arc<Shared>) -> Response {
                 ]),
             )
             .with_header("retry-after", secs.to_string())
+        }
+    }
+}
+
+/// Evicts finished records past the retention window, then — if the
+/// table still exceeds the cap — the oldest finished records. Jobs
+/// that have not reached a terminal state are never evicted.
+fn sweep_jobs(jobs: &mut HashMap<u64, JobRecord>, cfg: &ServeConfig) {
+    let now = Instant::now();
+    jobs.retain(|_, rec| {
+        rec.finished
+            .is_none_or(|f| now.duration_since(f) < cfg.job_retention)
+    });
+    if jobs.len() > cfg.max_jobs {
+        let mut finished: Vec<(u64, Instant)> = jobs
+            .iter()
+            .filter_map(|(id, rec)| rec.finished.map(|f| (*id, f)))
+            .collect();
+        finished.sort_by_key(|&(_, f)| f);
+        let excess = jobs.len() - cfg.max_jobs;
+        for (id, _) in finished.into_iter().take(excess) {
+            jobs.remove(&id);
         }
     }
 }
@@ -467,8 +558,12 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
     // Deadline propagation, step 1: a job that expired in the queue is
     // never started.
     if started >= job.deadline {
-        shared.set_state(job.id, JobState::Expired);
+        // Metrics before the state flip, here and at every terminal
+        // site below: a client that polls the job to a terminal state
+        // and then reads /metricsz must find the books already
+        // balanced.
         m.add("vsp_serve_jobs_total", &[("outcome", "expired")], 1);
+        shared.set_state(job.id, JobState::Expired);
         return;
     }
     shared.set_state(job.id, JobState::Running);
@@ -477,6 +572,7 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
     let machine = match machine_for(&spec) {
         Ok(machine) => machine,
         Err(error) => {
+            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
             shared.set_state(
                 job.id,
                 JobState::Failed {
@@ -484,26 +580,84 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
                     error,
                 },
             );
-            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
             return;
         }
     };
 
     // Artifact via the content-addressed single-flight cache: N
-    // concurrent identical jobs share one compile.
+    // concurrent identical jobs share one compile. The build runs in
+    // its own `run_case` cell — a hostile spec that panics or hangs the
+    // compiler fails *this job*, it does not kill the worker thread or
+    // wedge the pool. Single-flight waiters are bounded by the same
+    // budget, so a hung (abandoned) build cannot strand later jobs on
+    // the cache condvar either.
+    let compile_budget = shared
+        .cfg
+        .job_timeout
+        .min(job.deadline.saturating_duration_since(Instant::now()));
+    let compile_cfg = HarnessConfig {
+        timeout: compile_budget,
+        retries: 0,
+        backoff: Duration::ZERO,
+        jitter_seed: shared.cfg.jitter_seed,
+    };
+    let build_shared = Arc::clone(shared);
     let build_machine = machine.clone();
     let build_spec = Arc::clone(&spec);
-    let mut build_metrics = shared.metrics.clone();
-    let built = shared.cache.get_or_build(spec.cache_key(), move || {
-        let t0 = Instant::now();
-        let artifact = build_artifact(&build_spec, &build_machine)?;
-        build_metrics.observe(
-            "vsp_serve_compile_micros",
-            &[],
-            t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
-        );
-        Ok::<_, String>(Arc::new(artifact))
+    let key = spec.cache_key();
+    // A takeover waiter needs time left inside its own watchdog budget
+    // to run the duplicate build, so wait at most half the budget.
+    let flight_wait = compile_budget / 2;
+    let chaos = spec.chaos;
+    let compiled = run_case(&compile_cfg, move || {
+        if chaos == Some(Chaos::BuildPanic) {
+            panic!("chaos: injected compile panic");
+        }
+        let mut build_metrics = build_shared.metrics.clone();
+        build_shared
+            .cache
+            .get_or_build_bounded(key, flight_wait, || {
+                let t0 = Instant::now();
+                let artifact = build_artifact(&build_spec, &build_machine)?;
+                build_metrics.observe(
+                    "vsp_serve_compile_micros",
+                    &[],
+                    t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                );
+                Ok::<_, String>(Arc::new(artifact))
+            })
     });
+    let built = match compiled {
+        CaseOutcome::Completed(r) => r,
+        CaseOutcome::Recovered { value, .. } => value,
+        CaseOutcome::Faulted { message } => {
+            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
+            shared.set_state(
+                job.id,
+                JobState::Failed {
+                    reason: "compile",
+                    error: message,
+                },
+            );
+            return;
+        }
+        CaseOutcome::TimedOut { .. } => {
+            m.add("vsp_serve_jobs_total", &[("outcome", "timed_out")], 1);
+            m.gauge(
+                "vsp_fault_abandoned_threads",
+                &[],
+                abandoned_threads() as f64,
+            );
+            shared.set_state(
+                job.id,
+                JobState::Failed {
+                    reason: "timeout",
+                    error: "compile exceeded its wall-clock budget".into(),
+                },
+            );
+            return;
+        }
+    };
     let (artifact, cache_hit) = match built {
         Ok((artifact, CacheOutcome::Built)) => {
             m.add("vsp_serve_compile_total", &[], 1);
@@ -515,6 +669,7 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
             (artifact, true)
         }
         Err(error) => {
+            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
             shared.set_state(
                 job.id,
                 JobState::Failed {
@@ -522,7 +677,6 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
                     error,
                 },
             );
-            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
             return;
         }
     };
@@ -570,6 +724,12 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
             (Some(value), attempts)
         }
         CaseOutcome::Faulted { message } => {
+            m.add("vsp_serve_jobs_total", &[("outcome", "panicked")], 1);
+            m.gauge(
+                "vsp_fault_abandoned_threads",
+                &[],
+                abandoned_threads() as f64,
+            );
             shared.set_state(
                 job.id,
                 JobState::Failed {
@@ -577,27 +737,21 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
                     error: message,
                 },
             );
-            m.add("vsp_serve_jobs_total", &[("outcome", "panicked")], 1);
+            return;
+        }
+        CaseOutcome::TimedOut { .. } => {
+            m.add("vsp_serve_jobs_total", &[("outcome", "timed_out")], 1);
             m.gauge(
                 "vsp_fault_abandoned_threads",
                 &[],
                 abandoned_threads() as f64,
             );
-            return;
-        }
-        CaseOutcome::TimedOut { .. } => {
             shared.set_state(
                 job.id,
                 JobState::Failed {
                     reason: "timeout",
                     error: "job exceeded its wall-clock budget".into(),
                 },
-            );
-            m.add("vsp_serve_jobs_total", &[("outcome", "timed_out")], 1);
-            m.gauge(
-                "vsp_fault_abandoned_threads",
-                &[],
-                abandoned_threads() as f64,
             );
             return;
         }
@@ -627,6 +781,7 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
             shared.set_state(job.id, JobState::Done(out));
         }
         Err(error) => {
+            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
             shared.set_state(
                 job.id,
                 JobState::Failed {
@@ -634,7 +789,6 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
                     error,
                 },
             );
-            m.add("vsp_serve_jobs_total", &[("outcome", "failed")], 1);
         }
     }
 }

@@ -280,8 +280,21 @@ pub fn execute_job(
             .collect();
         let outcomes = BatchSimulator::new(machine).run_batch(&decoded, specs);
         let first = outcomes.first().ok_or("batch produced no lanes")?;
-        if let Some(e) = &first.error {
-            return Err(format!("batch lane 0 failed: {e}"));
+        // Every lane must retire cleanly — an error in lane 7 of a
+        // fault sweep is a job failure, not something to mask behind
+        // lane 0's stats.
+        let failed: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(lane, o)| o.error.is_some().then_some(lane))
+            .collect();
+        if let Some(&lane) = failed.first() {
+            let e = outcomes[lane].error.as_ref().expect("lane has an error");
+            return Err(format!(
+                "batch: {} of {} lanes failed; lane {lane}: {e}",
+                failed.len(),
+                outcomes.len()
+            ));
         }
         return Ok(JobOutcome {
             tier: Tier::Batch,
@@ -398,6 +411,31 @@ mod tests {
             scalar_out.stats.unwrap().digest,
             "batch RunStats are bit-identical to the scalar run"
         );
+    }
+
+    #[test]
+    fn batch_jobs_fail_when_any_lane_errors() {
+        // Rate and seed chosen so lane 0 retires cleanly and only a
+        // later lane faults into a memory error: a lane-0-only check
+        // would report this job as a success.
+        let mut spec = JobSpec::kernel("sad", "i4c8s4");
+        spec.fault = Some(crate::api::FaultSpec {
+            seed: 2,
+            rate_ppm: 200,
+        });
+        spec.runs = 8;
+        spec.max_cycles = 20_000;
+        let (machine, art) = artifact(&spec);
+        let err = execute_job(&machine, &art, &spec, false).unwrap_err();
+        assert!(
+            err.contains("lane 7"),
+            "error must name the failing lane: {err}"
+        );
+        // Lane 0's plan alone (a single run) still succeeds, proving
+        // the failure really came from a non-zero lane.
+        let mut clean = spec.clone();
+        clean.runs = 1;
+        assert!(execute_job(&machine, &art, &clean, false).is_ok());
     }
 
     #[test]

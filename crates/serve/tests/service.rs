@@ -202,6 +202,137 @@ fn forced_shed_degrades_to_the_estimate() {
 }
 
 #[test]
+fn zero_deadline_jobs_always_reach_a_terminal_state() {
+    // Regression: the job record must be in the table before the queue
+    // notifies a worker. With the old submit order, a worker could pop
+    // a zero-deadline job and mark it Expired into a missing record —
+    // the job then sat "queued" forever. Iterate to give the race room.
+    let server = Server::start(test_config()).unwrap();
+    let client = Client::new(server.addr());
+    for i in 0..16 {
+        let id = client
+            .submit_with_deadline("t", &JobSpec::kernel("sad", "i4c8s4"), Some(0))
+            .unwrap();
+        match client.wait_done(id, Duration::from_secs(30)) {
+            Err(ClientError::Failed { reason, .. }) => assert_eq!(reason, "expired"),
+            other => panic!("zero-deadline job {i} must expire, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn compile_panic_fails_the_job_not_the_worker() {
+    // A single worker makes worker death observable: if the compile
+    // phase ran outside the harness cell, the injected panic would
+    // unwind and kill the only worker, and the follow-up job would
+    // never complete.
+    let cfg = ServeConfig {
+        workers: 1,
+        ..test_config()
+    };
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr());
+
+    let mut spec = JobSpec::kernel("dct-col", "i4c8s4");
+    spec.chaos = Some(vsp_serve::Chaos::BuildPanic);
+    let id = client.submit("t", &spec).unwrap();
+    match client.wait_done(id, Duration::from_secs(30)) {
+        Err(ClientError::Failed { reason, error }) => {
+            assert_eq!(reason, "failed");
+            assert!(error.contains("injected compile panic"), "{error}");
+        }
+        other => panic!("compile-panic job must fail, got {other:?}"),
+    }
+    // The panic was classed as a compile failure, not a worker panic.
+    let m = server.metrics();
+    assert_eq!(
+        m.counter("vsp_serve_jobs_total", &[("outcome", "failed")]),
+        Some(1)
+    );
+    assert_eq!(
+        m.counter("vsp_serve_jobs_total", &[("outcome", "panicked")]),
+        None
+    );
+
+    // The worker survived the hostile compile: a clean job completes.
+    let id = client
+        .submit("t", &JobSpec::kernel("sad", "i4c8s4"))
+        .unwrap();
+    let out = client.wait_done(id, Duration::from_secs(60)).unwrap();
+    assert!(out.halted);
+    server.shutdown();
+}
+
+#[test]
+fn finished_jobs_are_evicted_after_retention() {
+    let cfg = ServeConfig {
+        job_retention: Duration::from_millis(200),
+        max_jobs: 2,
+        ..test_config()
+    };
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr());
+    let spec = JobSpec::kernel("sad", "i4c8s4");
+
+    let a = client.submit("t", &spec).unwrap();
+    let b = client.submit("t", &spec).unwrap();
+    for id in [a, b] {
+        client.wait_done(id, Duration::from_secs(60)).unwrap();
+    }
+    // Let a and b age past the retention window, then finish one more
+    // job: its terminal transition finds the table over max_jobs and
+    // sweeps the stale records.
+    thread::sleep(Duration::from_millis(300));
+    let c = client.submit("t", &spec).unwrap();
+    client.wait_done(c, Duration::from_secs(60)).unwrap();
+
+    assert!(
+        matches!(client.result(a, Duration::ZERO), Err(ClientError::Protocol(_))),
+        "evicted job must answer 404"
+    );
+    let health = client.healthz().unwrap();
+    let jobs = health.get("jobs").and_then(|v| v.as_u64()).unwrap();
+    assert!(jobs <= 2, "job table must stay bounded, holds {jobs}");
+    server.shutdown();
+}
+
+#[test]
+fn connection_flood_beyond_the_cap_is_dropped() {
+    let cfg = ServeConfig {
+        max_connections: 2,
+        ..test_config()
+    };
+    let server = Server::start(cfg).unwrap();
+
+    // Two idle connections occupy every handler slot (each blocks in
+    // the 10 s read timeout); the next connection must be dropped at
+    // accept instead of spawning an unbounded thread.
+    let idle: Vec<std::net::TcpStream> = (0..2)
+        .map(|_| std::net::TcpStream::connect(server.addr()).unwrap())
+        .collect();
+    thread::sleep(Duration::from_millis(200));
+
+    let client = Client::new(server.addr());
+    assert!(
+        client.healthz().is_err(),
+        "request beyond the connection cap must be shed"
+    );
+
+    // Closing the idle connections frees the slots; service recovers.
+    drop(idle);
+    thread::sleep(Duration::from_millis(200));
+    let health = client.healthz().unwrap();
+    assert_eq!(health.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let overflow = server
+        .metrics()
+        .counter("vsp_serve_conn_overflow_total", &[])
+        .unwrap_or(0);
+    assert!(overflow >= 1, "shed connections must be counted");
+    server.shutdown();
+}
+
+#[test]
 fn observability_endpoints_and_error_paths() {
     let server = Server::start(test_config()).unwrap();
     let client = Client::new(server.addr());
