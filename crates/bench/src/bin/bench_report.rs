@@ -26,13 +26,17 @@
 //!    [`EvalEngine`] for Tables 1 and 2, asserting byte-identical text.
 //! 5. **Design-space sweep** — `vsp_vlsi::explore::sweep` vs
 //!    `sweep_parallel`.
+//! 6. **Design-space search** — the full `vsp-dse` pipeline
+//!    (enumerate → validate → prune on the VLSI envelope → evaluate
+//!    survivors on the six-kernel suite → Pareto-rank) over the CI
+//!    smoke grid, in points processed per host second.
 //!
 //! With `--gate`, the run doubles as the CI perf-regression gate: the
-//! fresh fast-path throughput, the batch-engine aggregate throughput
-//! *and* the functional tier's runs per second are each held against
-//! the best prior trajectory record ([`vsp_bench::gate`]) and the
-//! process exits nonzero when any lost more than `--tolerance`
-//! (default 10%).
+//! fresh fast-path throughput, the batch-engine aggregate throughput,
+//! the functional tier's runs per second *and* the design-space
+//! search's points per second are each held against the best prior
+//! trajectory record ([`vsp_bench::gate`]) and the process exits
+//! nonzero when any lost more than `--tolerance` (default 10%).
 //!
 //! ```text
 //! cargo run --release -p vsp-bench --bin bench-report -- --iters 5
@@ -55,16 +59,18 @@ use vsp_vlsi::explore::{sweep, sweep_parallel, Constraints};
 const USAGE: &str = "usage: bench-report [options]
 
 Measures the simulator fast path, the parallel table engine, and the
-parallel design-space sweep against their serial baselines, appends a
-JSON record to the benchmark trajectory, and prints a summary.
+parallel design-space sweep against their serial baselines, times the
+vsp-dse search on the CI smoke grid, appends a JSON record to the
+benchmark trajectory, and prints a summary.
 
 options:
   --iters N      repetitions per measurement (default 5; CI uses 1)
   --out PATH     trajectory file (default BENCH_simulator.json)
   --dry-run      measure and print, but do not write the trajectory
-  --gate         after appending, compare fast-path throughput against
-                 the best prior trajectory record and exit nonzero when
-                 it lost more than the tolerance (the CI perf gate)
+  --gate         after appending, compare the fast-path, batch,
+                 functional and design-search throughputs against the
+                 best prior trajectory records and exit nonzero when
+                 any lost more than the tolerance (the CI perf gate)
   --tolerance F  fractional loss the gate allows (default 0.10; CI cold
                  runners pass a wider band to stay warn-only)
   -h, --help     this text";
@@ -383,6 +389,46 @@ fn measure_tables(iters: u32) -> Result<TablesResult, String> {
     })
 }
 
+struct DseResult {
+    enumerated: usize,
+    feasible: usize,
+    frontier: usize,
+    wall_s: f64,
+    points_per_sec: f64,
+}
+
+/// The design-space search on the CI smoke grid: the whole `vsp-dse`
+/// pipeline — enumerate, validate, prune against the paper envelope,
+/// evaluate every survivor on the six-kernel suite, Pareto-rank — in
+/// points processed per host second. One pass regardless of `--iters`:
+/// the ~200-point grid already amortizes per-point noise, and the
+/// plane spot-checks are skipped (they time the evaluation plane, not
+/// the search).
+fn measure_dse() -> Result<DseResult, String> {
+    let grid = vsp_dse::space::smoke();
+    let config = vsp_dse::SearchConfig {
+        verify_frontier: 0,
+        ..vsp_dse::SearchConfig::default()
+    };
+    let report = vsp_dse::search(&grid, &config);
+    if report.points.is_empty() {
+        return Err("design-space search found no feasible point on the smoke grid".into());
+    }
+    if report.eval_failures > 0 {
+        return Err(format!(
+            "design-space search hit {} evaluation failures on the smoke grid",
+            report.eval_failures
+        ));
+    }
+    Ok(DseResult {
+        enumerated: report.enumerated,
+        feasible: report.feasible,
+        frontier: report.frontier.len(),
+        wall_s: report.wall_s,
+        points_per_sec: report.points_per_sec,
+    })
+}
+
 struct ExploreResult {
     serial_wall_s: f64,
     parallel_wall_s: f64,
@@ -418,6 +464,7 @@ fn render_record(
     fnc: &FunctionalResult,
     tab: &TablesResult,
     exp: &ExploreResult,
+    dse: &DseResult,
 ) -> String {
     let epoch_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -469,6 +516,14 @@ fn render_record(
             "      \"parallel_wall_s\": {:.6},\n",
             "      \"speedup\": {:.3},\n",
             "      \"identical\": true\n",
+            "    }},\n",
+            "    \"dse\": {{\n",
+            "      \"workload\": \"smoke_grid_search\",\n",
+            "      \"enumerated\": {},\n",
+            "      \"feasible\": {},\n",
+            "      \"frontier\": {},\n",
+            "      \"wall_s\": {:.6},\n",
+            "      \"dse_points_per_sec\": {:.3}\n",
             "    }}\n",
             "  }}"
         ),
@@ -498,6 +553,11 @@ fn render_record(
         exp.serial_wall_s,
         exp.parallel_wall_s,
         exp.serial_wall_s / exp.parallel_wall_s,
+        dse.enumerated,
+        dse.feasible,
+        dse.frontier,
+        dse.wall_s,
+        dse.points_per_sec,
     )
 }
 
@@ -524,6 +584,7 @@ fn run() -> Result<(), String> {
     let fnc = measure_functional(args.iters)?;
     let tab = measure_tables(args.iters)?;
     let exp = measure_explore(args.iters)?;
+    let dse = measure_dse()?;
 
     println!(
         "simulator : fast {:>12.0} cyc/s | interp {:>12.0} cyc/s | {:.2}x",
@@ -559,6 +620,10 @@ fn run() -> Result<(), String> {
         exp.serial_wall_s / f64::from(args.iters),
         exp.serial_wall_s / exp.parallel_wall_s
     );
+    println!(
+        "dse       : {:>5} points in {:>7.3} s | {:.0} points/s ({} feasible, frontier {})",
+        dse.enumerated, dse.wall_s, dse.points_per_sec, dse.feasible, dse.frontier
+    );
 
     // Gate against the records that existed *before* this run is
     // appended, so today's measurement never dilutes its own baseline.
@@ -571,7 +636,7 @@ fn run() -> Result<(), String> {
     if args.dry_run {
         println!("(dry run: {} not written)", args.out);
     } else {
-        let record = render_record(&args, &sim, &bat, &fnc, &tab, &exp);
+        let record = render_record(&args, &sim, &bat, &fnc, &tab, &exp, &dse);
         append_record(&args.out, &record)?;
         println!("appended record to {}", args.out);
     }
@@ -582,6 +647,7 @@ fn run() -> Result<(), String> {
             ("fast", gate::GATE_METRIC, sim.fast_cps),
             ("batch", gate::BATCH_GATE_METRIC, bat.batch_cps),
             ("functional", gate::FUNC_GATE_METRIC, fnc.runs_per_sec),
+            ("dse", gate::DSE_GATE_METRIC, dse.points_per_sec),
         ] {
             let outcome = gate::check(&prior, key, current, args.tolerance);
             println!("gate      : {label}: {outcome}");

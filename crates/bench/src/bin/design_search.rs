@@ -1,0 +1,159 @@
+//! Automated design-space search over the structural parameter grid.
+//!
+//! Runs the `vsp-dse` pipeline — enumerate, validate, prune on the
+//! VLSI feasibility envelope, evaluate survivors on the six-kernel
+//! suite, rank by the frame-time × area × power Pareto frontier, and
+//! spot-check frontier designs on the evaluation plane — then prints
+//! the prune ledger and the frontier table.
+//!
+//! ```text
+//! cargo run --release -p vsp-bench --bin design-search -- --smoke --metrics dse.prom
+//! cargo run --release -p vsp-bench --bin design-search            # full grid
+//! ```
+
+use std::process::ExitCode;
+use vsp_dse::{search_recorded, space, SearchConfig, SearchReport};
+use vsp_metrics::Registry;
+
+const USAGE: &str = "usage: design-search [options]
+
+Enumerates the structural design space, prunes infeasible points with
+the VLSI cost models before any scheduling, evaluates the survivors on
+the paper's six-kernel suite, and reports the Pareto frontier of frame
+time x area x power.
+
+options:
+  --smoke        search the ~200-point CI grid instead of the full one
+  --top N        frontier rows to print (default 12)
+  --verify N     frontier designs to execute on the evaluation plane
+                 (default 4)
+  --metrics PATH write the vsp_dse_* metrics snapshot (.prom format)
+  -h, --help     this text";
+
+struct Args {
+    smoke: bool,
+    top: usize,
+    verify: usize,
+    metrics: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        top: 12,
+        verify: 4,
+        metrics: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--top" => args.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--verify" => {
+                args.verify = value("--verify")?
+                    .parse()
+                    .map_err(|e| format!("--verify: {e}"))?
+            }
+            "--metrics" => args.metrics = Some(value("--metrics")?),
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_report(report: &SearchReport, top: usize) {
+    println!(
+        "enumerated {} points -> {} invalid, {} pruned, {} feasible, {} evaluated ({} eval failures)",
+        report.enumerated,
+        report.pruned_invalid,
+        report.pruned.iter().map(|(_, n)| n).sum::<usize>(),
+        report.feasible,
+        report.points.len(),
+        report.eval_failures,
+    );
+    for (reason, n) in &report.pruned {
+        println!("  pruned[{reason}]: {n}");
+    }
+    println!(
+        "search took {:.2}s ({:.0} points/s); frontier holds {} designs",
+        report.wall_s,
+        report.points_per_sec,
+        report.frontier.len()
+    );
+    println!();
+    println!(
+        "{:<26} {:>8} {:>8} {:>7} {:>10} {:>9}",
+        "design", "MHz", "mm2", "W", "frame ms", "real-time"
+    );
+    for p in report.frontier_points().into_iter().take(top) {
+        println!(
+            "{:<26} {:>8.0} {:>8.1} {:>7.1} {:>10.3} {:>9}",
+            p.name,
+            p.freq_mhz,
+            p.area_mm2,
+            p.power_watts,
+            p.frame_time_ms,
+            if p.real_time() { "yes" } else { "no" }
+        );
+    }
+    if report.frontier.len() > top {
+        println!(
+            "... and {} more frontier designs",
+            report.frontier.len() - top
+        );
+    }
+    if !report.verified.is_empty() {
+        println!();
+        println!("evaluation-plane spot-checks:");
+        for v in &report.verified {
+            println!(
+                "  {:<26} tier={} cycles={} halted={}",
+                v.name, v.tier, v.cycles, v.halted
+            );
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let grid = if args.smoke {
+        space::smoke()
+    } else {
+        space::full()
+    };
+    let config = SearchConfig {
+        verify_frontier: args.verify,
+        ..SearchConfig::default()
+    };
+    let mut reg = Registry::new();
+    let report = search_recorded(&grid, &config, &mut reg);
+    print_report(&report, args.top);
+    if let Some(path) = &args.metrics {
+        vsp_bench::metrics_io::write_snapshot(path, &reg.snapshot())?;
+        println!("metrics written to {path}");
+    }
+    if report.points.is_empty() {
+        return Err("no feasible point survived evaluation".into());
+    }
+    if report.verified.iter().any(|v| !v.halted) {
+        return Err("a frontier design failed its evaluation-plane check".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,17 +17,15 @@
 
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
-use std::fmt::Write as _;
-use std::hash::{DefaultHasher, Hasher};
 use std::sync::{Arc, Mutex};
 use vsp_core::MachineConfig;
-use vsp_exec::{CompiledProgram, ExecError, ExecRequest, Functional};
+use vsp_exec::{fingerprint_debug, EvalPlane, PlaneRequest};
 use vsp_fault::harness::{run_case, CampaignReport, CaseOutcome, HarnessConfig};
 use vsp_isa::Program;
 use vsp_kernels::variants::{self, Row, TableRow};
 use vsp_metrics::{Recorder, SharedRegistry, Stopwatch};
 use vsp_sim::batch::{BatchSimulator, LaneOutcome, RunSpec};
-use vsp_sim::{ArchState, DecodedProgram, FaultModel, SimError, Simulator};
+use vsp_sim::{ArchState, DecodedProgram, FaultModel, SimError};
 
 /// One per-machine row generator: a kernel's full variant sweep, the
 /// unit of memoization and parallelism.
@@ -87,26 +85,6 @@ impl RowSource {
     }
 }
 
-/// Streams `fmt` output straight into a hasher, so `Debug`-based
-/// fingerprints allocate nothing (the old implementation rendered a
-/// full `format!` `String` per call, which dominated the allocation
-/// profile of `assemble` on cached sweeps).
-struct HashWriter<'h>(&'h mut DefaultHasher);
-
-impl std::fmt::Write for HashWriter<'_> {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        self.0.write(s.as_bytes());
-        Ok(())
-    }
-}
-
-/// Content hash of any `Debug`-rendered value, allocation-free.
-fn fingerprint_debug(value: &dyn std::fmt::Debug) -> u64 {
-    let mut h = DefaultHasher::new();
-    let _ = write!(HashWriter(&mut h), "{value:?}");
-    h.finish()
-}
-
 /// Content key for one machine configuration.
 ///
 /// [`MachineConfig`] does not implement `Hash` (it carries floats in the
@@ -154,10 +132,6 @@ impl std::fmt::Display for CellFailure {
     }
 }
 
-/// Cache of functional-tier lowerings keyed by `(program hash, machine
-/// fingerprint)`; `None` records a refusal.
-type CompiledCache = Mutex<HashMap<(u64, u64), Option<Arc<CompiledProgram>>>>;
-
 /// Parallel + memoized sweep evaluator. Construct once and reuse across
 /// tables so the cache pays off; see the module docs for the ordering
 /// guarantee.
@@ -168,10 +142,10 @@ pub struct EvalEngine {
     /// fingerprint)`: batch cells sharing a program stop re-validating
     /// and re-decoding it per run.
     decoded: Mutex<HashMap<(u64, u64), Arc<DecodedProgram>>>,
-    /// Functional-tier cache, keyed like `decoded`. A cached `None` means
-    /// a refusal, so a program the tier cannot lower is analyzed once and
-    /// routed straight to the simulator on every later call.
-    compiled: CompiledCache,
+    /// The shared tier-selection ladder ([`vsp_exec::EvalPlane`]),
+    /// which owns the functional-lowering cache the engine used to
+    /// carry itself. `run_architectural` is a thin delegate onto it.
+    plane: EvalPlane,
     serial: bool,
     recorder: Option<SharedRegistry>,
 }
@@ -198,6 +172,7 @@ impl EvalEngine {
     /// isolated path — per-cell verdict counters
     /// (`vsp_eval_cell_verdicts_total{verdict}`).
     pub fn with_recorder(mut self, recorder: SharedRegistry) -> Self {
+        self.plane = EvalPlane::new().with_recorder(recorder.clone());
         self.recorder = Some(recorder);
         self
     }
@@ -482,66 +457,16 @@ impl EvalEngine {
         self.decoded.lock().expect("decode cache poisoned").len()
     }
 
-    /// The functional-tier compilation of `program` for `machine`, from
-    /// the content-keyed cache (lowering on first sight only). `None`
-    /// means the tier refused the program — also cached, so the refusal
-    /// analysis runs once. Traffic is recorded as
-    /// `vsp_exec_prepare_total{outcome}` and refusal reasons as
-    /// `vsp_exec_refusals_total{reason}`.
-    fn functional(
-        &self,
-        machine: &MachineConfig,
-        program: &Program,
-    ) -> Option<Arc<CompiledProgram>> {
-        let key = (fingerprint_program(program), fingerprint(machine));
-        if let Some(hit) = self
-            .compiled
-            .lock()
-            .expect("compiled cache poisoned")
-            .get(&key)
-            .cloned()
-        {
-            return hit;
-        }
-        let entry = match Functional::prepare(machine, program) {
-            Ok(c) => {
-                if let Some(rec) = &self.recorder {
-                    rec.with(|r| {
-                        r.add("vsp_exec_prepare_total", &[("outcome", "lowered")], 1);
-                    });
-                }
-                Some(Arc::new(c))
-            }
-            Err(e) => {
-                if let Some(rec) = &self.recorder {
-                    let reason = match &e {
-                        ExecError::Unsupported(u) => u.label(),
-                        _ => "invalid",
-                    };
-                    rec.with(|r| {
-                        r.add("vsp_exec_prepare_total", &[("outcome", "refused")], 1);
-                        r.add("vsp_exec_refusals_total", &[("reason", reason)], 1);
-                    });
-                }
-                None
-            }
-        };
-        self.compiled
-            .lock()
-            .expect("compiled cache poisoned")
-            .insert(key, entry.clone());
-        entry
-    }
-
     /// Golden run: final [`ArchState`] of one program, nothing else.
     ///
-    /// Routes through the functional tier when it accepts the program
-    /// (no per-cycle simulation; the compiled trace is cached alongside
-    /// the decode cache) and falls back to the cycle-accurate simulator
-    /// whenever the tier refuses — or whenever the functional run
-    /// fails, so budget and out-of-range errors are always reported
-    /// with the simulator's authoritative [`SimError`]. Which tier
-    /// answered is recorded as `vsp_exec_runs_total{backend}`.
+    /// A thin delegate onto the shared [`EvalPlane`]: the functional
+    /// tier runs when it accepts the program (lowerings are cached in
+    /// the plane, content-keyed like the decode cache) and the
+    /// cycle-accurate simulator answers whenever the tier refuses — or
+    /// whenever the functional run fails, so budget and out-of-range
+    /// errors are always reported with the simulator's authoritative
+    /// [`SimError`]. Which tier answered is recorded as
+    /// `vsp_exec_runs_total{backend}`.
     ///
     /// Use this when only architectural outputs matter (golden/SDC
     /// references, output comparison); use [`EvalEngine::run_batch`] or
@@ -558,26 +483,13 @@ impl EvalEngine {
         program: &Program,
         max_cycles: u64,
     ) -> Result<ArchState, SimError> {
-        if let Some(compiled) = self.functional(machine, program) {
-            if let Ok(out) = compiled.run(&ExecRequest::new(max_cycles)) {
-                if let Some(rec) = &self.recorder {
-                    rec.with(|r| {
-                        r.add("vsp_exec_runs_total", &[("backend", "functional")], 1);
-                    });
-                }
-                return Ok(out.state);
-            }
-            // Run-time failure (cycle budget, out-of-range access):
-            // re-run cycle-accurately for the authoritative error.
+        match self
+            .plane
+            .evaluate(machine, Some(program), None, &PlaneRequest::new(max_cycles))
+        {
+            Ok(out) => Ok(out.state.expect("run tiers carry architectural state")),
+            Err(e) => Err(e.sim_error().expect("single-run failures carry a SimError")),
         }
-        if let Some(rec) = &self.recorder {
-            rec.with(|r| {
-                r.add("vsp_exec_runs_total", &[("backend", "cycle-accurate")], 1);
-            });
-        }
-        let mut sim = Simulator::new(machine, program)?;
-        sim.run(max_cycles)?;
-        Ok(sim.arch_state())
     }
 
     /// Batched lockstep execution of one program across many runs: the
@@ -652,6 +564,7 @@ mod tests {
     use super::*;
     use vsp_core::models;
     use vsp_kernels::variants::{assemble_table, table1_rows, table2_rows};
+    use vsp_sim::Simulator;
 
     #[test]
     fn engine_table1_matches_serial_assembly() {

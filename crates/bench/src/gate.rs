@@ -26,6 +26,13 @@ pub const BATCH_GATE_METRIC: &str = "batch_cycles_per_sec";
 /// baseline lands.
 pub const FUNC_GATE_METRIC: &str = "func_runs_per_sec";
 
+/// The fourth gated trajectory key: design-space points enumerated,
+/// priced and (where feasible) evaluated per host second by the
+/// `vsp-dse` search on the CI smoke grid. Records written before the
+/// search existed simply lack the key, so the gate passes vacuously
+/// until a baseline lands.
+pub const DSE_GATE_METRIC: &str = "dse_points_per_sec";
+
 /// Default fractional throughput loss tolerated before the gate fails
 /// (0.10 = the measured number may be up to 10% below the best prior
 /// record).

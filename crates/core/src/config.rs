@@ -152,6 +152,12 @@ pub struct ClusterConfig {
     /// Crossbar ports of this cluster (simultaneous transfer involvements
     /// per cycle, as source or destination).
     pub xbar_ports: u32,
+    /// Register-file ports per issue slot, when sweeping the port axis
+    /// explicitly (§3.2's read/write port study). `None` uses the
+    /// paper's standard allocation (3 ports per slot: 2 read + 1
+    /// write), which every hand-built model assumes.
+    #[serde(default)]
+    pub rf_ports_per_slot: Option<u32>,
 }
 
 impl ClusterConfig {
@@ -280,7 +286,10 @@ impl MachineConfig {
             multiplier: Some(multiplier),
             shifter: self.cluster.capacity(FuClass::Shift) > 0,
             lsus: self.lsus_per_cluster(),
-            regfile: RegFileDesign::for_issue_slots(slots, self.cluster.registers),
+            regfile: match self.cluster.rf_ports_per_slot {
+                Some(ports) => RegFileDesign::new(self.cluster.registers, ports * slots),
+                None => RegFileDesign::for_issue_slots(slots, self.cluster.registers),
+            },
             mem_banks: self.cluster.banks.len() as u32,
             mem: SramDesign::new(bank_bytes, mem_ports, family),
             pipeline,
@@ -355,6 +364,7 @@ mod tests {
             banks: vec![MemBankConfig::single_ported(16384)],
             bank_binding: BankBinding::Any,
             xbar_ports: 4,
+            rf_ports_per_slot: None,
         };
         assert_eq!(c.capacity(FuClass::Alu), 4);
         assert_eq!(c.capacity(FuClass::Mem), 1);

@@ -38,6 +38,7 @@
 pub mod config;
 pub mod latency;
 pub mod models;
+pub mod params;
 pub mod resources;
 pub mod validate;
 
@@ -46,5 +47,6 @@ pub use config::{
     PipelineConfig,
 };
 pub use latency::LatencyModel;
+pub use params::MachineParams;
 pub use resources::CycleReservation;
-pub use validate::{validate_program, ValidationError};
+pub use validate::{validate_config, validate_program, ConfigError, ValidationError};

@@ -42,6 +42,7 @@ fn wide_cluster(registers: u32, mem_words: u32) -> ClusterConfig {
         banks: vec![MemBankConfig::single_ported(mem_words)],
         bank_binding: BankBinding::Any,
         xbar_ports: 4,
+        rf_ports_per_slot: None,
     }
 }
 
@@ -61,6 +62,7 @@ fn narrow_cluster(banks: Vec<MemBankConfig>, binding: BankBinding) -> ClusterCon
         banks,
         bank_binding: binding,
         xbar_ports: 1,
+        rf_ports_per_slot: None,
     }
 }
 

@@ -1,0 +1,255 @@
+//! Parametric machine generation for design-space search.
+//!
+//! §2 of the paper names the parameters "to be determined by the
+//! results of the VLSI simulations": clusters, issue slots per cluster,
+//! registers and register-file ports, local memory banks and capacity,
+//! pipeline depth. The seven hand-built models in [`crate::models`]
+//! are seven points in that space; [`MachineParams`] names an arbitrary
+//! point and [`MachineParams::build`] expands it into a full
+//! [`MachineConfig`] using the same slot-capability patterns the paper
+//! models use (so generated points are directly comparable to the
+//! hand-built ones).
+//!
+//! Generated configurations are *candidates*, not guaranteed-sane
+//! machines: run [`crate::validate::validate_config`] before handing
+//! one to the scheduler, and the VLSI feasibility envelope before
+//! spending simulation time on it.
+
+use crate::config::{
+    Addressing, BankBinding, ClusterConfig, FuSet, MachineConfig, MemBankConfig, MulWidth,
+    PipelineConfig,
+};
+use crate::models::ICACHE_REFILL_CYCLES;
+use serde::{Deserialize, Serialize};
+use vsp_isa::FuClass;
+
+/// One point in the structural design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Issue slots per cluster (2, 3 or 4 — the paper's narrow/wide
+    /// range; other widths have no slot-capability pattern).
+    pub slots: u32,
+    /// Number of identical clusters.
+    pub clusters: u32,
+    /// Pipeline stages (4 or 5).
+    pub stages: u32,
+    /// General registers per cluster.
+    pub registers: u32,
+    /// Register-file read ports per issue slot (the paper's standard
+    /// allocation is 2).
+    pub rf_read_ports_per_slot: u32,
+    /// Register-file write ports per issue slot (paper standard: 1).
+    pub rf_write_ports_per_slot: u32,
+    /// Local data-memory banks per cluster.
+    pub banks: u32,
+    /// Capacity of each bank in 16-bit words.
+    pub bank_words: u32,
+    /// Native multiplier width.
+    pub mul_width: MulWidth,
+    /// Bind bank *i* to memory slot *i* (the `I2C16S4` arrangement)
+    /// instead of any-slot-to-any-bank.
+    pub per_slot_banking: bool,
+}
+
+impl MachineParams {
+    /// The paper's standard port allocation ("each set of 3
+    /// register-file ports supports one ALU and up to one alternate
+    /// function"): 2 read + 1 write per slot.
+    pub const STANDARD_RF_READ_PORTS: u32 = 2;
+    /// See [`Self::STANDARD_RF_READ_PORTS`].
+    pub const STANDARD_RF_WRITE_PORTS: u32 = 1;
+
+    /// A paper-style starting point at the given shape: standard RF
+    /// ports, 8-bit multiplier, one shared bank.
+    #[must_use]
+    pub fn baseline(slots: u32, clusters: u32, stages: u32, registers: u32) -> Self {
+        MachineParams {
+            slots,
+            clusters,
+            stages,
+            registers,
+            rf_read_ports_per_slot: Self::STANDARD_RF_READ_PORTS,
+            rf_write_ports_per_slot: Self::STANDARD_RF_WRITE_PORTS,
+            banks: 1,
+            bank_words: 16384,
+            mul_width: MulWidth::Eight,
+            per_slot_banking: false,
+        }
+    }
+
+    /// Total register-file ports per slot.
+    #[must_use]
+    pub fn rf_ports_per_slot(&self) -> u32 {
+        self.rf_read_ports_per_slot + self.rf_write_ports_per_slot
+    }
+
+    /// Systematic point name, extending the paper's `I<slots>C<clusters>
+    /// S<stages>` scheme with the swept axes: registers, RF ports per
+    /// slot, bank layout, and multiplier width.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let mut name = format!(
+            "I{}C{}S{}-r{}-p{}-b{}x{}",
+            self.slots,
+            self.clusters,
+            self.stages,
+            self.registers,
+            self.rf_ports_per_slot(),
+            self.banks,
+            self.bank_words,
+        );
+        if self.per_slot_banking {
+            name.push_str("-ps");
+        }
+        if self.mul_width == MulWidth::Sixteen {
+            name.push_str("-M16");
+        }
+        name
+    }
+
+    /// Slot capability pattern for this issue width, mirroring the
+    /// paper models: 2-slot clusters fold memory access into both
+    /// slots (`narrow_cluster`), 4-slot clusters dedicate one memory
+    /// slot (`wide_cluster`), 3-slot clusters are the wide pattern
+    /// minus its plain-ALU slot.
+    fn slot_pattern(&self) -> Vec<FuSet> {
+        let x = FuClass::Xfer;
+        match self.slots {
+            2 => vec![
+                FuSet::of(&[FuClass::Alu, FuClass::Mem, FuClass::Mul, x]),
+                FuSet::of(&[FuClass::Alu, FuClass::Mem, FuClass::Shift, x]),
+            ],
+            3 => vec![
+                FuSet::of(&[FuClass::Alu, FuClass::Mul, x]),
+                FuSet::of(&[FuClass::Alu, FuClass::Shift, x]),
+                FuSet::of(&[FuClass::Alu, FuClass::Mem, x]),
+            ],
+            _ => vec![
+                FuSet::of(&[FuClass::Alu, FuClass::Mul, x]),
+                FuSet::of(&[FuClass::Alu, FuClass::Shift, x]),
+                FuSet::of(&[FuClass::Alu, FuClass::Mem, x]),
+                FuSet::of(&[FuClass::Alu, x]),
+            ],
+        }
+    }
+
+    /// Expands the point into a full machine description.
+    ///
+    /// Derived knobs follow the paper models: small cluster counts get
+    /// a slot-wide crossbar interface and 1-cycle transfers, large
+    /// counts one port per cluster and 2-cycle transfers (`I2C16S4`);
+    /// 5-stage pipelines get complex addressing and the 1-cycle
+    /// load-use delay; narrow slots and 16-bit multipliers are
+    /// two-stage (`mul_latency` 2); wide machines carry the 1024-word
+    /// icache, narrow ones 512.
+    #[must_use]
+    pub fn build(&self) -> MachineConfig {
+        let banks = (0..self.banks)
+            .map(|_| MemBankConfig::single_ported(self.bank_words))
+            .collect();
+        let rf_ports = self.rf_ports_per_slot();
+        let cluster = ClusterConfig {
+            slots: self.slot_pattern(),
+            registers: self.registers,
+            pred_regs: 8,
+            banks,
+            bank_binding: if self.per_slot_banking {
+                BankBinding::PerSlot
+            } else {
+                BankBinding::Any
+            },
+            xbar_ports: if self.clusters <= 8 { self.slots } else { 1 },
+            // The paper's 3-ports-per-slot allocation is the model
+            // default; only explicit deviations ride the override.
+            rf_ports_per_slot: (rf_ports != 3).then_some(rf_ports),
+        };
+        MachineConfig {
+            name: self.name(),
+            clusters: self.clusters,
+            cluster,
+            pipeline: PipelineConfig {
+                stages: self.stages,
+                load_use_delay: u32::from(self.stages >= 5),
+                mul_latency: if self.mul_width == MulWidth::Sixteen || self.slots == 2 {
+                    2
+                } else {
+                    1
+                },
+                branch_delay_slots: 1,
+                xfer_latency: if self.clusters <= 8 { 1 } else { 2 },
+            },
+            addressing: if self.stages >= 5 {
+                Addressing::Complex
+            } else {
+                Addressing::Simple
+            },
+            mul_width: self.mul_width,
+            has_absdiff: false,
+            icache_words: if self.slots >= 3 { 1024 } else { 512 },
+            icache_refill_cycles: ICACHE_REFILL_CYCLES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn baseline_4x8_matches_the_paper_model_structurally() {
+        let m = MachineParams::baseline(4, 8, 4, 128).build();
+        let paper = models::i4c8s4();
+        assert_eq!(m.clusters, paper.clusters);
+        assert_eq!(m.cluster.slots, paper.cluster.slots);
+        assert_eq!(m.cluster.registers, paper.cluster.registers);
+        assert_eq!(m.cluster.xbar_ports, paper.cluster.xbar_ports);
+        assert_eq!(m.cluster.banks, paper.cluster.banks);
+        assert_eq!(m.pipeline, paper.pipeline);
+        assert_eq!(m.addressing, paper.addressing);
+        assert_eq!(m.icache_words, paper.icache_words);
+        // Same physical twin → same clock and area as the paper model.
+        let model = vsp_vlsi::clock::CycleTimeModel::new();
+        let mine = model.estimate(&m.datapath_spec());
+        let theirs = model.estimate(&paper.datapath_spec());
+        assert_eq!(mine.cycle_ns, theirs.cycle_ns);
+    }
+
+    #[test]
+    fn baseline_2x16_matches_the_narrow_paper_model() {
+        let mut p = MachineParams::baseline(2, 16, 4, 64);
+        p.banks = 2;
+        p.bank_words = 4096;
+        p.per_slot_banking = true;
+        let m = p.build();
+        let paper = models::i2c16s4();
+        assert_eq!(m.cluster.slots, paper.cluster.slots);
+        assert_eq!(m.cluster.banks, paper.cluster.banks);
+        assert_eq!(m.cluster.bank_binding, paper.cluster.bank_binding);
+        assert_eq!(m.pipeline, paper.pipeline);
+        assert_eq!(m.icache_words, paper.icache_words);
+    }
+
+    #[test]
+    fn names_encode_every_swept_axis() {
+        let mut p = MachineParams::baseline(2, 16, 5, 64);
+        p.rf_read_ports_per_slot = 3;
+        p.banks = 2;
+        p.bank_words = 4096;
+        p.per_slot_banking = true;
+        p.mul_width = MulWidth::Sixteen;
+        assert_eq!(p.name(), "I2C16S5-r64-p4-b2x4096-ps-M16");
+        assert_eq!(p.build().name, p.name());
+    }
+
+    #[test]
+    fn nonstandard_rf_ports_reach_the_physical_model() {
+        let mut p = MachineParams::baseline(4, 8, 4, 128);
+        let standard = p.build().datapath_spec();
+        p.rf_read_ports_per_slot = 3;
+        p.rf_write_ports_per_slot = 2;
+        let wide = p.build().datapath_spec();
+        assert!(wide.regfile.ports > standard.regfile.ports);
+        assert!(wide.regfile.area_mm2() > standard.regfile.area_mm2());
+    }
+}

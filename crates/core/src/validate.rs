@@ -6,7 +6,7 @@
 //! limits and memory-bank bindings. This module replays each word through
 //! a [`CycleReservation`] and checks all operand encodings.
 
-use crate::config::MachineConfig;
+use crate::config::{BankBinding, MachineConfig};
 use crate::resources::{CycleReservation, ReserveError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -221,6 +221,195 @@ pub fn validate_program_with(
     }
 }
 
+/// A structural defect in a *machine configuration* — the
+/// config-level counterpart of [`ValidationError`], for generated
+/// design-space points that must be rejected before they reach the
+/// scheduler (whose resource model assumes a sane machine) or the VLSI
+/// cost model (whose component constructors assert on out-of-range
+/// inputs rather than returning errors).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// No clusters at all.
+    NoClusters,
+    /// A cluster with no issue slots.
+    NoSlots,
+    /// No slot can issue the given class (every runnable machine needs
+    /// at least ALU and memory capability).
+    MissingCapability(vsp_isa::FuClass),
+    /// No general registers.
+    NoRegisters,
+    /// No predicate registers (if-conversion has nowhere to live).
+    NoPredRegs,
+    /// No local data-memory banks.
+    NoBanks,
+    /// A bank with zero capacity.
+    EmptyBank,
+    /// Bank port count outside the modeled SRAM families (1 or 2;
+    /// `SramDesign::new` panics beyond the family limit).
+    BankPortsUnsupported(u32),
+    /// Per-slot bank binding with a bank count that does not match the
+    /// memory-capable slot count.
+    PerSlotBindingMismatch {
+        /// Banks configured.
+        banks: u32,
+        /// Memory-capable slots the binding must cover.
+        mem_slots: u32,
+    },
+    /// More than one cluster but no way to exchange data (no crossbar
+    /// ports or no transfer-capable slot).
+    IsolatedClusters,
+    /// Pipeline depth outside the modeled 4/5-stage organizations.
+    BadPipelineStages(u32),
+    /// Explicit register-file ports-per-slot outside the modeled range
+    /// (3–6: the paper's standard allocation up to the Fig. 2 curve's
+    /// modeled maximum).
+    RfPortsOutOfRange(u32),
+    /// No instruction cache ("all critical loops must fit into the
+    /// cache" — a zero-word cache fits nothing).
+    NoIcache,
+}
+
+impl ConfigError {
+    /// Stable snake-case label for metrics and prune reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConfigError::NoClusters => "no_clusters",
+            ConfigError::NoSlots => "no_slots",
+            ConfigError::MissingCapability(_) => "missing_capability",
+            ConfigError::NoRegisters => "no_registers",
+            ConfigError::NoPredRegs => "no_pred_regs",
+            ConfigError::NoBanks => "no_banks",
+            ConfigError::EmptyBank => "empty_bank",
+            ConfigError::BankPortsUnsupported(_) => "bank_ports_unsupported",
+            ConfigError::PerSlotBindingMismatch { .. } => "per_slot_binding_mismatch",
+            ConfigError::IsolatedClusters => "isolated_clusters",
+            ConfigError::BadPipelineStages(_) => "bad_pipeline_stages",
+            ConfigError::RfPortsOutOfRange(_) => "rf_ports_out_of_range",
+            ConfigError::NoIcache => "no_icache",
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoClusters => write!(f, "machine has no clusters"),
+            ConfigError::NoSlots => write!(f, "cluster has no issue slots"),
+            ConfigError::MissingCapability(c) => {
+                write!(f, "no issue slot can launch {c} operations")
+            }
+            ConfigError::NoRegisters => write!(f, "cluster has no general registers"),
+            ConfigError::NoPredRegs => write!(f, "cluster has no predicate registers"),
+            ConfigError::NoBanks => write!(f, "cluster has no data-memory banks"),
+            ConfigError::EmptyBank => write!(f, "data-memory bank has zero capacity"),
+            ConfigError::BankPortsUnsupported(p) => {
+                write!(f, "{p} bank ports (modeled SRAM families offer 1 or 2)")
+            }
+            ConfigError::PerSlotBindingMismatch { banks, mem_slots } => write!(
+                f,
+                "per-slot binding needs one bank per memory slot ({banks} banks, {mem_slots} memory slots)"
+            ),
+            ConfigError::IsolatedClusters => {
+                write!(f, "multiple clusters with no transfer path between them")
+            }
+            ConfigError::BadPipelineStages(s) => {
+                write!(f, "{s}-stage pipeline (modeled organizations are 4 and 5)")
+            }
+            ConfigError::RfPortsOutOfRange(p) => {
+                write!(f, "{p} register-file ports per slot (modeled range is 3-6)")
+            }
+            ConfigError::NoIcache => write!(f, "machine has no instruction cache"),
+        }
+    }
+}
+
+/// Validates a machine configuration's structure, rejecting points a
+/// design-space sweep can generate but nothing downstream can consume.
+///
+/// Every defect found is returned, so a prune report can count
+/// rejection classes in one pass.
+///
+/// ```
+/// use vsp_core::{models, validate_config};
+///
+/// assert!(validate_config(&models::i4c8s4()).is_ok());
+/// let mut broken = models::i4c8s4();
+/// broken.cluster.registers = 0;
+/// assert!(validate_config(&broken).is_err());
+/// ```
+///
+/// # Errors
+///
+/// Returns every [`ConfigError`] found (empty `Ok(())` means the
+/// machine can be scheduled for and costed).
+pub fn validate_config(machine: &MachineConfig) -> Result<(), Vec<ConfigError>> {
+    use vsp_isa::FuClass;
+    let mut errors = Vec::new();
+    let cluster = &machine.cluster;
+    if machine.clusters == 0 {
+        errors.push(ConfigError::NoClusters);
+    }
+    if cluster.slots.is_empty() {
+        errors.push(ConfigError::NoSlots);
+    } else {
+        for class in [FuClass::Alu, FuClass::Mem] {
+            if cluster.capacity(class) == 0 {
+                errors.push(ConfigError::MissingCapability(class));
+            }
+        }
+    }
+    if cluster.registers == 0 {
+        errors.push(ConfigError::NoRegisters);
+    }
+    if cluster.pred_regs == 0 {
+        errors.push(ConfigError::NoPredRegs);
+    }
+    if cluster.banks.is_empty() {
+        errors.push(ConfigError::NoBanks);
+    }
+    for bank in &cluster.banks {
+        if bank.words == 0 {
+            errors.push(ConfigError::EmptyBank);
+            break;
+        }
+    }
+    if let Some(bad) = cluster
+        .banks
+        .iter()
+        .map(|b| b.ports)
+        .find(|&p| p == 0 || p > 2)
+    {
+        errors.push(ConfigError::BankPortsUnsupported(bad));
+    }
+    let mem_slots = cluster.capacity(FuClass::Mem);
+    if cluster.bank_binding == BankBinding::PerSlot && cluster.banks.len() as u32 != mem_slots {
+        errors.push(ConfigError::PerSlotBindingMismatch {
+            banks: cluster.banks.len() as u32,
+            mem_slots,
+        });
+    }
+    if machine.clusters > 1 && (cluster.xbar_ports == 0 || cluster.capacity(FuClass::Xfer) == 0) {
+        errors.push(ConfigError::IsolatedClusters);
+    }
+    if !(4..=5).contains(&machine.pipeline.stages) {
+        errors.push(ConfigError::BadPipelineStages(machine.pipeline.stages));
+    }
+    if let Some(ports) = cluster.rf_ports_per_slot {
+        if !(3..=6).contains(&ports) {
+            errors.push(ConfigError::RfPortsOutOfRange(ports));
+        }
+    }
+    if machine.icache_words == 0 {
+        errors.push(ConfigError::NoIcache);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,5 +603,139 @@ mod tests {
         );
         let errs = validate_program(&m, &program_of(vec![op])).unwrap_err();
         assert!(matches!(errs[0].kind, ViolationKind::RegOutOfRange(200)));
+    }
+
+    // --- validate_config: one test per rejection class ---
+
+    fn has(errs: &[ConfigError], wanted: &ConfigError) -> bool {
+        errs.iter().any(|e| e == wanted)
+    }
+
+    #[test]
+    fn config_paper_models_all_validate() {
+        for m in crate::models::all_models() {
+            assert!(validate_config(&m).is_ok(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn config_rejects_no_clusters() {
+        let mut m = models::i4c8s4();
+        m.clusters = 0;
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(&errs, &ConfigError::NoClusters));
+        assert_eq!(errs[0].label(), "no_clusters");
+    }
+
+    #[test]
+    fn config_rejects_no_slots() {
+        let mut m = models::i4c8s4();
+        m.cluster.slots.clear();
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(&errs, &ConfigError::NoSlots));
+    }
+
+    #[test]
+    fn config_rejects_missing_capabilities() {
+        let mut m = models::i4c8s4();
+        // Strip memory capability from every slot: nothing can load.
+        m.cluster.slots = vec![crate::config::FuSet::of(&[
+            vsp_isa::FuClass::Alu,
+            vsp_isa::FuClass::Xfer,
+        ])];
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(
+            &errs,
+            &ConfigError::MissingCapability(vsp_isa::FuClass::Mem)
+        ));
+    }
+
+    #[test]
+    fn config_rejects_zero_registers_and_preds() {
+        let mut m = models::i4c8s4();
+        m.cluster.registers = 0;
+        m.cluster.pred_regs = 0;
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(&errs, &ConfigError::NoRegisters));
+        assert!(has(&errs, &ConfigError::NoPredRegs));
+    }
+
+    #[test]
+    fn config_rejects_bankless_and_empty_banks() {
+        let mut m = models::i4c8s4();
+        m.cluster.banks.clear();
+        assert!(has(
+            &validate_config(&m).unwrap_err(),
+            &ConfigError::NoBanks
+        ));
+        let mut m = models::i4c8s4();
+        m.cluster.banks[0].words = 0;
+        assert!(has(
+            &validate_config(&m).unwrap_err(),
+            &ConfigError::EmptyBank
+        ));
+    }
+
+    #[test]
+    fn config_rejects_unmodeled_bank_ports() {
+        let mut m = models::i4c8s4();
+        m.cluster.banks[0].ports = 3;
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(&errs, &ConfigError::BankPortsUnsupported(3)));
+        // The rejection exists precisely because SramDesign::new would
+        // panic on this spec; 2 ports (the §3.4.1 ablation) is fine.
+        m.cluster.banks[0].ports = 2;
+        assert!(validate_config(&m).is_ok());
+    }
+
+    #[test]
+    fn config_rejects_per_slot_binding_mismatch() {
+        let mut m = models::i2c16s4();
+        m.cluster.banks.pop(); // 2 memory slots, now 1 bank
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(
+            &errs,
+            &ConfigError::PerSlotBindingMismatch {
+                banks: 1,
+                mem_slots: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn config_rejects_isolated_clusters() {
+        let mut m = models::i4c8s4();
+        m.cluster.xbar_ports = 0;
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(&errs, &ConfigError::IsolatedClusters));
+        // A single-cluster machine needs no crossbar at all.
+        m.clusters = 1;
+        assert!(validate_config(&m).is_ok());
+    }
+
+    #[test]
+    fn config_rejects_unmodeled_pipeline_depths() {
+        let mut m = models::i4c8s4();
+        m.pipeline.stages = 7;
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(&errs, &ConfigError::BadPipelineStages(7)));
+    }
+
+    #[test]
+    fn config_rejects_rf_ports_off_the_curve() {
+        let mut m = models::i4c8s4();
+        m.cluster.rf_ports_per_slot = Some(9);
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(&errs, &ConfigError::RfPortsOutOfRange(9)));
+        m.cluster.rf_ports_per_slot = Some(4);
+        assert!(validate_config(&m).is_ok());
+    }
+
+    #[test]
+    fn config_rejects_zero_icache() {
+        let mut m = models::i4c8s4();
+        m.icache_words = 0;
+        let errs = validate_config(&m).unwrap_err();
+        assert!(has(&errs, &ConfigError::NoIcache));
     }
 }

@@ -1,0 +1,71 @@
+//! Pareto-frontier extraction over (frame time, area, power).
+//!
+//! The search's deliverable is not a single winner — the paper itself
+//! keeps seven candidates alive across two tables — but the set of
+//! designs no other design beats on every axis at once. Minimization
+//! on all three objectives; O(n²) pairwise dominance is plenty at the
+//! few thousand points a sweep evaluates.
+
+/// True when `a` dominates `b`: no worse on every objective and
+/// strictly better on at least one (all objectives minimized).
+pub fn dominates(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    let no_worse = a.iter().zip(b).all(|(x, y)| x <= y);
+    let better = a.iter().zip(b).any(|(x, y)| x < y);
+    no_worse && better
+}
+
+/// Indices of the non-dominated points, ordered by the first objective
+/// (ties by input order, so the result is deterministic).
+pub fn non_dominated(objectives: &[[f64; 3]]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = (0..objectives.len())
+        .filter(|&i| {
+            objectives
+                .iter()
+                .enumerate()
+                .all(|(j, other)| j == i || !dominates(other, &objectives[i]))
+        })
+        .collect();
+    frontier.sort_by(|&a, &b| {
+        objectives[a][0]
+            .partial_cmp(&objectives[b][0])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        assert!(dominates(&[1.0, 1.0, 1.0], &[2.0, 1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0]));
+        assert!(!dominates(&[1.0, 3.0, 1.0], &[2.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn frontier_drops_dominated_points_only() {
+        let pts = [
+            [1.0, 5.0, 5.0], // fastest
+            [5.0, 1.0, 5.0], // smallest
+            [5.0, 5.0, 1.0], // coolest
+            [6.0, 6.0, 6.0], // dominated by all three
+            [1.0, 5.0, 5.0], // duplicate of the fastest: also kept
+        ];
+        assert_eq!(non_dominated(&pts), vec![0, 4, 1, 2]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(non_dominated(&[[3.0, 3.0, 3.0]]), vec![0]);
+        assert!(non_dominated(&[]).is_empty());
+    }
+
+    #[test]
+    fn frontier_is_sorted_by_first_objective() {
+        let pts = [[3.0, 1.0, 1.0], [1.0, 3.0, 1.0], [2.0, 2.0, 1.0]];
+        assert_eq!(non_dominated(&pts), vec![1, 2, 0]);
+    }
+}

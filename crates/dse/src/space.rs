@@ -1,0 +1,172 @@
+//! The structural parameter grid the search enumerates.
+//!
+//! §2 of the paper lists the parameters "to be determined by the
+//! results of the VLSI simulations"; [`full`] spans them jointly —
+//! issue width × cluster count × pipeline depth × register-file size
+//! and porting × memory banking — where the paper's hand exploration
+//! walked a few one-axis cuts. The grid deliberately over-generates:
+//! points that cannot be laid out (too big, too slow, too little
+//! memory, too hot) are cheap to price and discard with the megacell
+//! models, and the prune statistics are themselves a result.
+
+use vsp_core::{MachineParams, MulWidth};
+
+/// Issue widths with a slot-capability pattern (§2's narrow/wide range).
+pub const SLOTS: [u32; 3] = [2, 3, 4];
+
+/// Cluster counts, spanning the paper's 8/16 pair and the territory
+/// around and beyond it, with finer steps in the band the envelope
+/// admits (the area model rejects almost everything past 16 clusters
+/// of any width, so outer values mostly feed the prune ledger).
+pub const CLUSTERS: [u32; 14] = [4, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16, 20, 24, 32];
+
+/// Pipeline depths (§3.2's 4-stage vs 5-stage study).
+pub const STAGES: [u32; 2] = [4, 5];
+
+/// Registers per cluster (§3.2's register-file size axis; the
+/// megacell models are analytic, so off-power-of-two sizes price
+/// fine and fill in the feasible band).
+pub const REGISTERS: [u32; 6] = [32, 48, 64, 96, 128, 256];
+
+/// (read, write) register-file ports per issue slot. The physical
+/// model prices total ports, so the grid walks distinct totals —
+/// 3 (the paper's standard 2R+1W), 4 and 5 — rather than every
+/// read/write split (2R+2W and 3R+1W build the same machine).
+pub const RF_PORTS: [(u32, u32); 3] = [(2, 1), (3, 1), (3, 2)];
+
+/// Local memory banks per cluster (1 shared, or the `I2C16S4`-style
+/// 2-bank split).
+pub const BANKS: [u32; 2] = [1, 2];
+
+/// Bank capacities in 16-bit words. Off-power-of-two sizes are
+/// legal (the SRAM model is analytic in capacity) and populate the
+/// frame-memory band between the classic steps.
+pub const BANK_WORDS: [u32; 6] = [2048, 4096, 6144, 8192, 12288, 16384];
+
+#[allow(clippy::too_many_arguments)] // one argument per grid axis
+fn point(
+    slots: u32,
+    clusters: u32,
+    stages: u32,
+    registers: u32,
+    read: u32,
+    write: u32,
+    banks: u32,
+    bank_words: u32,
+) -> MachineParams {
+    MachineParams {
+        slots,
+        clusters,
+        stages,
+        registers,
+        rf_read_ports_per_slot: read,
+        rf_write_ports_per_slot: write,
+        banks,
+        bank_words,
+        mul_width: MulWidth::Eight,
+        // The per-slot binding is the narrow machines' arrangement:
+        // one bank per memory slot (I2C16S4). Wider clusters share.
+        per_slot_banking: banks == 2 && slots == 2,
+    }
+}
+
+/// The full search grid, in deterministic nested-loop order
+/// (slots, clusters, stages, registers, RF ports, banks, bank words).
+pub fn full() -> Vec<MachineParams> {
+    let mut grid = Vec::new();
+    for &slots in &SLOTS {
+        for &clusters in &CLUSTERS {
+            for &stages in &STAGES {
+                for &registers in &REGISTERS {
+                    for &(read, write) in &RF_PORTS {
+                        for &banks in &BANKS {
+                            for &bank_words in &BANK_WORDS {
+                                grid.push(point(
+                                    slots, clusters, stages, registers, read, write, banks,
+                                    bank_words,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// The CI smoke grid: ~200 points around the paper's region of the
+/// space — enough to exercise every stage of the search (enumerate,
+/// validate, prune on each axis, evaluate, rank) in seconds.
+pub fn smoke() -> Vec<MachineParams> {
+    let mut grid = Vec::new();
+    for &slots in &[2u32, 4] {
+        for &clusters in &[4u32, 8, 16] {
+            for &stages in &STAGES {
+                for &registers in &[64u32, 128] {
+                    for &read in &[2u32, 3] {
+                        for &banks in &BANKS {
+                            for &bank_words in &[8192u32, 16384] {
+                                grid.push(point(
+                                    slots, clusters, stages, registers, read, 1, banks, bank_words,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn full_grid_is_large_unique_and_deterministic() {
+        let grid = full();
+        assert_eq!(
+            grid.len(),
+            SLOTS.len()
+                * CLUSTERS.len()
+                * STAGES.len()
+                * REGISTERS.len()
+                * RF_PORTS.len()
+                * BANKS.len()
+                * BANK_WORDS.len()
+        );
+        let names: HashSet<String> = grid.iter().map(MachineParams::name).collect();
+        assert_eq!(names.len(), grid.len(), "point names collide");
+        assert_eq!(grid, full());
+    }
+
+    #[test]
+    fn smoke_grid_is_about_200_points() {
+        let n = smoke().len();
+        assert!((150..=250).contains(&n), "smoke grid has {n} points");
+    }
+
+    #[test]
+    fn grids_contain_the_paper_shapes() {
+        for grid in [full(), smoke()] {
+            assert!(grid
+                .iter()
+                .any(|p| p.slots == 4 && p.clusters == 8 && p.stages == 4 && p.registers == 128));
+            assert!(grid
+                .iter()
+                .any(|p| p.slots == 2 && p.clusters == 16 && p.banks == 2 && p.registers == 64));
+        }
+    }
+
+    #[test]
+    fn every_point_builds_a_config() {
+        for p in smoke() {
+            let m = p.build();
+            assert_eq!(m.name, p.name());
+            assert_eq!(m.clusters, p.clusters);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Evaluation-plane spot-checks of frontier designs.
+//!
+//! The search ranks points by *scheduled* cycle counts — compiler
+//! arithmetic, never executed. Before a frontier design is believed,
+//! this module closes the loop on the unified evaluation plane: it
+//! code-generates a real kernel (the SAD row loop, replicated across
+//! the machine's clusters), hands it to [`vsp_exec::EvalPlane`] — the
+//! same ladder vsp-serve and the bench engine run jobs on — and
+//! records which tier answered and what it measured. A frontier point
+//! that cannot execute a scheduled program end to end is a cost-model
+//! artifact, not a design.
+
+use crate::driver::EvaluatedPoint;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use vsp_core::MachineConfig;
+use vsp_exec::{EvalPlane, PlaneRequest};
+use vsp_ir::Stmt;
+use vsp_sched::{codegen_loop, list_schedule, lower_body, ArrayLayout, LoopControl, VopDeps};
+
+/// One plane-backed execution of a frontier design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verification {
+    /// Which design point.
+    pub name: String,
+    /// Which plane tier produced the answer (normally `functional`).
+    pub tier: &'static str,
+    /// Cycles the tier reported for the verification program.
+    pub cycles: u64,
+    /// Whether the program ran to its halt.
+    pub halted: bool,
+}
+
+/// Code-generates the SAD row loop for `machine` (list-scheduled on
+/// one cluster, replicated across all of them).
+fn sad_program(machine: &MachineConfig) -> Option<vsp_isa::Program> {
+    let sad = vsp_kernels::ir::sad_16x16_kernel();
+    let mut k = sad.kernel.clone();
+    vsp_ir::transform::fully_unroll_innermost(&mut k);
+    vsp_ir::transform::eliminate_common_subexpressions(&mut k);
+    let Some(Stmt::Loop(l)) = k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) else {
+        return None;
+    };
+    let layout = ArrayLayout::contiguous(&k, machine).ok()?;
+    let body = lower_body(machine, &k, &l.body, &layout).ok()?;
+    let deps = VopDeps::build(machine, &body);
+    let sched = list_schedule(machine, &body, &deps, 1)?;
+    let generated = codegen_loop(
+        machine,
+        &body,
+        &sched,
+        Some(LoopControl {
+            trip: 16,
+            index: Some((0, 0, 1)),
+        }),
+        machine.clusters,
+        "dse-verify-sad",
+    )
+    .ok()?;
+    Some(generated.program)
+}
+
+/// Runs up to `limit` of `points` through the evaluation plane. Points
+/// the code generator cannot target are skipped (the cycle evidence
+/// then rests on the scheduler alone, which the report shows by the
+/// point's absence here).
+pub fn verify_points<'a>(
+    points: impl Iterator<Item = &'a EvaluatedPoint>,
+    limit: usize,
+) -> Vec<Verification> {
+    let plane = EvalPlane::new();
+    let mut out = Vec::new();
+    for point in points {
+        if out.len() >= limit {
+            break;
+        }
+        let Some(params) = point.params else { continue };
+        let machine = params.build();
+        let Ok(Some(program)) = catch_unwind(AssertUnwindSafe(|| sad_program(&machine))) else {
+            continue;
+        };
+        let Ok(outcome) = plane.evaluate(
+            &machine,
+            Some(&program),
+            None,
+            &PlaneRequest::new(1_000_000),
+        ) else {
+            continue;
+        };
+        out.push(Verification {
+            name: point.name.clone(),
+            tier: outcome.tier.label(),
+            cycles: outcome.cycles,
+            halted: outcome.halted,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsp_core::MachineParams;
+
+    #[test]
+    fn the_paper_baseline_verifies_on_the_functional_tier() {
+        let machine = MachineParams::baseline(4, 8, 4, 128).build();
+        let program = sad_program(&machine).expect("SAD codegen on the baseline");
+        let plane = EvalPlane::new();
+        let out = plane
+            .evaluate(
+                &machine,
+                Some(&program),
+                None,
+                &PlaneRequest::new(1_000_000),
+            )
+            .expect("plane evaluation");
+        assert!(out.halted);
+        assert!(out.cycles > 0);
+        assert_eq!(out.tier.label(), "functional");
+    }
+}

@@ -1,0 +1,142 @@
+//! Golden pins: the seven paper models through the search pipeline.
+//!
+//! The search is only trustworthy if, pointed at the paper's own seven
+//! designs, it reproduces the published Table 1/2 picture: the areas
+//! and clocks the megacell models were calibrated to, and §4's
+//! headline frontier shape — the small-cluster machines win frame time
+//! on the strength of their faster clock.
+
+use vsp_dse::{non_dominated, paper_points, EvaluatedPoint};
+use vsp_kernels::variants::KernelId;
+use vsp_vlsi::feasibility::FeasibilityEnvelope;
+
+fn by_name<'a>(points: &'a [EvaluatedPoint], name: &str) -> &'a EvaluatedPoint {
+    points
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("model {name} missing"))
+}
+
+#[test]
+fn all_seven_models_evaluate() {
+    let pts = paper_points();
+    let mut names: Vec<&str> = pts.iter().map(|p| p.name.as_str()).collect();
+    names.sort_unstable();
+    assert_eq!(
+        names,
+        [
+            "I2C16S4",
+            "I2C16S5",
+            "I2C16S5M16",
+            "I4C8S4",
+            "I4C8S4C",
+            "I4C8S5",
+            "I4C8S5M16"
+        ]
+    );
+    for p in &pts {
+        assert_eq!(p.best_cycles.len(), 6, "{}: missing kernels", p.name);
+        assert!(p.frame_cycles > 0 && p.frame_time_ms > 0.0);
+    }
+}
+
+#[test]
+fn table1_physical_anchors_hold() {
+    let pts = paper_points();
+    // Fig. 5 / Table 1: the initial design is a 181.4 mm² datapath at
+    // the 650 MHz target clock.
+    let base = by_name(&pts, "I4C8S4");
+    assert!((base.area_mm2 - 181.4).abs() < 2.0, "got {}", base.area_mm2);
+    assert!(
+        (600.0..700.0).contains(&base.freq_mhz),
+        "got {}",
+        base.freq_mhz
+    );
+    // §3: power in the 50 W range for the initial design.
+    assert!(
+        (40.0..60.0).contains(&base.power_watts),
+        "got {}",
+        base.power_watts
+    );
+    // Table 1's relative-clock row: the narrow 16-cluster machines
+    // clock visibly faster than the initial design.
+    let narrow = by_name(&pts, "I2C16S4");
+    assert!(narrow.freq_mhz > base.freq_mhz * 1.15);
+}
+
+#[test]
+fn the_envelope_retells_the_papers_own_rejections() {
+    // The paper's tables deliberately include points that fail its
+    // physical targets, and the envelope must flag exactly those:
+    // I4C8S4C's complex addressing wrecks the 4-stage clock (the very
+    // motivation for the 5-stage I4C8S5), and the 16-bit-multiplier
+    // I2C16S5M16 outgrows the area budget. The other five fit.
+    let env = FeasibilityEnvelope::default();
+    for p in paper_points() {
+        let fits = p.area_mm2 <= env.max_area_mm2
+            && p.freq_mhz >= env.min_freq_mhz
+            && p.power_watts <= env.max_power_watts;
+        match p.name.as_str() {
+            "I4C8S4C" => {
+                assert!(p.freq_mhz < env.min_freq_mhz, "got {} MHz", p.freq_mhz);
+            }
+            "I2C16S5M16" => {
+                assert!(p.area_mm2 > env.max_area_mm2, "got {} mm2", p.area_mm2);
+            }
+            name => assert!(fits, "{name} should fit the paper envelope"),
+        }
+    }
+}
+
+#[test]
+fn the_frontier_shape_is_small_clusters_plus_fast_clock() {
+    // §4's conclusion, as a frontier property: among the paper's own
+    // seven models, the best composite frame time belongs to a
+    // 16-cluster, 2-slot machine, and the initial 8-cluster design is
+    // not the frame-time leader.
+    let pts = paper_points();
+    let objectives: Vec<[f64; 3]> = pts.iter().map(EvaluatedPoint::objectives).collect();
+    let frontier = non_dominated(&objectives);
+    assert!(!frontier.is_empty());
+    let fastest = &pts[frontier[0]];
+    assert_eq!(
+        (fastest.clusters, fastest.slots),
+        (16, 2),
+        "frame-time leader is {}",
+        fastest.name
+    );
+    let base = by_name(&pts, "I4C8S4");
+    assert!(fastest.frame_time_ms < base.frame_time_ms);
+    // The leader sustains a real-time frame budget.
+    assert!(fastest.real_time(), "{:.2} ms", fastest.frame_time_ms);
+}
+
+#[test]
+fn per_kernel_winners_match_the_tables() {
+    // Table 1's per-kernel story: on every kernel's best schedule,
+    // some 16-cluster model beats the initial design in *time*
+    // (cycles ÷ clock) — the "17% to 129%" combined improvement.
+    let pts = paper_points();
+    let base = by_name(&pts, "I4C8S4");
+    for (k, base_cycles) in &base.best_cycles {
+        let base_time = *base_cycles as f64 / base.freq_mhz;
+        let best_narrow = pts
+            .iter()
+            .filter(|p| p.clusters == 16)
+            .filter_map(|p| {
+                p.best_cycles
+                    .iter()
+                    .find(|(bk, _)| bk == k)
+                    .map(|(_, c)| *c as f64 / p.freq_mhz)
+            })
+            .fold(f64::INFINITY, f64::min);
+        // VBR's entropy coding is the paper's known holdout (serial
+        // bit twiddling); everything else must improve.
+        if *k != KernelId::Vbr {
+            assert!(
+                best_narrow < base_time,
+                "{k:?}: narrow {best_narrow} vs base {base_time}"
+            );
+        }
+    }
+}

@@ -49,8 +49,13 @@ mod error;
 mod estimate;
 mod functional;
 mod lower;
+mod plane;
 
 pub use backend::{Backend, CycleAccurate, ExecOutcome, ExecRequest, StageSpec};
 pub use error::{ExecError, Unsupported};
 pub use estimate::CycleEstimate;
 pub use functional::{CompiledProgram, Functional, Runner};
+pub use plane::{
+    content_key, fingerprint_debug, EvalPlane, FaultRequest, PlaneError, PlaneOutcome,
+    PlaneRequest, Tier,
+};

@@ -1,0 +1,650 @@
+//! The shared evaluation plane: one tier-selection ladder for every
+//! driver.
+//!
+//! Before this module existed the degradation ladder lived twice — once
+//! in `vsp-serve`'s job executor and once in `vsp-bench`'s `EvalEngine`
+//! dispatch — and a third copy was about to appear in the design-space
+//! search driver. [`EvalPlane`] is the single implementation all three
+//! consume: given a program (or just an analytic estimate) and a
+//! [`PlaneRequest`], it picks the cheapest tier that can answer
+//! honestly and walks down on refusal:
+//!
+//! 1. **Estimate** — under load-shed, a job with an analytic
+//!    [`CycleEstimate`] degrades to the schedule's closed form
+//!    (`degraded: true`); an artifact with no runnable program answers
+//!    here naturally.
+//! 2. **Functional** — the flat-trace tier runs first (~365k runs/s
+//!    when it accepts). A typed refusal
+//!    ([`ExecError::is_refusal`](crate::ExecError::is_refusal)) is a
+//!    routing decision, not a failure; non-refusal run errors also fall
+//!    through so the cycle tiers report the authoritative
+//!    [`SimError`].
+//! 3. **Batch** — multi-run requests go to the SoA lockstep engine,
+//!    one lane per run, with per-lane seeded fault plans.
+//! 4. **Cycle-accurate** — single runs (and fault injection) end on
+//!    the simulator, `RunStats` and all.
+//!
+//! The plane memoizes functional lowerings under a content key (the
+//! same `(program, machine)` fingerprint scheme `EvalEngine` uses for
+//! its decode cache), so repeated jobs over one artifact lower once.
+//! Tier traffic is recorded as `vsp_exec_prepare_total{outcome}`,
+//! `vsp_exec_refusals_total{reason}` and `vsp_exec_runs_total{backend}`
+//! when a metrics registry is attached.
+
+use crate::{CompiledProgram, CycleEstimate, ExecError, ExecRequest, Functional};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::{DefaultHasher, Hasher};
+use std::sync::{Arc, Mutex};
+use vsp_core::MachineConfig;
+use vsp_fault::FaultPlan;
+use vsp_isa::Program;
+use vsp_metrics::{Recorder, SharedRegistry};
+use vsp_sim::{ArchState, BatchSimulator, DecodedProgram, RunSpec, RunStats, SimError, Simulator};
+use vsp_trace::NullSink;
+
+/// Which execution tier answered a [`PlaneRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Analytic closed-form estimate (no execution).
+    Estimate,
+    /// Flat-trace functional execution.
+    Functional,
+    /// SoA lockstep batch engine.
+    Batch,
+    /// Cycle-accurate simulator.
+    CycleAccurate,
+}
+
+impl Tier {
+    /// Stable lowercase label (metrics/report friendly).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Estimate => "estimate",
+            Tier::Functional => "functional",
+            Tier::Batch => "batch",
+            Tier::CycleAccurate => "cycle-accurate",
+        }
+    }
+}
+
+/// A fault-injection request: the seed/rate pair the cycle tiers turn
+/// into a deterministic [`FaultPlan`]. Lane `i` of a batch request uses
+/// `seed + i`, so campaigns stay reproducible per lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRequest {
+    /// Base RNG seed for the plan.
+    pub seed: u64,
+    /// Transient bit-flip rate in events per million cycle-reads.
+    pub rate_ppm: u32,
+}
+
+/// One evaluation request against the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneRequest {
+    /// Cycle budget per run.
+    pub max_cycles: u64,
+    /// Number of runs; `> 1` routes to the batch tier.
+    pub runs: u32,
+    /// Fault injection, which the functional tier refuses per-request.
+    pub fault: Option<FaultRequest>,
+    /// Load-shed signal: degrade to the analytic estimate when one is
+    /// available (jobs without a closed form still run — shedding must
+    /// never turn a servable request into an error).
+    pub shed: bool,
+}
+
+impl PlaneRequest {
+    /// A single quiet run with the given cycle budget.
+    #[must_use]
+    pub fn new(max_cycles: u64) -> Self {
+        PlaneRequest {
+            max_cycles,
+            runs: 1,
+            fault: None,
+            shed: false,
+        }
+    }
+}
+
+/// What the plane answered, and which tier produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaneOutcome {
+    /// The tier that produced the answer.
+    pub tier: Tier,
+    /// Whether load-shedding degraded the request to the estimate tier.
+    pub degraded: bool,
+    /// Refusal label when the functional tier declined and a lower tier
+    /// answered (`None` when the functional tier answered or was never
+    /// consulted).
+    pub refusal: Option<&'static str>,
+    /// Cycle count of the answer (estimated or executed).
+    pub cycles: u64,
+    /// Whether the program halted (estimates are assumed to).
+    pub halted: bool,
+    /// Final architectural state (run tiers only).
+    pub state: Option<ArchState>,
+    /// Run statistics (cycle tiers only — the functional tier has no
+    /// per-cycle story to tell).
+    pub stats: Option<RunStats>,
+    /// The analytic estimate (estimate tier only).
+    pub estimate: Option<CycleEstimate>,
+}
+
+impl PlaneOutcome {
+    fn from_estimate(est: CycleEstimate, degraded: bool) -> Self {
+        PlaneOutcome {
+            tier: Tier::Estimate,
+            degraded,
+            refusal: None,
+            cycles: est.cycles,
+            halted: true,
+            state: None,
+            stats: None,
+            estimate: Some(est),
+        }
+    }
+}
+
+/// Why the plane could not answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaneError {
+    /// Neither a program nor an estimate was supplied.
+    NothingToRun,
+    /// The program failed structural validation for the machine.
+    Invalid(SimError),
+    /// The cycle-accurate run failed (budget exhaustion, memory fault).
+    Sim(SimError),
+    /// The batch engine produced no lanes.
+    EmptyBatch,
+    /// One or more batch lanes failed; carries the first failing lane.
+    BatchLanes {
+        /// Number of failed lanes.
+        failed: usize,
+        /// Total lanes in the batch.
+        total: usize,
+        /// Index of the first failing lane.
+        lane: usize,
+        /// That lane's error.
+        error: SimError,
+    },
+}
+
+impl PlaneError {
+    /// The underlying simulator error, when this failure carries one —
+    /// single-run callers use it to report the authoritative
+    /// [`SimError`] unchanged.
+    #[must_use]
+    pub fn sim_error(self) -> Option<SimError> {
+        match self {
+            PlaneError::Invalid(e) | PlaneError::Sim(e) => Some(e),
+            PlaneError::BatchLanes { error, .. } => Some(error),
+            PlaneError::NothingToRun | PlaneError::EmptyBatch => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PlaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaneError::NothingToRun => write!(f, "artifact has neither program nor estimate"),
+            PlaneError::Invalid(e) => write!(f, "invalid program: {e}"),
+            PlaneError::Sim(e) => write!(f, "simulator failed: {e}"),
+            PlaneError::EmptyBatch => write!(f, "batch produced no lanes"),
+            PlaneError::BatchLanes {
+                failed,
+                total,
+                lane,
+                error,
+            } => write!(
+                f,
+                "batch: {failed} of {total} lanes failed; lane {lane}: {error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlaneError {}
+
+/// A cached functional lowering: the trace, or why there is none. The
+/// refusal label is kept so callers can surface it on every request,
+/// not just the one that paid for the analysis.
+#[derive(Debug, Clone)]
+enum Prepared {
+    Lowered(Arc<CompiledProgram>),
+    Refused(&'static str),
+    Invalid,
+}
+
+/// Streams `fmt` output straight into a hasher, so `Debug`-based
+/// fingerprints allocate nothing.
+struct HashWriter<'h>(&'h mut DefaultHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Content hash of any `Debug`-rendered value, allocation-free.
+///
+/// `MachineConfig` and `Program` deliberately implement neither `Hash`
+/// nor `Eq`-by-content (floats; slot-order-insensitive word equality),
+/// but everything reaching the plane is machine-generated with
+/// deterministic rendering, so the `Debug` form is a stable content
+/// key. Shared with `EvalEngine`'s decode cache.
+#[must_use]
+pub fn fingerprint_debug(value: &dyn std::fmt::Debug) -> u64 {
+    let mut h = DefaultHasher::new();
+    let _ = write!(HashWriter(&mut h), "{value:?}");
+    h.finish()
+}
+
+/// Content key for one (program, machine) pair.
+#[must_use]
+pub fn content_key(machine: &MachineConfig, program: &Program) -> (u64, u64) {
+    (fingerprint_debug(program), fingerprint_debug(machine))
+}
+
+/// The lowering cache is content-keyed and shared across requests; past
+/// this many entries it resets wholesale, so a stream of distinct
+/// generated programs (the serve workload) cannot grow it without
+/// bound.
+const MAX_CACHED_TRACES: usize = 1024;
+
+/// The shared tier-selection ladder. Construct once per driver (or per
+/// service) and reuse: the functional-lowering cache is the point.
+#[derive(Debug, Default)]
+pub struct EvalPlane {
+    compiled: Mutex<HashMap<(u64, u64), Prepared>>,
+    recorder: Option<SharedRegistry>,
+}
+
+impl EvalPlane {
+    /// A plane with an empty lowering cache and no metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a metrics registry recording `vsp_exec_prepare_total`,
+    /// `vsp_exec_refusals_total` and `vsp_exec_runs_total`.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: SharedRegistry) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Number of functional lowerings (including cached refusals)
+    /// currently memoized.
+    pub fn cached_traces(&self) -> usize {
+        self.compiled.lock().expect("trace cache poisoned").len()
+    }
+
+    fn count_run(&self, backend: &'static str) {
+        if let Some(rec) = &self.recorder {
+            rec.with(|r| r.add("vsp_exec_runs_total", &[("backend", backend)], 1));
+        }
+    }
+
+    /// The functional-tier lowering of `program` for `machine`, from
+    /// the content-keyed cache (analyzing on first sight only).
+    fn prepared(&self, machine: &MachineConfig, program: &Program) -> Prepared {
+        let key = content_key(machine, program);
+        if let Some(hit) = self
+            .compiled
+            .lock()
+            .expect("trace cache poisoned")
+            .get(&key)
+            .cloned()
+        {
+            return hit;
+        }
+        let entry = match Functional::prepare(machine, program) {
+            Ok(c) => {
+                if let Some(rec) = &self.recorder {
+                    rec.with(|r| {
+                        r.add("vsp_exec_prepare_total", &[("outcome", "lowered")], 1);
+                    });
+                }
+                Prepared::Lowered(Arc::new(c))
+            }
+            Err(e) => {
+                let reason = match &e {
+                    ExecError::Unsupported(u) => u.label(),
+                    _ => "invalid",
+                };
+                if let Some(rec) = &self.recorder {
+                    rec.with(|r| {
+                        r.add("vsp_exec_prepare_total", &[("outcome", "refused")], 1);
+                        r.add("vsp_exec_refusals_total", &[("reason", reason)], 1);
+                    });
+                }
+                match &e {
+                    ExecError::Unsupported(u) => Prepared::Refused(u.label()),
+                    _ => Prepared::Invalid,
+                }
+            }
+        };
+        let mut cache = self.compiled.lock().expect("trace cache poisoned");
+        if cache.len() >= MAX_CACHED_TRACES {
+            cache.clear();
+        }
+        cache.insert(key, entry.clone());
+        entry
+    }
+
+    /// Walks the ladder for one request.
+    ///
+    /// `program` is the runnable artifact (when the strategy lowered to
+    /// one); `estimate` the analytic closed form (when one exists).
+    /// Estimate-only artifacts answer on the estimate tier; load-shed
+    /// requests degrade to it when possible.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaneError`] for genuine failures — invalid programs, budget
+    /// exhaustion, failed batch lanes, or an artifact with nothing to
+    /// run. Refusals are never errors; they route.
+    pub fn evaluate(
+        &self,
+        machine: &MachineConfig,
+        program: Option<&Program>,
+        estimate: Option<CycleEstimate>,
+        req: &PlaneRequest,
+    ) -> Result<PlaneOutcome, PlaneError> {
+        // Load-shed degradation: answer from the closed form when one
+        // exists; otherwise fall through and run.
+        if req.shed {
+            if let Some(est) = estimate {
+                return Ok(PlaneOutcome::from_estimate(est, true));
+            }
+        }
+        let Some(program) = program else {
+            // Analysis-only artifact: the estimate *is* the answer.
+            let est = estimate.ok_or(PlaneError::NothingToRun)?;
+            return Ok(PlaneOutcome::from_estimate(est, false));
+        };
+
+        let mut exec_req = ExecRequest::new(req.max_cycles);
+        exec_req.fault_injection = req.fault.is_some();
+
+        // Tier 1: functional. A refusal routes down with its label; a
+        // non-refusal run failure falls through too, so the cycle tiers
+        // report the authoritative error.
+        let mut refusal = None;
+        match self.prepared(machine, program) {
+            Prepared::Lowered(compiled) => match compiled.run(&exec_req) {
+                Ok(out) => {
+                    self.count_run("functional");
+                    return Ok(PlaneOutcome {
+                        tier: Tier::Functional,
+                        degraded: false,
+                        refusal: None,
+                        cycles: out.cycles,
+                        halted: out.state.halted,
+                        state: Some(out.state),
+                        stats: None,
+                        estimate: None,
+                    });
+                }
+                Err(e) => {
+                    refusal = match &e {
+                        ExecError::Unsupported(u) => Some(u.label()),
+                        _ => None,
+                    };
+                }
+            },
+            Prepared::Refused(label) => refusal = Some(label),
+            Prepared::Invalid => {}
+        }
+
+        // Tier 2: batch, when the request wants many lanes.
+        if req.runs > 1 {
+            self.count_run("batch");
+            let decoded = DecodedProgram::prepare(machine, program).map_err(PlaneError::Invalid)?;
+            let specs: Vec<RunSpec<_>> = (0..req.runs)
+                .map(|lane| {
+                    let plan = match req.fault {
+                        Some(f) => {
+                            FaultPlan::transient(f.seed.wrapping_add(u64::from(lane)), f.rate_ppm)
+                        }
+                        None => FaultPlan::quiet(),
+                    };
+                    RunSpec::with_faults(req.max_cycles, plan.build())
+                })
+                .collect();
+            let outcomes = BatchSimulator::new(machine).run_batch(&decoded, specs);
+            if outcomes.is_empty() {
+                return Err(PlaneError::EmptyBatch);
+            }
+            // Every lane must retire cleanly — an error in lane 7 of a
+            // fault sweep is a failure, not something to mask behind
+            // lane 0's stats.
+            let failed: Vec<usize> = outcomes
+                .iter()
+                .enumerate()
+                .filter_map(|(lane, o)| o.error.is_some().then_some(lane))
+                .collect();
+            if let Some(&lane) = failed.first() {
+                let error = outcomes[lane].error.clone().expect("lane has an error");
+                return Err(PlaneError::BatchLanes {
+                    failed: failed.len(),
+                    total: outcomes.len(),
+                    lane,
+                    error,
+                });
+            }
+            let first = outcomes.into_iter().next().expect("non-empty batch");
+            return Ok(PlaneOutcome {
+                tier: Tier::Batch,
+                degraded: false,
+                refusal,
+                cycles: first.stats.cycles,
+                halted: first.state.halted,
+                state: Some(first.state),
+                stats: Some(first.stats),
+                estimate: None,
+            });
+        }
+
+        // Tier 3: cycle-accurate, with or without fault injection.
+        self.count_run("cycle-accurate");
+        let (stats, state) = match req.fault {
+            Some(f) => {
+                let mut model = FaultPlan::transient(f.seed, f.rate_ppm).build();
+                let mut sim =
+                    Simulator::with_sink_and_faults(machine, program, NullSink, &mut model)
+                        .map_err(PlaneError::Invalid)?;
+                let stats = sim.run(req.max_cycles).map_err(PlaneError::Sim)?;
+                let state = sim.arch_state();
+                (stats, state)
+            }
+            None => {
+                let mut sim = Simulator::new(machine, program).map_err(PlaneError::Invalid)?;
+                let stats = sim.run(req.max_cycles).map_err(PlaneError::Sim)?;
+                let state = sim.arch_state();
+                (stats, state)
+            }
+        };
+        Ok(PlaneOutcome {
+            tier: Tier::CycleAccurate,
+            degraded: false,
+            refusal,
+            cycles: stats.cycles,
+            halted: state.halted,
+            state: Some(state),
+            stats: Some(stats),
+            estimate: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsp_core::models;
+    use vsp_isa::{AluBinOp, OpKind, Operand, Operation, Reg};
+
+    fn tiny_program() -> Program {
+        let mut p = Program::new("tiny");
+        p.push_word(vec![Operation::new(
+            0,
+            0,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(1),
+                a: Operand::Imm(20),
+                b: Operand::Imm(22),
+            },
+        )]);
+        p.push_word(vec![Operation::new(0, 4, OpKind::Halt)]);
+        p
+    }
+
+    #[test]
+    fn functional_tier_answers_clean_programs() {
+        let machine = models::i4c8s4();
+        let p = tiny_program();
+        let plane = EvalPlane::new();
+        let out = plane
+            .evaluate(&machine, Some(&p), None, &PlaneRequest::new(100))
+            .unwrap();
+        assert_eq!(out.tier, Tier::Functional);
+        assert!(out.halted);
+        assert_eq!(out.state.unwrap().regs[0][1], 42);
+        assert_eq!(plane.cached_traces(), 1);
+        // Second call hits the lowering cache.
+        let again = plane
+            .evaluate(&machine, Some(&p), None, &PlaneRequest::new(100))
+            .unwrap();
+        assert_eq!(again.tier, Tier::Functional);
+        assert_eq!(plane.cached_traces(), 1);
+    }
+
+    #[test]
+    fn fault_requests_refuse_and_fall_to_the_simulator() {
+        let machine = models::i4c8s4();
+        let p = tiny_program();
+        let plane = EvalPlane::new();
+        let mut req = PlaneRequest::new(100);
+        req.fault = Some(FaultRequest {
+            seed: 1,
+            rate_ppm: 0,
+        });
+        let out = plane.evaluate(&machine, Some(&p), None, &req).unwrap();
+        assert_eq!(out.tier, Tier::CycleAccurate);
+        assert_eq!(out.refusal, Some("fault_injection"));
+        assert!(out.stats.is_some());
+    }
+
+    #[test]
+    fn multi_run_requests_use_the_batch_tier() {
+        let machine = models::i4c8s4();
+        let p = tiny_program();
+        let plane = EvalPlane::new();
+        let mut req = PlaneRequest::new(100);
+        req.runs = 4;
+        req.fault = Some(FaultRequest {
+            seed: 1,
+            rate_ppm: 0,
+        });
+        let out = plane.evaluate(&machine, Some(&p), None, &req).unwrap();
+        assert_eq!(out.tier, Tier::Batch);
+        assert_eq!(out.refusal, Some("fault_injection"));
+        // The quiet batch lane matches a scalar cycle-accurate run.
+        let mut scalar = req;
+        scalar.runs = 1;
+        let s = plane.evaluate(&machine, Some(&p), None, &scalar).unwrap();
+        assert_eq!(out.state, s.state);
+    }
+
+    #[test]
+    fn shed_degrades_when_an_estimate_exists() {
+        let machine = models::i4c8s4();
+        let p = tiny_program();
+        let plane = EvalPlane::new();
+        let est = CycleEstimate {
+            cycles: 123,
+            ii: None,
+            length: None,
+            trips: None,
+        };
+        let mut req = PlaneRequest::new(100);
+        req.shed = true;
+        let out = plane.evaluate(&machine, Some(&p), Some(est), &req).unwrap();
+        assert_eq!(out.tier, Tier::Estimate);
+        assert!(out.degraded);
+        assert_eq!(out.cycles, 123);
+        // Without an estimate the job still runs.
+        let out = plane.evaluate(&machine, Some(&p), None, &req).unwrap();
+        assert_eq!(out.tier, Tier::Functional);
+    }
+
+    #[test]
+    fn estimate_only_artifacts_answer_naturally() {
+        let machine = models::i4c8s4();
+        let plane = EvalPlane::new();
+        let est = CycleEstimate {
+            cycles: 77,
+            ii: Some(7),
+            length: Some(11),
+            trips: Some(10),
+        };
+        let out = plane
+            .evaluate(&machine, None, Some(est), &PlaneRequest::new(100))
+            .unwrap();
+        assert_eq!(out.tier, Tier::Estimate);
+        assert!(!out.degraded, "natural estimate answers are not degraded");
+        assert_eq!(
+            plane.evaluate(&machine, None, None, &PlaneRequest::new(100)),
+            Err(PlaneError::NothingToRun)
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_the_authoritative_sim_error() {
+        let machine = models::i4c8s4();
+        let p = tiny_program();
+        let plane = EvalPlane::new();
+        // Budget of 1 cycle: the functional run fails (not a refusal)
+        // and the simulator reports its own CycleLimit-style error.
+        let err = plane
+            .evaluate(&machine, Some(&p), None, &PlaneRequest::new(1))
+            .unwrap_err();
+        let mut sim = Simulator::new(&machine, &p).unwrap();
+        let direct = sim.run(1).unwrap_err();
+        assert_eq!(err, PlaneError::Sim(direct));
+    }
+
+    #[test]
+    fn refusal_labels_survive_the_lowering_cache() {
+        let machine = models::i4c8s4();
+        // A program with no halt: `ran_off_end` refusal at prepare time.
+        let mut p = Program::new("no-halt");
+        p.push_word(vec![Operation::new(
+            0,
+            0,
+            OpKind::AluBin {
+                op: AluBinOp::Add,
+                dst: Reg(1),
+                a: Operand::Imm(1),
+                b: Operand::Imm(0),
+            },
+        )]);
+        let plane = EvalPlane::new();
+        for _ in 0..2 {
+            // Both the cold and the cached path surface the label.
+            let out = plane
+                .evaluate(&machine, Some(&p), None, &PlaneRequest::new(10_000))
+                .unwrap_err();
+            // Direct sim also fails (runs off the end), so the plane
+            // reports that authoritative error; the cached refusal is
+            // still recorded.
+            assert!(matches!(out, PlaneError::Sim(_)));
+        }
+        assert_eq!(plane.cached_traces(), 1);
+    }
+}

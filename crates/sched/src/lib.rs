@@ -30,7 +30,9 @@
 //!   panic-free `try_`-prefixed scheduler entry points;
 //! * [`pipeline`] — the unified compilation pipeline: a typed [`Pass`]
 //!   over a [`CompilationUnit`], declarative serializable [`Strategy`]
-//!   recipes, and the [`compile`] entry point every driver uses.
+//!   recipes, and the [`compile`] entry point every driver uses;
+//! * [`select`] — strategy admissibility and best-of-catalog selection
+//!   for machines outside the hand-tuned seven (design-space search).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +47,7 @@ pub mod mii;
 pub mod modulo;
 pub mod pipeline;
 pub mod regalloc;
+pub mod select;
 pub mod vop;
 
 pub use analytic::{predict_ii, predict_loop_cycles, IiPrediction};
@@ -60,4 +63,5 @@ pub use pipeline::{
     PassConfig, Pipeline, PipelineReport, PipelineValidator, ScheduleArtifact, ScheduleScope,
     SchedulerChoice, Strategy,
 };
+pub use select::{admissible, admissible_catalog, clusters_claimed, select_best, Selection};
 pub use vop::{LoweredBody, VOp, VopDeps};

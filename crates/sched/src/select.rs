@@ -1,0 +1,190 @@
+//! Strategy admissibility and selection for design-space search.
+//!
+//! The Table 1/2 catalogs were written against the seven paper models,
+//! where every recipe's cluster demand fits by construction. A
+//! design-space search sweeps machines the catalog has never seen —
+//! including 4- and 6-cluster points a `clusters_used: 8` recipe cannot
+//! legally target — so the search driver needs an *admissibility*
+//! screen before compiling, and a *selector* that races the admissible
+//! recipes and keeps the cheapest schedule. Both live here, next to the
+//! [`Strategy`] type they interrogate, so any driver (vsp-dse, bench
+//! sweeps, serve) applies the same rules.
+
+use crate::error::SchedError;
+use crate::pipeline::{compile, CompileResult, SchedulerChoice, Strategy};
+use vsp_core::MachineConfig;
+use vsp_ir::Kernel;
+
+/// Clusters a strategy's scheduler claims (1 for the sequential
+/// baseline, which targets a single cluster by definition).
+pub fn clusters_claimed(strategy: &Strategy) -> u32 {
+    match strategy.scheduler {
+        SchedulerChoice::Sequential => 1,
+        SchedulerChoice::List { clusters_used } | SchedulerChoice::Modulo { clusters_used, .. } => {
+            clusters_used
+        }
+    }
+}
+
+/// True when `strategy` can legally target `machine`: the scheduler's
+/// cluster claim is nonzero and within the machine's cluster count.
+pub fn admissible(strategy: &Strategy, machine: &MachineConfig) -> bool {
+    let claimed = clusters_claimed(strategy);
+    claimed >= 1 && claimed <= machine.clusters
+}
+
+/// Filters a catalog down to the recipes admissible on `machine`,
+/// preserving catalog order.
+pub fn admissible_catalog(catalog: Vec<Strategy>, machine: &MachineConfig) -> Vec<Strategy> {
+    catalog
+        .into_iter()
+        .filter(|s| admissible(s, machine))
+        .collect()
+}
+
+/// The winner of a strategy race: the chosen recipe, its compile
+/// result, and the cycle figure it was ranked by.
+#[derive(Debug)]
+pub struct Selection {
+    /// The winning recipe.
+    pub strategy: Strategy,
+    /// Its compile result (schedule + report).
+    pub result: CompileResult,
+    /// Cycles for the requested trip count (or the sequential total),
+    /// the quantity minimized.
+    pub cycles: u64,
+}
+
+/// Compiles every admissible catalog recipe for `kernel` on `machine`
+/// and returns the one with the fewest cycles over `trips` iterations
+/// of the scheduled scope (sequential recipes rank by their whole-kernel
+/// total). Recipes that fail to compile are skipped — a search over
+/// arbitrary machines must tolerate individual recipe failures; only
+/// when *no* recipe survives does the caller see an error.
+///
+/// # Errors
+///
+/// The last [`SchedError`] encountered when every admissible recipe
+/// fails, or [`SchedError::Pipeline`] when none is admissible at all.
+pub fn select_best(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    catalog: &[Strategy],
+    trips: u64,
+) -> Result<Selection, SchedError> {
+    let mut best: Option<Selection> = None;
+    let mut last_err: Option<SchedError> = None;
+    for strategy in catalog {
+        if !admissible(strategy, machine) {
+            continue;
+        }
+        match compile(kernel, machine, strategy) {
+            Ok(result) => {
+                let Some(cycles) = result.cycles_for(trips).or_else(|| result.seq_cycles()) else {
+                    continue;
+                };
+                if best.as_ref().is_none_or(|b| cycles < b.cycles) {
+                    best = Some(Selection {
+                        strategy: strategy.clone(),
+                        result,
+                        cycles,
+                    });
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| {
+        last_err.unwrap_or_else(|| SchedError::Pipeline {
+            pass: "select",
+            detail: format!("no catalog strategy is admissible on {}", machine.name),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{ScheduleScope, SchedulerChoice, Strategy};
+    use vsp_core::models;
+    use vsp_ir::KernelBuilder;
+    use vsp_isa::AluBinOp;
+
+    fn seq() -> Strategy {
+        Strategy::new("seq", ScheduleScope::WholeBody, SchedulerChoice::Sequential)
+    }
+
+    fn list(clusters_used: u32) -> Strategy {
+        Strategy::new(
+            format!("list{clusters_used}"),
+            ScheduleScope::FirstLoop,
+            SchedulerChoice::List { clusters_used },
+        )
+    }
+
+    fn swp(clusters_used: u32) -> Strategy {
+        Strategy::new(
+            format!("swp{clusters_used}"),
+            ScheduleScope::FirstLoop,
+            SchedulerChoice::Modulo {
+                clusters_used,
+                ii_search: 64,
+            },
+        )
+    }
+
+    fn sum_kernel() -> vsp_ir::Kernel {
+        let mut b = KernelBuilder::new("sum");
+        let a = b.array("a", 64);
+        let acc = b.var("acc");
+        b.set(acc, 0);
+        b.count_loop("i", 0, 1, 64, |b, i| {
+            let x = b.load("x", a, i);
+            b.bin(acc, AluBinOp::Add, acc, x);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn cluster_claims_bound_admissibility() {
+        let m8 = models::i4c8s4();
+        let m16 = models::i2c16s4();
+        assert!(admissible(&seq(), &m8));
+        assert!(admissible(&list(8), &m8));
+        assert!(!admissible(&list(16), &m8));
+        assert!(admissible(&list(16), &m16));
+        assert!(admissible(&swp(8), &m16));
+    }
+
+    #[test]
+    fn catalog_filter_preserves_order() {
+        let m8 = models::i4c8s4();
+        let filtered = admissible_catalog(vec![seq(), list(16), swp(4), list(8)], &m8);
+        let names: Vec<&str> = filtered.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["seq", "swp4", "list8"]);
+    }
+
+    #[test]
+    fn selection_prefers_the_cheapest_schedule() {
+        let m = models::i4c8s4();
+        let catalog = [seq(), list(1), swp(1)];
+        let sel = select_best(&sum_kernel(), &m, &catalog, 64).unwrap();
+        // Software pipelining beats list scheduling beats the
+        // one-op-per-cycle baseline on a dependence-light loop.
+        assert_eq!(sel.strategy.name, "swp1");
+        for s in &catalog {
+            let r = compile(&sum_kernel(), &m, s).unwrap();
+            let cycles = r.cycles_for(64).or_else(|| r.seq_cycles()).unwrap();
+            assert!(sel.cycles <= cycles);
+        }
+    }
+
+    #[test]
+    fn inadmissible_recipes_are_never_compiled() {
+        // A catalog holding only an oversized recipe yields a typed
+        // error, not a panic inside the scheduler.
+        let m = models::i4c8s4();
+        let err = select_best(&sum_kernel(), &m, &[list(16)], 64).unwrap_err();
+        assert!(err.to_string().contains("no catalog strategy"), "{err}");
+    }
+}

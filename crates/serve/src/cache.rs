@@ -165,11 +165,7 @@ impl<V: Clone> SingleFlight<V> {
                                 owner = false;
                                 break;
                             }
-                            slots = self
-                                .cv
-                                .wait_timeout(slots, left)
-                                .expect("cache poisoned")
-                                .0;
+                            slots = self.cv.wait_timeout(slots, left).expect("cache poisoned").0;
                         }
                     },
                     None => {

@@ -152,6 +152,9 @@ struct Shared {
     /// [`ServeConfig::max_connections`].
     conns: AtomicUsize,
     metrics: SharedRegistry,
+    /// The shared tier-selection ladder (and its functional-lowering
+    /// cache), one instance for the whole service.
+    plane: Arc<vsp_exec::EvalPlane>,
     stop: AtomicBool,
 }
 
@@ -213,6 +216,8 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let metrics = SharedRegistry::new();
+        let plane = Arc::new(vsp_exec::EvalPlane::new().with_recorder(metrics.clone()));
         let shared = Arc::new(Shared {
             queue: Admission::new(cfg.admission),
             cache: SingleFlight::new(),
@@ -221,7 +226,8 @@ impl Server {
             next_id: AtomicU64::new(1),
             finished: AtomicU64::new(0),
             conns: AtomicUsize::new(0),
-            metrics: SharedRegistry::new(),
+            metrics,
+            plane,
             stop: AtomicBool::new(false),
             cfg,
         });
@@ -305,12 +311,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     continue;
                 }
                 let conn_shared = Arc::clone(shared);
-                let spawned = thread::Builder::new()
-                    .name("vsp-serve-conn".into())
-                    .spawn(move || {
-                        handle_connection(stream, &conn_shared);
-                        conn_shared.conns.fetch_sub(1, Ordering::SeqCst);
-                    });
+                let spawned =
+                    thread::Builder::new()
+                        .name("vsp-serve-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, &conn_shared);
+                            conn_shared.conns.fetch_sub(1, Ordering::SeqCst);
+                        });
                 if spawned.is_err() {
                     shared.conns.fetch_sub(1, Ordering::SeqCst);
                 }
@@ -702,6 +709,7 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
     let case_machine = machine;
     let case_artifact = Arc::clone(&artifact);
     let case_spec = Arc::clone(&spec);
+    let case_plane = Arc::clone(&shared.plane);
     let outcome = run_case(&hcfg, move || {
         match chaos {
             Some(Chaos::Panic) => panic!("chaos: injected panic"),
@@ -713,7 +721,7 @@ fn run_job(shared: &Arc<Shared>, m: &mut SharedRegistry, job: &QueuedJob) {
             }
             _ => {}
         }
-        execute_job(&case_machine, &case_artifact, &case_spec, shed)
+        execute_job(&case_plane, &case_machine, &case_artifact, &case_spec, shed)
     });
 
     let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;

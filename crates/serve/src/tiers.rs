@@ -1,25 +1,22 @@
-//! The artifact builder and the execution-tier ladder.
+//! The artifact builder and the service's adapter onto the shared
+//! evaluation plane.
 //!
 //! A job resolves in two steps. **Build** turns the spec into an
 //! [`Artifact`] — the compiled program (when the strategy is runnable)
 //! plus the analytic [`CycleEstimate`] — and is the expensive step the
-//! single-flight cache deduplicates. **Execute** walks the tier ladder:
-//!
-//! 1. Under load-shed (or `force_shed`) a runnable job degrades to the
-//!    analytic estimate with `degraded: true` — a cheap, honest answer
-//!    instead of an error or a queue collapse.
-//! 2. Otherwise the functional tier runs first (~365k runs/s when it
-//!    accepts). A typed refusal ([`vsp_exec::ExecError::is_refusal`])
-//!    is a routing decision, not a failure:
-//! 3. refused jobs fall to the SoA batch engine (`runs > 1`) or the
-//!    cycle-accurate simulator (`runs == 1`), which also serve fault
-//!    injection; their `RunStats` ride back on the response.
+//! single-flight cache deduplicates. **Execute** is now a thin adapter:
+//! the tier ladder itself (shed → estimate, functional first, refusals
+//! falling to batch or cycle-accurate) lives in
+//! [`vsp_exec::EvalPlane`], shared with `vsp-bench`'s `EvalEngine` and
+//! the `vsp-dse` search driver, so the service holds no routing logic
+//! of its own — it only translates [`JobSpec`] run knobs into a
+//! [`PlaneRequest`] and the [`PlaneOutcome`](vsp_exec::PlaneOutcome)
+//! back into a [`JobOutcome`].
 
 use crate::api::{digest, EstimateSummary, JobOutcome, JobSpec, Source, StatsSummary, Tier};
 use std::sync::Arc;
 use vsp_core::{models, MachineConfig};
-use vsp_exec::{CycleEstimate, ExecRequest, Functional};
-use vsp_fault::FaultPlan;
+use vsp_exec::{CycleEstimate, EvalPlane, FaultRequest, PlaneRequest, Tier as PlaneTier};
 use vsp_ir::{Kernel, Stmt};
 use vsp_isa::Program;
 use vsp_kernels::ir::{
@@ -27,8 +24,6 @@ use vsp_kernels::ir::{
 };
 use vsp_sched::pipeline::{PassConfig, ScheduleScope, SchedulerChoice};
 use vsp_sched::{codegen_loop, LoopControl, ScheduleArtifact, Strategy};
-use vsp_sim::{BatchSimulator, DecodedProgram, RunSpec, Simulator};
-use vsp_trace::NullSink;
 
 /// What the build step produces: everything execution needs, immutable
 /// and shareable (the cache hands out `Arc<Artifact>`).
@@ -174,27 +169,6 @@ pub fn build_artifact(spec: &JobSpec, machine: &MachineConfig) -> Result<Artifac
     }
 }
 
-/// The degraded (or estimate-tier) response.
-fn estimate_outcome(est: CycleEstimate, degraded: bool) -> JobOutcome {
-    JobOutcome {
-        tier: Tier::Estimate,
-        degraded,
-        cache_hit: false,
-        refusal: None,
-        cycles: est.cycles,
-        halted: true,
-        state_digest: None,
-        stats: None,
-        estimate: Some(EstimateSummary {
-            cycles: est.cycles,
-            ii: est.ii,
-            length: est.length,
-            trips: est.trips,
-        }),
-        attempts: 1,
-    }
-}
-
 fn stats_summary(stats: &vsp_sim::RunStats) -> StatsSummary {
     StatsSummary {
         cycles: stats.cycles,
@@ -205,9 +179,12 @@ fn stats_summary(stats: &vsp_sim::RunStats) -> StatsSummary {
     }
 }
 
-/// The execute step: walks the tier ladder for one job. `shed` is the
-/// service's load-shed signal (queue pressure); the spec's own
-/// `force_shed` composes with it.
+/// The execute step: translates the job's run knobs into a
+/// [`PlaneRequest`] and hands the artifact to the shared
+/// [`EvalPlane`] — the single tier-selection ladder this service used
+/// to carry a private copy of. `shed` is the service's load-shed
+/// signal (queue pressure); the spec's own `force_shed` composes with
+/// it.
 ///
 /// # Errors
 ///
@@ -215,142 +192,46 @@ fn stats_summary(stats: &vsp_sim::RunStats) -> StatsSummary {
 /// programs, budget exhaustion, memory faults). Refusals are *not*
 /// errors — they route.
 pub fn execute_job(
+    plane: &EvalPlane,
     machine: &MachineConfig,
     artifact: &Arc<Artifact>,
     spec: &JobSpec,
     shed: bool,
 ) -> Result<JobOutcome, String> {
-    // Load-shed degradation: answer from the schedule's closed form.
-    if shed || spec.force_shed {
-        if let Some(est) = artifact.estimate {
-            return Ok(estimate_outcome(est, true));
-        }
-        // No closed form (generated programs): fall through and run —
-        // shedding must never turn a servable job into an error.
-    }
-    let Some(program) = artifact.program.as_ref() else {
-        // Analysis-only artifact: the estimate *is* the answer.
-        let est = artifact
-            .estimate
-            .ok_or("artifact has neither program nor estimate")?;
-        return Ok(estimate_outcome(est, false));
+    let req = PlaneRequest {
+        max_cycles: spec.max_cycles,
+        runs: spec.runs,
+        fault: spec.fault.map(|f| FaultRequest {
+            seed: f.seed,
+            rate_ppm: f.rate_ppm,
+        }),
+        shed: shed || spec.force_shed,
     };
-
-    let mut req = ExecRequest::new(spec.max_cycles);
-    req.fault_injection = spec.fault.is_some();
-
-    // Tier 1: functional. Refusal routes down; anything else decides.
-    let refusal = match Functional::prepare(machine, program) {
-        Ok(compiled) => match compiled.run(&req) {
-            Ok(out) => {
-                return Ok(JobOutcome {
-                    tier: Tier::Functional,
-                    degraded: false,
-                    cache_hit: false,
-                    refusal: None,
-                    cycles: out.cycles,
-                    halted: out.state.halted,
-                    state_digest: Some(digest(&out.state)),
-                    stats: None,
-                    estimate: None,
-                    attempts: 1,
-                });
-            }
-            Err(e) if e.is_refusal() => refusal_label(&e),
-            Err(e) => return Err(format!("functional run failed: {e}")),
-        },
-        Err(e) if e.is_refusal() => refusal_label(&e),
-        Err(e) => return Err(format!("functional prepare failed: {e}")),
-    };
-
-    // Tier 2: batch, when the job wants many lanes.
-    if spec.runs > 1 {
-        let decoded = DecodedProgram::prepare(machine, program)
-            .map_err(|e| format!("invalid program: {e}"))?;
-        let specs: Vec<RunSpec<_>> = (0..spec.runs)
-            .map(|lane| {
-                let plan = match spec.fault {
-                    Some(f) => {
-                        FaultPlan::transient(f.seed.wrapping_add(u64::from(lane)), f.rate_ppm)
-                    }
-                    None => FaultPlan::quiet(),
-                };
-                RunSpec::with_faults(spec.max_cycles, plan.build())
-            })
-            .collect();
-        let outcomes = BatchSimulator::new(machine).run_batch(&decoded, specs);
-        let first = outcomes.first().ok_or("batch produced no lanes")?;
-        // Every lane must retire cleanly — an error in lane 7 of a
-        // fault sweep is a job failure, not something to mask behind
-        // lane 0's stats.
-        let failed: Vec<usize> = outcomes
-            .iter()
-            .enumerate()
-            .filter_map(|(lane, o)| o.error.is_some().then_some(lane))
-            .collect();
-        if let Some(&lane) = failed.first() {
-            let e = outcomes[lane].error.as_ref().expect("lane has an error");
-            return Err(format!(
-                "batch: {} of {} lanes failed; lane {lane}: {e}",
-                failed.len(),
-                outcomes.len()
-            ));
-        }
-        return Ok(JobOutcome {
-            tier: Tier::Batch,
-            degraded: false,
-            cache_hit: false,
-            refusal,
-            cycles: first.stats.cycles,
-            halted: first.state.halted,
-            state_digest: Some(digest(&first.state)),
-            stats: Some(stats_summary(&first.stats)),
-            estimate: None,
-            attempts: 1,
-        });
-    }
-
-    // Tier 3: cycle-accurate, with or without fault injection.
-    let (stats, state) = match spec.fault {
-        Some(f) => {
-            let mut model = FaultPlan::transient(f.seed, f.rate_ppm).build();
-            let mut sim = Simulator::with_sink_and_faults(machine, program, NullSink, &mut model)
-                .map_err(|e| format!("invalid program: {e}"))?;
-            let stats = sim
-                .run(spec.max_cycles)
-                .map_err(|e| format!("simulator failed: {e}"))?;
-            let state = sim.arch_state();
-            (stats, state)
-        }
-        None => {
-            let mut sim =
-                Simulator::new(machine, program).map_err(|e| format!("invalid program: {e}"))?;
-            let stats = sim
-                .run(spec.max_cycles)
-                .map_err(|e| format!("simulator failed: {e}"))?;
-            let state = sim.arch_state();
-            (stats, state)
-        }
-    };
+    let out = plane
+        .evaluate(machine, artifact.program.as_ref(), artifact.estimate, &req)
+        .map_err(|e| e.to_string())?;
     Ok(JobOutcome {
-        tier: Tier::CycleAccurate,
-        degraded: false,
+        tier: match out.tier {
+            PlaneTier::Estimate => Tier::Estimate,
+            PlaneTier::Functional => Tier::Functional,
+            PlaneTier::Batch => Tier::Batch,
+            PlaneTier::CycleAccurate => Tier::CycleAccurate,
+        },
+        degraded: out.degraded,
         cache_hit: false,
-        refusal,
-        cycles: stats.cycles,
-        halted: state.halted,
-        state_digest: Some(digest(&state)),
-        stats: Some(stats_summary(&stats)),
-        estimate: None,
+        refusal: out.refusal.map(str::to_string),
+        cycles: out.cycles,
+        halted: out.halted,
+        state_digest: out.state.as_ref().map(digest),
+        stats: out.stats.as_ref().map(stats_summary),
+        estimate: out.estimate.map(|est| EstimateSummary {
+            cycles: est.cycles,
+            ii: est.ii,
+            length: est.length,
+            trips: est.trips,
+        }),
         attempts: 1,
     })
-}
-
-fn refusal_label(e: &vsp_exec::ExecError) -> Option<String> {
-    match e {
-        vsp_exec::ExecError::Unsupported(u) => Some(u.label().to_string()),
-        _ => None,
-    }
 }
 
 #[cfg(test)]
@@ -363,11 +244,15 @@ mod tests {
         (machine, artifact)
     }
 
+    fn plane() -> EvalPlane {
+        EvalPlane::new()
+    }
+
     #[test]
     fn kernel_job_answers_on_the_functional_tier() {
         let spec = JobSpec::kernel("sad", "i4c8s4");
         let (machine, art) = artifact(&spec);
-        let out = execute_job(&machine, &art, &spec, false).unwrap();
+        let out = execute_job(&plane(), &machine, &art, &spec, false).unwrap();
         assert_eq!(out.tier, Tier::Functional);
         assert!(out.halted);
         assert!(!out.degraded);
@@ -382,7 +267,7 @@ mod tests {
             rate_ppm: 0,
         });
         let (machine, art) = artifact(&spec);
-        let out = execute_job(&machine, &art, &spec, false).unwrap();
+        let out = execute_job(&plane(), &machine, &art, &spec, false).unwrap();
         assert_eq!(out.tier, Tier::CycleAccurate);
         assert_eq!(out.refusal.as_deref(), Some("fault_injection"));
         let stats = out.stats.expect("cycle tier carries stats");
@@ -398,13 +283,13 @@ mod tests {
         });
         spec.runs = 3;
         let (machine, art) = artifact(&spec);
-        let out = execute_job(&machine, &art, &spec, false).unwrap();
+        let out = execute_job(&plane(), &machine, &art, &spec, false).unwrap();
         assert_eq!(out.tier, Tier::Batch);
         assert_eq!(out.refusal.as_deref(), Some("fault_injection"));
         // A quiet batch lane matches the scalar cycle tier bit-for-bit.
         let mut scalar = spec.clone();
         scalar.runs = 1;
-        let scalar_out = execute_job(&machine, &art, &scalar, false).unwrap();
+        let scalar_out = execute_job(&plane(), &machine, &art, &scalar, false).unwrap();
         assert_eq!(out.state_digest, scalar_out.state_digest);
         assert_eq!(
             out.stats.unwrap().digest,
@@ -426,7 +311,7 @@ mod tests {
         spec.runs = 8;
         spec.max_cycles = 20_000;
         let (machine, art) = artifact(&spec);
-        let err = execute_job(&machine, &art, &spec, false).unwrap_err();
+        let err = execute_job(&plane(), &machine, &art, &spec, false).unwrap_err();
         assert!(
             err.contains("lane 7"),
             "error must name the failing lane: {err}"
@@ -435,14 +320,14 @@ mod tests {
         // the failure really came from a non-zero lane.
         let mut clean = spec.clone();
         clean.runs = 1;
-        assert!(execute_job(&machine, &art, &clean, false).is_ok());
+        assert!(execute_job(&plane(), &machine, &art, &clean, false).is_ok());
     }
 
     #[test]
     fn shed_degrades_to_the_analytic_estimate() {
         let spec = JobSpec::kernel("sad", "i4c8s4");
         let (machine, art) = artifact(&spec);
-        let out = execute_job(&machine, &art, &spec, true).unwrap();
+        let out = execute_job(&plane(), &machine, &art, &spec, true).unwrap();
         assert_eq!(out.tier, Tier::Estimate);
         assert!(out.degraded);
         let est = out.estimate.expect("degraded response carries estimate");
@@ -455,7 +340,7 @@ mod tests {
         let spec = JobSpec::generated(11, 16, "i4c8s4");
         let (machine, art) = artifact(&spec);
         // No closed form to degrade to: the job still completes.
-        let out = execute_job(&machine, &art, &spec, true).unwrap();
+        let out = execute_job(&plane(), &machine, &art, &spec, true).unwrap();
         assert_ne!(out.tier, Tier::Estimate);
         assert!(out.halted);
     }
@@ -472,7 +357,7 @@ mod tests {
         spec.strategy = Some(name);
         let (machine, art) = artifact(&spec);
         assert!(art.program.is_none());
-        let out = execute_job(&machine, &art, &spec, false).unwrap();
+        let out = execute_job(&plane(), &machine, &art, &spec, false).unwrap();
         assert_eq!(out.tier, Tier::Estimate);
         assert!(!out.degraded, "natural estimate answers are not degraded");
     }

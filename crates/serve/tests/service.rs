@@ -288,7 +288,10 @@ fn finished_jobs_are_evicted_after_retention() {
     client.wait_done(c, Duration::from_secs(60)).unwrap();
 
     assert!(
-        matches!(client.result(a, Duration::ZERO), Err(ClientError::Protocol(_))),
+        matches!(
+            client.result(a, Duration::ZERO),
+            Err(ClientError::Protocol(_))
+        ),
         "evicted job must answer 404"
     );
     let health = client.healthz().unwrap();

@@ -1733,6 +1733,10 @@ impl<'a, M: Recorder> BatchSimulator<'a, M> {
             false
         };
         if diverge {
+            // At most once per batch: uniform lockstep never resumes,
+            // so this counts batches that fell off the shared-state
+            // fast path onto the pc-grouped executor.
+            self.recorder.add("vsp_batch_divergence_flushes", &[], 1);
             self.flush_uniform(lanes);
             self.exec_word(prog, word, lanes, faults, true);
         }

@@ -1,0 +1,194 @@
+//! Physical feasibility screening for design-space search.
+//!
+//! The paper's methodology prices every candidate architecture with the
+//! megacell models *before* any simulation is spent on it (§1 step 2,
+//! §3.3): a datapath that cannot be laid out inside the area budget, or
+//! whose critical path cannot reach the target clock, is discarded
+//! without scheduling a single kernel. This module packages that
+//! screening as a typed API the `vsp-dse` search driver consumes: an
+//! explicit [`FeasibilityEnvelope`] (the paper's "~200 mm² at ≥600 MHz
+//! with ≥256 KB of local memory in the 50 W range"), an [`Assessment`]
+//! carrying the priced clock/area/power alongside every constraint the
+//! point violates, and stable [`PruneReason`] labels so pruning shows up
+//! as `vsp_dse_points_pruned_total{reason=...}` in metrics.
+//!
+//! Unlike [`crate::explore`]'s boolean filter, `assess` never
+//! short-circuits: a point that is both too big and too slow reports
+//! *both* rejections, which is what a search report wants to show.
+
+use crate::clock::{ClockEstimate, CycleTimeModel};
+use crate::datapath::DatapathSpec;
+use crate::power;
+use serde::{Deserialize, Serialize};
+
+/// Physical constraints a candidate datapath must satisfy before it is
+/// worth simulating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityEnvelope {
+    /// Maximum datapath area in mm².
+    pub max_area_mm2: f64,
+    /// Minimum clock frequency in MHz.
+    pub min_freq_mhz: f64,
+    /// Minimum total local data memory in bytes.
+    pub min_total_mem_bytes: u64,
+    /// Maximum estimated chip power in watts.
+    pub max_power_watts: f64,
+}
+
+impl Default for FeasibilityEnvelope {
+    /// The paper's envelope: a ~200 mm² datapath at ≥600 MHz with at
+    /// least 256 KB of on-chip data storage, "in the 50 W range" —
+    /// which for the fast narrow-cluster machines stretches toward
+    /// 85 W before the package becomes infeasible. All seven Table 1/2
+    /// models fit inside this envelope.
+    fn default() -> Self {
+        FeasibilityEnvelope {
+            max_area_mm2: 220.0,
+            min_freq_mhz: 600.0,
+            min_total_mem_bytes: 256 * 1024,
+            max_power_watts: 85.0,
+        }
+    }
+}
+
+/// Why a candidate was pruned before simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PruneReason {
+    /// Datapath area exceeds the envelope's budget.
+    AreaOverBudget,
+    /// The critical path cannot reach the minimum clock frequency.
+    ClockTooSlow,
+    /// Total local data memory is below the working-set floor.
+    MemoryTooSmall,
+    /// Estimated chip power exceeds the package budget.
+    PowerOverBudget,
+}
+
+impl PruneReason {
+    /// Stable short label for metrics
+    /// (`vsp_dse_points_pruned_total{reason=...}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PruneReason::AreaOverBudget => "area",
+            PruneReason::ClockTooSlow => "clock",
+            PruneReason::MemoryTooSmall => "memory",
+            PruneReason::PowerOverBudget => "power",
+        }
+    }
+}
+
+impl std::fmt::Display for PruneReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A priced candidate: the clock/area/power the megacell models assign
+/// it, plus every envelope constraint it violates (empty = feasible).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// Critical-path clock estimate.
+    pub clock: ClockEstimate,
+    /// Datapath area in mm².
+    pub area_mm2: f64,
+    /// Estimated chip power in watts at that clock.
+    pub power_watts: f64,
+    /// Constraints the candidate violates; empty means feasible.
+    pub rejections: Vec<PruneReason>,
+}
+
+impl Assessment {
+    /// True when the candidate satisfies every envelope constraint.
+    pub fn feasible(&self) -> bool {
+        self.rejections.is_empty()
+    }
+}
+
+/// Prices `spec` with the megacell models and checks it against the
+/// envelope. Collects *all* violated constraints rather than stopping
+/// at the first, so search reports can attribute pruning precisely.
+pub fn assess(spec: &DatapathSpec, env: &FeasibilityEnvelope) -> Assessment {
+    let clock = CycleTimeModel::new().estimate(spec);
+    let area_mm2 = spec.datapath_area().total_mm2();
+    let power_watts = power::estimate(spec, &clock).total_watts();
+    let mut rejections = Vec::new();
+    if area_mm2 > env.max_area_mm2 {
+        rejections.push(PruneReason::AreaOverBudget);
+    }
+    if clock.freq_mhz() < env.min_freq_mhz {
+        rejections.push(PruneReason::ClockTooSlow);
+    }
+    if spec.total_mem_bytes() < env.min_total_mem_bytes {
+        rejections.push(PruneReason::MemoryTooSmall);
+    }
+    if power_watts > env.max_power_watts {
+        rejections.push(PruneReason::PowerOverBudget);
+    }
+    Assessment {
+        clock,
+        area_mm2,
+        power_watts,
+        rejections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::PipelineDepth;
+    use crate::explore::candidate_spec;
+
+    #[test]
+    fn paper_shaped_points_are_feasible() {
+        let env = FeasibilityEnvelope::default();
+        for spec in [
+            candidate_spec(8, 4, 128, 32, PipelineDepth::Four),
+            candidate_spec(16, 2, 64, 16, PipelineDepth::Four),
+            candidate_spec(16, 2, 64, 16, PipelineDepth::Five),
+        ] {
+            let a = assess(&spec, &env);
+            assert!(a.feasible(), "{}: {:?}", spec.name, a.rejections);
+            assert!(a.area_mm2 > 0.0 && a.power_watts > 0.0);
+        }
+    }
+
+    #[test]
+    fn every_violated_constraint_is_reported() {
+        // A tiny envelope rejects the initial design on all four axes.
+        let env = FeasibilityEnvelope {
+            max_area_mm2: 10.0,
+            min_freq_mhz: 5000.0,
+            min_total_mem_bytes: 1 << 30,
+            max_power_watts: 1.0,
+        };
+        let spec = candidate_spec(8, 4, 128, 32, PipelineDepth::Four);
+        let a = assess(&spec, &env);
+        assert_eq!(
+            a.rejections,
+            vec![
+                PruneReason::AreaOverBudget,
+                PruneReason::ClockTooSlow,
+                PruneReason::MemoryTooSmall,
+                PruneReason::PowerOverBudget,
+            ]
+        );
+        assert!(!a.feasible());
+    }
+
+    #[test]
+    fn labels_are_stable_metric_tokens() {
+        assert_eq!(PruneReason::AreaOverBudget.label(), "area");
+        assert_eq!(PruneReason::ClockTooSlow.label(), "clock");
+        assert_eq!(PruneReason::MemoryTooSmall.label(), "memory");
+        assert_eq!(PruneReason::PowerOverBudget.label(), "power");
+        assert_eq!(PruneReason::PowerOverBudget.to_string(), "power");
+    }
+
+    #[test]
+    fn small_memory_is_the_narrow_machines_only_defect() {
+        let env = FeasibilityEnvelope::default();
+        let spec = candidate_spec(16, 2, 64, 8, PipelineDepth::Four);
+        let a = assess(&spec, &env);
+        assert_eq!(a.rejections, vec![PruneReason::MemoryTooSmall]);
+    }
+}

@@ -22,7 +22,9 @@
 //! * [`clock`] — cycle-time estimation and the "Estimated Relative Clock
 //!   Speed" row of Table 1,
 //! * [`power`] — the §3 power-feasibility estimate (~50 W),
-//! * [`explore`] — design-space enumeration helpers.
+//! * [`explore`] — design-space enumeration helpers,
+//! * [`feasibility`] — the typed prune-before-simulate screening the
+//!   `vsp-dse` search driver uses ([`FeasibilityEnvelope`], [`assess`]).
 //!
 //! Calibration residuals against the paper's published values are unit
 //! tested in each module; the cross-model anchors (e.g. the 21.3 mm²
@@ -47,6 +49,7 @@ pub mod clock;
 pub mod crossbar;
 pub mod datapath;
 pub mod explore;
+pub mod feasibility;
 pub mod power;
 pub mod regfile;
 pub mod sram;
@@ -55,6 +58,7 @@ pub mod tech;
 pub use clock::{ClockEstimate, CycleTimeModel};
 pub use crossbar::CrossbarDesign;
 pub use datapath::{ClusterAreaBreakdown, DatapathArea, DatapathSpec, PipelineDepth};
+pub use feasibility::{assess, Assessment, FeasibilityEnvelope, PruneReason};
 pub use regfile::RegFileDesign;
 pub use sram::{SramDesign, SramFamily};
 pub use tech::DriverSize;

@@ -1,0 +1,159 @@
+//! Cost-model contract tests for the design-space search.
+//!
+//! `vsp-dse` trusts the megacell cost surfaces to prune candidates
+//! before simulation, so this suite pins the two things pruning relies
+//! on: the surfaces are *monotone nondecreasing* along every axis the
+//! search sweeps (a bigger structure is never priced cheaper or faster),
+//! and the preferred-driver crossbar column reproduces the Fig. 2
+//! anchors exactly (golden pins, so a recalibration cannot silently
+//! shift every pruning decision).
+
+use proptest::prelude::*;
+use vsp_vlsi::crossbar::{fig2_dataset, CrossbarDesign};
+use vsp_vlsi::feasibility::{assess, FeasibilityEnvelope, PruneReason};
+use vsp_vlsi::regfile::RegFileDesign;
+use vsp_vlsi::sram::{SramDesign, SramFamily};
+use vsp_vlsi::tech::DriverSize;
+
+/// Fig. 2 golden pins at the preferred 5.1 µ driver: (ports, delay ns,
+/// area mm²). Values regenerated from the calibrated closed forms; the
+/// paper anchors (sub-1 ns to 16 ports, 1.5 ns at 32, 3 ns at 64,
+/// ~11 mm² at 32) all sit inside these numbers.
+const FIG2_W51_GOLDEN: [(u32, f64, f64); 5] = [
+    (4, 0.3436, 0.272),
+    (8, 0.4484, 0.848),
+    (16, 0.6916, 2.912),
+    (32, 1.3124, 10.688),
+    (64, 3.0916, 40.832),
+];
+
+#[test]
+fn fig2_preferred_driver_column_is_pinned() {
+    let rows = fig2_dataset();
+    let w51 = DriverSize::ALL
+        .iter()
+        .position(|&d| d == DriverSize::W5_1)
+        .unwrap();
+    assert_eq!(rows.len(), FIG2_W51_GOLDEN.len());
+    for (row, &(ports, delay, area)) in rows.iter().zip(&FIG2_W51_GOLDEN) {
+        assert_eq!(row.ports, ports);
+        assert!(
+            (row.delay_ns[w51] - delay).abs() < 5e-4,
+            "{ports} ports: delay {} vs golden {delay}",
+            row.delay_ns[w51]
+        );
+        assert!(
+            (row.area_mm2[w51] - area).abs() < 5e-4,
+            "{ports} ports: area {} vs golden {area}",
+            row.area_mm2[w51]
+        );
+    }
+}
+
+#[test]
+fn fig2_rows_are_monotone_in_every_driver_column() {
+    let rows = fig2_dataset();
+    for col in 0..DriverSize::ALL.len() {
+        for pair in rows.windows(2) {
+            assert!(pair[1].delay_ns[col] > pair[0].delay_ns[col]);
+            assert!(pair[1].area_mm2[col] > pair[0].area_mm2[col]);
+        }
+    }
+    // Within a row, a stronger driver never slows the switch down.
+    for row in &rows {
+        for col in 1..DriverSize::ALL.len() {
+            assert!(row.delay_ns[col] <= row.delay_ns[col - 1]);
+        }
+    }
+}
+
+proptest! {
+    // The axes `vsp-dse` sweeps: port counts, register counts, SRAM
+    // capacities. Nondecreasing cost along each is what makes
+    // prune-before-simulate sound — an envelope that rejects a point
+    // also rejects every strictly-larger point on the same axis.
+
+    #[test]
+    fn crossbar_cost_nondecreasing_in_ports(ports in 1u32..200, extra in 1u32..64, d in 0usize..5) {
+        let driver = DriverSize::ALL[d];
+        let small = CrossbarDesign::new(ports, driver);
+        let large = CrossbarDesign::new(ports + extra, driver);
+        prop_assert!(large.delay_ns() >= small.delay_ns());
+        prop_assert!(large.area_mm2() >= small.area_mm2());
+    }
+
+    #[test]
+    fn regfile_cost_nondecreasing_in_registers_and_ports(
+        regs in 8u32..512, ports in 2u32..20, dr in 1u32..256, dp in 1u32..8
+    ) {
+        let base = RegFileDesign::new(regs, ports);
+        let more_regs = RegFileDesign::new(regs + dr, ports);
+        let more_ports = RegFileDesign::new(regs, ports + dp);
+        prop_assert!(more_regs.delay_ns() >= base.delay_ns());
+        prop_assert!(more_regs.area_mm2() >= base.area_mm2());
+        prop_assert!(more_ports.delay_ns() >= base.delay_ns());
+        prop_assert!(more_ports.area_mm2() >= base.area_mm2());
+    }
+
+    #[test]
+    fn sram_cost_nondecreasing_in_capacity(bytes_log2 in 3u32..15, ports in 1u32..3) {
+        for family in [SramFamily::HighSpeedMultiport, SramFamily::HighDensity] {
+            let small = SramDesign::new(1u32 << bytes_log2, ports, family);
+            let large = SramDesign::new(1u32 << (bytes_log2 + 1), ports, family);
+            prop_assert!(large.delay_ns() >= small.delay_ns());
+            prop_assert!(large.area_mm2() >= small.area_mm2());
+        }
+    }
+
+    #[test]
+    fn assessment_agrees_with_the_explore_filter(
+        ci in 0usize..4, si in 0usize..3, ri in 0usize..3, mi in 0usize..3, pi in 0usize..2
+    ) {
+        // `feasibility::assess` and `explore`'s boolean filter must agree
+        // on the shared axes (area, clock, memory) for every point of the
+        // stock sweep grid.
+        use vsp_vlsi::datapath::PipelineDepth;
+        use vsp_vlsi::explore::candidate_spec;
+        let clusters = [4u32, 8, 16, 32][ci];
+        let slots = [1u32, 2, 4][si];
+        let regs = [64u32, 128, 256][ri];
+        let mem_kb = [8u32, 16, 32][mi];
+        let pipe = [PipelineDepth::Four, PipelineDepth::Five][pi];
+        let spec = candidate_spec(clusters, slots, regs, mem_kb, pipe);
+        let env = FeasibilityEnvelope::default();
+        let a = assess(&spec, &env);
+        prop_assert_eq!(
+            a.rejections.contains(&PruneReason::AreaOverBudget),
+            a.area_mm2 > env.max_area_mm2
+        );
+        prop_assert_eq!(
+            a.rejections.contains(&PruneReason::ClockTooSlow),
+            a.clock.freq_mhz() < env.min_freq_mhz
+        );
+        prop_assert_eq!(
+            a.rejections.contains(&PruneReason::MemoryTooSmall),
+            spec.total_mem_bytes() < env.min_total_mem_bytes
+        );
+        prop_assert!(a.power_watts > 0.0);
+    }
+
+    #[test]
+    fn tightening_the_envelope_never_accepts_more(shrink in 1u32..50) {
+        use vsp_vlsi::datapath::PipelineDepth;
+        use vsp_vlsi::explore::candidate_spec;
+        let loose = FeasibilityEnvelope::default();
+        let f = 1.0 - f64::from(shrink) / 100.0;
+        let tight = FeasibilityEnvelope {
+            max_area_mm2: loose.max_area_mm2 * f,
+            min_freq_mhz: loose.min_freq_mhz / f,
+            min_total_mem_bytes: loose.min_total_mem_bytes,
+            max_power_watts: loose.max_power_watts * f,
+        };
+        for clusters in [8u32, 16] {
+            let spec = candidate_spec(clusters, 32 / clusters, 128, 32, PipelineDepth::Four);
+            let in_tight = assess(&spec, &tight).feasible();
+            let in_loose = assess(&spec, &loose).feasible();
+            prop_assert!(!in_tight || in_loose);
+        }
+    }
+}

@@ -40,6 +40,7 @@ fn main() {
             }],
             bank_binding: BankBinding::Any,
             xbar_ports: 8,
+            rf_ports_per_slot: None,
         },
         pipeline: PipelineConfig {
             stages: 4,

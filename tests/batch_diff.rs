@@ -289,6 +289,107 @@ fn engine_chunked_batch_matches_direct_batch() {
     assert_eq!(engine.cached_programs(), 1, "decode cache should dedup");
 }
 
+/// The ROADMAP's known weak spot, pinned: a quiet vbr batch whose
+/// lanes carry *different quantized blocks* leaves uniform lockstep at
+/// the first data-dependent predicate row (the zero/level test of the
+/// entropy coder), flushes exactly once onto the pc-grouped general
+/// path — observable as `vsp_batch_divergence_flushes` — and still
+/// reproduces every lane's scalar run bit-for-bit.
+#[test]
+fn vbr_data_divergent_batch_flushes_once_and_matches_scalar() {
+    use vsp::metrics::Registry;
+
+    let machine = models::i4c8s4();
+    // The standard vbr recipe (same as `compile`), inlined to keep the
+    // array layout: lanes must stage their blocks at the addresses the
+    // compiled loads actually read.
+    let mut k = vbr_block_kernel().kernel;
+    vsp::ir::transform::if_convert(&mut k);
+    vsp::ir::transform::eliminate_common_subexpressions(&mut k);
+    let layout = ArrayLayout::contiguous(&k, &machine).expect("layout");
+    let (stmts, ctl) = match k.body.iter().find(|s| matches!(s, Stmt::Loop(_))) {
+        Some(Stmt::Loop(l)) => (
+            &l.body,
+            Some(LoopControl {
+                trip: l.trip,
+                index: Some((0, l.start, l.step)),
+            }),
+        ),
+        _ => (&k.body, None),
+    };
+    let body = lower_body(&machine, &k, stmts, &layout).expect("lowering");
+    let deps = VopDeps::build(&machine, &body);
+    let sched = list_schedule(&machine, &body, &deps, 1).expect("schedulable");
+    let program = codegen_loop(&machine, &body, &sched, ctl, machine.clusters, "vbr")
+        .expect("codegen")
+        .program;
+    let (bank, base) = layout.entries[0]; // "block", the kernel's only array
+
+    // Four lanes, four different blocks: all-zero (pure run counting),
+    // a lone DC coefficient, a dense ramp, alternating signs — each
+    // drives the run/level arms of the coder differently.
+    let mut blocks = [[0i16; 64]; 4];
+    blocks[1][0] = 5;
+    for (i, v) in blocks[2].iter_mut().enumerate() {
+        *v = i as i16 - 31;
+    }
+    for (i, v) in blocks[3].iter_mut().enumerate() {
+        *v = if i % 2 == 0 { 7 } else { -7 };
+    }
+
+    let decoded = vsp::sim::DecodedProgram::prepare(&machine, &program).expect("valid");
+    let mut reg = Registry::new();
+    let mut batch = BatchSimulator::with_recorder(&machine, &mut reg);
+    let specs = blocks
+        .iter()
+        .map(|block| {
+            let mut s = RunSpec::new(MAX_CYCLES);
+            // The program is replicated across clusters; every cluster
+            // encodes the lane's block out of its own bank.
+            s.mem = (0..machine.clusters as u8)
+                .flat_map(|c| {
+                    block
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, &v)| (c, bank.0, base as u32 + i as u32, v))
+                })
+                .collect();
+            s
+        })
+        .collect();
+    let outcomes = batch.run_batch(&decoded, specs);
+    drop(batch);
+
+    let mut states = Vec::new();
+    for (lane, (o, block)) in outcomes.iter().zip(&blocks).enumerate() {
+        let mut sim = Simulator::new(&machine, &program).expect("valid program");
+        for c in 0..machine.clusters as u8 {
+            for (i, &v) in block.iter().enumerate() {
+                assert!(sim.mem_mut(c, bank.0).write(base as u32 + i as u32, v));
+            }
+        }
+        let stats = sim.run(MAX_CYCLES).expect("halts");
+        let state = sim.arch_state();
+        drop(sim);
+        assert!(o.error.is_none(), "lane {lane}: {:?}", o.error);
+        assert_eq!(o.stats, stats, "lane {lane}: stats diverged");
+        assert_eq!(o.state, state, "lane {lane}: state diverged");
+        states.push(state);
+    }
+    // The blocks genuinely produced different encodings — the lanes
+    // did not just agree their way through the uniform path.
+    assert!(
+        states.windows(2).any(|w| w[0] != w[1]),
+        "all lanes converged to one state; the test no longer diverges"
+    );
+    // Exactly one flush: uniform lockstep never resumes mid-batch.
+    assert_eq!(
+        reg.snapshot().counter("vsp_batch_divergence_flushes", &[]),
+        Some(1),
+        "the vbr batch should fall off the uniform path exactly once"
+    );
+}
+
 /// Hand-built control divergence: lanes start in uniform lockstep,
 /// then split at a guarded op and a branch whose predicate rows differ
 /// per lane — exercising the mid-batch flush from shared to per-lane
